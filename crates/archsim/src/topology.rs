@@ -1,0 +1,174 @@
+//! Core topology: which NUMA node / LLC group / socket a core belongs to,
+//! place partitioning, and inter-core distances.
+//!
+//! Cores are numbered contiguously: core `i` lives in socket
+//! `i / cores_per_socket`, NUMA node `i / cores_per_numa`, LLC group
+//! `i / cores_per_llc` — the standard linear enumeration `hwloc` reports
+//! on these machines.
+
+use crate::machine::MachineDesc;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Topological distance between two cores, ordered from cheapest to most
+/// expensive communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Distance {
+    /// The same core.
+    SameCore,
+    /// Same last-level-cache group (data moves through the shared cache).
+    SameLlc,
+    /// Same NUMA node but different LLC group.
+    SameNuma,
+    /// Same socket, different NUMA node (e.g. Milan NPS4 domains).
+    SameSocket,
+    /// Different sockets (cross-interconnect).
+    CrossSocket,
+}
+
+/// Topology queries over a machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    machine: MachineDesc,
+}
+
+impl Topology {
+    /// Build a topology for `machine`.
+    ///
+    /// # Panics
+    /// Panics if the machine fails validation; topologies over inconsistent
+    /// machines would silently misattribute cores.
+    pub fn new(machine: MachineDesc) -> Topology {
+        machine.validate().expect("invalid machine description");
+        Topology { machine }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &MachineDesc {
+        &self.machine
+    }
+
+    /// NUMA node of a core.
+    pub fn numa_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.machine.cores);
+        core / self.machine.cores_per_numa()
+    }
+
+    /// LLC group of a core.
+    pub fn llc_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.machine.cores);
+        core / self.machine.cores_per_llc()
+    }
+
+    /// Socket of a core.
+    pub fn socket_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.machine.cores);
+        core / self.machine.cores_per_socket()
+    }
+
+    /// Distance class between two cores.
+    pub fn distance(&self, a: usize, b: usize) -> Distance {
+        if a == b {
+            Distance::SameCore
+        } else if self.llc_of(a) == self.llc_of(b) {
+            Distance::SameLlc
+        } else if self.numa_of(a) == self.numa_of(b) {
+            Distance::SameNuma
+        } else if self.socket_of(a) == self.socket_of(b) {
+            Distance::SameSocket
+        } else {
+            Distance::CrossSocket
+        }
+    }
+
+    /// Partition the cores into `n_places` equal contiguous places.
+    /// This is how `OMP_PLACES=cores|ll_caches|sockets` maps onto the
+    /// linear core enumeration.
+    ///
+    /// # Panics
+    /// Panics when `n_places` does not divide the core count or is zero.
+    pub fn places(&self, n_places: usize) -> Vec<Range<usize>> {
+        assert!(n_places > 0, "need at least one place");
+        assert_eq!(
+            self.machine.cores % n_places,
+            0,
+            "places must evenly partition the cores"
+        );
+        let per = self.machine.cores / n_places;
+        (0..n_places).map(|p| p * per..(p + 1) * per).collect()
+    }
+
+    /// The place index (of `n_places` contiguous places) containing `core`.
+    pub fn place_of(&self, core: usize, n_places: usize) -> usize {
+        let per = self.machine.cores / n_places;
+        core / per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineDesc;
+
+    #[test]
+    fn milan_core_attribution() {
+        let t = Topology::new(MachineDesc::milan());
+        // 12 cores per NUMA node, 8 per LLC (CCX), 48 per socket.
+        assert_eq!(t.numa_of(0), 0);
+        assert_eq!(t.numa_of(11), 0);
+        assert_eq!(t.numa_of(12), 1);
+        assert_eq!(t.llc_of(7), 0);
+        assert_eq!(t.llc_of(8), 1);
+        assert_eq!(t.socket_of(47), 0);
+        assert_eq!(t.socket_of(48), 1);
+    }
+
+    #[test]
+    fn distance_ordering() {
+        let t = Topology::new(MachineDesc::milan());
+        assert_eq!(t.distance(0, 0), Distance::SameCore);
+        assert_eq!(t.distance(0, 7), Distance::SameLlc);
+        assert_eq!(t.distance(0, 8), Distance::SameNuma); // same NUMA, next CCX
+        assert_eq!(t.distance(0, 12), Distance::SameSocket); // next NPS domain
+        assert_eq!(t.distance(0, 48), Distance::CrossSocket);
+        // Distance is symmetric.
+        assert_eq!(t.distance(48, 0), Distance::CrossSocket);
+    }
+
+    #[test]
+    fn a64fx_llc_equals_numa() {
+        // On A64FX, CMG = NUMA node = L2 group.
+        let t = Topology::new(MachineDesc::a64fx());
+        for core in 0..48 {
+            assert_eq!(t.numa_of(core), t.llc_of(core));
+        }
+        assert_eq!(t.socket_of(47), 0);
+    }
+
+    #[test]
+    fn places_partition_exactly() {
+        let t = Topology::new(MachineDesc::skylake());
+        for n in [1, 2, 40] {
+            let places = t.places(n);
+            assert_eq!(places.len(), n);
+            let covered: usize = places.iter().map(|r| r.len()).sum();
+            assert_eq!(covered, 40);
+            // Contiguous and disjoint.
+            for w in places.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            for (i, p) in places.iter().enumerate() {
+                for c in p.clone() {
+                    assert_eq!(t.place_of(c, n), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly partition")]
+    fn uneven_places_rejected() {
+        let t = Topology::new(MachineDesc::skylake());
+        let _ = t.places(3); // 40 % 3 != 0
+    }
+}

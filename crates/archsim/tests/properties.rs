@@ -1,0 +1,103 @@
+//! Property-based tests of the discrete-event substrate: event ordering
+//! under arbitrary insertion patterns, topology partition exactness, and
+//! noise-model invariants.
+
+use archsim::{CorePool, EventQueue, MachineDesc, NoiseModel, Topology};
+use proptest::prelude::*;
+
+fn machine_strategy() -> impl Strategy<Value = MachineDesc> {
+    prop_oneof![
+        Just(MachineDesc::a64fx()),
+        Just(MachineDesc::skylake()),
+        Just(MachineDesc::milan()),
+    ]
+}
+
+proptest! {
+    /// Events always pop in non-decreasing time order, and equal-time
+    /// events in insertion order, for any insertion sequence.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t, id));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    /// CorePool work conservation: total busy time equals the sum of
+    /// submitted durations; makespan is within [total/n, total] for work
+    /// submitted at time 0.
+    #[test]
+    fn core_pool_conserves_work(
+        durations in prop::collection::vec(1u64..1000, 1..200),
+        cores in 1usize..8,
+    ) {
+        let mut pool = CorePool::new(cores);
+        for (i, &d) in durations.iter().enumerate() {
+            // Greedy earliest-free placement.
+            let core = pool.earliest_free_of(0..cores).unwrap_or(i % cores);
+            pool.run(core, 0, d);
+        }
+        let total: u64 = durations.iter().sum();
+        let busy: u64 = (0..cores).map(|c| pool.busy_ns(c)).sum();
+        prop_assert_eq!(busy, total);
+        prop_assert!(pool.makespan() <= total);
+        prop_assert!(pool.makespan() >= total / cores as u64);
+        prop_assert!(pool.utilization() <= 1.0 + 1e-12);
+    }
+
+    /// Place partitioning is an exact cover for every divisor place
+    /// count, and place_of is its inverse.
+    #[test]
+    fn places_exactly_cover_cores(machine in machine_strategy(), denom_idx in 0usize..4) {
+        let topo = Topology::new(machine.clone());
+        let counts = [machine.cores, machine.sockets, machine.numa_nodes, machine.ll_caches];
+        let n = counts[denom_idx];
+        let places = topo.places(n);
+        let mut covered = vec![false; machine.cores];
+        for (pi, range) in places.iter().enumerate() {
+            for c in range.clone() {
+                prop_assert!(!covered[c]);
+                covered[c] = true;
+                prop_assert_eq!(topo.place_of(c, n), pi);
+            }
+        }
+        prop_assert!(covered.iter().all(|x| *x));
+    }
+
+    /// Topology distance is symmetric and consistent with attribution.
+    #[test]
+    fn distance_symmetry(machine in machine_strategy(), a in 0usize..96, b in 0usize..96) {
+        let a = a % machine.cores;
+        let b = b % machine.cores;
+        let topo = Topology::new(machine);
+        prop_assert_eq!(topo.distance(a, b), topo.distance(b, a));
+        if a == b {
+            prop_assert_eq!(topo.distance(a, b), archsim::Distance::SameCore);
+        }
+    }
+
+    /// Noise factors are positive, finite, and deterministic for every
+    /// machine and identity.
+    #[test]
+    fn noise_factor_sane(seed in any::<u64>(), stream in any::<u64>(), rep in 0u32..8) {
+        for m in [NoiseModel::a64fx(), NoiseModel::skylake(), NoiseModel::milan()] {
+            let f = m.factor(seed, stream, rep);
+            prop_assert!(f.is_finite() && f > 0.0);
+            prop_assert_eq!(f, m.factor(seed, stream, rep));
+            // Bounded: drift <= 25%, scatter tails < 10 sigma.
+            prop_assert!(f < 1.3 * (1.0 + 10.0 * m.sigma));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Cost of the statistics/ML pipeline: Wilcoxon tests, logistic fits,
+//! and the full influence analysis over a realistic dataset slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlstats::{fit_linear, fit_logistic, wilcoxon_signed_rank, LogisticOptions};
+use omptune_core::{influence_analysis, GroupBy};
+use sweep::{Dataset, Scope, SweepSpec};
+
+fn dataset() -> Dataset {
+    let spec = SweepSpec { scope: Scope::Strided(48), reps: 3, seed: 11, ..SweepSpec::default() };
+    let batches = sweep::sweep_arch(omptune_core::Arch::Milan, &spec);
+    Dataset::build(&batches)
+}
+
+fn bench_wilcoxon(c: &mut Criterion) {
+    let x: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.37).sin() + 10.0).collect();
+    let y: Vec<f64> = x.iter().map(|v| v * 1.001).collect();
+    c.bench_function("wilcoxon_5000_pairs", |b| {
+        b.iter(|| {
+            let r = wilcoxon_signed_rank(&x, &y).expect("valid");
+            std::hint::black_box(r.p_value);
+        });
+    });
+}
+
+fn bench_regressions(c: &mut Criterion) {
+    // Synthetic feature matrix shaped like the sweep encoding.
+    let xs: Vec<Vec<f64>> = (0..4000)
+        .map(|i| {
+            (0..9)
+                .map(|j| ((i * (j + 3)) % 17) as f64 / 17.0)
+                .collect()
+        })
+        .collect();
+    let y_cont: Vec<f64> = xs.iter().map(|r| r.iter().sum::<f64>()).collect();
+    let y_bin: Vec<bool> = y_cont.iter().map(|v| *v > 4.5).collect();
+
+    c.bench_function("linear_fit_4000x9", |b| {
+        b.iter(|| {
+            let m = fit_linear(&xs, &y_cont).expect("fits");
+            std::hint::black_box(m.r2);
+        });
+    });
+    c.bench_function("logistic_fit_4000x9", |b| {
+        b.iter(|| {
+            let m = fit_logistic(&xs, &y_bin, LogisticOptions::default()).expect("fits");
+            std::hint::black_box(m.iterations);
+        });
+    });
+}
+
+fn bench_influence(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("influence_analysis");
+    group.sample_size(10);
+    group.bench_function("per_architecture_milan_slice", |b| {
+        b.iter(|| {
+            let hm = influence_analysis(&ds.records, GroupBy::Architecture).expect("fits");
+            std::hint::black_box(hm.rows.len());
+        });
+    });
+    group.bench_function("per_application_milan_slice", |b| {
+        b.iter(|| {
+            let hm = influence_analysis(&ds.records, GroupBy::Application).expect("fits");
+            std::hint::black_box(hm.rows.len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_wilcoxon, bench_regressions, bench_influence
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: search strategies over the configuration space (the paper's
+//! Sec. VI proposal) — influence-guided hill climbing vs. declaration
+//! order vs. random search, using the simulator as the objective.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omptune_core::{hill_climb, random_search, Arch, TuningConfig, Variable};
+
+fn bench_strategies(c: &mut Criterion) {
+    let arch = Arch::Milan;
+    let app = workloads::app("cg").expect("registered");
+    let setting = workloads::Setting { input_code: 0, num_threads: 96 };
+    let model = (app.model)(arch, setting);
+    let objective = |cfg: &TuningConfig| simrt::simulate(arch, cfg, &model, 0).total_ns;
+
+    let mut group = c.benchmark_group("autotune_cg_milan");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("hill_climb_120"), |b| {
+        b.iter(|| {
+            let start = TuningConfig::default_for(arch, 96);
+            let r = hill_climb(arch, start, &Variable::ALL, 120, objective);
+            std::hint::black_box(r.best_value);
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("random_search_120"), |b| {
+        b.iter(|| {
+            let r = random_search(arch, 96, 5, 120, objective);
+            std::hint::black_box(r.best_value);
+        });
+    });
+    group.finish();
+}
+
+fn bench_solution_quality(c: &mut Criterion) {
+    // Not a time benchmark: encodes the quality claim as an assertion so
+    // regressions in the tuner or the model surface here.
+    let arch = Arch::Milan;
+    let app = workloads::app("cg").expect("registered");
+    let setting = workloads::Setting { input_code: 0, num_threads: 96 };
+    let model = (app.model)(arch, setting);
+    let objective = |cfg: &TuningConfig| simrt::simulate(arch, cfg, &model, 0).total_ns;
+    let default = objective(&TuningConfig::default_for(arch, 96));
+    c.bench_function("hill_climb_reaches_speedup", |b| {
+        b.iter(|| {
+            let r = hill_climb(arch, TuningConfig::default_for(arch, 96), &Variable::ALL, 120, objective);
+            assert!(default / r.best_value > 1.2, "tuner lost its win");
+            std::hint::black_box(r.evaluations);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_strategies, bench_solution_quality
+}
+criterion_main!(benches);

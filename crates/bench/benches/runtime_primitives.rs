@@ -1,0 +1,113 @@
+//! Microbenchmarks + ablations of the real runtime's primitives:
+//! barrier algorithms (central vs. tree), reduction methods, and the
+//! wait-policy cost between regions — the design choices DESIGN.md
+//! calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omprt::{Barrier, CentralBarrier, Reducer, ThreadPool, TreeBarrier};
+use omptune_core::{ReductionMethod, WaitPolicy};
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier");
+    for team in [2usize, 4] {
+        let pool = ThreadPool::new(team, WaitPolicy::Active { yielding: false });
+        group.bench_with_input(BenchmarkId::new("central", team), &team, |b, &team| {
+            let barrier = CentralBarrier::new(team);
+            b.iter(|| {
+                pool.parallel(|ctx| {
+                    for _ in 0..16 {
+                        barrier.wait(ctx.thread_num);
+                    }
+                });
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tree", team), &team, |b, &team| {
+            let barrier = TreeBarrier::new(team, 2);
+            b.iter(|| {
+                pool.parallel(|ctx| {
+                    for _ in 0..16 {
+                        barrier.wait(ctx.thread_num);
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    let team = 4usize;
+    let pool = ThreadPool::new(team, WaitPolicy::Active { yielding: false });
+    for method in [
+        ReductionMethod::Tree,
+        ReductionMethod::Critical,
+        ReductionMethod::Atomic,
+    ] {
+        group.bench_function(format!("{method:?}"), |b| {
+            let barrier = CentralBarrier::new(team);
+            b.iter(|| {
+                let reducer = Reducer::new(team, method);
+                pool.parallel(|ctx| {
+                    reducer.combine(ctx.thread_num, ctx.thread_num as f64, &barrier);
+                    barrier.wait(ctx.thread_num);
+                });
+                assert_eq!(reducer.result(), 6.0);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wait_policies(c: &mut Criterion) {
+    // Region-to-region turnaround under each wait policy: the cost the
+    // `KMP_BLOCKTIME` × `KMP_LIBRARY` tuning controls.
+    let mut group = c.benchmark_group("waitpolicy_region_turnaround");
+    for (label, policy) in [
+        ("active_spin", WaitPolicy::Active { yielding: false }),
+        ("active_yield", WaitPolicy::Active { yielding: true }),
+        ("spin_then_sleep", WaitPolicy::SpinThenSleep { millis: 200, yielding: true }),
+        ("passive", WaitPolicy::Passive),
+    ] {
+        group.bench_function(label, |b| {
+            let pool = ThreadPool::new(4, policy);
+            b.iter(|| {
+                for _ in 0..8 {
+                    pool.parallel(|_| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_task_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_join");
+    let pool = ThreadPool::new(4, WaitPolicy::Active { yielding: false });
+    group.bench_function("fib_18", |b| {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, r) = omprt::join(|| fib(n - 1), || fib(n - 2));
+            a + r
+        }
+        b.iter(|| {
+            let v = omprt::task_parallel(&pool, || fib(18));
+            assert_eq!(v, 2584);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_barriers, bench_reductions, bench_wait_policies, bench_task_join
+}
+criterion_main!(benches);

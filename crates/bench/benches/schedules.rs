@@ -1,0 +1,92 @@
+//! Ablation: worksharing schedules under uniform vs. skewed iteration
+//! cost on the *real* runtime — the executable counterpart of the
+//! simulator's schedule model (paper Sec. III-3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omprt::{parallel_for, ThreadPool};
+use omptune_core::{OmpSchedule, WaitPolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-iteration work whose cost ramps linearly across the index space —
+/// the shape where static scheduling leaves threads idle.
+fn skewed_work(i: usize, total: usize) -> u64 {
+    let reps = 1 + (200 * i) / total;
+    let mut acc = i as u64;
+    for _ in 0..reps {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    acc
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let pool = ThreadPool::new(4, WaitPolicy::Active { yielding: false });
+    let total = 50_000usize;
+
+    let mut group = c.benchmark_group("schedule_skewed_loop");
+    for schedule in [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{schedule:?}")),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    let sink = AtomicU64::new(0);
+                    parallel_for(&pool, schedule, total, |i| {
+                        sink.fetch_add(skewed_work(i, total) & 1, Ordering::Relaxed);
+                    });
+                    std::hint::black_box(sink.into_inner());
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("schedule_uniform_loop");
+    for schedule in [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{schedule:?}")),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    let sink = AtomicU64::new(0);
+                    parallel_for(&pool, schedule, total, |i| {
+                        sink.fetch_add((i as u64).wrapping_mul(0x9E3779B9) & 1, Ordering::Relaxed);
+                    });
+                    std::hint::black_box(sink.into_inner());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chunk_math(c: &mut Criterion) {
+    // The pure dispatch math the simulator shares with the runtime.
+    let mut group = c.benchmark_group("chunk_math");
+    group.bench_function("guided_sequence_1M_iters", |b| {
+        b.iter(|| {
+            let seq = omprt::sched::guided_chunk_sequence(1_000_000, 48);
+            std::hint::black_box(seq.len());
+        });
+    });
+    group.bench_function("dynamic_dispatch_100k", |b| {
+        b.iter(|| {
+            let d = omprt::DynamicDispatcher::new(100_000, 64);
+            let mut n = 0usize;
+            while let Some(chunk) = d.next_chunk() {
+                n += chunk.len();
+            }
+            assert_eq!(n, 100_000);
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_schedules, bench_chunk_math
+}
+criterion_main!(benches);

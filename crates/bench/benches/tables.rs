@@ -1,0 +1,85 @@
+//! One benchmark per paper table/figure: the cost of regenerating each
+//! artifact from a cached fast-scope dataset (the sweep itself is
+//! measured separately in `sim_engine`).
+
+use bench_harness::{ReproScope, Reproduction};
+use criterion::{criterion_group, criterion_main, Criterion};
+use omptune_core::GroupBy;
+use std::sync::OnceLock;
+
+fn repro() -> &'static Reproduction {
+    static REPRO: OnceLock<Reproduction> = OnceLock::new();
+    REPRO.get_or_init(|| Reproduction::generate(ReproScope::Fast))
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let r = repro();
+    let mut group = c.benchmark_group("regenerate");
+    group.sample_size(10);
+    group.bench_function("table1_hardware", |b| {
+        b.iter(|| std::hint::black_box(r.table1().len()))
+    });
+    group.bench_function("table2_dataset", |b| {
+        b.iter(|| std::hint::black_box(r.table2().len()))
+    });
+    group.bench_function("table3_wilcoxon", |b| {
+        b.iter(|| std::hint::black_box(r.table3().len()))
+    });
+    group.bench_function("table4_runtime_stats", |b| {
+        b.iter(|| std::hint::black_box(r.table4().len()))
+    });
+    group.bench_function("table5_app_arch_ranges", |b| {
+        b.iter(|| std::hint::black_box(r.table5().len()))
+    });
+    group.bench_function("table6_app_ranges", |b| {
+        b.iter(|| std::hint::black_box(r.table6().len()))
+    });
+    group.bench_function("table7_recommendations", |b| {
+        b.iter(|| std::hint::black_box(r.table7().len()))
+    });
+    group.bench_function("q1_arch_summaries", |b| {
+        b.iter(|| std::hint::black_box(r.q1().len()))
+    });
+    group.bench_function("q4_worst_trends", |b| {
+        b.iter(|| std::hint::black_box(r.q4().len()))
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let r = repro();
+    let mut group = c.benchmark_group("regenerate_figures");
+    group.sample_size(10);
+    group.bench_function("fig1_violin_alignment", |b| {
+        b.iter(|| std::hint::black_box(r.figure_violin("alignment").len()))
+    });
+    group.bench_function("fig2_heatmap_by_application", |b| {
+        b.iter(|| std::hint::black_box(r.figure_heatmap(GroupBy::Application).len()))
+    });
+    group.bench_function("fig3_heatmap_by_architecture", |b| {
+        b.iter(|| std::hint::black_box(r.figure_heatmap(GroupBy::Architecture).len()))
+    });
+    group.bench_function("fig4_heatmap_by_arch_application", |b| {
+        b.iter(|| std::hint::black_box(r.figure_heatmap(GroupBy::ArchApplication).len()))
+    });
+    group.bench_function("fig5_violin_bt", |b| {
+        b.iter(|| std::hint::black_box(r.figure_violin("bt").len()))
+    });
+    group.bench_function("fig6_violin_health", |b| {
+        b.iter(|| std::hint::black_box(r.figure_violin("health").len()))
+    });
+    group.bench_function("fig7_violin_rsbench", |b| {
+        b.iter(|| std::hint::black_box(r.figure_violin("rsbench").len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_tables, bench_figures
+}
+criterion_main!(benches);

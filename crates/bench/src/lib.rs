@@ -1,0 +1,10 @@
+//! # bench-harness — reproduction of every table and figure
+//!
+//! One generator per table/figure of the paper, all driven by the same
+//! sweep dataset. The `repro-tables` and `repro-figures` binaries print
+//! them; the Criterion benches in `benches/` measure the substrates and
+//! the ablations called out in DESIGN.md.
+
+pub mod repro;
+
+pub use repro::{ReproScope, Reproduction};

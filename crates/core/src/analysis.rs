@@ -1,0 +1,492 @@
+//! The paper's analysis pipeline (Sec. IV-D): classification surrogate +
+//! logistic-regression coefficient magnitudes as feature influence.
+//!
+//! Samples are labelled *optimal* when their speedup over the default
+//! configuration exceeds 1.01 (at least 1 % improvement). Features are
+//! encoded with a naive numeric scheme, standardized, and a logistic model
+//! is fit per data group. The weight-normalized absolute coefficients form
+//! the influence heat maps of Figs. 2–4.
+
+use crate::arch::Arch;
+use crate::config::TuningConfig;
+use crate::envvar::{
+    KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,
+};
+use mlstats::logreg::{accuracy, fit_logistic, LogRegError, LogisticOptions};
+use mlstats::StandardScaler;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The speedup threshold above which a sample counts as "optimal"
+/// (Sec. IV-D: at least 1 % improvement).
+pub const OPTIMAL_SPEEDUP_THRESHOLD: f64 = 1.01;
+
+/// One processed sample: the sweep's tabular-row representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisRecord {
+    pub arch: Arch,
+    /// Application name, e.g. `"alignment"`, `"cg"`.
+    pub app: String,
+    /// Numeric input-size code (0 = smallest class).
+    pub input_size: f64,
+    pub config: TuningConfig,
+    /// Runtime relative to the default configuration of the same setting.
+    pub speedup: f64,
+}
+
+impl AnalysisRecord {
+    /// The classification label of Sec. IV-D.
+    pub fn is_optimal(&self) -> bool {
+        self.speedup > OPTIMAL_SPEEDUP_THRESHOLD
+    }
+}
+
+/// The paper's three grouping strategies (Sec. IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupBy {
+    /// One model per application, samples pooled across architectures —
+    /// Fig. 2. Architecture is a feature.
+    Application,
+    /// One model per architecture, samples pooled across applications —
+    /// Fig. 3. Application is a feature.
+    Architecture,
+    /// One model per (architecture, application) pair — Fig. 4.
+    ArchApplication,
+}
+
+/// Feature columns used by the influence analysis, in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Feature {
+    Architecture,
+    Application,
+    InputSize,
+    NumThreads,
+    Places,
+    ProcBind,
+    Schedule,
+    Library,
+    Blocktime,
+    ForceReduction,
+    AlignAlloc,
+}
+
+impl Feature {
+    /// Column header as printed in the heat maps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::Architecture => "Architecture",
+            Feature::Application => "Application",
+            Feature::InputSize => "Input Size",
+            Feature::NumThreads => "OMP_NUM_THREADS",
+            Feature::Places => "OMP_PLACES",
+            Feature::ProcBind => "OMP_PROC_BIND",
+            Feature::Schedule => "OMP_SCHEDULE",
+            Feature::Library => "KMP_LIBRARY",
+            Feature::Blocktime => "KMP_BLOCKTIME",
+            Feature::ForceReduction => "KMP_FORCE_REDUCTION",
+            Feature::AlignAlloc => "KMP_ALIGN_ALLOC",
+        }
+    }
+
+    /// The environment-variable features common to every grouping.
+    pub const ENV_FEATURES: [Feature; 7] = [
+        Feature::Places,
+        Feature::ProcBind,
+        Feature::Schedule,
+        Feature::Library,
+        Feature::Blocktime,
+        Feature::ForceReduction,
+        Feature::AlignAlloc,
+    ];
+
+    /// The feature columns used for a grouping strategy. The grouped-over
+    /// identity is excluded; everything else (including the setting axes)
+    /// is included, matching Figs. 2–4's column sets.
+    pub fn columns(group_by: GroupBy) -> Vec<Feature> {
+        let mut cols = Vec::with_capacity(11);
+        match group_by {
+            GroupBy::Application => cols.push(Feature::Architecture),
+            GroupBy::Architecture => cols.push(Feature::Application),
+            GroupBy::ArchApplication => {}
+        }
+        cols.push(Feature::InputSize);
+        cols.push(Feature::NumThreads);
+        cols.extend(Feature::ENV_FEATURES);
+        cols
+    }
+}
+
+/// Naive numeric encoding of one record into the feature columns
+/// (Sec. IV-D: "This encoding is a naive numeric scheme").
+fn encode_record(rec: &AnalysisRecord, cols: &[Feature], app_codes: &BTreeMap<String, usize>) -> Vec<f64> {
+    cols.iter()
+        .map(|f| match f {
+            Feature::Architecture => match rec.arch {
+                Arch::A64fx => 0.0,
+                Arch::Skylake => 1.0,
+                Arch::Milan => 2.0,
+            },
+            Feature::Application => app_codes[&rec.app] as f64,
+            Feature::InputSize => rec.input_size,
+            Feature::NumThreads => rec.config.num_threads as f64,
+            // Categorical levels are coded in increasing binding
+            // strength/granularity so the linear model can express the
+            // monotone part of their effect (the "naive numeric scheme").
+            Feature::Places => match rec.config.places {
+                OmpPlaces::Unset => 0.0,
+                OmpPlaces::Sockets => 1.0,
+                OmpPlaces::LlCaches => 2.0,
+                OmpPlaces::Cores => 3.0,
+            },
+            Feature::ProcBind => match rec.config.proc_bind {
+                OmpProcBind::Master => 0.0,
+                OmpProcBind::False => 1.0,
+                OmpProcBind::Unset => 2.0,
+                OmpProcBind::True => 3.0,
+                OmpProcBind::Close => 4.0,
+                OmpProcBind::Spread => 5.0,
+            },
+            Feature::Schedule => OmpSchedule::ALL
+                .iter()
+                .position(|v| *v == rec.config.schedule)
+                .expect("schedule in domain") as f64,
+            Feature::Library => match rec.config.library {
+                KmpLibrary::Throughput => 0.0,
+                KmpLibrary::Turnaround => 1.0,
+            },
+            Feature::Blocktime => KmpBlocktime::ALL
+                .iter()
+                .position(|v| *v == rec.config.blocktime)
+                .expect("blocktime in domain") as f64,
+            Feature::ForceReduction => KmpForceReduction::ALL
+                .iter()
+                .position(|v| *v == rec.config.force_reduction)
+                .expect("reduction in domain") as f64,
+            Feature::AlignAlloc => (rec.config.align_alloc.bytes() as f64).log2(),
+        })
+        .collect()
+}
+
+/// One row of an influence heat map: a group and its per-feature influence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfluenceRow {
+    /// Group label, e.g. `"alignment"`, `"milan"`, `"milan/cg"`.
+    pub group: String,
+    /// Weight-normalized |coefficient| per feature column; sums to 1.
+    pub influence: Vec<f64>,
+    /// Training accuracy of the group's logistic model.
+    pub accuracy: f64,
+    /// Number of samples in the group.
+    pub n_samples: usize,
+    /// Fraction of optimal samples in the group.
+    pub optimal_fraction: f64,
+}
+
+/// A complete influence heat map (one of Figs. 2–4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfluenceHeatMap {
+    pub group_by: GroupBy,
+    /// Feature column headers.
+    pub features: Vec<Feature>,
+    pub rows: Vec<InfluenceRow>,
+}
+
+impl InfluenceHeatMap {
+    /// Look up a row by group label.
+    pub fn row(&self, group: &str) -> Option<&InfluenceRow> {
+        self.rows.iter().find(|r| r.group == group)
+    }
+
+    /// Influence of `feature` in `group`, if both exist.
+    pub fn influence_of(&self, group: &str, feature: Feature) -> Option<f64> {
+        let col = self.features.iter().position(|f| *f == feature)?;
+        Some(self.row(group)?.influence[col])
+    }
+
+    /// Render as a shaded text table: darker glyphs = larger influence,
+    /// mirroring the paper's "darker shades imply larger influence".
+    pub fn render_text(&self) -> String {
+        let shade = |v: f64| -> char {
+            match v {
+                v if v >= 0.30 => '█',
+                v if v >= 0.20 => '▓',
+                v if v >= 0.10 => '▒',
+                v if v >= 0.03 => '░',
+                _ => '·',
+            }
+        };
+        let mut out = String::new();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.group.len())
+            .chain(std::iter::once(5))
+            .max()
+            .unwrap_or(5);
+        out.push_str(&format!("{:label_w$}", ""));
+        for f in &self.features {
+            out.push_str(&format!(" {:>19}", f.name()));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:label_w$}", row.group));
+            for v in &row.influence {
+                out.push_str(&format!(" {:>12.3} {}     ", v, shade(*v)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Errors from [`influence_analysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// No records supplied.
+    NoData,
+    /// Every group failed to produce a model (e.g. single-class labels).
+    NoUsableGroups,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::NoData => write!(f, "no analysis records"),
+            AnalysisError::NoUsableGroups => write!(f, "no group produced a usable model"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Fit an ordinary linear regression of the *continuous* speedup on the
+/// encoded features, per group — the paper's first attempt (Sec. IV-D),
+/// kept to demonstrate why it fails: returns each group's R².
+///
+/// "The distribution of points … indicates that our data does not satisfy
+/// the requirements for fitting a linear regression model. This is
+/// experimentally observed with low confidence scores associated with
+/// poor model fitting." The classification surrogate
+/// ([`influence_analysis`]) is the remedy.
+pub fn linear_fit_quality(
+    records: &[AnalysisRecord],
+    group_by: GroupBy,
+) -> Result<Vec<(String, f64)>, AnalysisError> {
+    if records.is_empty() {
+        return Err(AnalysisError::NoData);
+    }
+    let mut app_codes = BTreeMap::new();
+    for r in records {
+        let next = app_codes.len();
+        app_codes.entry(r.app.clone()).or_insert(next);
+    }
+    let mut groups: BTreeMap<String, Vec<&AnalysisRecord>> = BTreeMap::new();
+    for r in records {
+        let key = match group_by {
+            GroupBy::Application => r.app.clone(),
+            GroupBy::Architecture => r.arch.id().to_string(),
+            GroupBy::ArchApplication => format!("{}/{}", r.arch.id(), r.app),
+        };
+        groups.entry(key).or_default().push(r);
+    }
+    let cols = Feature::columns(group_by);
+    let mut out = Vec::new();
+    for (group, recs) in groups {
+        let xs: Vec<Vec<f64>> = recs.iter().map(|r| encode_record(r, &cols, &app_codes)).collect();
+        let y: Vec<f64> = recs.iter().map(|r| r.speedup).collect();
+        let (_, xs_std) = StandardScaler::fit_transform(&xs);
+        if let Ok(model) = mlstats::fit_linear(&xs_std, &y) {
+            out.push((group, model.r2));
+        }
+    }
+    if out.is_empty() {
+        return Err(AnalysisError::NoUsableGroups);
+    }
+    Ok(out)
+}
+
+/// Run the paper's influence analysis over `records` with the given
+/// grouping strategy. Groups whose labels are single-class (no optimal
+/// sample, or everything optimal) are skipped, like degenerate groups in
+/// the paper (e.g. Sort/Strassen showing "no reliance" where data is
+/// missing).
+pub fn influence_analysis(
+    records: &[AnalysisRecord],
+    group_by: GroupBy,
+) -> Result<InfluenceHeatMap, AnalysisError> {
+    if records.is_empty() {
+        return Err(AnalysisError::NoData);
+    }
+    // Stable application codes across the whole dataset.
+    let mut app_codes = BTreeMap::new();
+    for r in records {
+        let next = app_codes.len();
+        app_codes.entry(r.app.clone()).or_insert(next);
+    }
+
+    // Partition into groups.
+    let mut groups: BTreeMap<String, Vec<&AnalysisRecord>> = BTreeMap::new();
+    for r in records {
+        let key = match group_by {
+            GroupBy::Application => r.app.clone(),
+            GroupBy::Architecture => r.arch.id().to_string(),
+            GroupBy::ArchApplication => format!("{}/{}", r.arch.id(), r.app),
+        };
+        groups.entry(key).or_default().push(r);
+    }
+
+    let cols = Feature::columns(group_by);
+    let mut rows = Vec::new();
+    for (group, recs) in groups {
+        let xs: Vec<Vec<f64>> = recs.iter().map(|r| encode_record(r, &cols, &app_codes)).collect();
+        let y: Vec<bool> = recs.iter().map(|r| r.is_optimal()).collect();
+        let n_samples = recs.len();
+        let optimal_fraction = y.iter().filter(|b| **b).count() as f64 / n_samples as f64;
+
+        let (_, xs_std) = StandardScaler::fit_transform(&xs);
+        match fit_logistic(&xs_std, &y, LogisticOptions::default()) {
+            Ok(model) => {
+                rows.push(InfluenceRow {
+                    group,
+                    accuracy: accuracy(&model, &xs_std, &y),
+                    influence: model.normalized_influence(),
+                    n_samples,
+                    optimal_fraction,
+                });
+            }
+            Err(LogRegError::SingleClass) => {
+                // Degenerate group: report zero influence everywhere.
+                rows.push(InfluenceRow {
+                    group,
+                    accuracy: 1.0,
+                    influence: vec![0.0; cols.len()],
+                    n_samples,
+                    optimal_fraction,
+                });
+            }
+            Err(LogRegError::BadShape) => {}
+        }
+    }
+    if rows.is_empty() {
+        return Err(AnalysisError::NoUsableGroups);
+    }
+    Ok(InfluenceHeatMap { group_by, features: cols, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ConfigSpace;
+
+    /// Synthetic records where only KMP_LIBRARY matters: turnaround is
+    /// always optimal, throughput never.
+    fn library_dominated_records() -> Vec<AnalysisRecord> {
+        let space = ConfigSpace::new(Arch::Milan, 48);
+        space
+            .iter()
+            .step_by(7)
+            .map(|config| AnalysisRecord {
+                arch: Arch::Milan,
+                app: "nqueens".into(),
+                input_size: 0.0,
+                speedup: if config.library == KmpLibrary::Turnaround { 2.5 } else { 1.0 },
+                config,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn optimal_label_threshold() {
+        let mut r = AnalysisRecord {
+            arch: Arch::A64fx,
+            app: "cg".into(),
+            input_size: 0.0,
+            config: TuningConfig::default_for(Arch::A64fx, 48),
+            speedup: 1.0,
+        };
+        assert!(!r.is_optimal());
+        r.speedup = 1.011;
+        assert!(r.is_optimal());
+        r.speedup = 1.01;
+        assert!(!r.is_optimal());
+    }
+
+    #[test]
+    fn dominant_feature_gets_dominant_influence() {
+        let records = library_dominated_records();
+        let hm = influence_analysis(&records, GroupBy::Application).unwrap();
+        let infl = hm.influence_of("nqueens", Feature::Library).unwrap();
+        assert!(infl > 0.5, "library influence = {infl}");
+        let row = hm.row("nqueens").unwrap();
+        assert!(row.accuracy > 0.95);
+    }
+
+    #[test]
+    fn grouping_by_architecture_uses_application_feature() {
+        let cols = Feature::columns(GroupBy::Architecture);
+        assert!(cols.contains(&Feature::Application));
+        assert!(!cols.contains(&Feature::Architecture));
+        let cols = Feature::columns(GroupBy::Application);
+        assert!(cols.contains(&Feature::Architecture));
+        assert!(!cols.contains(&Feature::Application));
+        let cols = Feature::columns(GroupBy::ArchApplication);
+        assert!(!cols.contains(&Feature::Application));
+        assert!(!cols.contains(&Feature::Architecture));
+    }
+
+    #[test]
+    fn single_class_group_reports_zero_influence() {
+        // All sub-optimal: no separation boundary exists.
+        let space = ConfigSpace::new(Arch::A64fx, 48);
+        let records: Vec<AnalysisRecord> = space
+            .iter()
+            .take(100)
+            .map(|config| AnalysisRecord {
+                arch: Arch::A64fx,
+                app: "strassen".into(),
+                input_size: 0.0,
+                config,
+                speedup: 1.0,
+            })
+            .collect();
+        let hm = influence_analysis(&records, GroupBy::Application).unwrap();
+        let row = hm.row("strassen").unwrap();
+        assert!(row.influence.iter().all(|v| *v == 0.0));
+        assert_eq!(row.optimal_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(influence_analysis(&[], GroupBy::Application), Err(AnalysisError::NoData));
+    }
+
+    #[test]
+    fn arch_application_grouping_makes_joint_keys() {
+        let mut records = library_dominated_records();
+        for r in &mut records[..50] {
+            r.arch = Arch::Skylake;
+        }
+        let hm = influence_analysis(&records, GroupBy::ArchApplication).unwrap();
+        assert!(hm.row("milan/nqueens").is_some());
+        assert!(hm.row("skylake/nqueens").is_some());
+    }
+
+    #[test]
+    fn render_text_contains_headers_and_groups() {
+        let records = library_dominated_records();
+        let hm = influence_analysis(&records, GroupBy::Application).unwrap();
+        let text = hm.render_text();
+        assert!(text.contains("KMP_LIBRARY"));
+        assert!(text.contains("nqueens"));
+    }
+
+    #[test]
+    fn influence_rows_sum_to_one_or_zero() {
+        let records = library_dominated_records();
+        let hm = influence_analysis(&records, GroupBy::Application).unwrap();
+        for row in &hm.rows {
+            let s: f64 = row.influence.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9 || s == 0.0, "sum={s}");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The three CPU architectures of the study (paper Table I).
+//!
+//! The architecture identity matters to the tuning study in three ways:
+//! the value domain of `KMP_ALIGN_ALLOC` depends on the cache-line size,
+//! the default of `KMP_ALIGN_ALLOC` *is* the cache-line size, and the
+//! machine sizes (cores / sockets / NUMA nodes) bound `OMP_NUM_THREADS`
+//! and shape the place lists.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU architectures used in the paper's evaluation (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Arch {
+    /// Fujitsu A64FX: 48 cores, 4 NUMA nodes, HBM, 256-byte cache lines.
+    A64fx,
+    /// Intel Xeon Gold 6148 (Skylake): 2 × 20 cores, 2 NUMA nodes, DDR4.
+    Skylake,
+    /// AMD EPYC 7643 (Milan): 2 × 48 cores, 8 NUMA nodes, DDR4.
+    Milan,
+}
+
+impl Arch {
+    /// All architectures, in the paper's presentation order.
+    pub const ALL: [Arch; 3] = [Arch::A64fx, Arch::Skylake, Arch::Milan];
+
+    /// Lower-case identifier used in dataset files (e.g. `a64fx-alignment-small`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Arch::A64fx => "a64fx",
+            Arch::Skylake => "skylake",
+            Arch::Milan => "milan",
+        }
+    }
+
+    /// Human-readable name as written in Table I.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Arch::A64fx => "Fujitsu A64FX",
+            Arch::Skylake => "Intel Xeon Gold 6148 (Skylake)",
+            Arch::Milan => "AMD EPYC 7643 (Milan)",
+        }
+    }
+
+    /// Parse a dataset identifier.
+    pub fn from_id(s: &str) -> Option<Arch> {
+        match s {
+            "a64fx" => Some(Arch::A64fx),
+            "skylake" => Some(Arch::Skylake),
+            "milan" => Some(Arch::Milan),
+            _ => None,
+        }
+    }
+
+    /// Total core count (Table I).
+    pub fn cores(self) -> usize {
+        match self {
+            Arch::A64fx => 48,
+            Arch::Skylake => 40,
+            Arch::Milan => 96,
+        }
+    }
+
+    /// Socket count. The A64FX is a single-package part (Table I lists "-").
+    pub fn sockets(self) -> usize {
+        match self {
+            Arch::A64fx => 1,
+            Arch::Skylake => 2,
+            Arch::Milan => 2,
+        }
+    }
+
+    /// NUMA node count (Table I; A64FX CMGs count as NUMA nodes).
+    pub fn numa_nodes(self) -> usize {
+        match self {
+            Arch::A64fx => 4,
+            Arch::Skylake => 2,
+            Arch::Milan => 8,
+        }
+    }
+
+    /// Number of last-level-cache groups. On A64FX the L2 is shared per
+    /// CMG (4 groups); Skylake has one LLC per socket; Milan shares its L3
+    /// per CCX (8-core complexes → 12 groups).
+    pub fn ll_caches(self) -> usize {
+        match self {
+            Arch::A64fx => 4,
+            Arch::Skylake => 2,
+            Arch::Milan => 12,
+        }
+    }
+
+    /// Cache-line size in bytes (Sec. III-7).
+    pub fn cacheline(self) -> u32 {
+        match self {
+            Arch::A64fx => 256,
+            Arch::Skylake | Arch::Milan => 64,
+        }
+    }
+
+    /// Base clock frequency in GHz (Table I).
+    pub fn clock_ghz(self) -> f64 {
+        match self {
+            Arch::A64fx => 1.8,
+            Arch::Skylake => 2.4,
+            Arch::Milan => 2.3,
+        }
+    }
+
+    /// True when the main memory is on-package HBM (A64FX).
+    pub fn has_hbm(self) -> bool {
+        matches!(self, Arch::A64fx)
+    }
+
+    /// Cores per NUMA node.
+    pub fn cores_per_numa(self) -> usize {
+        self.cores() / self.numa_nodes()
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_counts() {
+        assert_eq!(Arch::A64fx.cores(), 48);
+        assert_eq!(Arch::Skylake.cores(), 40);
+        assert_eq!(Arch::Milan.cores(), 96);
+    }
+
+    #[test]
+    fn table1_numa_counts() {
+        assert_eq!(Arch::A64fx.numa_nodes(), 4);
+        assert_eq!(Arch::Skylake.numa_nodes(), 2);
+        assert_eq!(Arch::Milan.numa_nodes(), 8);
+    }
+
+    #[test]
+    fn cachelines_match_section_iii() {
+        assert_eq!(Arch::A64fx.cacheline(), 256);
+        assert_eq!(Arch::Skylake.cacheline(), 64);
+        assert_eq!(Arch::Milan.cacheline(), 64);
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        for a in Arch::ALL {
+            assert_eq!(Arch::from_id(a.id()), Some(a));
+        }
+        assert_eq!(Arch::from_id("power9"), None);
+    }
+
+    #[test]
+    fn cores_divide_evenly_into_numa_nodes() {
+        for a in Arch::ALL {
+            assert_eq!(a.cores_per_numa() * a.numa_nodes(), a.cores());
+        }
+    }
+
+    #[test]
+    fn only_a64fx_has_hbm() {
+        assert!(Arch::A64fx.has_hbm());
+        assert!(!Arch::Skylake.has_hbm());
+        assert!(!Arch::Milan.has_hbm());
+    }
+}

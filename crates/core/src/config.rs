@@ -1,0 +1,320 @@
+//! A complete tuning configuration and the libomp default-derivation rules.
+//!
+//! A [`TuningConfig`] is one point in the sweep: a value for each of the
+//! seven environment variables plus `OMP_NUM_THREADS`. The type also
+//! implements the *derived* semantics the paper describes:
+//!
+//! - `OMP_PROC_BIND` defaults to `false`, **unless** `OMP_PLACES` is set,
+//!   in which case the effective policy is `spread` (Sec. III-2);
+//! - `OMP_WAIT_POLICY` is derived from `KMP_BLOCKTIME` and `KMP_LIBRARY`
+//!   (Sec. III: the paper excludes `OMP_WAIT_POLICY` in favour of the two
+//!   `KMP_*` variables);
+//! - the reduction-method heuristic used when `KMP_FORCE_REDUCTION` is
+//!   unset (Sec. III-6): one thread → no synchronization, 2–4 threads →
+//!   `critical`, more → `tree`;
+//! - the default `KMP_ALIGN_ALLOC` is the architecture cache-line size.
+
+use crate::arch::Arch;
+use crate::envvar::{
+    KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind,
+    OmpSchedule,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The binding policy actually in force after default derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EffectiveBind {
+    /// Threads are unbound and may migrate between places.
+    None,
+    /// All threads share the primary thread's place.
+    Master,
+    /// Threads packed onto places near the parent.
+    Close,
+    /// Threads spread evenly over places.
+    Spread,
+}
+
+/// The wait policy derived from `KMP_BLOCKTIME` × `KMP_LIBRARY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WaitPolicy {
+    /// Sleep immediately when idle (blocktime 0).
+    Passive,
+    /// Spin for a bounded time, then sleep.
+    SpinThenSleep {
+        /// Spin budget in milliseconds.
+        millis: u32,
+        /// Whether the spin loop yields to the OS (`throughput` mode).
+        yielding: bool,
+    },
+    /// Never sleep (blocktime infinite).
+    Active {
+        /// Whether the spin loop yields to the OS (`throughput` mode).
+        yielding: bool,
+    },
+}
+
+/// The reduction method actually used for a given thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReductionMethod {
+    /// Single thread: plain store, no synchronization.
+    None,
+    /// One critical section shared by all threads.
+    Critical,
+    /// Atomic read-modify-write per thread.
+    Atomic,
+    /// Pairwise combination tree.
+    Tree,
+}
+
+impl ReductionMethod {
+    /// libomp's heuristic when `KMP_FORCE_REDUCTION` is unset (Sec. III-6).
+    pub fn heuristic(num_threads: usize) -> ReductionMethod {
+        match num_threads {
+            0 | 1 => ReductionMethod::None,
+            2..=4 => ReductionMethod::Critical,
+            _ => ReductionMethod::Tree,
+        }
+    }
+}
+
+/// One point in the configuration space: all swept variables plus the
+/// thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TuningConfig {
+    pub places: OmpPlaces,
+    pub proc_bind: OmpProcBind,
+    pub schedule: OmpSchedule,
+    pub library: KmpLibrary,
+    pub blocktime: KmpBlocktime,
+    pub force_reduction: KmpForceReduction,
+    pub align_alloc: KmpAlignAlloc,
+    pub num_threads: usize,
+}
+
+impl TuningConfig {
+    /// The default configuration on `arch` with `num_threads` threads —
+    /// what an untouched environment gives you, and the baseline all
+    /// speedups in the study are measured against.
+    pub fn default_for(arch: Arch, num_threads: usize) -> TuningConfig {
+        TuningConfig {
+            places: OmpPlaces::Unset,
+            proc_bind: OmpProcBind::Unset,
+            schedule: OmpSchedule::Static,
+            library: KmpLibrary::Throughput,
+            blocktime: KmpBlocktime::Default200,
+            force_reduction: KmpForceReduction::Unset,
+            align_alloc: KmpAlignAlloc::default_for(arch),
+            num_threads,
+        }
+    }
+
+    /// Whether this config equals the default for `arch` at its own thread
+    /// count.
+    pub fn is_default(&self, arch: Arch) -> bool {
+        *self == TuningConfig::default_for(arch, self.num_threads)
+    }
+
+    /// The binding policy actually in force (Sec. III-2 derivation):
+    /// `unset` → `false` normally, but `spread` when `OMP_PLACES` is set;
+    /// `true` → implementation choice, libomp binds close.
+    pub fn effective_bind(&self) -> EffectiveBind {
+        match self.proc_bind {
+            OmpProcBind::Unset => {
+                if self.places == OmpPlaces::Unset {
+                    EffectiveBind::None
+                } else {
+                    EffectiveBind::Spread
+                }
+            }
+            OmpProcBind::False => EffectiveBind::None,
+            OmpProcBind::Master => EffectiveBind::Master,
+            OmpProcBind::Close => EffectiveBind::Close,
+            OmpProcBind::Spread => EffectiveBind::Spread,
+            OmpProcBind::True => EffectiveBind::Close,
+        }
+    }
+
+    /// The wait policy derived from `KMP_BLOCKTIME` and `KMP_LIBRARY`.
+    pub fn wait_policy(&self) -> WaitPolicy {
+        let yielding = self.library == KmpLibrary::Throughput;
+        match self.blocktime.millis() {
+            Some(0) => WaitPolicy::Passive,
+            Some(ms) => WaitPolicy::SpinThenSleep { millis: ms, yielding },
+            None => WaitPolicy::Active { yielding },
+        }
+    }
+
+    /// The reduction method in force for this config's thread count.
+    pub fn reduction_method(&self) -> ReductionMethod {
+        match self.force_reduction {
+            KmpForceReduction::Unset => ReductionMethod::heuristic(self.num_threads),
+            KmpForceReduction::Tree => ReductionMethod::Tree,
+            KmpForceReduction::Critical => ReductionMethod::Critical,
+            KmpForceReduction::Atomic => ReductionMethod::Atomic,
+        }
+    }
+
+    /// Export as the environment-variable map a job script would set.
+    /// Unset variables are absent from the map.
+    pub fn to_env(&self) -> BTreeMap<String, String> {
+        let mut env = BTreeMap::new();
+        if let Some(v) = self.places.env_value() {
+            env.insert("OMP_PLACES".into(), v.into());
+        }
+        if let Some(v) = self.proc_bind.env_value() {
+            env.insert("OMP_PROC_BIND".into(), v.into());
+        }
+        env.insert("OMP_SCHEDULE".into(), self.schedule.env_value().into());
+        env.insert("KMP_LIBRARY".into(), self.library.env_value().into());
+        env.insert("KMP_BLOCKTIME".into(), self.blocktime.env_value().into());
+        if let Some(v) = self.force_reduction.env_value() {
+            env.insert("KMP_FORCE_REDUCTION".into(), v.into());
+        }
+        env.insert("KMP_ALIGN_ALLOC".into(), self.align_alloc.env_value());
+        env.insert("OMP_NUM_THREADS".into(), self.num_threads.to_string());
+        env
+    }
+
+    /// Reconstruct a config from an environment map (inverse of
+    /// [`TuningConfig::to_env`]). Unknown values yield `None`.
+    pub fn from_env(env: &BTreeMap<String, String>, arch: Arch) -> Option<TuningConfig> {
+        let get = |k: &str| env.get(k).map(String::as_str);
+        Some(TuningConfig {
+            places: OmpPlaces::parse(get("OMP_PLACES"))?,
+            proc_bind: OmpProcBind::parse(get("OMP_PROC_BIND"))?,
+            schedule: OmpSchedule::parse(get("OMP_SCHEDULE"))?,
+            library: KmpLibrary::parse(get("KMP_LIBRARY"))?,
+            blocktime: KmpBlocktime::parse(get("KMP_BLOCKTIME"))?,
+            force_reduction: KmpForceReduction::parse(get("KMP_FORCE_REDUCTION"))?,
+            align_alloc: KmpAlignAlloc::parse(get("KMP_ALIGN_ALLOC"), arch)?,
+            num_threads: get("OMP_NUM_THREADS").and_then(|s| s.parse().ok())?,
+        })
+    }
+
+    /// Compact single-line description used in reports and logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "places={} bind={} sched={} lib={} blocktime={} red={} align={} threads={}",
+            self.places.env_value().unwrap_or("unset"),
+            self.proc_bind.env_value().unwrap_or("unset"),
+            self.schedule.env_value(),
+            self.library.env_value(),
+            self.blocktime.env_value(),
+            self.force_reduction.env_value().unwrap_or("unset"),
+            self.align_alloc.bytes(),
+            self.num_threads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_section_iii() {
+        let c = TuningConfig::default_for(Arch::Skylake, 40);
+        assert_eq!(c.places, OmpPlaces::Unset);
+        assert_eq!(c.proc_bind, OmpProcBind::Unset);
+        assert_eq!(c.schedule, OmpSchedule::Static);
+        assert_eq!(c.library, KmpLibrary::Throughput);
+        assert_eq!(c.blocktime, KmpBlocktime::Default200);
+        assert_eq!(c.force_reduction, KmpForceReduction::Unset);
+        assert_eq!(c.align_alloc.bytes(), 64);
+        assert!(c.is_default(Arch::Skylake));
+    }
+
+    #[test]
+    fn a64fx_default_alignment_is_256() {
+        let c = TuningConfig::default_for(Arch::A64fx, 48);
+        assert_eq!(c.align_alloc.bytes(), 256);
+    }
+
+    #[test]
+    fn unset_bind_with_places_becomes_spread() {
+        let mut c = TuningConfig::default_for(Arch::Milan, 96);
+        assert_eq!(c.effective_bind(), EffectiveBind::None);
+        c.places = OmpPlaces::Cores;
+        assert_eq!(c.effective_bind(), EffectiveBind::Spread);
+    }
+
+    #[test]
+    fn explicit_binds_pass_through() {
+        let mut c = TuningConfig::default_for(Arch::Milan, 96);
+        c.proc_bind = OmpProcBind::Master;
+        assert_eq!(c.effective_bind(), EffectiveBind::Master);
+        c.proc_bind = OmpProcBind::False;
+        c.places = OmpPlaces::Cores;
+        assert_eq!(c.effective_bind(), EffectiveBind::None);
+        c.proc_bind = OmpProcBind::True;
+        assert_eq!(c.effective_bind(), EffectiveBind::Close);
+    }
+
+    #[test]
+    fn wait_policy_derivation() {
+        let mut c = TuningConfig::default_for(Arch::A64fx, 48);
+        assert_eq!(
+            c.wait_policy(),
+            WaitPolicy::SpinThenSleep { millis: 200, yielding: true }
+        );
+        c.blocktime = KmpBlocktime::Zero;
+        assert_eq!(c.wait_policy(), WaitPolicy::Passive);
+        c.blocktime = KmpBlocktime::Infinite;
+        c.library = KmpLibrary::Turnaround;
+        assert_eq!(c.wait_policy(), WaitPolicy::Active { yielding: false });
+    }
+
+    #[test]
+    fn reduction_heuristic_thresholds() {
+        assert_eq!(ReductionMethod::heuristic(1), ReductionMethod::None);
+        assert_eq!(ReductionMethod::heuristic(2), ReductionMethod::Critical);
+        assert_eq!(ReductionMethod::heuristic(4), ReductionMethod::Critical);
+        assert_eq!(ReductionMethod::heuristic(5), ReductionMethod::Tree);
+        assert_eq!(ReductionMethod::heuristic(96), ReductionMethod::Tree);
+    }
+
+    #[test]
+    fn forced_reduction_overrides_heuristic() {
+        let mut c = TuningConfig::default_for(Arch::Milan, 96);
+        c.force_reduction = KmpForceReduction::Atomic;
+        assert_eq!(c.reduction_method(), ReductionMethod::Atomic);
+    }
+
+    #[test]
+    fn env_roundtrip_default() {
+        let c = TuningConfig::default_for(Arch::Milan, 48);
+        let env = c.to_env();
+        // Unset variables must be absent, like a real job script.
+        assert!(!env.contains_key("OMP_PLACES"));
+        assert!(!env.contains_key("OMP_PROC_BIND"));
+        assert!(!env.contains_key("KMP_FORCE_REDUCTION"));
+        assert_eq!(TuningConfig::from_env(&env, Arch::Milan), Some(c));
+    }
+
+    #[test]
+    fn env_roundtrip_fully_set() {
+        let c = TuningConfig {
+            places: OmpPlaces::LlCaches,
+            proc_bind: OmpProcBind::Spread,
+            schedule: OmpSchedule::Guided,
+            library: KmpLibrary::Turnaround,
+            blocktime: KmpBlocktime::Infinite,
+            force_reduction: KmpForceReduction::Tree,
+            align_alloc: KmpAlignAlloc(512),
+            num_threads: 17,
+        };
+        let env = c.to_env();
+        assert_eq!(env["OMP_PLACES"], "ll_caches");
+        assert_eq!(env["KMP_BLOCKTIME"], "infinite");
+        assert_eq!(TuningConfig::from_env(&env, Arch::Skylake), Some(c));
+    }
+
+    #[test]
+    fn describe_mentions_every_variable() {
+        let d = TuningConfig::default_for(Arch::A64fx, 48).describe();
+        for key in ["places=", "bind=", "sched=", "lib=", "blocktime=", "red=", "align=", "threads="] {
+            assert!(d.contains(key), "missing {key} in {d}");
+        }
+    }
+}

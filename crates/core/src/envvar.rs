@@ -1,0 +1,449 @@
+//! Typed models of the seven swept environment variables (paper Sec. III).
+//!
+//! Each variable is an enum over exactly the values the paper explores,
+//! with the paper's exclusions applied:
+//!
+//! - `OMP_PLACES`: `threads` is skipped (no SMT machines in the study) and
+//!   `numa_domains` is skipped (needs hwloc; left for future work).
+//! - `KMP_LIBRARY`: `serial` is skipped (forces serial execution).
+//! - `KMP_BLOCKTIME`: only `0`, `200` and `infinite` are explored out of
+//!   `[0, INT32_MAX]`.
+//! - `KMP_ALIGN_ALLOC`: the domain depends on the architecture cache line
+//!   ({256, 512} on A64FX; {64, 128, 256, 512} on x86).
+//!
+//! Every enum knows its environment-string spelling (`env_value`), how to
+//! parse it back, and its full value domain, so configurations round-trip
+//! through the textual form used in job scripts.
+
+use crate::arch::Arch;
+use serde::{Deserialize, Serialize};
+
+/// `OMP_PLACES` — how threads are distributed among places (Sec. III-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OmpPlaces {
+    /// Variable not set: threads may be migrated freely by the OS.
+    Unset,
+    /// One place per physical core.
+    Cores,
+    /// One place per last-level-cache group.
+    LlCaches,
+    /// One place per socket.
+    Sockets,
+}
+
+impl OmpPlaces {
+    /// All values the study sweeps.
+    pub const ALL: [OmpPlaces; 4] =
+        [OmpPlaces::Unset, OmpPlaces::Cores, OmpPlaces::LlCaches, OmpPlaces::Sockets];
+
+    /// Spelling used when exporting the variable; `None` means "leave unset".
+    pub fn env_value(self) -> Option<&'static str> {
+        match self {
+            OmpPlaces::Unset => None,
+            OmpPlaces::Cores => Some("cores"),
+            OmpPlaces::LlCaches => Some("ll_caches"),
+            OmpPlaces::Sockets => Some("sockets"),
+        }
+    }
+
+    /// Parse an environment spelling; `None` input means unset.
+    pub fn parse(s: Option<&str>) -> Option<OmpPlaces> {
+        match s {
+            None | Some("") => Some(OmpPlaces::Unset),
+            Some("cores") => Some(OmpPlaces::Cores),
+            Some("ll_caches") => Some(OmpPlaces::LlCaches),
+            Some("sockets") => Some(OmpPlaces::Sockets),
+            _ => None,
+        }
+    }
+
+    /// Number of places this granularity creates on `arch`.
+    pub fn place_count(self, arch: Arch) -> usize {
+        match self {
+            OmpPlaces::Unset => 1, // one unconstrained "place"
+            OmpPlaces::Cores => arch.cores(),
+            OmpPlaces::LlCaches => arch.ll_caches(),
+            OmpPlaces::Sockets => arch.sockets(),
+        }
+    }
+}
+
+/// `OMP_PROC_BIND` — thread binding/affinity policy (Sec. III-2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OmpProcBind {
+    /// Not set. Defaults to `false`, unless `OMP_PLACES` is set, in which
+    /// case the effective policy is `spread`.
+    Unset,
+    /// Deprecated spelling of `primary`: bind everything to the primary
+    /// thread's place.
+    Master,
+    /// Bind threads to places close to the parent thread.
+    Close,
+    /// Spread threads as evenly as possible over places.
+    Spread,
+    /// `true`: bind, implementation picks the strategy.
+    True,
+    /// `false`: threads are not bound and may migrate between places.
+    False,
+}
+
+impl OmpProcBind {
+    /// All values the study sweeps.
+    pub const ALL: [OmpProcBind; 6] = [
+        OmpProcBind::Unset,
+        OmpProcBind::Master,
+        OmpProcBind::Close,
+        OmpProcBind::Spread,
+        OmpProcBind::True,
+        OmpProcBind::False,
+    ];
+
+    /// Spelling used when exporting; `None` means "leave unset".
+    pub fn env_value(self) -> Option<&'static str> {
+        match self {
+            OmpProcBind::Unset => None,
+            OmpProcBind::Master => Some("master"),
+            OmpProcBind::Close => Some("close"),
+            OmpProcBind::Spread => Some("spread"),
+            OmpProcBind::True => Some("true"),
+            OmpProcBind::False => Some("false"),
+        }
+    }
+
+    /// Parse an environment spelling (`primary` accepted as `master`).
+    pub fn parse(s: Option<&str>) -> Option<OmpProcBind> {
+        match s {
+            None | Some("") => Some(OmpProcBind::Unset),
+            Some("master") | Some("primary") => Some(OmpProcBind::Master),
+            Some("close") => Some(OmpProcBind::Close),
+            Some("spread") => Some(OmpProcBind::Spread),
+            Some("true") => Some(OmpProcBind::True),
+            Some("false") => Some(OmpProcBind::False),
+            _ => None,
+        }
+    }
+}
+
+/// `OMP_SCHEDULE` — worksharing-loop schedule kind (Sec. III-3). The study
+/// sweeps all kinds but no explicit chunk sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OmpSchedule {
+    /// Near-equal contiguous blocks, decided at loop entry. The default.
+    Static,
+    /// Chunks handed out on demand from a shared counter.
+    Dynamic,
+    /// Exponentially decreasing chunk sizes.
+    Guided,
+    /// Implementation choice (libomp maps it to static).
+    Auto,
+}
+
+impl OmpSchedule {
+    /// All values the study sweeps.
+    pub const ALL: [OmpSchedule; 4] =
+        [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided, OmpSchedule::Auto];
+
+    /// Spelling used when exporting.
+    pub fn env_value(self) -> &'static str {
+        match self {
+            OmpSchedule::Static => "static",
+            OmpSchedule::Dynamic => "dynamic",
+            OmpSchedule::Guided => "guided",
+            OmpSchedule::Auto => "auto",
+        }
+    }
+
+    /// Parse an environment spelling; unset means the default (`static`).
+    pub fn parse(s: Option<&str>) -> Option<OmpSchedule> {
+        match s {
+            None | Some("") => Some(OmpSchedule::Static),
+            Some("static") => Some(OmpSchedule::Static),
+            Some("dynamic") => Some(OmpSchedule::Dynamic),
+            Some("guided") => Some(OmpSchedule::Guided),
+            Some("auto") => Some(OmpSchedule::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// `KMP_LIBRARY` — runtime execution mode (Sec. III-4). `serial` exists but
+/// is excluded from the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum KmpLibrary {
+    /// Default: cooperative waiting (spin briefly, yield, eventually sleep)
+    /// so the machine can be shared.
+    Throughput,
+    /// Dedicated-machine mode: workers burn their CPU while waiting for
+    /// work, minimizing wake-up latency.
+    Turnaround,
+}
+
+impl KmpLibrary {
+    /// All values the study sweeps.
+    pub const ALL: [KmpLibrary; 2] = [KmpLibrary::Throughput, KmpLibrary::Turnaround];
+
+    /// Spelling used when exporting.
+    pub fn env_value(self) -> &'static str {
+        match self {
+            KmpLibrary::Throughput => "throughput",
+            KmpLibrary::Turnaround => "turnaround",
+        }
+    }
+
+    /// Parse an environment spelling; unset means the default.
+    pub fn parse(s: Option<&str>) -> Option<KmpLibrary> {
+        match s {
+            None | Some("") => Some(KmpLibrary::Throughput),
+            Some("throughput") => Some(KmpLibrary::Throughput),
+            Some("turnaround") => Some(KmpLibrary::Turnaround),
+            _ => None,
+        }
+    }
+}
+
+/// `KMP_BLOCKTIME` — how long a worker spins after a parallel region before
+/// going to sleep (Sec. III-5). The sweep uses `0`, `200` (default) and
+/// `infinite`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum KmpBlocktime {
+    /// Sleep immediately when idle.
+    Zero,
+    /// Spin for 200 ms, then sleep (the default).
+    Default200,
+    /// Never sleep.
+    Infinite,
+}
+
+impl KmpBlocktime {
+    /// All values the study sweeps.
+    pub const ALL: [KmpBlocktime; 3] =
+        [KmpBlocktime::Zero, KmpBlocktime::Default200, KmpBlocktime::Infinite];
+
+    /// Spelling used when exporting.
+    pub fn env_value(self) -> &'static str {
+        match self {
+            KmpBlocktime::Zero => "0",
+            KmpBlocktime::Default200 => "200",
+            KmpBlocktime::Infinite => "infinite",
+        }
+    }
+
+    /// Blocktime in milliseconds; `None` for `infinite`.
+    pub fn millis(self) -> Option<u32> {
+        match self {
+            KmpBlocktime::Zero => Some(0),
+            KmpBlocktime::Default200 => Some(200),
+            KmpBlocktime::Infinite => None,
+        }
+    }
+
+    /// Parse an environment spelling; unset means the 200 ms default.
+    /// Arbitrary numeric values collapse onto the nearest swept value.
+    pub fn parse(s: Option<&str>) -> Option<KmpBlocktime> {
+        match s {
+            None | Some("") => Some(KmpBlocktime::Default200),
+            Some("infinite") => Some(KmpBlocktime::Infinite),
+            Some(num) => {
+                let v: i64 = num.parse().ok()?;
+                if v < 0 {
+                    None
+                } else if v == 0 {
+                    Some(KmpBlocktime::Zero)
+                } else {
+                    Some(KmpBlocktime::Default200)
+                }
+            }
+        }
+    }
+}
+
+/// `KMP_FORCE_REDUCTION` — cross-thread reduction method (Sec. III-6,
+/// undocumented in libomp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum KmpForceReduction {
+    /// Not set: a heuristic picks the method from the thread count
+    /// (1 → none, 2–4 → critical, ≥5 → tree); see
+    /// [`crate::config::ReductionMethod::heuristic`].
+    Unset,
+    /// Logarithmic pairwise combination tree.
+    Tree,
+    /// Every thread combines into the shared value under one critical section.
+    Critical,
+    /// Every thread combines with an atomic RMW.
+    Atomic,
+}
+
+impl KmpForceReduction {
+    /// All values the study sweeps.
+    pub const ALL: [KmpForceReduction; 4] = [
+        KmpForceReduction::Unset,
+        KmpForceReduction::Tree,
+        KmpForceReduction::Critical,
+        KmpForceReduction::Atomic,
+    ];
+
+    /// Spelling used when exporting; `None` means "leave unset".
+    pub fn env_value(self) -> Option<&'static str> {
+        match self {
+            KmpForceReduction::Unset => None,
+            KmpForceReduction::Tree => Some("tree"),
+            KmpForceReduction::Critical => Some("critical"),
+            KmpForceReduction::Atomic => Some("atomic"),
+        }
+    }
+
+    /// Parse an environment spelling; `None` input means unset.
+    pub fn parse(s: Option<&str>) -> Option<KmpForceReduction> {
+        match s {
+            None | Some("") => Some(KmpForceReduction::Unset),
+            Some("tree") => Some(KmpForceReduction::Tree),
+            Some("critical") => Some(KmpForceReduction::Critical),
+            Some("atomic") => Some(KmpForceReduction::Atomic),
+            _ => None,
+        }
+    }
+}
+
+/// `KMP_ALIGN_ALLOC` — alignment of the runtime's internal allocations
+/// (Sec. III-7, undocumented). Value domain and default depend on the
+/// architecture cache-line size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KmpAlignAlloc(pub u32);
+
+impl KmpAlignAlloc {
+    /// The values swept on `arch`: {256, 512} on A64FX (256-byte lines),
+    /// {64, 128, 256, 512} on the x86 machines (64-byte lines).
+    pub fn domain(arch: Arch) -> &'static [KmpAlignAlloc] {
+        const A64FX: [KmpAlignAlloc; 2] = [KmpAlignAlloc(256), KmpAlignAlloc(512)];
+        const X86: [KmpAlignAlloc; 4] =
+            [KmpAlignAlloc(64), KmpAlignAlloc(128), KmpAlignAlloc(256), KmpAlignAlloc(512)];
+        match arch {
+            Arch::A64fx => &A64FX,
+            Arch::Skylake | Arch::Milan => &X86,
+        }
+    }
+
+    /// The default: the architecture's cache-line size.
+    pub fn default_for(arch: Arch) -> KmpAlignAlloc {
+        KmpAlignAlloc(arch.cacheline())
+    }
+
+    /// Alignment in bytes.
+    pub fn bytes(self) -> u32 {
+        self.0
+    }
+
+    /// Spelling used when exporting.
+    pub fn env_value(self) -> String {
+        self.0.to_string()
+    }
+
+    /// Parse an environment spelling; unset means the per-arch default.
+    /// Rejects non-power-of-two and out-of-range alignments.
+    pub fn parse(s: Option<&str>, arch: Arch) -> Option<KmpAlignAlloc> {
+        match s {
+            None | Some("") => Some(KmpAlignAlloc::default_for(arch)),
+            Some(num) => {
+                let v: u32 = num.parse().ok()?;
+                if v.is_power_of_two() && (8..=4096).contains(&v) {
+                    Some(KmpAlignAlloc(v))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn places_domain_matches_paper_exclusions() {
+        // threads and numa_domains are excluded; 4 values remain.
+        assert_eq!(OmpPlaces::ALL.len(), 4);
+        assert!(OmpPlaces::parse(Some("threads")).is_none());
+        assert!(OmpPlaces::parse(Some("numa_domains")).is_none());
+    }
+
+    #[test]
+    fn places_env_roundtrip() {
+        for p in OmpPlaces::ALL {
+            assert_eq!(OmpPlaces::parse(p.env_value()), Some(p));
+        }
+    }
+
+    #[test]
+    fn place_counts_per_arch() {
+        assert_eq!(OmpPlaces::Cores.place_count(Arch::Milan), 96);
+        assert_eq!(OmpPlaces::Sockets.place_count(Arch::Skylake), 2);
+        assert_eq!(OmpPlaces::LlCaches.place_count(Arch::A64fx), 4);
+        assert_eq!(OmpPlaces::Unset.place_count(Arch::A64fx), 1);
+    }
+
+    #[test]
+    fn proc_bind_accepts_primary_alias() {
+        assert_eq!(OmpProcBind::parse(Some("primary")), Some(OmpProcBind::Master));
+    }
+
+    #[test]
+    fn proc_bind_env_roundtrip() {
+        for p in OmpProcBind::ALL {
+            assert_eq!(OmpProcBind::parse(p.env_value()), Some(p));
+        }
+    }
+
+    #[test]
+    fn schedule_default_is_static() {
+        assert_eq!(OmpSchedule::parse(None), Some(OmpSchedule::Static));
+        assert_eq!(OmpSchedule::ALL.len(), 4);
+    }
+
+    #[test]
+    fn library_excludes_serial() {
+        assert_eq!(KmpLibrary::ALL.len(), 2);
+        assert!(KmpLibrary::parse(Some("serial")).is_none());
+        assert_eq!(KmpLibrary::parse(None), Some(KmpLibrary::Throughput));
+    }
+
+    #[test]
+    fn blocktime_millis() {
+        assert_eq!(KmpBlocktime::Zero.millis(), Some(0));
+        assert_eq!(KmpBlocktime::Default200.millis(), Some(200));
+        assert_eq!(KmpBlocktime::Infinite.millis(), None);
+    }
+
+    #[test]
+    fn blocktime_parse_collapses_numbers() {
+        assert_eq!(KmpBlocktime::parse(Some("0")), Some(KmpBlocktime::Zero));
+        assert_eq!(KmpBlocktime::parse(Some("500")), Some(KmpBlocktime::Default200));
+        assert_eq!(KmpBlocktime::parse(Some("-1")), None);
+        assert_eq!(KmpBlocktime::parse(Some("infinite")), Some(KmpBlocktime::Infinite));
+    }
+
+    #[test]
+    fn align_alloc_domain_per_arch() {
+        assert_eq!(KmpAlignAlloc::domain(Arch::A64fx).len(), 2);
+        assert_eq!(KmpAlignAlloc::domain(Arch::Skylake).len(), 4);
+        assert_eq!(KmpAlignAlloc::default_for(Arch::A64fx), KmpAlignAlloc(256));
+        assert_eq!(KmpAlignAlloc::default_for(Arch::Milan), KmpAlignAlloc(64));
+    }
+
+    #[test]
+    fn align_alloc_rejects_bad_values() {
+        assert!(KmpAlignAlloc::parse(Some("100"), Arch::Milan).is_none()); // not pow2
+        assert!(KmpAlignAlloc::parse(Some("4"), Arch::Milan).is_none()); // too small
+        assert!(KmpAlignAlloc::parse(Some("8192"), Arch::Milan).is_none()); // too big
+        assert_eq!(
+            KmpAlignAlloc::parse(Some("128"), Arch::Milan),
+            Some(KmpAlignAlloc(128))
+        );
+    }
+
+    #[test]
+    fn force_reduction_default_unset() {
+        assert_eq!(KmpForceReduction::parse(None), Some(KmpForceReduction::Unset));
+        assert_eq!(KmpForceReduction::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Internal Control Variables (ICVs).
+//!
+//! The OpenMP specification defines runtime behaviour in terms of ICVs;
+//! environment variables are just one way to initialize them (paper
+//! Sec. I: "these methods influence the value of Internal Control
+//! Variables (ICVs) which control different aspects of the OpenMP
+//! runtime"). [`IcvState`] is the resolved snapshot a device would hold
+//! after consuming a [`TuningConfig`] — the standardized ICVs the paper
+//! names plus the implementation-defined extensions the study adds.
+
+use crate::arch::Arch;
+use crate::config::{EffectiveBind, ReductionMethod, TuningConfig, WaitPolicy};
+use crate::envvar::OmpSchedule;
+use crate::placement::Placement;
+use serde::{Deserialize, Serialize};
+
+/// A resolved ICV snapshot for one device/team.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IcvState {
+    /// `nthreads-var`: team size for the next parallel region.
+    pub nthreads: usize,
+    /// `run-sched-var`: schedule used by `schedule(runtime)` loops.
+    pub run_sched: OmpSchedule,
+    /// `bind-var`: the binding policy actually in force (after the
+    /// places/bind default interaction of Sec. III-2).
+    pub bind: EffectiveBind,
+    /// `place-partition-var`: the resolved thread → place assignment.
+    pub place_partition: Placement,
+    /// `wait-policy-var`: derived from `KMP_BLOCKTIME` × `KMP_LIBRARY`.
+    pub wait_policy: WaitPolicy,
+    /// Implementation-defined: the reduction method in force.
+    pub reduction_method: ReductionMethod,
+    /// Implementation-defined: internal allocation alignment in bytes.
+    pub align_alloc: u32,
+}
+
+impl IcvState {
+    /// Resolve the ICVs a fresh device would derive from `config` on
+    /// `arch`.
+    pub fn resolve(arch: Arch, config: &TuningConfig) -> IcvState {
+        IcvState {
+            nthreads: config.num_threads,
+            run_sched: config.schedule,
+            bind: config.effective_bind(),
+            place_partition: Placement::compute(arch, config),
+            wait_policy: config.wait_policy(),
+            reduction_method: config.reduction_method(),
+            align_alloc: config.align_alloc.bytes(),
+        }
+    }
+
+    /// Number of places in the partition (0 when unbound).
+    pub fn place_count(&self) -> usize {
+        match &self.place_partition {
+            Placement::Unbound => 0,
+            Placement::Bound { n_places, .. } => *n_places,
+        }
+    }
+
+    /// Render as the `OMP_DISPLAY_ENV`-style block libomp prints.
+    pub fn display_env(&self) -> String {
+        format!(
+            "OPENMP DISPLAY ENVIRONMENT BEGIN\n\
+             \x20 _OPENMP = '201811'\n\
+             \x20 [host] OMP_NUM_THREADS = '{}'\n\
+             \x20 [host] OMP_SCHEDULE = '{}'\n\
+             \x20 [host] OMP_PROC_BIND (effective) = '{:?}'\n\
+             \x20 [host] OMP_PLACES (count) = '{}'\n\
+             \x20 [host] wait policy = '{:?}'\n\
+             \x20 [host] reduction method = '{:?}'\n\
+             \x20 [host] KMP_ALIGN_ALLOC = '{}'\n\
+             OPENMP DISPLAY ENVIRONMENT END\n",
+            self.nthreads,
+            self.run_sched.env_value(),
+            self.bind,
+            self.place_count(),
+            self.wait_policy,
+            self.reduction_method,
+            self.align_alloc,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envvar::{KmpBlocktime, KmpLibrary, OmpPlaces, OmpProcBind};
+
+    #[test]
+    fn default_icvs_match_section_iii() {
+        let c = TuningConfig::default_for(Arch::Skylake, 40);
+        let icv = IcvState::resolve(Arch::Skylake, &c);
+        assert_eq!(icv.nthreads, 40);
+        assert_eq!(icv.run_sched, OmpSchedule::Static);
+        assert_eq!(icv.bind, EffectiveBind::None);
+        assert_eq!(icv.place_count(), 0);
+        assert_eq!(
+            icv.wait_policy,
+            WaitPolicy::SpinThenSleep { millis: 200, yielding: true }
+        );
+        assert_eq!(icv.reduction_method, ReductionMethod::Tree);
+        assert_eq!(icv.align_alloc, 64);
+    }
+
+    #[test]
+    fn places_set_resolves_spread_partition() {
+        let mut c = TuningConfig::default_for(Arch::Milan, 96);
+        c.places = OmpPlaces::Sockets;
+        let icv = IcvState::resolve(Arch::Milan, &c);
+        assert_eq!(icv.bind, EffectiveBind::Spread);
+        assert_eq!(icv.place_count(), 2);
+    }
+
+    #[test]
+    fn turnaround_infinite_is_hard_spin() {
+        let mut c = TuningConfig::default_for(Arch::A64fx, 48);
+        c.library = KmpLibrary::Turnaround;
+        c.blocktime = KmpBlocktime::Infinite;
+        c.proc_bind = OmpProcBind::Close;
+        let icv = IcvState::resolve(Arch::A64fx, &c);
+        assert_eq!(icv.wait_policy, WaitPolicy::Active { yielding: false });
+        assert_eq!(icv.bind, EffectiveBind::Close);
+    }
+
+    #[test]
+    fn display_env_mentions_every_icv() {
+        let c = TuningConfig::default_for(Arch::A64fx, 48);
+        let text = IcvState::resolve(Arch::A64fx, &c).display_env();
+        for needle in [
+            "OMP_NUM_THREADS = '48'",
+            "OMP_SCHEDULE = 'static'",
+            "KMP_ALIGN_ALLOC = '256'",
+            "ENVIRONMENT BEGIN",
+            "ENVIRONMENT END",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Feature encoding and normalization.
+//!
+//! The paper encodes categorical features (architecture, application, and
+//! the categorical environment variables) with a "naive numeric scheme" —
+//! each category level maps to a small integer — and standardizes columns
+//! before fitting. These utilities reproduce that preprocessing.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-column z-score standardizer: `x' = (x - mean) / std`.
+///
+/// Constant columns are left centered but unscaled (std treated as 1), the
+/// same behaviour as scikit-learn's `StandardScaler`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    pub means: Vec<f64>,
+    pub stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit a scaler to rows of equal width.
+    ///
+    /// # Panics
+    /// Panics on empty or ragged input.
+    pub fn fit(xs: &[Vec<f64>]) -> StandardScaler {
+        assert!(!xs.is_empty(), "cannot fit scaler to empty data");
+        let d = xs[0].len();
+        assert!(xs.iter().all(|r| r.len() == d), "ragged rows");
+        let n = xs.len() as f64;
+        let mut means = vec![0.0f64; d];
+        for r in xs {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0f64; d];
+        for r in xs {
+            for ((s, v), m) in stds.iter_mut().zip(r).zip(&means) {
+                let e = v - m;
+                *s += e * e;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.means.len(), "width mismatch");
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a whole dataset, returning new rows.
+    pub fn transform(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter()
+            .map(|r| {
+                let mut out = r.clone();
+                self.transform_row(&mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(xs: &[Vec<f64>]) -> (StandardScaler, Vec<Vec<f64>>) {
+        let s = StandardScaler::fit(xs);
+        let t = s.transform(xs);
+        (s, t)
+    }
+}
+
+/// A stable category → numeric-code encoder (the paper's "naive numeric
+/// scheme"). Codes are assigned in first-seen order starting from 0.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategoryEncoder {
+    levels: Vec<String>,
+}
+
+impl CategoryEncoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an encoder with a fixed level order.
+    pub fn with_levels<S: Into<String>>(levels: impl IntoIterator<Item = S>) -> Self {
+        CategoryEncoder { levels: levels.into_iter().map(Into::into).collect() }
+    }
+
+    /// Encode a level, assigning a fresh code on first sight.
+    pub fn encode(&mut self, level: &str) -> f64 {
+        match self.levels.iter().position(|l| l == level) {
+            Some(i) => i as f64,
+            None => {
+                self.levels.push(level.to_string());
+                (self.levels.len() - 1) as f64
+            }
+        }
+    }
+
+    /// Look up a level without inserting. `None` when unseen.
+    pub fn code_of(&self, level: &str) -> Option<f64> {
+        self.levels.iter().position(|l| l == level).map(|i| i as f64)
+    }
+
+    /// Reverse lookup from a code.
+    pub fn level_of(&self, code: usize) -> Option<&str> {
+        self.levels.get(code).map(String::as_str)
+    }
+
+    /// Number of distinct levels seen so far.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// True when no level has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_zero_mean_unit_std() {
+        let xs = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let (_, t) = StandardScaler::fit_transform(&xs);
+        for col in 0..2 {
+            let column: Vec<f64> = t.iter().map(|r| r[col]).collect();
+            assert!(crate::describe::mean(&column).abs() < 1e-12);
+            assert!((crate::describe::std_population(&column) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_constant_column_is_centered_not_scaled() {
+        let xs = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let (s, t) = StandardScaler::fit_transform(&xs);
+        assert_eq!(s.stds[0], 1.0);
+        assert!(t.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn encoder_assigns_stable_codes() {
+        let mut e = CategoryEncoder::new();
+        assert_eq!(e.encode("a64fx"), 0.0);
+        assert_eq!(e.encode("milan"), 1.0);
+        assert_eq!(e.encode("a64fx"), 0.0);
+        assert_eq!(e.encode("skylake"), 2.0);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.code_of("milan"), Some(1.0));
+        assert_eq!(e.code_of("power9"), None);
+        assert_eq!(e.level_of(2), Some("skylake"));
+    }
+
+    #[test]
+    fn encoder_with_fixed_levels() {
+        let e = CategoryEncoder::with_levels(["x", "y"]);
+        assert_eq!(e.code_of("y"), Some(1.0));
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn scaler_rejects_empty() {
+        let _ = StandardScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Violin-plot summaries.
+//!
+//! The paper visualizes the speedup distribution of the full configuration
+//! sweep per (architecture, input size) as violin plots (Fig. 1 and the
+//! appendix Figs. 5–7). A violin is a kernel density estimate mirrored
+//! around an axis plus the quartile box. We compute both the Gaussian KDE
+//! profile and the quartiles so the reproduction binaries can render
+//! text/CSV violins that carry the same information.
+
+use crate::describe::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Density profile + quartiles for one violin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolinSummary {
+    /// Descriptive statistics of the underlying sample.
+    pub stats: Summary,
+    /// Grid positions where the density is evaluated (ascending).
+    pub grid: Vec<f64>,
+    /// KDE density at each grid position (unnormalized max = 1.0).
+    pub density: Vec<f64>,
+    /// Bandwidth actually used (Silverman's rule unless overridden).
+    pub bandwidth: f64,
+}
+
+impl ViolinSummary {
+    /// Build a violin from a sample using `points` density evaluations.
+    ///
+    /// Returns `None` for an empty sample. Bandwidth follows Silverman's
+    /// rule of thumb `0.9 * min(std, IQR/1.34) * n^(-1/5)`, floored to a
+    /// small positive value so degenerate (constant) samples still render.
+    pub fn of(xs: &[f64], points: usize) -> Option<ViolinSummary> {
+        let stats = Summary::of(xs)?;
+        let spread = if stats.std > 0.0 {
+            stats.std.min(stats.iqr() / 1.34).max(stats.std * 0.1)
+        } else {
+            0.0
+        };
+        let bw = (0.9 * spread * (xs.len() as f64).powf(-0.2)).max(1e-9);
+
+        let lo = stats.min - 3.0 * bw;
+        let hi = stats.max + 3.0 * bw;
+        let n_points = points.max(2);
+        let step = (hi - lo) / (n_points - 1) as f64;
+        let grid: Vec<f64> = (0..n_points).map(|i| lo + step * i as f64).collect();
+
+        let mut density: Vec<f64> = grid
+            .iter()
+            .map(|&g| {
+                xs.iter()
+                    .map(|&x| {
+                        let u = (g - x) / bw;
+                        (-0.5 * u * u).exp()
+                    })
+                    .sum::<f64>()
+            })
+            .collect();
+        let max = density.iter().cloned().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            for d in &mut density {
+                *d /= max;
+            }
+        }
+        Some(ViolinSummary { stats, grid, density, bandwidth: bw })
+    }
+
+    /// Export as CSV rows (`position,density`) for external plotting —
+    /// the open-data form of Figs. 1 and 5-7.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("position,density\n");
+        for (g, d) in self.grid.iter().zip(&self.density) {
+            out.push_str(&format!("{g:.6},{d:.6}\n"));
+        }
+        out
+    }
+
+    /// Render an ASCII violin, one row per grid point, widest row = `width`
+    /// characters. Used by the figure-reproduction binaries.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let mut out = String::new();
+        for (g, d) in self.grid.iter().zip(&self.density).rev() {
+            let half = (d * width as f64 / 2.0).round() as usize;
+            let pad = width / 2 - half.min(width / 2);
+            out.push_str(&format!(
+                "{:>9.3} |{}{}{}\n",
+                g,
+                " ".repeat(pad),
+                "#".repeat(2 * half.min(width / 2)),
+                ""
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert!(ViolinSummary::of(&[], 10).is_none());
+    }
+
+    #[test]
+    fn density_peaks_near_the_mode() {
+        // Cluster at 1.0 plus one outlier at 5.0: the density max should be
+        // near 1.0, not near 5.0.
+        let mut xs = vec![1.0; 50];
+        xs.extend_from_slice(&[0.9, 1.1, 5.0]);
+        let v = ViolinSummary::of(&xs, 101).unwrap();
+        let peak_idx = v
+            .density
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((v.grid[peak_idx] - 1.0).abs() < 0.5, "peak at {}", v.grid[peak_idx]);
+    }
+
+    #[test]
+    fn density_normalized_to_unit_max() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let v = ViolinSummary::of(&xs, 50).unwrap();
+        let max = v.density.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_still_renders() {
+        let v = ViolinSummary::of(&[2.0; 10], 11).unwrap();
+        assert_eq!(v.stats.min, 2.0);
+        assert_eq!(v.stats.max, 2.0);
+        assert!(v.bandwidth > 0.0);
+        assert!(!v.render_ascii(40).is_empty());
+    }
+
+    #[test]
+    fn csv_has_one_row_per_grid_point() {
+        let v = ViolinSummary::of(&[1.0, 2.0, 3.0], 16).unwrap();
+        let csv = v.to_csv();
+        assert_eq!(csv.lines().count(), 17); // header + 16 points
+        assert!(csv.starts_with("position,density"));
+    }
+
+    #[test]
+    fn grid_is_ascending_and_covers_sample() {
+        let xs = [1.0, 2.0, 3.0];
+        let v = ViolinSummary::of(&xs, 20).unwrap();
+        assert!(v.grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(v.grid[0] <= 1.0 && *v.grid.last().unwrap() >= 3.0);
+    }
+}

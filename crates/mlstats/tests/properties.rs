@@ -1,0 +1,144 @@
+//! Property-based tests of the statistics substrate.
+
+use mlstats::corr::{midranks, pearson, spearman};
+use mlstats::describe::{mean, quantile, std_population, Summary};
+use mlstats::encode::StandardScaler;
+use mlstats::linreg::fit_linear;
+use mlstats::logreg::{fit_logistic, LogisticOptions};
+use mlstats::matrix::Matrix;
+use mlstats::wilcoxon::wilcoxon_signed_rank;
+use proptest::prelude::*;
+
+proptest! {
+    /// A solved linear system actually satisfies A·x = b.
+    #[test]
+    fn solve_satisfies_system(
+        entries in prop::collection::vec(-10.0f64..10.0, 9),
+        b in prop::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                a[(i, j)] = entries[i * 3 + j];
+            }
+            // Diagonal dominance guarantees solvability.
+            a[(i, i)] += 40.0;
+        }
+        let x = a.solve(&b).expect("diagonally dominant");
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    /// Summary invariants: min <= q1 <= median <= q3 <= max, mean within
+    /// [min, max].
+    #[test]
+    fn summary_orderings(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs).expect("non-empty");
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-100.0f64..100.0, 1..100), q in 0.0f64..1.0) {
+        let q2 = (q + 0.1).min(1.0);
+        prop_assert!(quantile(&xs, q) <= quantile(&xs, q2) + 1e-12);
+    }
+
+    /// Standardization: shifting and scaling the input is undone up to
+    /// the same transform (mean 0, population std 1 per column).
+    #[test]
+    fn scaler_normalizes(raw in prop::collection::vec(-50.0f64..50.0, 10..100)) {
+        let xs: Vec<Vec<f64>> = raw.iter().map(|v| vec![*v]).collect();
+        let (_, t) = StandardScaler::fit_transform(&xs);
+        let col: Vec<f64> = t.iter().map(|r| r[0]).collect();
+        prop_assert!(mean(&col).abs() < 1e-9);
+        let s = std_population(&col);
+        // Constant input stays centered with std 0; otherwise unit std.
+        prop_assert!(s.abs() < 1e-9 || (s - 1.0).abs() < 1e-9);
+    }
+
+    /// Pearson correlation is within [-1, 1] and invariant to positive
+    /// affine transforms.
+    #[test]
+    fn pearson_affine_invariance(
+        pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..100),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&x, &y);
+        if r.is_nan() {
+            return Ok(()); // constant input
+        }
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        let x2: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        let r2 = pearson(&x2, &y);
+        prop_assert!((r - r2).abs() < 1e-6);
+    }
+
+    /// Midranks are a permutation-respecting ranking: sum of ranks is
+    /// n(n+1)/2 regardless of ties.
+    #[test]
+    fn midranks_sum_invariant(xs in prop::collection::vec(-5i32..5, 1..100)) {
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let ranks = midranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Spearman of a strictly increasing transform of x against x is 1.
+    #[test]
+    fn spearman_of_monotone_map(xs in prop::collection::vec(-100.0f64..100.0, 3..50)) {
+        let mut unique = xs.clone();
+        unique.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        unique.dedup();
+        prop_assume!(unique.len() >= 2);
+        let y: Vec<f64> = xs.iter().map(|v| v.powi(3) + 2.0 * v).collect();
+        let r = spearman(&xs, &y);
+        prop_assert!((r - 1.0).abs() < 1e-9, "r={r}");
+    }
+
+    /// Wilcoxon p-values live in (0, 1]; identical-after-shift samples
+    /// with a consistent sign give small p for n >= 10.
+    #[test]
+    fn wilcoxon_bounds(xs in prop::collection::vec(0.1f64..100.0, 10..60), shift in 0.5f64..5.0) {
+        let y: Vec<f64> = xs.iter().map(|v| v + shift).collect();
+        let r = wilcoxon_signed_rank(&xs, &y).expect("valid");
+        prop_assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+        prop_assert!(r.p_value < 0.01, "consistent shift must be significant: {}", r.p_value);
+    }
+
+    /// OLS recovers a noiseless linear relationship exactly.
+    #[test]
+    fn linreg_recovers_exact_relations(
+        coef in -5.0f64..5.0,
+        intercept in -5.0f64..5.0,
+        n in 10usize..80,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / 3.0]).collect();
+        let y: Vec<f64> = xs.iter().map(|r| intercept + coef * r[0]).collect();
+        let m = fit_linear(&xs, &y).expect("fits");
+        prop_assert!((m.intercept - intercept).abs() < 1e-5);
+        prop_assert!((m.coefficients[0] - coef).abs() < 1e-5);
+    }
+
+    /// Logistic regression separates linearly separable data with high
+    /// accuracy, for arbitrary thresholds.
+    #[test]
+    fn logreg_separates(threshold in 2.0f64..8.0) {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 11) as f64]).collect();
+        let y: Vec<bool> = xs.iter().map(|r| r[0] > threshold).collect();
+        prop_assume!(y.iter().any(|v| *v) && y.iter().any(|v| !*v));
+        let m = fit_logistic(&xs, &y, LogisticOptions::default()).expect("fits");
+        let acc = mlstats::logreg::accuracy(&m, &xs, &y);
+        prop_assert!(acc > 0.95, "accuracy {acc}");
+    }
+}

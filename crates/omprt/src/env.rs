@@ -1,0 +1,244 @@
+//! Runtime initialization from real process environment variables.
+//!
+//! This is the code path a downstream user of the library hits: set the
+//! same variables the paper sweeps (`OMP_NUM_THREADS`, `OMP_SCHEDULE`,
+//! `KMP_BLOCKTIME`, …) in the environment, call [`RuntimeConfig::from_env`],
+//! and get back a validated [`TuningConfig`] plus a ready
+//! [`crate::pool::ThreadPool`].
+
+use crate::pool::ThreadPool;
+use omptune_core::{Arch, TuningConfig};
+use std::collections::BTreeMap;
+
+/// Errors from environment parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// Variable that failed to parse.
+    pub variable: String,
+    /// The offending value.
+    pub value: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}={:?}", self.variable, self.value)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// A fully resolved runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    pub config: TuningConfig,
+    /// Architecture the alignment default was resolved against.
+    pub arch: Arch,
+}
+
+/// The environment variables the runtime consults, in documentation order.
+/// `OMP_WAIT_POLICY` is accepted for completeness but — exactly as the
+/// paper describes (Sec. III) — it is *derived*: `active` maps to
+/// `KMP_BLOCKTIME=infinite`, `passive` to `KMP_BLOCKTIME=0`, and an
+/// explicitly set `KMP_BLOCKTIME` wins.
+pub const KNOWN_VARIABLES: [&str; 9] = [
+    "OMP_NUM_THREADS",
+    "OMP_PLACES",
+    "OMP_PROC_BIND",
+    "OMP_SCHEDULE",
+    "OMP_WAIT_POLICY",
+    "KMP_LIBRARY",
+    "KMP_BLOCKTIME",
+    "KMP_FORCE_REDUCTION",
+    "KMP_ALIGN_ALLOC",
+];
+
+impl RuntimeConfig {
+    /// Resolve a configuration from an explicit variable map (unit-testable
+    /// core of [`RuntimeConfig::from_env`]). Missing keys take the libomp
+    /// defaults; `default_threads` substitutes for a missing
+    /// `OMP_NUM_THREADS`.
+    pub fn from_map(
+        vars: &BTreeMap<String, String>,
+        arch: Arch,
+        default_threads: usize,
+    ) -> Result<RuntimeConfig, EnvError> {
+        let mut map = vars.clone();
+        map.entry("OMP_NUM_THREADS".into())
+            .or_insert_with(|| default_threads.to_string());
+        // OMP_WAIT_POLICY is translated into the blocktime it implies,
+        // unless KMP_BLOCKTIME is explicitly set (the KMP_* variables are
+        // the source of truth, per Sec. III).
+        if let Some(policy) = map.get("OMP_WAIT_POLICY").cloned() {
+            if !map.contains_key("KMP_BLOCKTIME") {
+                let bt = match policy.as_str() {
+                    "active" | "ACTIVE" => Some("infinite"),
+                    "passive" | "PASSIVE" => Some("0"),
+                    _ => None,
+                };
+                match bt {
+                    Some(v) => {
+                        map.insert("KMP_BLOCKTIME".into(), v.into());
+                    }
+                    None => {
+                        return Err(EnvError {
+                            variable: "OMP_WAIT_POLICY".into(),
+                            value: policy,
+                        })
+                    }
+                }
+            }
+            map.remove("OMP_WAIT_POLICY");
+        }
+        // Reject unparsable values one variable at a time for a precise
+        // error, then delegate to the core round-trip parser.
+        let fail = |variable: &str| EnvError {
+            variable: variable.to_string(),
+            value: map.get(variable).cloned().unwrap_or_default(),
+        };
+        let get = |k: &str| map.get(k).map(String::as_str);
+        use omptune_core::envvar::*;
+        OmpPlaces::parse(get("OMP_PLACES")).ok_or_else(|| fail("OMP_PLACES"))?;
+        OmpProcBind::parse(get("OMP_PROC_BIND")).ok_or_else(|| fail("OMP_PROC_BIND"))?;
+        OmpSchedule::parse(get("OMP_SCHEDULE")).ok_or_else(|| fail("OMP_SCHEDULE"))?;
+        KmpLibrary::parse(get("KMP_LIBRARY")).ok_or_else(|| fail("KMP_LIBRARY"))?;
+        KmpBlocktime::parse(get("KMP_BLOCKTIME")).ok_or_else(|| fail("KMP_BLOCKTIME"))?;
+        KmpForceReduction::parse(get("KMP_FORCE_REDUCTION"))
+            .ok_or_else(|| fail("KMP_FORCE_REDUCTION"))?;
+        KmpAlignAlloc::parse(get("KMP_ALIGN_ALLOC"), arch)
+            .ok_or_else(|| fail("KMP_ALIGN_ALLOC"))?;
+        let config =
+            TuningConfig::from_env(&map, arch).ok_or_else(|| fail("OMP_NUM_THREADS"))?;
+        if config.num_threads == 0 {
+            return Err(fail("OMP_NUM_THREADS"));
+        }
+        Ok(RuntimeConfig { config, arch })
+    }
+
+    /// Resolve from the real process environment. `arch` selects the
+    /// alignment default (a real libomp probes the CPU; we take it as an
+    /// argument since the study's machines are fixed).
+    pub fn from_env(arch: Arch, default_threads: usize) -> Result<RuntimeConfig, EnvError> {
+        let mut vars = BTreeMap::new();
+        for key in KNOWN_VARIABLES {
+            if let Ok(v) = std::env::var(key) {
+                vars.insert(key.to_string(), v);
+            }
+        }
+        RuntimeConfig::from_map(&vars, arch, default_threads)
+    }
+
+    /// Build a thread pool honouring this configuration's thread count and
+    /// wait policy.
+    pub fn build_pool(&self) -> ThreadPool {
+        ThreadPool::new(self.config.num_threads, self.config.wait_policy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omptune_core::{KmpBlocktime, KmpLibrary, OmpSchedule, WaitPolicy};
+
+    fn map(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn empty_environment_gives_defaults() {
+        let rc = RuntimeConfig::from_map(&map(&[]), Arch::Skylake, 8).unwrap();
+        assert_eq!(rc.config, TuningConfig::default_for(Arch::Skylake, 8));
+    }
+
+    #[test]
+    fn full_environment_parses() {
+        let rc = RuntimeConfig::from_map(
+            &map(&[
+                ("OMP_NUM_THREADS", "4"),
+                ("OMP_PLACES", "sockets"),
+                ("OMP_PROC_BIND", "spread"),
+                ("OMP_SCHEDULE", "guided"),
+                ("KMP_LIBRARY", "turnaround"),
+                ("KMP_BLOCKTIME", "infinite"),
+                ("KMP_FORCE_REDUCTION", "tree"),
+                ("KMP_ALIGN_ALLOC", "512"),
+            ]),
+            Arch::Milan,
+            96,
+        )
+        .unwrap();
+        assert_eq!(rc.config.num_threads, 4);
+        assert_eq!(rc.config.schedule, OmpSchedule::Guided);
+        assert_eq!(rc.config.library, KmpLibrary::Turnaround);
+        assert_eq!(rc.config.blocktime, KmpBlocktime::Infinite);
+        assert_eq!(rc.config.wait_policy(), WaitPolicy::Active { yielding: false });
+    }
+
+    #[test]
+    fn bad_value_reports_the_variable() {
+        let err = RuntimeConfig::from_map(
+            &map(&[("OMP_SCHEDULE", "fastest")]),
+            Arch::Milan,
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err.variable, "OMP_SCHEDULE");
+        assert_eq!(err.value, "fastest");
+        assert!(err.to_string().contains("OMP_SCHEDULE"));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let err = RuntimeConfig::from_map(&map(&[("OMP_NUM_THREADS", "0")]), Arch::Milan, 4)
+            .unwrap_err();
+        assert_eq!(err.variable, "OMP_NUM_THREADS");
+    }
+
+    #[test]
+    fn wait_policy_derives_blocktime() {
+        let rc = RuntimeConfig::from_map(
+            &map(&[("OMP_WAIT_POLICY", "active")]),
+            Arch::Milan,
+            4,
+        )
+        .unwrap();
+        assert_eq!(rc.config.blocktime, KmpBlocktime::Infinite);
+        let rc = RuntimeConfig::from_map(
+            &map(&[("OMP_WAIT_POLICY", "passive")]),
+            Arch::Milan,
+            4,
+        )
+        .unwrap();
+        assert_eq!(rc.config.blocktime, KmpBlocktime::Zero);
+    }
+
+    #[test]
+    fn explicit_blocktime_beats_wait_policy() {
+        // The KMP_* variables are the source of truth (Sec. III).
+        let rc = RuntimeConfig::from_map(
+            &map(&[("OMP_WAIT_POLICY", "passive"), ("KMP_BLOCKTIME", "infinite")]),
+            Arch::Skylake,
+            4,
+        )
+        .unwrap();
+        assert_eq!(rc.config.blocktime, KmpBlocktime::Infinite);
+    }
+
+    #[test]
+    fn bad_wait_policy_rejected() {
+        let err = RuntimeConfig::from_map(
+            &map(&[("OMP_WAIT_POLICY", "aggressive")]),
+            Arch::Milan,
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err.variable, "OMP_WAIT_POLICY");
+    }
+
+    #[test]
+    fn pool_size_matches_config() {
+        let rc = RuntimeConfig::from_map(&map(&[("OMP_NUM_THREADS", "3")]), Arch::A64fx, 8)
+            .unwrap();
+        let pool = rc.build_pool();
+        assert_eq!(pool.num_threads(), 3);
+    }
+}

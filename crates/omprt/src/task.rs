@@ -1,0 +1,404 @@
+//! Task parallelism: a work-stealing fork-join substrate in the style of
+//! libomp's tasking (used by the BOTS benchmarks in the study).
+//!
+//! The primitive is [`join`]: fork `b` as a stealable task, run `a`
+//! inline, then either pop `b` back (nobody stole it — the common fast
+//! path) or help execute other tasks until the thief finishes. Recursive
+//! `join` trees express every BOTS kernel in the paper (Sort, Strassen,
+//! NQueens, Health, Alignment).
+//!
+//! Design mirrors Rayon's classic deque discipline:
+//!
+//! - one LIFO [`crossbeam::deque::Worker`] per pool thread, plus stealers;
+//! - `join` pushes a **stack-allocated** job reference; soundness rests on
+//!   `join` not returning until the job's completion latch is set, so the
+//!   referenced stack frame outlives every access (the same argument
+//!   `rayon::join` makes);
+//! - a panicking branch stores its payload in the job and the panic
+//!   resumes on the joining thread.
+//!
+//! Entry point: [`task_parallel`] runs a root closure on thread 0 of a
+//! [`ThreadPool`] while the rest of the team steals.
+
+use crate::pool::ThreadPool;
+use crossbeam::deque::{Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Type-erased reference to a job living on some join frame's stack.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is a StackJob pinned on a frame that provably
+// outlives all uses (see module docs); jobs are executed exactly once.
+unsafe impl Send for JobRef {}
+
+/// A stack-allocated job: closure + completion latch + result slot.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    latch: AtomicBool,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            latch: AtomicBool::new(false),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute: Self::execute,
+        }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let this = &*(data as *const Self);
+        let f = (*this.f.get()).take().expect("job executed twice");
+        let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        this.latch.store(true, Ordering::Release);
+    }
+
+    fn done(&self) -> bool {
+        self.latch.load(Ordering::Acquire)
+    }
+
+    unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get()).take().expect("result missing")
+    }
+}
+
+/// Shared state of one tasking episode.
+struct Arena {
+    stealers: Vec<Stealer<JobRef>>,
+    root_done: AtomicBool,
+}
+
+/// Per-thread execution context, published via TLS while the thread
+/// participates in a tasking episode.
+struct ExecCtx {
+    worker: Worker<JobRef>,
+    index: usize,
+    arena: *const Arena,
+}
+
+thread_local! {
+    static CURRENT: Cell<*const ExecCtx> = const { Cell::new(std::ptr::null()) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(Option<&ExecCtx>) -> R) -> R {
+    CURRENT.with(|c| {
+        let p = c.get();
+        if p.is_null() {
+            f(None)
+        } else {
+            // SAFETY: the pointer is published only for the duration of
+            // the episode by the same thread that reads it here.
+            f(Some(unsafe { &*p }))
+        }
+    })
+}
+
+impl ExecCtx {
+    fn arena(&self) -> &Arena {
+        // SAFETY: the arena outlives the episode (owned by task_parallel's
+        // frame) and the ctx is only alive during the episode.
+        unsafe { &*self.arena }
+    }
+
+    /// Try to acquire one job: local pop first, then steal.
+    fn find_job(&self) -> Option<JobRef> {
+        if let Some(job) = self.worker.pop() {
+            return Some(job);
+        }
+        let arena = self.arena();
+        let n = arena.stealers.len();
+        // Deterministic probe order starting after our own index.
+        for k in 1..n {
+            let victim = (self.index + k) % n;
+            loop {
+                match arena.stealers[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Fork-join: runs `a` and `b` potentially in parallel, returning both
+/// results. Outside a tasking episode it degrades to sequential calls.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    with_ctx(|ctx| match ctx {
+        None => (a(), b()),
+        Some(ctx) => {
+            let job_b = StackJob::new(b);
+            let job_ref = job_b.as_job_ref();
+            ctx.worker.push(job_ref);
+
+            let ra = match std::panic::catch_unwind(AssertUnwindSafe(a)) {
+                Ok(ra) => ra,
+                Err(payload) => {
+                    // `a` panicked; we must still wait for `b` (it may be
+                    // running on a thief and may borrow our frame).
+                    wait_for(ctx, &job_b);
+                    std::panic::resume_unwind(payload);
+                }
+            };
+
+            // Fast path: pop our own job back. LIFO discipline means the
+            // top of our deque is either job_b or nothing (it was stolen);
+            // nested joins inside `a` pushed and popped in balance.
+            if let Some(popped) = ctx.worker.pop() {
+                debug_assert!(std::ptr::eq(popped.data, job_ref.data));
+                // SAFETY: executing the job we created on this frame.
+                unsafe { (popped.execute)(popped.data) };
+            } else {
+                wait_for(ctx, &job_b);
+            }
+            // SAFETY: latch is set, result slot is filled.
+            let rb = match unsafe { job_b.take_result() } {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        }
+    })
+}
+
+/// Help execute other tasks until `job`'s latch is set.
+fn wait_for<F, R>(ctx: &ExecCtx, job: &StackJob<F, R>)
+where
+    F: FnOnce() -> R,
+{
+    let mut idle_spins = 0u32;
+    while !job.done() {
+        if let Some(other) = ctx.find_job() {
+            // SAFETY: every JobRef in the deques points to a live frame.
+            unsafe { (other.execute)(other.data) };
+            idle_spins = 0;
+        } else {
+            idle_spins += 1;
+            if idle_spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Run `root` as the initial task of a tasking episode on `pool`.
+/// Thread 0 executes `root`; all other pool threads steal work until the
+/// root (and transitively every `join`) completes.
+pub fn task_parallel<R, F>(pool: &ThreadPool, root: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let n = pool.num_threads();
+    if n == 1 {
+        return root();
+    }
+    let workers: Vec<Worker<JobRef>> = (0..n).map(|_| Worker::new_lifo()).collect();
+    let arena = Arena {
+        stealers: workers.iter().map(Worker::stealer).collect(),
+        root_done: AtomicBool::new(false),
+    };
+    let worker_slots: Mutex<Vec<Option<Worker<JobRef>>>> =
+        Mutex::new(workers.into_iter().map(Some).collect());
+    let result: Mutex<Option<std::thread::Result<R>>> = Mutex::new(None);
+    let root_slot: Mutex<Option<F>> = Mutex::new(Some(root));
+
+    pool.parallel(|tctx| {
+        let worker = worker_slots.lock()[tctx.thread_num]
+            .take()
+            .expect("worker already taken");
+        let ctx = ExecCtx {
+            worker,
+            index: tctx.thread_num,
+            arena: &arena,
+        };
+        CURRENT.with(|c| c.set(&ctx as *const ExecCtx));
+
+        if tctx.thread_num == 0 {
+            let root_fn = root_slot.lock().take().expect("root taken twice");
+            let r = std::panic::catch_unwind(AssertUnwindSafe(root_fn));
+            *result.lock() = Some(r);
+            arena.root_done.store(true, Ordering::Release);
+        } else {
+            let mut idle_spins = 0u32;
+            while !arena.root_done.load(Ordering::Acquire) {
+                if let Some(job) = ctx.find_job() {
+                    // SAFETY: JobRefs point at live join frames.
+                    unsafe { (job.execute)(job.data) };
+                    idle_spins = 0;
+                } else {
+                    idle_spins += 1;
+                    if idle_spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+        CURRENT.with(|c| c.set(std::ptr::null()));
+        // Note: by root_done, every join has completed (joins don't return
+        // with outstanding children), so the deques are empty.
+    });
+
+    let r = result.lock().take().expect("root never ran");
+    match r {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Parallel divide-and-conquer over an index range: recursively split
+/// `range` until `grain`, then call `leaf` on each sub-range. A
+/// convenience built on [`join`] used by the task workloads.
+pub fn for_each_split<F>(lo: usize, hi: usize, grain: usize, leaf: &F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    debug_assert!(grain >= 1);
+    if hi - lo <= grain {
+        leaf(lo, hi);
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        join(
+            || for_each_split(lo, mid, grain, leaf),
+            || for_each_split(mid, hi, grain, leaf),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn join_outside_episode_is_sequential() {
+        assert_eq!(fib(15), 610);
+    }
+
+    #[test]
+    fn recursive_join_inside_pool() {
+        let pool = ThreadPool::with_defaults(4);
+        let result = task_parallel(&pool, || fib(20));
+        assert_eq!(result, 6765);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_root_inline() {
+        let pool = ThreadPool::with_defaults(1);
+        assert_eq!(task_parallel(&pool, || fib(10)), 55);
+    }
+
+    #[test]
+    fn join_borrows_caller_state() {
+        let pool = ThreadPool::with_defaults(4);
+        let mut data: Vec<u64> = (0..1 << 14).collect();
+        task_parallel(&pool, || {
+            fn sum_halves(xs: &mut [u64]) -> u64 {
+                if xs.len() <= 256 {
+                    xs.iter_mut().for_each(|x| *x += 1);
+                    return xs.iter().sum();
+                }
+                let mid = xs.len() / 2;
+                let (lo, hi) = xs.split_at_mut(mid);
+                let (a, b) = join(|| sum_halves(lo), || sum_halves(hi));
+                a + b
+            }
+            let n = data.len() as u64;
+            let total = sum_halves(&mut data);
+            // sum 0..n plus one increment per element.
+            assert_eq!(total, n * (n - 1) / 2 + n);
+        });
+        assert_eq!(data[0], 1);
+        assert_eq!(data[100], 101);
+    }
+
+    #[test]
+    fn for_each_split_covers_range() {
+        let pool = ThreadPool::with_defaults(3);
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        task_parallel(&pool, || {
+            for_each_split(0, hits.len(), 64, &|lo, hi| {
+                for h in &hits[lo..hi] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn panic_in_branch_propagates() {
+        let pool = ThreadPool::with_defaults(4);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            task_parallel(&pool, || {
+                let (_, _) = join(
+                    || 1,
+                    || -> i32 { panic!("branch b failed") },
+                );
+            });
+        }));
+        assert!(r.is_err());
+        // Episode machinery survives for the next use.
+        assert_eq!(task_parallel(&pool, || fib(10)), 55);
+    }
+
+    #[test]
+    fn deep_unbalanced_recursion() {
+        // Skewed trees exercise the steal path.
+        fn skew(n: u64) -> u64 {
+            if n == 0 {
+                return 1;
+            }
+            let (a, b) = join(|| skew(n - 1), || 1u64);
+            a + b
+        }
+        let pool = ThreadPool::with_defaults(4);
+        assert_eq!(task_parallel(&pool, || skew(500)), 501);
+    }
+
+    #[test]
+    fn nested_task_parallel_calls_sequentially_compose() {
+        let pool = ThreadPool::with_defaults(2);
+        for _ in 0..5 {
+            assert_eq!(task_parallel(&pool, || fib(12)), 144);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! High-level worksharing drivers: `parallel for` and
+//! `parallel for reduction` over a [`ThreadPool`].
+//!
+//! These compose the pool (fork-join), the schedule dispatchers, the
+//! barrier, and the reducer into the two constructs every loop-parallel
+//! benchmark in the study uses. The loop body receives the iteration
+//! index; chunking is handled by the configured `OMP_SCHEDULE`.
+
+use crate::barrier::{default_barrier, Barrier};
+use crate::pool::ThreadPool;
+use crate::reduce::Reducer;
+use crate::sched::{static_chunks, DynamicDispatcher, GuidedDispatcher};
+use omptune_core::{OmpSchedule, ReductionMethod};
+
+/// Execute `body(i)` for every `i in 0..total` on the pool with the given
+/// schedule, returning after the implicit end-of-loop barrier.
+pub fn parallel_for<F>(pool: &ThreadPool, schedule: OmpSchedule, total: usize, body: F)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    let n = pool.num_threads();
+    match schedule {
+        OmpSchedule::Static | OmpSchedule::Auto => {
+            pool.parallel(|ctx| {
+                for i in static_chunks(total, ctx.num_threads, ctx.thread_num) {
+                    body(i);
+                }
+            });
+        }
+        OmpSchedule::Dynamic => {
+            let dispatcher = DynamicDispatcher::new(total, crate::sched::DEFAULT_DYNAMIC_CHUNK);
+            pool.parallel(|_| {
+                while let Some(chunk) = dispatcher.next_chunk() {
+                    for i in chunk {
+                        body(i);
+                    }
+                }
+            });
+        }
+        OmpSchedule::Guided => {
+            let dispatcher = GuidedDispatcher::new(total, n);
+            pool.parallel(|_| {
+                while let Some(chunk) = dispatcher.next_chunk() {
+                    for i in chunk {
+                        body(i);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Execute `body(i)` for every `i in 0..total` under `schedule(static,
+/// chunk)`: chunks are handed out block-cyclically, chunk `k` to thread
+/// `k % num_threads` — the OpenMP semantics the plain driver cannot
+/// express.
+pub fn parallel_for_chunked<F>(pool: &ThreadPool, chunk: usize, total: usize, body: F)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    assert!(chunk > 0, "chunk must be positive");
+    pool.parallel(|ctx| {
+        for range in
+            crate::sched::static_cyclic_chunks(total, ctx.num_threads, chunk, ctx.thread_num)
+        {
+            for i in range {
+                body(i);
+            }
+        }
+    });
+}
+
+/// `omp sections`: run each closure exactly once, distributed across the
+/// team like dynamically-scheduled iterations. Closures may borrow the
+/// caller's state.
+pub fn parallel_sections(pool: &ThreadPool, sections: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    use parking_lot::Mutex;
+    let slots: Vec<Mutex<Option<Box<dyn FnOnce() + Send + '_>>>> =
+        sections.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let n = slots.len();
+    parallel_for(pool, OmpSchedule::Dynamic, n, |i| {
+        if let Some(f) = slots[i].lock().take() {
+            f();
+        }
+    });
+}
+
+/// `omp single`: `f` runs on exactly one thread of the region; every
+/// thread gets back whether *it* was the one (like the construct's
+/// implicit `nowait`-less semantics, the pool's region barrier applies).
+pub fn parallel_single<F>(pool: &ThreadPool, f: F)
+where
+    F: FnOnce() + Send,
+{
+    use parking_lot::Mutex;
+    let slot = Mutex::new(Some(f));
+    pool.parallel(|_| {
+        if let Some(f) = slot.lock().take() {
+            f();
+        }
+    });
+}
+
+/// Execute a sum reduction: `sum of body(i) for i in 0..total`, combining
+/// partials with `method` (pass
+/// [`ReductionMethod::heuristic`]`(pool.num_threads())` to mimic an unset
+/// `KMP_FORCE_REDUCTION`).
+pub fn parallel_reduce_sum<F>(
+    pool: &ThreadPool,
+    schedule: OmpSchedule,
+    method: ReductionMethod,
+    total: usize,
+    body: F,
+) -> f64
+where
+    F: Fn(usize) -> f64 + Send + Sync,
+{
+    let n = pool.num_threads();
+    // `None` is only valid single-threaded; widen to the heuristic choice
+    // otherwise, as libomp would never emit the no-sync path for teams.
+    let method = if method == ReductionMethod::None && n > 1 {
+        ReductionMethod::heuristic(n)
+    } else {
+        method
+    };
+    let reducer = Reducer::new(n, method);
+    let barrier = default_barrier(n);
+    let barrier: &(dyn Barrier + Send) = barrier.as_ref();
+
+    match schedule {
+        OmpSchedule::Static | OmpSchedule::Auto => {
+            pool.parallel(|ctx| {
+                let mut partial = 0.0;
+                for i in static_chunks(total, ctx.num_threads, ctx.thread_num) {
+                    partial += body(i);
+                }
+                reducer.combine(ctx.thread_num, partial, barrier);
+                barrier.wait(ctx.thread_num);
+            });
+        }
+        OmpSchedule::Dynamic => {
+            let dispatcher = DynamicDispatcher::new(total, crate::sched::DEFAULT_DYNAMIC_CHUNK);
+            pool.parallel(|ctx| {
+                let mut partial = 0.0;
+                while let Some(chunk) = dispatcher.next_chunk() {
+                    for i in chunk {
+                        partial += body(i);
+                    }
+                }
+                reducer.combine(ctx.thread_num, partial, barrier);
+                barrier.wait(ctx.thread_num);
+            });
+        }
+        OmpSchedule::Guided => {
+            let dispatcher = GuidedDispatcher::new(total, n);
+            pool.parallel(|ctx| {
+                let mut partial = 0.0;
+                while let Some(chunk) = dispatcher.next_chunk() {
+                    for i in chunk {
+                        partial += body(i);
+                    }
+                }
+                reducer.combine(ctx.thread_num, partial, barrier);
+                barrier.wait(ctx.thread_num);
+            });
+        }
+    }
+    reducer.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn all_schedules() -> [OmpSchedule; 4] {
+        [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided, OmpSchedule::Auto]
+    }
+
+    #[test]
+    fn parallel_for_touches_every_iteration_once() {
+        let pool = ThreadPool::with_defaults(4);
+        for schedule in all_schedules() {
+            let hits: Vec<AtomicUsize> = (0..5000).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(&pool, schedule, 5000, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{schedule:?} missed or duplicated iterations"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_static_covers_and_round_robins() {
+        let pool = ThreadPool::with_defaults(3);
+        for (total, chunk) in [(1000usize, 7usize), (10, 100), (0, 5), (64, 1)] {
+            let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for_chunked(&pool, chunk, total, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "chunk {chunk} total {total}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn chunked_static_rejects_zero_chunk() {
+        let pool = ThreadPool::with_defaults(2);
+        parallel_for_chunked(&pool, 0, 10, |_| {});
+    }
+
+    #[test]
+    fn parallel_for_empty_loop() {
+        let pool = ThreadPool::with_defaults(3);
+        for schedule in all_schedules() {
+            parallel_for(&pool, schedule, 0, |_| panic!("no iterations expected"));
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_sequential() {
+        let pool = ThreadPool::with_defaults(4);
+        let expect: f64 = (0..10_000).map(|i| i as f64).sum();
+        for schedule in all_schedules() {
+            for method in [
+                ReductionMethod::Tree,
+                ReductionMethod::Critical,
+                ReductionMethod::Atomic,
+            ] {
+                let got =
+                    parallel_reduce_sum(&pool, schedule, method, 10_000, |i| i as f64);
+                assert_eq!(got, expect, "{schedule:?}/{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_single_thread_none_method() {
+        let pool = ThreadPool::with_defaults(1);
+        let got = parallel_reduce_sum(
+            &pool,
+            OmpSchedule::Static,
+            ReductionMethod::None,
+            100,
+            |i| i as f64,
+        );
+        assert_eq!(got, 4950.0);
+    }
+
+    #[test]
+    fn reduce_widens_none_method_on_teams() {
+        // Passing None with a team must not lose updates.
+        let pool = ThreadPool::with_defaults(4);
+        let got = parallel_reduce_sum(
+            &pool,
+            OmpSchedule::Static,
+            ReductionMethod::None,
+            1000,
+            |i| i as f64,
+        );
+        assert_eq!(got, 499_500.0);
+    }
+
+    #[test]
+    fn sections_each_run_exactly_once() {
+        let pool = ThreadPool::with_defaults(3);
+        let counters: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+        let sections: Vec<Box<dyn FnOnce() + Send + '_>> = counters
+            .iter()
+            .map(|c| {
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        parallel_sections(&pool, sections);
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_sections_is_a_noop() {
+        let pool = ThreadPool::with_defaults(2);
+        parallel_sections(&pool, Vec::new());
+    }
+
+    #[test]
+    fn single_runs_once_per_region() {
+        let pool = ThreadPool::with_defaults(4);
+        let count = AtomicUsize::new(0);
+        for _ in 0..5 {
+            parallel_single(&pool, || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn back_to_back_loops_reuse_pool() {
+        let pool = ThreadPool::with_defaults(4);
+        for round in 1..=10 {
+            let s = parallel_reduce_sum(
+                &pool,
+                OmpSchedule::Guided,
+                ReductionMethod::Tree,
+                100 * round,
+                |_| 1.0,
+            );
+            assert_eq!(s, (100 * round) as f64);
+        }
+    }
+}

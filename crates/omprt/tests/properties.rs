@@ -1,0 +1,120 @@
+//! Property-based tests of the worksharing chunk math and the runtime
+//! drivers: every schedule must dispatch every iteration exactly once,
+//! for arbitrary loop sizes, team sizes, and chunk parameters.
+
+use omprt::sched::{
+    guided_chunk_sequence, static_chunks, static_cyclic_chunks, DynamicDispatcher,
+    GuidedDispatcher,
+};
+use omprt::{parallel_for, parallel_reduce_sum, ThreadPool};
+use omptune_core::{OmpSchedule, ReductionMethod};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+fn assert_exact_cover(ranges: impl IntoIterator<Item = std::ops::Range<usize>>, total: usize) {
+    let mut seen = vec![false; total];
+    for r in ranges {
+        for i in r {
+            assert!(!seen[i], "iteration {i} dispatched twice");
+            seen[i] = true;
+        }
+    }
+    assert!(seen.iter().all(|s| *s), "missing iterations");
+}
+
+proptest! {
+    #[test]
+    fn static_chunks_partition_exactly(total in 0usize..10_000, t in 1usize..128) {
+        assert_exact_cover((0..t).map(|tid| static_chunks(total, t, tid)), total);
+    }
+
+    #[test]
+    fn static_chunks_balanced_within_one(total in 0usize..10_000, t in 1usize..128) {
+        let sizes: Vec<usize> = (0..t).map(|tid| static_chunks(total, t, tid).len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn cyclic_chunks_partition_exactly(
+        total in 0usize..5_000,
+        t in 1usize..32,
+        chunk in 1usize..600,
+    ) {
+        assert_exact_cover(
+            (0..t).flat_map(|tid| static_cyclic_chunks(total, t, chunk, tid)),
+            total,
+        );
+    }
+
+    #[test]
+    fn guided_sequence_sums_and_shrinks(total in 1usize..200_000, t in 1usize..128) {
+        let seq = guided_chunk_sequence(total, t);
+        prop_assert_eq!(seq.iter().sum::<usize>(), total);
+        prop_assert!(seq.windows(2).all(|w| w[1] <= w[0]));
+        prop_assert!(*seq.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn dynamic_dispatcher_partitions(total in 0usize..20_000, chunk in 1usize..97) {
+        let d = DynamicDispatcher::new(total, chunk);
+        let mut ranges = Vec::new();
+        while let Some(r) = d.next_chunk() {
+            ranges.push(r);
+        }
+        assert_exact_cover(ranges, total);
+    }
+
+    #[test]
+    fn guided_dispatcher_partitions(total in 0usize..20_000, t in 1usize..64) {
+        let g = GuidedDispatcher::new(total, t);
+        let mut ranges = Vec::new();
+        while let Some(r) = g.next_chunk() {
+            ranges.push(r);
+        }
+        assert_exact_cover(ranges, total);
+    }
+}
+
+// Threaded properties use fewer cases: each spins up a real pool.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_for_covers_for_any_shape(
+        total in 0usize..4_000,
+        threads in 1usize..5,
+        sched_idx in 0usize..4,
+    ) {
+        let schedule = [
+            OmpSchedule::Static,
+            OmpSchedule::Dynamic,
+            OmpSchedule::Guided,
+            OmpSchedule::Auto,
+        ][sched_idx];
+        let pool = ThreadPool::with_defaults(threads);
+        let hits: Vec<AtomicU8> = (0..total).map(|_| AtomicU8::new(0)).collect();
+        parallel_for(&pool, schedule, total, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reduce_sum_equals_closed_form(
+        total in 0usize..4_000,
+        threads in 1usize..5,
+        method_idx in 0usize..3,
+    ) {
+        let method = [
+            ReductionMethod::Tree,
+            ReductionMethod::Critical,
+            ReductionMethod::Atomic,
+        ][method_idx];
+        let pool = ThreadPool::with_defaults(threads);
+        let got = parallel_reduce_sum(&pool, OmpSchedule::Guided, method, total, |i| i as f64);
+        let expect = (0..total).map(|i| i as f64).sum::<f64>();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,757 @@
+//! The simulated runtime executor: runs a [`Model`] under a
+//! [`TuningConfig`] on a machine, in virtual time.
+//!
+//! Execution is chunk-level: each worksharing loop is discretized into at
+//! most [`MAX_UNITS`] scheduling units; static assignment reuses the real
+//! runtime's chunk math (`omprt::sched` mirrors it), dynamic/guided
+//! assign units greedily to the earliest-free thread exactly as the
+//! shared-counter dispatchers do, with per-chunk dispatch costs. All
+//! tuning effects — placement/locality, oversubscription, wait-policy
+//! wake-ups, reduction methods, allocation alignment — enter through
+//! `costs`.
+//!
+//! **Timestep extrapolation.** Application timesteps are statistically
+//! identical; the executor simulates the first (cold) and second (warm)
+//! timesteps exactly and extrapolates the rest from the warm one. This
+//! keeps a 240k-run sweep in seconds while preserving the cold-start
+//! effects (first region pays the full team wake-up).
+
+use crate::costs;
+use crate::model::{AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};
+use archsim::{MachineDesc, Topology};
+use omptune_core::placement::Placement;
+use omptune_core::{Arch, TuningConfig};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Upper bound on scheduling units per loop phase: enough resolution for
+/// imbalance shapes while keeping the sweep cheap.
+pub const MAX_UNITS: usize = 512;
+
+/// Breakdown of where simulated time went (one entry per category).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdown {
+    /// Pure compute, perfectly-parallel part.
+    pub compute_ns: f64,
+    /// Memory stalls (bandwidth + latency terms).
+    pub memory_ns: f64,
+    /// Fork, barrier, and reduction synchronization.
+    pub sync_ns: f64,
+    /// Region-start wake-up latencies.
+    pub wake_ns: f64,
+    /// Dynamic/guided chunk dispatch and task administration.
+    pub dispatch_ns: f64,
+    /// Serial (non-parallel) sections.
+    pub serial_ns: f64,
+}
+
+impl TimeBreakdown {
+    fn add_scaled(&mut self, other: &TimeBreakdown, k: f64) {
+        self.compute_ns += other.compute_ns * k;
+        self.memory_ns += other.memory_ns * k;
+        self.sync_ns += other.sync_ns * k;
+        self.wake_ns += other.wake_ns * k;
+        self.dispatch_ns += other.dispatch_ns * k;
+        self.serial_ns += other.serial_ns * k;
+    }
+}
+
+/// Result of one simulated application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// End-to-end virtual runtime in nanoseconds.
+    pub total_ns: f64,
+    pub breakdown: TimeBreakdown,
+    /// Number of parallel regions executed.
+    pub regions: u64,
+}
+
+impl SimResult {
+    /// Runtime in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_ns * 1e-9
+    }
+}
+
+/// The machine description used to simulate `arch`.
+pub fn machine_for(arch: Arch) -> MachineDesc {
+    match arch {
+        Arch::A64fx => MachineDesc::a64fx(),
+        Arch::Skylake => MachineDesc::skylake(),
+        Arch::Milan => MachineDesc::milan(),
+    }
+}
+
+/// Per-thread execution environment derived from the placement.
+struct ThreadEnv {
+    /// Slowdown from core sharing (1.0 = exclusive core).
+    speed_div: Vec<f64>,
+    /// NUMA node of each thread.
+    numa: Vec<usize>,
+    /// Threads resident per NUMA node.
+    node_threads: Vec<usize>,
+    /// Whether threads are bound to places.
+    bound: bool,
+    /// threads / cores occupancy.
+    load: f64,
+}
+
+fn thread_env(arch: Arch, tuning: &TuningConfig, topo: &Topology) -> ThreadEnv {
+    let machine = topo.machine();
+    let t = tuning.num_threads;
+    let placement = Placement::compute(arch, tuning);
+    let mut core_of = vec![0usize; t];
+    let bound;
+    match &placement {
+        Placement::Unbound => {
+            bound = false;
+            // The OS spreads runnable threads across the machine.
+            for (i, c) in core_of.iter_mut().enumerate() {
+                *c = i * machine.cores / t.max(1);
+            }
+        }
+        Placement::Bound { assignment, n_places, cores_per_place } => {
+            bound = true;
+            // Within a place, threads round-robin over its cores.
+            let mut used = vec![0usize; *n_places];
+            for (i, &p) in assignment.iter().enumerate() {
+                let k = used[p];
+                used[p] += 1;
+                core_of[i] = p * cores_per_place + k % cores_per_place;
+            }
+        }
+    }
+    // Core sharing: count threads per core.
+    let mut per_core = vec![0usize; machine.cores];
+    for &c in &core_of {
+        per_core[c] += 1;
+    }
+    let speed_div: Vec<f64> = core_of.iter().map(|&c| per_core[c].max(1) as f64).collect();
+    let numa: Vec<usize> = core_of.iter().map(|&c| topo.numa_of(c)).collect();
+    let mut node_threads = vec![0usize; machine.numa_nodes];
+    for &n in &numa {
+        node_threads[n] += 1;
+    }
+    ThreadEnv {
+        speed_div,
+        numa,
+        node_threads,
+        bound,
+        load: t as f64 / machine.cores as f64,
+    }
+}
+
+/// Per-iteration memory time (ns) for thread `i` of the environment.
+fn mem_ns_per_iter(
+    phase_access: AccessPattern,
+    bytes_per_iter: f64,
+    env: &ThreadEnv,
+    machine: &MachineDesc,
+    migration_sensitivity: f64,
+    thread: usize,
+) -> f64 {
+    match phase_access {
+        AccessPattern::CacheResident => 0.0,
+        AccessPattern::Streaming => {
+            if bytes_per_iter == 0.0 {
+                return 0.0;
+            }
+            let sharers = env.node_threads[env.numa[thread]].max(1) as f64;
+            // GB/s numerically equals bytes/ns.
+            let bw_share = machine.mem.node_bw_gibs / sharers;
+            let frac_local = costs::streaming_local_fraction(env.bound, machine.numa_nodes);
+            let locality_mult = frac_local + (1.0 - frac_local) * machine.mem.remote_factor;
+            let contention = costs::streaming_contention(machine, frac_local, env.load);
+            bytes_per_iter / bw_share * locality_mult * contention
+        }
+        AccessPattern::RandomShared { accesses_per_iter } => {
+            // Interleaved table: local fraction is 1/numa regardless of
+            // binding; unbound threads additionally lose cached slices.
+            let frac_local = 1.0 / machine.numa_nodes as f64;
+            let mut lat = costs::avg_latency_ns(machine, frac_local);
+            if !env.bound {
+                lat *= 1.0
+                    + costs::migration_latency_penalty(machine, migration_sensitivity, env.load);
+            }
+            accesses_per_iter * lat
+        }
+    }
+}
+
+/// Min-heap of (finish_time, thread) used for greedy earliest-free
+/// dispatch; f64 keys carried as ordered bit patterns (all finite, ≥ 0).
+struct FinishHeap {
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl FinishHeap {
+    fn new(t: usize) -> FinishHeap {
+        let mut heap = BinaryHeap::with_capacity(t);
+        for i in 0..t {
+            heap.push(Reverse((0, i)));
+        }
+        FinishHeap { heap }
+    }
+
+    /// Pop the earliest-free thread.
+    fn pop(&mut self) -> (f64, usize) {
+        let Reverse((bits, i)) = self.heap.pop().expect("heap never empty");
+        (f64::from_bits(bits), i)
+    }
+
+    fn push(&mut self, finish: f64, i: usize) {
+        debug_assert!(finish.is_finite() && finish >= 0.0);
+        self.heap.push(Reverse((finish.to_bits(), i)));
+    }
+
+    fn max_finish(self) -> f64 {
+        self.heap
+            .into_iter()
+            .map(|Reverse((bits, _))| f64::from_bits(bits))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Simulate one worksharing-loop region; returns its span and updates the
+/// breakdown.
+fn simulate_loop(
+    phase: &LoopPhase,
+    tuning: &TuningConfig,
+    machine: &MachineDesc,
+    env: &ThreadEnv,
+    migration_sensitivity: f64,
+    seed: u64,
+    bd: &mut TimeBreakdown,
+) -> f64 {
+    use omptune_core::OmpSchedule;
+    let t = tuning.num_threads;
+    if phase.iters == 0 {
+        return 0.0;
+    }
+    let units = (phase.iters as usize).min(MAX_UNITS);
+    let iters_per_unit = phase.iters as f64 / units as f64;
+    let compute_per_iter = phase.cycles_per_iter / machine.clock_ghz;
+
+    // Per-thread memory time per iteration (depends on the thread's NUMA
+    // node occupancy under asymmetric placements).
+    let mem: Vec<f64> = (0..t)
+        .map(|i| {
+            mem_ns_per_iter(
+                phase.access,
+                phase.bytes_per_iter,
+                env,
+                machine,
+                migration_sensitivity,
+                i,
+            )
+        })
+        .collect();
+
+    // Prefix integral of per-iteration *compute* cost over the iteration
+    // space, discretized to `units` for the imbalance shape. prefix[u] is
+    // the compute time of iterations [0, u * iters_per_unit).
+    let mut prefix = Vec::with_capacity(units + 1);
+    prefix.push(0.0f64);
+    let mut max_unit_mult = 0.0f64;
+    for u in 0..units {
+        let x0 = u as f64 / units as f64;
+        let x1 = (u + 1) as f64 / units as f64;
+        let w = phase.imbalance.mean_over(x0, x1, u as u64, seed);
+        max_unit_mult = max_unit_mult.max(w);
+        prefix.push(prefix[u] + compute_per_iter * w * iters_per_unit);
+    }
+    let total_compute = prefix[units];
+    // Compute time of the iteration interval [i0, i1), by interpolation —
+    // exact at unit boundaries, linear inside a unit.
+    let compute_between = |i0: f64, i1: f64| -> f64 {
+        let interp = |x: f64| -> f64 {
+            let pos = (x / iters_per_unit).clamp(0.0, units as f64);
+            let lo = pos.floor() as usize;
+            if lo >= units {
+                return prefix[units];
+            }
+            prefix[lo] + (pos - lo as f64) * (prefix[lo + 1] - prefix[lo])
+        };
+        interp(i1) - interp(i0)
+    };
+
+    bd.compute_ns += total_compute / t as f64;
+    bd.memory_ns += mem[0] * phase.iters as f64 / t as f64;
+
+    let mut dispatch_total = 0.0;
+    // Effective parallel capacity in unit-speed threads (oversubscribed
+    // threads contribute 1/div each) — a work-conserving dispatcher
+    // achieves it.
+    let capacity: f64 = env.speed_div.iter().map(|d| 1.0 / d).sum();
+    let span = match tuning.schedule {
+        OmpSchedule::Static | OmpSchedule::Auto => {
+            // Exact near-equal contiguous split of the iteration space.
+            let mut span = 0.0f64;
+            let base = phase.iters / t as u64;
+            let rem = phase.iters % t as u64;
+            let mut lo = 0u64;
+            for i in 0..t {
+                let len = base + u64::from((i as u64) < rem);
+                let cost = (compute_between(lo as f64, (lo + len) as f64)
+                    + mem[i] * len as f64)
+                    * env.speed_div[i];
+                span = span.max(cost);
+                lo += len;
+            }
+            span
+        }
+        OmpSchedule::Dynamic => {
+            // Chunk size 1: the shared counter balances at iteration
+            // granularity, so the span is the work-conserving optimum
+            // plus per-iteration dispatch and a largest-iteration tail.
+            let mem_avg: f64 = mem.iter().sum::<f64>() / t as f64;
+            let per_iter_dispatch = costs::dispatch_ns(t);
+            dispatch_total = per_iter_dispatch * phase.iters as f64;
+            let total = total_compute + (mem_avg + per_iter_dispatch) * phase.iters as f64;
+            let max_div = env.speed_div.iter().cloned().fold(1.0, f64::max);
+            let tail = (compute_per_iter * max_unit_mult + mem_avg) * max_div;
+            total / capacity + tail
+        }
+        OmpSchedule::Guided => {
+            // The real guided chunk sequence over the iteration space,
+            // greedily assigned to the earliest-free thread.
+            let mut heap = FinishHeap::new(t);
+            let total_iters = phase.iters;
+            let mut next = 0u64;
+            while next < total_iters {
+                let remaining = total_iters - next;
+                let chunk = (remaining / (2 * t as u64)).max(1).min(remaining);
+                let (f, i) = heap.pop();
+                let cost = (compute_between(next as f64, (next + chunk) as f64)
+                    + mem[i] * chunk as f64)
+                    * env.speed_div[i]
+                    + costs::dispatch_ns(t);
+                heap.push(f + cost, i);
+                dispatch_total += costs::dispatch_ns(t);
+                next += chunk;
+            }
+            heap.max_finish()
+        }
+    };
+    bd.dispatch_ns += dispatch_total / t as f64;
+
+    // Unbound regions additionally wait out OS scheduler imbalance.
+    let span = if env.bound {
+        span
+    } else {
+        span * costs::unbound_span_penalty(machine, env.load)
+    };
+
+    let barrier = costs::barrier_ns(t, machine, tuning.align_alloc);
+    let heuristic_pick = tuning.force_reduction == omptune_core::KmpForceReduction::Unset;
+    let red = phase.reductions as f64
+        * costs::reduction_ns(
+            tuning.reduction_method(),
+            t,
+            machine,
+            tuning.align_alloc,
+            heuristic_pick,
+        );
+    bd.sync_ns += barrier + red;
+    span + barrier + red
+}
+
+/// Simulate one task region; returns its span.
+fn simulate_tasks(
+    phase: &TaskPhase,
+    tuning: &TuningConfig,
+    machine: &MachineDesc,
+    env: &ThreadEnv,
+    seed: u64,
+    bd: &mut TimeBreakdown,
+) -> f64 {
+    let t = tuning.num_threads;
+    if phase.n_tasks == 0 {
+        return 0.0;
+    }
+    let yielding = tuning.library == omptune_core::KmpLibrary::Throughput;
+    let units = (phase.n_tasks as usize).min(MAX_UNITS);
+    let tasks_per_unit = phase.n_tasks as f64 / units as f64;
+    let base_task = phase.cycles_per_task / machine.clock_ghz;
+    let admin = costs::task_admin_ns();
+    let starve = phase.starvation * costs::task_starvation_ns(machine, yielding);
+
+    let imb = Imbalance::Random { cv: phase.cv };
+    let mut heap = FinishHeap::new(t);
+    for u in 0..units {
+        let (f, i) = heap.pop();
+        let w = imb.mean_over(0.0, 1.0, u as u64, seed);
+        let mem = mem_ns_per_iter(
+            AccessPattern::Streaming,
+            phase.bytes_per_task,
+            env,
+            machine,
+            0.0,
+            i,
+        );
+        let per_task = base_task * w + mem + admin + starve;
+        heap.push(f + per_task * tasks_per_unit * env.speed_div[i], i);
+    }
+    bd.compute_ns += base_task * phase.n_tasks as f64 / t as f64;
+    bd.dispatch_ns += (admin + starve) * phase.n_tasks as f64 / t as f64;
+
+    let span = heap.max_finish();
+    let span = if env.bound {
+        span
+    } else {
+        span * costs::unbound_span_penalty(machine, env.load)
+    };
+    let barrier = costs::barrier_ns(t, machine, tuning.align_alloc);
+    bd.sync_ns += barrier;
+    span + barrier
+}
+
+/// State threaded between timesteps.
+struct StepOutcome {
+    ns: f64,
+    bd: TimeBreakdown,
+    regions: u64,
+    /// Idle time at step end (trailing serial phases).
+    trailing_idle: f64,
+}
+
+/// Simulate one timestep.
+fn simulate_step(
+    model: &Model,
+    tuning: &TuningConfig,
+    machine: &MachineDesc,
+    env: &ThreadEnv,
+    policy: omptune_core::WaitPolicy,
+    step: u64,
+    seed: u64,
+    mut idle_since_region: f64,
+) -> StepOutcome {
+    let mut bd = TimeBreakdown::default();
+    let mut total = 0.0f64;
+    let mut regions = 0u64;
+    for (pi, phase) in model.phases.iter().enumerate() {
+        let phase_seed = seed ^ (step << 32) ^ pi as u64;
+        match phase {
+            Phase::Serial { ns } => {
+                total += ns;
+                bd.serial_ns += ns;
+                idle_since_region += ns;
+            }
+            Phase::Loop(l) => {
+                let wake = costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
+                let fork = costs::fork_ns(tuning.num_threads);
+                let span = simulate_loop(
+                    l,
+                    tuning,
+                    machine,
+                    env,
+                    model.migration_sensitivity,
+                    phase_seed,
+                    &mut bd,
+                );
+                bd.wake_ns += wake;
+                bd.sync_ns += fork;
+                total += wake + fork + span;
+                idle_since_region = 0.0;
+                regions += 1;
+            }
+            Phase::Tasks(tp) => {
+                let wake = costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
+                let fork = costs::fork_ns(tuning.num_threads);
+                let span = simulate_tasks(tp, tuning, machine, env, phase_seed, &mut bd);
+                bd.wake_ns += wake;
+                bd.sync_ns += fork;
+                total += wake + fork + span;
+                idle_since_region = 0.0;
+                regions += 1;
+            }
+        }
+    }
+    StepOutcome { ns: total, bd, regions, trailing_idle: idle_since_region }
+}
+
+/// Simulate a full application run.
+///
+/// Deterministic: the same `(arch, tuning, model, seed)` always yields the
+/// same result. Measurement noise is applied downstream by the sweep
+/// harness, not here.
+pub fn simulate(arch: Arch, tuning: &TuningConfig, model: &Model, seed: u64) -> SimResult {
+    let machine = machine_for(arch);
+    let topo = Topology::new(machine.clone());
+    let env = thread_env(arch, tuning, &topo);
+    let policy = tuning.wait_policy();
+
+    let mut total = 0.0f64;
+    let mut bd = TimeBreakdown::default();
+    let mut regions = 0u64;
+
+    // Cold first step: the team has never run, so the first region pays a
+    // full wake-up regardless of blocktime.
+    let s0 = simulate_step(model, tuning, &machine, &env, policy, 0, seed, f64::INFINITY);
+    total += s0.ns;
+    bd.add_scaled(&s0.bd, 1.0);
+    regions += s0.regions;
+
+    if model.timesteps > 1 {
+        // Warm second step, then extrapolate: steps are statistically
+        // identical, so the remaining (timesteps - 2) repeat the warm one.
+        let s1 = simulate_step(
+            model,
+            tuning,
+            &machine,
+            &env,
+            policy,
+            1,
+            seed,
+            s0.trailing_idle,
+        );
+        let reps = (model.timesteps - 1) as f64;
+        total += s1.ns * reps;
+        bd.add_scaled(&s1.bd, reps);
+        regions += s1.regions * (model.timesteps as u64 - 1);
+    }
+
+    SimResult { total_ns: total, breakdown: bd, regions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};
+    use omptune_core::{KmpBlocktime, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule};
+
+    fn loop_model(iters: u64, imbalance: Imbalance, access: AccessPattern) -> Model {
+        Model {
+            name: "test".into(),
+            phases: vec![Phase::Loop(LoopPhase {
+                iters,
+                cycles_per_iter: 200.0,
+                bytes_per_iter: if matches!(access, AccessPattern::Streaming) { 64.0 } else { 0.0 },
+                access,
+                imbalance,
+                reductions: 0,
+            })],
+            timesteps: 10,
+            migration_sensitivity: 1.0,
+        }
+    }
+
+    fn cfg(arch: Arch, t: usize) -> TuningConfig {
+        TuningConfig::default_for(arch, t)
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let m = loop_model(100_000, Imbalance::Uniform, AccessPattern::CacheResident);
+        let c = cfg(Arch::Milan, 48);
+        let a = simulate(Arch::Milan, &c, &m, 7);
+        let b = simulate(Arch::Milan, &c, &m, 7);
+        assert_eq!(a, b);
+        let other_seed = simulate(Arch::Milan, &c, &m, 8);
+        // Uniform imbalance: seed has no effect on this model.
+        assert_eq!(a.total_ns, other_seed.total_ns);
+    }
+
+    #[test]
+    fn extrapolated_steps_match_explicit_simulation() {
+        // A model with random imbalance: warm steps differ only by seed;
+        // the extrapolation must equal (t1 * (n-1)) by construction, and
+        // regions must count all steps.
+        let m = loop_model(50_000, Imbalance::Random { cv: 0.3 }, AccessPattern::CacheResident);
+        let r = simulate(Arch::Skylake, &cfg(Arch::Skylake, 40), &m, 3);
+        assert_eq!(r.regions, 10);
+        let mut one = m.clone();
+        one.timesteps = 1;
+        let r1 = simulate(Arch::Skylake, &cfg(Arch::Skylake, 40), &one, 3);
+        assert!(r.total_ns > r1.total_ns * 9.0);
+    }
+
+    #[test]
+    fn more_threads_is_faster_for_parallel_work() {
+        let m = loop_model(1_000_000, Imbalance::Uniform, AccessPattern::CacheResident);
+        let t8 = simulate(Arch::Milan, &cfg(Arch::Milan, 8), &m, 0);
+        let t96 = simulate(Arch::Milan, &cfg(Arch::Milan, 96), &m, 0);
+        assert!(t96.total_ns < t8.total_ns / 6.0, "scaling is broken");
+    }
+
+    #[test]
+    fn master_binding_is_catastrophic_at_high_thread_counts() {
+        let m = loop_model(500_000, Imbalance::Uniform, AccessPattern::CacheResident);
+        let mut c = cfg(Arch::Milan, 96);
+        c.places = OmpPlaces::Cores;
+        c.proc_bind = OmpProcBind::Master;
+        let bad = simulate(Arch::Milan, &c, &m, 0);
+        let good = simulate(Arch::Milan, &cfg(Arch::Milan, 96), &m, 0);
+        assert!(
+            bad.total_ns > 20.0 * good.total_ns,
+            "master bind must oversubscribe one core: {} vs {}",
+            bad.total_ns,
+            good.total_ns
+        );
+    }
+
+    #[test]
+    fn binding_helps_streaming_workloads() {
+        let m = loop_model(500_000, Imbalance::Uniform, AccessPattern::Streaming);
+        let unbound = simulate(Arch::Milan, &cfg(Arch::Milan, 96), &m, 0);
+        let mut c = cfg(Arch::Milan, 96);
+        c.places = OmpPlaces::Cores; // bind unset → derived spread
+        let bound = simulate(Arch::Milan, &c, &m, 0);
+        assert!(bound.total_ns < unbound.total_ns);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_imbalanced_loops() {
+        // Coarse iterations (µs-scale) so dispatch cost doesn't drown the
+        // balance win — the regime where real apps profit from dynamic.
+        let m = Model {
+            phases: vec![Phase::Loop(LoopPhase {
+                iters: 20_000,
+                cycles_per_iter: 6000.0,
+                bytes_per_iter: 0.0,
+                access: AccessPattern::CacheResident,
+                imbalance: Imbalance::Linear { skew: 1.5 },
+                reductions: 0,
+            })],
+            ..loop_model(1, Imbalance::Uniform, AccessPattern::CacheResident)
+        };
+        let stat = simulate(Arch::Skylake, &cfg(Arch::Skylake, 40), &m, 0);
+        let mut c = cfg(Arch::Skylake, 40);
+        c.schedule = OmpSchedule::Dynamic;
+        let dyn_ = simulate(Arch::Skylake, &c, &m, 0);
+        let mut c = cfg(Arch::Skylake, 40);
+        c.schedule = OmpSchedule::Guided;
+        let guided = simulate(Arch::Skylake, &c, &m, 0);
+        assert!(dyn_.total_ns < stat.total_ns, "dynamic {} static {}", dyn_.total_ns, stat.total_ns);
+        assert!(guided.total_ns < stat.total_ns);
+    }
+
+    #[test]
+    fn dynamic_costs_dispatch_on_balanced_loops() {
+        let m = loop_model(500_000, Imbalance::Uniform, AccessPattern::CacheResident);
+        let stat = simulate(Arch::Skylake, &cfg(Arch::Skylake, 40), &m, 0);
+        let mut c = cfg(Arch::Skylake, 40);
+        c.schedule = OmpSchedule::Dynamic;
+        let dyn_ = simulate(Arch::Skylake, &c, &m, 0);
+        assert!(dyn_.total_ns > stat.total_ns);
+    }
+
+    #[test]
+    fn turnaround_helps_fine_grained_tasks() {
+        let m = Model {
+            name: "nq".into(),
+            phases: vec![Phase::Tasks(TaskPhase {
+                n_tasks: 100_000,
+                cycles_per_task: 2000.0,
+                cv: 0.3,
+                starvation: 0.9,
+                bytes_per_task: 0.0,
+            })],
+            timesteps: 1,
+            migration_sensitivity: 0.0,
+        };
+        let thr = simulate(Arch::Milan, &cfg(Arch::Milan, 48), &m, 0);
+        let mut c = cfg(Arch::Milan, 48);
+        c.library = KmpLibrary::Turnaround;
+        let turn = simulate(Arch::Milan, &c, &m, 0);
+        let speedup = thr.total_ns / turn.total_ns;
+        assert!(speedup > 1.5, "turnaround speedup {speedup}");
+    }
+
+    #[test]
+    fn blocktime_zero_hurts_many_region_apps() {
+        let m = Model {
+            name: "mg".into(),
+            phases: vec![
+                Phase::Loop(LoopPhase {
+                    iters: 10_000,
+                    cycles_per_iter: 50.0,
+                    bytes_per_iter: 0.0,
+                    access: AccessPattern::CacheResident,
+                    imbalance: Imbalance::Uniform,
+                    reductions: 0,
+                }),
+                Phase::Serial { ns: 20_000.0 },
+            ],
+            timesteps: 500,
+            migration_sensitivity: 0.0,
+        };
+        let default = simulate(Arch::Skylake, &cfg(Arch::Skylake, 40), &m, 0);
+        let mut c = cfg(Arch::Skylake, 40);
+        c.blocktime = KmpBlocktime::Zero;
+        let sleepy = simulate(Arch::Skylake, &c, &m, 0);
+        assert!(sleepy.total_ns > default.total_ns);
+    }
+
+    #[test]
+    fn migration_penalty_hits_milan_random_lookups_only() {
+        let m = loop_model(
+            200_000,
+            Imbalance::Uniform,
+            AccessPattern::RandomShared { accesses_per_iter: 6.0 },
+        );
+        let speedup_of_binding = |arch: Arch, t: usize| {
+            let unbound = simulate(arch, &cfg(arch, t), &m, 0);
+            let mut c = cfg(arch, t);
+            c.places = OmpPlaces::Cores;
+            let bound = simulate(arch, &c, &m, 0);
+            unbound.total_ns / bound.total_ns
+        };
+        let milan = speedup_of_binding(Arch::Milan, 96);
+        let skl = speedup_of_binding(Arch::Skylake, 40);
+        let fx = speedup_of_binding(Arch::A64fx, 48);
+        assert!(milan > 1.5, "milan binding speedup {milan}");
+        assert!(skl < 1.12, "skylake should barely move: {skl}");
+        assert!(fx < 1.15, "a64fx should barely move: {fx}");
+    }
+
+    #[test]
+    fn migration_penalty_fades_at_low_occupancy() {
+        let m = loop_model(
+            200_000,
+            Imbalance::Uniform,
+            AccessPattern::RandomShared { accesses_per_iter: 6.0 },
+        );
+        let speedup_of_binding = |t: usize| {
+            let unbound = simulate(Arch::Milan, &cfg(Arch::Milan, t), &m, 0);
+            let mut c = cfg(Arch::Milan, t);
+            c.places = OmpPlaces::Cores;
+            let bound = simulate(Arch::Milan, &c, &m, 0);
+            unbound.total_ns / bound.total_ns
+        };
+        assert!(speedup_of_binding(96) > 2.0 * speedup_of_binding(24));
+    }
+
+    #[test]
+    fn breakdown_sums_close_to_total() {
+        let m = loop_model(100_000, Imbalance::Uniform, AccessPattern::Streaming);
+        let r = simulate(Arch::Skylake, &cfg(Arch::Skylake, 40), &m, 1);
+        let b = &r.breakdown;
+        let sum = b.compute_ns + b.memory_ns + b.sync_ns + b.wake_ns + b.dispatch_ns + b.serial_ns;
+        // The breakdown charges ideal per-thread time; the total also
+        // carries imbalance idle time, so sum <= total (with slack).
+        assert!(sum <= r.total_ns * 1.05, "sum {sum} total {}", r.total_ns);
+        assert!(sum >= r.total_ns * 0.2);
+        assert_eq!(r.regions, 10);
+    }
+
+    #[test]
+    fn empty_phases_cost_nothing_parallel() {
+        let m = Model {
+            name: "empty".into(),
+            phases: vec![Phase::Loop(LoopPhase {
+                iters: 0,
+                cycles_per_iter: 0.0,
+                bytes_per_iter: 0.0,
+                access: AccessPattern::CacheResident,
+                imbalance: Imbalance::Uniform,
+                reductions: 0,
+            })],
+            timesteps: 1,
+            migration_sensitivity: 0.0,
+        };
+        let r = simulate(Arch::A64fx, &cfg(Arch::A64fx, 48), &m, 0);
+        // Only fork/wake/barrier overheads remain.
+        assert!(r.total_ns < 1e6);
+    }
+}

@@ -1,0 +1,30 @@
+//! # simrt — the simulated OpenMP runtime
+//!
+//! Executes [`model::Model`] workload descriptions under a
+//! `TuningConfig` on a simulated machine (`archsim`), in deterministic
+//! virtual time. This is the substrate that lets the reproduction run the
+//! paper's 240,000-sample sweep on a laptop: every tuning effect the
+//! paper measures is modelled explicitly —
+//!
+//! - **placement & binding** → NUMA locality of streaming traffic,
+//!   per-node bandwidth sharing, core oversubscription (the `master`-bind
+//!   worst-trend), migration penalties for random-lookup tables,
+//! - **schedule** → chunk assignment (reusing the real runtime's chunk
+//!   math), dispatch costs, imbalance tails,
+//! - **library & blocktime** → region-start wake-up latencies
+//!   (spin vs. yield vs. park) and task-starvation costs,
+//! - **force-reduction & align-alloc** → reduction-method costs and the
+//!   adjacent-line interference of the runtime's internal allocations.
+//!
+//! See `costs` for every formula and `EXPERIMENTS.md` for calibration.
+
+pub mod costs;
+pub mod exec;
+pub mod explain;
+pub mod microsim;
+pub mod model;
+
+pub use exec::{machine_for, simulate, SimResult, TimeBreakdown, MAX_UNITS};
+pub use explain::{explain, Explanation, PhaseCost};
+pub use microsim::{run_loop_event_driven, MicroResult};
+pub use model::{AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};

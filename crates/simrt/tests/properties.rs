@@ -1,0 +1,133 @@
+//! Property-based tests of the simulated runtime: physical bounds that
+//! must hold for *every* configuration and workload shape.
+
+use omptune_core::{Arch, ConfigSpace, TuningConfig};
+use proptest::prelude::*;
+use simrt::{simulate, AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};
+
+fn arch_strategy() -> impl Strategy<Value = Arch> {
+    prop_oneof![Just(Arch::A64fx), Just(Arch::Skylake), Just(Arch::Milan)]
+}
+
+fn loop_model(iters: u64, cycles: f64, timesteps: u32) -> Model {
+    Model {
+        name: "prop".into(),
+        phases: vec![Phase::Loop(LoopPhase {
+            iters,
+            cycles_per_iter: cycles,
+            bytes_per_iter: 0.0,
+            access: AccessPattern::CacheResident,
+            imbalance: Imbalance::Uniform,
+            reductions: 0,
+        })],
+        timesteps,
+        migration_sensitivity: 0.0,
+    }
+}
+
+proptest! {
+    /// Makespan can never beat the work-conserving bound
+    /// total_compute / threads, and a single thread can never beat the
+    /// serial compute time.
+    #[test]
+    fn makespan_respects_capacity_bound(
+        arch in arch_strategy(),
+        config_idx in 0usize..4608,
+        iters in 1u64..2_000_000,
+        cycles in 1.0f64..5_000.0,
+    ) {
+        let t = arch.cores();
+        let space = ConfigSpace::new(arch, t);
+        let config = space.get(config_idx % space.len()).expect("in space");
+        let model = loop_model(iters, cycles, 1);
+        let machine = simrt::machine_for(arch);
+        let r = simulate(arch, &config, &model, 0);
+        let serial_ns = iters as f64 * cycles / machine.clock_ghz;
+        prop_assert!(
+            r.total_ns >= serial_ns / t as f64,
+            "superlinear: {} < {}",
+            r.total_ns,
+            serial_ns / t as f64
+        );
+        // And the simulation is monotone in work for the same config.
+        let bigger = loop_model(iters * 2, cycles, 1);
+        let r2 = simulate(arch, &config, &bigger, 0);
+        prop_assert!(r2.total_ns > r.total_ns);
+    }
+
+    /// Determinism across repeated evaluation, for arbitrary configs.
+    #[test]
+    fn simulation_is_pure(
+        arch in arch_strategy(),
+        config_idx in 0usize..4608,
+        seed in any::<u64>(),
+    ) {
+        let t = arch.cores();
+        let space = ConfigSpace::new(arch, t);
+        let config = space.get(config_idx % space.len()).expect("in space");
+        let model = loop_model(50_000, 300.0, 3);
+        let a = simulate(arch, &config, &model, seed);
+        let b = simulate(arch, &config, &model, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More timesteps never run faster; time is additive-ish in steps.
+    #[test]
+    fn timesteps_monotone(arch in arch_strategy(), steps in 1u32..50) {
+        let config = TuningConfig::default_for(arch, arch.cores());
+        let small = loop_model(10_000, 200.0, steps);
+        let big = loop_model(10_000, 200.0, steps + 1);
+        let a = simulate(arch, &config, &small, 1).total_ns;
+        let b = simulate(arch, &config, &big, 1).total_ns;
+        prop_assert!(b > a);
+    }
+
+    /// Task phases: makespan bounded below by total work / threads and
+    /// above by the serial sum (plus overheads scaled by the worst
+    /// placement divisor).
+    #[test]
+    fn task_phase_bounds(
+        arch in arch_strategy(),
+        n_tasks in 1u64..100_000,
+        cycles in 100.0f64..100_000.0,
+    ) {
+        let t = arch.cores();
+        let config = TuningConfig::default_for(arch, t);
+        let model = Model {
+            name: "tasks".into(),
+            phases: vec![Phase::Tasks(TaskPhase {
+                n_tasks,
+                cycles_per_task: cycles,
+                cv: 0.0,
+                starvation: 0.0,
+                bytes_per_task: 0.0,
+            })],
+            timesteps: 1,
+            migration_sensitivity: 0.0,
+        };
+        let machine = simrt::machine_for(arch);
+        let r = simulate(arch, &config, &model, 0);
+        let serial = n_tasks as f64 * cycles / machine.clock_ghz;
+        prop_assert!(r.total_ns >= serial / t as f64);
+    }
+
+    /// The default configuration is never the absolute worst: the
+    /// master-bind configs must always be at least as slow.
+    #[test]
+    fn master_bind_never_beats_default_at_full_threads(
+        arch in arch_strategy(),
+        iters in 10_000u64..500_000,
+    ) {
+        let t = arch.cores();
+        let default = TuningConfig::default_for(arch, t);
+        let master = TuningConfig {
+            places: omptune_core::OmpPlaces::Cores,
+            proc_bind: omptune_core::OmpProcBind::Master,
+            ..default
+        };
+        let model = loop_model(iters, 400.0, 2);
+        let d = simulate(arch, &default, &model, 0).total_ns;
+        let m = simulate(arch, &master, &model, 0).total_ns;
+        prop_assert!(m > d, "master {m} should exceed default {d}");
+    }
+}

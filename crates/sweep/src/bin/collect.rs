@@ -1,0 +1,56 @@
+//! Dataset collection binary: produce the open-sourced artifacts the
+//! paper promises — the processed tabular CSV and the raw per-batch JSON.
+//!
+//! Usage: `collect [fast|paper|full] [output-dir]`
+//! Default: paper scope into `./dataset/`.
+
+use std::fs;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use sweep::{Dataset, Scope, SweepSpec};
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scope = match args.first().map(String::as_str) {
+        Some("fast") => Scope::Strided(24),
+        Some("full") => Scope::Full,
+        _ => Scope::PaperSized,
+    };
+    let out_dir = PathBuf::from(args.get(1).map(String::as_str).unwrap_or("dataset"));
+    fs::create_dir_all(&out_dir)?;
+
+    let spec = SweepSpec { scope, ..SweepSpec::default() };
+    eprintln!("sweeping all architectures ({scope:?}) ...");
+    let mut batches = sweep::sweep_all(&spec);
+    let mut dropped = 0usize;
+    for b in &mut batches {
+        dropped += sweep::clean(b, spec.reps as usize).dropped.len();
+    }
+    let dataset = Dataset::build(&batches);
+    eprintln!(
+        "collected {} samples across {} batches ({} dropped in cleaning)",
+        dataset.records.len(),
+        batches.len(),
+        dropped
+    );
+
+    let csv_path = out_dir.join("samples.csv");
+    let mut csv = BufWriter::new(fs::File::create(&csv_path)?);
+    sweep::export::write_csv(&dataset, &mut csv)?;
+    eprintln!("wrote {}", csv_path.display());
+
+    let raw_path = out_dir.join("raw_batches.json");
+    let mut raw = BufWriter::new(fs::File::create(&raw_path)?);
+    sweep::export::write_raw_json(&batches, &mut raw)?;
+    eprintln!("wrote {}", raw_path.display());
+
+    // Per-architecture Table II summary next to the data.
+    let summary_path = out_dir.join("SUMMARY.txt");
+    let mut summary = String::from("samples per architecture (paper Table II)\n");
+    for (arch, apps, samples) in dataset.table2() {
+        summary.push_str(&format!("{}: {apps} applications, {samples} samples\n", arch.id()));
+    }
+    fs::write(&summary_path, summary)?;
+    eprintln!("wrote {}", summary_path.display());
+    Ok(())
+}

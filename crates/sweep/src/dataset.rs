@@ -1,0 +1,175 @@
+//! Dataset building: raw sweep batches → cleaned tabular records.
+//!
+//! Mirrors the paper's processing pipeline (Sec. IV-B): raw outputs are
+//! validated and cleaned, repetitions are averaged per configuration,
+//! the default runtime of the same setting is attached, and the speedup
+//! over the default is computed — producing the rows the analysis and
+//! every table/figure consume.
+
+use crate::runner::SettingData;
+use omptune_core::analysis::AnalysisRecord;
+use omptune_core::Arch;
+use serde::{Deserialize, Serialize};
+
+/// Why a raw sample was dropped during cleaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// A repetition was non-finite or non-positive (crashed/failed run).
+    InvalidRuntime,
+    /// The sample had fewer repetitions than requested (incomplete batch).
+    MissingRepetitions,
+}
+
+/// Cleaning report: what survived and what was dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CleanReport {
+    pub kept: usize,
+    pub dropped: Vec<(usize, DropReason)>,
+}
+
+/// Validate one batch in place, dropping failed samples. Returns the
+/// report. `expected_reps` is the sweep's repetition count.
+pub fn clean(data: &mut SettingData, expected_reps: usize) -> CleanReport {
+    let mut dropped = Vec::new();
+    let mut kept = Vec::with_capacity(data.samples.len());
+    for s in data.samples.drain(..) {
+        if s.runtimes.len() < expected_reps {
+            dropped.push((s.config_index, DropReason::MissingRepetitions));
+        } else if s.runtimes.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+            dropped.push((s.config_index, DropReason::InvalidRuntime));
+        } else {
+            kept.push(s);
+        }
+    }
+    data.samples = kept;
+    CleanReport { kept: data.samples.len(), dropped }
+}
+
+/// A fully processed tabular dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub records: Vec<AnalysisRecord>,
+}
+
+impl Dataset {
+    /// Build records from cleaned batches.
+    pub fn build(batches: &[SettingData]) -> Dataset {
+        let mut records = Vec::new();
+        for batch in batches {
+            let default_mean = batch.default_mean();
+            for s in &batch.samples {
+                records.push(AnalysisRecord {
+                    arch: batch.key.arch,
+                    app: batch.key.app.clone(),
+                    input_size: batch.key.input_code as f64,
+                    config: s.config,
+                    speedup: default_mean / s.mean_runtime(),
+                });
+            }
+        }
+        Dataset { records }
+    }
+
+    /// Sample count per architecture — the paper's Table II.
+    pub fn table2(&self) -> Vec<(Arch, usize, usize)> {
+        Arch::ALL
+            .iter()
+            .map(|&arch| {
+                let samples = self.records.iter().filter(|r| r.arch == arch).count();
+                let mut apps: Vec<&str> = self
+                    .records
+                    .iter()
+                    .filter(|r| r.arch == arch)
+                    .map(|r| r.app.as_str())
+                    .collect();
+                apps.sort();
+                apps.dedup();
+                (arch, apps.len(), samples)
+            })
+            .collect()
+    }
+
+    /// Records restricted to one (app, arch) cell.
+    pub fn cell(&self, app: &str, arch: Arch) -> Vec<&AnalysisRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.app == app && r.arch == arch)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{RawSample, RunKey};
+    use omptune_core::TuningConfig;
+
+    fn batch(arch: Arch, app: &str, runtimes: Vec<Vec<f64>>) -> SettingData {
+        let t = arch.cores();
+        SettingData {
+            key: RunKey { arch, app: app.into(), input_code: 0, num_threads: t },
+            samples: runtimes
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| RawSample {
+                    config_index: i,
+                    config: TuningConfig::default_for(arch, t),
+                    runtimes: r,
+                })
+                .collect(),
+            default_runtimes: vec![1.0, 1.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn clean_drops_failed_runs() {
+        let mut b = batch(
+            Arch::Milan,
+            "cg",
+            vec![
+                vec![1.0, 1.1, 0.9],
+                vec![1.0, f64::NAN, 1.0],
+                vec![1.0, -0.5, 1.0],
+                vec![1.0, 1.0], // incomplete
+            ],
+        );
+        let report = clean(&mut b, 3);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped.len(), 3);
+        assert!(report
+            .dropped
+            .iter()
+            .any(|(_, r)| *r == DropReason::MissingRepetitions));
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn speedup_is_default_over_sample() {
+        let b = batch(Arch::Skylake, "ft", vec![vec![0.5, 0.5, 0.5], vec![2.0, 2.0, 2.0]]);
+        let ds = Dataset::build(&[b]);
+        assert_eq!(ds.records.len(), 2);
+        assert_eq!(ds.records[0].speedup, 2.0);
+        assert_eq!(ds.records[1].speedup, 0.5);
+    }
+
+    #[test]
+    fn table2_counts_by_arch() {
+        let b1 = batch(Arch::A64fx, "cg", vec![vec![1.0; 3]; 5]);
+        let b2 = batch(Arch::A64fx, "ft", vec![vec![1.0; 3]; 4]);
+        let b3 = batch(Arch::Milan, "cg", vec![vec![1.0; 3]; 7]);
+        let ds = Dataset::build(&[b1, b2, b3]);
+        let t2 = ds.table2();
+        assert_eq!(t2[0], (Arch::A64fx, 2, 9));
+        assert_eq!(t2[2], (Arch::Milan, 1, 7));
+        assert_eq!(t2[1], (Arch::Skylake, 0, 0));
+    }
+
+    #[test]
+    fn cell_filters_correctly() {
+        let b1 = batch(Arch::A64fx, "cg", vec![vec![1.0; 3]; 2]);
+        let b2 = batch(Arch::Milan, "cg", vec![vec![1.0; 3]; 3]);
+        let ds = Dataset::build(&[b1, b2]);
+        assert_eq!(ds.cell("cg", Arch::Milan).len(), 3);
+        assert_eq!(ds.cell("cg", Arch::Skylake).len(), 0);
+    }
+}

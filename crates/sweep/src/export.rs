@@ -1,0 +1,100 @@
+//! Dataset export: the open-sourced artifacts the paper promises —
+//! tabular CSV (one row per sample) and JSON (full fidelity via serde).
+
+use crate::dataset::Dataset;
+use crate::runner::SettingData;
+use std::io::{self, Write};
+
+/// CSV header for the tabular dataset.
+pub const CSV_HEADER: &str = "arch,app,input_size,num_threads,omp_places,omp_proc_bind,\
+omp_schedule,kmp_library,kmp_blocktime,kmp_force_reduction,kmp_align_alloc,speedup";
+
+/// Write the processed dataset as CSV.
+pub fn write_csv<W: Write>(ds: &Dataset, out: &mut W) -> io::Result<()> {
+    writeln!(out, "{CSV_HEADER}")?;
+    for r in &ds.records {
+        let c = &r.config;
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{:.6}",
+            r.arch.id(),
+            r.app,
+            r.input_size,
+            c.num_threads,
+            c.places.env_value().unwrap_or("unset"),
+            c.proc_bind.env_value().unwrap_or("unset"),
+            c.schedule.env_value(),
+            c.library.env_value(),
+            c.blocktime.env_value(),
+            c.force_reduction.env_value().unwrap_or("unset"),
+            c.align_alloc.bytes(),
+            r.speedup,
+        )?;
+    }
+    Ok(())
+}
+
+/// Serialize raw batches (the "raw output" artifact) as JSON.
+pub fn write_raw_json<W: Write>(batches: &[SettingData], out: &mut W) -> io::Result<()> {
+    serde_json::to_writer(out, batches).map_err(io::Error::other)
+}
+
+/// Round-trip helper used by tests and the repro binaries.
+pub fn read_raw_json(data: &[u8]) -> io::Result<Vec<SettingData>> {
+    serde_json::from_slice(data).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{RawSample, RunKey};
+    use omptune_core::analysis::AnalysisRecord;
+    use omptune_core::{Arch, TuningConfig};
+
+    fn small_dataset() -> Dataset {
+        Dataset {
+            records: vec![AnalysisRecord {
+                arch: Arch::Milan,
+                app: "cg".into(),
+                input_size: 1.0,
+                config: TuningConfig::default_for(Arch::Milan, 96),
+                speedup: 1.25,
+            }],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&small_dataset(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), CSV_HEADER);
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("milan,cg,1,96,unset,unset,static,"));
+        assert!(row.ends_with("1.250000"));
+        assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn raw_json_roundtrip() {
+        let batches = vec![SettingData {
+            key: RunKey {
+                arch: Arch::A64fx,
+                app: "ep".into(),
+                input_code: 2,
+                num_threads: 48,
+            },
+            samples: vec![RawSample {
+                config_index: 17,
+                config: TuningConfig::default_for(Arch::A64fx, 48),
+                runtimes: vec![0.5, 0.51, 0.49],
+            }],
+            default_runtimes: vec![0.5, 0.5, 0.5],
+        }];
+        let mut buf = Vec::new();
+        write_raw_json(&batches, &mut buf).unwrap();
+        let back = read_raw_json(&buf).unwrap();
+        assert_eq!(back, batches);
+    }
+}

@@ -1,0 +1,23 @@
+//! # sweep — large-scale parameter-space exploration harness
+//!
+//! Reproduces the paper's data-collection pipeline (Sec. IV-B/C):
+//!
+//! - [`spec`] — sweep scopes, including the exact Table II sample counts,
+//! - [`runner`] — deterministic batch execution of
+//!   (arch × app × setting × config × repetition) on the simulator with
+//!   the per-architecture noise model,
+//! - [`dataset`] — cleaning, repetition averaging, speedup computation,
+//!   and tabular record building,
+//! - [`export`] — the open-sourced artifacts: CSV tables and raw JSON.
+
+pub mod dataset;
+pub mod export;
+pub mod runner;
+pub mod spec;
+
+pub use dataset::{clean, CleanReport, Dataset, DropReason};
+pub use runner::{
+    sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting, RawSample,
+    RunKey, SettingData,
+};
+pub use spec::{Scope, SweepSpec};

@@ -1,0 +1,334 @@
+//! The sweep runner: executes (architecture × application × setting ×
+//! configuration × repetition) on the simulator, with the
+//! architecture-dependent noise model applied per repetition.
+//!
+//! Determinism: a sample's noise stream is derived from its identity
+//! (arch, app, setting, config index), never from evaluation order, so a
+//! partial or parallel sweep produces byte-identical samples.
+
+use crate::spec::{configs_for, SweepSpec};
+use archsim::NoiseModel;
+use omptune_core::{Arch, TuningConfig};
+use serde::{Deserialize, Serialize};
+use workloads::{AppSpec, Setting};
+
+/// Identity of one sweep batch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RunKey {
+    pub arch: Arch,
+    pub app: String,
+    pub input_code: u32,
+    pub num_threads: usize,
+}
+
+/// One raw sample: a configuration with its repeated "measurements"
+/// (virtual seconds perturbed by the noise model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawSample {
+    pub config_index: usize,
+    pub config: TuningConfig,
+    /// One runtime (seconds) per repetition, R0..R{reps-1}.
+    pub runtimes: Vec<f64>,
+}
+
+impl RawSample {
+    /// Mean runtime across repetitions — the paper averages repetitions
+    /// per configuration to mitigate noise (Sec. IV-C).
+    pub fn mean_runtime(&self) -> f64 {
+        self.runtimes.iter().sum::<f64>() / self.runtimes.len() as f64
+    }
+}
+
+/// All samples of one (arch, app, setting) batch, plus the default
+/// configuration's runtimes the speedups are measured against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettingData {
+    pub key: RunKey,
+    pub samples: Vec<RawSample>,
+    /// Repeated runtimes of the default configuration of this setting.
+    pub default_runtimes: Vec<f64>,
+}
+
+impl SettingData {
+    /// Mean default runtime.
+    pub fn default_mean(&self) -> f64 {
+        self.default_runtimes.iter().sum::<f64>() / self.default_runtimes.len() as f64
+    }
+
+    /// Speedup of one sample over the default (ratio of averaged runs).
+    pub fn speedup(&self, sample: &RawSample) -> f64 {
+        self.default_mean() / sample.mean_runtime()
+    }
+}
+
+/// Stable stream id for the noise model from the sample identity.
+fn noise_stream(key: &RunKey, config_index: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    eat(key.arch as u64);
+    for byte in key.app.bytes() {
+        eat(byte as u64);
+    }
+    eat(key.input_code as u64);
+    eat(key.num_threads as u64);
+    eat(config_index as u64);
+    h
+}
+
+/// Deterministic uniform in [0, 1) for failure injection.
+fn failure_roll(seed: u64, stream: u64, rep: u32) -> f64 {
+    let mut z = seed ^ stream.rotate_left(17) ^ ((rep as u64) << 48) ^ 0xFA11_FA11;
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Simulate one configuration's repetitions. Repetitions hit by the
+/// failure model record `NaN` ("the job died"), to be dropped by the
+/// cleaning pass.
+fn run_config(
+    key: &RunKey,
+    app: &AppSpec,
+    config: &TuningConfig,
+    config_index: usize,
+    spec: &SweepSpec,
+    noise: &NoiseModel,
+) -> Vec<f64> {
+    let setting = Setting { input_code: key.input_code, num_threads: key.num_threads };
+    let model = (app.model)(key.arch, setting);
+    let base = simrt::simulate(key.arch, config, &model, spec.seed).seconds();
+    let stream = noise_stream(key, config_index);
+    (0..spec.reps)
+        .map(|rep| {
+            if spec.failure_rate > 0.0
+                && failure_roll(spec.seed, stream, rep) < spec.failure_rate
+            {
+                f64::NAN
+            } else {
+                base * noise.factor(spec.seed, stream, rep)
+            }
+        })
+        .collect()
+}
+
+/// Run the full batch for one (arch, app, setting).
+///
+/// `setting_idx` is the setting's position in the architecture's sweep
+/// order (it determines the paper-sized sample count).
+pub fn sweep_setting(
+    arch: Arch,
+    app: &AppSpec,
+    setting: Setting,
+    setting_idx: usize,
+    spec: &SweepSpec,
+) -> SettingData {
+    let key = RunKey {
+        arch,
+        app: app.name.to_string(),
+        input_code: setting.input_code,
+        num_threads: setting.num_threads,
+    };
+    let noise = NoiseModel::for_machine(arch.id());
+    let configs = configs_for(arch, setting.num_threads, setting_idx, spec.scope);
+
+    let samples: Vec<RawSample> = configs
+        .into_iter()
+        .map(|(config_index, config)| RawSample {
+            config_index,
+            runtimes: run_config(&key, app, &config, config_index, spec, &noise),
+            config,
+        })
+        .collect();
+
+    // The default configuration is simulated explicitly (it may or may
+    // not be among the sampled rows) with its own noise stream.
+    let default_config = TuningConfig::default_for(arch, setting.num_threads);
+    let default_runtimes =
+        run_config(&key, app, &default_config, usize::MAX, spec, &noise);
+
+    SettingData { key, samples, default_runtimes }
+}
+
+/// The (app, setting, setting-index) work list for one architecture.
+fn work_list(arch: Arch) -> Vec<(&'static workloads::AppSpec, Setting, usize)> {
+    let mut out = Vec::new();
+    let mut setting_idx = 0;
+    for app in workloads::apps_on(arch) {
+        for setting in workloads::settings_for(app, arch) {
+            out.push((app, setting, setting_idx));
+            setting_idx += 1;
+        }
+    }
+    out
+}
+
+/// Sweep everything available on one architecture, in catalog order.
+pub fn sweep_arch(arch: Arch, spec: &SweepSpec) -> Vec<SettingData> {
+    work_list(arch)
+        .into_iter()
+        .map(|(app, setting, idx)| sweep_setting(arch, app, setting, idx, spec))
+        .collect()
+}
+
+/// Sweep one architecture with `workers` OS threads, splitting the
+/// batch list. Because every sample's noise stream is identity-derived,
+/// the result is byte-identical to the sequential [`sweep_arch`] — a
+/// property the tests pin down.
+pub fn sweep_arch_parallel(arch: Arch, spec: &SweepSpec, workers: usize) -> Vec<SettingData> {
+    let work = work_list(arch);
+    let workers = workers.clamp(1, work.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let done = std::sync::Mutex::new(Vec::with_capacity(work.len()));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (work, next, done) = (&work, &next, &done);
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let (app, setting, idx) = work[i];
+                let data = sweep_setting(arch, app, setting, idx, spec);
+                done.lock().expect("result lock").push((i, data));
+            });
+        }
+    })
+    .expect("sweep workers panicked");
+
+    let mut results = done.into_inner().expect("result lock");
+    results.sort_by_key(|(i, _)| *i);
+    assert_eq!(results.len(), work.len(), "every batch completed");
+    results.into_iter().map(|(_, d)| d).collect()
+}
+
+/// Sweep all three architectures (the paper's full data collection).
+pub fn sweep_all(spec: &SweepSpec) -> Vec<SettingData> {
+    Arch::ALL.iter().flat_map(|&arch| sweep_arch(arch, spec)).collect()
+}
+
+/// Parallel variant of [`sweep_all`].
+pub fn sweep_all_parallel(spec: &SweepSpec, workers: usize) -> Vec<SettingData> {
+    Arch::ALL
+        .iter()
+        .flat_map(|&arch| sweep_arch_parallel(arch, spec, workers))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scope;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec { scope: Scope::Strided(400), reps: 3, seed: 42, failure_rate: 0.0 }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let app = workloads::app("cg").unwrap();
+        let setting = Setting { input_code: 0, num_threads: 40 };
+        let a = sweep_setting(Arch::Skylake, app, setting, 0, &tiny_spec());
+        let b = sweep_setting(Arch::Skylake, app, setting, 0, &tiny_spec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runtimes_positive_and_rep_count_honoured() {
+        let app = workloads::app("ep").unwrap();
+        let setting = Setting { input_code: 0, num_threads: 48 };
+        let data = sweep_setting(Arch::A64fx, app, setting, 0, &tiny_spec());
+        assert!(!data.samples.is_empty());
+        for s in &data.samples {
+            assert_eq!(s.runtimes.len(), 3);
+            assert!(s.runtimes.iter().all(|r| *r > 0.0 && r.is_finite()));
+        }
+        assert_eq!(data.default_runtimes.len(), 3);
+    }
+
+    #[test]
+    fn default_speedup_is_about_one() {
+        // A sampled row equal to the default config must have speedup ~1
+        // (exactly 1 up to noise).
+        let app = workloads::app("ep").unwrap();
+        let setting = Setting { input_code: 0, num_threads: 48 };
+        let spec = SweepSpec { scope: Scope::Full, reps: 3, seed: 7, failure_rate: 0.0 };
+        let data = sweep_setting(Arch::A64fx, app, setting, 0, &spec);
+        let default_row = data
+            .samples
+            .iter()
+            .find(|s| s.config.is_default(Arch::A64fx))
+            .expect("full scope contains the default");
+        let sp = data.speedup(default_row);
+        assert!((sp - 1.0).abs() < 0.01, "speedup {sp}");
+    }
+
+    #[test]
+    fn milan_rep0_runs_visibly_slower() {
+        // The Table IV drift pattern must be visible in raw samples.
+        let app = workloads::app("alignment").unwrap();
+        let setting = Setting { input_code: 0, num_threads: 96 };
+        let data = sweep_setting(Arch::Milan, app, setting, 0, &tiny_spec());
+        let mean_rep = |r: usize| {
+            data.samples.iter().map(|s| s.runtimes[r]).sum::<f64>()
+                / data.samples.len() as f64
+        };
+        assert!(mean_rep(0) > 1.15 * mean_rep(1), "missing batch drift");
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let spec = SweepSpec { scope: Scope::Strided(1500), reps: 2, seed: 3, failure_rate: 0.0 };
+        let seq = sweep_arch(Arch::A64fx, &spec);
+        for workers in [1usize, 2, 5] {
+            let par = sweep_arch_parallel(Arch::A64fx, &spec, workers);
+            assert_eq!(par, seq, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn failure_injection_produces_nans_that_cleaning_drops() {
+        let app = workloads::app("lu").unwrap();
+        let setting = Setting { input_code: 0, num_threads: 40 };
+        let spec = SweepSpec {
+            scope: Scope::Strided(100),
+            reps: 3,
+            seed: 9,
+            failure_rate: 0.15,
+        };
+        let mut data = sweep_setting(Arch::Skylake, app, setting, 0, &spec);
+        let failed = data
+            .samples
+            .iter()
+            .filter(|s| s.runtimes.iter().any(|r| r.is_nan()))
+            .count();
+        let n = data.samples.len();
+        // ~1 - 0.85^3 = 38% of samples lose at least one rep.
+        assert!(failed > n / 8 && failed < n * 3 / 4, "{failed}/{n} failed");
+        let report = crate::dataset::clean(&mut data, 3);
+        assert_eq!(report.dropped.len(), failed);
+        assert!(data.samples.iter().all(|s| s.runtimes.iter().all(|r| r.is_finite())));
+        // Determinism extends to failures.
+        let again = sweep_setting(Arch::Skylake, app, setting, 0, &spec);
+        let failed_again = again
+            .samples
+            .iter()
+            .filter(|s| s.runtimes.iter().any(|r| r.is_nan()))
+            .count();
+        assert_eq!(failed, failed_again);
+    }
+
+    #[test]
+    fn arch_sweep_covers_all_settings() {
+        let spec = SweepSpec { scope: Scope::Strided(2000), reps: 2, seed: 1, failure_rate: 0.0 };
+        let data = sweep_arch(Arch::Skylake, &spec);
+        assert_eq!(data.len(), 36);
+        // Health and Sort/Strassen absent on Skylake.
+        assert!(data.iter().all(|d| d.key.app != "health"));
+        assert!(data.iter().all(|d| d.key.app != "sort"));
+    }
+}

@@ -1,0 +1,142 @@
+//! BOTS **Alignment** — pairwise protein sequence alignment.
+//!
+//! One task per sequence pair, each a Smith-Waterman-style dynamic
+//! program. Tasks are tens of microseconds with moderate variance —
+//! enough starvation for `KMP_LIBRARY` to matter a few percent, plus a
+//! streaming component that rewards binding on Milan (paper Table V:
+//! A64FX 1.032–1.101, Milan 1.022–1.186, Skylake 1.065–1.111).
+
+use crate::catalog::{size_mult, Setting};
+use omptune_core::Arch;
+use simrt::{Model, Phase, TaskPhase};
+
+/// Simulation model: a single task region of pairwise alignments.
+pub fn model(_arch: Arch, setting: Setting) -> Model {
+    let s = size_mult(setting.input_code);
+    // Bigger inputs mean longer sequences: pair count and per-pair cost
+    // both grow, so the library effect shrinks with input size (the
+    // Table V per-setting spread).
+    let cycles_per_task = match setting.input_code {
+        0 => 31_000.0,
+        1 => 58_000.0,
+        _ => 105_000.0,
+    };
+    Model {
+        name: "alignment".into(),
+        phases: vec![Phase::Tasks(TaskPhase {
+            n_tasks: (4_950.0 * s) as u64,
+            cycles_per_task,
+            cv: 0.40,
+            starvation: 0.35,
+            bytes_per_task: 3_000.0,
+        })],
+        timesteps: 1,
+        migration_sensitivity: 0.0,
+    }
+}
+
+/// Real kernel: Smith-Waterman local-alignment scores over all sequence
+/// pairs, fanned out with the work-stealing `join` substrate.
+pub mod real {
+    use omprt::{for_each_split, task_parallel, ThreadPool};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Deterministic pseudo-protein of length `len` over a 20-letter
+    /// alphabet.
+    pub fn sequence(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 20) as u8
+            })
+            .collect()
+    }
+
+    /// Smith-Waterman local alignment score (match +3, mismatch −1,
+    /// gap −2), linear-memory implementation.
+    pub fn sw_score(a: &[u8], b: &[u8]) -> i64 {
+        let mut prev = vec![0i64; b.len() + 1];
+        let mut cur = vec![0i64; b.len() + 1];
+        let mut best = 0i64;
+        for &ca in a {
+            for j in 1..=b.len() {
+                let sub = prev[j - 1] + if ca == b[j - 1] { 3 } else { -1 };
+                let del = prev[j] - 2;
+                let ins = cur[j - 1] - 2;
+                let v = sub.max(del).max(ins).max(0);
+                cur[j] = v;
+                best = best.max(v);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+            cur[0] = 0;
+        }
+        best
+    }
+
+    /// Align every pair among `n_seqs` deterministic sequences of length
+    /// `len`; returns the sum of pair scores.
+    pub fn run(pool: &ThreadPool, n_seqs: usize, len: usize) -> u64 {
+        let seqs: Vec<Vec<u8>> = (0..n_seqs).map(|i| sequence(i as u64, len)).collect();
+        let pairs: Vec<(usize, usize)> = (0..n_seqs)
+            .flat_map(|i| (i + 1..n_seqs).map(move |j| (i, j)))
+            .collect();
+        let total = AtomicU64::new(0);
+        task_parallel(pool, || {
+            for_each_split(0, pairs.len(), 4, &|lo, hi| {
+                let mut local = 0u64;
+                for &(i, j) in &pairs[lo..hi] {
+                    local += sw_score(&seqs[i], &seqs[j]) as u64;
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        });
+        total.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::ThreadPool;
+
+    #[test]
+    fn sw_score_known_cases() {
+        // Identical sequences: len * match.
+        let a = vec![1u8, 2, 3, 4];
+        assert_eq!(real::sw_score(&a, &a), 12);
+        // Disjoint alphabets: nothing aligns locally.
+        assert_eq!(real::sw_score(&[1, 1, 1], &[2, 2, 2]), 0);
+        // One gap: 3 matches - gap penalty.
+        assert_eq!(real::sw_score(&[1, 2, 3], &[1, 2, 9, 3]), 3 + 3 + 3 - 2);
+    }
+
+    #[test]
+    fn parallel_total_matches_serial() {
+        let p1 = ThreadPool::with_defaults(1);
+        let p4 = ThreadPool::with_defaults(4);
+        let serial = real::run(&p1, 12, 40);
+        let parallel = real::run(&p4, 12, 40);
+        assert_eq!(serial, parallel);
+        assert!(serial > 0);
+    }
+
+    #[test]
+    fn sequences_are_deterministic() {
+        assert_eq!(real::sequence(5, 30), real::sequence(5, 30));
+        assert_ne!(real::sequence(5, 30), real::sequence(6, 30));
+    }
+
+    #[test]
+    fn model_task_count_scales() {
+        let s0 = model(Arch::Milan, Setting { input_code: 0, num_threads: 96 });
+        let s2 = model(Arch::Milan, Setting { input_code: 2, num_threads: 96 });
+        let tasks = |m: &Model| match &m.phases[0] {
+            Phase::Tasks(t) => t.n_tasks,
+            _ => panic!("expected tasks"),
+        };
+        assert_eq!(tasks(&s2), 9 * tasks(&s0));
+    }
+}

@@ -1,0 +1,10 @@
+//! Barcelona OpenMP Tasks Suite (task-parallel suite, paper
+//! Sec. IV-A-2): Alignment, Health, NQueens, Sort, Strassen — each with a
+//! calibrated simulation model and a real task-parallel kernel built on
+//! `omprt::join`.
+
+pub mod alignment;
+pub mod health;
+pub mod nqueens;
+pub mod sort;
+pub mod strassen;

@@ -1,0 +1,139 @@
+//! BOTS **NQueens** — count all N-queens placements with one task per
+//! explored branch.
+//!
+//! The generator floods the runtime with microsecond-scale tasks, so
+//! workers constantly starve and the yield-vs-spin choice
+//! (`KMP_LIBRARY`) dominates: the paper's biggest tuning win
+//! (2.342–4.851×, best on A64FX, `turnaround` everywhere — Table VII).
+
+use crate::catalog::{size_mult, Setting};
+use omptune_core::Arch;
+use simrt::{Model, Phase, TaskPhase};
+
+/// Simulation model: one huge fine-grained task region.
+pub fn model(_arch: Arch, setting: Setting) -> Model {
+    let s = size_mult(setting.input_code);
+    Model {
+        name: "nqueens".into(),
+        phases: vec![Phase::Tasks(TaskPhase {
+            n_tasks: (180_000.0 * s) as u64,
+            cycles_per_task: 1_440.0,
+            cv: 0.30,
+            starvation: 0.90,
+            bytes_per_task: 0.0,
+        })],
+        timesteps: 1,
+        migration_sensitivity: 0.0,
+    }
+}
+
+/// Real kernel: exact N-queens solution counting with `join`-based
+/// branch parallelism and a sequential cutoff.
+pub mod real {
+    use omprt::{join, task_parallel, ThreadPool};
+
+    /// Count solutions with queens already placed on the first `row`
+    /// rows; `cols`/`diag1`/`diag2` are occupancy bitmasks.
+    fn count(n: usize, row: usize, cols: u32, diag1: u32, diag2: u32, par_depth: usize) -> u64 {
+        if row == n {
+            return 1;
+        }
+        let full = (1u32 << n) - 1;
+        let mut free = full & !(cols | diag1 | diag2);
+        if par_depth == 0 {
+            // Sequential hot loop.
+            let mut total = 0;
+            while free != 0 {
+                let bit = free & free.wrapping_neg();
+                free ^= bit;
+                total += count(
+                    n,
+                    row + 1,
+                    cols | bit,
+                    (diag1 | bit) << 1,
+                    (diag2 | bit) >> 1,
+                    0,
+                );
+            }
+            return total;
+        }
+        // Parallel: binary-split the candidate columns via join.
+        let mut candidates = Vec::new();
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            candidates.push(bit);
+        }
+        fn split(
+            n: usize,
+            row: usize,
+            cols: u32,
+            diag1: u32,
+            diag2: u32,
+            par_depth: usize,
+            cands: &[u32],
+        ) -> u64 {
+            match cands {
+                [] => 0,
+                [bit] => count(
+                    n,
+                    row + 1,
+                    cols | bit,
+                    (diag1 | bit) << 1,
+                    (diag2 | bit) >> 1,
+                    par_depth - 1,
+                ),
+                _ => {
+                    let mid = cands.len() / 2;
+                    let (a, b) = join(
+                        || split(n, row, cols, diag1, diag2, par_depth, &cands[..mid]),
+                        || split(n, row, cols, diag1, diag2, par_depth, &cands[mid..]),
+                    );
+                    a + b
+                }
+            }
+        }
+        split(n, row, cols, diag1, diag2, par_depth, &candidates)
+    }
+
+    /// Count all solutions for an `n × n` board.
+    pub fn run(pool: &ThreadPool, n: usize) -> u64 {
+        assert!(n <= 16, "bitmask board limited to 16 columns");
+        task_parallel(pool, || count(n, 0, 0, 0, 0, 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::ThreadPool;
+
+    #[test]
+    fn known_solution_counts() {
+        let pool = ThreadPool::with_defaults(4);
+        // OEIS A000170.
+        assert_eq!(real::run(&pool, 4), 2);
+        assert_eq!(real::run(&pool, 6), 4);
+        assert_eq!(real::run(&pool, 8), 92);
+        assert_eq!(real::run(&pool, 9), 352);
+        assert_eq!(real::run(&pool, 10), 724);
+    }
+
+    #[test]
+    fn single_thread_matches() {
+        let p1 = ThreadPool::with_defaults(1);
+        assert_eq!(real::run(&p1, 8), 92);
+    }
+
+    #[test]
+    fn model_is_fine_grained_and_starved() {
+        let m = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
+        match &m.phases[0] {
+            Phase::Tasks(t) => {
+                assert!(t.starvation > 0.8, "NQueens must starve workers");
+                assert!(t.cycles_per_task < 5_000.0, "tasks must be tiny");
+            }
+            _ => panic!("expected tasks"),
+        }
+    }
+}

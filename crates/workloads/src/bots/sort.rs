@@ -1,0 +1,167 @@
+//! BOTS **Sort** — task-parallel merge sort (cilksort).
+//!
+//! Coarse divide-and-conquer tasks with a fixed sequential cutoff, so the
+//! grain stays constant as the input grows — which is why the paper's
+//! range is so narrow (1.174–1.180, A64FX only).
+
+use crate::catalog::{size_mult, Setting};
+use omptune_core::Arch;
+use simrt::{Model, Phase, TaskPhase};
+
+/// Simulation model: one task region; constant grain, count scales.
+pub fn model(_arch: Arch, setting: Setting) -> Model {
+    let s = size_mult(setting.input_code);
+    Model {
+        name: "sort".into(),
+        phases: vec![Phase::Tasks(TaskPhase {
+            n_tasks: (2_400.0 * s) as u64,
+            cycles_per_task: 30_000.0,
+            cv: 0.22,
+            starvation: 0.62,
+            bytes_per_task: 4_800.0,
+        })],
+        timesteps: 1,
+        migration_sensitivity: 0.0,
+    }
+}
+
+/// Real kernel: `join`-parallel merge sort with sequential cutoff and
+/// parallel two-way merges.
+pub mod real {
+    use omprt::{join, task_parallel, ThreadPool};
+
+    const SORT_CUTOFF: usize = 512;
+    const MERGE_CUTOFF: usize = 1024;
+
+    /// Deterministic pseudo-random input.
+    pub fn input(n: usize, seed: u64) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect()
+    }
+
+    /// Merge sorted `a` and `b` into `out`, splitting recursively so the
+    /// merge itself parallelizes (the cilksort trick).
+    fn merge_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(a.len() + b.len(), out.len());
+        if out.len() <= MERGE_CUTOFF {
+            let (mut i, mut j) = (0, 0);
+            for slot in out.iter_mut() {
+                if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+                    *slot = a[i];
+                    i += 1;
+                } else {
+                    *slot = b[j];
+                    j += 1;
+                }
+            }
+            return;
+        }
+        // Split the larger input at its midpoint; binary-search the other.
+        let (big, small, swapped) = if a.len() >= b.len() { (a, b, false) } else { (b, a, true) };
+        let mid = big.len() / 2;
+        let pivot = big[mid];
+        let cut = small.partition_point(|&x| x < pivot);
+        let (out_lo, out_hi) = out.split_at_mut(mid + cut);
+        let (big_lo, big_hi) = big.split_at(mid);
+        let (small_lo, small_hi) = small.split_at(cut);
+        let order = |x: &[u64], y: &[u64], o: &mut [u64]| {
+            if swapped {
+                merge_into(y, x, o)
+            } else {
+                merge_into(x, y, o)
+            }
+        };
+        join(
+            || order(big_lo, small_lo, out_lo),
+            || order(big_hi, small_hi, out_hi),
+        );
+    }
+
+    fn sort_rec(data: &mut [u64], scratch: &mut [u64]) {
+        let n = data.len();
+        if n <= SORT_CUTOFF {
+            data.sort_unstable();
+            return;
+        }
+        let mid = n / 2;
+        {
+            let (dl, dr) = data.split_at_mut(mid);
+            let (sl, sr) = scratch.split_at_mut(mid);
+            join(|| sort_rec(dl, sl), || sort_rec(dr, sr));
+        }
+        scratch.copy_from_slice(data);
+        let (sl, sr) = scratch.split_at(mid);
+        merge_into(sl, sr, data);
+    }
+
+    /// Sort `data` in place using the pool's task substrate.
+    pub fn run(pool: &ThreadPool, data: &mut [u64]) {
+        let mut scratch = vec![0u64; data.len()];
+        task_parallel(pool, || sort_rec(data, &mut scratch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::ThreadPool;
+
+    #[test]
+    fn sorts_correctly() {
+        let pool = ThreadPool::with_defaults(4);
+        let mut data = real::input(100_000, 42);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        real::run(&pool, &mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn sorts_small_and_empty() {
+        let pool = ThreadPool::with_defaults(2);
+        let mut empty: Vec<u64> = vec![];
+        real::run(&pool, &mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![7u64];
+        real::run(&pool, &mut one);
+        assert_eq!(one, vec![7]);
+        let mut small = vec![3u64, 1, 2];
+        real::run(&pool, &mut small);
+        assert_eq!(small, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        let pool = ThreadPool::with_defaults(3);
+        // Already sorted, reverse sorted, constant.
+        for input in [
+            (0..10_000u64).collect::<Vec<_>>(),
+            (0..10_000u64).rev().collect(),
+            vec![5u64; 10_000],
+        ] {
+            let mut data = input.clone();
+            let mut expect = input;
+            expect.sort_unstable();
+            real::run(&pool, &mut data);
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn model_grain_constant_across_sizes() {
+        let g = |code| {
+            match &model(Arch::A64fx, Setting { input_code: code, num_threads: 48 }).phases[0] {
+                Phase::Tasks(t) => t.cycles_per_task,
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(g(0), g(2));
+    }
+}

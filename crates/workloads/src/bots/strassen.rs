@@ -1,0 +1,232 @@
+//! BOTS **Strassen** — recursive matrix multiplication with seven
+//! sub-multiplies per level.
+//!
+//! A handful of very coarse tasks: nearly nothing to tune (paper range
+//! 1.023–1.025, A64FX only) — tiny gains from binding the streaming
+//! operands plus a sliver of library effect at the join points.
+
+use crate::catalog::{size_mult, Setting};
+use omptune_core::Arch;
+use simrt::{Model, Phase, TaskPhase};
+
+/// Simulation model: few, huge, slightly uneven tasks.
+pub fn model(_arch: Arch, setting: Setting) -> Model {
+    let s = size_mult(setting.input_code);
+    Model {
+        name: "strassen".into(),
+        phases: vec![Phase::Tasks(TaskPhase {
+            n_tasks: (343.0 * s) as u64,
+            cycles_per_task: 3_400_000.0,
+            cv: 0.18,
+            starvation: 0.10,
+            bytes_per_task: 2_500_000.0,
+        })],
+        timesteps: 1,
+        migration_sensitivity: 0.0,
+    }
+}
+
+/// Real kernel: Strassen's algorithm with `join`-parallel recursive
+/// multiplies, verified against the naive product.
+pub mod real {
+    use omprt::{join, task_parallel, ThreadPool};
+
+    const CUTOFF: usize = 64;
+
+    /// Square matrix in row-major order.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Mat {
+        pub n: usize,
+        pub data: Vec<f64>,
+    }
+
+    impl Mat {
+        /// Zero matrix.
+        pub fn zeros(n: usize) -> Mat {
+            Mat { n, data: vec![0.0; n * n] }
+        }
+
+        /// Deterministic test matrix.
+        pub fn deterministic(n: usize, seed: u64) -> Mat {
+            let data = (0..n * n)
+                .map(|k| (((k as u64).wrapping_mul(seed | 1) >> 7) % 17) as f64 - 8.0)
+                .collect();
+            Mat { n, data }
+        }
+
+        fn at(&self, i: usize, j: usize) -> f64 {
+            self.data[i * self.n + j]
+        }
+
+        /// Quadrant (qi, qj) as a new (n/2)-matrix.
+        fn quad(&self, qi: usize, qj: usize) -> Mat {
+            let h = self.n / 2;
+            let mut m = Mat::zeros(h);
+            for i in 0..h {
+                for j in 0..h {
+                    m.data[i * h + j] = self.at(qi * h + i, qj * h + j);
+                }
+            }
+            m
+        }
+
+        fn add(&self, other: &Mat) -> Mat {
+            let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+            Mat { n: self.n, data }
+        }
+
+        fn sub(&self, other: &Mat) -> Mat {
+            let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+            Mat { n: self.n, data }
+        }
+
+        /// Naive O(n³) product, the verification reference.
+        pub fn matmul_naive(&self, other: &Mat) -> Mat {
+            assert_eq!(self.n, other.n);
+            let n = self.n;
+            let mut out = Mat::zeros(n);
+            for i in 0..n {
+                for k in 0..n {
+                    let a = self.at(i, k);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out.data[i * n + j] += a * other.at(k, j);
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn strassen_rec(a: &Mat, b: &Mat) -> Mat {
+        let n = a.n;
+        if n <= CUTOFF {
+            return a.matmul_naive(b);
+        }
+        let (a11, a12, a21, a22) = (a.quad(0, 0), a.quad(0, 1), a.quad(1, 0), a.quad(1, 1));
+        let (b11, b12, b21, b22) = (b.quad(0, 0), b.quad(0, 1), b.quad(1, 0), b.quad(1, 1));
+
+        // The seven Strassen products, fanned out as a join tree.
+        let (m1, (m2, (m3, (m4, (m5, (m6, m7)))))) = join(
+            || strassen_rec(&a11.add(&a22), &b11.add(&b22)),
+            || {
+                join(
+                    || strassen_rec(&a21.add(&a22), &b11),
+                    || {
+                        join(
+                            || strassen_rec(&a11, &b12.sub(&b22)),
+                            || {
+                                join(
+                                    || strassen_rec(&a22, &b21.sub(&b11)),
+                                    || {
+                                        join(
+                                            || strassen_rec(&a11.add(&a12), &b22),
+                                            || {
+                                                join(
+                                                    || {
+                                                        strassen_rec(
+                                                            &a21.sub(&a11),
+                                                            &b11.add(&b12),
+                                                        )
+                                                    },
+                                                    || {
+                                                        strassen_rec(
+                                                            &a12.sub(&a22),
+                                                            &b21.add(&b22),
+                                                        )
+                                                    },
+                                                )
+                                            },
+                                        )
+                                    },
+                                )
+                            },
+                        )
+                    },
+                )
+            },
+        );
+
+        let c11 = m1.add(&m4).sub(&m5).add(&m7);
+        let c12 = m3.add(&m5);
+        let c21 = m2.add(&m4);
+        let c22 = m1.sub(&m2).add(&m3).add(&m6);
+
+        let h = n / 2;
+        let mut out = Mat::zeros(n);
+        for i in 0..h {
+            for j in 0..h {
+                out.data[i * n + j] = c11.data[i * h + j];
+                out.data[i * n + j + h] = c12.data[i * h + j];
+                out.data[(i + h) * n + j] = c21.data[i * h + j];
+                out.data[(i + h) * n + j + h] = c22.data[i * h + j];
+            }
+        }
+        out
+    }
+
+    /// Strassen multiply on the pool's task substrate.
+    ///
+    /// # Panics
+    /// Panics unless the dimension is a power of two (standard Strassen
+    /// padding is out of scope for the kernel).
+    pub fn run(pool: &ThreadPool, a: &Mat, b: &Mat) -> Mat {
+        assert!(a.n.is_power_of_two(), "dimension must be a power of two");
+        assert_eq!(a.n, b.n);
+        task_parallel(pool, || strassen_rec(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::ThreadPool;
+    use real::Mat;
+
+    #[test]
+    fn strassen_matches_naive() {
+        let pool = ThreadPool::with_defaults(4);
+        let a = Mat::deterministic(128, 3);
+        let b = Mat::deterministic(128, 11);
+        let expect = a.matmul_naive(&b);
+        let got = real::run(&pool, &a, &b);
+        for (x, y) in got.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let pool = ThreadPool::with_defaults(2);
+        let n = 128;
+        let mut eye = Mat::zeros(n);
+        for i in 0..n {
+            eye.data[i * n + i] = 1.0;
+        }
+        let a = Mat::deterministic(n, 9);
+        let got = real::run(&pool, &a, &eye);
+        assert_eq!(got.data, a.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_dimension_rejected() {
+        let pool = ThreadPool::with_defaults(1);
+        let a = Mat::deterministic(100, 1);
+        let _ = real::run(&pool, &a.clone(), &a);
+    }
+
+    #[test]
+    fn model_tasks_are_coarse() {
+        let m = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
+        match &m.phases[0] {
+            Phase::Tasks(t) => {
+                assert!(t.cycles_per_task > 1e6, "Strassen tasks are milliseconds");
+                assert!(t.starvation < 0.2);
+            }
+            _ => panic!("expected tasks"),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! NPB **FT** — 3D FFT with all-to-all transposes.
+//!
+//! The transposes make FT the most bandwidth-hungry NPB kernel here:
+//! almost all tuning potential comes from thread placement (NUMA-local
+//! streaming), which is why its paper range (1.010–1.545) peaks on the
+//! DDR4 machines and stays flat on A64FX's HBM.
+
+use crate::catalog::{size_mult, Setting};
+use omptune_core::Arch;
+use simrt::{AccessPattern, Imbalance, LoopPhase, Model, Phase};
+
+/// Simulation model: three streaming-heavy FFT passes per timestep.
+pub fn model(_arch: Arch, setting: Setting) -> Model {
+    let s = size_mult(setting.input_code);
+    let pass = |bytes: f64| {
+        Phase::Loop(LoopPhase {
+            iters: (40_000.0 * s) as u64,
+            cycles_per_iter: 500.0,
+            bytes_per_iter: bytes,
+            access: AccessPattern::Streaming,
+            imbalance: Imbalance::Uniform,
+            reductions: 0,
+        })
+    };
+    Model {
+        name: "ft".into(),
+        // x/y passes stream moderately; the z transpose is brutal.
+        phases: vec![pass(240.0), pass(240.0), pass(480.0), Phase::Serial { ns: 6_000.0 }],
+        timesteps: 20,
+        migration_sensitivity: 0.0,
+    }
+}
+
+/// Real kernel: batched complex radix-2 FFTs over the rows of a matrix —
+/// the per-dimension pass of a 3D FFT — verified by round-tripping.
+pub mod real {
+    use omprt::{parallel_for, ThreadPool};
+    use omptune_core::OmpSchedule;
+
+    /// In-place iterative radix-2 FFT of one complex row
+    /// (`re`/`im` interleaved pairs). `inverse` selects the direction;
+    /// the inverse includes the 1/n scaling.
+    pub fn fft_row(row: &mut [(f64, f64)], inverse: bool) {
+        let n = row.len();
+        assert!(n.is_power_of_two(), "row length must be a power of two");
+        // Bit-reversal permutation.
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                row.swap(i, j);
+            }
+        }
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut len = 2;
+        while len <= n {
+            let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+            let (wr, wi) = (ang.cos(), ang.sin());
+            let mut i = 0;
+            while i < n {
+                let (mut cur_r, mut cur_i) = (1.0f64, 0.0f64);
+                for k in 0..len / 2 {
+                    let (ur, ui) = row[i + k];
+                    let (vr, vi) = row[i + k + len / 2];
+                    let (tr, ti) = (vr * cur_r - vi * cur_i, vr * cur_i + vi * cur_r);
+                    row[i + k] = (ur + tr, ui + ti);
+                    row[i + k + len / 2] = (ur - tr, ui - ti);
+                    let nr = cur_r * wr - cur_i * wi;
+                    cur_i = cur_r * wi + cur_i * wr;
+                    cur_r = nr;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for v in row.iter_mut() {
+                v.0 *= scale;
+                v.1 *= scale;
+            }
+        }
+    }
+
+    /// Apply row FFTs to a `rows × n` matrix in parallel.
+    pub fn fft_pass(
+        pool: &ThreadPool,
+        schedule: OmpSchedule,
+        data: &mut [(f64, f64)],
+        rows: usize,
+        n: usize,
+        inverse: bool,
+    ) {
+        assert_eq!(data.len(), rows * n);
+        let ptr = crate::util::SharedMut::new(data);
+        parallel_for(pool, schedule, rows, |r| {
+            let row = unsafe { ptr.slice(r * n, n) };
+            fft_row(row, inverse);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::ThreadPool;
+    use omptune_core::OmpSchedule;
+
+    fn test_matrix(rows: usize, n: usize) -> Vec<(f64, f64)> {
+        (0..rows * n)
+            .map(|k| ((k % 17) as f64 - 8.0, ((k * 3) % 11) as f64 - 5.0))
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut row = vec![(0.0, 0.0); 8];
+        row[0] = (1.0, 0.0);
+        real::fft_row(&mut row, false);
+        for (re, im) in row {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let pool = ThreadPool::with_defaults(4);
+        let original = test_matrix(32, 64);
+        let mut data = original.clone();
+        real::fft_pass(&pool, OmpSchedule::Dynamic, &mut data, 32, 64, false);
+        real::fft_pass(&pool, OmpSchedule::Guided, &mut data, 32, 64, true);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let mut row: Vec<(f64, f64)> = (0..16).map(|k| (k as f64, 0.0)).collect();
+        let time_energy: f64 = row.iter().map(|(r, i)| r * r + i * i).sum();
+        real::fft_row(&mut row, false);
+        let freq_energy: f64 = row.iter().map(|(r, i)| r * r + i * i).sum();
+        assert!((freq_energy - 16.0 * time_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn model_has_three_passes_per_step() {
+        let m = model(Arch::Milan, Setting { input_code: 0, num_threads: 96 });
+        assert_eq!(m.region_count(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut row = vec![(0.0, 0.0); 12];
+        real::fft_row(&mut row, false);
+    }
+}

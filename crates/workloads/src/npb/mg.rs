@@ -1,0 +1,198 @@
+//! NPB **MG** — multigrid V-cycle.
+//!
+//! Each V-cycle visits a hierarchy of grids; the coarse levels are tiny,
+//! so region-start latency (wake-ups, forks, barriers) dominates them.
+//! That makes MG the loop benchmark most sensitive to `KMP_LIBRARY` /
+//! `KMP_BLOCKTIME` — the mechanism behind its large paper range
+//! (1.011–2.167), which peaks on A64FX where yield-resume is costliest.
+
+use crate::catalog::{size_mult, Setting};
+use omptune_core::Arch;
+use simrt::{AccessPattern, Imbalance, LoopPhase, Model, Phase};
+
+/// Simulation model: four grid levels per V-cycle, each level an 8×
+/// smaller streaming loop, separated by short serial transfer stubs.
+pub fn model(_arch: Arch, setting: Setting) -> Model {
+    let s = size_mult(setting.input_code);
+    let level = |iters: f64| {
+        Phase::Loop(LoopPhase {
+            iters: iters as u64,
+            cycles_per_iter: 300.0,
+            bytes_per_iter: 42.0,
+            access: AccessPattern::Streaming,
+            imbalance: Imbalance::Uniform,
+            reductions: 0,
+        })
+    };
+    let base = 4_500.0 * s;
+    let mut phases = Vec::new();
+    for lvl in 0..5u32 {
+        let iters = (base / 8f64.powi(lvl as i32)).max(24.0);
+        // Smoothing and residual/transfer loops per level.
+        phases.push(level(iters));
+        phases.push(level(iters));
+        phases.push(Phase::Serial { ns: 900.0 });
+    }
+    Model {
+        name: "mg".into(),
+        phases,
+        timesteps: 40,
+        migration_sensitivity: 0.0,
+    }
+}
+
+/// Real kernel: 1D multigrid V-cycle for −u″ = f with weighted Jacobi
+/// smoothing, full-weighting restriction and linear prolongation.
+pub mod real {
+    use omprt::{parallel_for, parallel_reduce_sum, ThreadPool};
+    use omptune_core::{OmpSchedule, ReductionMethod};
+
+    /// Weighted-Jacobi smoothing sweeps on `-u'' = f` (unit spacing).
+    fn smooth(pool: &ThreadPool, sched: OmpSchedule, u: &mut [f64], f: &[f64], sweeps: usize) {
+        let n = u.len();
+        let mut next = u.to_vec();
+        for _ in 0..sweeps {
+            {
+                let np = crate::util::SharedMut::new(&mut next);
+                let u_ref = &*u;
+                parallel_for(pool, sched, n, |i| {
+                    if i == 0 || i == n - 1 {
+                        return;
+                    }
+                    let v = 0.5 * (u_ref[i - 1] + u_ref[i + 1] + f[i]);
+                    unsafe { np.set(i, u_ref[i] + (2.0 / 3.0) * (v - u_ref[i])) };
+                });
+            }
+            u.copy_from_slice(&next);
+        }
+    }
+
+    /// Residual r = f − A·u.
+    fn calc_residual(pool: &ThreadPool, sched: OmpSchedule, u: &[f64], f: &[f64], r: &mut [f64]) {
+        let n = u.len();
+        let rp = crate::util::SharedMut::new(r);
+        parallel_for(pool, sched, n, |i| {
+            let v = if i == 0 || i == n - 1 {
+                0.0
+            } else {
+                f[i] - (2.0 * u[i] - u[i - 1] - u[i + 1])
+            };
+            unsafe { rp.set(i, v) };
+        });
+    }
+
+    /// One V-cycle on grids of size 2^k + 1 down to 3 points.
+    pub fn v_cycle(pool: &ThreadPool, sched: OmpSchedule, u: &mut [f64], f: &[f64]) {
+        let n = u.len();
+        smooth(pool, sched, u, f, 2);
+        if n <= 3 {
+            return;
+        }
+        let mut r = vec![0.0f64; n];
+        calc_residual(pool, sched, u, f, &mut r);
+        // Restrict (full weighting) to the coarse grid.
+        let nc = (n - 1) / 2 + 1;
+        let mut fc = vec![0.0f64; nc];
+        for i in 1..nc - 1 {
+            fc[i] = 0.25 * r[2 * i - 1] + 0.5 * r[2 * i] + 0.25 * r[2 * i + 1];
+        }
+        // Coarse-grid correction: A_c uses spacing 2h → scale f by 4.
+        for v in fc.iter_mut() {
+            *v *= 4.0;
+        }
+        let mut ec = vec![0.0f64; nc];
+        v_cycle(pool, sched, &mut ec, &fc);
+        // Prolong and correct.
+        for i in 1..n - 1 {
+            let e = if i % 2 == 0 {
+                ec[i / 2]
+            } else {
+                0.5 * (ec[i / 2] + ec[i / 2 + 1])
+            };
+            u[i] += e;
+        }
+        smooth(pool, sched, u, f, 2);
+    }
+
+    /// Squared residual norm after the fact.
+    pub fn residual_norm2(pool: &ThreadPool, sched: OmpSchedule, u: &[f64], f: &[f64]) -> f64 {
+        let n = u.len();
+        parallel_reduce_sum(
+            pool,
+            sched,
+            ReductionMethod::heuristic(pool.num_threads()),
+            n,
+            |i| {
+                if i == 0 || i == n - 1 {
+                    return 0.0;
+                }
+                let r = f[i] - (2.0 * u[i] - u[i - 1] - u[i + 1]);
+                r * r
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::ThreadPool;
+    use omptune_core::OmpSchedule;
+
+    #[test]
+    fn v_cycles_converge_fast() {
+        let n = 129; // 2^7 + 1
+        let pool = ThreadPool::with_defaults(4);
+        let f: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * i as f64 / (n - 1) as f64).sin())
+            .collect();
+        let mut u = vec![0.0f64; n];
+        let r0 = real::residual_norm2(&pool, OmpSchedule::Static, &u, &f);
+        for _ in 0..6 {
+            real::v_cycle(&pool, OmpSchedule::Static, &mut u, &f);
+        }
+        let r6 = real::residual_norm2(&pool, OmpSchedule::Static, &u, &f);
+        assert!(r6 < r0 * 1e-6, "multigrid stalled: {r0} -> {r6}");
+    }
+
+    #[test]
+    fn schedules_agree_exactly() {
+        // Jacobi smoothing writes to a separate buffer, so the result is
+        // schedule-independent bit for bit.
+        let n = 65;
+        let f: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 / 7.0).collect();
+        let run = |sched: OmpSchedule| {
+            let pool = ThreadPool::with_defaults(3);
+            let mut u = vec![0.0f64; n];
+            for _ in 0..3 {
+                real::v_cycle(&pool, sched, &mut u, &f);
+            }
+            u
+        };
+        let reference = run(OmpSchedule::Static);
+        for sched in [OmpSchedule::Dynamic, OmpSchedule::Guided] {
+            assert_eq!(run(sched), reference);
+        }
+    }
+
+    #[test]
+    fn model_levels_shrink_geometrically() {
+        let m = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
+        let sizes: Vec<u64> = m
+            .phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Loop(l) => Some(l.iters),
+                _ => None,
+            })
+            .collect();
+        // Five levels, two loops each, paired sizes shrinking downward.
+        assert_eq!(sizes.len(), 10);
+        for pair in sizes.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+        for w in sizes.chunks(2).collect::<Vec<_>>().windows(2) {
+            assert!(w[1][0] <= w[0][0]);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! NAS Parallel Benchmarks (loop-parallel suite, paper Sec. IV-A-1):
+//! BT, CG, EP, FT, LU, MG — each with a calibrated simulation model and a
+//! real, verified Rust kernel on `omprt`.
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod lu;
+pub mod mg;

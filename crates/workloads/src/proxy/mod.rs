@@ -1,0 +1,8 @@
+//! Proxy/mini-applications (paper Sec. IV-A-3..6): XSBench, RSBench,
+//! SU3Bench, LULESH — thread-count-varied workloads with calibrated
+//! models and real kernels.
+
+pub mod lulesh;
+pub mod rsbench;
+pub mod su3bench;
+pub mod xsbench;

@@ -1,0 +1,167 @@
+//! **SU3Bench** — SU(3) complex matrix-matrix multiply streams (the MILC
+//! LQCD building block).
+//!
+//! Pure streaming bandwidth: large arrays of 3×3 complex matrices are
+//! read, multiplied, and written back. On Milan's DDR4/NPS4 memory
+//! system, NUMA placement is everything (paper range 1.002–2.279); on
+//! A64FX's HBM there is nothing to win.
+
+use crate::catalog::Setting;
+use omptune_core::Arch;
+use simrt::{AccessPattern, Imbalance, LoopPhase, Model, Phase};
+
+/// Simulation model: one bandwidth-saturating streaming loop, repeated.
+pub fn model(_arch: Arch, setting: Setting) -> Model {
+    let _ = setting;
+    Model {
+        name: "su3bench".into(),
+        phases: vec![Phase::Loop(LoopPhase {
+            // One site = 4 links × (two 3×3 complex reads + one write).
+            iters: 2_500_000,
+            cycles_per_iter: 120.0,
+            bytes_per_iter: 432.0,
+            access: AccessPattern::Streaming,
+            imbalance: Imbalance::Uniform,
+            reductions: 0,
+        })],
+        timesteps: 12,
+        migration_sensitivity: 0.0,
+    }
+}
+
+/// Real kernel: `c[i] = a[i] · b[i]` over arrays of 3×3 complex
+/// matrices — the `mult_su3_nn` routine — with a unitarity-flavoured
+/// checksum.
+pub mod real {
+    use omprt::{parallel_for, ThreadPool};
+    use omptune_core::OmpSchedule;
+
+    /// A 3×3 complex matrix, row-major `(re, im)` pairs.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Su3(pub [(f64, f64); 9]);
+
+    impl Su3 {
+        /// The identity matrix.
+        pub fn identity() -> Su3 {
+            let mut m = [(0.0, 0.0); 9];
+            m[0] = (1.0, 0.0);
+            m[4] = (1.0, 0.0);
+            m[8] = (1.0, 0.0);
+            Su3(m)
+        }
+
+        /// Deterministic pseudo-random matrix.
+        pub fn deterministic(seed: u64) -> Su3 {
+            let mut m = [(0.0, 0.0); 9];
+            for (k, slot) in m.iter_mut().enumerate() {
+                let mut z = seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (k as u64) << 32;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                let re = ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                let im = ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                *slot = (re, im);
+            }
+            Su3(m)
+        }
+
+        /// `self · other` (the `mult_su3_nn` kernel).
+        pub fn mul(&self, other: &Su3) -> Su3 {
+            let mut out = [(0.0f64, 0.0f64); 9];
+            for i in 0..3 {
+                for j in 0..3 {
+                    let mut re = 0.0;
+                    let mut im = 0.0;
+                    for k in 0..3 {
+                        let (ar, ai) = self.0[i * 3 + k];
+                        let (br, bi) = other.0[k * 3 + j];
+                        re += ar * br - ai * bi;
+                        im += ar * bi + ai * br;
+                    }
+                    out[i * 3 + j] = (re, im);
+                }
+            }
+            Su3(out)
+        }
+
+        /// Real part of the trace.
+        pub fn re_trace(&self) -> f64 {
+            self.0[0].0 + self.0[4].0 + self.0[8].0
+        }
+    }
+
+    /// Multiply `a[i] · b[i]` into `c[i]` for all sites in parallel;
+    /// returns the summed real trace of the products.
+    pub fn run(
+        pool: &ThreadPool,
+        schedule: OmpSchedule,
+        a: &[Su3],
+        b: &[Su3],
+        c: &mut [Su3],
+    ) -> f64 {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), c.len());
+        {
+            let cp = crate::util::SharedMut::new(c);
+            parallel_for(pool, schedule, a.len(), |i| {
+                let prod = a[i].mul(&b[i]);
+                unsafe { cp.set(i, prod) };
+            });
+        }
+        c.iter().map(Su3::re_trace).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omprt::ThreadPool;
+    use omptune_core::OmpSchedule;
+    use real::Su3;
+
+    #[test]
+    fn identity_times_identity() {
+        let i = Su3::identity();
+        assert_eq!(i.mul(&i), i);
+        assert_eq!(i.re_trace(), 3.0);
+    }
+
+    #[test]
+    fn associativity_spot_check() {
+        let a = Su3::deterministic(1);
+        let b = Su3::deterministic(2);
+        let c = Su3::deterministic(3);
+        let left = a.mul(&b).mul(&c);
+        let right = a.mul(&b.mul(&c));
+        for (x, y) in left.0.iter().zip(&right.0) {
+            assert!((x.0 - y.0).abs() < 1e-12 && (x.1 - y.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_checksum_matches_serial() {
+        let n = 5000;
+        let a: Vec<Su3> = (0..n).map(|i| Su3::deterministic(i as u64)).collect();
+        let b: Vec<Su3> = (0..n).map(|i| Su3::deterministic(!(i as u64))).collect();
+        let p1 = ThreadPool::with_defaults(1);
+        let p4 = ThreadPool::with_defaults(4);
+        let mut c1 = vec![Su3::identity(); n];
+        let mut c4 = vec![Su3::identity(); n];
+        let s1 = real::run(&p1, OmpSchedule::Static, &a, &b, &mut c1);
+        let s4 = real::run(&p4, OmpSchedule::Guided, &a, &b, &mut c4);
+        assert_eq!(c1, c4);
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn model_is_bandwidth_bound() {
+        let m = model(Arch::Milan, Setting { input_code: 1, num_threads: 96 });
+        match &m.phases[0] {
+            Phase::Loop(l) => {
+                // Bytes per iteration dominate the compute at DDR4 rates.
+                assert!(l.bytes_per_iter > 400.0);
+                assert_eq!(l.access, AccessPattern::Streaming);
+            }
+            _ => panic!("expected loop"),
+        }
+    }
+}

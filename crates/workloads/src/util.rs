@@ -1,0 +1,112 @@
+//! Shared-mutable-slice helper for disjoint parallel writes.
+//!
+//! The real kernels update output arrays from `parallel_for` bodies where
+//! every iteration writes a distinct element (or a distinct row). Rust
+//! cannot prove that disjointness, so the kernels share a raw pointer —
+//! wrapped here so the `Send`/`Sync` obligations live in one audited
+//! place. Access goes through methods (never the raw field) so that
+//! edition-2021 closures capture the wrapper, not the bare pointer.
+
+/// A pointer to a mutable slice that callers promise to index disjointly
+/// across threads.
+pub struct SharedMut<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: the wrapper only hands out element/sub-slice access, and every
+// kernel using it writes disjoint indices per parallel iteration, which
+// the kernels' schedule dispatchers guarantee (each iteration index is
+// dispatched exactly once — tested in omprt::sched).
+unsafe impl<T: Send> Send for SharedMut<T> {}
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// Wrap a slice for disjoint writes.
+    pub fn new(data: &mut [T]) -> SharedMut<T> {
+        SharedMut { ptr: data.as_mut_ptr(), len: data.len() }
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and not concurrently accessed by another
+    /// thread.
+    pub unsafe fn set(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds; concurrent writers must not alias it.
+    pub unsafe fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedMut::set`].
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn at(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+
+    /// The sub-slice `[offset, offset + len)`.
+    ///
+    /// # Safety
+    /// The range must be in bounds and disjoint from every other
+    /// concurrently accessed range.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &mut [T] {
+        debug_assert!(offset + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(offset), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut data = vec![0u64; 1000];
+        let shared = SharedMut::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in (t..1000).step_by(4) {
+                        unsafe { shared.set(i, i as u64) };
+                    }
+                });
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn slice_views_are_disjoint_rows() {
+        let mut data = vec![0u8; 12];
+        let shared = SharedMut::new(&mut data);
+        std::thread::scope(|s| {
+            for row in 0..3 {
+                let shared = &shared;
+                s.spawn(move || {
+                    let r = unsafe { shared.slice(row * 4, 4) };
+                    r.fill(row as u8 + 1);
+                });
+            }
+        });
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the real kernels: algebraic invariants that
+//! must hold for arbitrary inputs, executed on the real runtime.
+
+use omprt::ThreadPool;
+use omptune_core::OmpSchedule;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel merge sort sorts any input and preserves the multiset.
+    #[test]
+    fn sort_sorts_arbitrary_vectors(mut data in prop::collection::vec(any::<u64>(), 0..20_000)) {
+        let pool = ThreadPool::with_defaults(3);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        workloads::bots::sort::real::run(&pool, &mut data);
+        prop_assert_eq!(data, expect);
+    }
+
+    /// Smith-Waterman scores are non-negative, zero against an empty
+    /// sequence, symmetric, and bounded by 3·min(len).
+    #[test]
+    fn sw_score_bounds(
+        a in prop::collection::vec(0u8..20, 0..40),
+        b in prop::collection::vec(0u8..20, 0..40),
+    ) {
+        use workloads::bots::alignment::real::sw_score;
+        let s = sw_score(&a, &b);
+        prop_assert!(s >= 0);
+        prop_assert_eq!(s, sw_score(&b, &a));
+        prop_assert!(s <= 3 * a.len().min(b.len()) as i64);
+        if a.is_empty() || b.is_empty() {
+            prop_assert_eq!(s, 0);
+        }
+    }
+
+    /// Self-alignment of any sequence scores exactly 3·len.
+    #[test]
+    fn sw_self_alignment_is_perfect(a in prop::collection::vec(0u8..20, 1..50)) {
+        use workloads::bots::alignment::real::sw_score;
+        prop_assert_eq!(sw_score(&a, &a), 3 * a.len() as i64);
+    }
+
+    /// FFT forward+inverse round-trips arbitrary power-of-two rows.
+    #[test]
+    fn fft_roundtrip_any_signal(
+        log_n in 1u32..9,
+        seed in any::<u64>(),
+    ) {
+        use workloads::npb::ft::real::fft_row;
+        let n = 1usize << log_n;
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let original: Vec<(f64, f64)> = (0..n).map(|_| (next(), next())).collect();
+        let mut row = original.clone();
+        fft_row(&mut row, false);
+        fft_row(&mut row, true);
+        for (a, b) in row.iter().zip(&original) {
+            prop_assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    /// SU(3) trace is linear: tr(A·(B+B)) = 2·tr(A·B) — checked through
+    /// the multiply kernel.
+    #[test]
+    fn su3_trace_linearity(seed in any::<u64>()) {
+        use workloads::proxy::su3bench::real::Su3;
+        let a = Su3::deterministic(seed);
+        let b = Su3::deterministic(!seed);
+        let mut b2 = b;
+        for v in b2.0.iter_mut() {
+            v.0 *= 2.0;
+            v.1 *= 2.0;
+        }
+        let t1 = a.mul(&b).re_trace();
+        let t2 = a.mul(&b2).re_trace();
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-9 * (1.0 + t1.abs()));
+    }
+
+    /// XSBench lookups are within the physical bounds of the grid for
+    /// any energy, including out-of-range ones.
+    #[test]
+    fn xsbench_lookup_bounded(points in 2usize..200, nuclides in 1usize..16, e in -10.0f64..10.0) {
+        use workloads::proxy::xsbench::real::Grid;
+        let grid = Grid::new(points, nuclides);
+        let v = grid.lookup(e);
+        prop_assert!(v.is_finite());
+        prop_assert!(v >= 0.0 && v <= 10.0 * nuclides as f64 + 1e-9);
+    }
+
+    /// EP acceptance counting is exact: schedule and team size never
+    /// change the count.
+    #[test]
+    fn ep_count_schedule_invariant(seed in any::<u64>(), pairs in 1usize..5_000) {
+        let reference = {
+            let p = ThreadPool::with_defaults(1);
+            workloads::npb::ep::real::run(&p, OmpSchedule::Static, seed, pairs)
+        };
+        let pool = ThreadPool::with_defaults(4);
+        for sched in [OmpSchedule::Dynamic, OmpSchedule::Guided] {
+            prop_assert_eq!(workloads::npb::ep::real::run(&pool, sched, seed, pairs), reference);
+        }
+    }
+
+    /// The BT tridiagonal solve is deterministic and finite for any
+    /// problem shape.
+    #[test]
+    fn bt_solve_finite(lines in 1usize..64, n in 2usize..64) {
+        let pool = ThreadPool::with_defaults(2);
+        let v = workloads::npb::bt::real::run(&pool, OmpSchedule::Guided, lines, n);
+        prop_assert!(v.is_finite());
+        prop_assert_eq!(v, workloads::npb::bt::real::run(&pool, OmpSchedule::Static, lines, n));
+    }
+}

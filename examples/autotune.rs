@@ -1,0 +1,81 @@
+//! Autotuning scenario (the paper's Sec. VI proposal): use the influence
+//! analysis as a search-space pruning device for a hill-climbing tuner,
+//! and compare evaluations-to-near-optimal against random search and an
+//! unguided variable order.
+//!
+//! Run with: `cargo run --release --example autotune -- [app] [arch]`
+//! (defaults: cg on milan)
+
+use omptune::core::{
+    hill_climb, influence_analysis, influence_order, random_search, Arch, ConfigSpace,
+    GroupBy, TuningConfig, Variable,
+};
+use omptune::data::{Dataset, Scope, SweepSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("cg");
+    let arch = args
+        .get(1)
+        .and_then(|s| Arch::from_id(s))
+        .unwrap_or(Arch::Milan);
+    let app = omptune::apps::app(app_name).expect("known app");
+    assert!(omptune::apps::available_on(app.name, arch), "{app_name} not run on {arch}");
+
+    let setting = omptune::apps::Setting { input_code: 1, num_threads: arch.cores() };
+    let model = (app.model)(arch, setting);
+    let objective = |c: &TuningConfig| omptune::sim::simulate(arch, c, &model, 0).total_ns;
+
+    // Ground truth: exhaustive search (what the paper paid 240k runs for).
+    println!("exhaustive ground truth for {app_name}/{arch} ...");
+    let space = ConfigSpace::new(arch, arch.cores());
+    let mut optimum = f64::INFINITY;
+    for c in space.iter() {
+        optimum = optimum.min(objective(&c));
+    }
+    let default_t = objective(&TuningConfig::default_for(arch, arch.cores()));
+    println!(
+        "space {} configs; default {:.4}s; optimum {:.4}s (speedup {:.3}x)\n",
+        space.len(),
+        default_t * 1e-9,
+        optimum * 1e-9,
+        default_t / optimum
+    );
+
+    // Influence-guided variable order from a small pilot sweep.
+    println!("pilot sweep for influence ordering ...");
+    let spec = SweepSpec { scope: Scope::Strided(64), reps: 1, seed: 13, ..SweepSpec::default() };
+    let mut batches = vec![omptune::data::sweep_setting(arch, app, setting, 0, &spec)];
+    omptune::data::clean(&mut batches[0], 1);
+    let ds = Dataset::build(&batches);
+    let hm = influence_analysis(&ds.records, GroupBy::ArchApplication).expect("fits");
+    let row = &hm.rows[0];
+    let guided = influence_order(row, &hm.features);
+    println!("guided order: {guided:?}\n");
+
+    let start = TuningConfig::default_for(arch, arch.cores());
+    let budget = 120;
+    let runs = [
+        ("hill-climb (influence-guided)", hill_climb(arch, start, &guided, budget, objective)),
+        ("hill-climb (declaration order)", hill_climb(arch, start, &Variable::ALL, budget, objective)),
+        ("random search", random_search(arch, arch.cores(), 7, budget, objective)),
+    ];
+    println!("{:<32} {:>8} {:>12} {:>18}", "strategy", "evals", "best (s)", "evals to <=1.02*opt");
+    for (name, r) in &runs {
+        let to_opt = omptune::core::tuner::evals_to_within(&r.trajectory, optimum, 1.02)
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "never".into());
+        println!(
+            "{:<32} {:>8} {:>12.4} {:>18}",
+            name,
+            r.evaluations,
+            r.best_value * 1e-9,
+            to_opt
+        );
+    }
+    println!(
+        "\npilot sweep cost: {} evaluations; exhaustive would cost {}.",
+        ds.records.len(),
+        space.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the library in five minutes.
+//!
+//! 1. Parse a tuning configuration from (explicit) environment variables.
+//! 2. Run a real parallel kernel on the executing runtime under it.
+//! 3. Simulate the same configuration on the three paper machines.
+//! 4. Ask the recommender what to change.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use omptune::core::{Arch, ConfigSpace, TuningConfig};
+use omptune::rt::{parallel_reduce_sum, RuntimeConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    // --- 1. A configuration, as a job script would set it. -------------
+    let env: BTreeMap<String, String> = [
+        ("OMP_NUM_THREADS", "4"),
+        ("OMP_SCHEDULE", "guided"),
+        ("OMP_PLACES", "cores"),
+        ("KMP_LIBRARY", "turnaround"),
+        ("KMP_BLOCKTIME", "infinite"),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect();
+
+    let rc = RuntimeConfig::from_map(&env, Arch::Milan, 4).expect("valid environment");
+    println!("configuration : {}", rc.config.describe());
+    println!("wait policy   : {:?}", rc.config.wait_policy());
+    println!("effective bind: {:?}", rc.config.effective_bind());
+    println!("reduction     : {:?}", rc.config.reduction_method());
+
+    // --- 2. Execute a real reduction kernel under that configuration. --
+    let pool = rc.build_pool();
+    let n = 4_000_000;
+    let pi = parallel_reduce_sum(
+        &pool,
+        rc.config.schedule,
+        rc.config.reduction_method(),
+        n,
+        |i| {
+            let x = (i as f64 + 0.5) / n as f64;
+            4.0 / (1.0 + x * x)
+        },
+    ) / n as f64;
+    println!("\nreal runtime  : pi ~= {pi:.9} on {} threads", pool.num_threads());
+
+    // --- 3. Simulate a benchmark under default vs. tuned config. -------
+    let app = omptune::apps::app("xsbench").expect("registered");
+    for arch in Arch::ALL {
+        let setting = omptune::apps::Setting { input_code: 1, num_threads: arch.cores() };
+        let model = (app.model)(arch, setting);
+        let default = TuningConfig::default_for(arch, arch.cores());
+        let tuned = TuningConfig {
+            places: omptune::core::OmpPlaces::Cores,
+            ..default
+        };
+        let t_default = omptune::sim::simulate(arch, &default, &model, 0).seconds();
+        let t_tuned = omptune::sim::simulate(arch, &tuned, &model, 0).seconds();
+        println!(
+            "xsbench on {:<8} default {:.3}s  OMP_PLACES=cores {:.3}s  speedup {:.3}x",
+            arch.id(),
+            t_default,
+            t_tuned,
+            t_default / t_tuned
+        );
+    }
+
+    // --- 4. The space a full per-setting sweep would explore. ----------
+    println!(
+        "\nfull sweep would try {} configs per setting on x86, {} on A64FX",
+        ConfigSpace::new(Arch::Milan, 96).len(),
+        ConfigSpace::new(Arch::A64fx, 48).len()
+    );
+}

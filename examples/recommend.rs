@@ -1,0 +1,73 @@
+//! Recommendation pipeline end-to-end: sweep → dataset → influence
+//! analysis → architecture-aware advice, the paper's Sec. V deliverable.
+//!
+//! Run with: `cargo run --release --example recommend -- [arch]`
+//! (default: milan)
+
+use omptune::core::{
+    influence_analysis, recommend_for, worst_trends, Arch, Feature, GroupBy,
+};
+use omptune::data::{Dataset, Scope, SweepSpec};
+
+fn main() {
+    let arch = std::env::args()
+        .nth(1)
+        .and_then(|s| Arch::from_id(&s))
+        .unwrap_or(Arch::Milan);
+
+    println!("collecting data for {} ...", arch.display_name());
+    let spec = SweepSpec { scope: Scope::Strided(16), reps: 3, seed: 3, ..SweepSpec::default() };
+    let mut batches = omptune::data::sweep_arch(arch, &spec);
+    for b in &mut batches {
+        omptune::data::clean(b, spec.reps as usize);
+    }
+    let dataset = Dataset::build(&batches);
+    println!("{} samples collected\n", dataset.records.len());
+
+    // Which variables matter on this architecture?
+    let hm = influence_analysis(&dataset.records, GroupBy::Architecture)
+        .expect("analysis succeeds");
+    let row = hm.row(arch.id()).expect("arch present");
+    println!("feature influence on {}:", arch.id());
+    let mut ranked: Vec<(Feature, f64)> = hm
+        .features
+        .iter()
+        .copied()
+        .zip(row.influence.iter().copied())
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite influence"));
+    for (f, v) in &ranked {
+        println!("  {:<20} {:.3} {}", f.name(), v, "#".repeat((v * 40.0) as usize));
+    }
+    println!(
+        "(model accuracy {:.2}, optimal fraction {:.2})\n",
+        row.accuracy, row.optimal_fraction
+    );
+
+    // Per-application advice.
+    println!("per-application recommendations on {}:", arch.id());
+    for app in omptune::apps::apps_on(arch) {
+        if let Some(report) = recommend_for(&dataset.records, app.name, arch, 24, 0.7) {
+            let advice = if report.recommendations.is_empty() {
+                "keep the defaults".to_string()
+            } else {
+                report
+                    .recommendations
+                    .iter()
+                    .take(3)
+                    .map(|r| format!("{}={}", r.variable, r.value))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            println!("  {:<10} best {:.3}x  ->  {}", app.name, report.best_speedup, advice);
+        }
+    }
+
+    // And what to avoid.
+    println!("\npatterns to avoid (worst 1% of samples):");
+    for t in worst_trends(&dataset.records, dataset.records.len() / 100) {
+        if t.lift() > 1.5 {
+            println!("  {:<55} lift {:.1}x", t.pattern, t.lift());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Tuning-sweep scenario: explore the configuration space of one
+//! application on one architecture, exactly as one batch of the paper's
+//! data collection, then report what mattered.
+//!
+//! Run with: `cargo run --release --example tuning_sweep -- [app] [arch]`
+//! (defaults: nqueens on a64fx)
+
+use omptune::core::{influence_analysis, recommend_for, Arch, GroupBy};
+use omptune::data::{Dataset, Scope, SweepSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("nqueens");
+    let arch = args
+        .get(1)
+        .and_then(|s| Arch::from_id(s))
+        .unwrap_or(Arch::A64fx);
+
+    let app = omptune::apps::app(app_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown app {app_name}; available: {:?}",
+            omptune::apps::apps().iter().map(|a| a.name).collect::<Vec<_>>()
+        );
+        std::process::exit(1);
+    });
+    if !omptune::apps::available_on(app.name, arch) {
+        eprintln!("{app_name} was not executed on {arch} in the study");
+        std::process::exit(1);
+    }
+
+    // Sweep every 8th configuration of each setting (fast but dense).
+    let spec = SweepSpec { scope: Scope::Strided(8), reps: 3, seed: 1, ..SweepSpec::default() };
+    println!("sweeping {app_name} on {arch} ...");
+    let mut batches = Vec::new();
+    for (idx, setting) in omptune::apps::settings_for(app, arch).into_iter().enumerate() {
+        let batch = omptune::data::sweep_setting(arch, app, setting, idx, &spec);
+        println!(
+            "  setting input={} threads={}: {} samples, default {:.4}s",
+            setting.input_code,
+            setting.num_threads,
+            batch.samples.len(),
+            batch.default_mean()
+        );
+        batches.push(batch);
+    }
+    let dataset = Dataset::build(&batches);
+
+    // Distribution summary per setting.
+    for (i, batch) in batches.iter().enumerate() {
+        let speedups: Vec<f64> = batch.samples.iter().map(|s| batch.speedup(s)).collect();
+        let summary = omptune::stats::Summary::of(&speedups).expect("non-empty");
+        println!(
+            "setting {i}: speedup min {:.3} median {:.3} max {:.3}",
+            summary.min, summary.median, summary.max
+        );
+    }
+
+    // Which variables separate optimal from sub-optimal configs here?
+    match influence_analysis(&dataset.records, GroupBy::ArchApplication) {
+        Ok(hm) => {
+            println!("\ninfluence ({arch}/{app_name}):");
+            print!("{}", hm.render_text());
+        }
+        Err(e) => println!("\ninfluence analysis unavailable: {e}"),
+    }
+
+    // Actionable recommendation.
+    if let Some(report) = recommend_for(&dataset.records, app_name, arch, 32, 0.6) {
+        println!("\nbest observed speedup: {:.3}x", report.best_speedup);
+        println!("best config: {}", report.best_config.describe());
+        if report.recommendations.is_empty() {
+            println!("recommendation: the defaults are already near-optimal");
+        } else {
+            for r in &report.recommendations {
+                println!(
+                    "recommend {}={} (shared by {:.0}% of top configs)",
+                    r.variable,
+                    r.value,
+                    r.support * 100.0
+                );
+            }
+        }
+    }
+}

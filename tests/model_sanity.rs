@@ -1,0 +1,113 @@
+//! Broad sanity net over every (application × architecture × setting)
+//! cell of the study: the calibrated models must produce physically
+//! sensible, deterministic results under every class of configuration.
+
+use omptune::core::{Arch, ConfigSpace, TuningConfig};
+
+#[test]
+fn every_cell_simulates_sanely() {
+    for arch in Arch::ALL {
+        for app in omptune::apps::apps_on(arch) {
+            for setting in omptune::apps::settings_for(app, arch) {
+                let model = (app.model)(arch, setting);
+                let space = ConfigSpace::new(arch, setting.num_threads);
+                let default = TuningConfig::default_for(arch, setting.num_threads);
+                let base = omptune::sim::simulate(arch, &default, &model, 0).seconds();
+                assert!(
+                    base > 1e-6 && base < 100.0,
+                    "{}/{}/{:?}: default runtime {base}s out of range",
+                    arch.id(),
+                    app.name,
+                    setting
+                );
+                // A strided slice of the space: all speedups within
+                // physical bounds (master-bind can be ~100x slower on
+                // Milan, with memory multipliers on top; nothing should be
+                // more than 6x faster).
+                for config in space.iter().step_by(97) {
+                    let t = omptune::sim::simulate(arch, &config, &model, 0).seconds();
+                    let speedup = base / t;
+                    assert!(
+                        (1.0 / 500.0..=6.0).contains(&speedup),
+                        "{}/{}/{:?}: speedup {speedup} for {}",
+                        arch.id(),
+                        app.name,
+                        setting,
+                        config.describe()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn input_size_scales_runtime_monotonically() {
+    // Bigger input classes must take longer under the default config.
+    for arch in Arch::ALL {
+        for app in omptune::apps::apps_on(arch) {
+            let settings = omptune::apps::settings_for(app, arch);
+            let default = |s: omptune::apps::Setting| {
+                let model = (app.model)(arch, s);
+                let cfg = TuningConfig::default_for(arch, s.num_threads);
+                omptune::sim::simulate(arch, &cfg, &model, 0).seconds()
+            };
+            // Input-varied apps: later settings are larger classes.
+            // Thread-varied apps: later settings have more threads →
+            // same-or-less time; skip those.
+            if settings.iter().all(|s| s.num_threads == settings[0].num_threads) {
+                let times: Vec<f64> = settings.iter().map(|s| default(*s)).collect();
+                for w in times.windows(2) {
+                    assert!(
+                        w[1] > w[0],
+                        "{}/{}: class scaling broken: {times:?}",
+                        arch.id(),
+                        app.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn more_threads_never_slow_down_defaults() {
+    // For the thread-varied proxies, the default (unbound) config must
+    // scale: full-machine runs no slower than quarter-machine runs.
+    for arch in Arch::ALL {
+        for app in omptune::apps::apps_on(arch) {
+            let settings = omptune::apps::settings_for(app, arch);
+            if settings.iter().any(|s| s.num_threads != settings[0].num_threads) {
+                let times: Vec<f64> = settings
+                    .iter()
+                    .map(|s| {
+                        let model = (app.model)(arch, *s);
+                        let cfg = TuningConfig::default_for(arch, s.num_threads);
+                        omptune::sim::simulate(arch, &cfg, &model, 0).seconds()
+                    })
+                    .collect();
+                assert!(
+                    times.last().unwrap() <= times.first().unwrap(),
+                    "{}/{}: thread scaling inverted: {times:?}",
+                    arch.id(),
+                    app.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn icv_resolution_is_total_over_the_space() {
+    // Every configuration resolves to a coherent ICV snapshot.
+    for arch in Arch::ALL {
+        let space = ConfigSpace::new(arch, arch.cores());
+        for config in space.iter().step_by(61) {
+            let icv = omptune::core::IcvState::resolve(arch, &config);
+            assert_eq!(icv.nthreads, arch.cores());
+            assert!(icv.align_alloc.is_power_of_two());
+            let text = icv.display_env();
+            assert!(text.contains("ENVIRONMENT BEGIN"));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration tests of the real kernels running on the executing
+//! runtime under *every* combination of the tuning knobs that affect
+//! execution semantics — the cross-crate correctness net for `omprt` ×
+//! `workloads`.
+
+use omptune::core::{Arch, OmpSchedule, ReductionMethod, WaitPolicy};
+use omptune::rt::{RuntimeConfig, ThreadPool};
+use std::collections::BTreeMap;
+
+const SCHEDULES: [OmpSchedule; 4] = [
+    OmpSchedule::Static,
+    OmpSchedule::Dynamic,
+    OmpSchedule::Guided,
+    OmpSchedule::Auto,
+];
+
+#[test]
+fn cg_converges_under_every_schedule_and_method() {
+    let a = omptune::apps::npb::cg::real::Laplacian2D::new(14);
+    for threads in [1usize, 3, 4] {
+        let pool = ThreadPool::with_defaults(threads);
+        for schedule in SCHEDULES {
+            for method in [
+                ReductionMethod::Tree,
+                ReductionMethod::Critical,
+                ReductionMethod::Atomic,
+            ] {
+                let res = omptune::apps::npb::cg::real::run(&pool, schedule, method, &a, 30);
+                assert!(res < 1e-9, "{threads}t/{schedule:?}/{method:?}: residual {res}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fft_roundtrips_under_every_schedule() {
+    let pool = ThreadPool::with_defaults(4);
+    for schedule in SCHEDULES {
+        let original: Vec<(f64, f64)> =
+            (0..16 * 32).map(|k| ((k % 7) as f64, (k % 5) as f64)).collect();
+        let mut data = original.clone();
+        omptune::apps::npb::ft::real::fft_pass(&pool, schedule, &mut data, 16, 32, false);
+        omptune::apps::npb::ft::real::fft_pass(&pool, schedule, &mut data, 16, 32, true);
+        for (a, b) in data.iter().zip(&original) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9, "{schedule:?}");
+        }
+    }
+}
+
+#[test]
+fn task_kernels_are_wait_policy_invariant() {
+    // The wait policy changes *when* workers sleep, never *what* they
+    // compute.
+    let policies = [
+        WaitPolicy::Passive,
+        WaitPolicy::SpinThenSleep { millis: 1, yielding: true },
+        WaitPolicy::Active { yielding: false },
+    ];
+    let mut nq = Vec::new();
+    let mut health = Vec::new();
+    for policy in policies {
+        let pool = ThreadPool::new(4, policy);
+        nq.push(omptune::apps::bots::nqueens::real::run(&pool, 9));
+        health.push(omptune::apps::bots::health::real::run(&pool, 2, 3, 40));
+    }
+    assert!(nq.iter().all(|v| *v == 352));
+    assert!(health.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn sort_and_strassen_compose_on_one_pool() {
+    // BOTS kernels share the pool back to back, as a real program would.
+    let pool = ThreadPool::with_defaults(4);
+    for round in 0..3 {
+        let mut data = omptune::apps::bots::sort::real::input(50_000, round);
+        omptune::apps::bots::sort::real::run(&pool, &mut data);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]), "round {round}");
+
+        let a = omptune::apps::bots::strassen::real::Mat::deterministic(64, round);
+        let b = omptune::apps::bots::strassen::real::Mat::deterministic(64, round + 7);
+        let got = omptune::apps::bots::strassen::real::run(&pool, &a, &b);
+        let expect = a.matmul_naive(&b);
+        for (x, y) in got.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn environment_driven_execution_matches_direct() {
+    // Configure via the env-map path (as a downstream user would) and via
+    // direct construction; results must agree.
+    let env: BTreeMap<String, String> = [
+        ("OMP_NUM_THREADS", "3"),
+        ("OMP_SCHEDULE", "dynamic"),
+        ("KMP_FORCE_REDUCTION", "atomic"),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect();
+    let rc = RuntimeConfig::from_map(&env, Arch::Skylake, 3).expect("parses");
+    let pool = rc.build_pool();
+    let via_env = omptune::rt::parallel_reduce_sum(
+        &pool,
+        rc.config.schedule,
+        rc.config.reduction_method(),
+        10_000,
+        |i| i as f64,
+    );
+    let pool2 = ThreadPool::with_defaults(3);
+    let direct = omptune::rt::parallel_reduce_sum(
+        &pool2,
+        OmpSchedule::Dynamic,
+        ReductionMethod::Atomic,
+        10_000,
+        |i| i as f64,
+    );
+    assert_eq!(via_env, direct);
+    assert_eq!(via_env, 49_995_000.0);
+}
+
+#[test]
+fn alignment_scores_stable_across_pool_sizes() {
+    let score1 = {
+        let p = ThreadPool::with_defaults(1);
+        omptune::apps::bots::alignment::real::run(&p, 10, 32)
+    };
+    for threads in [2usize, 4] {
+        let p = ThreadPool::with_defaults(threads);
+        assert_eq!(omptune::apps::bots::alignment::real::run(&p, 10, 32), score1);
+    }
+}
+
+#[test]
+fn lulesh_physics_is_schedule_invariant_at_scale() {
+    let run = |sched: OmpSchedule, threads: usize| {
+        let pool = ThreadPool::with_defaults(threads);
+        let mut s = omptune::apps::proxy::lulesh::real::State::new(256);
+        for _ in 0..40 {
+            s.step(&pool, sched, 1e-3);
+        }
+        (s.x, s.e)
+    };
+    let reference = run(OmpSchedule::Static, 1);
+    for sched in SCHEDULES {
+        for threads in [2usize, 4] {
+            assert_eq!(run(sched, threads), reference, "{sched:?}/{threads}");
+        }
+    }
+}
