@@ -19,7 +19,10 @@ pub type VTime = u64;
 /// Convert fractional nanoseconds to the integer clock, rounding up so
 /// that zero-cost work still advances time when it must.
 pub fn ns(t: f64) -> VTime {
-    debug_assert!(t >= 0.0 && t.is_finite(), "negative or non-finite time: {t}");
+    debug_assert!(
+        t >= 0.0 && t.is_finite(),
+        "negative or non-finite time: {t}"
+    );
     t.ceil() as VTime
 }
 
@@ -43,7 +46,12 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Create an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            seq: 0,
+            now: 0,
+        }
     }
 
     /// Current virtual time: the timestamp of the last popped event.
@@ -57,7 +65,12 @@ impl<T> EventQueue<T> {
     /// Panics when scheduling into the past — that is always a simulation
     /// bug, and catching it eagerly keeps causality honest.
     pub fn schedule(&mut self, at: VTime, payload: T) {
-        assert!(at >= self.now, "scheduling into the past: {} < {}", at, self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {} < {}",
+            at,
+            self.now
+        );
         let idx = self.payloads.len();
         self.payloads.push(Some(payload));
         self.heap.push(Reverse((Entry(at, self.seq), idx)));
@@ -105,7 +118,10 @@ impl CorePool {
     /// A pool of `n` idle cores at time zero.
     pub fn new(n: usize) -> CorePool {
         assert!(n > 0, "need at least one core");
-        CorePool { next_free: vec![0; n], busy_ns: vec![0; n] }
+        CorePool {
+            next_free: vec![0; n],
+            busy_ns: vec![0; n],
+        }
     }
 
     /// Number of cores.
@@ -139,7 +155,7 @@ impl CorePool {
         let mut best: Option<(VTime, usize)> = None;
         for c in cores {
             let t = self.next_free[c];
-            if best.map_or(true, |(bt, bc)| t < bt || (t == bt && c < bc)) {
+            if best.is_none_or(|(bt, bc)| t < bt || (t == bt && c < bc)) {
                 best = Some((t, c));
             }
         }

@@ -149,7 +149,7 @@ impl MachineDesc {
             if n == 0 {
                 return Err(format!("zero {what}"));
             }
-            if self.cores % n != 0 {
+            if !self.cores.is_multiple_of(n) {
                 return Err(format!("cores not divisible by {what}"));
             }
         }

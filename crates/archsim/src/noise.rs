@@ -35,20 +35,29 @@ impl NoiseModel {
     /// Quiet dedicated partition (A64FX/Ookami): negligible scatter,
     /// no batch drift.
     pub fn a64fx() -> NoiseModel {
-        NoiseModel { sigma: 0.0005, rep_offsets: [0.0; 4] }
+        NoiseModel {
+            sigma: 0.0005,
+            rep_offsets: [0.0; 4],
+        }
     }
 
     /// Skylake/SeaWulf: small scatter; batches R0 and R1 ran under the
     /// same cluster load (p = 0.19 in Table III) while R2/R3 drifted
     /// slightly but systematically.
     pub fn skylake() -> NoiseModel {
-        NoiseModel { sigma: 0.002, rep_offsets: [0.0, 0.0, 0.006, 0.003] }
+        NoiseModel {
+            sigma: 0.002,
+            rep_offsets: [0.0, 0.0, 0.006, 0.003],
+        }
     }
 
     /// Milan/SeaWulf: the busiest partition — R0 ran ~20 % slower than
     /// later batches (Table IV: 0.135 vs 0.109/0.111 s).
     pub fn milan() -> NoiseModel {
-        NoiseModel { sigma: 0.003, rep_offsets: [0.22, 0.0, 0.005, 0.018] }
+        NoiseModel {
+            sigma: 0.003,
+            rep_offsets: [0.22, 0.0, 0.005, 0.018],
+        }
     }
 
     /// Pick the model used for a machine by name.
@@ -57,7 +66,10 @@ impl NoiseModel {
             "a64fx" => NoiseModel::a64fx(),
             "skylake" => NoiseModel::skylake(),
             "milan" => NoiseModel::milan(),
-            _ => NoiseModel { sigma: 0.01, rep_offsets: [0.0; 4] },
+            _ => NoiseModel {
+                sigma: 0.01,
+                rep_offsets: [0.0; 4],
+            },
         }
     }
 
@@ -140,13 +152,23 @@ mod tests {
     fn skylake_first_pair_matches_later_pairs_differ() {
         let m = NoiseModel::skylake();
         let mean = |rep: u32| (0..2000).map(|s| m.factor(5, s, rep)).sum::<f64>() / 2000.0;
-        assert!((mean(0) - mean(1)).abs() < 0.001, "R0 and R1 share the drift");
-        assert!((mean(1) - mean(2)).abs() > 0.004, "R2 drifts systematically");
+        assert!(
+            (mean(0) - mean(1)).abs() < 0.001,
+            "R0 and R1 share the drift"
+        );
+        assert!(
+            (mean(1) - mean(2)).abs() > 0.004,
+            "R2 drifts systematically"
+        );
     }
 
     #[test]
     fn factors_always_positive() {
-        for m in [NoiseModel::a64fx(), NoiseModel::skylake(), NoiseModel::milan()] {
+        for m in [
+            NoiseModel::a64fx(),
+            NoiseModel::skylake(),
+            NoiseModel::milan(),
+        ] {
             for s in 0..1000 {
                 for rep in 0..4 {
                     assert!(m.factor(99, s, rep) > 0.0);
@@ -167,9 +189,8 @@ mod tests {
         // The property that keeps speedups clean: averaging the same reps
         // of two samples and taking the ratio removes the batch drift.
         let m = NoiseModel::milan();
-        let avg = |stream: u64| -> f64 {
-            (0..3).map(|r| m.factor(1, stream, r)).sum::<f64>() / 3.0
-        };
+        let avg =
+            |stream: u64| -> f64 { (0..3).map(|r| m.factor(1, stream, r)).sum::<f64>() / 3.0 };
         let ratio = avg(10) / avg(20);
         assert!((ratio - 1.0).abs() < 0.01, "ratio {ratio}");
     }

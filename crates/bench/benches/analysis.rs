@@ -7,7 +7,12 @@ use omptune_core::{influence_analysis, GroupBy};
 use sweep::{Dataset, Scope, SweepSpec};
 
 fn dataset() -> Dataset {
-    let spec = SweepSpec { scope: Scope::Strided(48), reps: 3, seed: 11, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        scope: Scope::Strided(48),
+        reps: 3,
+        seed: 11,
+        ..SweepSpec::default()
+    };
     let batches = sweep::sweep_arch(omptune_core::Arch::Milan, &spec);
     Dataset::build(&batches)
 }
@@ -26,11 +31,7 @@ fn bench_wilcoxon(c: &mut Criterion) {
 fn bench_regressions(c: &mut Criterion) {
     // Synthetic feature matrix shaped like the sweep encoding.
     let xs: Vec<Vec<f64>> = (0..4000)
-        .map(|i| {
-            (0..9)
-                .map(|j| ((i * (j + 3)) % 17) as f64 / 17.0)
-                .collect()
-        })
+        .map(|i| (0..9).map(|j| ((i * (j + 3)) % 17) as f64 / 17.0).collect())
         .collect();
     let y_cont: Vec<f64> = xs.iter().map(|r| r.iter().sum::<f64>()).collect();
     let y_bin: Vec<bool> = y_cont.iter().map(|v| *v > 4.5).collect();

@@ -8,7 +8,10 @@ use omptune_core::{hill_climb, random_search, Arch, TuningConfig, Variable};
 fn bench_strategies(c: &mut Criterion) {
     let arch = Arch::Milan;
     let app = workloads::app("cg").expect("registered");
-    let setting = workloads::Setting { input_code: 0, num_threads: 96 };
+    let setting = workloads::Setting {
+        input_code: 0,
+        num_threads: 96,
+    };
     let model = (app.model)(arch, setting);
     let objective = |cfg: &TuningConfig| simrt::simulate(arch, cfg, &model, 0).total_ns;
 
@@ -35,13 +38,22 @@ fn bench_solution_quality(c: &mut Criterion) {
     // regressions in the tuner or the model surface here.
     let arch = Arch::Milan;
     let app = workloads::app("cg").expect("registered");
-    let setting = workloads::Setting { input_code: 0, num_threads: 96 };
+    let setting = workloads::Setting {
+        input_code: 0,
+        num_threads: 96,
+    };
     let model = (app.model)(arch, setting);
     let objective = |cfg: &TuningConfig| simrt::simulate(arch, cfg, &model, 0).total_ns;
     let default = objective(&TuningConfig::default_for(arch, 96));
     c.bench_function("hill_climb_reaches_speedup", |b| {
         b.iter(|| {
-            let r = hill_climb(arch, TuningConfig::default_for(arch, 96), &Variable::ALL, 120, objective);
+            let r = hill_climb(
+                arch,
+                TuningConfig::default_for(arch, 96),
+                &Variable::ALL,
+                120,
+                objective,
+            );
             assert!(default / r.best_value > 1.2, "tuner lost its win");
             std::hint::black_box(r.evaluations);
         });

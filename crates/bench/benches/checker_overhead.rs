@@ -1,0 +1,80 @@
+//! Ablation of the `check` instrumentation cost on the real runtime.
+//!
+//! Three states of the same workload (a static tree reduction plus a
+//! dynamically-scheduled loop on a 4-thread pool):
+//!
+//! - `instrumented_idle` — the `check` feature is compiled in (the
+//!   default) but no trace session is active: every event site costs one
+//!   relaxed atomic load. This is the state sweeps run in.
+//! - `tracing` — a session is active; every synchronization event is
+//!   appended to the global buffer.
+//! - `tracing_and_checking` — tracing plus a full vector-clock
+//!   happens-before replay of the buffer each iteration.
+//!
+//! The fourth state — sites compiled out entirely — is a build flavor,
+//! not a runtime switch: `cargo bench -p omprt --no-default-features`
+//! removes the sites so the idle load can be compared against true zero.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omprt::{parallel_for, parallel_reduce_sum, trace, ThreadPool};
+use omptune_core::{OmpSchedule, ReductionMethod, WaitPolicy};
+use std::hint::black_box;
+
+const LOOP: usize = 2_000;
+
+fn workload(pool: &ThreadPool) -> f64 {
+    let sum = parallel_reduce_sum(
+        pool,
+        OmpSchedule::Static,
+        ReductionMethod::Tree,
+        LOOP,
+        |i| i as f64,
+    );
+    parallel_for(pool, OmpSchedule::Dynamic, LOOP, |i| {
+        black_box(i);
+    });
+    sum
+}
+
+fn bench_checker_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_overhead");
+    let pool = ThreadPool::new(4, WaitPolicy::Active { yielding: false });
+    let expect: f64 = (0..LOOP).map(|i| i as f64).sum();
+
+    group.bench_function("instrumented_idle", |b| {
+        b.iter(|| {
+            assert_eq!(workload(&pool), expect);
+        });
+    });
+
+    group.bench_function("tracing", |b| {
+        b.iter(|| {
+            let session = trace::session();
+            assert_eq!(workload(&pool), expect);
+            black_box(session.finish().len());
+        });
+    });
+
+    group.bench_function("tracing_and_checking", |b| {
+        b.iter(|| {
+            let session = trace::session();
+            assert_eq!(workload(&pool), expect);
+            let records = session.finish();
+            let report = omplint::check_trace(&records);
+            assert!(report.is_clean());
+            black_box(report.stats.events);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_checker_overhead
+}
+criterion_main!(benches);

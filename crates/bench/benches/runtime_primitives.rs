@@ -66,7 +66,13 @@ fn bench_wait_policies(c: &mut Criterion) {
     for (label, policy) in [
         ("active_spin", WaitPolicy::Active { yielding: false }),
         ("active_yield", WaitPolicy::Active { yielding: true }),
-        ("spin_then_sleep", WaitPolicy::SpinThenSleep { millis: 200, yielding: true }),
+        (
+            "spin_then_sleep",
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true,
+            },
+        ),
         ("passive", WaitPolicy::Passive),
     ] {
         group.bench_function(label, |b| {

@@ -13,7 +13,9 @@ fn skewed_work(i: usize, total: usize) -> u64 {
     let reps = 1 + (200 * i) / total;
     let mut acc = i as u64;
     for _ in 0..reps {
-        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     acc
 }
@@ -23,7 +25,11 @@ fn bench_schedules(c: &mut Criterion) {
     let total = 50_000usize;
 
     let mut group = c.benchmark_group("schedule_skewed_loop");
-    for schedule in [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided] {
+    for schedule in [
+        OmpSchedule::Static,
+        OmpSchedule::Dynamic,
+        OmpSchedule::Guided,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{schedule:?}")),
             &schedule,
@@ -41,7 +47,11 @@ fn bench_schedules(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("schedule_uniform_loop");
-    for schedule in [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided] {
+    for schedule in [
+        OmpSchedule::Static,
+        OmpSchedule::Dynamic,
+        OmpSchedule::Guided,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{schedule:?}")),
             &schedule,

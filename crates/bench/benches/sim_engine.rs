@@ -28,7 +28,10 @@ fn bench_simulate_apps(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_one_run");
     for app_name in ["cg", "nqueens", "xsbench", "lulesh"] {
         let app = workloads::app(app_name).expect("registered");
-        let setting = workloads::Setting { input_code: 1, num_threads: 96 };
+        let setting = workloads::Setting {
+            input_code: 1,
+            num_threads: 96,
+        };
         let model = (app.model)(Arch::Milan, setting);
         let config = TuningConfig::default_for(Arch::Milan, 96);
         group.bench_with_input(BenchmarkId::from_parameter(app_name), &model, |b, model| {
@@ -46,9 +49,16 @@ fn bench_schedule_model_cost(c: &mut Criterion) {
     // (static is closed-form per thread, guided walks the chunk list).
     let mut group = c.benchmark_group("simulate_by_schedule");
     let app = workloads::app("cg").expect("registered");
-    let setting = workloads::Setting { input_code: 2, num_threads: 96 };
+    let setting = workloads::Setting {
+        input_code: 2,
+        num_threads: 96,
+    };
     let model = (app.model)(Arch::Milan, setting);
-    for schedule in [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided] {
+    for schedule in [
+        OmpSchedule::Static,
+        OmpSchedule::Dynamic,
+        OmpSchedule::Guided,
+    ] {
         let config = TuningConfig {
             schedule,
             ..TuningConfig::default_for(Arch::Milan, 96)
@@ -78,7 +88,10 @@ fn bench_full_space_one_setting(c: &mut Criterion) {
             ..sweep::SweepSpec::default()
         };
         let app = workloads::app("ep").expect("registered");
-        let setting = workloads::Setting { input_code: 0, num_threads: 96 };
+        let setting = workloads::Setting {
+            input_code: 0,
+            num_threads: 96,
+        };
         b.iter(|| {
             let data = sweep::sweep_setting(Arch::Milan, app, setting, 0, &spec);
             std::hint::black_box(data.samples.len());

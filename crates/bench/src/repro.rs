@@ -63,13 +63,20 @@ pub struct Reproduction {
 impl Reproduction {
     /// Run the sweep at `scope` and process the dataset.
     pub fn generate(scope: ReproScope) -> Reproduction {
-        let spec = SweepSpec { scope: scope.to_scope(), ..SweepSpec::default() };
+        let spec = SweepSpec {
+            scope: scope.to_scope(),
+            ..SweepSpec::default()
+        };
         let mut batches = sweep::sweep_all(&spec);
         for b in &mut batches {
             sweep::clean(b, spec.reps as usize);
         }
         let dataset = Dataset::build(&batches);
-        Reproduction { batches, dataset, spec }
+        Reproduction {
+            batches,
+            dataset,
+            spec,
+        }
     }
 
     fn records(&self) -> &[AnalysisRecord] {
@@ -154,15 +161,23 @@ impl Reproduction {
                 ));
             }
         }
-        out.push_str("(paper: a64fx p=0.72-0.86; milan and skylake p~0 except skylake R0,R1 p=0.19)\n");
+        out.push_str(
+            "(paper: a64fx p=0.72-0.86; milan and skylake p~0 except skylake R0,R1 p=0.19)\n",
+        );
         out
     }
 
     /// Dedicated 4-repetition alignment-small sweep per architecture.
     fn four_rep_alignment(&self, arch: Arch) -> Vec<Vec<f64>> {
-        let spec = SweepSpec { reps: 4, ..self.spec };
+        let spec = SweepSpec {
+            reps: 4,
+            ..self.spec
+        };
         let app = workloads::app("alignment").expect("alignment registered");
-        let setting = Setting { input_code: 0, num_threads: arch.cores() };
+        let setting = Setting {
+            input_code: 0,
+            num_threads: arch.cores(),
+        };
         let batch = sweep::sweep_setting(arch, app, setting, 0, &spec);
         (0..4)
             .map(|r| batch.samples.iter().map(|s| s.runtimes[r]).collect())
@@ -279,7 +294,11 @@ impl Reproduction {
                     "nqueens | {:<7} | best {:.3}x: {}\n",
                     arch.id(),
                     report.best_speedup,
-                    if recs.is_empty() { "defaults".into() } else { recs.join(", ") }
+                    if recs.is_empty() {
+                        "defaults".into()
+                    } else {
+                        recs.join(", ")
+                    }
                 ));
             }
         }
@@ -377,9 +396,7 @@ impl Reproduction {
                 let sample: Vec<f64> = self
                     .records()
                     .iter()
-                    .filter(|r| {
-                        r.app == app && r.arch == arch && r.input_size == input as f64
-                    })
+                    .filter(|r| r.app == app && r.arch == arch && r.input_size == input as f64)
                     .map(|r| r.speedup)
                     .collect();
                 if sample.is_empty() {
@@ -410,9 +427,7 @@ impl Reproduction {
                 let sample: Vec<f64> = self
                     .records()
                     .iter()
-                    .filter(|r| {
-                        r.app == app && r.arch == arch && r.input_size == input as f64
-                    })
+                    .filter(|r| r.app == app && r.arch == arch && r.input_size == input as f64)
                     .map(|r| r.speedup)
                     .collect();
                 if let Some(v) = ViolinSummary::of(&sample, 64) {
@@ -516,9 +531,16 @@ mod tests {
     #[test]
     fn heatmaps_render_for_all_groupings() {
         let r = repro();
-        for g in [GroupBy::Application, GroupBy::Architecture, GroupBy::ArchApplication] {
+        for g in [
+            GroupBy::Application,
+            GroupBy::Architecture,
+            GroupBy::ArchApplication,
+        ] {
             let hm = r.figure_heatmap(g);
-            assert!(hm.contains("OMP_PROC_BIND"), "missing feature column:\n{hm}");
+            assert!(
+                hm.contains("OMP_PROC_BIND"),
+                "missing feature column:\n{hm}"
+            );
         }
     }
 

@@ -118,7 +118,11 @@ impl Feature {
 
 /// Naive numeric encoding of one record into the feature columns
 /// (Sec. IV-D: "This encoding is a naive numeric scheme").
-fn encode_record(rec: &AnalysisRecord, cols: &[Feature], app_codes: &BTreeMap<String, usize>) -> Vec<f64> {
+fn encode_record(
+    rec: &AnalysisRecord,
+    cols: &[Feature],
+    app_codes: &BTreeMap<String, usize>,
+) -> Vec<f64> {
     cols.iter()
         .map(|f| match f {
             Feature::Architecture => match rec.arch {
@@ -292,7 +296,10 @@ pub fn linear_fit_quality(
     let cols = Feature::columns(group_by);
     let mut out = Vec::new();
     for (group, recs) in groups {
-        let xs: Vec<Vec<f64>> = recs.iter().map(|r| encode_record(r, &cols, &app_codes)).collect();
+        let xs: Vec<Vec<f64>> = recs
+            .iter()
+            .map(|r| encode_record(r, &cols, &app_codes))
+            .collect();
         let y: Vec<f64> = recs.iter().map(|r| r.speedup).collect();
         let (_, xs_std) = StandardScaler::fit_transform(&xs);
         if let Ok(model) = mlstats::fit_linear(&xs_std, &y) {
@@ -338,7 +345,10 @@ pub fn influence_analysis(
     let cols = Feature::columns(group_by);
     let mut rows = Vec::new();
     for (group, recs) in groups {
-        let xs: Vec<Vec<f64>> = recs.iter().map(|r| encode_record(r, &cols, &app_codes)).collect();
+        let xs: Vec<Vec<f64>> = recs
+            .iter()
+            .map(|r| encode_record(r, &cols, &app_codes))
+            .collect();
         let y: Vec<bool> = recs.iter().map(|r| r.is_optimal()).collect();
         let n_samples = recs.len();
         let optimal_fraction = y.iter().filter(|b| **b).count() as f64 / n_samples as f64;
@@ -370,7 +380,11 @@ pub fn influence_analysis(
     if rows.is_empty() {
         return Err(AnalysisError::NoUsableGroups);
     }
-    Ok(InfluenceHeatMap { group_by, features: cols, rows })
+    Ok(InfluenceHeatMap {
+        group_by,
+        features: cols,
+        rows,
+    })
 }
 
 #[cfg(test)]
@@ -389,7 +403,11 @@ mod tests {
                 arch: Arch::Milan,
                 app: "nqueens".into(),
                 input_size: 0.0,
-                speedup: if config.library == KmpLibrary::Turnaround { 2.5 } else { 1.0 },
+                speedup: if config.library == KmpLibrary::Turnaround {
+                    2.5
+                } else {
+                    1.0
+                },
                 config,
             })
             .collect()
@@ -457,7 +475,10 @@ mod tests {
 
     #[test]
     fn empty_input_is_error() {
-        assert_eq!(influence_analysis(&[], GroupBy::Application), Err(AnalysisError::NoData));
+        assert_eq!(
+            influence_analysis(&[], GroupBy::Application),
+            Err(AnalysisError::NoData)
+        );
     }
 
     #[test]

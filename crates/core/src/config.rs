@@ -16,8 +16,7 @@
 
 use crate::arch::Arch;
 use crate::envvar::{
-    KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind,
-    OmpSchedule,
+    KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -140,7 +139,10 @@ impl TuningConfig {
         let yielding = self.library == KmpLibrary::Throughput;
         match self.blocktime.millis() {
             Some(0) => WaitPolicy::Passive,
-            Some(ms) => WaitPolicy::SpinThenSleep { millis: ms, yielding },
+            Some(ms) => WaitPolicy::SpinThenSleep {
+                millis: ms,
+                yielding,
+            },
             None => WaitPolicy::Active { yielding },
         }
     }
@@ -256,7 +258,10 @@ mod tests {
         let mut c = TuningConfig::default_for(Arch::A64fx, 48);
         assert_eq!(
             c.wait_policy(),
-            WaitPolicy::SpinThenSleep { millis: 200, yielding: true }
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true
+            }
         );
         c.blocktime = KmpBlocktime::Zero;
         assert_eq!(c.wait_policy(), WaitPolicy::Passive);
@@ -313,7 +318,16 @@ mod tests {
     #[test]
     fn describe_mentions_every_variable() {
         let d = TuningConfig::default_for(Arch::A64fx, 48).describe();
-        for key in ["places=", "bind=", "sched=", "lib=", "blocktime=", "red=", "align=", "threads="] {
+        for key in [
+            "places=",
+            "bind=",
+            "sched=",
+            "lib=",
+            "blocktime=",
+            "red=",
+            "align=",
+            "threads=",
+        ] {
             assert!(d.contains(key), "missing {key} in {d}");
         }
     }

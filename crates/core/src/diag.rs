@@ -1,0 +1,96 @@
+//! Structured diagnostics for configuration-space analysis.
+//!
+//! The `omplint` crate classifies configuration points against a rule
+//! catalog; each firing is reported as a [`Diagnostic`] carrying the rule
+//! id, a severity, a human-readable message, and (when one exists) a
+//! canonical replacement. Keeping the types here — rather than in
+//! `omplint` — lets `sweep` and `bench` consume lint output without
+//! depending on the linter itself.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: the point is fine but noteworthy.
+    Note,
+    /// The point is semantically equivalent to another (redundant work).
+    Warning,
+    /// The point is invalid and must not be swept.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One rule firing against one configuration point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `E-ALIGN-ARCH` or `R-BIND-TRUE`.
+    pub rule: String,
+    pub severity: Severity,
+    /// What is wrong with the point.
+    pub message: String,
+    /// Suggested fix — for redundant points, the canonical equivalent.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(
+        rule: impl Into<String>,
+        severity: Severity,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: rule.into(),
+            severity,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a suggested fix.
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.rule, self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (suggestion: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_rule_and_suggestion() {
+        let d = Diagnostic::new("E-TEST", Severity::Error, "bad point")
+            .with_suggestion("use the default");
+        let s = d.to_string();
+        assert!(s.contains("error[E-TEST]"));
+        assert!(s.contains("bad point"));
+        assert!(s.contains("use the default"));
+    }
+}

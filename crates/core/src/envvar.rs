@@ -33,8 +33,12 @@ pub enum OmpPlaces {
 
 impl OmpPlaces {
     /// All values the study sweeps.
-    pub const ALL: [OmpPlaces; 4] =
-        [OmpPlaces::Unset, OmpPlaces::Cores, OmpPlaces::LlCaches, OmpPlaces::Sockets];
+    pub const ALL: [OmpPlaces; 4] = [
+        OmpPlaces::Unset,
+        OmpPlaces::Cores,
+        OmpPlaces::LlCaches,
+        OmpPlaces::Sockets,
+    ];
 
     /// Spelling used when exporting the variable; `None` means "leave unset".
     pub fn env_value(self) -> Option<&'static str> {
@@ -140,8 +144,12 @@ pub enum OmpSchedule {
 
 impl OmpSchedule {
     /// All values the study sweeps.
-    pub const ALL: [OmpSchedule; 4] =
-        [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided, OmpSchedule::Auto];
+    pub const ALL: [OmpSchedule; 4] = [
+        OmpSchedule::Static,
+        OmpSchedule::Dynamic,
+        OmpSchedule::Guided,
+        OmpSchedule::Auto,
+    ];
 
     /// Spelling used when exporting.
     pub fn env_value(self) -> &'static str {
@@ -216,8 +224,11 @@ pub enum KmpBlocktime {
 
 impl KmpBlocktime {
     /// All values the study sweeps.
-    pub const ALL: [KmpBlocktime; 3] =
-        [KmpBlocktime::Zero, KmpBlocktime::Default200, KmpBlocktime::Infinite];
+    pub const ALL: [KmpBlocktime; 3] = [
+        KmpBlocktime::Zero,
+        KmpBlocktime::Default200,
+        KmpBlocktime::Infinite,
+    ];
 
     /// Spelling used when exporting.
     pub fn env_value(self) -> &'static str {
@@ -315,8 +326,12 @@ impl KmpAlignAlloc {
     /// {64, 128, 256, 512} on the x86 machines (64-byte lines).
     pub fn domain(arch: Arch) -> &'static [KmpAlignAlloc] {
         const A64FX: [KmpAlignAlloc; 2] = [KmpAlignAlloc(256), KmpAlignAlloc(512)];
-        const X86: [KmpAlignAlloc; 4] =
-            [KmpAlignAlloc(64), KmpAlignAlloc(128), KmpAlignAlloc(256), KmpAlignAlloc(512)];
+        const X86: [KmpAlignAlloc; 4] = [
+            KmpAlignAlloc(64),
+            KmpAlignAlloc(128),
+            KmpAlignAlloc(256),
+            KmpAlignAlloc(512),
+        ];
         match arch {
             Arch::A64fx => &A64FX,
             Arch::Skylake | Arch::Milan => &X86,
@@ -384,7 +399,10 @@ mod tests {
 
     #[test]
     fn proc_bind_accepts_primary_alias() {
-        assert_eq!(OmpProcBind::parse(Some("primary")), Some(OmpProcBind::Master));
+        assert_eq!(
+            OmpProcBind::parse(Some("primary")),
+            Some(OmpProcBind::Master)
+        );
     }
 
     #[test]
@@ -417,9 +435,15 @@ mod tests {
     #[test]
     fn blocktime_parse_collapses_numbers() {
         assert_eq!(KmpBlocktime::parse(Some("0")), Some(KmpBlocktime::Zero));
-        assert_eq!(KmpBlocktime::parse(Some("500")), Some(KmpBlocktime::Default200));
+        assert_eq!(
+            KmpBlocktime::parse(Some("500")),
+            Some(KmpBlocktime::Default200)
+        );
         assert_eq!(KmpBlocktime::parse(Some("-1")), None);
-        assert_eq!(KmpBlocktime::parse(Some("infinite")), Some(KmpBlocktime::Infinite));
+        assert_eq!(
+            KmpBlocktime::parse(Some("infinite")),
+            Some(KmpBlocktime::Infinite)
+        );
     }
 
     #[test]
@@ -443,7 +467,10 @@ mod tests {
 
     #[test]
     fn force_reduction_default_unset() {
-        assert_eq!(KmpForceReduction::parse(None), Some(KmpForceReduction::Unset));
+        assert_eq!(
+            KmpForceReduction::parse(None),
+            Some(KmpForceReduction::Unset)
+        );
         assert_eq!(KmpForceReduction::ALL.len(), 4);
     }
 }

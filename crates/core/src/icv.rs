@@ -96,7 +96,10 @@ mod tests {
         assert_eq!(icv.place_count(), 0);
         assert_eq!(
             icv.wait_policy,
-            WaitPolicy::SpinThenSleep { millis: 200, yielding: true }
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true
+            }
         );
         assert_eq!(icv.reduction_method, ReductionMethod::Tree);
         assert_eq!(icv.align_alloc, 64);

@@ -25,6 +25,7 @@
 pub mod analysis;
 pub mod arch;
 pub mod config;
+pub mod diag;
 pub mod envvar;
 pub mod icv;
 pub mod placement;
@@ -34,21 +35,20 @@ pub mod space;
 pub mod tuner;
 
 pub use analysis::{
-    influence_analysis, linear_fit_quality, AnalysisRecord, Feature, GroupBy,
-    InfluenceHeatMap, InfluenceRow, OPTIMAL_SPEEDUP_THRESHOLD,
+    influence_analysis, linear_fit_quality, AnalysisRecord, Feature, GroupBy, InfluenceHeatMap,
+    InfluenceRow, OPTIMAL_SPEEDUP_THRESHOLD,
 };
 pub use arch::Arch;
 pub use config::{EffectiveBind, ReductionMethod, TuningConfig, WaitPolicy};
-pub use icv::IcvState;
+pub use diag::{Diagnostic, Severity};
 pub use envvar::{
-    KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind,
-    OmpSchedule,
+    KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,
 };
+pub use icv::IcvState;
 pub use placement::Placement;
 pub use recommend::{recommend_for, worst_trends, CellReport, Recommendation, WorstTrend};
 pub use report::{
-    app_arch_range, app_range, arch_summary, transfer_analysis, ArchSummary, SpeedupRange,
-    Transfer,
+    app_arch_range, app_range, arch_summary, transfer_analysis, ArchSummary, SpeedupRange, Transfer,
 };
-pub use space::ConfigSpace;
+pub use space::{ConfigSpace, TuningSpace};
 pub use tuner::{hill_climb, influence_order, random_search, TuneResult, Variable};

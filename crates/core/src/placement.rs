@@ -75,7 +75,11 @@ impl Placement {
     pub fn occupancy(&self) -> Vec<usize> {
         match self {
             Placement::Unbound => Vec::new(),
-            Placement::Bound { assignment, n_places, .. } => {
+            Placement::Bound {
+                assignment,
+                n_places,
+                ..
+            } => {
                 let mut occ = vec![0usize; *n_places];
                 for &p in assignment {
                     occ[p] += 1;
@@ -91,7 +95,9 @@ impl Placement {
     pub fn max_oversubscription(&self, arch: Arch, num_threads: usize) -> f64 {
         match self {
             Placement::Unbound => num_threads as f64 / arch.cores() as f64,
-            Placement::Bound { cores_per_place, .. } => {
+            Placement::Bound {
+                cores_per_place, ..
+            } => {
                 let occ = self.occupancy();
                 let max_occ = occ.into_iter().max().unwrap_or(0);
                 max_occ as f64 / *cores_per_place as f64
@@ -111,7 +117,11 @@ mod tests {
     use crate::envvar::OmpProcBind;
 
     fn config(arch: Arch, places: OmpPlaces, bind: OmpProcBind, t: usize) -> TuningConfig {
-        TuningConfig { places, proc_bind: bind, ..TuningConfig::default_for(arch, t) }
+        TuningConfig {
+            places,
+            proc_bind: bind,
+            ..TuningConfig::default_for(arch, t)
+        }
     }
 
     #[test]
@@ -156,7 +166,11 @@ mod tests {
         let c = config(Arch::A64fx, OmpPlaces::LlCaches, OmpProcBind::Close, 8);
         let p = Placement::compute(Arch::A64fx, &c);
         match &p {
-            Placement::Bound { assignment, n_places, .. } => {
+            Placement::Bound {
+                assignment,
+                n_places,
+                ..
+            } => {
                 assert_eq!(*n_places, 4);
                 // ceil(8/4)=2 threads per place, consecutive.
                 assert_eq!(assignment, &vec![0, 0, 1, 1, 2, 2, 3, 3]);
@@ -179,7 +193,11 @@ mod tests {
         let c = config(Arch::Skylake, OmpPlaces::Unset, OmpProcBind::Close, 40);
         let p = Placement::compute(Arch::Skylake, &c);
         match p {
-            Placement::Bound { n_places, cores_per_place, .. } => {
+            Placement::Bound {
+                n_places,
+                cores_per_place,
+                ..
+            } => {
                 assert_eq!(n_places, 40);
                 assert_eq!(cores_per_place, 1);
             }
@@ -210,8 +228,11 @@ mod tests {
                 for bind in OmpProcBind::ALL {
                     for t in [1, 2, arch.cores() / 2, arch.cores()] {
                         let c = config(arch, places, bind, t);
-                        if let Placement::Bound { assignment, n_places, .. } =
-                            Placement::compute(arch, &c)
+                        if let Placement::Bound {
+                            assignment,
+                            n_places,
+                            ..
+                        } = Placement::compute(arch, &c)
                         {
                             assert_eq!(assignment.len(), t);
                             assert!(assignment.iter().all(|p| p < &n_places));

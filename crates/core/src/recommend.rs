@@ -43,8 +43,14 @@ pub struct CellReport {
 /// swept variables. `unset` is spelled out so defaults are comparable.
 fn pairs(c: &TuningConfig) -> [(&'static str, String); 7] {
     [
-        ("OMP_PLACES", c.places.env_value().unwrap_or("unset").to_string()),
-        ("OMP_PROC_BIND", c.proc_bind.env_value().unwrap_or("unset").to_string()),
+        (
+            "OMP_PLACES",
+            c.places.env_value().unwrap_or("unset").to_string(),
+        ),
+        (
+            "OMP_PROC_BIND",
+            c.proc_bind.env_value().unwrap_or("unset").to_string(),
+        ),
         ("OMP_SCHEDULE", c.schedule.env_value().to_string()),
         ("KMP_LIBRARY", c.library.env_value().to_string()),
         ("KMP_BLOCKTIME", c.blocktime.env_value().to_string()),
@@ -93,7 +99,9 @@ pub fn recommend_for(
         .into_iter()
         .filter_map(|((var, val), cnt)| {
             let support = cnt as f64 / n;
-            let is_default = default_pairs.iter().any(|(dv, dval)| *dv == var && *dval == val);
+            let is_default = default_pairs
+                .iter()
+                .any(|(dv, dval)| *dv == var && *dval == val);
             (support >= min_support && !is_default).then_some(Recommendation {
                 variable: var.to_string(),
                 value: val,
@@ -141,9 +149,12 @@ impl WorstTrend {
     }
 }
 
+/// A named predicate over analysis records.
+type Pattern = (&'static str, fn(&AnalysisRecord) -> bool);
+
 /// Patterns the worst-trend analysis screens for. The paper's finding is
 /// the first one; the others are controls.
-fn patterns() -> Vec<(&'static str, fn(&AnalysisRecord) -> bool)> {
+fn patterns() -> Vec<Pattern> {
     vec![
         ("master binding with many threads (> half the cores)", |r| {
             r.config.effective_bind() == EffectiveBind::Master
@@ -263,7 +274,11 @@ mod tests {
             .iter()
             .find(|t| t.pattern.contains("master binding with many threads"))
             .unwrap();
-        assert!(master.bottom_fraction > 0.9, "bottom={}", master.bottom_fraction);
+        assert!(
+            master.bottom_fraction > 0.9,
+            "bottom={}",
+            master.bottom_fraction
+        );
         assert!(master.lift() > 3.0, "lift={}", master.lift());
         // And it should rank first.
         assert!(trends[0].pattern.contains("master"));

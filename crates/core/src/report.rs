@@ -286,7 +286,10 @@ mod tests {
 
     #[test]
     fn range_display_format() {
-        let r = SpeedupRange { lo: 1.022, hi: 1.186 };
+        let r = SpeedupRange {
+            lo: 1.022,
+            hi: 1.186,
+        };
         assert_eq!(r.to_string(), "1.022 - 1.186");
     }
 
@@ -360,6 +363,9 @@ mod tests {
             rec("cg", Arch::Milan, 0.0, 96, 1.0),
             rec("ft", Arch::A64fx, 0.0, 48, 1.0),
         ];
-        assert_eq!(applications(&records), vec!["cg".to_string(), "ft".to_string()]);
+        assert_eq!(
+            applications(&records),
+            vec!["cg".to_string(), "ft".to_string()]
+        );
     }
 }

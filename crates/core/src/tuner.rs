@@ -23,8 +23,7 @@ use crate::analysis::{Feature, InfluenceRow};
 use crate::arch::Arch;
 use crate::config::TuningConfig;
 use crate::envvar::{
-    KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind,
-    OmpSchedule,
+    KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,
 };
 use crate::space::ConfigSpace;
 use serde::{Deserialize, Serialize};
@@ -86,16 +85,12 @@ impl Variable {
         let pos = |found: Option<usize>| found.expect("value in domain");
         match self {
             Variable::Places => pos(OmpPlaces::ALL.iter().position(|v| *v == config.places)),
-            Variable::ProcBind => {
-                pos(OmpProcBind::ALL.iter().position(|v| *v == config.proc_bind))
-            }
-            Variable::Schedule => {
-                pos(OmpSchedule::ALL.iter().position(|v| *v == config.schedule))
-            }
+            Variable::ProcBind => pos(OmpProcBind::ALL.iter().position(|v| *v == config.proc_bind)),
+            Variable::Schedule => pos(OmpSchedule::ALL.iter().position(|v| *v == config.schedule)),
             Variable::Library => pos(KmpLibrary::ALL.iter().position(|v| *v == config.library)),
-            Variable::Blocktime => {
-                pos(KmpBlocktime::ALL.iter().position(|v| *v == config.blocktime))
-            }
+            Variable::Blocktime => pos(KmpBlocktime::ALL
+                .iter()
+                .position(|v| *v == config.blocktime)),
             Variable::ForceReduction => pos(KmpForceReduction::ALL
                 .iter()
                 .position(|v| *v == config.force_reduction)),
@@ -180,7 +175,12 @@ where
                     continue;
                 }
                 if evaluations >= max_evals {
-                    return TuneResult { best, best_value, evaluations, trajectory };
+                    return TuneResult {
+                        best,
+                        best_value,
+                        evaluations,
+                        trajectory,
+                    };
                 }
                 let candidate = var.with_value(best, arch, idx);
                 let value = objective(&candidate);
@@ -194,7 +194,12 @@ where
             }
         }
         if !improved {
-            return TuneResult { best, best_value, evaluations, trajectory };
+            return TuneResult {
+                best,
+                best_value,
+                evaluations,
+                trajectory,
+            };
         }
     }
 }
@@ -239,7 +244,12 @@ where
         }
         trajectory.push(best_value);
     }
-    TuneResult { best, best_value, evaluations: max_evals, trajectory }
+    TuneResult {
+        best,
+        best_value,
+        evaluations: max_evals,
+        trajectory,
+    }
 }
 
 /// Evaluations needed by a trajectory to come within `factor` (≥ 1.0) of
@@ -278,7 +288,10 @@ mod tests {
         let r = hill_climb(Arch::Milan, start, &Variable::ALL, 500, objective);
         assert_eq!(r.best_value, 40.0, "best {:?}", r.best);
         assert_eq!(r.best.library, KmpLibrary::Turnaround);
-        assert_eq!(r.best.effective_bind(), crate::config::EffectiveBind::Spread);
+        assert_eq!(
+            r.best.effective_bind(),
+            crate::config::EffectiveBind::Spread
+        );
         // Coordinate descent over 7 small domains: cheap.
         assert!(r.evaluations < 60, "used {}", r.evaluations);
     }
@@ -297,7 +310,10 @@ mod tests {
         let features = Feature::columns(crate::analysis::GroupBy::ArchApplication);
         let mut influence = vec![0.01; features.len()];
         // Make KMP_LIBRARY dominant.
-        let lib_col = features.iter().position(|f| *f == Feature::Library).unwrap();
+        let lib_col = features
+            .iter()
+            .position(|f| *f == Feature::Library)
+            .unwrap();
         influence[lib_col] = 0.9;
         let row = InfluenceRow {
             group: "x".into(),
@@ -316,9 +332,15 @@ mod tests {
         // Library is the big knob; exploring it first reaches the
         // optimum in fewer evaluations than exploring it last.
         let start = TuningConfig::default_for(Arch::Milan, 96);
-        let guided = [Variable::Library, Variable::ProcBind, Variable::Places,
-                      Variable::Schedule, Variable::Blocktime,
-                      Variable::ForceReduction, Variable::AlignAlloc];
+        let guided = [
+            Variable::Library,
+            Variable::ProcBind,
+            Variable::Places,
+            Variable::Schedule,
+            Variable::Blocktime,
+            Variable::ForceReduction,
+            Variable::AlignAlloc,
+        ];
         let reversed: Vec<Variable> = guided.iter().rev().copied().collect();
         let a = hill_climb(Arch::Milan, start, &guided, 500, objective);
         let b = hill_climb(Arch::Milan, start, &reversed, 500, objective);
@@ -339,7 +361,9 @@ mod tests {
         // many seeds more than one distinct value must occur.
         let firsts: std::collections::BTreeSet<u64> = (0..32)
             .map(|seed| {
-                random_search(Arch::Skylake, 40, seed, 1, objective).best_value.to_bits()
+                random_search(Arch::Skylake, 40, seed, 1, objective)
+                    .best_value
+                    .to_bits()
             })
             .collect();
         assert!(firsts.len() > 1, "seeds collapsed to one stream");

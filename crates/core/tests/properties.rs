@@ -107,3 +107,98 @@ proptest! {
         prop_assert_eq!(r.hi, *xs.last().unwrap());
     }
 }
+
+// Per-variable env-string round-trips: every value of each of the seven
+// swept variables must survive `env_value` → `parse` on every
+// architecture. The index strategy samples uniformly over the largest
+// domain and is reduced modulo each domain's size, so every value of
+// every variable is exercised across the run.
+proptest! {
+    /// `OMP_PLACES` round-trips, and the paper-excluded spellings
+    /// (`threads`, `numa_domains`) are rejected.
+    #[test]
+    fn places_env_value_parse_roundtrip(_arch in arch_strategy(), idx in 0usize..64) {
+        use omptune_core::OmpPlaces;
+        let v = OmpPlaces::ALL[idx % OmpPlaces::ALL.len()];
+        prop_assert_eq!(OmpPlaces::parse(v.env_value()), Some(v));
+        prop_assert!(OmpPlaces::parse(Some("threads")).is_none());
+        prop_assert!(OmpPlaces::parse(Some("numa_domains")).is_none());
+    }
+
+    /// `OMP_PROC_BIND` round-trips; the deprecated `primary` alias parses
+    /// to the same value as `master`.
+    #[test]
+    fn proc_bind_env_value_parse_roundtrip(_arch in arch_strategy(), idx in 0usize..64) {
+        use omptune_core::OmpProcBind;
+        let v = OmpProcBind::ALL[idx % OmpProcBind::ALL.len()];
+        prop_assert_eq!(OmpProcBind::parse(v.env_value()), Some(v));
+        prop_assert_eq!(OmpProcBind::parse(Some("primary")), Some(OmpProcBind::Master));
+    }
+
+    /// `OMP_SCHEDULE` round-trips; the unset form parses to the `static`
+    /// default, so the only value that maps back to `None`-equivalent
+    /// spelling is `Static` itself.
+    #[test]
+    fn schedule_env_value_parse_roundtrip(_arch in arch_strategy(), idx in 0usize..64) {
+        use omptune_core::OmpSchedule;
+        let v = OmpSchedule::ALL[idx % OmpSchedule::ALL.len()];
+        prop_assert_eq!(OmpSchedule::parse(Some(v.env_value())), Some(v));
+        prop_assert_eq!(OmpSchedule::parse(None), Some(OmpSchedule::Static));
+    }
+
+    /// `KMP_LIBRARY` round-trips; `serial` (paper-excluded) is rejected
+    /// and unset means the `throughput` default.
+    #[test]
+    fn library_env_value_parse_roundtrip(_arch in arch_strategy(), idx in 0usize..64) {
+        use omptune_core::KmpLibrary;
+        let v = KmpLibrary::ALL[idx % KmpLibrary::ALL.len()];
+        prop_assert_eq!(KmpLibrary::parse(Some(v.env_value())), Some(v));
+        prop_assert!(KmpLibrary::parse(Some("serial")).is_none());
+        prop_assert_eq!(KmpLibrary::parse(None), Some(KmpLibrary::Throughput));
+    }
+
+    /// `KMP_BLOCKTIME` round-trips; arbitrary positive numbers collapse
+    /// onto the 200 ms default and negative values are rejected.
+    #[test]
+    fn blocktime_env_value_parse_roundtrip(
+        _arch in arch_strategy(),
+        idx in 0usize..64,
+        ms in 1i64..1_000_000,
+    ) {
+        use omptune_core::KmpBlocktime;
+        let v = KmpBlocktime::ALL[idx % KmpBlocktime::ALL.len()];
+        prop_assert_eq!(KmpBlocktime::parse(Some(v.env_value())), Some(v));
+        prop_assert_eq!(
+            KmpBlocktime::parse(Some(&ms.to_string())),
+            Some(KmpBlocktime::Default200)
+        );
+        prop_assert!(KmpBlocktime::parse(Some(&(-ms).to_string())).is_none());
+    }
+
+    /// `KMP_FORCE_REDUCTION` round-trips; unset means the heuristic.
+    #[test]
+    fn force_reduction_env_value_parse_roundtrip(_arch in arch_strategy(), idx in 0usize..64) {
+        use omptune_core::KmpForceReduction;
+        let v = KmpForceReduction::ALL[idx % KmpForceReduction::ALL.len()];
+        prop_assert_eq!(KmpForceReduction::parse(v.env_value()), Some(v));
+        prop_assert_eq!(KmpForceReduction::parse(None), Some(KmpForceReduction::Unset));
+    }
+
+    /// `KMP_ALIGN_ALLOC` round-trips over the per-arch domain; unset
+    /// parses to the architecture's cache-line default, and non-power-of-
+    /// two or out-of-range alignments are rejected on every arch.
+    #[test]
+    fn align_alloc_env_value_parse_roundtrip(arch in arch_strategy(), idx in 0usize..64) {
+        use omptune_core::KmpAlignAlloc;
+        let domain = KmpAlignAlloc::domain(arch);
+        let v = domain[idx % domain.len()];
+        prop_assert_eq!(KmpAlignAlloc::parse(Some(&v.env_value()), arch), Some(v));
+        prop_assert_eq!(
+            KmpAlignAlloc::parse(None, arch),
+            Some(KmpAlignAlloc::default_for(arch))
+        );
+        prop_assert!(KmpAlignAlloc::parse(Some("100"), arch).is_none());
+        prop_assert!(KmpAlignAlloc::parse(Some("4"), arch).is_none());
+        prop_assert!(KmpAlignAlloc::parse(Some("8192"), arch).is_none());
+    }
+}

@@ -94,7 +94,9 @@ impl CategoryEncoder {
 
     /// Create an encoder with a fixed level order.
     pub fn with_levels<S: Into<String>>(levels: impl IntoIterator<Item = S>) -> Self {
-        CategoryEncoder { levels: levels.into_iter().map(Into::into).collect() }
+        CategoryEncoder {
+            levels: levels.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Encode a level, assigning a fresh code on first sight.
@@ -110,7 +112,10 @@ impl CategoryEncoder {
 
     /// Look up a level without inserting. `None` when unseen.
     pub fn code_of(&self, level: &str) -> Option<f64> {
-        self.levels.iter().position(|l| l == level).map(|i| i as f64)
+        self.levels
+            .iter()
+            .position(|l| l == level)
+            .map(|i| i as f64)
     }
 
     /// Reverse lookup from a code.

@@ -46,7 +46,13 @@ impl LinearModel {
     /// Panics if `x.len()` does not match the number of coefficients.
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.coefficients.len(), "feature width mismatch");
-        self.intercept + self.coefficients.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
     }
 }
 
@@ -166,7 +172,11 @@ mod tests {
 
     #[test]
     fn predict_panics_on_width_mismatch() {
-        let m = LinearModel { intercept: 0.0, coefficients: vec![1.0], r2: 1.0 };
+        let m = LinearModel {
+            intercept: 0.0,
+            coefficients: vec![1.0],
+            r2: 1.0,
+        };
         assert!(std::panic::catch_unwind(|| m.predict(&[1.0, 2.0])).is_err());
     }
 }

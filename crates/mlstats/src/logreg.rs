@@ -37,7 +37,11 @@ pub struct LogisticOptions {
 
 impl Default for LogisticOptions {
     fn default() -> Self {
-        LogisticOptions { l2: 1e-4, max_iter: 100, tol: 1e-8 }
+        LogisticOptions {
+            l2: 1e-4,
+            max_iter: 100,
+            tol: 1e-8,
+        }
     }
 }
 
@@ -75,7 +79,13 @@ impl LogisticModel {
     /// Linear score (log-odds) for a feature vector.
     pub fn decision(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.coefficients.len(), "feature width mismatch");
-        self.intercept + self.coefficients.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
     }
 
     /// Predicted probability of the positive class.
@@ -241,7 +251,11 @@ mod tests {
     fn fits_separable_data_accurately() {
         let (xs, y) = separable_data();
         let m = fit_logistic(&xs, &y, LogisticOptions::default()).unwrap();
-        assert!(accuracy(&m, &xs, &y) > 0.97, "acc={}", accuracy(&m, &xs, &y));
+        assert!(
+            accuracy(&m, &xs, &y) > 0.97,
+            "acc={}",
+            accuracy(&m, &xs, &y)
+        );
         // Both features matter equally for x0 + x1 > 5.
         let infl = m.normalized_influence();
         assert!((infl[0] - 0.5).abs() < 0.05, "influence={:?}", infl);

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create the `n × n` identity matrix.
@@ -44,7 +48,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.

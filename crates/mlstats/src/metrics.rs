@@ -139,7 +139,10 @@ pub fn cross_validate(
     if fold_accuracy.is_empty() {
         return Err(LogRegError::SingleClass);
     }
-    Ok(CrossValidation { fold_accuracy, confusion })
+    Ok(CrossValidation {
+        fold_accuracy,
+        confusion,
+    })
 }
 
 #[cfg(test)]
@@ -190,7 +193,11 @@ mod tests {
         let (xs, y) = separable();
         let cv = cross_validate(&xs, &y, 5, LogisticOptions::default()).unwrap();
         assert_eq!(cv.fold_accuracy.len(), 5);
-        assert!(cv.mean_accuracy() > 0.9, "cv accuracy {}", cv.mean_accuracy());
+        assert!(
+            cv.mean_accuracy() > 0.9,
+            "cv accuracy {}",
+            cv.mean_accuracy()
+        );
         assert_eq!(cv.confusion.total(), 120);
     }
 
@@ -200,7 +207,11 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 7) as f64]).collect();
         let y: Vec<bool> = (0..200).map(|i| (i * 2654435761_usize) % 9 < 4).collect();
         let cv = cross_validate(&xs, &y, 4, LogisticOptions::default()).unwrap();
-        assert!(cv.mean_accuracy() < 0.8, "cv accuracy {}", cv.mean_accuracy());
+        assert!(
+            cv.mean_accuracy() < 0.8,
+            "cv accuracy {}",
+            cv.mean_accuracy()
+        );
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl ViolinSummary {
                 *d /= max;
             }
         }
-        Some(ViolinSummary { stats, grid, density, bandwidth: bw })
+        Some(ViolinSummary {
+            stats,
+            grid,
+            density,
+            bandwidth: bw,
+        })
     }
 
     /// Export as CSV rows (`position,density`) for external plotting —
@@ -116,7 +121,11 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert!((v.grid[peak_idx] - 1.0).abs() < 0.5, "peak at {}", v.grid[peak_idx]);
+        assert!(
+            (v.grid[peak_idx] - 1.0).abs() < 0.5,
+            "peak at {}",
+            v.grid[peak_idx]
+        );
     }
 
     #[test]

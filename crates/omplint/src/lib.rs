@@ -1,0 +1,17 @@
+//! omplint: static analyses for the omptune stack.
+//!
+//! Two passes:
+//! - [`lint`]: a rule engine over the raw `OMP_*`/`KMP_*` environment
+//!   universe that classifies every configuration point as valid,
+//!   redundant, or invalid, and derives the pruned [`TuningSpace`]
+//!   the sweep consumes.
+//! - [`check`]: a happens-before checker over synchronization traces
+//!   recorded by `omprt`'s `check` feature — vector-clock race
+//!   detection plus barrier-misuse and deadlock analysis.
+
+pub mod check;
+pub mod lint;
+
+pub use check::{certify, check_trace, CheckReport, CheckStats, CHECK_RULES};
+pub use lint::{canonicalize, lint_point, lint_space, LintReport, PointClass, RULES};
+pub use omptune_core::diag::{Diagnostic, Severity};

@@ -7,6 +7,8 @@
 //! the ablation bench can compare them; the runtime default follows
 //! thread count like libomp's hierarchical choice.
 
+use crate::check_event;
+use crate::trace::{self, Event};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A reusable barrier for a fixed team size.
@@ -24,19 +26,32 @@ pub struct CentralBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
     team: usize,
+    trace_id: u64,
 }
 
 impl CentralBarrier {
     /// Barrier for `team` threads.
     pub fn new(team: usize) -> CentralBarrier {
         assert!(team >= 1);
-        CentralBarrier { count: AtomicUsize::new(0), sense: AtomicBool::new(false), team }
+        CentralBarrier {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            team,
+            trace_id: trace::next_id(),
+        }
     }
 }
 
 impl Barrier for CentralBarrier {
     fn wait(&self, _tid: usize) {
+        check_event!(Event::BarrierArrive {
+            barrier: self.trace_id,
+            team: self.team as u32
+        });
         if self.team == 1 {
+            check_event!(Event::BarrierRelease {
+                barrier: self.trace_id
+            });
             return;
         }
         let my_sense = !self.sense.load(Ordering::Acquire);
@@ -48,6 +63,9 @@ impl Barrier for CentralBarrier {
                 std::hint::spin_loop();
             }
         }
+        check_event!(Event::BarrierRelease {
+            barrier: self.trace_id
+        });
     }
 
     fn team_size(&self) -> usize {
@@ -67,6 +85,7 @@ pub struct TreeBarrier {
     team: usize,
     /// Per-level ranges into `nodes`: (offset, width).
     levels: Vec<(usize, usize)>,
+    trace_id: u64,
 }
 
 impl TreeBarrier {
@@ -83,7 +102,14 @@ impl TreeBarrier {
             width = parents;
         }
         let nodes = (0..offset).map(|_| AtomicUsize::new(0)).collect();
-        TreeBarrier { nodes, branching, sense: AtomicBool::new(false), team, levels }
+        TreeBarrier {
+            nodes,
+            branching,
+            sense: AtomicBool::new(false),
+            team,
+            levels,
+            trace_id: trace::next_id(),
+        }
     }
 
     /// Number of children of node `node_idx` on `level` (the last group
@@ -102,7 +128,14 @@ impl TreeBarrier {
 
 impl Barrier for TreeBarrier {
     fn wait(&self, tid: usize) {
+        check_event!(Event::BarrierArrive {
+            barrier: self.trace_id,
+            team: self.team as u32
+        });
         if self.team == 1 {
+            check_event!(Event::BarrierRelease {
+                barrier: self.trace_id
+            });
             return;
         }
         let my_sense = !self.sense.load(Ordering::Acquire);
@@ -133,6 +166,9 @@ impl Barrier for TreeBarrier {
                 std::hint::spin_loop();
             }
         }
+        check_event!(Event::BarrierRelease {
+            barrier: self.trace_id
+        });
     }
 
     fn team_size(&self) -> usize {

@@ -1,0 +1,118 @@
+//! Minimal work-stealing deque with the `crossbeam::deque` API shape
+//! (`Worker`/`Stealer`/`Steal`), used by the tasking layer.
+//!
+//! The original dependency is unavailable offline; this replacement is a
+//! mutex-guarded `VecDeque` — owner pushes and pops at the back (LIFO),
+//! thieves take from the front (FIFO), which preserves the classic deque
+//! discipline the `task` module's soundness argument relies on: the
+//! owner's top-of-stack is the most recently forked job, thieves drain
+//! the oldest (largest) subtrees first. Contention is bounded by task
+//! granularity, which the workloads keep coarse.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Owner handle: LIFO push/pop at the back.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Thief handle: FIFO steal from the front.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Outcome of a steal attempt.
+pub enum Steal<T> {
+    /// Got a job.
+    Success(T),
+    /// The victim's deque was empty.
+    Empty,
+    /// Transient contention; caller should retry. Only produced when the
+    /// victim's lock is held, so thieves never block on a busy owner.
+    Retry,
+}
+
+impl<T> Worker<T> {
+    /// New empty deque whose owner operates in LIFO order.
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn push(&self, item: T) {
+        self.inner.lock().expect("deque poisoned").push_back(item);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_back()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                panic!("deque poisoned: {e}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert!(matches!(s.steal(), Steal::Success(1)));
+        assert_eq!(w.pop(), Some(3));
+        assert!(matches!(s.steal(), Steal::Success(2)));
+        assert!(matches!(s.steal(), Steal::Empty));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_drain_sees_every_item() {
+        let w = Worker::new_lifo();
+        for i in 0..10_000u64 {
+            w.push(i);
+        }
+        let stealers: Vec<Stealer<u64>> = (0..4).map(|_| w.stealer()).collect();
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for s in &stealers {
+                scope.spawn(|| loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => std::hint::spin_loop(),
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            10_000 * 9_999 / 2
+        );
+    }
+}

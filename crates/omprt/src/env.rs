@@ -106,8 +106,7 @@ impl RuntimeConfig {
             .ok_or_else(|| fail("KMP_FORCE_REDUCTION"))?;
         KmpAlignAlloc::parse(get("KMP_ALIGN_ALLOC"), arch)
             .ok_or_else(|| fail("KMP_ALIGN_ALLOC"))?;
-        let config =
-            TuningConfig::from_env(&map, arch).ok_or_else(|| fail("OMP_NUM_THREADS"))?;
+        let config = TuningConfig::from_env(&map, arch).ok_or_else(|| fail("OMP_NUM_THREADS"))?;
         if config.num_threads == 0 {
             return Err(fail("OMP_NUM_THREADS"));
         }
@@ -140,7 +139,10 @@ mod tests {
     use omptune_core::{KmpBlocktime, KmpLibrary, OmpSchedule, WaitPolicy};
 
     fn map(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -170,17 +172,16 @@ mod tests {
         assert_eq!(rc.config.schedule, OmpSchedule::Guided);
         assert_eq!(rc.config.library, KmpLibrary::Turnaround);
         assert_eq!(rc.config.blocktime, KmpBlocktime::Infinite);
-        assert_eq!(rc.config.wait_policy(), WaitPolicy::Active { yielding: false });
+        assert_eq!(
+            rc.config.wait_policy(),
+            WaitPolicy::Active { yielding: false }
+        );
     }
 
     #[test]
     fn bad_value_reports_the_variable() {
-        let err = RuntimeConfig::from_map(
-            &map(&[("OMP_SCHEDULE", "fastest")]),
-            Arch::Milan,
-            4,
-        )
-        .unwrap_err();
+        let err = RuntimeConfig::from_map(&map(&[("OMP_SCHEDULE", "fastest")]), Arch::Milan, 4)
+            .unwrap_err();
         assert_eq!(err.variable, "OMP_SCHEDULE");
         assert_eq!(err.value, "fastest");
         assert!(err.to_string().contains("OMP_SCHEDULE"));
@@ -188,26 +189,18 @@ mod tests {
 
     #[test]
     fn zero_threads_rejected() {
-        let err = RuntimeConfig::from_map(&map(&[("OMP_NUM_THREADS", "0")]), Arch::Milan, 4)
-            .unwrap_err();
+        let err =
+            RuntimeConfig::from_map(&map(&[("OMP_NUM_THREADS", "0")]), Arch::Milan, 4).unwrap_err();
         assert_eq!(err.variable, "OMP_NUM_THREADS");
     }
 
     #[test]
     fn wait_policy_derives_blocktime() {
-        let rc = RuntimeConfig::from_map(
-            &map(&[("OMP_WAIT_POLICY", "active")]),
-            Arch::Milan,
-            4,
-        )
-        .unwrap();
+        let rc = RuntimeConfig::from_map(&map(&[("OMP_WAIT_POLICY", "active")]), Arch::Milan, 4)
+            .unwrap();
         assert_eq!(rc.config.blocktime, KmpBlocktime::Infinite);
-        let rc = RuntimeConfig::from_map(
-            &map(&[("OMP_WAIT_POLICY", "passive")]),
-            Arch::Milan,
-            4,
-        )
-        .unwrap();
+        let rc = RuntimeConfig::from_map(&map(&[("OMP_WAIT_POLICY", "passive")]), Arch::Milan, 4)
+            .unwrap();
         assert_eq!(rc.config.blocktime, KmpBlocktime::Zero);
     }
 
@@ -215,7 +208,10 @@ mod tests {
     fn explicit_blocktime_beats_wait_policy() {
         // The KMP_* variables are the source of truth (Sec. III).
         let rc = RuntimeConfig::from_map(
-            &map(&[("OMP_WAIT_POLICY", "passive"), ("KMP_BLOCKTIME", "infinite")]),
+            &map(&[
+                ("OMP_WAIT_POLICY", "passive"),
+                ("KMP_BLOCKTIME", "infinite"),
+            ]),
             Arch::Skylake,
             4,
         )
@@ -225,19 +221,16 @@ mod tests {
 
     #[test]
     fn bad_wait_policy_rejected() {
-        let err = RuntimeConfig::from_map(
-            &map(&[("OMP_WAIT_POLICY", "aggressive")]),
-            Arch::Milan,
-            4,
-        )
-        .unwrap_err();
+        let err =
+            RuntimeConfig::from_map(&map(&[("OMP_WAIT_POLICY", "aggressive")]), Arch::Milan, 4)
+                .unwrap_err();
         assert_eq!(err.variable, "OMP_WAIT_POLICY");
     }
 
     #[test]
     fn pool_size_matches_config() {
-        let rc = RuntimeConfig::from_map(&map(&[("OMP_NUM_THREADS", "3")]), Arch::A64fx, 8)
-            .unwrap();
+        let rc =
+            RuntimeConfig::from_map(&map(&[("OMP_NUM_THREADS", "3")]), Arch::A64fx, 8).unwrap();
         let pool = rc.build_pool();
         assert_eq!(pool.num_threads(), 3);
     }

@@ -16,10 +16,10 @@
 //! new work with a single atomic load; sleepers are woken under the mutex
 //! that guards the epoch, which excludes lost wakeups.
 
+use crate::trace::{self, Event};
 use omptune_core::config::WaitPolicy;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Per-thread context handed to parallel-region closures.
@@ -48,6 +48,14 @@ struct Shared {
     wait: WaitSpec,
 }
 
+impl Shared {
+    /// Lock the job slot. The guarded sections never run user code, so
+    /// poisoning can only be a bug in the pool itself.
+    fn slot(&self) -> MutexGuard<'_, Option<Job>> {
+        self.lock.lock().expect("pool mutex poisoned")
+    }
+}
+
 /// Wait behaviour distilled from the tuning configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct WaitSpec {
@@ -60,12 +68,18 @@ struct WaitSpec {
 impl WaitSpec {
     fn from_policy(policy: WaitPolicy) -> WaitSpec {
         match policy {
-            WaitPolicy::Passive => WaitSpec { spin_for: Some(Duration::ZERO), yielding: true },
+            WaitPolicy::Passive => WaitSpec {
+                spin_for: Some(Duration::ZERO),
+                yielding: true,
+            },
             WaitPolicy::SpinThenSleep { millis, yielding } => WaitSpec {
                 spin_for: Some(Duration::from_millis(millis as u64)),
                 yielding,
             },
-            WaitPolicy::Active { yielding } => WaitSpec { spin_for: None, yielding },
+            WaitPolicy::Active { yielding } => WaitSpec {
+                spin_for: None,
+                yielding,
+            },
         }
     }
 }
@@ -104,14 +118,21 @@ impl ThreadPool {
                     .expect("failed to spawn worker")
             })
             .collect();
-        ThreadPool { shared, num_threads, handles }
+        ThreadPool {
+            shared,
+            num_threads,
+            handles,
+        }
     }
 
     /// Pool with the default wait policy (200 ms blocktime, throughput).
     pub fn with_defaults(num_threads: usize) -> ThreadPool {
         ThreadPool::new(
             num_threads,
-            WaitPolicy::SpinThenSleep { millis: 200, yielding: true },
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true,
+            },
         )
     }
 
@@ -127,8 +148,27 @@ impl ThreadPool {
     where
         F: Fn(ThreadCtx) + Send + Sync,
     {
+        // Region fork/join events give the trace checker the edges that
+        // order pre-region caller state against team-thread accesses (and
+        // team writes against post-region reads). `live_id` is 0 when no
+        // trace session is active, so the untraced cost is one load.
+        let region = trace::live_id();
+        if region != 0 {
+            trace::set_thread_id(0);
+            trace::emit(Event::RegionFork { region });
+        }
         if self.num_threads == 1 {
-            f(ThreadCtx { thread_num: 0, num_threads: 1 });
+            if region != 0 {
+                trace::emit(Event::RegionBegin { region });
+            }
+            f(ThreadCtx {
+                thread_num: 0,
+                num_threads: 1,
+            });
+            if region != 0 {
+                trace::emit(Event::RegionEnd { region });
+                trace::emit(Event::RegionJoin { region });
+            }
             return;
         }
         // Safety of the lifetime erasure: we do not return until `done`
@@ -138,10 +178,19 @@ impl ThreadPool {
         fn erase<'a>(f: Arc<dyn Fn(ThreadCtx) + Send + Sync + 'a>) -> Job {
             unsafe { std::mem::transmute(f) }
         }
-        let job: Job = erase(Arc::new(f));
+        let job: Job = erase(Arc::new(move |ctx: ThreadCtx| {
+            if region != 0 {
+                trace::set_thread_id(ctx.thread_num);
+                trace::emit(Event::RegionBegin { region });
+            }
+            f(ctx);
+            if region != 0 {
+                trace::emit(Event::RegionEnd { region });
+            }
+        }));
 
         {
-            let mut slot = self.shared.lock.lock();
+            let mut slot = self.shared.slot();
             *slot = Some(Arc::clone(&job));
             self.shared.done.store(0, Ordering::Release);
             self.shared.epoch.fetch_add(1, Ordering::Release);
@@ -151,7 +200,10 @@ impl ThreadPool {
         // The caller is thread 0. Capture its panic so we still join the
         // workers before unwinding (they may borrow caller state).
         let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            job(ThreadCtx { thread_num: 0, num_threads: self.num_threads })
+            job(ThreadCtx {
+                thread_num: 0,
+                num_threads: self.num_threads,
+            })
         }));
 
         // Join: wait until all workers have checked in.
@@ -165,17 +217,22 @@ impl ThreadPool {
             if spins < 10_000 {
                 std::hint::spin_loop();
             } else {
-                let mut slot = self.shared.lock.lock();
+                let slot = self.shared.slot();
                 if self.shared.done.load(Ordering::Acquire) == workers {
                     break;
                 }
-                self.shared
+                let _ = self
+                    .shared
                     .done_cv
-                    .wait_for(&mut slot, Duration::from_millis(1));
+                    .wait_timeout(slot, Duration::from_millis(1))
+                    .expect("pool mutex poisoned");
             }
         }
         // Drop the job so borrowed state is released before returning.
-        *self.shared.lock.lock() = None;
+        *self.shared.slot() = None;
+        if region != 0 {
+            trace::emit(Event::RegionJoin { region });
+        }
 
         if let Err(payload) = caller_result {
             std::panic::resume_unwind(payload);
@@ -189,7 +246,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let _slot = self.shared.lock.lock();
+            let _slot = self.shared.slot();
             self.shared.shutdown.store(true, Ordering::Release);
             self.shared.work_cv.notify_all();
         }
@@ -214,11 +271,11 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, num_threads: usize) {
             match deadline {
                 Some(dl) if Instant::now() >= dl => {
                     // Blocktime expired: sleep until notified.
-                    let mut slot = shared.lock.lock();
+                    let mut slot = shared.slot();
                     while shared.epoch.load(Ordering::Acquire) == seen_epoch
                         && !shared.shutdown.load(Ordering::Acquire)
                     {
-                        shared.work_cv.wait(&mut slot);
+                        slot = shared.work_cv.wait(slot).expect("pool mutex poisoned");
                     }
                 }
                 _ => {
@@ -234,10 +291,13 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, num_threads: usize) {
             return;
         }
         seen_epoch = shared.epoch.load(Ordering::Acquire);
-        let job = shared.lock.lock().clone();
+        let job = shared.slot().clone();
         if let Some(job) = job {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                job(ThreadCtx { thread_num: tid, num_threads })
+                job(ThreadCtx {
+                    thread_num: tid,
+                    num_threads,
+                })
             }));
             if result.is_err() {
                 shared.panicked.store(true, Ordering::Release);
@@ -246,7 +306,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, num_threads: usize) {
         // Check in; the last worker wakes the dispatcher.
         let prev = shared.done.fetch_add(1, Ordering::AcqRel);
         if prev + 1 == num_threads - 1 {
-            let _slot = shared.lock.lock();
+            let _slot = shared.slot();
             shared.done_cv.notify_all();
         }
     }
@@ -260,7 +320,10 @@ mod tests {
     fn policies() -> Vec<WaitPolicy> {
         vec![
             WaitPolicy::Passive,
-            WaitPolicy::SpinThenSleep { millis: 1, yielding: true },
+            WaitPolicy::SpinThenSleep {
+                millis: 1,
+                yielding: true,
+            },
             WaitPolicy::Active { yielding: true },
         ]
     }
@@ -300,7 +363,11 @@ mod tests {
         pool.parallel(|ctx| {
             let chunk = data.len() / ctx.num_threads;
             let lo = ctx.thread_num * chunk;
-            let hi = if ctx.thread_num == ctx.num_threads - 1 { data.len() } else { lo + chunk };
+            let hi = if ctx.thread_num == ctx.num_threads - 1 {
+                data.len()
+            } else {
+                lo + chunk
+            };
             let local: u64 = data[lo..hi].iter().sum();
             sum.fetch_add(local, Ordering::Relaxed);
         });

@@ -15,9 +15,11 @@
 //! used inside a parallel region together with a barrier.
 
 use crate::barrier::Barrier;
+use crate::check_event;
+use crate::trace::{self, Event};
 use omptune_core::ReductionMethod;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Pad to a cache line so per-thread slots never false-share. 128 bytes
 /// covers every studied machine except A64FX's 256-byte lines; the
@@ -36,6 +38,9 @@ pub struct Reducer {
     shared: AtomicU64,
     critical: Mutex<()>,
     slots: Vec<Slot>,
+    /// First of `team + 2` consecutive trace ids: the shared cell, the
+    /// critical-section lock, then one location per slot.
+    trace_base: u64,
 }
 
 fn load_f64(a: &AtomicU64, order: Ordering) -> f64 {
@@ -67,8 +72,23 @@ impl Reducer {
             team,
             shared: AtomicU64::new(0f64.to_bits()),
             critical: Mutex::new(()),
-            slots: (0..team).map(|_| Slot(AtomicU64::new(0f64.to_bits()))).collect(),
+            slots: (0..team)
+                .map(|_| Slot(AtomicU64::new(0f64.to_bits())))
+                .collect(),
+            trace_base: trace::next_ids(team as u64 + 2),
         }
+    }
+
+    fn loc_shared(&self) -> u64 {
+        self.trace_base
+    }
+
+    fn loc_lock(&self) -> u64 {
+        self.trace_base + 1
+    }
+
+    fn loc_slot(&self, i: usize) -> u64 {
+        self.trace_base + 2 + i as u64
     }
 
     /// Reset the workspace for a new reduction. Must be called by a single
@@ -92,24 +112,47 @@ impl Reducer {
             ReductionMethod::None => {
                 debug_assert_eq!(self.team, 1, "None method requires a single thread");
                 store_f64(&self.shared, partial, Ordering::Release);
+                check_event!(Event::Write {
+                    loc: self.loc_shared()
+                });
             }
             ReductionMethod::Critical => {
-                let _guard = self.critical.lock();
+                let _guard = self.critical.lock().expect("critical section poisoned");
+                check_event!(Event::LockAcquire {
+                    lock: self.loc_lock()
+                });
                 let cur = load_f64(&self.shared, Ordering::Relaxed);
                 store_f64(&self.shared, cur + partial, Ordering::Relaxed);
+                // The read-modify-write counts as one write access.
+                check_event!(Event::Write {
+                    loc: self.loc_shared()
+                });
+                check_event!(Event::LockRelease {
+                    lock: self.loc_lock()
+                });
             }
             ReductionMethod::Atomic => {
+                // Atomic RMW: not a plain access, so nothing to check.
                 fetch_add_f64(&self.shared, partial);
             }
             ReductionMethod::Tree => {
                 store_f64(&self.slots[tid].0, partial, Ordering::Release);
+                check_event!(Event::Write {
+                    loc: self.loc_slot(tid)
+                });
                 let mut stride = 1usize;
                 while stride < self.team {
                     barrier.wait(tid);
-                    if tid % (2 * stride) == 0 && tid + stride < self.team {
+                    if tid.is_multiple_of(2 * stride) && tid + stride < self.team {
                         let mine = load_f64(&self.slots[tid].0, Ordering::Acquire);
                         let theirs = load_f64(&self.slots[tid + stride].0, Ordering::Acquire);
                         store_f64(&self.slots[tid].0, mine + theirs, Ordering::Release);
+                        check_event!(Event::Read {
+                            loc: self.loc_slot(tid + stride)
+                        });
+                        check_event!(Event::Write {
+                            loc: self.loc_slot(tid)
+                        });
                     }
                     stride *= 2;
                 }
@@ -119,6 +162,12 @@ impl Reducer {
                         load_f64(&self.slots[0].0, Ordering::Acquire),
                         Ordering::Release,
                     );
+                    check_event!(Event::Read {
+                        loc: self.loc_slot(0)
+                    });
+                    check_event!(Event::Write {
+                        loc: self.loc_shared()
+                    });
                 }
             }
         }
@@ -127,6 +176,9 @@ impl Reducer {
     /// The reduced value. Only meaningful after every thread combined and
     /// passed a barrier.
     pub fn result(&self) -> f64 {
+        check_event!(Event::Read {
+            loc: self.loc_shared()
+        });
         load_f64(&self.shared, Ordering::Acquire)
     }
 
@@ -175,10 +227,18 @@ mod tests {
         for team in [1usize, 2, 3, 4, 5, 8, 13] {
             let expect = (team * (team + 1) / 2) as f64;
             for method in [ReductionMethod::Critical, ReductionMethod::Atomic] {
-                assert_eq!(run_reduction(team, method), expect, "{method:?} team {team}");
+                assert_eq!(
+                    run_reduction(team, method),
+                    expect,
+                    "{method:?} team {team}"
+                );
             }
             if team > 1 {
-                assert_eq!(run_reduction(team, ReductionMethod::Tree), expect, "tree team {team}");
+                assert_eq!(
+                    run_reduction(team, ReductionMethod::Tree),
+                    expect,
+                    "tree team {team}"
+                );
             }
         }
     }
@@ -217,10 +277,22 @@ mod tests {
 
     #[test]
     fn internal_barrier_counts() {
-        assert_eq!(Reducer::new(8, ReductionMethod::Tree).internal_barriers(), 3);
-        assert_eq!(Reducer::new(5, ReductionMethod::Tree).internal_barriers(), 3);
-        assert_eq!(Reducer::new(1, ReductionMethod::Tree).internal_barriers(), 0);
-        assert_eq!(Reducer::new(8, ReductionMethod::Atomic).internal_barriers(), 0);
+        assert_eq!(
+            Reducer::new(8, ReductionMethod::Tree).internal_barriers(),
+            3
+        );
+        assert_eq!(
+            Reducer::new(5, ReductionMethod::Tree).internal_barriers(),
+            3
+        );
+        assert_eq!(
+            Reducer::new(1, ReductionMethod::Tree).internal_barriers(),
+            0
+        );
+        assert_eq!(
+            Reducer::new(8, ReductionMethod::Atomic).internal_barriers(),
+            0
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!
 //! `auto` maps to `static`, as in libomp.
 
+use crate::check_event;
+use crate::trace::{self, Event};
 use omptune_core::OmpSchedule;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -67,13 +69,19 @@ pub struct DynamicDispatcher {
     next: AtomicUsize,
     total: usize,
     chunk: usize,
+    trace_id: u64,
 }
 
 impl DynamicDispatcher {
     /// Dispatcher over `0..total` with the given chunk size.
     pub fn new(total: usize, chunk: usize) -> DynamicDispatcher {
         assert!(chunk > 0, "chunk must be positive");
-        DynamicDispatcher { next: AtomicUsize::new(0), total, chunk }
+        DynamicDispatcher {
+            next: AtomicUsize::new(0),
+            total,
+            chunk,
+            trace_id: trace::next_id(),
+        }
     }
 
     /// Grab the next chunk; `None` when the loop is exhausted.
@@ -82,7 +90,13 @@ impl DynamicDispatcher {
         if lo >= self.total {
             return None;
         }
-        Some(lo..(lo + self.chunk).min(self.total))
+        let hi = (lo + self.chunk).min(self.total);
+        check_event!(Event::ChunkClaim {
+            loop_id: self.trace_id,
+            lo,
+            hi
+        });
+        Some(lo..hi)
     }
 }
 
@@ -91,13 +105,19 @@ pub struct GuidedDispatcher {
     next: AtomicUsize,
     total: usize,
     num_threads: usize,
+    trace_id: u64,
 }
 
 impl GuidedDispatcher {
     /// Dispatcher over `0..total` for a team of `num_threads`.
     pub fn new(total: usize, num_threads: usize) -> GuidedDispatcher {
         assert!(num_threads > 0);
-        GuidedDispatcher { next: AtomicUsize::new(0), total, num_threads }
+        GuidedDispatcher {
+            next: AtomicUsize::new(0),
+            total,
+            num_threads,
+            trace_id: trace::next_id(),
+        }
     }
 
     /// Grab the next (exponentially shrinking) chunk.
@@ -114,6 +134,11 @@ impl GuidedDispatcher {
                 .compare_exchange_weak(lo, hi, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
+                check_event!(Event::ChunkClaim {
+                    loop_id: self.trace_id,
+                    lo,
+                    hi
+                });
                 return Some(lo..hi);
             }
         }

@@ -9,7 +9,7 @@
 //!
 //! Design mirrors Rayon's classic deque discipline:
 //!
-//! - one LIFO [`crossbeam::deque::Worker`] per pool thread, plus stealers;
+//! - one LIFO [`crate::deque::Worker`] per pool thread, plus stealers;
 //! - `join` pushes a **stack-allocated** job reference; soundness rests on
 //!   `join` not returning until the job's completion latch is set, so the
 //!   referenced stack frame outlives every access (the same argument
@@ -20,18 +20,37 @@
 //! Entry point: [`task_parallel`] runs a root closure on thread 0 of a
 //! [`ThreadPool`] while the rest of the team steals.
 
+use crate::deque::{Steal, Stealer, Worker};
 use crate::pool::ThreadPool;
-use crossbeam::deque::{Steal, Stealer, Worker};
-use parking_lot::Mutex;
+use crate::trace::{self, Event};
 use std::cell::{Cell, UnsafeCell};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Type-erased reference to a job living on some join frame's stack.
 #[derive(Clone, Copy)]
 struct JobRef {
     data: *const (),
     execute: unsafe fn(*const ()),
+    /// Trace id for the checker; 0 when no trace session was active at
+    /// fork time.
+    trace_id: u64,
+}
+
+/// Execute a job, logging which thread ran the task body. The matching
+/// `TaskComplete` is emitted inside `StackJob::execute` *before* the
+/// completion latch flips, so in the linearized log a `TaskJoin` always
+/// comes after the `TaskComplete` it synchronized with.
+///
+/// # Safety
+/// Same contract as calling `job.execute` directly: `data` must point at
+/// a live, not-yet-executed `StackJob`.
+unsafe fn run_job(job: JobRef) {
+    if job.trace_id != 0 {
+        trace::emit(Event::TaskStart { task: job.trace_id });
+    }
+    (job.execute)(job.data);
 }
 
 // SAFETY: the pointee is a StackJob pinned on a frame that provably
@@ -43,17 +62,19 @@ struct StackJob<F, R> {
     f: UnsafeCell<Option<F>>,
     latch: AtomicBool,
     result: UnsafeCell<Option<std::thread::Result<R>>>,
+    trace_id: u64,
 }
 
 impl<F, R> StackJob<F, R>
 where
     F: FnOnce() -> R,
 {
-    fn new(f: F) -> Self {
+    fn new(f: F, trace_id: u64) -> Self {
         StackJob {
             f: UnsafeCell::new(Some(f)),
             latch: AtomicBool::new(false),
             result: UnsafeCell::new(None),
+            trace_id,
         }
     }
 
@@ -61,6 +82,7 @@ where
         JobRef {
             data: self as *const Self as *const (),
             execute: Self::execute,
+            trace_id: self.trace_id,
         }
     }
 
@@ -69,6 +91,11 @@ where
         let f = (*this.f.get()).take().expect("job executed twice");
         let result = std::panic::catch_unwind(AssertUnwindSafe(f));
         *this.result.get() = Some(result);
+        if this.trace_id != 0 {
+            trace::emit(Event::TaskComplete {
+                task: this.trace_id,
+            });
+        }
         this.latch.store(true, Ordering::Release);
     }
 
@@ -131,7 +158,12 @@ impl ExecCtx {
             let victim = (self.index + k) % n;
             loop {
                 match arena.stealers[victim].steal() {
-                    Steal::Success(job) => return Some(job),
+                    Steal::Success(job) => {
+                        if job.trace_id != 0 {
+                            trace::emit(Event::TaskSteal { task: job.trace_id });
+                        }
+                        return Some(job);
+                    }
                     Steal::Empty => break,
                     Steal::Retry => continue,
                 }
@@ -153,8 +185,12 @@ where
     with_ctx(|ctx| match ctx {
         None => (a(), b()),
         Some(ctx) => {
-            let job_b = StackJob::new(b);
+            let task = trace::live_id();
+            let job_b = StackJob::new(b, task);
             let job_ref = job_b.as_job_ref();
+            if task != 0 {
+                trace::emit(Event::TaskSpawn { task });
+            }
             ctx.worker.push(job_ref);
 
             let ra = match std::panic::catch_unwind(AssertUnwindSafe(a)) {
@@ -163,6 +199,9 @@ where
                     // `a` panicked; we must still wait for `b` (it may be
                     // running on a thief and may borrow our frame).
                     wait_for(ctx, &job_b);
+                    if task != 0 {
+                        trace::emit(Event::TaskJoin { task });
+                    }
                     std::panic::resume_unwind(payload);
                 }
             };
@@ -173,9 +212,12 @@ where
             if let Some(popped) = ctx.worker.pop() {
                 debug_assert!(std::ptr::eq(popped.data, job_ref.data));
                 // SAFETY: executing the job we created on this frame.
-                unsafe { (popped.execute)(popped.data) };
+                unsafe { run_job(popped) };
             } else {
                 wait_for(ctx, &job_b);
+            }
+            if task != 0 {
+                trace::emit(Event::TaskJoin { task });
             }
             // SAFETY: latch is set, result slot is filled.
             let rb = match unsafe { job_b.take_result() } {
@@ -196,7 +238,7 @@ where
     while !job.done() {
         if let Some(other) = ctx.find_job() {
             // SAFETY: every JobRef in the deques points to a live frame.
-            unsafe { (other.execute)(other.data) };
+            unsafe { run_job(other) };
             idle_spins = 0;
         } else {
             idle_spins += 1;
@@ -232,7 +274,7 @@ where
     let root_slot: Mutex<Option<F>> = Mutex::new(Some(root));
 
     pool.parallel(|tctx| {
-        let worker = worker_slots.lock()[tctx.thread_num]
+        let worker = worker_slots.lock().expect("worker slots poisoned")[tctx.thread_num]
             .take()
             .expect("worker already taken");
         let ctx = ExecCtx {
@@ -243,16 +285,20 @@ where
         CURRENT.with(|c| c.set(&ctx as *const ExecCtx));
 
         if tctx.thread_num == 0 {
-            let root_fn = root_slot.lock().take().expect("root taken twice");
+            let root_fn = root_slot
+                .lock()
+                .expect("root slot poisoned")
+                .take()
+                .expect("root taken twice");
             let r = std::panic::catch_unwind(AssertUnwindSafe(root_fn));
-            *result.lock() = Some(r);
+            *result.lock().expect("result slot poisoned") = Some(r);
             arena.root_done.store(true, Ordering::Release);
         } else {
             let mut idle_spins = 0u32;
             while !arena.root_done.load(Ordering::Acquire) {
                 if let Some(job) = ctx.find_job() {
                     // SAFETY: JobRefs point at live join frames.
-                    unsafe { (job.execute)(job.data) };
+                    unsafe { run_job(job) };
                     idle_spins = 0;
                 } else {
                     idle_spins += 1;
@@ -269,7 +315,11 @@ where
         // with outstanding children), so the deques are empty.
     });
 
-    let r = result.lock().take().expect("root never ran");
+    let r = result
+        .lock()
+        .expect("result slot poisoned")
+        .take()
+        .expect("root never ran");
     match r {
         Ok(v) => v,
         Err(payload) => std::panic::resume_unwind(payload),
@@ -369,10 +419,7 @@ mod tests {
         let pool = ThreadPool::with_defaults(4);
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             task_parallel(&pool, || {
-                let (_, _) = join(
-                    || 1,
-                    || -> i32 { panic!("branch b failed") },
-                );
+                let (_, _) = join(|| 1, || -> i32 { panic!("branch b failed") });
             });
         }));
         assert!(r.is_err());

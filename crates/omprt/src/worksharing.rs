@@ -10,7 +10,21 @@ use crate::barrier::{default_barrier, Barrier};
 use crate::pool::ThreadPool;
 use crate::reduce::Reducer;
 use crate::sched::{static_chunks, DynamicDispatcher, GuidedDispatcher};
+use crate::trace::{self, Event};
 use omptune_core::{OmpSchedule, ReductionMethod};
+
+/// Log a statically-assigned chunk so the checker can verify worksharing
+/// assignments are disjoint across every schedule, not just the
+/// dispatcher-based ones (which log their own claims).
+fn trace_static_chunk(loop_id: u64, range: &std::ops::Range<usize>) {
+    if loop_id != 0 && !range.is_empty() {
+        trace::emit(Event::ChunkClaim {
+            loop_id,
+            lo: range.start,
+            hi: range.end,
+        });
+    }
+}
 
 /// Execute `body(i)` for every `i in 0..total` on the pool with the given
 /// schedule, returning after the implicit end-of-loop barrier.
@@ -21,8 +35,11 @@ where
     let n = pool.num_threads();
     match schedule {
         OmpSchedule::Static | OmpSchedule::Auto => {
+            let loop_id = trace::live_id();
             pool.parallel(|ctx| {
-                for i in static_chunks(total, ctx.num_threads, ctx.thread_num) {
+                let range = static_chunks(total, ctx.num_threads, ctx.thread_num);
+                trace_static_chunk(loop_id, &range);
+                for i in range {
                     body(i);
                 }
             });
@@ -59,10 +76,12 @@ where
     F: Fn(usize) + Send + Sync,
 {
     assert!(chunk > 0, "chunk must be positive");
+    let loop_id = trace::live_id();
     pool.parallel(|ctx| {
         for range in
             crate::sched::static_cyclic_chunks(total, ctx.num_threads, chunk, ctx.thread_num)
         {
+            trace_static_chunk(loop_id, &range);
             for i in range {
                 body(i);
             }
@@ -74,12 +93,12 @@ where
 /// team like dynamically-scheduled iterations. Closures may borrow the
 /// caller's state.
 pub fn parallel_sections(pool: &ThreadPool, sections: Vec<Box<dyn FnOnce() + Send + '_>>) {
-    use parking_lot::Mutex;
-    let slots: Vec<Mutex<Option<Box<dyn FnOnce() + Send + '_>>>> =
-        sections.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    use std::sync::Mutex;
+    type Slot<'a> = Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
+    let slots: Vec<Slot<'_>> = sections.into_iter().map(|s| Mutex::new(Some(s))).collect();
     let n = slots.len();
     parallel_for(pool, OmpSchedule::Dynamic, n, |i| {
-        if let Some(f) = slots[i].lock().take() {
+        if let Some(f) = slots[i].lock().expect("section slot poisoned").take() {
             f();
         }
     });
@@ -92,10 +111,10 @@ pub fn parallel_single<F>(pool: &ThreadPool, f: F)
 where
     F: FnOnce() + Send,
 {
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     let slot = Mutex::new(Some(f));
     pool.parallel(|_| {
-        if let Some(f) = slot.lock().take() {
+        if let Some(f) = slot.lock().expect("single slot poisoned").take() {
             f();
         }
     });
@@ -129,9 +148,12 @@ where
 
     match schedule {
         OmpSchedule::Static | OmpSchedule::Auto => {
+            let loop_id = trace::live_id();
             pool.parallel(|ctx| {
                 let mut partial = 0.0;
-                for i in static_chunks(total, ctx.num_threads, ctx.thread_num) {
+                let range = static_chunks(total, ctx.num_threads, ctx.thread_num);
+                trace_static_chunk(loop_id, &range);
+                for i in range {
                     partial += body(i);
                 }
                 reducer.combine(ctx.thread_num, partial, barrier);
@@ -174,7 +196,12 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn all_schedules() -> [OmpSchedule; 4] {
-        [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided, OmpSchedule::Auto]
+        [
+            OmpSchedule::Static,
+            OmpSchedule::Dynamic,
+            OmpSchedule::Guided,
+            OmpSchedule::Auto,
+        ]
     }
 
     #[test]
@@ -232,8 +259,7 @@ mod tests {
                 ReductionMethod::Critical,
                 ReductionMethod::Atomic,
             ] {
-                let got =
-                    parallel_reduce_sum(&pool, schedule, method, 10_000, |i| i as f64);
+                let got = parallel_reduce_sum(&pool, schedule, method, 10_000, |i| i as f64);
                 assert_eq!(got, expect, "{schedule:?}/{method:?}");
             }
         }

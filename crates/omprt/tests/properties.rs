@@ -1,15 +1,27 @@
 //! Property-based tests of the worksharing chunk math and the runtime
 //! drivers: every schedule must dispatch every iteration exactly once,
 //! for arbitrary loop sizes, team sizes, and chunk parameters.
+//!
+//! The threaded properties additionally record a synchronization trace
+//! and feed it through `omplint`'s vector-clock checker: besides the
+//! functional result, every observed schedule must be certified free of
+//! races, barrier misuse, and deadlock shapes.
 
 use omprt::sched::{
-    guided_chunk_sequence, static_chunks, static_cyclic_chunks, DynamicDispatcher,
-    GuidedDispatcher,
+    guided_chunk_sequence, static_chunks, static_cyclic_chunks, DynamicDispatcher, GuidedDispatcher,
 };
-use omprt::{parallel_for, parallel_reduce_sum, ThreadPool};
+use omprt::{parallel_for, parallel_reduce_sum, trace, ThreadPool};
 use omptune_core::{OmpSchedule, ReductionMethod};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Run the happens-before checker over a recorded trace and panic with
+/// the findings if the schedule is not certified clean.
+fn certify_clean(records: &[trace::Record], what: &str) {
+    if let Err(findings) = omplint::certify(records) {
+        panic!("{what}: schedule not certified race/deadlock-free:\n{findings}");
+    }
+}
 
 fn assert_exact_cover(ranges: impl IntoIterator<Item = std::ops::Range<usize>>, total: usize) {
     let mut seen = vec![false; total];
@@ -95,9 +107,11 @@ proptest! {
         ][sched_idx];
         let pool = ThreadPool::with_defaults(threads);
         let hits: Vec<AtomicU8> = (0..total).map(|_| AtomicU8::new(0)).collect();
+        let session = trace::session();
         parallel_for(&pool, schedule, total, |i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
+        certify_clean(&session.finish(), "parallel_for");
         prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
@@ -113,8 +127,29 @@ proptest! {
             ReductionMethod::Atomic,
         ][method_idx];
         let pool = ThreadPool::with_defaults(threads);
+        let session = trace::session();
         let got = parallel_reduce_sum(&pool, OmpSchedule::Guided, method, total, |i| i as f64);
+        certify_clean(&session.finish(), "parallel_reduce_sum");
         let expect = (0..total).map(|i| i as f64).sum::<f64>();
         prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn task_joins_are_race_and_deadlock_free(n in 1u64..13, threads in 1usize..5) {
+        fn fib_seq(n: u64) -> u64 {
+            if n < 2 { n } else { fib_seq(n - 1) + fib_seq(n - 2) }
+        }
+        fn fib_par(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = omprt::join(|| fib_par(n - 1), || fib_par(n - 2));
+            a + b
+        }
+        let pool = ThreadPool::with_defaults(threads);
+        let session = trace::session();
+        let got = omprt::task_parallel(&pool, || fib_par(n));
+        certify_clean(&session.finish(), "task_parallel");
+        prop_assert_eq!(got, fib_seq(n));
     }
 }

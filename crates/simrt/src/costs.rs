@@ -48,12 +48,7 @@ pub fn dispatch_ns(t: usize) -> f64 {
 /// when the **slowest** of `t` workers has resumed, so yield- and
 /// park-based waits grow logarithmically with the team (hard spins react
 /// in a cache-miss time regardless of team size).
-pub fn region_wake_ns(
-    machine: &MachineDesc,
-    policy: WaitPolicy,
-    idle_ns: f64,
-    t: usize,
-) -> f64 {
+pub fn region_wake_ns(machine: &MachineDesc, policy: WaitPolicy, idle_ns: f64, t: usize) -> f64 {
     let team_tail = 1.0 + (t.max(1) as f64).log2() / 8.0;
     match policy {
         WaitPolicy::Passive => machine.wake_latency_ns * team_tail,
@@ -151,11 +146,7 @@ pub fn task_starvation_ns(machine: &MachineDesc, yielding: bool) -> f64 {
 /// NPS4 gives 8 small NUMA domains with modest per-domain DDR4 bandwidth
 /// and 12 small 32-MiB CCX L3s — a migrated thread re-misses its whole
 /// table slice. Skylake's two big sockets and A64FX's HBM absorb it.
-pub fn migration_latency_penalty(
-    machine: &MachineDesc,
-    sensitivity: f64,
-    load: f64,
-) -> f64 {
+pub fn migration_latency_penalty(machine: &MachineDesc, sensitivity: f64, load: f64) -> f64 {
     let base = match machine.name.as_str() {
         "milan" => 1.50,
         "skylake" => 0.003,
@@ -283,7 +274,10 @@ mod tests {
         // Default 200 ms blocktime with a short gap: cheap yield resume.
         let short = region_wake_ns(
             &m,
-            WaitPolicy::SpinThenSleep { millis: 200, yielding: true },
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true,
+            },
             1e6,
             40,
         );
@@ -291,7 +285,10 @@ mod tests {
         // Same policy with an hour-long gap: workers slept.
         let long = region_wake_ns(
             &m,
-            WaitPolicy::SpinThenSleep { millis: 200, yielding: true },
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true,
+            },
             3.6e12,
             40,
         );
@@ -306,7 +303,10 @@ mod tests {
         // Bigger teams pay a longer yield tail.
         let big = region_wake_ns(
             &m,
-            WaitPolicy::SpinThenSleep { millis: 200, yielding: true },
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true,
+            },
             1e6,
             96,
         );

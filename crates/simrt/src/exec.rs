@@ -110,7 +110,11 @@ fn thread_env(arch: Arch, tuning: &TuningConfig, topo: &Topology) -> ThreadEnv {
                 *c = i * machine.cores / t.max(1);
             }
         }
-        Placement::Bound { assignment, n_places, cores_per_place } => {
+        Placement::Bound {
+            assignment,
+            n_places,
+            cores_per_place,
+        } => {
             bound = true;
             // Within a place, threads round-robin over its cores.
             let mut used = vec![0usize; *n_places];
@@ -290,10 +294,9 @@ fn simulate_loop(
             let base = phase.iters / t as u64;
             let rem = phase.iters % t as u64;
             let mut lo = 0u64;
-            for i in 0..t {
+            for (i, m) in mem.iter().enumerate().take(t) {
                 let len = base + u64::from((i as u64) < rem);
-                let cost = (compute_between(lo as f64, (lo + len) as f64)
-                    + mem[i] * len as f64)
+                let cost = (compute_between(lo as f64, (lo + len) as f64) + m * len as f64)
                     * env.speed_div[i];
                 span = span.max(cost);
                 lo += len;
@@ -416,6 +419,7 @@ struct StepOutcome {
 }
 
 /// Simulate one timestep.
+#[allow(clippy::too_many_arguments)]
 fn simulate_step(
     model: &Model,
     tuning: &TuningConfig,
@@ -438,7 +442,8 @@ fn simulate_step(
                 idle_since_region += ns;
             }
             Phase::Loop(l) => {
-                let wake = costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
+                let wake =
+                    costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
                 let fork = costs::fork_ns(tuning.num_threads);
                 let span = simulate_loop(
                     l,
@@ -456,7 +461,8 @@ fn simulate_step(
                 regions += 1;
             }
             Phase::Tasks(tp) => {
-                let wake = costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
+                let wake =
+                    costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
                 let fork = costs::fork_ns(tuning.num_threads);
                 let span = simulate_tasks(tp, tuning, machine, env, phase_seed, &mut bd);
                 bd.wake_ns += wake;
@@ -467,7 +473,12 @@ fn simulate_step(
             }
         }
     }
-    StepOutcome { ns: total, bd, regions, trailing_idle: idle_since_region }
+    StepOutcome {
+        ns: total,
+        bd,
+        regions,
+        trailing_idle: idle_since_region,
+    }
 }
 
 /// Simulate a full application run.
@@ -487,7 +498,16 @@ pub fn simulate(arch: Arch, tuning: &TuningConfig, model: &Model, seed: u64) -> 
 
     // Cold first step: the team has never run, so the first region pays a
     // full wake-up regardless of blocktime.
-    let s0 = simulate_step(model, tuning, &machine, &env, policy, 0, seed, f64::INFINITY);
+    let s0 = simulate_step(
+        model,
+        tuning,
+        &machine,
+        &env,
+        policy,
+        0,
+        seed,
+        f64::INFINITY,
+    );
     total += s0.ns;
     bd.add_scaled(&s0.bd, 1.0);
     regions += s0.regions;
@@ -511,7 +531,11 @@ pub fn simulate(arch: Arch, tuning: &TuningConfig, model: &Model, seed: u64) -> 
         regions += s1.regions * (model.timesteps as u64 - 1);
     }
 
-    SimResult { total_ns: total, breakdown: bd, regions }
+    SimResult {
+        total_ns: total,
+        breakdown: bd,
+        regions,
+    }
 }
 
 #[cfg(test)]
@@ -526,7 +550,11 @@ mod tests {
             phases: vec![Phase::Loop(LoopPhase {
                 iters,
                 cycles_per_iter: 200.0,
-                bytes_per_iter: if matches!(access, AccessPattern::Streaming) { 64.0 } else { 0.0 },
+                bytes_per_iter: if matches!(access, AccessPattern::Streaming) {
+                    64.0
+                } else {
+                    0.0
+                },
                 access,
                 imbalance,
                 reductions: 0,
@@ -557,7 +585,11 @@ mod tests {
         // A model with random imbalance: warm steps differ only by seed;
         // the extrapolation must equal (t1 * (n-1)) by construction, and
         // regions must count all steps.
-        let m = loop_model(50_000, Imbalance::Random { cv: 0.3 }, AccessPattern::CacheResident);
+        let m = loop_model(
+            50_000,
+            Imbalance::Random { cv: 0.3 },
+            AccessPattern::CacheResident,
+        );
         let r = simulate(Arch::Skylake, &cfg(Arch::Skylake, 40), &m, 3);
         assert_eq!(r.regions, 10);
         let mut one = m.clone();
@@ -622,7 +654,12 @@ mod tests {
         let mut c = cfg(Arch::Skylake, 40);
         c.schedule = OmpSchedule::Guided;
         let guided = simulate(Arch::Skylake, &c, &m, 0);
-        assert!(dyn_.total_ns < stat.total_ns, "dynamic {} static {}", dyn_.total_ns, stat.total_ns);
+        assert!(
+            dyn_.total_ns < stat.total_ns,
+            "dynamic {} static {}",
+            dyn_.total_ns,
+            stat.total_ns
+        );
         assert!(guided.total_ns < stat.total_ns);
     }
 
@@ -688,7 +725,9 @@ mod tests {
         let m = loop_model(
             200_000,
             Imbalance::Uniform,
-            AccessPattern::RandomShared { accesses_per_iter: 6.0 },
+            AccessPattern::RandomShared {
+                accesses_per_iter: 6.0,
+            },
         );
         let speedup_of_binding = |arch: Arch, t: usize| {
             let unbound = simulate(arch, &cfg(arch, t), &m, 0);
@@ -710,7 +749,9 @@ mod tests {
         let m = loop_model(
             200_000,
             Imbalance::Uniform,
-            AccessPattern::RandomShared { accesses_per_iter: 6.0 },
+            AccessPattern::RandomShared {
+                accesses_per_iter: 6.0,
+            },
         );
         let speedup_of_binding = |t: usize| {
             let unbound = simulate(Arch::Milan, &cfg(Arch::Milan, t), &m, 0);

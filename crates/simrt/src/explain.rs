@@ -91,7 +91,10 @@ pub fn explain(arch: Arch, config: &TuningConfig, model: &Model, seed: u64) -> E
         };
         let two = simulate(arch, config, &prefix, seed).total_ns;
         let one = {
-            let single = Model { timesteps: 1, ..prefix };
+            let single = Model {
+                timesteps: 1,
+                ..prefix
+            };
             simulate(arch, config, &single, seed).total_ns
         };
         two - one

@@ -40,7 +40,10 @@ pub fn run_loop_event_driven(
     let t = tuning.num_threads;
     let total = phase.iters;
     if total == 0 || t == 0 {
-        return MicroResult { span_ns: 0.0, events: 0 };
+        return MicroResult {
+            span_ns: 0.0,
+            events: 0,
+        };
     }
     let _ = clock_ghz;
 
@@ -114,7 +117,10 @@ pub fn run_loop_event_driven(
         queue.schedule(end, ThreadFree { thread: ev.thread });
     }
 
-    MicroResult { span_ns: span.max(pool.makespan()) as f64, events }
+    MicroResult {
+        span_ns: span.max(pool.makespan()) as f64,
+        events,
+    }
 }
 
 #[cfg(test)]
@@ -178,24 +184,48 @@ mod tests {
 
     #[test]
     fn static_uniform_agrees_exactly() {
-        check(100_000, 300.0, Imbalance::Uniform, OmpSchedule::Static, 0.01);
+        check(
+            100_000,
+            300.0,
+            Imbalance::Uniform,
+            OmpSchedule::Static,
+            0.01,
+        );
     }
 
     #[test]
     fn static_skewed_agrees() {
-        check(80_000, 500.0, Imbalance::Linear { skew: 1.0 }, OmpSchedule::Static, 0.02);
+        check(
+            80_000,
+            500.0,
+            Imbalance::Linear { skew: 1.0 },
+            OmpSchedule::Static,
+            0.02,
+        );
     }
 
     #[test]
     fn guided_agrees_under_random_costs() {
-        check(60_000, 800.0, Imbalance::Random { cv: 0.5 }, OmpSchedule::Guided, 0.05);
+        check(
+            60_000,
+            800.0,
+            Imbalance::Random { cv: 0.5 },
+            OmpSchedule::Guided,
+            0.05,
+        );
     }
 
     #[test]
     fn dynamic_agrees_within_tail_tolerance() {
         // Dynamic's fast path is the work-conserving bound + tail; the
         // oracle dispatches every iteration individually.
-        check(30_000, 1_200.0, Imbalance::Random { cv: 0.4 }, OmpSchedule::Dynamic, 0.05);
+        check(
+            30_000,
+            1_200.0,
+            Imbalance::Random { cv: 0.4 },
+            OmpSchedule::Dynamic,
+            0.05,
+        );
     }
 
     #[test]
@@ -224,6 +254,12 @@ mod tests {
         let lp = phase(0, 100.0, Imbalance::Uniform);
         let cfg = TuningConfig::default_for(Arch::Milan, 96);
         let r = run_loop_event_driven(&lp, &cfg, 2.3, |_| 1.0);
-        assert_eq!(r, MicroResult { span_ns: 0.0, events: 0 });
+        assert_eq!(
+            r,
+            MicroResult {
+                span_ns: 0.0,
+                events: 0
+            }
+        );
     }
 }

@@ -210,8 +210,7 @@ mod tests {
     #[test]
     fn random_imbalance_mean_near_one() {
         let im = Imbalance::Random { cv: 0.3 };
-        let mean: f64 =
-            (0..5000).map(|u| im.mean_over(0.0, 1.0, u, 7)).sum::<f64>() / 5000.0;
+        let mean: f64 = (0..5000).map(|u| im.mean_over(0.0, 1.0, u, 7)).sum::<f64>() / 5000.0;
         assert!((mean - 1.0).abs() < 0.02, "mean={mean}");
     }
 

@@ -67,7 +67,10 @@ fn main() {
                 phi,
                 default_secs.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>()
             );
-            per_app.entry(app.name.to_string()).or_default().extend(setting_maxima);
+            per_app
+                .entry(app.name.to_string())
+                .or_default()
+                .extend(setting_maxima);
         }
         arch_maxima.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = arch_maxima[arch_maxima.len() / 2];

@@ -1,8 +1,10 @@
 //! Dataset collection binary: produce the open-sourced artifacts the
 //! paper promises — the processed tabular CSV and the raw per-batch JSON.
 //!
-//! Usage: `collect [fast|paper|full] [output-dir]`
-//! Default: paper scope into `./dataset/`.
+//! Usage: `collect [fast|paper|full|pruned] [output-dir]`
+//! Default: paper scope into `./dataset/`. `pruned` sweeps only the
+//! configurations `omplint` certifies as canonical (no redundant or
+//! invalid points).
 
 use std::fs;
 use std::io::BufWriter;
@@ -14,12 +16,16 @@ fn main() -> std::io::Result<()> {
     let scope = match args.first().map(String::as_str) {
         Some("fast") => Scope::Strided(24),
         Some("full") => Scope::Full,
+        Some("pruned") => Scope::Pruned,
         _ => Scope::PaperSized,
     };
     let out_dir = PathBuf::from(args.get(1).map(String::as_str).unwrap_or("dataset"));
     fs::create_dir_all(&out_dir)?;
 
-    let spec = SweepSpec { scope, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        scope,
+        ..SweepSpec::default()
+    };
     eprintln!("sweeping all architectures ({scope:?}) ...");
     let mut batches = sweep::sweep_all(&spec);
     let mut dropped = 0usize;
@@ -48,7 +54,10 @@ fn main() -> std::io::Result<()> {
     let summary_path = out_dir.join("SUMMARY.txt");
     let mut summary = String::from("samples per architecture (paper Table II)\n");
     for (arch, apps, samples) in dataset.table2() {
-        summary.push_str(&format!("{}: {apps} applications, {samples} samples\n", arch.id()));
+        summary.push_str(&format!(
+            "{}: {apps} applications, {samples} samples\n",
+            arch.id()
+        ));
     }
     fs::write(&summary_path, summary)?;
     eprintln!("wrote {}", summary_path.display());

@@ -42,7 +42,10 @@ pub fn clean(data: &mut SettingData, expected_reps: usize) -> CleanReport {
         }
     }
     data.samples = kept;
-    CleanReport { kept: data.samples.len(), dropped }
+    CleanReport {
+        kept: data.samples.len(),
+        dropped,
+    }
 }
 
 /// A fully processed tabular dataset.
@@ -107,7 +110,12 @@ mod tests {
     fn batch(arch: Arch, app: &str, runtimes: Vec<Vec<f64>>) -> SettingData {
         let t = arch.cores();
         SettingData {
-            key: RunKey { arch, app: app.into(), input_code: 0, num_threads: t },
+            key: RunKey {
+                arch,
+                app: app.into(),
+                input_code: 0,
+                num_threads: t,
+            },
             samples: runtimes
                 .into_iter()
                 .enumerate()
@@ -145,7 +153,11 @@ mod tests {
 
     #[test]
     fn speedup_is_default_over_sample() {
-        let b = batch(Arch::Skylake, "ft", vec![vec![0.5, 0.5, 0.5], vec![2.0, 2.0, 2.0]]);
+        let b = batch(
+            Arch::Skylake,
+            "ft",
+            vec![vec![0.5, 0.5, 0.5], vec![2.0, 2.0, 2.0]],
+        );
         let ds = Dataset::build(&[b]);
         assert_eq!(ds.records.len(), 2);
         assert_eq!(ds.records[0].speedup, 2.0);

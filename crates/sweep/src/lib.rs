@@ -20,4 +20,4 @@ pub use runner::{
     sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting, RawSample,
     RunKey, SettingData,
 };
-pub use spec::{Scope, SweepSpec};
+pub use spec::{pruned_space, Scope, SweepSpec};

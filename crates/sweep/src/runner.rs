@@ -98,15 +98,16 @@ fn run_config(
     spec: &SweepSpec,
     noise: &NoiseModel,
 ) -> Vec<f64> {
-    let setting = Setting { input_code: key.input_code, num_threads: key.num_threads };
+    let setting = Setting {
+        input_code: key.input_code,
+        num_threads: key.num_threads,
+    };
     let model = (app.model)(key.arch, setting);
     let base = simrt::simulate(key.arch, config, &model, spec.seed).seconds();
     let stream = noise_stream(key, config_index);
     (0..spec.reps)
         .map(|rep| {
-            if spec.failure_rate > 0.0
-                && failure_roll(spec.seed, stream, rep) < spec.failure_rate
-            {
+            if spec.failure_rate > 0.0 && failure_roll(spec.seed, stream, rep) < spec.failure_rate {
                 f64::NAN
             } else {
                 base * noise.factor(spec.seed, stream, rep)
@@ -147,10 +148,13 @@ pub fn sweep_setting(
     // The default configuration is simulated explicitly (it may or may
     // not be among the sampled rows) with its own noise stream.
     let default_config = TuningConfig::default_for(arch, setting.num_threads);
-    let default_runtimes =
-        run_config(&key, app, &default_config, usize::MAX, spec, &noise);
+    let default_runtimes = run_config(&key, app, &default_config, usize::MAX, spec, &noise);
 
-    SettingData { key, samples, default_runtimes }
+    SettingData {
+        key,
+        samples,
+        default_runtimes,
+    }
 }
 
 /// The (app, setting, setting-index) work list for one architecture.
@@ -184,10 +188,10 @@ pub fn sweep_arch_parallel(arch: Arch, spec: &SweepSpec, workers: usize) -> Vec<
     let next = std::sync::atomic::AtomicUsize::new(0);
     let done = std::sync::Mutex::new(Vec::with_capacity(work.len()));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let (work, next, done) = (&work, &next, &done);
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= work.len() {
                     break;
@@ -197,8 +201,7 @@ pub fn sweep_arch_parallel(arch: Arch, spec: &SweepSpec, workers: usize) -> Vec<
                 done.lock().expect("result lock").push((i, data));
             });
         }
-    })
-    .expect("sweep workers panicked");
+    });
 
     let mut results = done.into_inner().expect("result lock");
     results.sort_by_key(|(i, _)| *i);
@@ -208,7 +211,10 @@ pub fn sweep_arch_parallel(arch: Arch, spec: &SweepSpec, workers: usize) -> Vec<
 
 /// Sweep all three architectures (the paper's full data collection).
 pub fn sweep_all(spec: &SweepSpec) -> Vec<SettingData> {
-    Arch::ALL.iter().flat_map(|&arch| sweep_arch(arch, spec)).collect()
+    Arch::ALL
+        .iter()
+        .flat_map(|&arch| sweep_arch(arch, spec))
+        .collect()
 }
 
 /// Parallel variant of [`sweep_all`].
@@ -225,13 +231,21 @@ mod tests {
     use crate::spec::Scope;
 
     fn tiny_spec() -> SweepSpec {
-        SweepSpec { scope: Scope::Strided(400), reps: 3, seed: 42, failure_rate: 0.0 }
+        SweepSpec {
+            scope: Scope::Strided(400),
+            reps: 3,
+            seed: 42,
+            failure_rate: 0.0,
+        }
     }
 
     #[test]
     fn sweep_is_deterministic() {
         let app = workloads::app("cg").unwrap();
-        let setting = Setting { input_code: 0, num_threads: 40 };
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 40,
+        };
         let a = sweep_setting(Arch::Skylake, app, setting, 0, &tiny_spec());
         let b = sweep_setting(Arch::Skylake, app, setting, 0, &tiny_spec());
         assert_eq!(a, b);
@@ -240,7 +254,10 @@ mod tests {
     #[test]
     fn runtimes_positive_and_rep_count_honoured() {
         let app = workloads::app("ep").unwrap();
-        let setting = Setting { input_code: 0, num_threads: 48 };
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 48,
+        };
         let data = sweep_setting(Arch::A64fx, app, setting, 0, &tiny_spec());
         assert!(!data.samples.is_empty());
         for s in &data.samples {
@@ -255,8 +272,16 @@ mod tests {
         // A sampled row equal to the default config must have speedup ~1
         // (exactly 1 up to noise).
         let app = workloads::app("ep").unwrap();
-        let setting = Setting { input_code: 0, num_threads: 48 };
-        let spec = SweepSpec { scope: Scope::Full, reps: 3, seed: 7, failure_rate: 0.0 };
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 48,
+        };
+        let spec = SweepSpec {
+            scope: Scope::Full,
+            reps: 3,
+            seed: 7,
+            failure_rate: 0.0,
+        };
         let data = sweep_setting(Arch::A64fx, app, setting, 0, &spec);
         let default_row = data
             .samples
@@ -271,18 +296,25 @@ mod tests {
     fn milan_rep0_runs_visibly_slower() {
         // The Table IV drift pattern must be visible in raw samples.
         let app = workloads::app("alignment").unwrap();
-        let setting = Setting { input_code: 0, num_threads: 96 };
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 96,
+        };
         let data = sweep_setting(Arch::Milan, app, setting, 0, &tiny_spec());
         let mean_rep = |r: usize| {
-            data.samples.iter().map(|s| s.runtimes[r]).sum::<f64>()
-                / data.samples.len() as f64
+            data.samples.iter().map(|s| s.runtimes[r]).sum::<f64>() / data.samples.len() as f64
         };
         assert!(mean_rep(0) > 1.15 * mean_rep(1), "missing batch drift");
     }
 
     #[test]
     fn parallel_sweep_is_byte_identical_to_sequential() {
-        let spec = SweepSpec { scope: Scope::Strided(1500), reps: 2, seed: 3, failure_rate: 0.0 };
+        let spec = SweepSpec {
+            scope: Scope::Strided(1500),
+            reps: 2,
+            seed: 3,
+            failure_rate: 0.0,
+        };
         let seq = sweep_arch(Arch::A64fx, &spec);
         for workers in [1usize, 2, 5] {
             let par = sweep_arch_parallel(Arch::A64fx, &spec, workers);
@@ -293,7 +325,10 @@ mod tests {
     #[test]
     fn failure_injection_produces_nans_that_cleaning_drops() {
         let app = workloads::app("lu").unwrap();
-        let setting = Setting { input_code: 0, num_threads: 40 };
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 40,
+        };
         let spec = SweepSpec {
             scope: Scope::Strided(100),
             reps: 3,
@@ -311,7 +346,10 @@ mod tests {
         assert!(failed > n / 8 && failed < n * 3 / 4, "{failed}/{n} failed");
         let report = crate::dataset::clean(&mut data, 3);
         assert_eq!(report.dropped.len(), failed);
-        assert!(data.samples.iter().all(|s| s.runtimes.iter().all(|r| r.is_finite())));
+        assert!(data
+            .samples
+            .iter()
+            .all(|s| s.runtimes.iter().all(|r| r.is_finite())));
         // Determinism extends to failures.
         let again = sweep_setting(Arch::Skylake, app, setting, 0, &spec);
         let failed_again = again
@@ -324,7 +362,12 @@ mod tests {
 
     #[test]
     fn arch_sweep_covers_all_settings() {
-        let spec = SweepSpec { scope: Scope::Strided(2000), reps: 2, seed: 1, failure_rate: 0.0 };
+        let spec = SweepSpec {
+            scope: Scope::Strided(2000),
+            reps: 2,
+            seed: 1,
+            failure_rate: 0.0,
+        };
         let data = sweep_arch(Arch::Skylake, &spec);
         assert_eq!(data.len(), 36);
         // Health and Sort/Strassen absent on Skylake.

@@ -3,10 +3,14 @@
 //!
 //! The paper reports 53,822 / 99,707 / 90,230 unique samples on A64FX /
 //! Milan / Skylake. Those are not full cross-products (cluster failures
-//! and cleaning trimmed them), so the reproduction offers two scopes:
+//! and cleaning trimmed them), so the reproduction offers several scopes:
 //! [`Scope::Full`] sweeps every configuration, [`Scope::PaperSized`]
 //! deterministically strides the space so the per-architecture totals
-//! match Table II exactly.
+//! match Table II exactly, and [`Scope::Pruned`] sweeps only the
+//! configurations `omplint`'s rule engine classifies as valid —
+//! canonical representatives of each semantic equivalence class, which
+//! cover the same behavior as [`Scope::Full`] at roughly a quarter of
+//! the runs.
 
 use omptune_core::{Arch, ConfigSpace, TuningConfig};
 use serde::{Deserialize, Serialize};
@@ -20,6 +24,10 @@ pub enum Scope {
     PaperSized,
     /// A tiny smoke-test slice (every `n`-th configuration).
     Strided(usize),
+    /// Only configurations `omplint` classifies as valid: redundant
+    /// points (semantically equal to an earlier canonical point) are
+    /// skipped, so the sweep covers every distinct behavior once.
+    Pruned,
 }
 
 /// Sweep parameters.
@@ -39,7 +47,12 @@ pub struct SweepSpec {
 
 impl Default for SweepSpec {
     fn default() -> Self {
-        SweepSpec { scope: Scope::PaperSized, reps: 3, seed: 0x0527_1CEB, failure_rate: 0.0 }
+        SweepSpec {
+            scope: Scope::PaperSized,
+            reps: 3,
+            seed: 0x0527_1CEB,
+            failure_rate: 0.0,
+        }
     }
 }
 
@@ -59,8 +72,15 @@ pub fn settings_count(arch: Arch) -> usize {
 }
 
 /// How many configurations setting number `setting_idx` (in sweep order)
-/// contributes under `scope` on `arch`.
-pub fn samples_for_setting(arch: Arch, setting_idx: usize, scope: Scope) -> usize {
+/// contributes under `scope` on `arch` at `num_threads`. (The thread
+/// count only matters for [`Scope::Pruned`]: the linter's redundancy
+/// rules depend on the team size through the reduction heuristic.)
+pub fn samples_for_setting(
+    arch: Arch,
+    num_threads: usize,
+    setting_idx: usize,
+    scope: Scope,
+) -> usize {
     let space_len = ConfigSpace::new(arch, 1).len();
     match scope {
         Scope::Full => space_len,
@@ -72,7 +92,16 @@ pub fn samples_for_setting(arch: Arch, setting_idx: usize, scope: Scope) -> usiz
             let remainder = target % settings;
             base + usize::from(setting_idx < remainder)
         }
+        Scope::Pruned => pruned_space(arch, num_threads).len(),
     }
+}
+
+/// The linter-pruned tuning space for one (arch, team size): every
+/// point the rule engine classifies as valid, in odometer order.
+pub fn pruned_space(arch: Arch, num_threads: usize) -> omptune_core::TuningSpace {
+    omplint::lint_space(arch, num_threads)
+        .pruned()
+        .expect("sweep settings never oversubscribe")
 }
 
 /// The configuration indices (into the odometer order of [`ConfigSpace`])
@@ -89,8 +118,16 @@ pub fn configs_for(
     setting_idx: usize,
     scope: Scope,
 ) -> Vec<(usize, TuningConfig)> {
+    if scope == Scope::Pruned {
+        let pruned = pruned_space(arch, num_threads);
+        return pruned
+            .indices()
+            .iter()
+            .map(|&i| (i, pruned.space().get(i).expect("index in space")))
+            .collect();
+    }
     let space = ConfigSpace::new(arch, num_threads);
-    let n = samples_for_setting(arch, setting_idx, scope);
+    let n = samples_for_setting(arch, num_threads, setting_idx, scope);
     config_indices(space.len(), n)
         .into_iter()
         .map(|i| (i, space.get(i).expect("index in space")))
@@ -105,7 +142,7 @@ mod tests {
     fn paper_sized_totals_match_table2_exactly() {
         for arch in Arch::ALL {
             let total: usize = (0..settings_count(arch))
-                .map(|i| samples_for_setting(arch, i, Scope::PaperSized))
+                .map(|i| samples_for_setting(arch, arch.cores(), i, Scope::PaperSized))
                 .sum();
             assert_eq!(total, table2_target(arch), "{arch}");
         }
@@ -128,13 +165,41 @@ mod tests {
 
     #[test]
     fn full_scope_covers_everything() {
-        assert_eq!(samples_for_setting(Arch::Milan, 0, Scope::Full), 9216);
-        assert_eq!(samples_for_setting(Arch::A64fx, 0, Scope::Full), 4608);
+        assert_eq!(samples_for_setting(Arch::Milan, 96, 0, Scope::Full), 9216);
+        assert_eq!(samples_for_setting(Arch::A64fx, 48, 0, Scope::Full), 4608);
     }
 
     #[test]
     fn strided_scope_shrinks() {
-        assert_eq!(samples_for_setting(Arch::Milan, 0, Scope::Strided(100)), 93);
+        assert_eq!(
+            samples_for_setting(Arch::Milan, 96, 0, Scope::Strided(100)),
+            93
+        );
+    }
+
+    #[test]
+    fn pruned_scope_keeps_only_canonical_configs() {
+        // The linter keeps 13 (bind,places) x 3 schedules x 5
+        // (library,blocktime) x 3 reductions x aligns canonical points.
+        assert_eq!(samples_for_setting(Arch::Milan, 96, 0, Scope::Pruned), 2340);
+        assert_eq!(samples_for_setting(Arch::A64fx, 48, 0, Scope::Pruned), 1170);
+
+        let configs = configs_for(Arch::Skylake, 40, 0, Scope::Pruned);
+        assert_eq!(configs.len(), 2340);
+        let space = ConfigSpace::new(Arch::Skylake, 40);
+        for (i, c) in &configs {
+            assert_eq!(space.index_of(c), Some(*i));
+            // Every swept point is its own canonical form: sweeping it
+            // again through the linter must change nothing.
+            assert_eq!(omplint::canonicalize(*c), *c);
+        }
+    }
+
+    #[test]
+    fn pruned_scope_is_deterministic() {
+        let a = configs_for(Arch::A64fx, 48, 0, Scope::Pruned);
+        let b = configs_for(Arch::A64fx, 48, 0, Scope::Pruned);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -131,8 +131,20 @@ mod tests {
 
     #[test]
     fn model_task_count_scales() {
-        let s0 = model(Arch::Milan, Setting { input_code: 0, num_threads: 96 });
-        let s2 = model(Arch::Milan, Setting { input_code: 2, num_threads: 96 });
+        let s0 = model(
+            Arch::Milan,
+            Setting {
+                input_code: 0,
+                num_threads: 96,
+            },
+        );
+        let s2 = model(
+            Arch::Milan,
+            Setting {
+                input_code: 2,
+                num_threads: 96,
+            },
+        );
         let tasks = |m: &Model| match &m.phases[0] {
             Phase::Tasks(t) => t.n_tasks,
             _ => panic!("expected tasks"),

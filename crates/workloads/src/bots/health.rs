@@ -52,7 +52,10 @@ pub mod real {
     /// and the referred patients.
     fn simulate_village(id: u64, depth: u32, branching: u32, steps: u32) -> Totals {
         let child_totals = if depth == 0 {
-            Totals { treated: 0, referred: 0 }
+            Totals {
+                treated: 0,
+                referred: 0,
+            }
         } else {
             // Fold children pairwise with join.
             fn children(
@@ -64,19 +67,17 @@ pub mod real {
                 hi: u32,
             ) -> Totals {
                 if hi - lo == 1 {
-                    return simulate_village(
-                        mix(id ^ lo as u64),
-                        depth - 1,
-                        branching,
-                        steps,
-                    );
+                    return simulate_village(mix(id ^ lo as u64), depth - 1, branching, steps);
                 }
                 let mid = lo + (hi - lo) / 2;
                 let (a, b) = join(
                     || children(id, depth, branching, steps, lo, mid),
                     || children(id, depth, branching, steps, mid, hi),
                 );
-                Totals { treated: a.treated + b.treated, referred: a.referred + b.referred }
+                Totals {
+                    treated: a.treated + b.treated,
+                    referred: a.referred + b.referred,
+                }
             }
             children(id, depth, branching, steps, 0, branching)
         };
@@ -102,7 +103,10 @@ pub mod real {
                 referred_up += refer;
             }
         }
-        Totals { treated, referred: referred_up + queue / 8 }
+        Totals {
+            treated,
+            referred: referred_up + queue / 8,
+        }
     }
 
     /// Run the full simulation on the pool.
@@ -144,7 +148,13 @@ mod tests {
 
     #[test]
     fn model_is_starved_and_fine() {
-        let m = model(Arch::A64fx, Setting { input_code: 1, num_threads: 48 });
+        let m = model(
+            Arch::A64fx,
+            Setting {
+                input_code: 1,
+                num_threads: 48,
+            },
+        );
         match &m.phases[0] {
             Phase::Tasks(t) => {
                 assert!(t.starvation >= 0.5);

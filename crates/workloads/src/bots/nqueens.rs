@@ -127,7 +127,13 @@ mod tests {
 
     #[test]
     fn model_is_fine_grained_and_starved() {
-        let m = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
+        let m = model(
+            Arch::A64fx,
+            Setting {
+                input_code: 0,
+                num_threads: 48,
+            },
+        );
         match &m.phases[0] {
             Phase::Tasks(t) => {
                 assert!(t.starvation > 0.8, "NQueens must starve workers");

@@ -64,7 +64,11 @@ pub mod real {
             return;
         }
         // Split the larger input at its midpoint; binary-search the other.
-        let (big, small, swapped) = if a.len() >= b.len() { (a, b, false) } else { (b, a, true) };
+        let (big, small, swapped) = if a.len() >= b.len() {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
         let mid = big.len() / 2;
         let pivot = big[mid];
         let cut = small.partition_point(|&x| x < pivot);
@@ -156,11 +160,17 @@ mod tests {
 
     #[test]
     fn model_grain_constant_across_sizes() {
-        let g = |code| {
-            match &model(Arch::A64fx, Setting { input_code: code, num_threads: 48 }).phases[0] {
-                Phase::Tasks(t) => t.cycles_per_task,
-                _ => unreachable!(),
-            }
+        let g = |code| match &model(
+            Arch::A64fx,
+            Setting {
+                input_code: code,
+                num_threads: 48,
+            },
+        )
+        .phases[0]
+        {
+            Phase::Tasks(t) => t.cycles_per_task,
+            _ => unreachable!(),
         };
         assert_eq!(g(0), g(2));
     }

@@ -43,7 +43,10 @@ pub mod real {
     impl Mat {
         /// Zero matrix.
         pub fn zeros(n: usize) -> Mat {
-            Mat { n, data: vec![0.0; n * n] }
+            Mat {
+                n,
+                data: vec![0.0; n * n],
+            }
         }
 
         /// Deterministic test matrix.
@@ -71,12 +74,22 @@ pub mod real {
         }
 
         fn add(&self, other: &Mat) -> Mat {
-            let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect();
             Mat { n: self.n, data }
         }
 
         fn sub(&self, other: &Mat) -> Mat {
-            let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect();
             Mat { n: self.n, data }
         }
 
@@ -125,18 +138,8 @@ pub mod real {
                                             || strassen_rec(&a11.add(&a12), &b22),
                                             || {
                                                 join(
-                                                    || {
-                                                        strassen_rec(
-                                                            &a21.sub(&a11),
-                                                            &b11.add(&b12),
-                                                        )
-                                                    },
-                                                    || {
-                                                        strassen_rec(
-                                                            &a12.sub(&a22),
-                                                            &b21.add(&b22),
-                                                        )
-                                                    },
+                                                    || strassen_rec(&a21.sub(&a11), &b11.add(&b12)),
+                                                    || strassen_rec(&a12.sub(&a22), &b21.add(&b22)),
                                                 )
                                             },
                                         )
@@ -220,7 +223,13 @@ mod tests {
 
     #[test]
     fn model_tasks_are_coarse() {
-        let m = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
+        let m = model(
+            Arch::A64fx,
+            Setting {
+                input_code: 0,
+                num_threads: 48,
+            },
+        );
         match &m.phases[0] {
             Phase::Tasks(t) => {
                 assert!(t.cycles_per_task > 1e6, "Strassen tasks are milliseconds");

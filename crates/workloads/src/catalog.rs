@@ -56,21 +56,81 @@ impl std::fmt::Debug for AppSpec {
 /// All 15 applications in the paper's presentation order.
 pub fn apps() -> &'static [AppSpec] {
     &[
-        AppSpec { name: "bt", suite: Suite::Npb, model: crate::npb::bt::model },
-        AppSpec { name: "cg", suite: Suite::Npb, model: crate::npb::cg::model },
-        AppSpec { name: "ep", suite: Suite::Npb, model: crate::npb::ep::model },
-        AppSpec { name: "ft", suite: Suite::Npb, model: crate::npb::ft::model },
-        AppSpec { name: "lu", suite: Suite::Npb, model: crate::npb::lu::model },
-        AppSpec { name: "mg", suite: Suite::Npb, model: crate::npb::mg::model },
-        AppSpec { name: "alignment", suite: Suite::Bots, model: crate::bots::alignment::model },
-        AppSpec { name: "health", suite: Suite::Bots, model: crate::bots::health::model },
-        AppSpec { name: "nqueens", suite: Suite::Bots, model: crate::bots::nqueens::model },
-        AppSpec { name: "sort", suite: Suite::Bots, model: crate::bots::sort::model },
-        AppSpec { name: "strassen", suite: Suite::Bots, model: crate::bots::strassen::model },
-        AppSpec { name: "xsbench", suite: Suite::Proxy, model: crate::proxy::xsbench::model },
-        AppSpec { name: "rsbench", suite: Suite::Proxy, model: crate::proxy::rsbench::model },
-        AppSpec { name: "su3bench", suite: Suite::Proxy, model: crate::proxy::su3bench::model },
-        AppSpec { name: "lulesh", suite: Suite::Proxy, model: crate::proxy::lulesh::model },
+        AppSpec {
+            name: "bt",
+            suite: Suite::Npb,
+            model: crate::npb::bt::model,
+        },
+        AppSpec {
+            name: "cg",
+            suite: Suite::Npb,
+            model: crate::npb::cg::model,
+        },
+        AppSpec {
+            name: "ep",
+            suite: Suite::Npb,
+            model: crate::npb::ep::model,
+        },
+        AppSpec {
+            name: "ft",
+            suite: Suite::Npb,
+            model: crate::npb::ft::model,
+        },
+        AppSpec {
+            name: "lu",
+            suite: Suite::Npb,
+            model: crate::npb::lu::model,
+        },
+        AppSpec {
+            name: "mg",
+            suite: Suite::Npb,
+            model: crate::npb::mg::model,
+        },
+        AppSpec {
+            name: "alignment",
+            suite: Suite::Bots,
+            model: crate::bots::alignment::model,
+        },
+        AppSpec {
+            name: "health",
+            suite: Suite::Bots,
+            model: crate::bots::health::model,
+        },
+        AppSpec {
+            name: "nqueens",
+            suite: Suite::Bots,
+            model: crate::bots::nqueens::model,
+        },
+        AppSpec {
+            name: "sort",
+            suite: Suite::Bots,
+            model: crate::bots::sort::model,
+        },
+        AppSpec {
+            name: "strassen",
+            suite: Suite::Bots,
+            model: crate::bots::strassen::model,
+        },
+        AppSpec {
+            name: "xsbench",
+            suite: Suite::Proxy,
+            model: crate::proxy::xsbench::model,
+        },
+        AppSpec {
+            name: "rsbench",
+            suite: Suite::Proxy,
+            model: crate::proxy::rsbench::model,
+        },
+        AppSpec {
+            name: "su3bench",
+            suite: Suite::Proxy,
+            model: crate::proxy::su3bench::model,
+        },
+        AppSpec {
+            name: "lulesh",
+            suite: Suite::Proxy,
+            model: crate::proxy::lulesh::model,
+        },
     ]
 }
 
@@ -92,7 +152,10 @@ pub fn available_on(name: &str, arch: Arch) -> bool {
 
 /// Applications available on `arch`, in catalog order.
 pub fn apps_on(arch: Arch) -> Vec<&'static AppSpec> {
-    apps().iter().filter(|a| available_on(a.name, arch)).collect()
+    apps()
+        .iter()
+        .filter(|a| available_on(a.name, arch))
+        .collect()
 }
 
 /// The settings swept for `app` on `arch` (paper Sec. IV-B).
@@ -100,11 +163,17 @@ pub fn settings_for(app: &AppSpec, arch: Arch) -> Vec<Setting> {
     let cores = arch.cores();
     match app.suite {
         Suite::Npb | Suite::Bots => (0..3)
-            .map(|input_code| Setting { input_code, num_threads: cores })
+            .map(|input_code| Setting {
+                input_code,
+                num_threads: cores,
+            })
             .collect(),
         Suite::Proxy => [cores / 4, cores / 2, cores]
             .into_iter()
-            .map(|num_threads| Setting { input_code: 1, num_threads })
+            .map(|num_threads| Setting {
+                input_code: 1,
+                num_threads,
+            })
             .collect(),
     }
 }

@@ -15,9 +15,9 @@
 //! settings and per-architecture availability (paper Table II).
 
 pub mod bots;
-pub(crate) mod util;
 pub mod catalog;
 pub mod npb;
 pub mod proxy;
+pub(crate) mod util;
 
 pub use catalog::{app, apps, apps_on, available_on, settings_for, AppSpec, Setting, Suite};

@@ -90,8 +90,20 @@ mod tests {
 
     #[test]
     fn model_scales_with_input() {
-        let a = model(Arch::Milan, Setting { input_code: 0, num_threads: 96 });
-        let b = model(Arch::Milan, Setting { input_code: 2, num_threads: 96 });
+        let a = model(
+            Arch::Milan,
+            Setting {
+                input_code: 0,
+                num_threads: 96,
+            },
+        );
+        let b = model(
+            Arch::Milan,
+            Setting {
+                input_code: 2,
+                num_threads: 96,
+            },
+        );
         assert!(b.total_cycles() > 5.0 * a.total_cycles());
     }
 
@@ -106,7 +118,10 @@ mod tests {
             OmpSchedule::Auto,
         ] {
             let got = real::run(&pool, sched, 64, 33);
-            assert!((got - reference).abs() < 1e-9, "{sched:?}: {got} vs {reference}");
+            assert!(
+                (got - reference).abs() < 1e-9,
+                "{sched:?}: {got} vs {reference}"
+            );
         }
     }
 

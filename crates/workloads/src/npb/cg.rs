@@ -88,7 +88,12 @@ pub mod real {
                 }
                 row_ptr.push(col.len());
             }
-            Laplacian2D { n, row_ptr, col, val }
+            Laplacian2D {
+                n,
+                row_ptr,
+                col,
+                val,
+            }
         }
 
         /// Matrix dimension (`n²`).
@@ -97,13 +102,7 @@ pub mod real {
         }
 
         /// Parallel y = A·x.
-        pub fn spmv(
-            &self,
-            pool: &ThreadPool,
-            schedule: OmpSchedule,
-            x: &[f64],
-            y: &mut [f64],
-        ) {
+        pub fn spmv(&self, pool: &ThreadPool, schedule: OmpSchedule, x: &[f64], y: &mut [f64]) {
             assert_eq!(x.len(), self.dim());
             assert_eq!(y.len(), self.dim());
             let yp = crate::util::SharedMut::new(y);
@@ -176,8 +175,20 @@ mod tests {
 
     #[test]
     fn model_cv_grows_with_input() {
-        let small = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
-        let large = model(Arch::A64fx, Setting { input_code: 2, num_threads: 48 });
+        let small = model(
+            Arch::A64fx,
+            Setting {
+                input_code: 0,
+                num_threads: 48,
+            },
+        );
+        let large = model(
+            Arch::A64fx,
+            Setting {
+                input_code: 2,
+                num_threads: 48,
+            },
+        );
         let cv = |m: &Model| match &m.phases[0] {
             Phase::Loop(l) => match l.imbalance {
                 Imbalance::Random { cv } => cv,
@@ -194,7 +205,10 @@ mod tests {
         let pool = ThreadPool::with_defaults(4);
         let res0 = real::run(&pool, OmpSchedule::Static, ReductionMethod::Tree, &a, 1);
         let res40 = real::run(&pool, OmpSchedule::Static, ReductionMethod::Tree, &a, 40);
-        assert!(res40 < res0 * 1e-6, "CG failed to converge: {res0} -> {res40}");
+        assert!(
+            res40 < res0 * 1e-6,
+            "CG failed to converge: {res0} -> {res40}"
+        );
     }
 
     #[test]
@@ -205,7 +219,11 @@ mod tests {
             let p1 = ThreadPool::with_defaults(1);
             real::run(&p1, OmpSchedule::Static, ReductionMethod::None, &a, 15)
         };
-        for sched in [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided] {
+        for sched in [
+            OmpSchedule::Static,
+            OmpSchedule::Dynamic,
+            OmpSchedule::Guided,
+        ] {
             for method in [
                 ReductionMethod::Tree,
                 ReductionMethod::Critical,

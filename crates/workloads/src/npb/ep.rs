@@ -97,7 +97,13 @@ mod tests {
 
     #[test]
     fn model_is_single_region() {
-        let m = model(Arch::Skylake, Setting { input_code: 1, num_threads: 40 });
+        let m = model(
+            Arch::Skylake,
+            Setting {
+                input_code: 1,
+                num_threads: 40,
+            },
+        );
         assert_eq!(m.region_count(), 1);
     }
 }

@@ -25,7 +25,12 @@ pub fn model(_arch: Arch, setting: Setting) -> Model {
     Model {
         name: "ft".into(),
         // x/y passes stream moderately; the z transpose is brutal.
-        phases: vec![pass(240.0), pass(240.0), pass(480.0), Phase::Serial { ns: 6_000.0 }],
+        phases: vec![
+            pass(240.0),
+            pass(240.0),
+            pass(480.0),
+            Phase::Serial { ns: 6_000.0 },
+        ],
         timesteps: 20,
         migration_sensitivity: 0.0,
     }
@@ -150,7 +155,13 @@ mod tests {
 
     #[test]
     fn model_has_three_passes_per_step() {
-        let m = model(Arch::Milan, Setting { input_code: 0, num_threads: 96 });
+        let m = model(
+            Arch::Milan,
+            Setting {
+                input_code: 0,
+                num_threads: 96,
+            },
+        );
         assert_eq!(m.region_count(), 60);
     }
 

@@ -49,8 +49,7 @@ pub mod real {
                 unsafe {
                     let get = |r: usize, c: usize| up.get(r * n + c);
                     let v = 0.25
-                        * (get(i - 1, j) + get(i + 1, j) + get(i, j - 1) + get(i, j + 1)
-                            + 1.0);
+                        * (get(i - 1, j) + get(i + 1, j) + get(i, j - 1) + get(i, j + 1) + 1.0);
                     up.set(k, v);
                 }
             });
@@ -135,7 +134,13 @@ mod tests {
 
     #[test]
     fn model_region_count() {
-        let m = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
+        let m = model(
+            Arch::A64fx,
+            Setting {
+                input_code: 0,
+                num_threads: 48,
+            },
+        );
         assert_eq!(m.region_count(), 240);
     }
 }

@@ -177,7 +177,13 @@ mod tests {
 
     #[test]
     fn model_levels_shrink_geometrically() {
-        let m = model(Arch::A64fx, Setting { input_code: 0, num_threads: 48 });
+        let m = model(
+            Arch::A64fx,
+            Setting {
+                input_code: 0,
+                num_threads: 48,
+            },
+        );
         let sizes: Vec<u64> = m
             .phases
             .iter()

@@ -26,11 +26,11 @@ pub fn model(_arch: Arch, setting: Setting) -> Model {
     Model {
         name: "lulesh".into(),
         phases: vec![
-            elem(91_125, 950.0, 40.0),  // stress integration
+            elem(91_125, 950.0, 40.0),   // stress integration
             elem(91_125, 1_400.0, 64.0), // hourglass force
             Phase::Serial { ns: 2_500.0 },
-            elem(97_336, 420.0, 48.0),  // node acceleration/velocity
-            elem(91_125, 800.0, 36.0),  // volume/energy update
+            elem(97_336, 420.0, 48.0), // node acceleration/velocity
+            elem(91_125, 800.0, 36.0), // volume/energy update
             Phase::Loop(LoopPhase {
                 iters: 91_125,
                 cycles_per_iter: 160.0,
@@ -73,7 +73,9 @@ pub mod real {
             State {
                 x: (0..=n).map(|i| i as f64 / n as f64).collect(),
                 v: vec![0.0; n + 1],
-                e: (0..n).map(|i| if i < n / 10 { 10.0 } else { 1.0 }).collect(),
+                e: (0..n)
+                    .map(|i| if i < n / 10 { 10.0 } else { 1.0 })
+                    .collect(),
                 m: vec![1.0 / n as f64; n],
                 gamma: 1.4,
             }
@@ -133,7 +135,11 @@ pub mod real {
                 let fp = crate::util::SharedMut::new(&mut force);
                 let this: &State = self;
                 parallel_for(pool, sched, n + 1, |i| {
-                    let p_left = if i == 0 { this.pressure(0) } else { this.pressure(i - 1) };
+                    let p_left = if i == 0 {
+                        this.pressure(0)
+                    } else {
+                        this.pressure(i - 1)
+                    };
                     let p_right = if i == n { 0.0 } else { this.pressure(i) };
                     unsafe { fp.set(i, p_left - p_right) };
                 });
@@ -240,12 +246,21 @@ mod tests {
         }
         let e1 = s.total_energy(&pool, OmpSchedule::Static);
         // Explicit scheme with boundary work: allow a loose budget.
-        assert!(e1 > 0.5 * e0 && e1 < 1.5 * e0, "energy blew up: {e0} -> {e1}");
+        assert!(
+            e1 > 0.5 * e0 && e1 < 1.5 * e0,
+            "energy blew up: {e0} -> {e1}"
+        );
     }
 
     #[test]
     fn model_is_region_rich() {
-        let m = model(Arch::Skylake, Setting { input_code: 1, num_threads: 40 });
+        let m = model(
+            Arch::Skylake,
+            Setting {
+                input_code: 1,
+                num_threads: 40,
+            },
+        );
         assert!(m.region_count() >= 150, "LULESH needs many regions");
     }
 }

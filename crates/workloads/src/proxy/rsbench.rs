@@ -18,7 +18,9 @@ pub fn model(_arch: Arch, setting: Setting) -> Model {
             iters: 3_000_000,
             cycles_per_iter: 1_750.0,
             bytes_per_iter: 0.0,
-            access: AccessPattern::RandomShared { accesses_per_iter: 1.1 },
+            access: AccessPattern::RandomShared {
+                accesses_per_iter: 1.1,
+            },
             imbalance: Imbalance::Uniform,
             reductions: 1,
         })],
@@ -111,7 +113,10 @@ mod tests {
     #[test]
     fn xs_eval_single_pole_analytic() {
         // One pole at (1, 1) with residue (1, 0), E = 0: value = |1/(1+1)| · re(1 - 0i ... )
-        let p = real::Pole { pos: (1.0, 1.0), res: (1.0, 0.0) };
+        let p = real::Pole {
+            pos: (1.0, 1.0),
+            res: (1.0, 0.0),
+        };
         // re(r/(p)) with p = 1 + i: r/(p) = (1)(1) + 0·1 / 2 = 0.5
         assert!((real::xs_eval(&[p], 0.0) - 0.5).abs() < 1e-12);
     }
@@ -129,7 +134,13 @@ mod tests {
 
     #[test]
     fn model_compute_dominates_latency() {
-        let m = model(Arch::Milan, Setting { input_code: 1, num_threads: 96 });
+        let m = model(
+            Arch::Milan,
+            Setting {
+                input_code: 1,
+                num_threads: 96,
+            },
+        );
         match &m.phases[0] {
             Phase::Loop(l) => {
                 // Compute cycles dwarf memory accesses per iteration —

@@ -154,7 +154,13 @@ mod tests {
 
     #[test]
     fn model_is_bandwidth_bound() {
-        let m = model(Arch::Milan, Setting { input_code: 1, num_threads: 96 });
+        let m = model(
+            Arch::Milan,
+            Setting {
+                input_code: 1,
+                num_threads: 96,
+            },
+        );
         match &m.phases[0] {
             Phase::Loop(l) => {
                 // Bytes per iteration dominate the compute at DDR4 rates.

@@ -20,7 +20,9 @@ pub fn model(_arch: Arch, setting: Setting) -> Model {
             iters: 8_000_000,
             cycles_per_iter: 95.0,
             bytes_per_iter: 0.0,
-            access: AccessPattern::RandomShared { accesses_per_iter: 6.5 },
+            access: AccessPattern::RandomShared {
+                accesses_per_iter: 6.5,
+            },
             imbalance: Imbalance::Uniform,
             reductions: 1,
         })],
@@ -65,18 +67,29 @@ pub mod real {
             let xs = (0..points * nuclides)
                 .map(|k| uniform(0xC0FFEE ^ k as u64) * 10.0)
                 .collect();
-            Grid { energies, xs, nuclides }
+            Grid {
+                energies,
+                xs,
+                nuclides,
+            }
         }
 
         /// Macroscopic cross-section at energy `e`: binary search + linear
         /// interpolation, summed over all nuclides.
         pub fn lookup(&self, e: f64) -> f64 {
-            let hi = self.energies.partition_point(|&g| g < e).clamp(1, self.energies.len() - 1);
+            let hi = self
+                .energies
+                .partition_point(|&g| g < e)
+                .clamp(1, self.energies.len() - 1);
             let lo = hi - 1;
             let (e0, e1) = (self.energies[lo], self.energies[hi]);
             // Clamp out-of-grid energies to the boundary values instead of
             // extrapolating (real XSBench grids cover the sampled range).
-            let f = if e1 > e0 { ((e - e0) / (e1 - e0)).clamp(0.0, 1.0) } else { 0.0 };
+            let f = if e1 > e0 {
+                ((e - e0) / (e1 - e0)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             let mut total = 0.0;
             for n in 0..self.nuclides {
                 let x0 = self.xs[lo * self.nuclides + n];
@@ -112,7 +125,7 @@ mod tests {
         // Every lookup is a finite positive sum of 4 interpolants ≤ 40.
         for k in 0..100 {
             let v = grid.lookup(k as f64 / 100.0);
-            assert!(v.is_finite() && v >= 0.0 && v <= 40.0, "v={v}");
+            assert!(v.is_finite() && (0.0..=40.0).contains(&v), "v={v}");
         }
     }
 
@@ -136,7 +149,13 @@ mod tests {
 
     #[test]
     fn model_is_migration_sensitive_single_region() {
-        let m = model(Arch::Milan, Setting { input_code: 1, num_threads: 96 });
+        let m = model(
+            Arch::Milan,
+            Setting {
+                input_code: 1,
+                num_threads: 96,
+            },
+        );
         assert_eq!(m.region_count(), 1);
         assert_eq!(m.migration_sensitivity, 1.0);
     }

@@ -24,7 +24,10 @@ unsafe impl<T: Send> Sync for SharedMut<T> {}
 impl<T> SharedMut<T> {
     /// Wrap a slice for disjoint writes.
     pub fn new(data: &mut [T]) -> SharedMut<T> {
-        SharedMut { ptr: data.as_mut_ptr(), len: data.len() }
+        SharedMut {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+        }
     }
 
     /// Write element `i`.

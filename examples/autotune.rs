@@ -7,8 +7,8 @@
 //! (defaults: cg on milan)
 
 use omptune::core::{
-    hill_climb, influence_analysis, influence_order, random_search, Arch, ConfigSpace,
-    GroupBy, TuningConfig, Variable,
+    hill_climb, influence_analysis, influence_order, random_search, Arch, ConfigSpace, GroupBy,
+    TuningConfig, Variable,
 };
 use omptune::data::{Dataset, Scope, SweepSpec};
 
@@ -20,9 +20,15 @@ fn main() {
         .and_then(|s| Arch::from_id(s))
         .unwrap_or(Arch::Milan);
     let app = omptune::apps::app(app_name).expect("known app");
-    assert!(omptune::apps::available_on(app.name, arch), "{app_name} not run on {arch}");
+    assert!(
+        omptune::apps::available_on(app.name, arch),
+        "{app_name} not run on {arch}"
+    );
 
-    let setting = omptune::apps::Setting { input_code: 1, num_threads: arch.cores() };
+    let setting = omptune::apps::Setting {
+        input_code: 1,
+        num_threads: arch.cores(),
+    };
     let model = (app.model)(arch, setting);
     let objective = |c: &TuningConfig| omptune::sim::simulate(arch, c, &model, 0).total_ns;
 
@@ -44,7 +50,12 @@ fn main() {
 
     // Influence-guided variable order from a small pilot sweep.
     println!("pilot sweep for influence ordering ...");
-    let spec = SweepSpec { scope: Scope::Strided(64), reps: 1, seed: 13, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        scope: Scope::Strided(64),
+        reps: 1,
+        seed: 13,
+        ..SweepSpec::default()
+    };
     let mut batches = vec![omptune::data::sweep_setting(arch, app, setting, 0, &spec)];
     omptune::data::clean(&mut batches[0], 1);
     let ds = Dataset::build(&batches);
@@ -56,11 +67,23 @@ fn main() {
     let start = TuningConfig::default_for(arch, arch.cores());
     let budget = 120;
     let runs = [
-        ("hill-climb (influence-guided)", hill_climb(arch, start, &guided, budget, objective)),
-        ("hill-climb (declaration order)", hill_climb(arch, start, &Variable::ALL, budget, objective)),
-        ("random search", random_search(arch, arch.cores(), 7, budget, objective)),
+        (
+            "hill-climb (influence-guided)",
+            hill_climb(arch, start, &guided, budget, objective),
+        ),
+        (
+            "hill-climb (declaration order)",
+            hill_climb(arch, start, &Variable::ALL, budget, objective),
+        ),
+        (
+            "random search",
+            random_search(arch, arch.cores(), 7, budget, objective),
+        ),
     ];
-    println!("{:<32} {:>8} {:>12} {:>18}", "strategy", "evals", "best (s)", "evals to <=1.02*opt");
+    println!(
+        "{:<32} {:>8} {:>12} {:>18}",
+        "strategy", "evals", "best (s)", "evals to <=1.02*opt"
+    );
     for (name, r) in &runs {
         let to_opt = omptune::core::tuner::evals_to_within(&r.trajectory, optimum, 1.02)
             .map(|e| e.to_string())

@@ -14,12 +14,18 @@ fn main() {
         .and_then(|s| Arch::from_id(s))
         .unwrap_or(Arch::A64fx);
     let app = omptune::apps::app(app_name).expect("known app");
-    let setting = omptune::apps::Setting { input_code: 0, num_threads: arch.cores() };
+    let setting = omptune::apps::Setting {
+        input_code: 0,
+        num_threads: arch.cores(),
+    };
     let model = (app.model)(arch, setting);
 
     let default = TuningConfig::default_for(arch, arch.cores());
     println!("=== {app_name} on {arch}, default configuration ===");
-    println!("{}", omptune::sim::explain(arch, &default, &model, 0).render());
+    println!(
+        "{}",
+        omptune::sim::explain(arch, &default, &model, 0).render()
+    );
 
     let tuned = TuningConfig {
         library: KmpLibrary::Turnaround,

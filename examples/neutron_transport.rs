@@ -14,11 +14,14 @@ fn main() {
     let lookups = 300_000;
     for threads in [1usize, 2, 4] {
         let pool = ThreadPool::with_defaults(threads);
-        for schedule in [OmpSchedule::Static, OmpSchedule::Dynamic, OmpSchedule::Guided] {
+        for schedule in [
+            OmpSchedule::Static,
+            OmpSchedule::Dynamic,
+            OmpSchedule::Guided,
+        ] {
             let t0 = Instant::now();
-            let checksum = omptune::apps::proxy::xsbench::real::run(
-                &pool, schedule, &grid, lookups,
-            );
+            let checksum =
+                omptune::apps::proxy::xsbench::real::run(&pool, schedule, &grid, lookups);
             println!(
                 "real xsbench: {threads} threads {schedule:?}: checksum {checksum:.3} in {:?}",
                 t0.elapsed()
@@ -37,12 +40,18 @@ fn main() {
     println!("\nsimulated binding speedups for xsbench (paper Table V):");
     let app = omptune::apps::app("xsbench").expect("registered");
     for arch in Arch::ALL {
-        let setting = omptune::apps::Setting { input_code: 1, num_threads: arch.cores() };
+        let setting = omptune::apps::Setting {
+            input_code: 1,
+            num_threads: arch.cores(),
+        };
         let model = (app.model)(arch, setting);
         let default = TuningConfig::default_for(arch, arch.cores());
         let base = omptune::sim::simulate(arch, &default, &model, 0).seconds();
         let mut best = (1.0f64, default);
-        for config in omptune::core::ConfigSpace::new(arch, arch.cores()).iter().step_by(7) {
+        for config in omptune::core::ConfigSpace::new(arch, arch.cores())
+            .iter()
+            .step_by(7)
+        {
             let t = omptune::sim::simulate(arch, &config, &model, 0).seconds();
             if base / t > best.0 {
                 best = (base / t, config);

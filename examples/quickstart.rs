@@ -43,12 +43,18 @@ fn main() {
             4.0 / (1.0 + x * x)
         },
     ) / n as f64;
-    println!("\nreal runtime  : pi ~= {pi:.9} on {} threads", pool.num_threads());
+    println!(
+        "\nreal runtime  : pi ~= {pi:.9} on {} threads",
+        pool.num_threads()
+    );
 
     // --- 3. Simulate a benchmark under default vs. tuned config. -------
     let app = omptune::apps::app("xsbench").expect("registered");
     for arch in Arch::ALL {
-        let setting = omptune::apps::Setting { input_code: 1, num_threads: arch.cores() };
+        let setting = omptune::apps::Setting {
+            input_code: 1,
+            num_threads: arch.cores(),
+        };
         let model = (app.model)(arch, setting);
         let default = TuningConfig::default_for(arch, arch.cores());
         let tuned = TuningConfig {

@@ -4,9 +4,7 @@
 //! Run with: `cargo run --release --example recommend -- [arch]`
 //! (default: milan)
 
-use omptune::core::{
-    influence_analysis, recommend_for, worst_trends, Arch, Feature, GroupBy,
-};
+use omptune::core::{influence_analysis, recommend_for, worst_trends, Arch, Feature, GroupBy};
 use omptune::data::{Dataset, Scope, SweepSpec};
 
 fn main() {
@@ -16,7 +14,12 @@ fn main() {
         .unwrap_or(Arch::Milan);
 
     println!("collecting data for {} ...", arch.display_name());
-    let spec = SweepSpec { scope: Scope::Strided(16), reps: 3, seed: 3, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        scope: Scope::Strided(16),
+        reps: 3,
+        seed: 3,
+        ..SweepSpec::default()
+    };
     let mut batches = omptune::data::sweep_arch(arch, &spec);
     for b in &mut batches {
         omptune::data::clean(b, spec.reps as usize);
@@ -25,8 +28,8 @@ fn main() {
     println!("{} samples collected\n", dataset.records.len());
 
     // Which variables matter on this architecture?
-    let hm = influence_analysis(&dataset.records, GroupBy::Architecture)
-        .expect("analysis succeeds");
+    let hm =
+        influence_analysis(&dataset.records, GroupBy::Architecture).expect("analysis succeeds");
     let row = hm.row(arch.id()).expect("arch present");
     println!("feature influence on {}:", arch.id());
     let mut ranked: Vec<(Feature, f64)> = hm
@@ -37,7 +40,12 @@ fn main() {
         .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite influence"));
     for (f, v) in &ranked {
-        println!("  {:<20} {:.3} {}", f.name(), v, "#".repeat((v * 40.0) as usize));
+        println!(
+            "  {:<20} {:.3} {}",
+            f.name(),
+            v,
+            "#".repeat((v * 40.0) as usize)
+        );
     }
     println!(
         "(model accuracy {:.2}, optimal fraction {:.2})\n",
@@ -59,7 +67,10 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join(" ")
             };
-            println!("  {:<10} best {:.3}x  ->  {}", app.name, report.best_speedup, advice);
+            println!(
+                "  {:<10} best {:.3}x  ->  {}",
+                app.name, report.best_speedup, advice
+            );
         }
     }
 

@@ -14,8 +14,17 @@ use std::time::Instant;
 fn main() {
     // --- Real task kernels under different wait policies. --------------
     for (label, policy) in [
-        ("throughput/200ms (default)", WaitPolicy::SpinThenSleep { millis: 200, yielding: true }),
-        ("turnaround/infinite", WaitPolicy::Active { yielding: false }),
+        (
+            "throughput/200ms (default)",
+            WaitPolicy::SpinThenSleep {
+                millis: 200,
+                yielding: true,
+            },
+        ),
+        (
+            "turnaround/infinite",
+            WaitPolicy::Active { yielding: false },
+        ),
         ("blocktime 0 (passive)", WaitPolicy::Passive),
     ] {
         let pool = ThreadPool::new(4, policy);
@@ -40,7 +49,10 @@ fn main() {
     println!("\nsimulated KMP_LIBRARY=turnaround speedup for nqueens (paper Table VII):");
     let app = omptune::apps::app("nqueens").expect("registered");
     for arch in Arch::ALL {
-        let setting = omptune::apps::Setting { input_code: 1, num_threads: arch.cores() };
+        let setting = omptune::apps::Setting {
+            input_code: 1,
+            num_threads: arch.cores(),
+        };
         let model = (app.model)(arch, setting);
         let default = TuningConfig::default_for(arch, arch.cores());
         let tuned = TuningConfig {

@@ -19,7 +19,10 @@ fn main() {
     let app = omptune::apps::app(app_name).unwrap_or_else(|| {
         eprintln!(
             "unknown app {app_name}; available: {:?}",
-            omptune::apps::apps().iter().map(|a| a.name).collect::<Vec<_>>()
+            omptune::apps::apps()
+                .iter()
+                .map(|a| a.name)
+                .collect::<Vec<_>>()
         );
         std::process::exit(1);
     });
@@ -29,10 +32,18 @@ fn main() {
     }
 
     // Sweep every 8th configuration of each setting (fast but dense).
-    let spec = SweepSpec { scope: Scope::Strided(8), reps: 3, seed: 1, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        scope: Scope::Strided(8),
+        reps: 3,
+        seed: 1,
+        ..SweepSpec::default()
+    };
     println!("sweeping {app_name} on {arch} ...");
     let mut batches = Vec::new();
-    for (idx, setting) in omptune::apps::settings_for(app, arch).into_iter().enumerate() {
+    for (idx, setting) in omptune::apps::settings_for(app, arch)
+        .into_iter()
+        .enumerate()
+    {
         let batch = omptune::data::sweep_setting(arch, app, setting, idx, &spec);
         println!(
             "  setting input={} threads={}: {} samples, default {:.4}s",

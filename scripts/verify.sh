@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository verification gate: build, tests, formatting, lints.
+#
+# Usage: scripts/verify.sh
+#
+# Run from anywhere; the script cd's to the repo root. Fails fast on the
+# first broken step so CI output points at the culprit.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step cargo build --release --workspace
+step cargo test --workspace -q
+step cargo fmt --all --check
+step cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "verify: all gates passed"

@@ -9,7 +9,12 @@ use omptune::core::{
 use omptune::data::{Dataset, Scope, SweepSpec};
 
 fn small_dataset() -> Dataset {
-    let spec = SweepSpec { scope: Scope::Strided(32), reps: 3, seed: 99, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        scope: Scope::Strided(32),
+        reps: 3,
+        seed: 99,
+        ..SweepSpec::default()
+    };
     let mut batches = omptune::data::sweep_all(&spec);
     for b in &mut batches {
         omptune::data::clean(b, 3);
@@ -33,8 +38,8 @@ fn nqueens_turnaround_is_the_headline_win() {
     // architectures, with speedups 2.342 - 4.851.
     let ds = small_dataset();
     for arch in Arch::ALL {
-        let report = recommend_for(&ds.records, "nqueens", arch, 32, 0.6)
-            .expect("nqueens swept everywhere");
+        let report =
+            recommend_for(&ds.records, "nqueens", arch, 32, 0.6).expect("nqueens swept everywhere");
         assert!(
             report.best_speedup > 2.0 && report.best_speedup < 5.5,
             "{arch}: best {:.3}",
@@ -60,9 +65,21 @@ fn xsbench_binding_wins_only_on_milan() {
             .expect("xsbench present")
             .hi
     };
-    assert!(max_on(Arch::Milan) > 2.0, "milan {:.3}", max_on(Arch::Milan));
-    assert!(max_on(Arch::A64fx) < 1.1, "a64fx {:.3}", max_on(Arch::A64fx));
-    assert!(max_on(Arch::Skylake) < 1.1, "skylake {:.3}", max_on(Arch::Skylake));
+    assert!(
+        max_on(Arch::Milan) > 2.0,
+        "milan {:.3}",
+        max_on(Arch::Milan)
+    );
+    assert!(
+        max_on(Arch::A64fx) < 1.1,
+        "a64fx {:.3}",
+        max_on(Arch::A64fx)
+    );
+    assert!(
+        max_on(Arch::Skylake) < 1.1,
+        "skylake {:.3}",
+        max_on(Arch::Skylake)
+    );
 }
 
 #[test]
@@ -74,7 +91,11 @@ fn architecture_medians_are_ordered_like_the_paper() {
             .expect("arch present")
             .median_improvement
     };
-    let (fx, skl, mil) = (median(Arch::A64fx), median(Arch::Skylake), median(Arch::Milan));
+    let (fx, skl, mil) = (
+        median(Arch::A64fx),
+        median(Arch::Skylake),
+        median(Arch::Milan),
+    );
     assert!(mil > skl, "milan {mil:.3} vs skylake {skl:.3}");
     assert!(mil > fx, "milan {mil:.3} vs a64fx {fx:.3}");
     assert!(fx < 1.12, "a64fx median too high: {fx:.3}");
@@ -110,7 +131,10 @@ fn influence_analysis_ranks_knobs_like_figure3() {
             leaders > get(Feature::AlignAlloc),
             "{arch}: leaders {leaders:.3} vs align_alloc"
         );
-        assert!(get(Feature::AlignAlloc) < 0.08, "{arch}: align influence too high");
+        assert!(
+            get(Feature::AlignAlloc) < 0.08,
+            "{arch}: align influence too high"
+        );
     }
 }
 
@@ -139,8 +163,7 @@ fn linear_regression_fits_poorly_motivating_classification() {
     // confidence scores associated with poor model fitting"), which is
     // why the analysis pivots to the classification surrogate.
     let ds = small_dataset();
-    let fits = omptune::core::linear_fit_quality(&ds.records, GroupBy::Architecture)
-        .expect("fits");
+    let fits = omptune::core::linear_fit_quality(&ds.records, GroupBy::Architecture).expect("fits");
     for (group, r2) in fits {
         assert!(r2 < 0.6, "{group}: OLS unexpectedly good (r2 = {r2:.3})");
     }
@@ -171,7 +194,10 @@ fn real_runtime_and_simulator_agree_on_the_master_bind_trend() {
     assert_eq!(placement.max_oversubscription(Arch::Milan, 96), 96.0);
 
     let app = omptune::apps::app("ep").expect("registered");
-    let setting = omptune::apps::Setting { input_code: 0, num_threads: 96 };
+    let setting = omptune::apps::Setting {
+        input_code: 0,
+        num_threads: 96,
+    };
     let model = (app.model)(Arch::Milan, setting);
     let bad = omptune::sim::simulate(Arch::Milan, &config, &model, 0).seconds();
     let good = omptune::sim::simulate(
@@ -181,5 +207,8 @@ fn real_runtime_and_simulator_agree_on_the_master_bind_trend() {
         0,
     )
     .seconds();
-    assert!(bad > 10.0 * good, "master bind must crater: {bad} vs {good}");
+    assert!(
+        bad > 10.0 * good,
+        "master bind must crater: {bad} vs {good}"
+    );
 }

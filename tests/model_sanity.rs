@@ -55,7 +55,10 @@ fn input_size_scales_runtime_monotonically() {
             // Input-varied apps: later settings are larger classes.
             // Thread-varied apps: later settings have more threads →
             // same-or-less time; skip those.
-            if settings.iter().all(|s| s.num_threads == settings[0].num_threads) {
+            if settings
+                .iter()
+                .all(|s| s.num_threads == settings[0].num_threads)
+            {
                 let times: Vec<f64> = settings.iter().map(|s| default(*s)).collect();
                 for w in times.windows(2) {
                     assert!(
@@ -77,7 +80,10 @@ fn more_threads_never_slow_down_defaults() {
     for arch in Arch::ALL {
         for app in omptune::apps::apps_on(arch) {
             let settings = omptune::apps::settings_for(app, arch);
-            if settings.iter().any(|s| s.num_threads != settings[0].num_threads) {
+            if settings
+                .iter()
+                .any(|s| s.num_threads != settings[0].num_threads)
+            {
                 let times: Vec<f64> = settings
                     .iter()
                     .map(|s| {

@@ -26,7 +26,10 @@ fn cg_converges_under_every_schedule_and_method() {
                 ReductionMethod::Atomic,
             ] {
                 let res = omptune::apps::npb::cg::real::run(&pool, schedule, method, &a, 30);
-                assert!(res < 1e-9, "{threads}t/{schedule:?}/{method:?}: residual {res}");
+                assert!(
+                    res < 1e-9,
+                    "{threads}t/{schedule:?}/{method:?}: residual {res}"
+                );
             }
         }
     }
@@ -36,13 +39,17 @@ fn cg_converges_under_every_schedule_and_method() {
 fn fft_roundtrips_under_every_schedule() {
     let pool = ThreadPool::with_defaults(4);
     for schedule in SCHEDULES {
-        let original: Vec<(f64, f64)> =
-            (0..16 * 32).map(|k| ((k % 7) as f64, (k % 5) as f64)).collect();
+        let original: Vec<(f64, f64)> = (0..16 * 32)
+            .map(|k| ((k % 7) as f64, (k % 5) as f64))
+            .collect();
         let mut data = original.clone();
         omptune::apps::npb::ft::real::fft_pass(&pool, schedule, &mut data, 16, 32, false);
         omptune::apps::npb::ft::real::fft_pass(&pool, schedule, &mut data, 16, 32, true);
         for (a, b) in data.iter().zip(&original) {
-            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9, "{schedule:?}");
+            assert!(
+                (a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9,
+                "{schedule:?}"
+            );
         }
     }
 }
@@ -53,7 +60,10 @@ fn task_kernels_are_wait_policy_invariant() {
     // compute.
     let policies = [
         WaitPolicy::Passive,
-        WaitPolicy::SpinThenSleep { millis: 1, yielding: true },
+        WaitPolicy::SpinThenSleep {
+            millis: 1,
+            yielding: true,
+        },
         WaitPolicy::Active { yielding: false },
     ];
     let mut nq = Vec::new();
@@ -127,7 +137,10 @@ fn alignment_scores_stable_across_pool_sizes() {
     };
     for threads in [2usize, 4] {
         let p = ThreadPool::with_defaults(threads);
-        assert_eq!(omptune::apps::bots::alignment::real::run(&p, 10, 32), score1);
+        assert_eq!(
+            omptune::apps::bots::alignment::real::run(&p, 10, 32),
+            score1
+        );
     }
 }
 

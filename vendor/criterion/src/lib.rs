@@ -1,0 +1,286 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`BenchmarkGroup` API
+//! surface this workspace's benches use, but replaces the statistical
+//! engine with a simple timed loop: each benchmark runs a short warm-up,
+//! then `sample_size` timed batches, and prints the per-iteration mean.
+//! Under `cargo test` (harness-less bench binaries are executed as
+//! tests) every benchmark still runs at least once, so benches act as
+//! smoke tests without taking minutes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience parity with real criterion.
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into_benchmark_id().0, self.settings, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// No-op; summaries print as benches run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_bench(&full, self.settings, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_bench(&full, self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts plain
+/// strings as well.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, f: &mut F) {
+    // Warm-up / calibration: run single iterations until the (capped)
+    // warm-up budget is spent, to size the timed batches.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    let warm_start = Instant::now();
+    let warm_budget = settings.warm_up_time.min(Duration::from_millis(200));
+    loop {
+        f(&mut calib);
+        if warm_start.elapsed() >= warm_budget || calib.samples.len() >= 3 {
+            break;
+        }
+    }
+    let once = calib
+        .samples
+        .first()
+        .copied()
+        .unwrap_or_else(|| warm_start.elapsed());
+
+    // Pick a per-sample iteration count that fits the measurement budget
+    // across all samples, capped to keep `cargo test` runs quick.
+    let budget = settings.measurement_time.max(Duration::from_millis(1));
+    let per_sample = budget / settings.sample_size as u32;
+    let iters = if once.is_zero() {
+        1000
+    } else {
+        (per_sample.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+    };
+    for _ in 0..settings.sample_size {
+        f(&mut b);
+    }
+    let total: Duration = b.samples.iter().sum();
+    let total_iters = iters * b.samples.len().max(1) as u64;
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench: {name:<50} {mean_ns:>14.1} ns/iter ({total_iters} iters)");
+}
+
+/// Define a benchmark group. Both the plain and the struct-like form of
+/// real criterion are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).measurement_time(Duration::from_millis(5));
+        g.bench_function(BenchmarkId::new("id", 3), |b| b.iter(|| black_box(3) * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde` crate's value-model traits
+//! (`Serialize`/`Deserialize`) for the shapes this workspace actually
+//! uses: named-field structs, tuple structs, and enums with unit, tuple,
+//! and struct variants. No `syn`/`quote` — the derive input is parsed
+//! directly from the `proc_macro` token stream and the impls are emitted
+//! as formatted source text.
+//!
+//! Unsupported shapes (generic types, unions) panic at expansion time
+//! with a clear message rather than producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` — arity 1 is treated as a transparent newtype.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "derive: generic types are not supported by the vendored serde_derive (type `{name}`)"
+        );
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("derive: `{other}` is not supported (type `{name}`)"),
+    }
+}
+
+/// Advance past any `#[...]` attributes and a `pub` / `pub(...)` qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip a type expression up to (not including) the next top-level comma.
+/// Only `<`/`>` need explicit depth tracking: parens/brackets arrive as
+/// whole `Group` tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("derive: explicit enum discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn str_value(s: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from(\"{s}\"))")
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "({}, ::serde::Serialize::serialize_value(&self.{f})),",
+                    str_value(f)
+                );
+            }
+            (name, format!("::serde::Value::Map(::std::vec![{entries}])"))
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut items = String::new();
+            for idx in 0..*arity {
+                let _ = write!(items, "::serde::Serialize::serialize_value(&self.{idx}),");
+            }
+            (name, format!("::serde::Value::Seq(::std::vec![{items}])"))
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Unit".to_string()),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(arms, "{name}::{vn} => {},", str_value(vn));
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![({}, \
+                             ::serde::Serialize::serialize_value(__f0))]),",
+                            str_value(vn)
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let mut items = String::new();
+                        for b in &binds {
+                            let _ = write!(items, "::serde::Serialize::serialize_value({b}),");
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![({}, \
+                             ::serde::Value::Seq(::std::vec![{items}]))]),",
+                            binds.join(","),
+                            str_value(vn)
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut entries = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                entries,
+                                "({}, ::serde::Serialize::serialize_value({f})),",
+                                str_value(f)
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![({}, \
+                             ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            fields.join(","),
+                            str_value(vn)
+                        );
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_named_build(path: &str, fields: &[String], map_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let _ = write!(inits, "{f}: ::serde::__field({map_expr}, \"{f}\")?,");
+    }
+    format!("::std::result::Result::Ok({path} {{ {inits} }})")
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let build = gen_named_build(name, fields, "__map");
+            (
+                name,
+                format!(
+                    "let __map = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::expected(\"map\", \"{name}\"))?; {build}"
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut items = String::new();
+            for idx in 0..*arity {
+                let _ = write!(
+                    items,
+                    "::serde::Deserialize::deserialize_value(&__seq[{idx}])?,"
+                );
+            }
+            (
+                name,
+                format!(
+                    "let __seq = __v.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"seq\", \"{name}\"))?; \
+                     if __seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"seq of len {arity}\", \"{name}\")); }} \
+                     ::std::result::Result::Ok({name}({items}))"
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            format!("let _ = __v; ::std::result::Result::Ok({name})"),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut content_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                        // Also accept the map form `{"Variant": null}`.
+                        let _ = write!(
+                            content_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            content_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_value(__content)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let mut items = String::new();
+                        for idx in 0..*arity {
+                            let _ = write!(
+                                items,
+                                "::serde::Deserialize::deserialize_value(&__seq[{idx}])?,"
+                            );
+                        }
+                        let _ = write!(
+                            content_arms,
+                            "\"{vn}\" => {{ let __seq = __content.as_seq().ok_or_else(|| \
+                             ::serde::Error::expected(\"seq\", \"{name}::{vn}\"))?; \
+                             if __seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"seq of len {arity}\", \"{name}::{vn}\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}({items})) }},"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let build = gen_named_build(&format!("{name}::{vn}"), fields, "__vmap");
+                        let _ = write!(
+                            content_arms,
+                            "\"{vn}\" => {{ let __vmap = __content.as_map().ok_or_else(|| \
+                             ::serde::Error::expected(\"map\", \"{name}::{vn}\"))?; {build} }},"
+                        );
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match __v {{ \
+                     ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                       __other => ::std::result::Result::Err(\
+                       ::serde::Error::unknown_variant(__other, \"{name}\")), }}, \
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                       let (__k, __content) = &__entries[0]; \
+                       let __k = __k.as_str().ok_or_else(|| \
+                       ::serde::Error::expected(\"string variant key\", \"{name}\"))?; \
+                       match __k {{ {content_arms} \
+                       __other => ::std::result::Result::Err(\
+                       ::serde::Error::unknown_variant(__other, \"{name}\")), }} }}, \
+                     _ => ::std::result::Result::Err(\
+                       ::serde::Error::expected(\"enum representation\", \"{name}\")), }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
