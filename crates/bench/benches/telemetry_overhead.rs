@@ -1,0 +1,88 @@
+//! Ablation of the `omptel` telemetry cost, on both runtimes.
+//!
+//! The zero-cost-when-disabled claim is the whole design: with no
+//! session active every counter site is one relaxed atomic load and no
+//! clock is ever read. These groups measure that claim directly:
+//!
+//! - `real_idle` / `real_collecting` — a reduction plus a dynamic loop
+//!   on a 4-thread pool, without and with an active telemetry session
+//!   (region profiles, spin/park split, chunk and barrier counters).
+//! - `sim_idle` / `sim_collecting` — one simulated NPB-style run,
+//!   without and with region-profile capture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omprt::{parallel_for, parallel_reduce_sum, ThreadPool};
+use omptune_core::{Arch, OmpSchedule, ReductionMethod, TuningConfig, WaitPolicy};
+use std::hint::black_box;
+
+const LOOP: usize = 2_000;
+
+fn real_workload(pool: &ThreadPool) -> f64 {
+    let sum = parallel_reduce_sum(
+        pool,
+        OmpSchedule::Static,
+        ReductionMethod::Tree,
+        LOOP,
+        |i| i as f64,
+    );
+    parallel_for(pool, OmpSchedule::Dynamic, LOOP, |i| {
+        black_box(i);
+    });
+    sum
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    let pool = ThreadPool::new(4, WaitPolicy::Active { yielding: false });
+    let expect: f64 = (0..LOOP).map(|i| i as f64).sum();
+
+    group.bench_function("real_idle", |b| {
+        b.iter(|| {
+            assert_eq!(real_workload(&pool), expect);
+        });
+    });
+
+    group.bench_function("real_collecting", |b| {
+        b.iter(|| {
+            let session = omptel::session().expect("exclusive session");
+            assert_eq!(real_workload(&pool), expect);
+            let batch = session.finish();
+            black_box(batch.regions.len());
+        });
+    });
+
+    let app = workloads::app("cg").expect("cg registered");
+    let setting = workloads::Setting {
+        input_code: 0,
+        num_threads: 48,
+    };
+    let model = (app.model)(Arch::Milan, setting);
+    let config = TuningConfig::default_for(Arch::Milan, 48);
+
+    group.bench_function("sim_idle", |b| {
+        b.iter(|| {
+            black_box(simrt::simulate(Arch::Milan, &config, &model, 0).total_ns);
+        });
+    });
+
+    group.bench_function("sim_collecting", |b| {
+        b.iter(|| {
+            let session = omptel::session().expect("exclusive session");
+            black_box(simrt::simulate(Arch::Milan, &config, &model, 0).total_ns);
+            let batch = session.finish();
+            black_box(batch.regions.len());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_telemetry_overhead
+}
+criterion_main!(benches);

@@ -51,4 +51,7 @@ pub use report::{
     app_arch_range, app_range, arch_summary, transfer_analysis, ArchSummary, SpeedupRange, Transfer,
 };
 pub use space::{ConfigSpace, TuningSpace};
-pub use tuner::{hill_climb, influence_order, random_search, TuneResult, Variable};
+pub use tuner::{
+    hill_climb, hill_climb_informed, influence_order, random_search, telemetry_order, TuneResult,
+    Variable,
+};

@@ -10,6 +10,23 @@
 use crate::check_event;
 use crate::trace::{self, Event};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Start a barrier wait episode's telemetry clock (None when disabled).
+fn episode_start() -> Option<Instant> {
+    omptel::enabled().then(Instant::now)
+}
+
+/// Record one completed barrier wait episode.
+fn episode_end(start: Option<Instant>) {
+    if let Some(t0) = start {
+        omptel::add(omptel::Counter::BarrierEpisodes, 1);
+        omptel::add(
+            omptel::Counter::BarrierWaitNs,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+}
 
 /// A reusable barrier for a fixed team size.
 pub trait Barrier: Sync {
@@ -48,7 +65,9 @@ impl Barrier for CentralBarrier {
             barrier: self.trace_id,
             team: self.team as u32
         });
+        let tel = episode_start();
         if self.team == 1 {
+            episode_end(tel);
             check_event!(Event::BarrierRelease {
                 barrier: self.trace_id
             });
@@ -63,6 +82,7 @@ impl Barrier for CentralBarrier {
                 std::hint::spin_loop();
             }
         }
+        episode_end(tel);
         check_event!(Event::BarrierRelease {
             barrier: self.trace_id
         });
@@ -132,7 +152,9 @@ impl Barrier for TreeBarrier {
             barrier: self.trace_id,
             team: self.team as u32
         });
+        let tel = episode_start();
         if self.team == 1 {
+            episode_end(tel);
             check_event!(Event::BarrierRelease {
                 barrier: self.trace_id
             });
@@ -166,6 +188,7 @@ impl Barrier for TreeBarrier {
                 std::hint::spin_loop();
             }
         }
+        episode_end(tel);
         check_event!(Event::BarrierRelease {
             barrier: self.trace_id
         });

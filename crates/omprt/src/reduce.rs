@@ -108,6 +108,19 @@ impl Reducer {
     /// only need the caller's trailing barrier for result visibility.
     pub fn combine(&self, tid: usize, partial: f64, barrier: &dyn Barrier) {
         debug_assert!(tid < self.team);
+        if tid == 0 {
+            // One count per reduction, recording which path was taken
+            // (the KMP_FORCE_REDUCTION outcome).
+            let counter = match self.method {
+                ReductionMethod::Tree => Some(omptel::Counter::ReduceTree),
+                ReductionMethod::Critical => Some(omptel::Counter::ReduceCritical),
+                ReductionMethod::Atomic => Some(omptel::Counter::ReduceAtomic),
+                ReductionMethod::None => None,
+            };
+            if let Some(c) = counter {
+                omptel::add(c, 1);
+            }
+        }
         match self.method {
             ReductionMethod::None => {
                 debug_assert_eq!(self.team, 1, "None method requires a single thread");

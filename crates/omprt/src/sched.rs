@@ -91,6 +91,7 @@ impl DynamicDispatcher {
             return None;
         }
         let hi = (lo + self.chunk).min(self.total);
+        omptel::add(omptel::Counter::ChunksDynamic, 1);
         check_event!(Event::ChunkClaim {
             loop_id: self.trace_id,
             lo,
@@ -134,6 +135,7 @@ impl GuidedDispatcher {
                 .compare_exchange_weak(lo, hi, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
+                omptel::add(omptel::Counter::ChunksGuided, 1);
                 check_event!(Event::ChunkClaim {
                     loop_id: self.trace_id,
                     lo,

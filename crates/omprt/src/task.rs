@@ -47,6 +47,7 @@ struct JobRef {
 /// Same contract as calling `job.execute` directly: `data` must point at
 /// a live, not-yet-executed `StackJob`.
 unsafe fn run_job(job: JobRef) {
+    omptel::add(omptel::Counter::TasksExecuted, 1);
     if job.trace_id != 0 {
         trace::emit(Event::TaskStart { task: job.trace_id });
     }
@@ -159,6 +160,7 @@ impl ExecCtx {
             loop {
                 match arena.stealers[victim].steal() {
                     Steal::Success(job) => {
+                        omptel::add(omptel::Counter::Steals, 1);
                         if job.trace_id != 0 {
                             trace::emit(Event::TaskSteal { task: job.trace_id });
                         }
@@ -168,6 +170,10 @@ impl ExecCtx {
                     Steal::Retry => continue,
                 }
             }
+        }
+        // A full probe round over every victim found nothing.
+        if n > 1 {
+            omptel::add(omptel::Counter::StealFails, 1);
         }
         None
     }
@@ -188,6 +194,7 @@ where
             let task = trace::live_id();
             let job_b = StackJob::new(b, task);
             let job_ref = job_b.as_job_ref();
+            omptel::add(omptel::Counter::TasksSpawned, 1);
             if task != 0 {
                 trace::emit(Event::TaskSpawn { task });
             }

@@ -17,7 +17,11 @@ use omptune_core::{OmpSchedule, ReductionMethod};
 /// assignments are disjoint across every schedule, not just the
 /// dispatcher-based ones (which log their own claims).
 fn trace_static_chunk(loop_id: u64, range: &std::ops::Range<usize>) {
-    if loop_id != 0 && !range.is_empty() {
+    if range.is_empty() {
+        return;
+    }
+    omptel::add(omptel::Counter::ChunksStatic, 1);
+    if loop_id != 0 {
         trace::emit(Event::ChunkClaim {
             loop_id,
             lo: range.start,

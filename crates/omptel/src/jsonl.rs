@@ -1,0 +1,82 @@
+//! JSON-lines exporter: one [`Record`] per line, readable back into the
+//! same records (and from there into a [`crate::Summary`]).
+
+use crate::schema::Record;
+use std::io::{self, Write};
+
+/// Serialize records one-per-line.
+pub fn write_records<W: Write>(records: &[Record], out: &mut W) -> io::Result<()> {
+    for r in records {
+        let line = serde_json::to_string(r).map_err(io::Error::other)?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Records as one JSON-lines string.
+pub fn records_to_string(records: &[Record]) -> String {
+    let mut buf = Vec::new();
+    write_records(records, &mut buf).expect("write to Vec cannot fail");
+    String::from_utf8(buf).expect("serde_json emits UTF-8")
+}
+
+/// Parse a JSON-lines export back into records. Blank lines are
+/// ignored; any malformed line is an error.
+pub fn read_records(text: &str) -> Result<Vec<Record>, serde_json::Error> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Breakdown, CounterSnapshot, RegionKind, RegionProfile, ThreadProfile};
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Region(RegionProfile {
+                name: "cg/conj_grad".into(),
+                kind: RegionKind::Loop,
+                begin_ns: 120.5,
+                total_ns: 1000.0,
+                breakdown: Breakdown {
+                    compute_ns: 700.0,
+                    memory_ns: 100.0,
+                    imbalance_ns: 200.0,
+                    ..Breakdown::default()
+                },
+                threads: vec![ThreadProfile {
+                    thread: 0,
+                    busy_ns: 700.0,
+                    wait_ns: 300.0,
+                    wake_ns: 0.0,
+                    oversub: 1.0,
+                }],
+            }),
+            Record::Counters(CounterSnapshot {
+                values: vec![1, 0, 0, 0, 0, 4],
+            }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_records() {
+        let records = sample_records();
+        let text = records_to_string(&records);
+        assert_eq!(text.lines().count(), records.len());
+        let back = read_records(&text).expect("parse back");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated_garbage_is_not() {
+        let text = records_to_string(&sample_records());
+        let padded = format!("\n{text}\n\n");
+        assert_eq!(read_records(&padded).unwrap().len(), 2);
+        assert!(read_records("not json\n").is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! A rate/ETA progress meter for long sweeps.
+//!
+//! Thread-safe: any number of workers call [`Progress::inc`]; rendering
+//! is throttled and serialized so lines never interleave (the
+//! `sweep::collect` bug this replaces). The sink is pluggable so tests
+//! can capture output instead of writing to stderr.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+enum Sink {
+    /// `\r`-refreshed stderr line.
+    Stderr,
+    /// Captured lines, for tests and quiet runs.
+    Buffer(Vec<String>),
+    /// Swallow everything.
+    Null,
+}
+
+/// Shared progress state for one labelled phase of work.
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    /// Millisecond timestamp (since `started`) of the last render.
+    last_render_ms: AtomicU64,
+    sink: Mutex<Sink>,
+}
+
+/// Minimum milliseconds between renders.
+const THROTTLE_MS: u64 = 100;
+
+impl Progress {
+    fn new(label: &str, total: u64, sink: Sink) -> Progress {
+        Progress {
+            label: label.to_string(),
+            total,
+            done: AtomicU64::new(0),
+            started: Instant::now(),
+            last_render_ms: AtomicU64::new(0),
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// Meter that refreshes a single stderr line.
+    pub fn stderr(label: &str, total: u64) -> Progress {
+        Progress::new(label, total, Sink::Stderr)
+    }
+
+    /// Meter that captures rendered lines in memory.
+    pub fn buffered(label: &str, total: u64) -> Progress {
+        Progress::new(label, total, Sink::Buffer(Vec::new()))
+    }
+
+    /// Meter that renders nothing (still tracks counts and elapsed).
+    pub fn quiet(label: &str, total: u64) -> Progress {
+        Progress::new(label, total, Sink::Null)
+    }
+
+    /// Record `n` finished work items; renders at most every
+    /// [`THROTTLE_MS`] (always on completion).
+    pub fn inc(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_render_ms.load(Ordering::Relaxed);
+        let due = done >= self.total || now_ms.saturating_sub(last) >= THROTTLE_MS;
+        if !due {
+            return;
+        }
+        // One renderer at a time; losers of the race skip (their update
+        // is covered by the winner's line).
+        if self
+            .last_render_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.emit(self.render(done), false);
+    }
+
+    /// Completed count so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since the meter was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn render(&self, done: u64) -> String {
+        let elapsed = self.elapsed_s();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 && done < self.total {
+            (self.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let pct = if self.total > 0 {
+            100.0 * done as f64 / self.total as f64
+        } else {
+            100.0
+        };
+        format!(
+            "{}: {}/{} ({:.0}%) {:.1}/s eta {:.0}s",
+            self.label, done, self.total, pct, rate, eta
+        )
+    }
+
+    fn emit(&self, line: String, terminal: bool) {
+        let mut sink = self.sink.lock().expect("progress sink poisoned");
+        match &mut *sink {
+            Sink::Stderr => {
+                if terminal {
+                    eprintln!("\r{line}");
+                } else {
+                    eprint!("\r{line}");
+                }
+            }
+            Sink::Buffer(lines) => lines.push(line),
+            Sink::Null => {}
+        }
+    }
+
+    /// Emit the final newline-terminated summary line and return it.
+    pub fn finish(&self) -> String {
+        let done = self.done();
+        let elapsed = self.elapsed_s();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let line = format!(
+            "{}: {} done in {:.2}s ({:.1}/s)",
+            self.label, done, elapsed, rate
+        );
+        self.emit(line.clone(), true);
+        line
+    }
+
+    /// Captured lines, when the sink is a buffer.
+    pub fn buffered_lines(&self) -> Option<Vec<String>> {
+        match &*self.sink.lock().expect("progress sink poisoned") {
+            Sink::Buffer(lines) => Some(lines.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_finishes() {
+        let p = Progress::buffered("phase", 10);
+        for _ in 0..10 {
+            p.inc(1);
+        }
+        assert_eq!(p.done(), 10);
+        let line = p.finish();
+        assert!(line.contains("phase: 10 done"), "{line}");
+        let lines = p.buffered_lines().unwrap();
+        // Completion always renders: at least the 100 % line + summary.
+        assert!(lines.len() >= 2, "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("(100%)")), "{lines:?}");
+    }
+
+    #[test]
+    fn renders_rate_and_eta_fields() {
+        let p = Progress::buffered("x", 4);
+        p.inc(4);
+        let lines = p.buffered_lines().unwrap();
+        let line = lines.last().unwrap();
+        assert!(line.contains("/s"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let p = std::sync::Arc::new(Progress::buffered("par", 4000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = std::sync::Arc::clone(&p);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        p.inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 4000);
+    }
+
+    #[test]
+    fn quiet_sink_tracks_without_output() {
+        let p = Progress::quiet("q", 2);
+        p.inc(2);
+        assert_eq!(p.done(), 2);
+        assert!(p.buffered_lines().is_none());
+        assert!(p.finish().contains("q: 2 done"));
+    }
+}

@@ -1,0 +1,353 @@
+//! The telemetry schema: counters, time-sink categories, and the
+//! region/thread profile records shared by both runtimes.
+//!
+//! The same [`RegionProfile`]/[`ThreadProfile`] shapes describe a real
+//! `omprt` parallel region (wall-clock nanoseconds) and a simulated
+//! `simrt` region (virtual nanoseconds), mirroring how an OMPT tool sees
+//! libomp and a simulator through one callback vocabulary. The invariant
+//! every producer must uphold: the seven [`Breakdown`] components of a
+//! region **sum exactly to the region's total elapsed time** — whatever
+//! the producer cannot attribute goes into `imbalance_ns`, never into
+//! thin air.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic event counters, one atomic slot each (see
+/// [`crate::add`]). The set mirrors the OMPT callbacks libomp exposes
+/// for the tuning variables the paper sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Parallel regions forked (real runtime) or simulated.
+    Regions = 0,
+    /// Successful task steals (`omprt::task`).
+    Steals,
+    /// Full failed probe rounds over every victim deque.
+    StealFails,
+    /// Tasks forked via `join`.
+    TasksSpawned,
+    /// Task bodies executed (inline pops + steals).
+    TasksExecuted,
+    /// Statically-assigned chunks handed to threads.
+    ChunksStatic,
+    /// Chunks claimed from the dynamic shared-counter dispatcher.
+    ChunksDynamic,
+    /// Chunks claimed from the guided dispatcher.
+    ChunksGuided,
+    /// Barrier wait episodes (one per thread per barrier).
+    BarrierEpisodes,
+    /// Nanoseconds threads spent inside barrier waits.
+    BarrierWaitNs,
+    /// Nanoseconds workers spent spinning between regions
+    /// (`KMP_BLOCKTIME` budget being burned).
+    SpinNs,
+    /// Nanoseconds workers spent parked on the pool condvar after the
+    /// blocktime expired.
+    ParkNs,
+    /// Times a worker had to be woken from a park (cold region starts).
+    Wakeups,
+    /// Reductions combined via the tree path.
+    ReduceTree,
+    /// Reductions combined via the critical-section path.
+    ReduceCritical,
+    /// Reductions combined via the atomic path.
+    ReduceAtomic,
+}
+
+impl Counter {
+    /// Number of counters; sizes the registry array.
+    pub const COUNT: usize = 16;
+
+    /// Every counter, in slot order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Regions,
+        Counter::Steals,
+        Counter::StealFails,
+        Counter::TasksSpawned,
+        Counter::TasksExecuted,
+        Counter::ChunksStatic,
+        Counter::ChunksDynamic,
+        Counter::ChunksGuided,
+        Counter::BarrierEpisodes,
+        Counter::BarrierWaitNs,
+        Counter::SpinNs,
+        Counter::ParkNs,
+        Counter::Wakeups,
+        Counter::ReduceTree,
+        Counter::ReduceCritical,
+        Counter::ReduceAtomic,
+    ];
+
+    /// Stable lower-snake name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Regions => "regions",
+            Counter::Steals => "steals",
+            Counter::StealFails => "steal_fails",
+            Counter::TasksSpawned => "tasks_spawned",
+            Counter::TasksExecuted => "tasks_executed",
+            Counter::ChunksStatic => "chunks_static",
+            Counter::ChunksDynamic => "chunks_dynamic",
+            Counter::ChunksGuided => "chunks_guided",
+            Counter::BarrierEpisodes => "barrier_episodes",
+            Counter::BarrierWaitNs => "barrier_wait_ns",
+            Counter::SpinNs => "spin_ns",
+            Counter::ParkNs => "park_ns",
+            Counter::Wakeups => "wakeups",
+            Counter::ReduceTree => "reduce_tree",
+            Counter::ReduceCritical => "reduce_critical",
+            Counter::ReduceAtomic => "reduce_atomic",
+        }
+    }
+}
+
+/// A point-in-time copy of every counter slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Indexed by `Counter as usize`; may be empty (all zero) or shorter
+    /// than [`Counter::COUNT`] when deserialized from an older export.
+    pub values: Vec<u64>,
+}
+
+impl CounterSnapshot {
+    /// Value of one counter (0 when the slot is absent).
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values.get(c as usize).copied().unwrap_or(0)
+    }
+
+    /// Element-wise sum; the result covers the union of present slots.
+    pub fn merge(&self, other: &CounterSnapshot) -> CounterSnapshot {
+        let n = self.values.len().max(other.values.len());
+        let mut values = vec![0u64; n];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.values.get(i).copied().unwrap_or(0)
+                + other.values.get(i).copied().unwrap_or(0);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// True when every slot is zero.
+    pub fn is_empty(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+}
+
+/// Where a region's time went. Every component in nanoseconds (wall or
+/// virtual, depending on the producing runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sink {
+    /// Useful, perfectly-parallel compute.
+    Compute,
+    /// Memory stalls (bandwidth and latency).
+    Memory,
+    /// Fork, barrier, and reduction synchronization.
+    Sync,
+    /// Wake-up latency of parked/blocked workers at region start.
+    Wake,
+    /// Chunk dispatch and task administration.
+    Dispatch,
+    /// Serial (non-parallel) sections.
+    Serial,
+    /// Load-imbalance / barrier-wait idle time: elapsed region time not
+    /// attributable to any productive component.
+    Imbalance,
+}
+
+impl Sink {
+    /// Every sink, in display order.
+    pub const ALL: [Sink; 7] = [
+        Sink::Compute,
+        Sink::Memory,
+        Sink::Sync,
+        Sink::Wake,
+        Sink::Dispatch,
+        Sink::Serial,
+        Sink::Imbalance,
+    ];
+
+    /// Human-readable label used by `omptel-report`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sink::Compute => "compute",
+            Sink::Memory => "memory stall",
+            Sink::Sync => "sync (fork/barrier/reduction)",
+            Sink::Wake => "wake-up latency",
+            Sink::Dispatch => "chunk/task dispatch",
+            Sink::Serial => "serial sections",
+            Sink::Imbalance => "barrier/imbalance wait",
+        }
+    }
+}
+
+/// Per-region time breakdown, one slot per [`Sink`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    pub compute_ns: f64,
+    pub memory_ns: f64,
+    pub sync_ns: f64,
+    pub wake_ns: f64,
+    pub dispatch_ns: f64,
+    pub serial_ns: f64,
+    pub imbalance_ns: f64,
+}
+
+impl Breakdown {
+    /// Component value for a sink.
+    pub fn get(&self, sink: Sink) -> f64 {
+        match sink {
+            Sink::Compute => self.compute_ns,
+            Sink::Memory => self.memory_ns,
+            Sink::Sync => self.sync_ns,
+            Sink::Wake => self.wake_ns,
+            Sink::Dispatch => self.dispatch_ns,
+            Sink::Serial => self.serial_ns,
+            Sink::Imbalance => self.imbalance_ns,
+        }
+    }
+
+    /// Sum of every component.
+    pub fn sum(&self) -> f64 {
+        Sink::ALL.iter().map(|&s| self.get(s)).sum()
+    }
+
+    /// Element-wise accumulate.
+    pub fn add(&mut self, other: &Breakdown) {
+        self.compute_ns += other.compute_ns;
+        self.memory_ns += other.memory_ns;
+        self.sync_ns += other.sync_ns;
+        self.wake_ns += other.wake_ns;
+        self.dispatch_ns += other.dispatch_ns;
+        self.serial_ns += other.serial_ns;
+        self.imbalance_ns += other.imbalance_ns;
+    }
+
+    /// Make the components sum exactly to `total_ns`: a positive residual
+    /// becomes imbalance (unattributed elapsed time is idle waiting by
+    /// definition); a negative one (components over-charged, e.g. an
+    /// asymmetric-NUMA memory estimate exceeding the critical path)
+    /// shrinks the components proportionally.
+    pub fn close_to_total(mut self, total_ns: f64) -> Breakdown {
+        let charged = self.sum() - self.imbalance_ns;
+        let residual = total_ns - charged;
+        if residual >= 0.0 {
+            self.imbalance_ns = residual;
+        } else if charged > 0.0 {
+            let k = total_ns.max(0.0) / charged;
+            self.compute_ns *= k;
+            self.memory_ns *= k;
+            self.sync_ns *= k;
+            self.wake_ns *= k;
+            self.dispatch_ns *= k;
+            self.serial_ns *= k;
+            self.imbalance_ns = 0.0;
+        }
+        self
+    }
+}
+
+/// What kind of region a profile describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// A real `omprt` fork-join region (the pool cannot see inside).
+    Parallel,
+    /// A simulated worksharing loop.
+    Loop,
+    /// A simulated task episode.
+    Tasks,
+    /// A serial section.
+    Serial,
+}
+
+/// Per-thread slice of one region.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThreadProfile {
+    /// Team-local thread id.
+    pub thread: usize,
+    /// Time the thread spent inside the region body.
+    pub busy_ns: f64,
+    /// Time the thread waited (join/barrier) within the region.
+    pub wait_ns: f64,
+    /// Wake-up latency this thread paid at region start.
+    pub wake_ns: f64,
+    /// Hardware threads sharing this thread's core (1.0 = exclusive);
+    /// the per-place oversubscription occupancy under the placement.
+    pub oversub: f64,
+}
+
+/// One parallel region, as both runtimes describe it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionProfile {
+    /// Canonical region name, `"<app>/<phase>"` for simulated regions.
+    pub name: String,
+    pub kind: RegionKind,
+    /// Region start, nanoseconds since the session clock epoch.
+    pub begin_ns: f64,
+    /// Elapsed (wall or virtual) nanoseconds.
+    pub total_ns: f64,
+    /// Where the time went; components sum to `total_ns`.
+    pub breakdown: Breakdown,
+    /// Per-thread detail; may be empty when the producer only has
+    /// region-level visibility.
+    pub threads: Vec<ThreadProfile>,
+}
+
+/// One exported telemetry record (a JSON-lines line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    Region(RegionProfile),
+    Counters(CounterSnapshot),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_slots_are_dense_and_named() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "{c:?} out of slot order");
+            assert!(!c.name().is_empty());
+        }
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT, "duplicate counter names");
+    }
+
+    #[test]
+    fn snapshot_merge_handles_length_mismatch() {
+        let a = CounterSnapshot {
+            values: vec![1, 2, 3],
+        };
+        let b = CounterSnapshot { values: vec![10] };
+        let m = a.merge(&b);
+        assert_eq!(m.values, vec![11, 2, 3]);
+        assert_eq!(m.get(Counter::Regions), 11);
+        assert_eq!(m.get(Counter::ReduceAtomic), 0);
+    }
+
+    #[test]
+    fn close_to_total_absorbs_residual_into_imbalance() {
+        let bd = Breakdown {
+            compute_ns: 40.0,
+            memory_ns: 10.0,
+            ..Breakdown::default()
+        }
+        .close_to_total(100.0);
+        assert_eq!(bd.imbalance_ns, 50.0);
+        assert_eq!(bd.sum(), 100.0);
+    }
+
+    #[test]
+    fn close_to_total_rescales_overcharge() {
+        let bd = Breakdown {
+            compute_ns: 150.0,
+            memory_ns: 50.0,
+            ..Breakdown::default()
+        }
+        .close_to_total(100.0);
+        assert!((bd.sum() - 100.0).abs() < 1e-9);
+        assert_eq!(bd.imbalance_ns, 0.0);
+        assert!((bd.compute_ns - 75.0).abs() < 1e-9);
+    }
+}

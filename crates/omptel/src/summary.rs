@@ -1,0 +1,313 @@
+//! Aggregation: fold any number of region profiles and counter
+//! snapshots into a [`Summary`] that merges associatively.
+//!
+//! All accumulated nanosecond quantities are stored as **integers**
+//! (rounded once, at profile ingestion) and the latency distribution as
+//! a log₂-binned histogram, so [`Summary::merge`] is *exactly*
+//! associative and commutative — a requirement for parallel sweeps that
+//! fold partial summaries in nondeterministic order. Floating-point
+//! addition would not be.
+
+use crate::schema::{Breakdown, CounterSnapshot, RegionProfile, Sink};
+use serde::{Deserialize, Serialize};
+
+/// Log₂-binned nanosecond histogram: bin 0 holds exact zeros, bin `b`
+/// holds values in `[2^(b-1), 2^b)`. Merging is bin-wise addition.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Sparse-at-the-tail counts; index = bin.
+    pub counts: Vec<u64>,
+}
+
+impl LogHistogram {
+    fn bin(ns: u64) -> usize {
+        (64 - ns.leading_zeros()) as usize
+    }
+
+    /// Record one observation.
+    pub fn add_ns(&mut self, ns: u64) {
+        let b = Self::bin(ns);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin-wise sum.
+    pub fn merge(&self, other: &LogHistogram) -> LogHistogram {
+        let n = self.counts.len().max(other.counts.len());
+        let mut counts = vec![0u64; n];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = self.counts.get(i).copied().unwrap_or(0)
+                + other.counts.get(i).copied().unwrap_or(0);
+        }
+        // Trim trailing zeros so equal distributions compare equal
+        // regardless of merge history.
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        LogHistogram { counts }
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) as the geometric midpoint of
+    /// the bin holding the q-th observation; `None` when empty.
+    pub fn percentile_ns(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if b == 0 {
+                    0.0
+                } else {
+                    1.5 * 2f64.powi(b as i32 - 1)
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Mergeable aggregate over region profiles and counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Regions folded in.
+    pub regions: u64,
+    /// Total elapsed region nanoseconds.
+    pub total_ns: u64,
+    pub compute_ns: u64,
+    pub memory_ns: u64,
+    pub sync_ns: u64,
+    pub wake_ns: u64,
+    pub dispatch_ns: u64,
+    pub serial_ns: u64,
+    pub imbalance_ns: u64,
+    /// Largest single-region elapsed time.
+    pub max_region_ns: u64,
+    /// Distribution of region elapsed times.
+    pub region_hist: LogHistogram,
+    /// Merged runtime counters.
+    pub counters: CounterSnapshot,
+}
+
+fn ns(x: f64) -> u64 {
+    // One rounding, at ingestion; merges stay exact afterwards.
+    if x.is_finite() && x > 0.0 {
+        x.round() as u64
+    } else {
+        0
+    }
+}
+
+impl Summary {
+    /// Fold one region profile in.
+    pub fn add_profile(&mut self, p: &RegionProfile) {
+        let total = ns(p.total_ns);
+        self.regions += 1;
+        self.total_ns += total;
+        self.compute_ns += ns(p.breakdown.compute_ns);
+        self.memory_ns += ns(p.breakdown.memory_ns);
+        self.sync_ns += ns(p.breakdown.sync_ns);
+        self.wake_ns += ns(p.breakdown.wake_ns);
+        self.dispatch_ns += ns(p.breakdown.dispatch_ns);
+        self.serial_ns += ns(p.breakdown.serial_ns);
+        self.imbalance_ns += ns(p.breakdown.imbalance_ns);
+        self.max_region_ns = self.max_region_ns.max(total);
+        self.region_hist.add_ns(total);
+    }
+
+    /// Fold a whole-run breakdown in as `regions` regions of aggregate
+    /// time `total_ns` (used by the sweep, which keeps per-sample
+    /// aggregates rather than per-region profiles).
+    pub fn add_aggregate(&mut self, total_ns: f64, bd: &Breakdown, regions: u64) {
+        let total = ns(total_ns);
+        self.regions += regions;
+        self.total_ns += total;
+        self.compute_ns += ns(bd.compute_ns);
+        self.memory_ns += ns(bd.memory_ns);
+        self.sync_ns += ns(bd.sync_ns);
+        self.wake_ns += ns(bd.wake_ns);
+        self.dispatch_ns += ns(bd.dispatch_ns);
+        self.serial_ns += ns(bd.serial_ns);
+        self.imbalance_ns += ns(bd.imbalance_ns);
+        self.max_region_ns = self.max_region_ns.max(total);
+        self.region_hist.add_ns(total);
+    }
+
+    /// Merge runtime counters in.
+    pub fn add_counters(&mut self, c: &CounterSnapshot) {
+        self.counters = self.counters.merge(c);
+    }
+
+    /// Build a summary from exported records.
+    pub fn from_records(records: &[crate::schema::Record]) -> Summary {
+        let mut s = Summary::default();
+        for r in records {
+            match r {
+                crate::schema::Record::Region(p) => s.add_profile(p),
+                crate::schema::Record::Counters(c) => s.add_counters(c),
+            }
+        }
+        s
+    }
+
+    /// Pure merge of two summaries. Exactly associative and commutative:
+    /// every field is an integer sum, max, bin-wise histogram sum, or
+    /// element-wise counter sum.
+    pub fn merge(&self, other: &Summary) -> Summary {
+        Summary {
+            regions: self.regions + other.regions,
+            total_ns: self.total_ns + other.total_ns,
+            compute_ns: self.compute_ns + other.compute_ns,
+            memory_ns: self.memory_ns + other.memory_ns,
+            sync_ns: self.sync_ns + other.sync_ns,
+            wake_ns: self.wake_ns + other.wake_ns,
+            dispatch_ns: self.dispatch_ns + other.dispatch_ns,
+            serial_ns: self.serial_ns + other.serial_ns,
+            imbalance_ns: self.imbalance_ns + other.imbalance_ns,
+            max_region_ns: self.max_region_ns.max(other.max_region_ns),
+            region_hist: self.region_hist.merge(&other.region_hist),
+            counters: self.counters.merge(&other.counters),
+        }
+    }
+
+    /// Accumulated nanoseconds charged to one sink.
+    pub fn sink_ns(&self, sink: Sink) -> u64 {
+        match sink {
+            Sink::Compute => self.compute_ns,
+            Sink::Memory => self.memory_ns,
+            Sink::Sync => self.sync_ns,
+            Sink::Wake => self.wake_ns,
+            Sink::Dispatch => self.dispatch_ns,
+            Sink::Serial => self.serial_ns,
+            Sink::Imbalance => self.imbalance_ns,
+        }
+    }
+
+    /// The sink holding the most time (ties resolve to the earliest in
+    /// [`Sink::ALL`], deterministically).
+    pub fn dominant_sink(&self) -> Sink {
+        let mut best = Sink::Compute;
+        let mut best_ns = self.sink_ns(best);
+        for &s in &Sink::ALL[1..] {
+            let v = self.sink_ns(s);
+            if v > best_ns {
+                best = s;
+                best_ns = v;
+            }
+        }
+        best
+    }
+
+    /// Fraction of all region time spent in a sink (0 when no time).
+    pub fn sink_fraction(&self, sink: Sink) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.sink_ns(sink) as f64 / self.total_ns as f64
+        }
+    }
+
+    /// Fraction of region time lost to barrier/imbalance waiting.
+    pub fn imbalance_ratio(&self) -> f64 {
+        self.sink_fraction(Sink::Imbalance)
+    }
+
+    /// Steal success rate `steals / (steals + steal_fails)`; `None` when
+    /// the run had no steal attempts.
+    pub fn steal_efficiency(&self) -> Option<f64> {
+        use crate::schema::Counter;
+        let ok = self.counters.get(Counter::Steals);
+        let fail = self.counters.get(Counter::StealFails);
+        if ok + fail == 0 {
+            None
+        } else {
+            Some(ok as f64 / (ok + fail) as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Record, RegionKind};
+
+    fn profile(total: f64, compute: f64, imbalance: f64) -> RegionProfile {
+        RegionProfile {
+            name: "t".into(),
+            kind: RegionKind::Loop,
+            begin_ns: 0.0,
+            total_ns: total,
+            breakdown: Breakdown {
+                compute_ns: compute,
+                imbalance_ns: imbalance,
+                ..Breakdown::default()
+            },
+            threads: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn histogram_bins_and_percentiles() {
+        let mut h = LogHistogram::default();
+        assert_eq!(h.percentile_ns(0.5), None);
+        for ns in [0u64, 1, 1, 3, 1000, 1_000_000] {
+            h.add_ns(ns);
+        }
+        assert_eq!(h.total(), 6);
+        // Median falls in the bin of the 3rd observation (value 1).
+        let p50 = h.percentile_ns(0.5).unwrap();
+        assert!((1.0..4.0).contains(&p50), "p50 {p50}");
+        let p100 = h.percentile_ns(1.0).unwrap();
+        assert!(p100 > 500_000.0, "p100 {p100}");
+    }
+
+    #[test]
+    fn merge_is_exact_on_integers() {
+        let mut a = Summary::default();
+        a.add_profile(&profile(100.0, 60.0, 40.0));
+        let mut b = Summary::default();
+        b.add_profile(&profile(50.0, 50.0, 0.0));
+        let m = a.merge(&b);
+        assert_eq!(m.regions, 2);
+        assert_eq!(m.total_ns, 150);
+        assert_eq!(m.compute_ns, 110);
+        assert_eq!(m.max_region_ns, 100);
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn dominant_sink_and_ratios() {
+        let mut s = Summary::default();
+        s.add_profile(&profile(100.0, 20.0, 80.0));
+        assert_eq!(s.dominant_sink(), Sink::Imbalance);
+        assert!((s.imbalance_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(s.steal_efficiency(), None);
+    }
+
+    #[test]
+    fn from_records_folds_both_kinds() {
+        let records = vec![
+            Record::Region(profile(10.0, 10.0, 0.0)),
+            Record::Counters(CounterSnapshot {
+                values: vec![1, 5, 5],
+            }),
+            Record::Counters(CounterSnapshot {
+                values: vec![0, 5, 0],
+            }),
+        ];
+        let s = Summary::from_records(&records);
+        assert_eq!(s.regions, 1);
+        assert_eq!(s.counters.values[1], 10);
+        assert_eq!(s.steal_efficiency(), Some(10.0 / 15.0));
+    }
+}

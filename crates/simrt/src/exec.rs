@@ -54,6 +54,33 @@ impl TimeBreakdown {
         self.dispatch_ns += other.dispatch_ns * k;
         self.serial_ns += other.serial_ns * k;
     }
+
+    fn diff(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            compute_ns: self.compute_ns - earlier.compute_ns,
+            memory_ns: self.memory_ns - earlier.memory_ns,
+            sync_ns: self.sync_ns - earlier.sync_ns,
+            wake_ns: self.wake_ns - earlier.wake_ns,
+            dispatch_ns: self.dispatch_ns - earlier.dispatch_ns,
+            serial_ns: self.serial_ns - earlier.serial_ns,
+        }
+    }
+
+    /// The telemetry view of this breakdown. The simulator charges ideal
+    /// per-thread time, so the imbalance sink starts at zero here; callers
+    /// with a known region total use [`omptel::Breakdown::close_to_total`]
+    /// to push the uncharged idle time into it.
+    pub fn to_tel(&self) -> omptel::Breakdown {
+        omptel::Breakdown {
+            compute_ns: self.compute_ns,
+            memory_ns: self.memory_ns,
+            sync_ns: self.sync_ns,
+            wake_ns: self.wake_ns,
+            dispatch_ns: self.dispatch_ns,
+            serial_ns: self.serial_ns,
+            imbalance_ns: 0.0,
+        }
+    }
 }
 
 /// Result of one simulated application run.
@@ -381,6 +408,7 @@ fn simulate_tasks(
 
     let imb = Imbalance::Random { cv: phase.cv };
     let mut heap = FinishHeap::new(t);
+    let mut mem_total = 0.0f64;
     for u in 0..units {
         let (f, i) = heap.pop();
         let w = imb.mean_over(0.0, 1.0, u as u64, seed);
@@ -392,10 +420,12 @@ fn simulate_tasks(
             0.0,
             i,
         );
+        mem_total += mem * tasks_per_unit;
         let per_task = base_task * w + mem + admin + starve;
         heap.push(f + per_task * tasks_per_unit * env.speed_div[i], i);
     }
     bd.compute_ns += base_task * phase.n_tasks as f64 / t as f64;
+    bd.memory_ns += mem_total / t as f64;
     bd.dispatch_ns += (admin + starve) * phase.n_tasks as f64 / t as f64;
 
     let span = heap.max_finish();
@@ -418,7 +448,53 @@ struct StepOutcome {
     trailing_idle: f64,
 }
 
-/// Simulate one timestep.
+/// Record one simulated parallel region into the active telemetry
+/// session: the phase's breakdown delta becomes the region's sink
+/// charges, and `close_to_total` folds uncharged idle time (the gap
+/// between per-thread averages and the critical-path span) into the
+/// imbalance sink — so components always sum to the region's elapsed
+/// virtual time.
+#[allow(clippy::too_many_arguments)]
+fn record_sim_region(
+    model: &Model,
+    pi: usize,
+    kind: omptel::RegionKind,
+    begin_ns: f64,
+    wake: f64,
+    region_total: f64,
+    delta: &TimeBreakdown,
+    env: &ThreadEnv,
+) {
+    let breakdown = delta.to_tel().close_to_total(region_total);
+    let busy = delta.compute_ns + delta.memory_ns + delta.dispatch_ns;
+    let threads = env
+        .speed_div
+        .iter()
+        .map(|&div| omptel::ThreadProfile {
+            thread: 0, // filled below
+            busy_ns: busy / div.max(1.0),
+            wait_ns: (region_total - wake - busy / div.max(1.0)).max(0.0),
+            wake_ns: wake,
+            oversub: div,
+        })
+        .enumerate()
+        .map(|(i, mut p)| {
+            p.thread = i;
+            p
+        })
+        .collect();
+    omptel::record_region(omptel::RegionProfile {
+        name: format!("{}/p{}", model.name, pi),
+        kind,
+        begin_ns,
+        total_ns: region_total,
+        breakdown,
+        threads,
+    });
+}
+
+/// Simulate one timestep. `base_ns` is the virtual time at which the step
+/// begins (used only to timestamp telemetry regions).
 #[allow(clippy::too_many_arguments)]
 fn simulate_step(
     model: &Model,
@@ -429,10 +505,12 @@ fn simulate_step(
     step: u64,
     seed: u64,
     mut idle_since_region: f64,
+    base_ns: f64,
 ) -> StepOutcome {
     let mut bd = TimeBreakdown::default();
     let mut total = 0.0f64;
     let mut regions = 0u64;
+    let tel = omptel::enabled();
     for (pi, phase) in model.phases.iter().enumerate() {
         let phase_seed = seed ^ (step << 32) ^ pi as u64;
         match phase {
@@ -442,6 +520,7 @@ fn simulate_step(
                 idle_since_region += ns;
             }
             Phase::Loop(l) => {
+                let before = bd;
                 let wake =
                     costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
                 let fork = costs::fork_ns(tuning.num_threads);
@@ -456,17 +535,44 @@ fn simulate_step(
                 );
                 bd.wake_ns += wake;
                 bd.sync_ns += fork;
+                omptel::add(omptel::Counter::Regions, 1);
+                if tel {
+                    record_sim_region(
+                        model,
+                        pi,
+                        omptel::RegionKind::Loop,
+                        base_ns + total,
+                        wake,
+                        wake + fork + span,
+                        &bd.diff(&before),
+                        env,
+                    );
+                }
                 total += wake + fork + span;
                 idle_since_region = 0.0;
                 regions += 1;
             }
             Phase::Tasks(tp) => {
+                let before = bd;
                 let wake =
                     costs::region_wake_ns(machine, policy, idle_since_region, tuning.num_threads);
                 let fork = costs::fork_ns(tuning.num_threads);
                 let span = simulate_tasks(tp, tuning, machine, env, phase_seed, &mut bd);
                 bd.wake_ns += wake;
                 bd.sync_ns += fork;
+                omptel::add(omptel::Counter::Regions, 1);
+                if tel {
+                    record_sim_region(
+                        model,
+                        pi,
+                        omptel::RegionKind::Tasks,
+                        base_ns + total,
+                        wake,
+                        wake + fork + span,
+                        &bd.diff(&before),
+                        env,
+                    );
+                }
                 total += wake + fork + span;
                 idle_since_region = 0.0;
                 regions += 1;
@@ -507,6 +613,7 @@ pub fn simulate(arch: Arch, tuning: &TuningConfig, model: &Model, seed: u64) -> 
         0,
         seed,
         f64::INFINITY,
+        0.0,
     );
     total += s0.ns;
     bd.add_scaled(&s0.bd, 1.0);
@@ -515,6 +622,8 @@ pub fn simulate(arch: Arch, tuning: &TuningConfig, model: &Model, seed: u64) -> 
     if model.timesteps > 1 {
         // Warm second step, then extrapolate: steps are statistically
         // identical, so the remaining (timesteps - 2) repeat the warm one.
+        // Telemetry regions are emitted for the two simulated steps only;
+        // extrapolated repeats contribute to aggregates, not timelines.
         let s1 = simulate_step(
             model,
             tuning,
@@ -524,6 +633,7 @@ pub fn simulate(arch: Arch, tuning: &TuningConfig, model: &Model, seed: u64) -> 
             1,
             seed,
             s0.trailing_idle,
+            s0.ns,
         );
         let reps = (model.timesteps - 1) as f64;
         total += s1.ns * reps;
@@ -774,6 +884,103 @@ mod tests {
         assert!(sum <= r.total_ns * 1.05, "sum {sum} total {}", r.total_ns);
         assert!(sum >= r.total_ns * 0.2);
         assert_eq!(r.regions, 10);
+    }
+
+    /// Sessions are process-global; telemetry tests serialize on this.
+    static TEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn telemetry_region_breakdowns_sum_to_region_totals() {
+        let _guard = TEL_LOCK.lock().unwrap();
+        let m = Model {
+            name: "cg".into(),
+            phases: vec![
+                Phase::Loop(LoopPhase {
+                    iters: 100_000,
+                    cycles_per_iter: 200.0,
+                    bytes_per_iter: 64.0,
+                    access: AccessPattern::Streaming,
+                    imbalance: Imbalance::Uniform,
+                    reductions: 1,
+                }),
+                Phase::Serial { ns: 5_000.0 },
+                Phase::Tasks(TaskPhase {
+                    n_tasks: 10_000,
+                    cycles_per_task: 500.0,
+                    cv: 0.3,
+                    starvation: 0.2,
+                    bytes_per_task: 32.0,
+                }),
+            ],
+            timesteps: 5,
+            migration_sensitivity: 0.5,
+        };
+        let session = omptel::session().expect("no other session active");
+        let r = simulate(Arch::Milan, &cfg(Arch::Milan, 48), &m, 7);
+        let batch = session.finish();
+        // Two simulated steps × two parallel phases.
+        assert_eq!(batch.regions.len(), 4);
+        for region in &batch.regions {
+            assert!(region.name.starts_with("cg/p"), "name {}", region.name);
+            // Acceptance invariant: breakdown components sum to the
+            // region's total elapsed virtual time.
+            let sum = region.breakdown.sum();
+            assert!(
+                (sum - region.total_ns).abs() <= region.total_ns.max(1.0) * 1e-9,
+                "{}: sum {sum} != total {}",
+                region.name,
+                region.total_ns
+            );
+            assert_eq!(region.threads.len(), 48);
+            assert!(region.begin_ns + region.total_ns <= r.total_ns * 1.000_001);
+        }
+        assert!(batch.counters.get(omptel::Counter::Regions) >= 4);
+    }
+
+    #[test]
+    fn pathological_master_binding_is_dominated_by_imbalance() {
+        let _guard = TEL_LOCK.lock().unwrap();
+        // The paper's worst case: many threads all bound to the master's
+        // place serialize on one core; nearly all elapsed time is threads
+        // waiting on the straggler — the barrier/imbalance-wait sink.
+        let m = loop_model(500_000, Imbalance::Uniform, AccessPattern::CacheResident);
+        let mut c = cfg(Arch::Milan, 96);
+        c.places = OmpPlaces::Cores;
+        c.proc_bind = OmpProcBind::Master;
+        let session = omptel::session().expect("no other session active");
+        simulate(Arch::Milan, &c, &m, 0);
+        let summary = session.finish().summary();
+        assert_eq!(summary.dominant_sink(), omptel::Sink::Imbalance);
+        assert!(
+            summary.sink_fraction(omptel::Sink::Imbalance) > 0.9,
+            "imbalance fraction {}",
+            summary.sink_fraction(omptel::Sink::Imbalance)
+        );
+        // Every thread shares one core: oversubscription is visible in
+        // the per-thread profiles.
+        let session = omptel::session().expect("released above");
+        simulate(Arch::Milan, &c, &m, 0);
+        let batch = session.finish();
+        assert!(batch
+            .regions
+            .iter()
+            .all(|r| r.threads.iter().all(|t| t.oversub >= 90.0)));
+    }
+
+    #[test]
+    fn telemetry_disabled_simulation_is_bit_identical() {
+        let _guard = TEL_LOCK.lock().unwrap();
+        let m = loop_model(
+            50_000,
+            Imbalance::Random { cv: 0.4 },
+            AccessPattern::Streaming,
+        );
+        let c = cfg(Arch::Skylake, 40);
+        let plain = simulate(Arch::Skylake, &c, &m, 3);
+        let session = omptel::session().expect("no other session active");
+        let telemetered = simulate(Arch::Skylake, &c, &m, 3);
+        drop(session);
+        assert_eq!(plain, telemetered, "telemetry must not perturb results");
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Dataset collection binary: produce the open-sourced artifacts the
-//! paper promises — the processed tabular CSV and the raw per-batch JSON.
+//! paper promises — the processed tabular CSV, the raw per-batch JSON,
+//! per-sample provenance (JSON lines), and a structured run manifest.
 //!
 //! Usage: `collect [fast|paper|full|pruned] [output-dir]`
 //! Default: paper scope into `./dataset/`. `pruned` sweeps only the
 //! configurations `omplint` certifies as canonical (no redundant or
 //! invalid points).
 
+use omptune_core::Arch;
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
+use std::time::Instant;
 use sweep::{Dataset, Scope, SweepSpec};
 
 fn main() -> std::io::Result<()> {
@@ -26,19 +29,46 @@ fn main() -> std::io::Result<()> {
         scope,
         ..SweepSpec::default()
     };
-    eprintln!("sweeping all architectures ({scope:?}) ...");
-    let mut batches = sweep::sweep_all(&spec);
-    let mut dropped = 0usize;
-    for b in &mut batches {
-        dropped += sweep::clean(b, spec.reps as usize).dropped.len();
+    let mut manifest = sweep::RunManifest::new(&spec);
+    let mut batches = Vec::new();
+    let mut timings = Vec::new();
+
+    for &arch in Arch::ALL.iter() {
+        // The same work list the runner uses, unrolled here so the meter
+        // ticks once per completed (app, setting) batch.
+        let work: Vec<_> = {
+            let mut w = Vec::new();
+            let mut idx = 0usize;
+            for app in workloads::apps_on(arch) {
+                for setting in workloads::settings_for(app, arch) {
+                    w.push((app, setting, idx));
+                    idx += 1;
+                }
+            }
+            w
+        };
+        let meter = omptel::Progress::stderr(
+            &format!("sweep {} ({scope:?})", arch.id()),
+            work.len() as u64,
+        );
+        let t0 = Instant::now();
+        let mut arch_batches = Vec::new();
+        let mut arch_dropped = 0usize;
+        for (app, setting, idx) in work {
+            let mut data = sweep::sweep_setting(arch, app, setting, idx, &spec);
+            arch_dropped += sweep::clean(&mut data, spec.reps as usize).dropped.len();
+            arch_batches.push(data);
+            meter.inc(1);
+        }
+        eprintln!("{}", meter.finish());
+        let elapsed = t0.elapsed().as_secs_f64();
+        manifest.push_arch(arch, &arch_batches, arch_dropped, elapsed);
+        let samples: usize = arch_batches.iter().map(|b| b.samples.len()).sum();
+        timings.push((arch, arch_batches.len(), samples, arch_dropped, elapsed));
+        batches.extend(arch_batches);
     }
+
     let dataset = Dataset::build(&batches);
-    eprintln!(
-        "collected {} samples across {} batches ({} dropped in cleaning)",
-        dataset.records.len(),
-        batches.len(),
-        dropped
-    );
 
     let csv_path = out_dir.join("samples.csv");
     let mut csv = BufWriter::new(fs::File::create(&csv_path)?);
@@ -49,6 +79,21 @@ fn main() -> std::io::Result<()> {
     let mut raw = BufWriter::new(fs::File::create(&raw_path)?);
     sweep::export::write_raw_json(&batches, &mut raw)?;
     eprintln!("wrote {}", raw_path.display());
+
+    let prov_path = out_dir.join("provenance.jsonl");
+    let provenance = sweep::provenance_of(&batches, &spec);
+    let mut prov = BufWriter::new(fs::File::create(&prov_path)?);
+    sweep::write_provenance_jsonl(&provenance, &mut prov)?;
+    eprintln!(
+        "wrote {} ({} samples)",
+        prov_path.display(),
+        provenance.len()
+    );
+
+    let manifest_path = out_dir.join("manifest.json");
+    let mut mf = BufWriter::new(fs::File::create(&manifest_path)?);
+    sweep::write_manifest(&manifest, &mut mf)?;
+    eprintln!("wrote {}", manifest_path.display());
 
     // Per-architecture Table II summary next to the data.
     let summary_path = out_dir.join("SUMMARY.txt");
@@ -61,5 +106,19 @@ fn main() -> std::io::Result<()> {
     }
     fs::write(&summary_path, summary)?;
     eprintln!("wrote {}", summary_path.display());
+
+    // Final per-architecture timing summary.
+    eprintln!("--- collection timing ---");
+    for (arch, settings, samples, dropped, elapsed) in &timings {
+        let rate = *samples as f64 / elapsed.max(1e-9);
+        eprintln!(
+            "{}: {settings} settings, {samples} samples ({dropped} dropped) in {elapsed:.1}s ({rate:.0} samples/s)",
+            arch.id()
+        );
+    }
+    eprintln!(
+        "total: {} samples, {} dropped",
+        manifest.total_samples, manifest.total_dropped
+    );
     Ok(())
 }

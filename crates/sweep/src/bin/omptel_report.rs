@@ -1,0 +1,213 @@
+//! `omptel-report` — "why was this slow" analysis over sweep telemetry.
+//!
+//! Modes:
+//!
+//! - `omptel-report [arch] [app]` — sweep a strided slice of one
+//!   setting, pick the best and worst configurations by mean runtime,
+//!   and render their telemetry side by side (paper Table VI shape):
+//!   top time sink, imbalance ratio, steal efficiency, full sink table.
+//! - `omptel-report --self-check` — run the acceptance invariants and
+//!   exit nonzero on violation: every sampled region profile's breakdown
+//!   must sum to the region's elapsed virtual time, and the pathological
+//!   configuration (master binding at full thread count) must be
+//!   diagnosed as dominated by barrier/imbalance wait.
+
+use omptune_core::{Arch, OmpPlaces, OmpProcBind, TuningConfig};
+use std::process::ExitCode;
+use sweep::{Scope, SweepSpec};
+use workloads::Setting;
+
+fn parse_arch(s: &str) -> Option<Arch> {
+    Arch::ALL.iter().copied().find(|a| a.id() == s)
+}
+
+/// One-line description of a configuration for report titles.
+fn describe(config: &TuningConfig) -> String {
+    format!(
+        "places={} bind={} sched={} lib={} blocktime={} red={} align={}",
+        config.places.env_value().unwrap_or("unset"),
+        config.proc_bind.env_value().unwrap_or("unset"),
+        config.schedule.env_value(),
+        config.library.env_value(),
+        config.blocktime.env_value(),
+        config.force_reduction.env_value().unwrap_or("unset"),
+        config.align_alloc.bytes(),
+    )
+}
+
+/// Region-level telemetry summary of one configuration: re-simulate it
+/// under an exclusive session so the summary carries region profiles
+/// (histograms, max region) on top of the sink totals.
+fn summarize(
+    arch: Arch,
+    config: &TuningConfig,
+    model: &simrt::Model,
+    seed: u64,
+) -> omptel::Summary {
+    let session = omptel::session().expect("no concurrent telemetry session");
+    simrt::simulate(arch, config, model, seed);
+    session.finish().summary()
+}
+
+fn best_vs_worst(arch: Arch, app_name: &str) -> Result<String, String> {
+    let app = workloads::app(app_name).ok_or_else(|| format!("unknown app {app_name:?}"))?;
+    if !workloads::available_on(app_name, arch) {
+        return Err(format!("{app_name} is not available on {}", arch.id()));
+    }
+    let spec = SweepSpec {
+        scope: Scope::Strided(50),
+        ..SweepSpec::default()
+    };
+    let setting = workloads::settings_for(app, arch)
+        .last()
+        .copied()
+        .ok_or_else(|| format!("{app_name} has no settings on {}", arch.id()))?;
+    let data = sweep::sweep_setting(arch, app, setting, 0, &spec);
+    let best = data
+        .samples
+        .iter()
+        .min_by(|a, b| a.mean_runtime().total_cmp(&b.mean_runtime()))
+        .ok_or("empty sweep")?;
+    let worst = data
+        .samples
+        .iter()
+        .max_by(|a, b| a.mean_runtime().total_cmp(&b.mean_runtime()))
+        .ok_or("empty sweep")?;
+
+    let model = (app.model)(arch, setting);
+    let best_sum = summarize(arch, &best.config, &model, spec.seed);
+    let worst_sum = summarize(arch, &worst.config, &model, spec.seed);
+    let best_ex = omptel::explain(
+        &format!(
+            "best  {app_name}/{} t={} speedup {:.2}x | {}",
+            arch.id(),
+            setting.num_threads,
+            data.speedup(best),
+            describe(&best.config)
+        ),
+        &best_sum,
+    );
+    let worst_ex = omptel::explain(
+        &format!(
+            "worst {app_name}/{} t={} speedup {:.2}x | {}",
+            arch.id(),
+            setting.num_threads,
+            data.speedup(worst),
+            describe(&worst.config)
+        ),
+        &worst_sum,
+    );
+    Ok(omptel::render_pair(
+        (&best_ex, &best_sum),
+        (&worst_ex, &worst_sum),
+    ))
+}
+
+/// The acceptance invariants, as a runnable check.
+fn self_check() -> Result<(), String> {
+    // 1. A sweep sample of an NPB workload: every region profile captured
+    //    during simulation has a breakdown summing to its elapsed virtual
+    //    time, and the sample-level aggregate closes against the total.
+    let app = workloads::app("cg").expect("cg registered");
+    let spec = SweepSpec {
+        scope: Scope::Strided(400),
+        ..SweepSpec::default()
+    };
+    let setting = Setting {
+        input_code: 0,
+        num_threads: 96,
+    };
+    let data = sweep::sweep_setting(Arch::Milan, app, setting, 0, &spec);
+    if data.samples.is_empty() {
+        return Err("self-check sweep produced no samples".into());
+    }
+    for s in &data.samples {
+        let t = &s.telemetry;
+        let sum = t.breakdown.sum();
+        if (sum - t.virtual_ns).abs() > t.virtual_ns.max(1.0) * 1e-9 {
+            return Err(format!(
+                "sample {} breakdown sum {sum} != virtual total {}",
+                s.config_index, t.virtual_ns
+            ));
+        }
+    }
+    let model = (app.model)(Arch::Milan, setting);
+    let session = omptel::session().map_err(|e| e.to_string())?;
+    simrt::simulate(Arch::Milan, &data.samples[0].config, &model, spec.seed);
+    let batch = session.finish();
+    if batch.regions.is_empty() {
+        return Err("simulation recorded no region profiles".into());
+    }
+    for r in &batch.regions {
+        let sum = r.breakdown.sum();
+        if (sum - r.total_ns).abs() > r.total_ns.max(1.0) * 1e-9 {
+            return Err(format!(
+                "region {} breakdown sum {sum} != region total {}",
+                r.name, r.total_ns
+            ));
+        }
+    }
+    println!(
+        "self-check: {} samples and {} region profiles close against their totals",
+        data.samples.len(),
+        batch.regions.len()
+    );
+
+    // 2. The pathological configuration — every thread bound to the
+    //    master's place — must be diagnosed as barrier/imbalance bound.
+    let mut bad = TuningConfig::default_for(Arch::Milan, 96);
+    bad.places = OmpPlaces::Cores;
+    bad.proc_bind = OmpProcBind::Master;
+    let summary = summarize(Arch::Milan, &bad, &model, spec.seed);
+    let dominant = summary.dominant_sink();
+    if dominant != omptel::Sink::Imbalance {
+        return Err(format!(
+            "pathological config diagnosed as {:?} ({}), expected barrier/imbalance wait",
+            dominant,
+            dominant.label()
+        ));
+    }
+    println!(
+        "self-check: master-bound config dominated by {} ({:.0}% of time)",
+        dominant.label(),
+        summary.sink_fraction(dominant) * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--self-check") {
+        return match self_check() {
+            Ok(()) => {
+                println!("self-check: PASS");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("self-check: FAIL: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let arch = match args.first() {
+        Some(s) => match parse_arch(s) {
+            Some(a) => a,
+            None => {
+                eprintln!("unknown arch {s:?} (expected a64fx, skylake, or milan)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arch::Milan,
+    };
+    let app = args.get(1).map(String::as_str).unwrap_or("cg");
+    match best_vs_worst(arch, app) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("omptel-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

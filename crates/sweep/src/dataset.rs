@@ -123,6 +123,14 @@ mod tests {
                     config_index: i,
                     config: TuningConfig::default_for(arch, t),
                     runtimes: r,
+                    telemetry: crate::runner::SampleTelemetry {
+                        virtual_ns: 1.0e9,
+                        regions: 1,
+                        breakdown: omptel::Breakdown {
+                            compute_ns: 1.0e9,
+                            ..omptel::Breakdown::default()
+                        },
+                    },
                 })
                 .collect(),
             default_runtimes: vec![1.0, 1.0, 1.0],

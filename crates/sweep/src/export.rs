@@ -89,6 +89,15 @@ mod tests {
                 config_index: 17,
                 config: TuningConfig::default_for(Arch::A64fx, 48),
                 runtimes: vec![0.5, 0.51, 0.49],
+                telemetry: crate::runner::SampleTelemetry {
+                    virtual_ns: 5.0e8,
+                    regions: 12,
+                    breakdown: omptel::Breakdown {
+                        compute_ns: 4.0e8,
+                        imbalance_ns: 1.0e8,
+                        ..omptel::Breakdown::default()
+                    },
+                },
             }],
             default_runtimes: vec![0.5, 0.5, 0.5],
         }];

@@ -12,12 +12,17 @@
 
 pub mod dataset;
 pub mod export;
+pub mod provenance;
 pub mod runner;
 pub mod spec;
 
 pub use dataset::{clean, CleanReport, Dataset, DropReason};
+pub use provenance::{
+    config_hash, provenance_of, read_manifest, read_provenance_jsonl, write_manifest,
+    write_provenance_jsonl, ArchManifest, RunManifest, SampleProvenance,
+};
 pub use runner::{
-    sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting, RawSample,
-    RunKey, SettingData,
+    noise_stream, sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting,
+    RawSample, RunKey, SampleTelemetry, SettingData,
 };
 pub use spec::{pruned_space, Scope, SweepSpec};

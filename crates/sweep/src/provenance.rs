@@ -1,0 +1,267 @@
+//! Sweep provenance: enough metadata per sample to re-derive it from
+//! scratch, plus a structured manifest for the whole collection run.
+//!
+//! The paper's dataset mixes three clusters, months of collection, and
+//! cleaning passes — provenance is what lets a published number be traced
+//! back to the exact (config, seed, noise stream) that produced it. Every
+//! record is one JSON line (append-friendly, `grep`-able); the manifest
+//! is one pretty-printed JSON document per run.
+
+use crate::runner::{noise_stream, RawSample, SampleTelemetry, SettingData};
+use crate::spec::SweepSpec;
+use omptune_core::TuningConfig;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// FNV-1a over the canonical JSON encoding of a configuration — a stable
+/// content hash usable as a join key across exports.
+pub fn config_hash(config: &TuningConfig) -> u64 {
+    let text = serde_json::to_string(config).expect("config serializes");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything needed to reproduce (and audit) one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleProvenance {
+    pub arch: String,
+    pub app: String,
+    pub input_code: u32,
+    pub num_threads: usize,
+    /// Position in the odometer order of the configuration space.
+    pub config_index: usize,
+    /// Content hash of the configuration (FNV-1a of canonical JSON).
+    pub config_hash: u64,
+    /// Master seed the simulation and noise drew from.
+    pub seed: u64,
+    /// The identity-derived noise stream of this sample.
+    pub noise_stream: u64,
+    /// Measured repetition times (seconds, noise applied; NaN = failed).
+    pub rep_times: Vec<f64>,
+    /// Virtual-time counter summary of the underlying simulation.
+    pub telemetry: SampleTelemetry,
+}
+
+impl SampleProvenance {
+    /// Provenance of one sample within its batch.
+    pub fn of(data: &SettingData, sample: &RawSample, spec: &SweepSpec) -> SampleProvenance {
+        SampleProvenance {
+            arch: data.key.arch.id().to_string(),
+            app: data.key.app.clone(),
+            input_code: data.key.input_code,
+            num_threads: data.key.num_threads,
+            config_index: sample.config_index,
+            config_hash: config_hash(&sample.config),
+            seed: spec.seed,
+            noise_stream: noise_stream(&data.key, sample.config_index),
+            rep_times: sample.runtimes.clone(),
+            telemetry: sample.telemetry.clone(),
+        }
+    }
+}
+
+/// Provenance records for every sample of a batch list, in sweep order.
+pub fn provenance_of(batches: &[SettingData], spec: &SweepSpec) -> Vec<SampleProvenance> {
+    batches
+        .iter()
+        .flat_map(|data| {
+            data.samples
+                .iter()
+                .map(move |s| SampleProvenance::of(data, s, spec))
+        })
+        .collect()
+}
+
+/// Write provenance as JSON lines (one sample per line).
+pub fn write_provenance_jsonl<W: Write>(
+    records: &[SampleProvenance],
+    out: &mut W,
+) -> io::Result<()> {
+    for r in records {
+        let line = serde_json::to_string(r).map_err(io::Error::other)?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Parse provenance JSON lines back (blank lines skipped).
+pub fn read_provenance_jsonl(text: &str) -> io::Result<Vec<SampleProvenance>> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| serde_json::from_str(l).map_err(io::Error::other))
+        .collect()
+}
+
+/// Per-architecture slice of a collection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchManifest {
+    pub arch: String,
+    pub settings: usize,
+    pub samples: usize,
+    pub dropped: usize,
+    /// Wall-clock seconds this architecture's sweep took.
+    pub elapsed_s: f64,
+    /// Virtual-time telemetry aggregated over every sample.
+    pub summary: omptel::Summary,
+}
+
+/// Structured manifest of one collection run: what was swept, with what
+/// parameters, and what came out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Human-readable scope, e.g. `"PaperSized"`.
+    pub scope: String,
+    pub reps: u32,
+    pub seed: u64,
+    pub failure_rate: f64,
+    pub arches: Vec<ArchManifest>,
+    pub total_samples: usize,
+    pub total_dropped: usize,
+}
+
+impl RunManifest {
+    /// Manifest skeleton from the spec; architectures are pushed as their
+    /// sweeps complete.
+    pub fn new(spec: &SweepSpec) -> RunManifest {
+        RunManifest {
+            scope: format!("{:?}", spec.scope),
+            reps: spec.reps,
+            seed: spec.seed,
+            failure_rate: spec.failure_rate,
+            arches: Vec::new(),
+            total_samples: 0,
+            total_dropped: 0,
+        }
+    }
+
+    /// Record one architecture's completed sweep.
+    pub fn push_arch(
+        &mut self,
+        arch: omptune_core::Arch,
+        batches: &[SettingData],
+        dropped: usize,
+        elapsed_s: f64,
+    ) {
+        let mut summary = omptel::Summary::default();
+        let mut samples = 0usize;
+        for b in batches {
+            for s in &b.samples {
+                s.telemetry.fold_into(&mut summary);
+                samples += 1;
+            }
+        }
+        self.arches.push(ArchManifest {
+            arch: arch.id().to_string(),
+            settings: batches.len(),
+            samples,
+            dropped,
+            elapsed_s,
+            summary,
+        });
+        self.total_samples += samples;
+        self.total_dropped += dropped;
+    }
+}
+
+/// Write the manifest as pretty-printed JSON.
+pub fn write_manifest<W: Write>(manifest: &RunManifest, out: &mut W) -> io::Result<()> {
+    let text = serde_json::to_string_pretty(manifest).map_err(io::Error::other)?;
+    out.write_all(text.as_bytes())?;
+    out.write_all(b"\n")
+}
+
+/// Parse a manifest back.
+pub fn read_manifest(data: &[u8]) -> io::Result<RunManifest> {
+    serde_json::from_slice(data).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scope;
+    use omptune_core::Arch;
+    use workloads::Setting;
+
+    fn tiny_batch() -> (Vec<SettingData>, SweepSpec) {
+        let spec = SweepSpec {
+            scope: Scope::Strided(800),
+            reps: 2,
+            seed: 11,
+            failure_rate: 0.0,
+        };
+        let app = workloads::app("ep").unwrap();
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 40,
+        };
+        let data = crate::runner::sweep_setting(Arch::Skylake, app, setting, 0, &spec);
+        (vec![data], spec)
+    }
+
+    #[test]
+    fn provenance_covers_every_sample_and_roundtrips() {
+        let (batches, spec) = tiny_batch();
+        let records = provenance_of(&batches, &spec);
+        assert_eq!(records.len(), batches[0].samples.len());
+        for (r, s) in records.iter().zip(&batches[0].samples) {
+            assert_eq!(r.config_index, s.config_index);
+            assert_eq!(r.config_hash, config_hash(&s.config));
+            assert_eq!(
+                r.noise_stream,
+                noise_stream(&batches[0].key, s.config_index)
+            );
+            assert_eq!(r.rep_times, s.runtimes);
+            assert_eq!(r.seed, 11);
+        }
+        let mut buf = Vec::new();
+        write_provenance_jsonl(&records, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), records.len());
+        let back = read_provenance_jsonl(&text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configs() {
+        let (batches, _) = tiny_batch();
+        let hashes: std::collections::HashSet<u64> = batches[0]
+            .samples
+            .iter()
+            .map(|s| config_hash(&s.config))
+            .collect();
+        assert_eq!(hashes.len(), batches[0].samples.len(), "hash collision");
+        // Stable across calls.
+        let c = &batches[0].samples[0].config;
+        assert_eq!(config_hash(c), config_hash(c));
+    }
+
+    #[test]
+    fn manifest_aggregates_and_roundtrips() {
+        let (batches, spec) = tiny_batch();
+        let mut manifest = RunManifest::new(&spec);
+        manifest.push_arch(Arch::Skylake, &batches, 1, 0.25);
+        assert_eq!(manifest.arches.len(), 1);
+        let am = &manifest.arches[0];
+        assert_eq!(am.arch, "skylake");
+        assert_eq!(am.samples, batches[0].samples.len());
+        assert_eq!(am.summary.regions as usize, {
+            batches[0]
+                .samples
+                .iter()
+                .map(|s| s.telemetry.regions as usize)
+                .sum()
+        });
+        assert_eq!(manifest.total_samples, am.samples);
+        assert_eq!(manifest.total_dropped, 1);
+
+        let mut buf = Vec::new();
+        write_manifest(&manifest, &mut buf).unwrap();
+        assert_eq!(read_manifest(&buf).unwrap(), manifest);
+    }
+}

@@ -21,6 +21,36 @@ pub struct RunKey {
     pub num_threads: usize,
 }
 
+/// Telemetry attached to every sample: the simulator's virtual-time
+/// view of the noiseless run the repetitions perturb. The breakdown is
+/// closed against the total (components sum to `virtual_ns` exactly,
+/// uncharged idle time folded into the imbalance sink), so downstream
+/// aggregation via [`omptel::Summary::add_aggregate`] needs no fixup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleTelemetry {
+    /// End-to-end virtual runtime in nanoseconds (pre-noise).
+    pub virtual_ns: f64,
+    /// Parallel regions executed over the whole run.
+    pub regions: u64,
+    /// Where the virtual time went, summing to `virtual_ns`.
+    pub breakdown: omptel::Breakdown,
+}
+
+impl SampleTelemetry {
+    fn from_sim(sim: &simrt::SimResult) -> SampleTelemetry {
+        SampleTelemetry {
+            virtual_ns: sim.total_ns,
+            regions: sim.regions,
+            breakdown: sim.breakdown.to_tel().close_to_total(sim.total_ns),
+        }
+    }
+
+    /// Fold this sample into a telemetry summary.
+    pub fn fold_into(&self, s: &mut omptel::Summary) {
+        s.add_aggregate(self.virtual_ns, &self.breakdown, self.regions);
+    }
+}
+
 /// One raw sample: a configuration with its repeated "measurements"
 /// (virtual seconds perturbed by the noise model).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +59,8 @@ pub struct RawSample {
     pub config: TuningConfig,
     /// One runtime (seconds) per repetition, R0..R{reps-1}.
     pub runtimes: Vec<f64>,
+    /// Virtual-time telemetry of the underlying simulation.
+    pub telemetry: SampleTelemetry,
 }
 
 impl RawSample {
@@ -61,8 +93,9 @@ impl SettingData {
     }
 }
 
-/// Stable stream id for the noise model from the sample identity.
-fn noise_stream(key: &RunKey, config_index: usize) -> u64 {
+/// Stable stream id for the noise model from the sample identity. Public
+/// so provenance records can name the exact stream a sample drew from.
+pub fn noise_stream(key: &RunKey, config_index: usize) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     let mut eat = |b: u64| {
         h ^= b;
@@ -97,15 +130,17 @@ fn run_config(
     config_index: usize,
     spec: &SweepSpec,
     noise: &NoiseModel,
-) -> Vec<f64> {
+) -> (Vec<f64>, SampleTelemetry) {
     let setting = Setting {
         input_code: key.input_code,
         num_threads: key.num_threads,
     };
     let model = (app.model)(key.arch, setting);
-    let base = simrt::simulate(key.arch, config, &model, spec.seed).seconds();
+    let sim = simrt::simulate(key.arch, config, &model, spec.seed);
+    let telemetry = SampleTelemetry::from_sim(&sim);
+    let base = sim.seconds();
     let stream = noise_stream(key, config_index);
-    (0..spec.reps)
+    let runtimes = (0..spec.reps)
         .map(|rep| {
             if spec.failure_rate > 0.0 && failure_roll(spec.seed, stream, rep) < spec.failure_rate {
                 f64::NAN
@@ -113,7 +148,8 @@ fn run_config(
                 base * noise.factor(spec.seed, stream, rep)
             }
         })
-        .collect()
+        .collect();
+    (runtimes, telemetry)
 }
 
 /// Run the full batch for one (arch, app, setting).
@@ -138,17 +174,21 @@ pub fn sweep_setting(
 
     let samples: Vec<RawSample> = configs
         .into_iter()
-        .map(|(config_index, config)| RawSample {
-            config_index,
-            runtimes: run_config(&key, app, &config, config_index, spec, &noise),
-            config,
+        .map(|(config_index, config)| {
+            let (runtimes, telemetry) = run_config(&key, app, &config, config_index, spec, &noise);
+            RawSample {
+                config_index,
+                runtimes,
+                telemetry,
+                config,
+            }
         })
         .collect();
 
     // The default configuration is simulated explicitly (it may or may
     // not be among the sampled rows) with its own noise stream.
     let default_config = TuningConfig::default_for(arch, setting.num_threads);
-    let default_runtimes = run_config(&key, app, &default_config, usize::MAX, spec, &noise);
+    let (default_runtimes, _) = run_config(&key, app, &default_config, usize::MAX, spec, &noise);
 
     SettingData {
         key,
@@ -290,6 +330,35 @@ mod tests {
             .expect("full scope contains the default");
         let sp = data.speedup(default_row);
         assert!((sp - 1.0).abs() < 0.01, "speedup {sp}");
+    }
+
+    #[test]
+    fn sample_telemetry_breakdown_sums_to_virtual_time() {
+        let app = workloads::app("cg").unwrap();
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 96,
+        };
+        let data = sweep_setting(Arch::Milan, app, setting, 0, &tiny_spec());
+        for s in &data.samples {
+            let t = &s.telemetry;
+            assert!(t.virtual_ns > 0.0);
+            assert!(t.regions > 0);
+            let sum = t.breakdown.sum();
+            assert!(
+                (sum - t.virtual_ns).abs() <= t.virtual_ns * 1e-9,
+                "config {}: breakdown sum {sum} != virtual {}",
+                s.config_index,
+                t.virtual_ns
+            );
+        }
+        // Telemetry aggregates into a summary without losing regions.
+        let mut summary = omptel::Summary::default();
+        for s in &data.samples {
+            s.telemetry.fold_into(&mut summary);
+        }
+        let expect: u64 = data.samples.iter().map(|s| s.telemetry.regions).sum();
+        assert_eq!(summary.regions, expect);
     }
 
     #[test]

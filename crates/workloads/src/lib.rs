@@ -18,6 +18,8 @@ pub mod bots;
 pub mod catalog;
 pub mod npb;
 pub mod proxy;
+pub mod regions;
 pub(crate) mod util;
 
 pub use catalog::{app, apps, apps_on, available_on, settings_for, AppSpec, Setting, Suite};
+pub use regions::{region_name, region_names};

@@ -1,0 +1,92 @@
+//! Canonical telemetry region names for the catalog's applications.
+//!
+//! The simulated runtime labels every parallel region it records as
+//! `"{model.name}/p{phase_index}"` (the phase index counts *all* phases
+//! of a timestep, serial ones included, so names stay stable when a
+//! serial phase is inserted). These helpers reproduce those names from a
+//! model, letting analysis code look up a region without re-running the
+//! simulator.
+
+use simrt::model::{Model, Phase};
+
+/// The telemetry region name of phase `phase_idx`, or `None` for serial
+/// phases (which never become regions).
+pub fn region_name(model: &Model, phase_idx: usize) -> Option<String> {
+    match model.phases.get(phase_idx)? {
+        Phase::Serial { .. } => None,
+        Phase::Loop(_) | Phase::Tasks(_) => Some(format!("{}/p{}", model.name, phase_idx)),
+    }
+}
+
+/// All region names one timestep of `model` emits, in phase order.
+pub fn region_names(model: &Model) -> Vec<String> {
+    (0..model.phases.len())
+        .filter_map(|pi| region_name(model, pi))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{apps, settings_for};
+    use omptune_core::{Arch, TuningConfig};
+    use std::sync::Mutex;
+
+    static TEL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn every_catalog_app_names_all_its_phases() {
+        // Coverage: names exist exactly for the non-serial phases, and
+        // out-of-range indices yield None.
+        for app in apps() {
+            for arch in [Arch::A64fx, Arch::Skylake, Arch::Milan] {
+                let setting =
+                    settings_for(app, arch)
+                        .first()
+                        .copied()
+                        .unwrap_or(crate::catalog::Setting {
+                            input_code: 0,
+                            num_threads: 4,
+                        });
+                let model = (app.model)(arch, setting);
+                let names = region_names(&model);
+                let parallel = model
+                    .phases
+                    .iter()
+                    .filter(|p| !matches!(p, Phase::Serial { .. }))
+                    .count();
+                assert_eq!(names.len(), parallel, "{} on {arch:?}", app.name);
+                for name in &names {
+                    assert!(name.starts_with(&format!("{}/p", model.name)));
+                }
+                assert_eq!(region_name(&model, model.phases.len()), None);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_what_the_simulator_records() {
+        let _guard = TEL_LOCK.lock().unwrap();
+        let app = crate::catalog::app("cg").expect("cg registered");
+        let setting = settings_for(app, Arch::Milan)[0];
+        let model = (app.model)(Arch::Milan, setting);
+        let expected = region_names(&model);
+
+        let session = omptel::session().expect("no other session active");
+        simrt::exec::simulate(
+            Arch::Milan,
+            &TuningConfig::default_for(Arch::Milan, setting.num_threads),
+            &model,
+            0,
+        );
+        let batch = session.finish();
+        assert!(!batch.regions.is_empty());
+        for region in &batch.regions {
+            assert!(
+                expected.contains(&region.name),
+                "recorded region {} not predicted by region_names",
+                region.name
+            );
+        }
+    }
+}

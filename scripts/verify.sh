@@ -19,6 +19,8 @@ step cargo build --release --workspace
 step cargo test --workspace -q
 step cargo fmt --all --check
 step cargo clippy --workspace --all-targets -- -D warnings
+step cargo bench -p bench-harness --bench telemetry_overhead
+step cargo run --release -p sweep --bin omptel-report -- --self-check
 
 echo
 echo "verify: all gates passed"

@@ -21,7 +21,10 @@
 //!   simulation models *and* verified real kernels;
 //! - [`data`] (`sweep`) — the 240k-sample data-collection harness;
 //! - [`stats`] (`mlstats`) — Wilcoxon, violins, linear & logistic
-//!   regression.
+//!   regression;
+//! - [`tel`] (`omptel`) — OMPT-style telemetry: runtime counters, region
+//!   profiles, JSON-lines and Chrome-trace exporters, and the
+//!   `omptel-report` "why was this slow" analysis.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +50,7 @@
 pub use archsim as arch;
 pub use mlstats as stats;
 pub use omprt as rt;
+pub use omptel as tel;
 pub use omptune_core as core;
 pub use simrt as sim;
 pub use sweep as data;
