@@ -1,0 +1,139 @@
+//! Cold vs warm sweep throughput: the sample cache's whole value claim.
+//!
+//! Three passes over the same sweep spec through the work-stealing
+//! scheduler:
+//!
+//! - `no_cache`  — plan cache only (every sample simulated),
+//! - `cold`      — empty sample cache attached (simulate + persist),
+//! - `warm`      — same cache dir again (every sample replayed from disk).
+//!
+//! The acceptance bar is warm ≥ 5x faster than cold; results go to
+//! `BENCH_sweep.json` at the repo root so later PRs can track the
+//! trajectory. Warm output is asserted bit-identical to cold output
+//! before any timing is reported.
+//!
+//! `harness = false`: under `cargo test` (argv contains `--test`) this
+//! runs a fast smoke slice and writes nothing; under `cargo bench` it
+//! runs the full measurement and writes the JSON.
+
+use omptune_core::Arch;
+use std::path::PathBuf;
+use std::time::Instant;
+use sweep::{SampleCache, Scope, SweepOptions, SweepSpec};
+
+const WORKERS: usize = 4;
+
+fn sweep_once(
+    spec: &SweepSpec,
+    cache: Option<&SampleCache>,
+) -> (f64, Vec<sweep::SettingData>, u64) {
+    let t0 = Instant::now();
+    let mut batches = Vec::new();
+    for &arch in Arch::ALL.iter() {
+        let mut opts = SweepOptions::new(WORKERS);
+        if let Some(c) = cache {
+            opts = opts.with_cache(c);
+        }
+        batches.extend(sweep::sweep_arch_scheduled(arch, spec, &opts).batches);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let samples: u64 = batches.iter().map(|b| b.samples.len() as u64).sum();
+    (elapsed, batches, samples)
+}
+
+/// FNV-1a over every runtime bit pattern: cheap bit-identity fingerprint.
+fn fingerprint(batches: &[sweep::SettingData]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for b in batches {
+        for s in &b.samples {
+            mix(s.telemetry.virtual_ns.to_bits());
+            for r in &s.runtimes {
+                mix(r.to_bits());
+            }
+        }
+        for r in &b.default_runtimes {
+            mix(r.to_bits());
+        }
+    }
+    h
+}
+
+fn run(scope: Scope, write_json: bool) {
+    let spec = SweepSpec {
+        scope,
+        ..SweepSpec::default()
+    };
+    let cache_dir =
+        std::env::temp_dir().join(format!("omptune-sweep-warmcold-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = SampleCache::new(&cache_dir);
+
+    let (plan_only_s, baseline, samples) = sweep_once(&spec, None);
+    let (cold_s, cold_batches, _) = sweep_once(&spec, Some(&cache));
+    // Best of three warm passes: warm is fast enough that a single
+    // pass is dominated by filesystem noise.
+    let mut warm_s = f64::INFINITY;
+    let mut warm_batches = Vec::new();
+    for _ in 0..3 {
+        let (t, b, _) = sweep_once(&spec, Some(&cache));
+        if t < warm_s {
+            warm_s = t;
+        }
+        warm_batches = b;
+    }
+    let (hits, misses) = cache.stats();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let base_fp = fingerprint(&baseline);
+    assert_eq!(
+        base_fp,
+        fingerprint(&cold_batches),
+        "cold cached sweep diverged from uncached sweep"
+    );
+    assert_eq!(
+        base_fp,
+        fingerprint(&warm_batches),
+        "warm cached sweep diverged from uncached sweep"
+    );
+
+    let speedup = cold_s / warm_s;
+    println!("sweep_warmcold ({scope:?}): {samples} samples, {WORKERS} workers");
+    println!("  no_cache (plan cache only): {plan_only_s:.4}s");
+    println!("  cold (simulate + persist):  {cold_s:.4}s");
+    println!("  warm (replay from disk):    {warm_s:.4}s");
+    println!("  warm speedup over cold:     {speedup:.1}x");
+    println!("  sample cache: {hits} hits, {misses} misses");
+    assert!(
+        speedup >= 5.0,
+        "warm sweep must be >=5x faster than cold, got {speedup:.2}x"
+    );
+
+    if write_json {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+        let json = format!(
+            "{{\n  \"bench\": \"sweep_warmcold\",\n  \"scope\": \"{scope:?}\",\n  \
+             \"workers\": {WORKERS},\n  \"samples\": {samples},\n  \
+             \"no_cache_s\": {plan_only_s:.6},\n  \"cold_s\": {cold_s:.6},\n  \
+             \"warm_s\": {warm_s:.6},\n  \"warm_speedup\": {speedup:.2},\n  \
+             \"sample_cache_hits\": {hits},\n  \"sample_cache_misses\": {misses}\n}}\n"
+        );
+        std::fs::write(&path, json).expect("write BENCH_sweep.json");
+        println!("  wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if test_mode {
+        // cargo test: smoke slice, no artifact. The 5x bar still holds.
+        run(Scope::Strided(300), false);
+    } else {
+        run(Scope::Strided(100), true);
+    }
+}

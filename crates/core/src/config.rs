@@ -77,6 +77,26 @@ impl ReductionMethod {
     }
 }
 
+/// The projection of a [`TuningConfig`] onto the variables that can
+/// change *execution structure*: loop partitioning, chunk/steal
+/// assignment, thread placement, and task-starvation behaviour. The
+/// remaining variables (`KMP_BLOCKTIME`, `KMP_ALIGN_ALLOC`,
+/// `KMP_FORCE_REDUCTION`) only re-price a fixed structure — wake-up
+/// latencies, barrier/reduction constants — so two configurations with
+/// equal projections share one simulation plan.
+///
+/// `KMP_LIBRARY` is part of the projection (not the pricing layer): it
+/// changes whether idle task workers yield, which feeds the greedy
+/// task-dispatch makespan, not just a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlanProjection {
+    pub places: OmpPlaces,
+    pub proc_bind: OmpProcBind,
+    pub schedule: OmpSchedule,
+    pub library: KmpLibrary,
+    pub num_threads: usize,
+}
+
 /// One point in the configuration space: all swept variables plus the
 /// thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -112,6 +132,18 @@ impl TuningConfig {
     /// count.
     pub fn is_default(&self, arch: Arch) -> bool {
         *self == TuningConfig::default_for(arch, self.num_threads)
+    }
+
+    /// The plan-relevant projection of this configuration: the cache
+    /// key for simulation-plan reuse (see [`PlanProjection`]).
+    pub fn plan_projection(&self) -> PlanProjection {
+        PlanProjection {
+            places: self.places,
+            proc_bind: self.proc_bind,
+            schedule: self.schedule,
+            library: self.library,
+            num_threads: self.num_threads,
+        }
     }
 
     /// The binding policy actually in force (Sec. III-2 derivation):
@@ -313,6 +345,22 @@ mod tests {
         assert_eq!(env["OMP_PLACES"], "ll_caches");
         assert_eq!(env["KMP_BLOCKTIME"], "infinite");
         assert_eq!(TuningConfig::from_env(&env, Arch::Skylake), Some(c));
+    }
+
+    #[test]
+    fn plan_projection_ignores_pricing_variables() {
+        let a = TuningConfig::default_for(Arch::Milan, 96);
+        let mut b = a;
+        b.blocktime = KmpBlocktime::Zero;
+        b.align_alloc = KmpAlignAlloc(512);
+        b.force_reduction = KmpForceReduction::Atomic;
+        assert_eq!(a.plan_projection(), b.plan_projection());
+        // Structure-changing variables must show up in the projection.
+        b.schedule = OmpSchedule::Dynamic;
+        assert_ne!(a.plan_projection(), b.plan_projection());
+        let mut c = a;
+        c.library = KmpLibrary::Turnaround;
+        assert_ne!(a.plan_projection(), c.plan_projection());
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use analysis::{
     InfluenceRow, OPTIMAL_SPEEDUP_THRESHOLD,
 };
 pub use arch::Arch;
-pub use config::{EffectiveBind, ReductionMethod, TuningConfig, WaitPolicy};
+pub use config::{EffectiveBind, PlanProjection, ReductionMethod, TuningConfig, WaitPolicy};
 pub use diag::{Diagnostic, Severity};
 pub use envvar::{
     KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,

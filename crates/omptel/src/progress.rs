@@ -4,10 +4,32 @@
 //! is throttled and serialized so lines never interleave (the
 //! `sweep::collect` bug this replaces). The sink is pluggable so tests
 //! can capture output instead of writing to stderr.
+//!
+//! The ETA is computed from the completion **rate over a sliding
+//! window**, not from the cumulative average, and the reported value is
+//! clamped non-increasing. Under a work-stealing scheduler completions
+//! arrive out of order and in bursts (a worker drains a stolen chunk,
+//! then a warm cache floods hundreds of units at once); a cumulative
+//! rate makes the ETA bounce upward whenever a slow cold stretch follows
+//! a warm burst. The window tracks the current regime and the clamp
+//! keeps the display monotone.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Sliding-window rate state: recent `(elapsed_ms, done)` observations.
+struct EtaState {
+    samples: VecDeque<(u64, u64)>,
+    /// Last ETA (seconds) shown; the reported value never exceeds it.
+    last_eta_s: f64,
+}
+
+/// Maximum observations kept in the sliding window.
+const WINDOW_SAMPLES: usize = 32;
+/// Observations older than this fall out of the window.
+const WINDOW_MS: u64 = 10_000;
 
 enum Sink {
     /// `\r`-refreshed stderr line.
@@ -26,6 +48,7 @@ pub struct Progress {
     started: Instant,
     /// Millisecond timestamp (since `started`) of the last render.
     last_render_ms: AtomicU64,
+    eta: Mutex<EtaState>,
     sink: Mutex<Sink>,
 }
 
@@ -40,6 +63,10 @@ impl Progress {
             done: AtomicU64::new(0),
             started: Instant::now(),
             last_render_ms: AtomicU64::new(0),
+            eta: Mutex::new(EtaState {
+                samples: VecDeque::with_capacity(WINDOW_SAMPLES + 1),
+                last_eta_s: f64::INFINITY,
+            }),
             sink: Mutex::new(sink),
         }
     }
@@ -91,26 +118,74 @@ impl Progress {
         self.started.elapsed().as_secs_f64()
     }
 
+    /// Completion rate (items/s) over the sliding window, falling back
+    /// to the cumulative rate while the window is still filling. Also
+    /// records the `(now_ms, done)` observation.
+    fn window_rate(&self, done: u64, now_ms: u64, elapsed_s: f64) -> f64 {
+        let mut eta = self.eta.lock().expect("progress eta poisoned");
+        // Drop observations that fell out of the window.
+        while eta.samples.len() >= WINDOW_SAMPLES
+            || eta
+                .samples
+                .front()
+                .is_some_and(|&(t, _)| now_ms.saturating_sub(t) > WINDOW_MS)
+        {
+            eta.samples.pop_front();
+        }
+        eta.samples.push_back((now_ms, done));
+        let cumulative = if elapsed_s > 0.0 {
+            done as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        match eta.samples.front() {
+            // A window needs a time delta to define a rate; until then
+            // (or when all observations land in one millisecond) the
+            // cumulative average is the best estimate available.
+            Some(&(t0, d0)) if now_ms > t0 && done > d0 => {
+                (done - d0) as f64 / ((now_ms - t0) as f64 / 1000.0)
+            }
+            _ => cumulative,
+        }
+    }
+
+    /// ETA in seconds from the window rate, clamped non-increasing so
+    /// out-of-order completion bursts never make the display jump up.
+    fn monotone_eta(&self, remaining: u64, rate: f64) -> f64 {
+        let mut eta = self.eta.lock().expect("progress eta poisoned");
+        if remaining == 0 {
+            eta.last_eta_s = 0.0;
+            return 0.0;
+        }
+        let raw = if rate > 0.0 {
+            remaining as f64 / rate
+        } else {
+            f64::INFINITY
+        };
+        let shown = raw.min(eta.last_eta_s);
+        eta.last_eta_s = shown;
+        shown
+    }
+
     fn render(&self, done: u64) -> String {
         let elapsed = self.elapsed_s();
-        let rate = if elapsed > 0.0 {
-            done as f64 / elapsed
-        } else {
-            0.0
-        };
-        let eta = if rate > 0.0 && done < self.total {
-            (self.total - done) as f64 / rate
-        } else {
-            0.0
-        };
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let rate = self.window_rate(done, now_ms, elapsed);
+        let remaining = self.total.saturating_sub(done);
+        let eta = self.monotone_eta(remaining, rate);
         let pct = if self.total > 0 {
             100.0 * done as f64 / self.total as f64
         } else {
             100.0
         };
+        let eta_text = if eta.is_finite() {
+            format!("{eta:.0}s")
+        } else {
+            "?".to_string()
+        };
         format!(
-            "{}: {}/{} ({:.0}%) {:.1}/s eta {:.0}s",
-            self.label, done, self.total, pct, rate, eta
+            "{}: {}/{} ({:.0}%) {:.1}/s eta {}",
+            self.label, done, self.total, pct, rate, eta_text
         )
     }
 
@@ -198,6 +273,62 @@ mod tests {
             }
         });
         assert_eq!(p.done(), 4000);
+    }
+
+    #[test]
+    fn eta_is_monotone_under_bursty_completion() {
+        // A work-stealing sweep completes units out of order: a warm
+        // burst (cache hits) followed by a cold stretch. The reported
+        // ETA must never jump upward across renders.
+        let p = Progress::buffered("steal", 1000);
+        let mut done = 0u64;
+        let mut now_ms = 0u64;
+        let mut last_eta = f64::INFINITY;
+        // (units completed, ms elapsed) per tick: bursts then stalls.
+        let pattern = [
+            (200, 100),
+            (300, 100), // warm burst: 500 units in 0.2s
+            (5, 400),
+            (5, 400), // cold stretch: rate collapses
+            (400, 100),
+            (90, 100),
+        ];
+        for (n, dt) in pattern {
+            done += n;
+            now_ms += dt;
+            let rate = p.window_rate(done, now_ms, now_ms as f64 / 1000.0);
+            let eta = p.monotone_eta(p.total - done, rate);
+            assert!(
+                eta <= last_eta,
+                "eta rose from {last_eta} to {eta} at done={done}"
+            );
+            last_eta = eta;
+        }
+        assert_eq!(done, 1000);
+        assert_eq!(p.monotone_eta(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn window_rate_tracks_recent_regime_not_cumulative() {
+        let p = Progress::buffered("window", 100_000);
+        // Slow start: 10 units over 200 seconds; each observation is 20s
+        // apart, so earlier ones age out of the 10s window.
+        let mut done = 0u64;
+        for i in 1..=10u64 {
+            done = i;
+            p.window_rate(done, i * 20_000, (i * 20) as f64);
+        }
+        // Fast regime: 10k units over the next second.
+        for i in 1..=10u64 {
+            let rate = p.window_rate(done + i * 1_000, 200_000 + i * 100, 200.0 + i as f64 * 0.1);
+            if i == 10 {
+                let cumulative = (done + 10_000) as f64 / 201.0;
+                assert!(
+                    rate > 5.0 * cumulative,
+                    "window rate {rate} should leave cumulative {cumulative} behind"
+                );
+            }
+        }
     }
 
     #[test]

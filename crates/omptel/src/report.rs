@@ -96,6 +96,11 @@ pub fn render(e: &Explanation, s: &Summary) -> String {
         Counter::ReduceTree,
         Counter::ReduceCritical,
         Counter::ReduceAtomic,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::SampleCacheHits,
+        Counter::SampleCacheMisses,
+        Counter::SweepSteals,
     ];
     if !s.counters.is_empty() {
         out.push_str("counters:\n");

@@ -52,11 +52,21 @@ pub enum Counter {
     ReduceCritical,
     /// Reductions combined via the atomic path.
     ReduceAtomic,
+    /// Simulator region plans served from the in-memory plan cache.
+    PlanCacheHits,
+    /// Simulator region plans built from scratch (cache misses).
+    PlanCacheMisses,
+    /// Sweep samples served from the persistent sample cache.
+    SampleCacheHits,
+    /// Sweep samples simulated because no valid cache entry existed.
+    SampleCacheMisses,
+    /// Work units one sweep worker stole from another's deque.
+    SweepSteals,
 }
 
 impl Counter {
     /// Number of counters; sizes the registry array.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 21;
 
     /// Every counter, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -76,6 +86,11 @@ impl Counter {
         Counter::ReduceTree,
         Counter::ReduceCritical,
         Counter::ReduceAtomic,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::SampleCacheHits,
+        Counter::SampleCacheMisses,
+        Counter::SweepSteals,
     ];
 
     /// Stable lower-snake name used in exports.
@@ -97,6 +112,11 @@ impl Counter {
             Counter::ReduceTree => "reduce_tree",
             Counter::ReduceCritical => "reduce_critical",
             Counter::ReduceAtomic => "reduce_atomic",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::SampleCacheHits => "sample_cache_hits",
+            Counter::SampleCacheMisses => "sample_cache_misses",
+            Counter::SweepSteals => "sweep_steals",
         }
     }
 }

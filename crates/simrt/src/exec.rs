@@ -46,7 +46,7 @@ pub struct TimeBreakdown {
 }
 
 impl TimeBreakdown {
-    fn add_scaled(&mut self, other: &TimeBreakdown, k: f64) {
+    pub(crate) fn add_scaled(&mut self, other: &TimeBreakdown, k: f64) {
         self.compute_ns += other.compute_ns * k;
         self.memory_ns += other.memory_ns * k;
         self.sync_ns += other.sync_ns * k;
@@ -55,7 +55,7 @@ impl TimeBreakdown {
         self.serial_ns += other.serial_ns * k;
     }
 
-    fn diff(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+    pub(crate) fn diff(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
         TimeBreakdown {
             compute_ns: self.compute_ns - earlier.compute_ns,
             memory_ns: self.memory_ns - earlier.memory_ns,
@@ -110,7 +110,7 @@ pub fn machine_for(arch: Arch) -> MachineDesc {
 }
 
 /// Per-thread execution environment derived from the placement.
-struct ThreadEnv {
+pub(crate) struct ThreadEnv {
     /// Slowdown from core sharing (1.0 = exclusive core).
     speed_div: Vec<f64>,
     /// NUMA node of each thread.
@@ -123,7 +123,7 @@ struct ThreadEnv {
     load: f64,
 }
 
-fn thread_env(arch: Arch, tuning: &TuningConfig, topo: &Topology) -> ThreadEnv {
+pub(crate) fn thread_env(arch: Arch, tuning: &TuningConfig, topo: &Topology) -> ThreadEnv {
     let machine = topo.machine();
     let t = tuning.num_threads;
     let placement = Placement::compute(arch, tuning);
@@ -243,21 +243,50 @@ impl FinishHeap {
     }
 }
 
-/// Simulate one worksharing-loop region; returns its span and updates the
-/// breakdown.
-fn simulate_loop(
+/// The schedule-dependent structure of one parallel region, computed
+/// once per plan projection and re-priced per configuration.
+///
+/// `span` is the critical-path span of the region body (chunk
+/// assignment, dispatch, imbalance tails, unbound-OS penalty applied) —
+/// everything *before* the price-layer barrier/reduction constants. The
+/// `*_add` fields are the exact breakdown addends the monolithic path
+/// would apply, preserved verbatim so re-pricing is bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PlannedRegion {
+    pub span: f64,
+    pub compute_add: f64,
+    pub memory_add: f64,
+    pub dispatch_add: f64,
+    /// Zero-work region: the monolithic path returns early and charges
+    /// nothing (not even a barrier), so pricing must skip too.
+    pub empty: bool,
+}
+
+impl PlannedRegion {
+    const EMPTY: PlannedRegion = PlannedRegion {
+        span: 0.0,
+        compute_add: 0.0,
+        memory_add: 0.0,
+        dispatch_add: 0.0,
+        empty: true,
+    };
+}
+
+/// Plan one worksharing-loop region: everything that depends only on
+/// the plan projection (schedule, placement, thread count, library),
+/// the model, and the seed.
+pub(crate) fn plan_loop(
     phase: &LoopPhase,
-    tuning: &TuningConfig,
+    t: usize,
+    schedule: omptune_core::OmpSchedule,
     machine: &MachineDesc,
     env: &ThreadEnv,
     migration_sensitivity: f64,
     seed: u64,
-    bd: &mut TimeBreakdown,
-) -> f64 {
+) -> PlannedRegion {
     use omptune_core::OmpSchedule;
-    let t = tuning.num_threads;
     if phase.iters == 0 {
-        return 0.0;
+        return PlannedRegion::EMPTY;
     }
     let units = (phase.iters as usize).min(MAX_UNITS);
     let iters_per_unit = phase.iters as f64 / units as f64;
@@ -306,15 +335,15 @@ fn simulate_loop(
         interp(i1) - interp(i0)
     };
 
-    bd.compute_ns += total_compute / t as f64;
-    bd.memory_ns += mem[0] * phase.iters as f64 / t as f64;
+    let compute_add = total_compute / t as f64;
+    let memory_add = mem[0] * phase.iters as f64 / t as f64;
 
     let mut dispatch_total = 0.0;
     // Effective parallel capacity in unit-speed threads (oversubscribed
     // threads contribute 1/div each) — a work-conserving dispatcher
     // achieves it.
     let capacity: f64 = env.speed_div.iter().map(|d| 1.0 / d).sum();
-    let span = match tuning.schedule {
+    let span = match schedule {
         OmpSchedule::Static | OmpSchedule::Auto => {
             // Exact near-equal contiguous split of the iteration space.
             let mut span = 0.0f64;
@@ -363,7 +392,7 @@ fn simulate_loop(
             heap.max_finish()
         }
     };
-    bd.dispatch_ns += dispatch_total / t as f64;
+    let dispatch_add = dispatch_total / t as f64;
 
     // Unbound regions additionally wait out OS scheduler imbalance.
     let span = if env.bound {
@@ -372,9 +401,35 @@ fn simulate_loop(
         span * costs::unbound_span_penalty(machine, env.load)
     };
 
+    PlannedRegion {
+        span,
+        compute_add,
+        memory_add,
+        dispatch_add,
+        empty: false,
+    }
+}
+
+/// Apply the price layer to a planned loop region: the breakdown
+/// addends, then the barrier and reduction constants `KMP_ALIGN_ALLOC`
+/// and `KMP_FORCE_REDUCTION` control. Returns the full region span.
+pub(crate) fn price_loop(
+    planned: &PlannedRegion,
+    reductions: u32,
+    tuning: &TuningConfig,
+    machine: &MachineDesc,
+    bd: &mut TimeBreakdown,
+) -> f64 {
+    if planned.empty {
+        return 0.0;
+    }
+    let t = tuning.num_threads;
+    bd.compute_ns += planned.compute_add;
+    bd.memory_ns += planned.memory_add;
+    bd.dispatch_ns += planned.dispatch_add;
     let barrier = costs::barrier_ns(t, machine, tuning.align_alloc);
     let heuristic_pick = tuning.force_reduction == omptune_core::KmpForceReduction::Unset;
-    let red = phase.reductions as f64
+    let red = reductions as f64
         * costs::reduction_ns(
             tuning.reduction_method(),
             t,
@@ -383,23 +438,45 @@ fn simulate_loop(
             heuristic_pick,
         );
     bd.sync_ns += barrier + red;
-    span + barrier + red
+    planned.span + barrier + red
 }
 
-/// Simulate one task region; returns its span.
-fn simulate_tasks(
-    phase: &TaskPhase,
+/// Monolithic loop simulation: plan + price in one call.
+fn simulate_loop(
+    phase: &LoopPhase,
     tuning: &TuningConfig,
     machine: &MachineDesc,
     env: &ThreadEnv,
+    migration_sensitivity: f64,
     seed: u64,
     bd: &mut TimeBreakdown,
 ) -> f64 {
-    let t = tuning.num_threads;
+    let planned = plan_loop(
+        phase,
+        tuning.num_threads,
+        tuning.schedule,
+        machine,
+        env,
+        migration_sensitivity,
+        seed,
+    );
+    price_loop(&planned, phase.reductions, tuning, machine, bd)
+}
+
+/// Plan one task region: the greedy earliest-free-thread makespan.
+/// `KMP_LIBRARY` enters here (not in pricing) because yielding idle
+/// workers change per-task starvation costs inside the dispatch loop.
+pub(crate) fn plan_tasks(
+    phase: &TaskPhase,
+    t: usize,
+    yielding: bool,
+    machine: &MachineDesc,
+    env: &ThreadEnv,
+    seed: u64,
+) -> PlannedRegion {
     if phase.n_tasks == 0 {
-        return 0.0;
+        return PlannedRegion::EMPTY;
     }
-    let yielding = tuning.library == omptune_core::KmpLibrary::Throughput;
     let units = (phase.n_tasks as usize).min(MAX_UNITS);
     let tasks_per_unit = phase.n_tasks as f64 / units as f64;
     let base_task = phase.cycles_per_task / machine.clock_ghz;
@@ -424,9 +501,9 @@ fn simulate_tasks(
         let per_task = base_task * w + mem + admin + starve;
         heap.push(f + per_task * tasks_per_unit * env.speed_div[i], i);
     }
-    bd.compute_ns += base_task * phase.n_tasks as f64 / t as f64;
-    bd.memory_ns += mem_total / t as f64;
-    bd.dispatch_ns += (admin + starve) * phase.n_tasks as f64 / t as f64;
+    let compute_add = base_task * phase.n_tasks as f64 / t as f64;
+    let memory_add = mem_total / t as f64;
+    let dispatch_add = (admin + starve) * phase.n_tasks as f64 / t as f64;
 
     let span = heap.max_finish();
     let span = if env.bound {
@@ -434,9 +511,46 @@ fn simulate_tasks(
     } else {
         span * costs::unbound_span_penalty(machine, env.load)
     };
-    let barrier = costs::barrier_ns(t, machine, tuning.align_alloc);
+    PlannedRegion {
+        span,
+        compute_add,
+        memory_add,
+        dispatch_add,
+        empty: false,
+    }
+}
+
+/// Apply the price layer to a planned task region (the barrier constant
+/// is the only priced component). Returns the full region span.
+pub(crate) fn price_tasks(
+    planned: &PlannedRegion,
+    tuning: &TuningConfig,
+    machine: &MachineDesc,
+    bd: &mut TimeBreakdown,
+) -> f64 {
+    if planned.empty {
+        return 0.0;
+    }
+    bd.compute_ns += planned.compute_add;
+    bd.memory_ns += planned.memory_add;
+    bd.dispatch_ns += planned.dispatch_add;
+    let barrier = costs::barrier_ns(tuning.num_threads, machine, tuning.align_alloc);
     bd.sync_ns += barrier;
-    span + barrier
+    planned.span + barrier
+}
+
+/// Monolithic task simulation: plan + price in one call.
+fn simulate_tasks(
+    phase: &TaskPhase,
+    tuning: &TuningConfig,
+    machine: &MachineDesc,
+    env: &ThreadEnv,
+    seed: u64,
+    bd: &mut TimeBreakdown,
+) -> f64 {
+    let yielding = tuning.library == omptune_core::KmpLibrary::Throughput;
+    let planned = plan_tasks(phase, tuning.num_threads, yielding, machine, env, seed);
+    price_tasks(&planned, tuning, machine, bd)
 }
 
 /// State threaded between timesteps.
@@ -455,8 +569,8 @@ struct StepOutcome {
 /// imbalance sink — so components always sum to the region's elapsed
 /// virtual time.
 #[allow(clippy::too_many_arguments)]
-fn record_sim_region(
-    model: &Model,
+pub(crate) fn record_sim_region(
+    model_name: &str,
     pi: usize,
     kind: omptel::RegionKind,
     begin_ns: f64,
@@ -484,7 +598,7 @@ fn record_sim_region(
         })
         .collect();
     omptel::record_region(omptel::RegionProfile {
-        name: format!("{}/p{}", model.name, pi),
+        name: format!("{model_name}/p{pi}"),
         kind,
         begin_ns,
         total_ns: region_total,
@@ -538,7 +652,7 @@ fn simulate_step(
                 omptel::add(omptel::Counter::Regions, 1);
                 if tel {
                     record_sim_region(
-                        model,
+                        &model.name,
                         pi,
                         omptel::RegionKind::Loop,
                         base_ns + total,
@@ -563,7 +677,7 @@ fn simulate_step(
                 omptel::add(omptel::Counter::Regions, 1);
                 if tel {
                     record_sim_region(
-                        model,
+                        &model.name,
                         pi,
                         omptel::RegionKind::Tasks,
                         base_ns + total,
@@ -592,7 +706,24 @@ fn simulate_step(
 /// Deterministic: the same `(arch, tuning, model, seed)` always yields the
 /// same result. Measurement noise is applied downstream by the sweep
 /// harness, not here.
+///
+/// Internally this builds a fresh [`crate::plan::RegionPlan`] and prices
+/// it — bit-identical to [`simulate_monolithic`], which the property
+/// tests pin. Sweeps over many configurations sharing a plan projection
+/// should use [`crate::plan::simulate_with_cache`] instead.
 pub fn simulate(arch: Arch, tuning: &TuningConfig, model: &Model, seed: u64) -> SimResult {
+    crate::plan::RegionPlan::build(arch, tuning.plan_projection(), model, seed).price(tuning)
+}
+
+/// The original single-pass simulation path: plan and price interleaved
+/// per phase, no reusable plan structure. Kept as the reference the
+/// plan/price split is property-tested against.
+pub fn simulate_monolithic(
+    arch: Arch,
+    tuning: &TuningConfig,
+    model: &Model,
+    seed: u64,
+) -> SimResult {
     let machine = machine_for(arch);
     let topo = Topology::new(machine.clone());
     let env = thread_env(arch, tuning, &topo);
@@ -886,8 +1017,7 @@ mod tests {
         assert_eq!(r.regions, 10);
     }
 
-    /// Sessions are process-global; telemetry tests serialize on this.
-    static TEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    use crate::TEL_TEST_LOCK as TEL_LOCK;
 
     #[test]
     fn telemetry_region_breakdowns_sum_to_region_totals() {

@@ -23,8 +23,15 @@ pub mod exec;
 pub mod explain;
 pub mod microsim;
 pub mod model;
+pub mod plan;
 
-pub use exec::{machine_for, simulate, SimResult, TimeBreakdown, MAX_UNITS};
+/// Telemetry sessions are process-global; every test that opens one
+/// serializes on this lock regardless of which module it lives in.
+#[cfg(test)]
+pub(crate) static TEL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+pub use exec::{machine_for, simulate, simulate_monolithic, SimResult, TimeBreakdown, MAX_UNITS};
 pub use explain::{explain, Explanation, PhaseCost};
 pub use microsim::{run_loop_event_driven, MicroResult};
 pub use model::{AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};
+pub use plan::{simulate_with_cache, PlanCache, RegionPlan};

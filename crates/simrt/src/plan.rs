@@ -1,0 +1,532 @@
+//! The plan/price split: reusable simulation plans and a projection-keyed
+//! plan cache.
+//!
+//! A full-factorial sweep visits thousands of configurations per
+//! `(arch, app, thread-count)` cell, but most of them differ only in the
+//! *pricing* variables — `KMP_BLOCKTIME`, `KMP_ALIGN_ALLOC`,
+//! `KMP_FORCE_REDUCTION` — which never change how iterations are chunked,
+//! where threads land, or who steals from whom. [`RegionPlan`] captures
+//! everything that depends on the [`PlanProjection`]
+//! (schedule, places, proc-bind, library, thread count) plus the model
+//! and seed; [`RegionPlan::price`] then replays the cheap constants for
+//! one concrete configuration.
+//!
+//! **Bit-identity contract.** `RegionPlan::build(..).price(tuning)` must
+//! produce a [`SimResult`] bit-identical to
+//! [`crate::exec::simulate_monolithic`] for every configuration — the
+//! plan stores the exact f64 addends the monolithic path would apply and
+//! pricing replays its accumulation order verbatim. The property tests in
+//! `tests/properties.rs` pin this.
+
+use crate::costs;
+use crate::exec::{
+    machine_for, plan_loop, plan_tasks, price_loop, price_tasks, record_sim_region, thread_env,
+    PlannedRegion, SimResult, ThreadEnv, TimeBreakdown,
+};
+use crate::model::{Model, Phase};
+use archsim::{MachineDesc, Topology};
+use omptune_core::{Arch, PlanProjection, TuningConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One phase of a planned timestep.
+#[derive(Debug, Clone, PartialEq)]
+enum PhasePlan {
+    Serial {
+        ns: f64,
+    },
+    Region {
+        /// Phase index in the model (telemetry region naming).
+        pi: usize,
+        kind: omptel::RegionKind,
+        planned: PlannedRegion,
+        /// Reduction clauses (loop regions only; zero for task regions).
+        reductions: u32,
+        /// Serial idle time accumulated since the previous region ended —
+        /// the wake-up latency input. Price-independent: serial phases
+        /// and region boundaries are plan structure, so this is
+        /// precomputed exactly as the monolithic path threads it.
+        idle_before: f64,
+    },
+}
+
+/// One planned timestep: the phase sequence with all schedule-dependent
+/// structure resolved.
+#[derive(Debug, Clone, PartialEq)]
+struct StepPlan {
+    phases: Vec<PhasePlan>,
+    regions: u64,
+}
+
+/// Priced outcome of one step (mirrors the monolithic `StepOutcome`,
+/// minus the idle threading which the plan already resolved).
+struct PricedStep {
+    ns: f64,
+    bd: TimeBreakdown,
+    regions: u64,
+}
+
+/// The reusable, schedule-dependent part of a simulation: everything
+/// [`crate::exec::simulate_monolithic`] computes that depends only on
+/// `(arch, plan projection, model, seed)`.
+pub struct RegionPlan {
+    arch: Arch,
+    seed: u64,
+    projection: PlanProjection,
+    model_name: String,
+    timesteps: u32,
+    /// One entry for the cold step; a second for the warm step when the
+    /// model has more than one timestep.
+    steps: Vec<StepPlan>,
+    env: ThreadEnv,
+}
+
+impl RegionPlan {
+    /// Plan the cold and warm timesteps for `projection` on `arch`.
+    pub fn build(arch: Arch, projection: PlanProjection, model: &Model, seed: u64) -> RegionPlan {
+        let machine = machine_for(arch);
+        let topo = Topology::new(machine.clone());
+        // Planning config: projection fields forced, pricing fields at
+        // their defaults — the planning passes never read them.
+        let planning = TuningConfig {
+            places: projection.places,
+            proc_bind: projection.proc_bind,
+            schedule: projection.schedule,
+            library: projection.library,
+            num_threads: projection.num_threads,
+            ..TuningConfig::default_for(arch, projection.num_threads)
+        };
+        let env = thread_env(arch, &planning, &topo);
+        let t = projection.num_threads;
+        let yielding = projection.library == omptune_core::KmpLibrary::Throughput;
+
+        let sim_steps: u64 = if model.timesteps > 1 { 2 } else { 1 };
+        let mut steps = Vec::with_capacity(sim_steps as usize);
+        // Idle-time threading across steps reproduces the monolithic
+        // chain: INFINITY before the very first region (cold team), then
+        // trailing serial time carries into the next step.
+        let mut idle_since_region = f64::INFINITY;
+        for step in 0..sim_steps {
+            let mut phases = Vec::with_capacity(model.phases.len());
+            let mut regions = 0u64;
+            for (pi, phase) in model.phases.iter().enumerate() {
+                let phase_seed = seed ^ (step << 32) ^ pi as u64;
+                match phase {
+                    Phase::Serial { ns } => {
+                        idle_since_region += ns;
+                        phases.push(PhasePlan::Serial { ns: *ns });
+                    }
+                    Phase::Loop(l) => {
+                        let planned = plan_loop(
+                            l,
+                            t,
+                            projection.schedule,
+                            &machine,
+                            &env,
+                            model.migration_sensitivity,
+                            phase_seed,
+                        );
+                        phases.push(PhasePlan::Region {
+                            pi,
+                            kind: omptel::RegionKind::Loop,
+                            planned,
+                            reductions: l.reductions,
+                            idle_before: idle_since_region,
+                        });
+                        idle_since_region = 0.0;
+                        regions += 1;
+                    }
+                    Phase::Tasks(tp) => {
+                        let planned = plan_tasks(tp, t, yielding, &machine, &env, phase_seed);
+                        phases.push(PhasePlan::Region {
+                            pi,
+                            kind: omptel::RegionKind::Tasks,
+                            planned,
+                            reductions: 0,
+                            idle_before: idle_since_region,
+                        });
+                        idle_since_region = 0.0;
+                        regions += 1;
+                    }
+                }
+            }
+            steps.push(StepPlan { phases, regions });
+        }
+        RegionPlan {
+            arch,
+            seed,
+            projection,
+            model_name: model.name.clone(),
+            timesteps: model.timesteps,
+            steps,
+            env,
+        }
+    }
+
+    /// The projection this plan was built for.
+    pub fn projection(&self) -> PlanProjection {
+        self.projection
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Price the plan under one concrete configuration. `tuning` must
+    /// project onto this plan's [`PlanProjection`].
+    pub fn price(&self, tuning: &TuningConfig) -> SimResult {
+        debug_assert_eq!(
+            tuning.plan_projection(),
+            self.projection,
+            "priced config must match the plan projection"
+        );
+        let machine = machine_for(self.arch);
+        let policy = tuning.wait_policy();
+
+        let mut total = 0.0f64;
+        let mut bd = TimeBreakdown::default();
+        let mut regions = 0u64;
+
+        let s0 = self.price_step(0, tuning, &machine, policy, 0.0);
+        total += s0.ns;
+        bd.add_scaled(&s0.bd, 1.0);
+        regions += s0.regions;
+
+        if self.timesteps > 1 {
+            let s1 = self.price_step(1, tuning, &machine, policy, s0.ns);
+            let reps = (self.timesteps - 1) as f64;
+            total += s1.ns * reps;
+            bd.add_scaled(&s1.bd, reps);
+            regions += s1.regions * (self.timesteps as u64 - 1);
+        }
+
+        SimResult {
+            total_ns: total,
+            breakdown: bd,
+            regions,
+        }
+    }
+
+    /// Price one planned step, replaying `simulate_step`'s accumulation
+    /// order exactly.
+    fn price_step(
+        &self,
+        idx: usize,
+        tuning: &TuningConfig,
+        machine: &MachineDesc,
+        policy: omptune_core::WaitPolicy,
+        base_ns: f64,
+    ) -> PricedStep {
+        let step = &self.steps[idx];
+        let t = tuning.num_threads;
+        let mut bd = TimeBreakdown::default();
+        let mut total = 0.0f64;
+        let tel = omptel::enabled();
+        for phase in &step.phases {
+            match phase {
+                PhasePlan::Serial { ns } => {
+                    total += ns;
+                    bd.serial_ns += ns;
+                }
+                PhasePlan::Region {
+                    pi,
+                    kind,
+                    planned,
+                    reductions,
+                    idle_before,
+                } => {
+                    let before = bd;
+                    let wake = costs::region_wake_ns(machine, policy, *idle_before, t);
+                    let fork = costs::fork_ns(t);
+                    let span = match kind {
+                        omptel::RegionKind::Tasks => price_tasks(planned, tuning, machine, &mut bd),
+                        _ => price_loop(planned, *reductions, tuning, machine, &mut bd),
+                    };
+                    bd.wake_ns += wake;
+                    bd.sync_ns += fork;
+                    omptel::add(omptel::Counter::Regions, 1);
+                    if tel {
+                        record_sim_region(
+                            &self.model_name,
+                            *pi,
+                            *kind,
+                            base_ns + total,
+                            wake,
+                            wake + fork + span,
+                            &bd.diff(&before),
+                            &self.env,
+                        );
+                    }
+                    total += wake + fork + span;
+                }
+            }
+        }
+        PricedStep {
+            ns: total,
+            bd,
+            regions: step.regions,
+        }
+    }
+}
+
+/// In-memory plan cache for one `(arch, model, seed)` batch: maps each
+/// [`PlanProjection`] to its shared [`RegionPlan`]. Thread-safe; hit and
+/// miss counts are tracked locally (always) and mirrored into the
+/// `omptel` counters when a telemetry session is active.
+pub struct PlanCache {
+    arch: Arch,
+    seed: u64,
+    model_name: String,
+    plans: Mutex<HashMap<PlanProjection, Arc<RegionPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Empty cache for simulations of `model` on `arch` with `seed`.
+    pub fn new(arch: Arch, model: &Model, seed: u64) -> PlanCache {
+        PlanCache {
+            arch,
+            seed,
+            model_name: model.name.clone(),
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan for `tuning`'s projection, building it on first use.
+    ///
+    /// Concurrent misses on the same projection may both build; the first
+    /// insert wins and both results are identical (planning is
+    /// deterministic), so the race costs duplicated work, never wrong
+    /// answers.
+    pub fn plan(&self, tuning: &TuningConfig, model: &Model) -> Arc<RegionPlan> {
+        debug_assert_eq!(
+            model.name, self.model_name,
+            "plan cache is per (arch, model, seed)"
+        );
+        let key = tuning.plan_projection();
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            omptel::add(omptel::Counter::PlanCacheHits, 1);
+            return Arc::clone(plan);
+        }
+        let built = Arc::new(RegionPlan::build(self.arch, key, model, self.seed));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        omptel::add(omptel::Counter::PlanCacheMisses, 1);
+        Arc::clone(
+            self.plans
+                .lock()
+                .expect("plan cache poisoned")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct projections planned.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether no plan has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// [`crate::exec::simulate`] through a [`PlanCache`]: identical results,
+/// amortized planning. The cache must have been created for the same
+/// `(arch, model, seed)`.
+pub fn simulate_with_cache(
+    arch: Arch,
+    tuning: &TuningConfig,
+    model: &Model,
+    seed: u64,
+    cache: &PlanCache,
+) -> SimResult {
+    debug_assert_eq!(arch, cache.arch, "cache built for a different arch");
+    debug_assert_eq!(seed, cache.seed, "cache built for a different seed");
+    cache.plan(tuning, model).price(tuning)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{simulate, simulate_monolithic};
+    use crate::model::{AccessPattern, Imbalance, LoopPhase, TaskPhase};
+    use omptune_core::{
+        KmpAlignAlloc, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind,
+        OmpSchedule,
+    };
+
+    fn mixed_model() -> Model {
+        Model {
+            name: "mixed".into(),
+            phases: vec![
+                Phase::Loop(LoopPhase {
+                    iters: 40_000,
+                    cycles_per_iter: 180.0,
+                    bytes_per_iter: 64.0,
+                    access: AccessPattern::Streaming,
+                    imbalance: Imbalance::Random { cv: 0.4 },
+                    reductions: 2,
+                }),
+                Phase::Serial { ns: 8_000.0 },
+                Phase::Tasks(TaskPhase {
+                    n_tasks: 5_000,
+                    cycles_per_task: 700.0,
+                    cv: 0.3,
+                    starvation: 0.4,
+                    bytes_per_task: 16.0,
+                }),
+            ],
+            timesteps: 6,
+            migration_sensitivity: 0.7,
+        }
+    }
+
+    #[test]
+    fn planned_price_is_bit_identical_to_monolithic() {
+        let m = mixed_model();
+        for arch in [Arch::A64fx, Arch::Skylake, Arch::Milan] {
+            let mut c = TuningConfig::default_for(arch, 24);
+            c.schedule = OmpSchedule::Guided;
+            c.places = OmpPlaces::Cores;
+            let planned = simulate(arch, &c, &m, 11);
+            let mono = simulate_monolithic(arch, &c, &m, 11);
+            assert_eq!(planned, mono, "{arch:?}");
+            assert_eq!(planned.total_ns.to_bits(), mono.total_ns.to_bits());
+        }
+    }
+
+    #[test]
+    fn one_plan_prices_every_pricing_variant_identically() {
+        let m = mixed_model();
+        let arch = Arch::Skylake;
+        let cache = PlanCache::new(arch, &m, 5);
+        let mut count = 0;
+        for blocktime in [
+            KmpBlocktime::Zero,
+            KmpBlocktime::Default200,
+            KmpBlocktime::Infinite,
+        ] {
+            for force in [
+                KmpForceReduction::Unset,
+                KmpForceReduction::Tree,
+                KmpForceReduction::Critical,
+                KmpForceReduction::Atomic,
+            ] {
+                for align in [KmpAlignAlloc(64), KmpAlignAlloc(4096)] {
+                    let mut c = TuningConfig::default_for(arch, 20);
+                    c.schedule = OmpSchedule::Dynamic;
+                    c.blocktime = blocktime;
+                    c.force_reduction = force;
+                    c.align_alloc = align;
+                    let cached = simulate_with_cache(arch, &c, &m, 5, &cache);
+                    let mono = simulate_monolithic(arch, &c, &m, 5);
+                    assert_eq!(
+                        cached.total_ns.to_bits(),
+                        mono.total_ns.to_bits(),
+                        "bt={blocktime:?} fr={force:?} al={align:?}"
+                    );
+                    assert_eq!(cached, mono);
+                    count += 1;
+                }
+            }
+        }
+        // All 24 pricing variants share one plan.
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, count - 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_projections_get_distinct_plans() {
+        let m = mixed_model();
+        let cache = PlanCache::new(Arch::Milan, &m, 0);
+        for schedule in [
+            OmpSchedule::Static,
+            OmpSchedule::Dynamic,
+            OmpSchedule::Guided,
+        ] {
+            for library in [KmpLibrary::Throughput, KmpLibrary::Turnaround] {
+                let mut c = TuningConfig::default_for(Arch::Milan, 16);
+                c.schedule = schedule;
+                c.library = library;
+                let a = simulate_with_cache(Arch::Milan, &c, &m, 0, &cache);
+                let b = simulate(Arch::Milan, &c, &m, 0);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn cached_simulation_matches_under_concurrency() {
+        let m = std::sync::Arc::new(mixed_model());
+        let cache = std::sync::Arc::new(PlanCache::new(Arch::A64fx, &m, 9));
+        let configs: Vec<TuningConfig> =
+            [OmpProcBind::Unset, OmpProcBind::Close, OmpProcBind::Spread]
+                .iter()
+                .flat_map(|&pb| {
+                    [KmpBlocktime::Zero, KmpBlocktime::Infinite]
+                        .iter()
+                        .map(move |&bt| {
+                            let mut c = TuningConfig::default_for(Arch::A64fx, 12);
+                            c.proc_bind = pb;
+                            c.places = OmpPlaces::Cores;
+                            c.blocktime = bt;
+                            c
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+        let expected: Vec<SimResult> = configs
+            .iter()
+            .map(|c| simulate_monolithic(Arch::A64fx, c, &m, 9))
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                let cache = std::sync::Arc::clone(&cache);
+                let configs = &configs;
+                let expected = &expected;
+                s.spawn(move || {
+                    for (c, want) in configs.iter().zip(expected) {
+                        let got = simulate_with_cache(Arch::A64fx, c, &m, 9, &cache);
+                        assert_eq!(&got, want);
+                    }
+                });
+            }
+        });
+    }
+
+    use crate::TEL_TEST_LOCK as TEL_LOCK;
+
+    #[test]
+    fn plan_cache_counters_reach_telemetry() {
+        let _guard = TEL_LOCK.lock().unwrap();
+        let m = mixed_model();
+        let cache = PlanCache::new(Arch::Skylake, &m, 1);
+        let session = omptel::session().expect("no other session active");
+        let mut c = TuningConfig::default_for(Arch::Skylake, 8);
+        simulate_with_cache(Arch::Skylake, &c, &m, 1, &cache);
+        c.blocktime = KmpBlocktime::Zero;
+        simulate_with_cache(Arch::Skylake, &c, &m, 1, &cache);
+        let batch = session.finish();
+        assert_eq!(batch.counters.get(omptel::Counter::PlanCacheMisses), 1);
+        assert_eq!(batch.counters.get(omptel::Counter::PlanCacheHits), 1);
+    }
+}

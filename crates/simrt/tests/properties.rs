@@ -3,7 +3,10 @@
 
 use omptune_core::{Arch, ConfigSpace, TuningConfig};
 use proptest::prelude::*;
-use simrt::{simulate, AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};
+use simrt::{
+    simulate, simulate_monolithic, AccessPattern, Imbalance, LoopPhase, Model, Phase, PlanCache,
+    TaskPhase,
+};
 
 fn arch_strategy() -> impl Strategy<Value = Arch> {
     prop_oneof![Just(Arch::A64fx), Just(Arch::Skylake), Just(Arch::Milan)]
@@ -109,6 +112,66 @@ proptest! {
         let r = simulate(arch, &config, &model, 0);
         let serial = n_tasks as f64 * cycles / machine.clock_ghz;
         prop_assert!(r.total_ns >= serial / t as f64);
+    }
+
+    /// The plan/price split is bit-identical to the monolithic path for
+    /// arbitrary configurations, seeds, and workload shapes — the
+    /// contract that lets the sweep share plans across pricing variants.
+    #[test]
+    fn planned_pricing_is_bit_identical_to_monolithic(
+        arch in arch_strategy(),
+        config_idx in 0usize..4608,
+        seed in any::<u64>(),
+        iters in 1u64..300_000,
+        timesteps in 1u32..8,
+        reductions in 0u32..3,
+    ) {
+        let t = arch.cores();
+        let space = ConfigSpace::new(arch, t);
+        let config = space.get(config_idx % space.len()).expect("in space");
+        let mut model = loop_model(iters, 250.0, timesteps);
+        if let Phase::Loop(l) = &mut model.phases[0] {
+            l.reductions = reductions;
+            l.imbalance = Imbalance::Random { cv: 0.3 };
+        }
+        let split = simulate(arch, &config, &model, seed);
+        let mono = simulate_monolithic(arch, &config, &model, seed);
+        prop_assert_eq!(
+            split.total_ns.to_bits(),
+            mono.total_ns.to_bits(),
+            "total_ns differs: {} vs {}", split.total_ns, mono.total_ns
+        );
+        prop_assert_eq!(split, mono);
+    }
+
+    /// A shared plan cache prices every configuration identically to a
+    /// fresh simulation: cache reuse never changes a result.
+    #[test]
+    fn plan_cache_reuse_is_bit_identical(
+        arch in arch_strategy(),
+        base_idx in 0usize..4608,
+        seed in any::<u64>(),
+    ) {
+        let t = arch.cores();
+        let space = ConfigSpace::new(arch, t);
+        let model = loop_model(40_000, 300.0, 4);
+        let cache = PlanCache::new(arch, &model, seed);
+        // A run of neighbouring configs: the odometer enumeration makes
+        // adjacent indices share plan projections, so the cache hits.
+        for k in 0..12 {
+            let config = space.get((base_idx + k) % space.len()).expect("in space");
+            let cached = simrt::simulate_with_cache(arch, &config, &model, seed, &cache);
+            let fresh = simulate_monolithic(arch, &config, &model, seed);
+            prop_assert_eq!(
+                cached.total_ns.to_bits(),
+                fresh.total_ns.to_bits(),
+                "config {} differs", (base_idx + k) % space.len()
+            );
+            prop_assert_eq!(cached, fresh);
+        }
+        let (hits, misses) = cache.stats();
+        prop_assert_eq!(hits + misses, 12);
+        prop_assert!(misses >= 1);
     }
 
     /// The default configuration is never the absolute worst: the

@@ -2,31 +2,123 @@
 //! paper promises — the processed tabular CSV, the raw per-batch JSON,
 //! per-sample provenance (JSON lines), and a structured run manifest.
 //!
-//! Usage: `collect [fast|paper|full|pruned] [output-dir]`
-//! Default: paper scope into `./dataset/`. `pruned` sweeps only the
-//! configurations `omplint` certifies as canonical (no redundant or
-//! invalid points).
+//! Collection runs through the work-stealing sweep scheduler with a
+//! persistent sample cache: an interrupted or repeated run replays
+//! finished batches from disk instead of recomputing them, and the
+//! output is byte-identical either way.
 
 use omptune_core::Arch;
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
 use std::time::Instant;
-use sweep::{Dataset, Scope, SweepSpec};
+use sweep::{Dataset, SampleCache, Scope, SweepOptions, SweepSpec};
+
+const HELP: &str = "\
+collect — run the paper's data-collection sweep and export its artifacts
+
+USAGE:
+    collect [SCOPE] [OUT_DIR] [OPTIONS]
+
+ARGS:
+    SCOPE     tiny | fast | paper | full | pruned   (default: paper)
+                tiny    smoke-test slice (every 400th config)
+                fast    small slice (every 24th config)
+                paper   Table II sample counts (the default)
+                full    every configuration of every setting
+                pruned  only omplint-canonical configurations
+    OUT_DIR   output directory (default: dataset)
+
+OPTIONS:
+    --workers N       worker threads for the sweep scheduler
+                      (default: available parallelism)
+    --no-cache        recompute everything; do not read or write the
+                      sample cache
+    --cache-dir PATH  sample-cache directory
+                      (default: target/sweep-cache)
+    -h, --help        print this help
+";
+
+struct Cli {
+    scope: Scope,
+    out_dir: PathBuf,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut scope = Scope::PaperSized;
+    let mut positional = 0usize;
+    let mut out_dir = PathBuf::from("dataset");
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut no_cache = false;
+    let mut cache_dir = PathBuf::from("target/sweep-cache");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            "--no-cache" => no_cache = true,
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                workers = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --workers value: {v}"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--cache-dir" => {
+                cache_dir = PathBuf::from(args.next().ok_or("--cache-dir needs a value")?);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option: {other} (see --help)"));
+            }
+            positional_arg => {
+                match positional {
+                    0 => {
+                        scope = match positional_arg {
+                            "tiny" => Scope::Strided(400),
+                            "fast" => Scope::Strided(24),
+                            "paper" => Scope::PaperSized,
+                            "full" => Scope::Full,
+                            "pruned" => Scope::Pruned,
+                            other => return Err(format!("unknown scope: {other} (see --help)")),
+                        };
+                    }
+                    1 => out_dir = PathBuf::from(positional_arg),
+                    _ => return Err(format!("unexpected argument: {positional_arg}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    Ok(Cli {
+        scope,
+        out_dir,
+        workers,
+        cache_dir: (!no_cache).then_some(cache_dir),
+    })
+}
 
 fn main() -> std::io::Result<()> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scope = match args.first().map(String::as_str) {
-        Some("fast") => Scope::Strided(24),
-        Some("full") => Scope::Full,
-        Some("pruned") => Scope::Pruned,
-        _ => Scope::PaperSized,
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("collect: {msg}");
+            std::process::exit(2);
+        }
     };
-    let out_dir = PathBuf::from(args.get(1).map(String::as_str).unwrap_or("dataset"));
-    fs::create_dir_all(&out_dir)?;
+    fs::create_dir_all(&cli.out_dir)?;
+    let cache = cli.cache_dir.map(SampleCache::new);
 
     let spec = SweepSpec {
-        scope,
+        scope: cli.scope,
         ..SweepSpec::default()
     };
     let mut manifest = sweep::RunManifest::new(&spec);
@@ -34,53 +126,58 @@ fn main() -> std::io::Result<()> {
     let mut timings = Vec::new();
 
     for &arch in Arch::ALL.iter() {
-        // The same work list the runner uses, unrolled here so the meter
-        // ticks once per completed (app, setting) batch.
-        let work: Vec<_> = {
-            let mut w = Vec::new();
-            let mut idx = 0usize;
-            for app in workloads::apps_on(arch) {
-                for setting in workloads::settings_for(app, arch) {
-                    w.push((app, setting, idx));
-                    idx += 1;
-                }
-            }
-            w
-        };
-        let meter = omptel::Progress::stderr(
-            &format!("sweep {} ({scope:?})", arch.id()),
-            work.len() as u64,
-        );
-        let t0 = Instant::now();
-        let mut arch_batches = Vec::new();
-        let mut arch_dropped = 0usize;
-        for (app, setting, idx) in work {
-            let mut data = sweep::sweep_setting(arch, app, setting, idx, &spec);
-            arch_dropped += sweep::clean(&mut data, spec.reps as usize).dropped.len();
-            arch_batches.push(data);
-            meter.inc(1);
+        let total = sweep::planned_samples(arch, &spec);
+        let meter =
+            omptel::Progress::stderr(&format!("sweep {} ({:?})", arch.id(), cli.scope), total);
+        let mut opts = SweepOptions::new(cli.workers).with_progress(&meter);
+        if let Some(c) = &cache {
+            opts = opts.with_cache(c);
         }
+        let t0 = Instant::now();
+        let before_cache = cache.as_ref().map(|c| c.stats()).unwrap_or((0, 0));
+        let outcome = sweep::sweep_arch_scheduled(arch, &spec, &opts);
         eprintln!("{}", meter.finish());
         let elapsed = t0.elapsed().as_secs_f64();
+
+        let mut arch_batches = outcome.batches;
+        let mut arch_dropped = 0usize;
+        for data in &mut arch_batches {
+            arch_dropped += sweep::clean(data, spec.reps as usize).dropped.len();
+        }
         manifest.push_arch(arch, &arch_batches, arch_dropped, elapsed);
         let samples: usize = arch_batches.iter().map(|b| b.samples.len()).sum();
+        let s = outcome.stats;
+        let arch_cache = (
+            s.sample_hits - before_cache.0,
+            s.sample_misses - before_cache.1,
+        );
+        eprintln!(
+            "{}: plan cache {}/{} hits, sample cache {}/{} hits, {} steals over {} units",
+            arch.id(),
+            s.plan_hits,
+            s.plan_hits + s.plan_misses,
+            arch_cache.0,
+            arch_cache.0 + arch_cache.1,
+            s.steals,
+            s.units
+        );
         timings.push((arch, arch_batches.len(), samples, arch_dropped, elapsed));
         batches.extend(arch_batches);
     }
 
     let dataset = Dataset::build(&batches);
 
-    let csv_path = out_dir.join("samples.csv");
+    let csv_path = cli.out_dir.join("samples.csv");
     let mut csv = BufWriter::new(fs::File::create(&csv_path)?);
     sweep::export::write_csv(&dataset, &mut csv)?;
     eprintln!("wrote {}", csv_path.display());
 
-    let raw_path = out_dir.join("raw_batches.json");
+    let raw_path = cli.out_dir.join("raw_batches.json");
     let mut raw = BufWriter::new(fs::File::create(&raw_path)?);
     sweep::export::write_raw_json(&batches, &mut raw)?;
     eprintln!("wrote {}", raw_path.display());
 
-    let prov_path = out_dir.join("provenance.jsonl");
+    let prov_path = cli.out_dir.join("provenance.jsonl");
     let provenance = sweep::provenance_of(&batches, &spec);
     let mut prov = BufWriter::new(fs::File::create(&prov_path)?);
     sweep::write_provenance_jsonl(&provenance, &mut prov)?;
@@ -90,13 +187,13 @@ fn main() -> std::io::Result<()> {
         provenance.len()
     );
 
-    let manifest_path = out_dir.join("manifest.json");
+    let manifest_path = cli.out_dir.join("manifest.json");
     let mut mf = BufWriter::new(fs::File::create(&manifest_path)?);
     sweep::write_manifest(&manifest, &mut mf)?;
     eprintln!("wrote {}", manifest_path.display());
 
     // Per-architecture Table II summary next to the data.
-    let summary_path = out_dir.join("SUMMARY.txt");
+    let summary_path = cli.out_dir.join("SUMMARY.txt");
     let mut summary = String::from("samples per architecture (paper Table II)\n");
     for (arch, apps, samples) in dataset.table2() {
         summary.push_str(&format!(
@@ -120,5 +217,12 @@ fn main() -> std::io::Result<()> {
         "total: {} samples, {} dropped",
         manifest.total_samples, manifest.total_dropped
     );
+    if let Some(c) = &cache {
+        let (h, m) = c.stats();
+        eprintln!(
+            "sample cache at {}: {h} hits, {m} misses",
+            c.dir().display()
+        );
+    }
     Ok(())
 }

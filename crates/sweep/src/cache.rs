@@ -1,0 +1,441 @@
+//! Persistent content-addressed sample cache: a warm re-run of a sweep
+//! replays simulation results from disk instead of recomputing them.
+//!
+//! A sample's identity is
+//! `(engine version, arch, app, setting, config hash, seed)` — exactly
+//! the inputs [`crate::runner::run_config`] is a pure function of
+//! (the noise stream is identity-derived, so `config_index` is pinned by
+//! the configuration and the setting). Records live in one JSON-lines
+//! file per `(arch, app, setting)` batch under the cache directory;
+//! every float is stored as its IEEE-754 bit pattern (`f64::to_bits`)
+//! so cached samples are **byte-identical** to recomputed ones — NaN
+//! failure-injected repetitions included — which the determinism tests
+//! pin.
+//!
+//! Corruption tolerance: a truncated line, junk bytes, a wrong-version
+//! record, or a hash mismatch make the affected sample a cache miss —
+//! it is recomputed and rewritten. The cache can never change a result,
+//! only the time it takes to produce it.
+
+use crate::provenance::config_hash;
+use crate::runner::{RunKey, SampleTelemetry, SettingData};
+use crate::spec::SweepSpec;
+use omptune_core::TuningConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache format / simulator-semantics version. Bump whenever the
+/// simulator, the noise model, or the record layout changes meaning —
+/// stale-version records are ignored (recomputed), never reinterpreted.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// The `config_index` under which a batch's default-configuration row is
+/// stored (it is not part of the sampled space; the runner gives it this
+/// sentinel index for its noise stream already).
+pub const DEFAULT_ROW_INDEX: usize = usize::MAX;
+
+/// One cached sample, floats as IEEE-754 bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheRecord {
+    /// [`ENGINE_VERSION`] at write time.
+    pub engine: u32,
+    /// Master seed of the sweep that produced this record.
+    pub seed: u64,
+    /// Repetitions per configuration at write time.
+    pub reps: u32,
+    /// `SweepSpec::failure_rate` bits (failures are part of the data).
+    pub failure_rate_bits: u64,
+    /// Odometer index of the configuration ([`DEFAULT_ROW_INDEX`] for
+    /// the default row).
+    pub config_index: usize,
+    /// FNV-1a content hash of the configuration (the address).
+    pub config_hash: u64,
+    /// Repetition runtimes, seconds, as bits (exact, NaN included).
+    pub runtimes_bits: Vec<u64>,
+    /// Telemetry: virtual nanoseconds as bits.
+    pub virtual_ns_bits: u64,
+    /// Telemetry: parallel regions executed.
+    pub regions: u64,
+    /// Telemetry breakdown as bits, in [`BREAKDOWN_FIELDS`] order.
+    pub breakdown_bits: Vec<u64>,
+}
+
+/// Field order of [`CacheRecord::breakdown_bits`].
+pub const BREAKDOWN_FIELDS: usize = 7;
+
+fn breakdown_to_bits(b: &omptel::Breakdown) -> Vec<u64> {
+    vec![
+        b.compute_ns.to_bits(),
+        b.memory_ns.to_bits(),
+        b.sync_ns.to_bits(),
+        b.wake_ns.to_bits(),
+        b.dispatch_ns.to_bits(),
+        b.serial_ns.to_bits(),
+        b.imbalance_ns.to_bits(),
+    ]
+}
+
+fn breakdown_from_bits(bits: &[u64]) -> omptel::Breakdown {
+    omptel::Breakdown {
+        compute_ns: f64::from_bits(bits[0]),
+        memory_ns: f64::from_bits(bits[1]),
+        sync_ns: f64::from_bits(bits[2]),
+        wake_ns: f64::from_bits(bits[3]),
+        dispatch_ns: f64::from_bits(bits[4]),
+        serial_ns: f64::from_bits(bits[5]),
+        imbalance_ns: f64::from_bits(bits[6]),
+    }
+}
+
+impl CacheRecord {
+    /// Encode one computed sample.
+    pub fn encode(
+        spec: &SweepSpec,
+        config_index: usize,
+        config: &TuningConfig,
+        runtimes: &[f64],
+        telemetry: &SampleTelemetry,
+    ) -> CacheRecord {
+        CacheRecord {
+            engine: ENGINE_VERSION,
+            seed: spec.seed,
+            reps: spec.reps,
+            failure_rate_bits: spec.failure_rate.to_bits(),
+            config_index,
+            config_hash: config_hash(config),
+            runtimes_bits: runtimes.iter().map(|r| r.to_bits()).collect(),
+            virtual_ns_bits: telemetry.virtual_ns.to_bits(),
+            regions: telemetry.regions,
+            breakdown_bits: breakdown_to_bits(&telemetry.breakdown),
+        }
+    }
+
+    /// Whether this record can answer for `spec` (same engine, seed,
+    /// repetition count, failure rate) and is structurally sound.
+    pub fn answers(&self, spec: &SweepSpec) -> bool {
+        self.engine == ENGINE_VERSION
+            && self.seed == spec.seed
+            && self.reps == spec.reps
+            && self.failure_rate_bits == spec.failure_rate.to_bits()
+            && self.runtimes_bits.len() == spec.reps as usize
+            && self.breakdown_bits.len() == BREAKDOWN_FIELDS
+    }
+
+    /// Decode the repetition runtimes.
+    pub fn runtimes(&self) -> Vec<f64> {
+        self.runtimes_bits
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect()
+    }
+
+    /// Decode the telemetry.
+    pub fn telemetry(&self) -> SampleTelemetry {
+        SampleTelemetry {
+            virtual_ns: f64::from_bits(self.virtual_ns_bits),
+            regions: self.regions,
+            breakdown: breakdown_from_bits(&self.breakdown_bits),
+        }
+    }
+}
+
+/// A loaded batch: valid records addressed by `config_index`; lookups
+/// additionally verify the config hash, so an index collision from a
+/// different space layout can never serve a wrong sample.
+pub struct BatchEntries {
+    records: HashMap<usize, CacheRecord>,
+}
+
+impl BatchEntries {
+    /// No cached entries (cold batch).
+    pub fn empty() -> BatchEntries {
+        BatchEntries {
+            records: HashMap::new(),
+        }
+    }
+
+    /// The cached `(runtimes, telemetry)` for `config`, if present and
+    /// content-addressed to exactly this configuration.
+    pub fn lookup(
+        &self,
+        config_index: usize,
+        config: &TuningConfig,
+    ) -> Option<(Vec<f64>, SampleTelemetry)> {
+        let rec = self.records.get(&config_index)?;
+        if rec.config_hash != config_hash(config) {
+            return None;
+        }
+        Some((rec.runtimes(), rec.telemetry()))
+    }
+
+    /// Number of usable records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the batch holds no usable records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Thread-safe handle to an on-disk sample cache rooted at one
+/// directory. Hit/miss counts are tracked locally (always) and mirrored
+/// into the `omptel` counters when a telemetry session is active.
+pub struct SampleCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SampleCache {
+    /// Cache rooted at `dir` (created on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> SampleCache {
+        SampleCache {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File holding one `(arch, app, setting)` batch.
+    pub fn batch_path(&self, key: &RunKey) -> PathBuf {
+        self.dir.join(key.arch.id()).join(format!(
+            "{}-i{}-t{}.jsonl",
+            key.app, key.input_code, key.num_threads
+        ))
+    }
+
+    /// Load the usable records of one batch. Unreadable files, corrupt
+    /// lines, wrong-version or wrong-spec records are silently skipped:
+    /// any damage degrades to recomputation, never to an error or a
+    /// wrong result.
+    pub fn load_batch(&self, key: &RunKey, spec: &SweepSpec) -> BatchEntries {
+        let mut records = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(self.batch_path(key)) {
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Ok(rec) = serde_json::from_str::<CacheRecord>(line) {
+                    if rec.answers(spec) {
+                        records.insert(rec.config_index, rec);
+                    }
+                }
+            }
+        }
+        BatchEntries { records }
+    }
+
+    /// Persist one completed batch (all samples plus the default row),
+    /// replacing any previous file. The write goes through a temporary
+    /// file renamed into place, so a crash mid-write leaves either the
+    /// old or the new content — a torn tail at worst, which the tolerant
+    /// loader degrades to misses.
+    pub fn store_batch(&self, data: &SettingData, spec: &SweepSpec) -> std::io::Result<()> {
+        let path = self.batch_path(&data.key);
+        let parent = path.parent().expect("batch path has a parent");
+        std::fs::create_dir_all(parent)?;
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            for s in &data.samples {
+                let rec =
+                    CacheRecord::encode(spec, s.config_index, &s.config, &s.runtimes, &s.telemetry);
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string(&rec).map_err(std::io::Error::other)?
+                )?;
+            }
+            let default_config = TuningConfig::default_for(data.key.arch, data.key.num_threads);
+            let rec = CacheRecord::encode(
+                spec,
+                DEFAULT_ROW_INDEX,
+                &default_config,
+                &data.default_runtimes,
+                &data.default_telemetry,
+            );
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&rec).map_err(std::io::Error::other)?
+            )?;
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Record `n` cache hits.
+    pub fn count_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+        omptel::add(omptel::Counter::SampleCacheHits, n);
+    }
+
+    /// Record `n` cache misses.
+    pub fn count_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+        omptel::add(omptel::Counter::SampleCacheMisses, n);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Scope;
+    use omptune_core::Arch;
+    use workloads::Setting;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("omptune-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            scope: Scope::Strided(700),
+            reps: 3,
+            seed: 21,
+            failure_rate: 0.1,
+        }
+    }
+
+    fn batch(spec: &SweepSpec) -> SettingData {
+        let app = workloads::app("cg").unwrap();
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 40,
+        };
+        crate::runner::sweep_setting(Arch::Skylake, app, setting, 0, spec)
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly_including_nans() {
+        let spec = spec();
+        let data = batch(&spec);
+        // failure_rate 0.1 ⇒ some NaN repetitions exist in the batch.
+        assert!(data
+            .samples
+            .iter()
+            .any(|s| s.runtimes.iter().any(|r| r.is_nan())));
+        let cache = SampleCache::new(tmp_dir("roundtrip"));
+        cache.store_batch(&data, &spec).unwrap();
+        let entries = cache.load_batch(&data.key, &spec);
+        assert_eq!(entries.len(), data.samples.len() + 1);
+        for s in &data.samples {
+            let (runtimes, telemetry) = entries
+                .lookup(s.config_index, &s.config)
+                .expect("cached sample present");
+            let got: Vec<u64> = runtimes.iter().map(|r| r.to_bits()).collect();
+            let want: Vec<u64> = s.runtimes.iter().map(|r| r.to_bits()).collect();
+            assert_eq!(got, want, "config {}", s.config_index);
+            assert_eq!(
+                telemetry.virtual_ns.to_bits(),
+                s.telemetry.virtual_ns.to_bits()
+            );
+            assert_eq!(telemetry.regions, s.telemetry.regions);
+        }
+        let default_config = TuningConfig::default_for(Arch::Skylake, 40);
+        let (dflt, _) = entries
+            .lookup(DEFAULT_ROW_INDEX, &default_config)
+            .expect("default row cached");
+        assert_eq!(
+            dflt.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            data.default_runtimes
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn wrong_spec_records_are_misses() {
+        let spec = spec();
+        let data = batch(&spec);
+        let cache = SampleCache::new(tmp_dir("spec"));
+        cache.store_batch(&data, &spec).unwrap();
+        // Different seed ⇒ nothing answers.
+        let reseeded = SweepSpec { seed: 22, ..spec };
+        assert!(cache.load_batch(&data.key, &reseeded).is_empty());
+        // Different rep count ⇒ nothing answers.
+        let rereps = SweepSpec { reps: 4, ..spec };
+        assert!(cache.load_batch(&data.key, &rereps).is_empty());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let spec = spec();
+        let data = batch(&spec);
+        let cache = SampleCache::new(tmp_dir("corrupt"));
+        cache.store_batch(&data, &spec).unwrap();
+        let path = cache.batch_path(&data.key);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let n = lines.len();
+        // Poison one record, truncate another mid-line, and prepend junk.
+        lines[0] = "{not json at all".into();
+        let half = lines[1].len() / 2;
+        lines[1].truncate(half);
+        lines.insert(0, "garbage prefix line".into());
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let entries = cache.load_batch(&data.key, &spec);
+        // The two damaged records are gone; everything else survives.
+        assert_eq!(entries.len(), n - 2);
+        // Damaged rows read as misses.
+        assert!(entries
+            .lookup(data.samples[0].config_index, &data.samples[0].config)
+            .is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn hash_mismatch_never_serves_a_wrong_config() {
+        let spec = spec();
+        let data = batch(&spec);
+        let cache = SampleCache::new(tmp_dir("hash"));
+        cache.store_batch(&data, &spec).unwrap();
+        let entries = cache.load_batch(&data.key, &spec);
+        let s = &data.samples[0];
+        let mut other = s.config;
+        other.schedule = match other.schedule {
+            omptune_core::OmpSchedule::Static => omptune_core::OmpSchedule::Dynamic,
+            _ => omptune_core::OmpSchedule::Static,
+        };
+        assert!(entries.lookup(s.config_index, &other).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_batch() {
+        let cache = SampleCache::new(tmp_dir("missing"));
+        let key = RunKey {
+            arch: Arch::Milan,
+            app: "cg".into(),
+            input_code: 1,
+            num_threads: 96,
+        };
+        assert!(cache.load_batch(&key, &spec()).is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+}

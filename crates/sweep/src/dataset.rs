@@ -134,6 +134,14 @@ mod tests {
                 })
                 .collect(),
             default_runtimes: vec![1.0, 1.0, 1.0],
+            default_telemetry: crate::runner::SampleTelemetry {
+                virtual_ns: 1.0e9,
+                regions: 1,
+                breakdown: omptel::Breakdown {
+                    compute_ns: 1.0e9,
+                    ..omptel::Breakdown::default()
+                },
+            },
         }
     }
 

@@ -100,6 +100,15 @@ mod tests {
                 },
             }],
             default_runtimes: vec![0.5, 0.5, 0.5],
+            default_telemetry: crate::runner::SampleTelemetry {
+                virtual_ns: 5.0e8,
+                regions: 12,
+                breakdown: omptel::Breakdown {
+                    compute_ns: 4.0e8,
+                    imbalance_ns: 1.0e8,
+                    ..omptel::Breakdown::default()
+                },
+            },
         }];
         let mut buf = Vec::new();
         write_raw_json(&batches, &mut buf).unwrap();

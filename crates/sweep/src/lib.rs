@@ -10,12 +10,15 @@
 //!   and tabular record building,
 //! - [`export`] — the open-sourced artifacts: CSV tables and raw JSON.
 
+pub mod cache;
 pub mod dataset;
 pub mod export;
 pub mod provenance;
 pub mod runner;
+pub mod schedule;
 pub mod spec;
 
+pub use cache::{BatchEntries, CacheRecord, SampleCache, DEFAULT_ROW_INDEX, ENGINE_VERSION};
 pub use dataset::{clean, CleanReport, Dataset, DropReason};
 pub use provenance::{
     config_hash, provenance_of, read_manifest, read_provenance_jsonl, write_manifest,
@@ -24,5 +27,9 @@ pub use provenance::{
 pub use runner::{
     noise_stream, sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting,
     RawSample, RunKey, SampleTelemetry, SettingData,
+};
+pub use schedule::{
+    planned_samples, sweep_all_scheduled, sweep_arch_scheduled, SweepOptions, SweepOutcome,
+    SweepStats,
 };
 pub use spec::{pruned_space, Scope, SweepSpec};

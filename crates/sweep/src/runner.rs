@@ -79,6 +79,8 @@ pub struct SettingData {
     pub samples: Vec<RawSample>,
     /// Repeated runtimes of the default configuration of this setting.
     pub default_runtimes: Vec<f64>,
+    /// Virtual-time telemetry of the default configuration's simulation.
+    pub default_telemetry: SampleTelemetry,
 }
 
 impl SettingData {
@@ -120,23 +122,24 @@ fn failure_roll(seed: u64, stream: u64, rep: u32) -> f64 {
     ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// Simulate one configuration's repetitions. Repetitions hit by the
-/// failure model record `NaN` ("the job died"), to be dropped by the
-/// cleaning pass.
-fn run_config(
+/// Simulate one configuration's repetitions against a prebuilt model,
+/// optionally through a plan cache (bit-identical either way — the
+/// plan/price property tests pin it). Repetitions hit by the failure
+/// model record `NaN` ("the job died"), to be dropped by the cleaning
+/// pass.
+pub(crate) fn run_config_sim(
     key: &RunKey,
-    app: &AppSpec,
+    model: &simrt::Model,
     config: &TuningConfig,
     config_index: usize,
     spec: &SweepSpec,
     noise: &NoiseModel,
+    plans: Option<&simrt::PlanCache>,
 ) -> (Vec<f64>, SampleTelemetry) {
-    let setting = Setting {
-        input_code: key.input_code,
-        num_threads: key.num_threads,
+    let sim = match plans {
+        Some(cache) => simrt::simulate_with_cache(key.arch, config, model, spec.seed, cache),
+        None => simrt::simulate(key.arch, config, model, spec.seed),
     };
-    let model = (app.model)(key.arch, setting);
-    let sim = simrt::simulate(key.arch, config, &model, spec.seed);
     let telemetry = SampleTelemetry::from_sim(&sim);
     let base = sim.seconds();
     let stream = noise_stream(key, config_index);
@@ -150,6 +153,28 @@ fn run_config(
         })
         .collect();
     (runtimes, telemetry)
+}
+
+/// The workload model of one batch.
+pub(crate) fn model_of(app: &AppSpec, key: &RunKey) -> simrt::Model {
+    let setting = Setting {
+        input_code: key.input_code,
+        num_threads: key.num_threads,
+    };
+    (app.model)(key.arch, setting)
+}
+
+/// Simulate one configuration's repetitions (monolithic convenience).
+fn run_config(
+    key: &RunKey,
+    app: &AppSpec,
+    config: &TuningConfig,
+    config_index: usize,
+    spec: &SweepSpec,
+    noise: &NoiseModel,
+) -> (Vec<f64>, SampleTelemetry) {
+    let model = model_of(app, key);
+    run_config_sim(key, &model, config, config_index, spec, noise, None)
 }
 
 /// Run the full batch for one (arch, app, setting).
@@ -188,17 +213,19 @@ pub fn sweep_setting(
     // The default configuration is simulated explicitly (it may or may
     // not be among the sampled rows) with its own noise stream.
     let default_config = TuningConfig::default_for(arch, setting.num_threads);
-    let (default_runtimes, _) = run_config(&key, app, &default_config, usize::MAX, spec, &noise);
+    let (default_runtimes, default_telemetry) =
+        run_config(&key, app, &default_config, usize::MAX, spec, &noise);
 
     SettingData {
         key,
         samples,
         default_runtimes,
+        default_telemetry,
     }
 }
 
 /// The (app, setting, setting-index) work list for one architecture.
-fn work_list(arch: Arch) -> Vec<(&'static workloads::AppSpec, Setting, usize)> {
+pub(crate) fn work_list(arch: Arch) -> Vec<(&'static workloads::AppSpec, Setting, usize)> {
     let mut out = Vec::new();
     let mut setting_idx = 0;
     for app in workloads::apps_on(arch) {
@@ -218,35 +245,13 @@ pub fn sweep_arch(arch: Arch, spec: &SweepSpec) -> Vec<SettingData> {
         .collect()
 }
 
-/// Sweep one architecture with `workers` OS threads, splitting the
-/// batch list. Because every sample's noise stream is identity-derived,
-/// the result is byte-identical to the sequential [`sweep_arch`] — a
-/// property the tests pin down.
+/// Sweep one architecture with `workers` OS threads via the
+/// work-stealing scheduler (no sample cache). Because every sample's
+/// noise stream is identity-derived, the result is byte-identical to
+/// the sequential [`sweep_arch`] — a property the tests pin down.
 pub fn sweep_arch_parallel(arch: Arch, spec: &SweepSpec, workers: usize) -> Vec<SettingData> {
-    let work = work_list(arch);
-    let workers = workers.clamp(1, work.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let done = std::sync::Mutex::new(Vec::with_capacity(work.len()));
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let (work, next, done) = (&work, &next, &done);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
-                }
-                let (app, setting, idx) = work[i];
-                let data = sweep_setting(arch, app, setting, idx, spec);
-                done.lock().expect("result lock").push((i, data));
-            });
-        }
-    });
-
-    let mut results = done.into_inner().expect("result lock");
-    results.sort_by_key(|(i, _)| *i);
-    assert_eq!(results.len(), work.len(), "every batch completed");
-    results.into_iter().map(|(_, d)| d).collect()
+    crate::schedule::sweep_arch_scheduled(arch, spec, &crate::schedule::SweepOptions::new(workers))
+        .batches
 }
 
 /// Sweep all three architectures (the paper's full data collection).

@@ -1,0 +1,584 @@
+//! Work-stealing sweep scheduler: fine-grained `(app, setting,
+//! config-chunk)` units over per-worker deques.
+//!
+//! The old parallel runner split whole `(app, setting)` batches across
+//! workers, which load-balances badly once a sample cache makes some
+//! batches nearly free: a worker stuck with the last cold batch runs
+//! alone while the rest idle. Here every batch is cut into chunks of at
+//! most [`UNIT_CONFIGS`] configurations (plus one unit for the default
+//! row); each worker starts with a contiguous stripe of units and
+//! steals from the busiest end of other workers' deques when its own
+//! runs dry.
+//!
+//! **Determinism.** Results land in per-batch slots addressed by
+//! configuration position, and batches assemble in catalog order — so
+//! the output is byte-identical for any worker count, with or without
+//! the sample cache, and equal to the sequential
+//! [`crate::runner::sweep_arch`]. The property tests pin this.
+
+use crate::cache::{BatchEntries, SampleCache, DEFAULT_ROW_INDEX};
+use crate::runner::{
+    model_of, run_config_sim, work_list, RawSample, RunKey, SampleTelemetry, SettingData,
+};
+use crate::spec::{configs_for, samples_for_setting, SweepSpec};
+use archsim::NoiseModel;
+use omptune_core::{Arch, TuningConfig};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maximum configurations per scheduling unit. Small enough that a
+/// warm-cache batch splinters into stealable pieces, large enough that
+/// deque traffic stays negligible against thousands of simulations.
+pub const UNIT_CONFIGS: usize = 256;
+
+/// Aggregated scheduler statistics for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Simulation-plan cache hits/misses across all batches.
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    /// Sample-cache hits/misses (zero when no cache is attached).
+    pub sample_hits: u64,
+    pub sample_misses: u64,
+    /// Units taken from another worker's deque.
+    pub steals: u64,
+    /// Total scheduling units executed.
+    pub units: u64,
+}
+
+impl SweepStats {
+    fn absorb(&mut self, other: &SweepStats) {
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.sample_hits += other.sample_hits;
+        self.sample_misses += other.sample_misses;
+        self.steals += other.steals;
+        self.units += other.units;
+    }
+}
+
+/// Scheduler knobs: worker count plus optional sample cache and
+/// progress meter.
+pub struct SweepOptions<'a> {
+    pub workers: usize,
+    pub cache: Option<&'a SampleCache>,
+    pub progress: Option<&'a omptel::Progress>,
+}
+
+impl<'a> SweepOptions<'a> {
+    /// Plain parallel sweep: no cache, no progress meter.
+    pub fn new(workers: usize) -> SweepOptions<'static> {
+        SweepOptions {
+            workers,
+            cache: None,
+            progress: None,
+        }
+    }
+
+    /// Attach a persistent sample cache.
+    pub fn with_cache(mut self, cache: &'a SampleCache) -> SweepOptions<'a> {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attach a progress meter (incremented once per sample).
+    pub fn with_progress(mut self, progress: &'a omptel::Progress) -> SweepOptions<'a> {
+        self.progress = Some(progress);
+        self
+    }
+}
+
+/// A completed sweep with its scheduler statistics.
+pub struct SweepOutcome {
+    /// One entry per (app, setting), in catalog order.
+    pub batches: Vec<SettingData>,
+    pub stats: SweepStats,
+}
+
+/// Samples the scheduler will produce for `arch` under `spec` (sampled
+/// configurations plus one default row per setting) — the progress
+/// meter total.
+pub fn planned_samples(arch: Arch, spec: &SweepSpec) -> u64 {
+    work_list(arch)
+        .iter()
+        .map(|&(_, setting, idx)| {
+            samples_for_setting(arch, setting.num_threads, idx, spec.scope) as u64 + 1
+        })
+        .sum()
+}
+
+/// One batch's shared execution state.
+struct BatchJob {
+    key: RunKey,
+    model: simrt::Model,
+    noise: NoiseModel,
+    configs: Vec<(usize, TuningConfig)>,
+    entries: BatchEntries,
+    plans: simrt::PlanCache,
+    slots: Mutex<Vec<Option<RawSample>>>,
+    default_slot: Mutex<Option<(Vec<f64>, SampleTelemetry)>>,
+    /// Units still outstanding; the worker that drops this to zero
+    /// assembles and (if fresh work happened) persists the batch.
+    remaining: AtomicUsize,
+    /// Whether any sample was computed rather than served from cache.
+    fresh: AtomicBool,
+}
+
+enum UnitKind {
+    /// Configurations `[start, end)` of the batch.
+    Configs { start: usize, end: usize },
+    /// The batch's default-configuration row.
+    Default,
+}
+
+struct Unit {
+    batch: usize,
+    kind: UnitKind,
+}
+
+fn build_jobs(arch: Arch, spec: &SweepSpec, cache: Option<&SampleCache>) -> Vec<BatchJob> {
+    work_list(arch)
+        .into_iter()
+        .map(|(app, setting, setting_idx)| {
+            let key = RunKey {
+                arch,
+                app: app.name.to_string(),
+                input_code: setting.input_code,
+                num_threads: setting.num_threads,
+            };
+            let model = model_of(app, &key);
+            let configs = configs_for(arch, setting.num_threads, setting_idx, spec.scope);
+            let entries = match cache {
+                Some(c) => c.load_batch(&key, spec),
+                None => BatchEntries::empty(),
+            };
+            let n = configs.len();
+            let units = n.div_ceil(UNIT_CONFIGS) + 1;
+            BatchJob {
+                plans: simrt::PlanCache::new(arch, &model, spec.seed),
+                noise: NoiseModel::for_machine(arch.id()),
+                key,
+                model,
+                configs,
+                entries,
+                slots: Mutex::new(vec![None; n]),
+                default_slot: Mutex::new(None),
+                remaining: AtomicUsize::new(units),
+                fresh: AtomicBool::new(false),
+            }
+        })
+        .collect()
+}
+
+fn units_of(jobs: &[BatchJob]) -> Vec<Unit> {
+    let mut units = Vec::new();
+    for (b, job) in jobs.iter().enumerate() {
+        let n = job.configs.len();
+        let mut start = 0;
+        while start < n {
+            let end = (start + UNIT_CONFIGS).min(n);
+            units.push(Unit {
+                batch: b,
+                kind: UnitKind::Configs { start, end },
+            });
+            start = end;
+        }
+        units.push(Unit {
+            batch: b,
+            kind: UnitKind::Default,
+        });
+    }
+    units
+}
+
+/// Execute one unit; returns the number of samples it produced.
+fn run_unit(unit: &Unit, job: &BatchJob, spec: &SweepSpec, cache: Option<&SampleCache>) -> u64 {
+    match unit.kind {
+        UnitKind::Configs { start, end } => {
+            let mut produced = Vec::with_capacity(end - start);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for (config_index, config) in &job.configs[start..end] {
+                let (runtimes, telemetry) = match job.entries.lookup(*config_index, config) {
+                    Some(cached) => {
+                        hits += 1;
+                        cached
+                    }
+                    None => {
+                        misses += 1;
+                        run_config_sim(
+                            &job.key,
+                            &job.model,
+                            config,
+                            *config_index,
+                            spec,
+                            &job.noise,
+                            Some(&job.plans),
+                        )
+                    }
+                };
+                produced.push(RawSample {
+                    config_index: *config_index,
+                    config: *config,
+                    runtimes,
+                    telemetry,
+                });
+            }
+            if let Some(c) = cache {
+                c.count_hits(hits);
+                c.count_misses(misses);
+            }
+            if misses > 0 {
+                job.fresh.store(true, Ordering::Relaxed);
+            }
+            let mut slots = job.slots.lock().expect("batch slots poisoned");
+            for (offset, sample) in produced.into_iter().enumerate() {
+                slots[start + offset] = Some(sample);
+            }
+            (end - start) as u64
+        }
+        UnitKind::Default => {
+            let default_config = TuningConfig::default_for(job.key.arch, job.key.num_threads);
+            let result = match job.entries.lookup(DEFAULT_ROW_INDEX, &default_config) {
+                Some(cached) => {
+                    if let Some(c) = cache {
+                        c.count_hits(1);
+                    }
+                    cached
+                }
+                None => {
+                    if let Some(c) = cache {
+                        c.count_misses(1);
+                    }
+                    job.fresh.store(true, Ordering::Relaxed);
+                    run_config_sim(
+                        &job.key,
+                        &job.model,
+                        &default_config,
+                        DEFAULT_ROW_INDEX,
+                        spec,
+                        &job.noise,
+                        Some(&job.plans),
+                    )
+                }
+            };
+            *job.default_slot.lock().expect("default slot poisoned") = Some(result);
+            1
+        }
+    }
+}
+
+/// Assemble one finished batch (every unit done) into its output slot
+/// and persist it when fresh samples were computed.
+fn finalize_batch(
+    job: &BatchJob,
+    spec: &SweepSpec,
+    cache: Option<&SampleCache>,
+    out: &Mutex<Vec<Option<SettingData>>>,
+    batch_index: usize,
+) {
+    let samples: Vec<RawSample> = job
+        .slots
+        .lock()
+        .expect("batch slots poisoned")
+        .iter_mut()
+        .map(|s| s.take().expect("every config slot filled"))
+        .collect();
+    let (default_runtimes, default_telemetry) = job
+        .default_slot
+        .lock()
+        .expect("default slot poisoned")
+        .take()
+        .expect("default row filled");
+    let data = SettingData {
+        key: job.key.clone(),
+        samples,
+        default_runtimes,
+        default_telemetry,
+    };
+    if let Some(c) = cache {
+        if job.fresh.load(Ordering::Relaxed) {
+            if let Err(e) = c.store_batch(&data, spec) {
+                eprintln!(
+                    "sweep-cache: failed to persist {}/{}: {e}",
+                    job.key.arch.id(),
+                    job.key.app
+                );
+            }
+        }
+    }
+    out.lock().expect("output poisoned")[batch_index] = Some(data);
+}
+
+/// Sweep one architecture through the work-stealing scheduler.
+pub fn sweep_arch_scheduled(arch: Arch, spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
+    let jobs = build_jobs(arch, spec, opts.cache);
+    let units = units_of(&jobs);
+    let n_units = units.len();
+    let workers = opts.workers.clamp(1, n_units.max(1));
+
+    // Seed each worker's deque with a contiguous stripe — the old static
+    // split — so steals happen exactly when that split is unbalanced.
+    let mut deques: Vec<Mutex<VecDeque<Unit>>> = Vec::with_capacity(workers);
+    {
+        let mut units = VecDeque::from(units);
+        for w in 0..workers {
+            let take = (n_units * (w + 1)) / workers - (n_units * w) / workers;
+            deques.push(Mutex::new(units.drain(..take).collect()));
+        }
+        debug_assert!(units.is_empty());
+    }
+
+    let out: Mutex<Vec<Option<SettingData>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let steals = AtomicU64::new(0);
+    let units_run = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (jobs, deques, out, steals, units_run) =
+                (&jobs, &deques, &out, &steals, &units_run);
+            let cache = opts.cache;
+            let progress = opts.progress;
+            scope.spawn(move || loop {
+                // Own work first, then steal from the back of the
+                // longest-suffering victim in ring order.
+                let mut unit = deques[w].lock().expect("deque poisoned").pop_front();
+                if unit.is_none() {
+                    for v in 1..workers {
+                        let victim = (w + v) % workers;
+                        if let Some(u) = deques[victim].lock().expect("deque poisoned").pop_back() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            omptel::add(omptel::Counter::SweepSteals, 1);
+                            unit = Some(u);
+                            break;
+                        }
+                    }
+                }
+                // Units are only ever removed, so all-empty means done.
+                let Some(unit) = unit else { break };
+                let job = &jobs[unit.batch];
+                let produced = run_unit(&unit, job, spec, cache);
+                units_run.fetch_add(1, Ordering::Relaxed);
+                if let Some(p) = progress {
+                    p.inc(produced);
+                }
+                if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    finalize_batch(job, spec, cache, out, unit.batch);
+                }
+            });
+        }
+    });
+
+    let batches: Vec<SettingData> = out
+        .into_inner()
+        .expect("output poisoned")
+        .into_iter()
+        .map(|d| d.expect("every batch finalized"))
+        .collect();
+
+    let mut stats = SweepStats {
+        steals: steals.load(Ordering::Relaxed),
+        units: units_run.load(Ordering::Relaxed),
+        ..SweepStats::default()
+    };
+    for job in &jobs {
+        let (h, m) = job.plans.stats();
+        stats.plan_hits += h;
+        stats.plan_misses += m;
+    }
+    if let Some(c) = opts.cache {
+        let (h, m) = c.stats();
+        stats.sample_hits = h;
+        stats.sample_misses = m;
+    }
+    SweepOutcome { batches, stats }
+}
+
+/// Sweep all architectures through the scheduler, aggregating stats.
+/// Note: with a shared [`SampleCache`], per-arch sample stats are
+/// cumulative across the whole cache handle.
+pub fn sweep_all_scheduled(spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
+    let mut batches = Vec::new();
+    let mut stats = SweepStats::default();
+    for &arch in Arch::ALL.iter() {
+        let outcome = sweep_arch_scheduled(arch, spec, opts);
+        batches.extend(outcome.batches);
+        stats.absorb(&outcome.stats);
+    }
+    // Sample hits/misses were absorbed per arch from one shared counter;
+    // re-read the final cumulative values instead of the triple-sum.
+    if let Some(c) = opts.cache {
+        let (h, m) = c.stats();
+        stats.sample_hits = h;
+        stats.sample_misses = m;
+    }
+    SweepOutcome { batches, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::sweep_arch as sweep_arch_sequential;
+    use crate::spec::Scope;
+
+    fn spec(scope: Scope, failure_rate: f64) -> SweepSpec {
+        SweepSpec {
+            scope,
+            reps: 2,
+            seed: 13,
+            failure_rate,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("omptune-sched-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Bit-pattern equality for batch lists: `assert_eq!` would reject
+    /// identical data containing failure-injected NaN repetitions.
+    fn assert_identical(a: &[SettingData], b: &[SettingData], label: &str) {
+        assert_eq!(a.len(), b.len(), "{label}: batch count");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.key, y.key, "{label}");
+            assert_eq!(x.samples.len(), y.samples.len(), "{label}: {:?}", x.key);
+            for (s, t) in x.samples.iter().zip(&y.samples) {
+                assert_eq!(s.config_index, t.config_index, "{label}");
+                assert_eq!(s.config, t.config, "{label}");
+                assert_eq!(
+                    bits(&s.runtimes),
+                    bits(&t.runtimes),
+                    "{label}: {:?} config {}",
+                    x.key,
+                    s.config_index
+                );
+                assert_eq!(
+                    s.telemetry.virtual_ns.to_bits(),
+                    t.telemetry.virtual_ns.to_bits(),
+                    "{label}"
+                );
+                assert_eq!(s.telemetry.regions, t.telemetry.regions, "{label}");
+            }
+            assert_eq!(
+                bits(&x.default_runtimes),
+                bits(&y.default_runtimes),
+                "{label}: default row of {:?}",
+                x.key
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_sweep_matches_sequential_at_any_worker_count() {
+        let spec = spec(Scope::Strided(1100), 0.0);
+        let seq = sweep_arch_sequential(Arch::A64fx, &spec);
+        for workers in [1usize, 2, 4] {
+            let outcome = sweep_arch_scheduled(Arch::A64fx, &spec, &SweepOptions::new(workers));
+            assert_eq!(outcome.batches, seq, "{workers} workers diverged");
+            assert!(outcome.stats.units > 0);
+            assert!(outcome.stats.plan_misses > 0);
+        }
+    }
+
+    #[test]
+    fn cached_sweep_is_byte_identical_cold_and_warm() {
+        let spec = spec(Scope::Strided(900), 0.05);
+        let seq = sweep_arch_sequential(Arch::A64fx, &spec);
+        let cache = SampleCache::new(tmp_dir("coldwarm"));
+
+        let cold =
+            sweep_arch_scheduled(Arch::A64fx, &spec, &SweepOptions::new(3).with_cache(&cache));
+        assert_identical(&cold.batches, &seq, "cold cached run");
+        let (h0, m0) = cache.stats();
+        assert_eq!(h0, 0, "cold run cannot hit");
+        assert!(m0 > 0);
+
+        for workers in [1usize, 2, 4] {
+            let warm = sweep_arch_scheduled(
+                Arch::A64fx,
+                &spec,
+                &SweepOptions::new(workers).with_cache(&cache),
+            );
+            assert_identical(&warm.batches, &seq, "warm run");
+        }
+        let (h1, m1) = cache.stats();
+        assert_eq!(m1, m0, "warm runs must not recompute");
+        assert_eq!(h1, 3 * m0, "three fully-warm replays");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn poisoned_cache_degrades_to_recompute_with_identical_results() {
+        let spec = spec(Scope::Strided(1300), 0.0);
+        let seq = sweep_arch_sequential(Arch::A64fx, &spec);
+        let cache = SampleCache::new(tmp_dir("poison"));
+        let cold =
+            sweep_arch_scheduled(Arch::A64fx, &spec, &SweepOptions::new(2).with_cache(&cache));
+        assert_eq!(cold.batches, seq);
+
+        // Vandalize every cache file: flip a record, truncate another.
+        let mut damaged = 0;
+        for entry in std::fs::read_dir(cache.dir().join("a64fx")).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut lines: Vec<String> = text.lines().map(String::from).collect();
+            if !lines.is_empty() {
+                lines[0] = "{\"engine\": 999, broken".into();
+                damaged += 1;
+            }
+            std::fs::write(&path, lines.join("\n")).unwrap();
+        }
+        assert!(damaged > 0);
+
+        let warm =
+            sweep_arch_scheduled(Arch::A64fx, &spec, &SweepOptions::new(2).with_cache(&cache));
+        assert_eq!(warm.batches, seq, "poisoned cache changed results");
+        let (_, misses) = cache.stats();
+        // Every damaged record was recomputed (one per file).
+        assert!(misses as usize >= cold.stats.sample_misses as usize + damaged);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn progress_counts_every_sample() {
+        let spec = spec(Scope::Strided(400), 0.0);
+        let total = planned_samples(Arch::Skylake, &spec);
+        let progress = omptel::Progress::quiet("sweep", total);
+        let outcome = sweep_arch_scheduled(
+            Arch::Skylake,
+            &spec,
+            &SweepOptions::new(4).with_progress(&progress),
+        );
+        assert_eq!(progress.done(), total);
+        let produced: u64 = outcome
+            .batches
+            .iter()
+            .map(|b| b.samples.len() as u64 + 1)
+            .sum();
+        assert_eq!(produced, total);
+    }
+
+    #[test]
+    fn plan_cache_hits_dominate_dense_batches() {
+        // Pricing variables are the odometer's three innermost digits
+        // (2 × 4 × 3 = 24 consecutive indices per plan projection on
+        // A64FX). Stride 8 samples three configs per projection block,
+        // so two of every three simulations re-price a cached plan.
+        let spec = spec(Scope::Strided(8), 0.0);
+        let outcome = sweep_arch_scheduled(Arch::A64fx, &spec, &SweepOptions::new(4));
+        let s = outcome.stats;
+        assert!(
+            s.plan_hits > s.plan_misses,
+            "plan hits {} should dominate misses {}",
+            s.plan_hits,
+            s.plan_misses
+        );
+    }
+}

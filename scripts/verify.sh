@@ -22,5 +22,21 @@ step cargo clippy --workspace --all-targets -- -D warnings
 step cargo bench -p bench-harness --bench telemetry_overhead
 step cargo run --release -p sweep --bin omptel-report -- --self-check
 
+# Cache coherence: a cold sweep and a warm replay from the sample cache
+# must produce byte-identical provenance, even at different worker counts.
+echo
+echo "==> sweep cache coherence (cold vs warm provenance)"
+coherence_dir="$(mktemp -d)"
+trap 'rm -rf "$coherence_dir"' EXIT
+cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/cold" \
+    --workers 4 --cache-dir "$coherence_dir/cache" 2>/dev/null
+cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/warm" \
+    --workers 2 --cache-dir "$coherence_dir/cache" 2>/dev/null
+cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/warm/provenance.jsonl" || {
+    echo "verify: warm sweep provenance diverged from cold sweep" >&2
+    exit 1
+}
+echo "cold and warm provenance byte-identical"
+
 echo
 echo "verify: all gates passed"
