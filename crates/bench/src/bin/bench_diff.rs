@@ -1,0 +1,137 @@
+//! `bench-diff` — compare a fresh `BENCH_*.json` against a committed
+//! baseline and fail on regression beyond a noise band.
+//!
+//! Both files are flat JSON objects of numbers (plus identifying
+//! strings). Keys are classified by name: `*_s` and `*_overhead` are
+//! lower-is-better timings, `*speedup*` keys are higher-is-better;
+//! counting keys (`samples`, `*_hits`, `*_misses`, `workers`) are
+//! informational and only reported. A timing may grow (or a speedup
+//! shrink) by at most the noise band factor before the comparison
+//! fails. Missing-in-either keys are reported but never fatal, so the
+//! baseline format can evolve.
+
+use std::process::ExitCode;
+
+const HELP: &str = "\
+bench-diff — gate a fresh bench JSON against a committed baseline
+
+USAGE:
+    bench-diff --baseline BASE.json CURRENT.json [--band FACTOR]
+
+OPTIONS:
+    --baseline PATH  committed reference BENCH_*.json (required)
+    --band FACTOR    allowed regression factor (default: 1.5); a timing
+                     may be at most FACTOR x the baseline, a speedup at
+                     least baseline / FACTOR
+    -h, --help       print this help
+";
+
+/// Flat numeric view of a bench JSON object.
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: serde::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e:?}"))?;
+    let map = doc
+        .as_map()
+        .ok_or_else(|| format!("{path}: root is not an object"))?;
+    Ok(map
+        .iter()
+        .filter_map(|(k, v)| Some((k.as_str()?.to_string(), v.as_f64()?)))
+        .collect())
+}
+
+enum Direction {
+    LowerBetter,
+    HigherBetter,
+    Info,
+}
+
+fn classify(key: &str) -> Direction {
+    if key.ends_with("_s") || key.ends_with("_overhead") {
+        Direction::LowerBetter
+    } else if key.contains("speedup") {
+        Direction::HigherBetter
+    } else {
+        Direction::Info
+    }
+}
+
+fn main() -> ExitCode {
+    let mut baseline = None;
+    let mut current = None;
+    let mut band = 1.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            "--baseline" => baseline = args.next(),
+            "--band" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f >= 1.0 => band = f,
+                _ => {
+                    eprintln!("bench-diff: --band needs a factor >= 1.0");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("bench-diff: unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+            p => {
+                if current.replace(p.to_string()).is_some() {
+                    eprintln!("bench-diff: more than one current file given");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let (Some(base_path), Some(cur_path)) = (baseline, current) else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let (base, cur) = match (load(&base_path), load(&cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    println!("bench-diff: {cur_path} vs baseline {base_path} (band {band:.2}x)");
+    for (key, b) in &base {
+        let Some((_, c)) = cur.iter().find(|(k, _)| k == key) else {
+            println!("  {key:<22} missing in current (baseline {b})");
+            continue;
+        };
+        let ratio = if *b != 0.0 { c / b } else { f64::INFINITY };
+        let (verdict, bad) = match classify(key) {
+            Direction::LowerBetter => {
+                let bad = ratio > band;
+                (if bad { "REGRESSED" } else { "ok" }, bad)
+            }
+            Direction::HigherBetter => {
+                let bad = ratio < 1.0 / band;
+                (if bad { "REGRESSED" } else { "ok" }, bad)
+            }
+            Direction::Info => ("info", false),
+        };
+        println!("  {key:<22} {b:>12.6} -> {c:>12.6} ({ratio:.3}x) {verdict}");
+        if bad {
+            failures += 1;
+        }
+    }
+    for (key, c) in &cur {
+        if !base.iter().any(|(k, _)| k == key) {
+            println!("  {key:<22} new in current ({c})");
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench-diff: FAIL: {failures} metric(s) regressed beyond {band:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench-diff: PASS");
+    ExitCode::SUCCESS
+}

@@ -12,14 +12,26 @@ use crate::trace::{self, Event};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Start a barrier wait episode's telemetry clock (None when disabled).
-fn episode_start() -> Option<Instant> {
-    omptel::enabled().then(Instant::now)
+/// One barrier wait episode's observability state: the telemetry clock
+/// (when a counter session is live) and a flight-recorder span (when
+/// tracing is live). Both are one relaxed load when disabled.
+struct Episode {
+    tel: Option<Instant>,
+    _span: omptel::Span,
 }
 
-/// Record one completed barrier wait episode.
-fn episode_end(start: Option<Instant>) {
-    if let Some(t0) = start {
+/// Start a barrier wait episode.
+fn episode_start(team: usize) -> Episode {
+    Episode {
+        tel: omptel::enabled().then(Instant::now),
+        _span: omptel::span(omptel::SpanKind::Barrier, team as u64),
+    }
+}
+
+/// Record one completed barrier wait episode (dropping the episode
+/// closes its trace span).
+fn episode_end(episode: Episode) {
+    if let Some(t0) = episode.tel {
         omptel::add(omptel::Counter::BarrierEpisodes, 1);
         omptel::add(
             omptel::Counter::BarrierWaitNs,
@@ -65,7 +77,7 @@ impl Barrier for CentralBarrier {
             barrier: self.trace_id,
             team: self.team as u32
         });
-        let tel = episode_start();
+        let tel = episode_start(self.team);
         if self.team == 1 {
             episode_end(tel);
             check_event!(Event::BarrierRelease {
@@ -152,7 +164,7 @@ impl Barrier for TreeBarrier {
             barrier: self.trace_id,
             team: self.team as u32
         });
-        let tel = episode_start();
+        let tel = episode_start(self.team);
         if self.team == 1 {
             episode_end(tel);
             check_event!(Event::BarrierRelease {

@@ -213,6 +213,9 @@ impl ThreadPool {
             trace::emit(Event::RegionFork { region });
         }
         let tel = omptel::enabled().then(|| RegionTel::start(self.num_threads));
+        // Flight-recorder span for the whole fork/join region on the
+        // caller's track; workers record their own share below.
+        let _pspan = omptel::span(omptel::SpanKind::Parallel, self.num_threads as u64);
         if self.num_threads == 1 {
             if region != 0 {
                 trace::emit(Event::RegionBegin { region });
@@ -245,6 +248,7 @@ impl ThreadPool {
                 trace::set_thread_id(ctx.thread_num);
                 trace::emit(Event::RegionBegin { region });
             }
+            let _wspan = omptel::span(omptel::SpanKind::Worker, ctx.thread_num as u64);
             let t0 = busy.as_ref().map(|_| Instant::now());
             f(ctx);
             if let (Some(busy), Some(t0)) = (&busy, t0) {

@@ -22,19 +22,35 @@
 //! mid-run enable can never silently split one run's records across two
 //! consumers.
 
+pub mod anomaly;
 pub mod chrome;
+pub mod hist;
 pub mod jsonl;
 pub mod progress;
 pub mod report;
+pub mod ring;
 pub mod schema;
+pub mod span;
 pub mod summary;
 
-pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use anomaly::{install_watchdog, installed_watchdog, report_corrupt, Watchdog};
+pub use chrome::{
+    chrome_trace_json, chrome_trace_with_recording, validate_trace, validate_trace_json,
+    write_chrome_trace, TraceReport,
+};
+pub use hist::{AtomicHistogram, Histogram, QuantileBound};
 pub use jsonl::{read_records, records_to_string, write_records};
 pub use progress::Progress;
 pub use report::{explain, render, render_pair, Explanation};
+pub use ring::{
+    recent_events, sim_spans, tracing, EventKind, FlightRecording, Recorder, RecorderOptions,
+    ThreadTrace, TraceEvent,
+};
 pub use schema::{
     Breakdown, Counter, CounterSnapshot, Record, RegionKind, RegionProfile, Sink, ThreadProfile,
+};
+pub use span::{
+    current_span, flow_handle, flow_in, flow_out, instant, span, virtual_span, Span, SpanKind,
 };
 pub use summary::{LogHistogram, Summary};
 

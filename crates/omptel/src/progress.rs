@@ -14,6 +14,7 @@
 //! a warm burst. The window tracks the current regime and the clamp
 //! keeps the display monotone.
 
+use crate::hist::{AtomicHistogram, Histogram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -50,6 +51,10 @@ pub struct Progress {
     last_render_ms: AtomicU64,
     eta: Mutex<EtaState>,
     sink: Mutex<Sink>,
+    /// Per-item latency distribution (log-bucketed, exact counts);
+    /// fed by workers via [`Progress::observe_ns`], summarized with
+    /// bounded quantiles in [`Progress::finish`].
+    lat: AtomicHistogram,
 }
 
 /// Minimum milliseconds between renders.
@@ -68,6 +73,7 @@ impl Progress {
                 last_eta_s: f64::INFINITY,
             }),
             sink: Mutex::new(sink),
+            lat: AtomicHistogram::new(),
         }
     }
 
@@ -204,7 +210,22 @@ impl Progress {
         }
     }
 
+    /// Record one finished item's latency. Lock-free; call from any
+    /// worker alongside [`Progress::inc`].
+    pub fn observe_ns(&self, ns: u64) {
+        self.lat.record(ns);
+    }
+
+    /// Snapshot of the per-item latency distribution observed so far.
+    pub fn latency_histogram(&self) -> Histogram {
+        self.lat.snapshot()
+    }
+
     /// Emit the final newline-terminated summary line and return it.
+    /// When workers fed [`Progress::observe_ns`], the line carries
+    /// bounded p50/p95/p99 latency quantiles instead of only the
+    /// throughput average — the average hides exactly the outliers the
+    /// anomaly watchdog exists for.
     pub fn finish(&self) -> String {
         let done = self.done();
         let elapsed = self.elapsed_s();
@@ -213,10 +234,23 @@ impl Progress {
         } else {
             0.0
         };
-        let line = format!(
+        let mut line = format!(
             "{}: {} done in {:.2}s ({:.1}/s)",
             self.label, done, elapsed, rate
         );
+        let lat = self.lat.snapshot();
+        if !lat.is_empty() {
+            let q = |b: Option<crate::hist::QuantileBound>| {
+                b.map(|b| crate::report::fmt_ns(b.mid()))
+                    .unwrap_or_default()
+            };
+            line.push_str(&format!(
+                " lat p50 {} p95 {} p99 {}",
+                q(lat.p50()),
+                q(lat.p95()),
+                q(lat.p99())
+            ));
+        }
         self.emit(line.clone(), true);
         line
     }
@@ -338,5 +372,24 @@ mod tests {
         assert_eq!(p.done(), 2);
         assert!(p.buffered_lines().is_none());
         assert!(p.finish().contains("q: 2 done"));
+    }
+
+    #[test]
+    fn finish_reports_latency_quantiles_when_observed() {
+        let p = Progress::buffered("lat", 100);
+        // No observations: no quantile text.
+        assert!(!p.finish().contains("p95"));
+        for i in 1..=100u64 {
+            p.inc(1);
+            p.observe_ns(i * 1_000);
+        }
+        let line = p.finish();
+        assert!(line.contains("lat p50"), "{line}");
+        assert!(line.contains("p95"), "{line}");
+        assert!(line.contains("p99"), "{line}");
+        let h = p.latency_histogram();
+        assert_eq!(h.count, 100);
+        let p50 = h.p50().unwrap();
+        assert!(p50.lo <= 50_000 && 50_000 < p50.hi, "{p50:?}");
     }
 }

@@ -62,11 +62,13 @@ pub enum Counter {
     SampleCacheMisses,
     /// Work units one sweep worker stole from another's deque.
     SweepSteals,
+    /// Unparseable records found in the persistent sample cache.
+    SampleCacheCorrupt,
 }
 
 impl Counter {
     /// Number of counters; sizes the registry array.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 22;
 
     /// Every counter, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -91,6 +93,7 @@ impl Counter {
         Counter::SampleCacheHits,
         Counter::SampleCacheMisses,
         Counter::SweepSteals,
+        Counter::SampleCacheCorrupt,
     ];
 
     /// Stable lower-snake name used in exports.
@@ -117,6 +120,7 @@ impl Counter {
             Counter::SampleCacheHits => "sample_cache_hits",
             Counter::SampleCacheMisses => "sample_cache_misses",
             Counter::SweepSteals => "sweep_steals",
+            Counter::SampleCacheCorrupt => "sample_cache_corrupt",
         }
     }
 }

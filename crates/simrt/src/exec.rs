@@ -662,6 +662,12 @@ fn simulate_step(
                         env,
                     );
                 }
+                omptel::virtual_span(
+                    omptel::SpanKind::SimRegion,
+                    (base_ns + total) as u64,
+                    (wake + fork + span) as u64,
+                    pi as u64,
+                );
                 total += wake + fork + span;
                 idle_since_region = 0.0;
                 regions += 1;
@@ -687,6 +693,12 @@ fn simulate_step(
                         env,
                     );
                 }
+                omptel::virtual_span(
+                    omptel::SpanKind::SimRegion,
+                    (base_ns + total) as u64,
+                    (wake + fork + span) as u64,
+                    pi as u64,
+                );
                 total += wake + fork + span;
                 idle_since_region = 0.0;
                 regions += 1;

@@ -259,6 +259,12 @@ impl RegionPlan {
                             &self.env,
                         );
                     }
+                    omptel::virtual_span(
+                        omptel::SpanKind::SimRegion,
+                        (base_ns + total) as u64,
+                        (wake + fork + span) as u64,
+                        *pi as u64,
+                    );
                     total += wake + fork + span;
                 }
             }
@@ -312,9 +318,13 @@ impl PlanCache {
         if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             omptel::add(omptel::Counter::PlanCacheHits, 1);
+            omptel::instant(omptel::SpanKind::PlanHit, 0);
             return Arc::clone(plan);
         }
-        let built = Arc::new(RegionPlan::build(self.arch, key, model, self.seed));
+        let built = {
+            let _s = omptel::span(omptel::SpanKind::PlanBuild, 0);
+            Arc::new(RegionPlan::build(self.arch, key, model, self.seed))
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         omptel::add(omptel::Counter::PlanCacheMisses, 1);
         Arc::clone(
@@ -357,7 +367,9 @@ pub fn simulate_with_cache(
 ) -> SimResult {
     debug_assert_eq!(arch, cache.arch, "cache built for a different arch");
     debug_assert_eq!(seed, cache.seed, "cache built for a different seed");
-    cache.plan(tuning, model).price(tuning)
+    let plan = cache.plan(tuning, model);
+    let _s = omptel::span(omptel::SpanKind::Price, 0);
+    plan.price(tuning)
 }
 
 #[cfg(test)]
@@ -528,5 +540,56 @@ mod tests {
         let batch = session.finish();
         assert_eq!(batch.counters.get(omptel::Counter::PlanCacheMisses), 1);
         assert_eq!(batch.counters.get(omptel::Counter::PlanCacheHits), 1);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results_bitwise() {
+        let _guard = TEL_LOCK.lock().unwrap();
+        let m = mixed_model();
+        let configs: Vec<TuningConfig> = (1..=8)
+            .map(|t| TuningConfig::default_for(Arch::A64fx, t))
+            .collect();
+        // Each config priced twice: the second pass exercises plan-cache
+        // hits under tracing.
+        let baseline: Vec<SimResult> = {
+            let cache = PlanCache::new(Arch::A64fx, &m, 7);
+            configs
+                .iter()
+                .chain(configs.iter())
+                .map(|c| simulate_with_cache(Arch::A64fx, c, &m, 7, &cache))
+                .collect()
+        };
+        // Same simulations with the flight recorder and virtual spans on.
+        let rec = omptel::Recorder::start(omptel::RecorderOptions {
+            sim_spans: true,
+            ..omptel::RecorderOptions::default()
+        })
+        .expect("no live recorder");
+        let cache = PlanCache::new(Arch::A64fx, &m, 7);
+        let traced: Vec<SimResult> = configs
+            .iter()
+            .chain(configs.iter())
+            .map(|c| simulate_with_cache(Arch::A64fx, c, &m, 7, &cache))
+            .collect();
+        let recording = rec.finish();
+        for (a, b) in baseline.iter().zip(&traced) {
+            assert_eq!(a.total_ns.to_bits(), b.total_ns.to_bits());
+            assert_eq!(a.regions, b.regions);
+            assert_eq!(
+                a.breakdown.compute_ns.to_bits(),
+                b.breakdown.compute_ns.to_bits()
+            );
+        }
+        // The recorder actually saw the lifecycle: plan builds, prices,
+        // plan-cache hits, and virtual-time regions.
+        use omptel::{EventKind, SpanKind};
+        assert!(recording.count(EventKind::SpanBegin, SpanKind::PlanBuild) >= 1);
+        assert_eq!(
+            recording.count(EventKind::SpanBegin, SpanKind::Price),
+            configs.len() * 2
+        );
+        assert!(recording.count(EventKind::Instant, SpanKind::PlanHit) >= 1);
+        assert!(recording.count(EventKind::VirtualSpan, SpanKind::SimRegion) > 0);
+        omptel::validate_trace(&recording).expect("well-nested spans");
     }
 }

@@ -6,11 +6,19 @@
 //! persistent sample cache: an interrupted or repeated run replays
 //! finished batches from disk instead of recomputing them, and the
 //! output is byte-identical either way.
+//!
+//! `--trace` additionally arms the omptrace flight recorder and the
+//! anomaly watchdog for the whole run: a Chrome/Perfetto trace of every
+//! scheduler span lands at the given path, and outlier samples (above
+//! the p99.9 latency bracket) are dumped with their surrounding event
+//! window to `OUT_DIR/anomalies.jsonl`. Tracing never changes results —
+//! the provenance stays byte-identical with it on or off.
 
 use omptune_core::Arch;
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 use sweep::{Dataset, SampleCache, Scope, SweepOptions, SweepSpec};
 
@@ -36,6 +44,11 @@ OPTIONS:
                       sample cache
     --cache-dir PATH  sample-cache directory
                       (default: target/sweep-cache)
+    --trace PATH      record a flight-recorder trace of the sweep and
+                      write it as a Chrome trace_event JSON to PATH;
+                      also arms the anomaly watchdog (outliers beyond
+                      the p99.9 latency bracket are dumped to
+                      OUT_DIR/anomalies.jsonl)
     -h, --help        print this help
 ";
 
@@ -44,6 +57,7 @@ struct Cli {
     out_dir: PathBuf,
     workers: usize,
     cache_dir: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -55,6 +69,7 @@ fn parse_cli() -> Result<Cli, String> {
         .unwrap_or(4);
     let mut no_cache = false;
     let mut cache_dir = PathBuf::from("target/sweep-cache");
+    let mut trace = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -75,6 +90,9 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--cache-dir" => {
                 cache_dir = PathBuf::from(args.next().ok_or("--cache-dir needs a value")?);
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option: {other} (see --help)"));
@@ -103,6 +121,7 @@ fn parse_cli() -> Result<Cli, String> {
         out_dir,
         workers,
         cache_dir: (!no_cache).then_some(cache_dir),
+        trace,
     })
 }
 
@@ -116,6 +135,18 @@ fn main() -> std::io::Result<()> {
     };
     fs::create_dir_all(&cli.out_dir)?;
     let cache = cli.cache_dir.map(SampleCache::new);
+
+    // Arm the flight recorder and anomaly watchdog when tracing.
+    let recorder = if cli.trace.is_some() {
+        let rec = omptel::Recorder::start(omptel::RecorderOptions::default())
+            .expect("no other flight recorder is live");
+        let sink = fs::File::create(cli.out_dir.join("anomalies.jsonl"))?;
+        let watchdog = Arc::new(omptel::Watchdog::new(0.999, Box::new(sink)));
+        omptel::install_watchdog(Some(watchdog.clone()));
+        Some((rec, watchdog))
+    } else {
+        None
+    };
 
     let spec = SweepSpec {
         scope: cli.scope,
@@ -133,6 +164,9 @@ fn main() -> std::io::Result<()> {
         if let Some(c) = &cache {
             opts = opts.with_cache(c);
         }
+        if let Some((_, w)) = &recorder {
+            opts = opts.with_watchdog(w);
+        }
         let t0 = Instant::now();
         let before_cache = cache.as_ref().map(|c| c.stats()).unwrap_or((0, 0));
         let outcome = sweep::sweep_arch_scheduled(arch, &spec, &opts);
@@ -144,7 +178,14 @@ fn main() -> std::io::Result<()> {
         for data in &mut arch_batches {
             arch_dropped += sweep::clean(data, spec.reps as usize).dropped.len();
         }
-        manifest.push_arch(arch, &arch_batches, arch_dropped, elapsed);
+        manifest.push_arch(
+            arch,
+            &arch_batches,
+            arch_dropped,
+            elapsed,
+            outcome.stats,
+            meter.latency_histogram(),
+        );
         let samples: usize = arch_batches.iter().map(|b| b.samples.len()).sum();
         let s = outcome.stats;
         let arch_cache = (
@@ -222,6 +263,31 @@ fn main() -> std::io::Result<()> {
         eprintln!(
             "sample cache at {}: {h} hits, {m} misses",
             c.dir().display()
+        );
+    }
+
+    // Harvest the flight recorder and export the Chrome trace.
+    if let Some((rec, watchdog)) = recorder {
+        omptel::install_watchdog(None);
+        watchdog.flush();
+        let recording = rec.finish();
+        let trace_path = cli.trace.expect("recorder implies --trace");
+        let doc = omptel::chrome_trace_with_recording(&[], &recording);
+        fs::write(
+            &trace_path,
+            serde_json::to_string(&doc).map_err(std::io::Error::other)?,
+        )?;
+        let (flagged, corrupt) = watchdog.counts();
+        eprintln!(
+            "trace: {} events ({} dropped) across {} threads -> {}",
+            recording.total_events(),
+            recording.total_dropped(),
+            recording.threads.len(),
+            trace_path.display()
+        );
+        eprintln!(
+            "watchdog: {flagged} slow-sample anomalies, {corrupt} corrupt cache records -> {}",
+            cli.out_dir.join("anomalies.jsonl").display()
         );
     }
     Ok(())

@@ -6,6 +6,11 @@
 //!   setting, pick the best and worst configurations by mean runtime,
 //!   and render their telemetry side by side (paper Table VI shape):
 //!   top time sink, imbalance ratio, steal efficiency, full sink table.
+//! - `omptel-report --spans [arch] [app] [--trace-out PATH]` — run one
+//!   setting's sweep under the flight recorder (simulator virtual spans
+//!   included) and print a per-span-kind latency quantile table plus
+//!   the per-sample wall-latency distribution; `--trace-out` also dumps
+//!   the Chrome trace_event JSON.
 //! - `omptel-report --self-check` — run the acceptance invariants and
 //!   exit nonzero on violation: every sampled region profile's breakdown
 //!   must sum to the region's elapsed virtual time, and the pathological
@@ -13,12 +18,57 @@
 //!   diagnosed as dominated by barrier/imbalance wait.
 
 use omptune_core::{Arch, OmpPlaces, OmpProcBind, TuningConfig};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use sweep::{Scope, SweepSpec};
 use workloads::Setting;
 
 fn parse_arch(s: &str) -> Option<Arch> {
     Arch::ALL.iter().copied().find(|a| a.id() == s)
+}
+
+/// Compact nanosecond formatting for quantile tables.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Scheduler-statistics table (sweep counters the summary previously
+/// kept to itself).
+fn stats_table(stats: &sweep::SweepStats) -> String {
+    let mut out = String::from("scheduler statistics\n");
+    let rows: [(&str, u64); 6] = [
+        ("plan cache hits", stats.plan_hits),
+        ("plan cache misses", stats.plan_misses),
+        ("sample cache hits", stats.sample_hits),
+        ("sample cache misses", stats.sample_misses),
+        ("unit steals", stats.steals),
+        ("units executed", stats.units),
+    ];
+    for (label, v) in rows {
+        let _ = writeln!(out, "  {label:<20} {v:>10}");
+    }
+    out
+}
+
+/// Quantile row of one histogram: count, p50/p95/p99 midpoints, max.
+fn quantile_row(label: &str, h: &omptel::Histogram) -> String {
+    let mid = |q: f64| h.quantile(q).map(|b| fmt_ns(b.mid())).unwrap_or_default();
+    format!(
+        "  {label:<14} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        h.count,
+        mid(0.50),
+        mid(0.95),
+        mid(0.99),
+        fmt_ns(h.max)
+    )
 }
 
 /// One-line description of a configuration for report titles.
@@ -62,7 +112,8 @@ fn best_vs_worst(arch: Arch, app_name: &str) -> Result<String, String> {
         .last()
         .copied()
         .ok_or_else(|| format!("{app_name} has no settings on {}", arch.id()))?;
-    let data = sweep::sweep_setting(arch, app, setting, 0, &spec);
+    let (data, stats) =
+        sweep::sweep_setting_scheduled(arch, app, setting, 0, &spec, &sweep::SweepOptions::new(4));
     let best = data
         .samples
         .iter()
@@ -97,10 +148,83 @@ fn best_vs_worst(arch: Arch, app_name: &str) -> Result<String, String> {
         ),
         &worst_sum,
     );
-    Ok(omptel::render_pair(
-        (&best_ex, &best_sum),
-        (&worst_ex, &worst_sum),
+    Ok(format!(
+        "{}{}",
+        omptel::render_pair((&best_ex, &best_sum), (&worst_ex, &worst_sum)),
+        stats_table(&stats)
     ))
+}
+
+/// `--spans`: sweep one setting under the flight recorder and report
+/// per-span-kind duration quantiles, the sample latency distribution,
+/// and (optionally) the Chrome trace.
+fn spans_report(arch: Arch, app_name: &str, trace_out: Option<&str>) -> Result<String, String> {
+    let app = workloads::app(app_name).ok_or_else(|| format!("unknown app {app_name:?}"))?;
+    if !workloads::available_on(app_name, arch) {
+        return Err(format!("{app_name} is not available on {}", arch.id()));
+    }
+    let spec = SweepSpec {
+        scope: Scope::Strided(50),
+        ..SweepSpec::default()
+    };
+    let setting = workloads::settings_for(app, arch)
+        .last()
+        .copied()
+        .ok_or_else(|| format!("{app_name} has no settings on {}", arch.id()))?;
+
+    let rec = omptel::Recorder::start(omptel::RecorderOptions {
+        sim_spans: true,
+        ..Default::default()
+    })
+    .map_err(|_| "another flight recorder is live".to_string())?;
+    let progress = omptel::Progress::quiet("spans", 0);
+    let opts = sweep::SweepOptions::new(4).with_progress(&progress);
+    let (data, stats) = sweep::sweep_setting_scheduled(arch, app, setting, 0, &spec, &opts);
+    let recording = rec.finish();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "span report: {app_name}/{} t={} ({} samples)",
+        arch.id(),
+        setting.num_threads,
+        data.samples.len()
+    );
+    let _ = writeln!(
+        out,
+        "flight recorder: {} events across {} threads ({} dropped)",
+        recording.total_events(),
+        recording.threads.len(),
+        recording.total_dropped()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "span", "count", "p50", "p95", "p99", "max"
+    );
+    for (kind, hist) in recording.span_durations() {
+        out.push_str(&quantile_row(kind.name(), &hist));
+    }
+    let lat = progress.latency_histogram();
+    if !lat.is_empty() {
+        out.push_str("sample wall latency\n");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "", "count", "p50", "p95", "p99", "max"
+        );
+        out.push_str(&quantile_row("sample", &lat));
+    }
+    out.push_str(&stats_table(&stats));
+
+    if let Some(path) = trace_out {
+        omptel::validate_trace(&recording).map_err(|e| format!("trace validation: {e}"))?;
+        let doc = omptel::chrome_trace_with_recording(&[], &recording);
+        let json = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
 }
 
 /// The acceptance invariants, as a runnable check.
@@ -177,6 +301,51 @@ fn self_check() -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--spans") {
+        let mut arch = Arch::Milan;
+        let mut app = "cg".to_string();
+        let mut trace_out = None;
+        let mut positional = 0usize;
+        let mut rest = args[1..].iter();
+        while let Some(a) = rest.next() {
+            match a.as_str() {
+                "--trace-out" => match rest.next() {
+                    Some(p) => trace_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace-out needs a value");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                s => {
+                    match positional {
+                        0 => match parse_arch(s) {
+                            Some(a) => arch = a,
+                            None => {
+                                eprintln!("unknown arch {s:?}");
+                                return ExitCode::FAILURE;
+                            }
+                        },
+                        1 => app = s.to_string(),
+                        _ => {
+                            eprintln!("unexpected argument: {s}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    positional += 1;
+                }
+            }
+        }
+        return match spans_report(arch, &app, trace_out.as_deref()) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("omptel-report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("--self-check") {
         return match self_check() {
             Ok(()) => {

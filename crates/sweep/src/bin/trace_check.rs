@@ -1,0 +1,82 @@
+//! `trace-check` — validate an exported Chrome trace_event JSON.
+//!
+//! Checks the structural invariants a well-formed flight-recorder
+//! export must satisfy: spans on each (pid, tid) track are laminar
+//! (properly nested, never partially overlapping) and every
+//! cross-worker flow arrow has both its emitting and receiving side.
+//! Exit status is nonzero on any violation, any unresolved flow, or any
+//! orphaned span — verify.sh runs this against a live traced sweep.
+
+use std::process::ExitCode;
+
+const HELP: &str = "\
+trace-check — validate a Chrome trace_event JSON export
+
+USAGE:
+    trace-check TRACE.json [--allow-drops]
+
+OPTIONS:
+    --allow-drops   tolerate ring-buffer drops (orphan spans are then
+                    expected at the window edge); flows must still all
+                    resolve
+    -h, --help      print this help
+";
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut allow_drops = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            "--allow-drops" => allow_drops = true,
+            other if other.starts_with('-') => {
+                eprintln!("trace-check: unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+            p => {
+                if path.replace(p.to_string()).is_some() {
+                    eprintln!("trace-check: more than one trace path given");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match omptel::validate_trace_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-check: FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("trace-check: {report}");
+    if report.unresolved_flows > 0 {
+        eprintln!(
+            "trace-check: FAIL: {} unresolved flow(s)",
+            report.unresolved_flows
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.orphan_spans > 0 && !(allow_drops && report.dropped > 0) {
+        eprintln!(
+            "trace-check: FAIL: {} orphaned span(s)",
+            report.orphan_spans
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("trace-check: PASS");
+    ExitCode::SUCCESS
+}

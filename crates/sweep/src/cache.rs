@@ -215,23 +215,44 @@ impl SampleCache {
     }
 
     /// Load the usable records of one batch. Unreadable files, corrupt
-    /// lines, wrong-version or wrong-spec records are silently skipped:
-    /// any damage degrades to recomputation, never to an error or a
-    /// wrong result.
+    /// lines, wrong-version or wrong-spec records are skipped (and
+    /// reported to the flight recorder / anomaly watchdog as cache
+    /// corruption): any damage degrades to recomputation, never to an
+    /// error or a wrong result.
     pub fn load_batch(&self, key: &RunKey, spec: &SweepSpec) -> BatchEntries {
+        let _span = omptel::span(omptel::SpanKind::CacheRead, key.num_threads as u64);
         let mut records = HashMap::new();
+        let mut corrupt = 0u64;
         if let Ok(text) = std::fs::read_to_string(self.batch_path(key)) {
-            for line in text.lines() {
+            for (lineno, line) in text.lines().enumerate() {
                 let line = line.trim();
                 if line.is_empty() {
                     continue;
                 }
-                if let Ok(rec) = serde_json::from_str::<CacheRecord>(line) {
-                    if rec.answers(spec) {
-                        records.insert(rec.config_index, rec);
+                match serde_json::from_str::<CacheRecord>(line) {
+                    Ok(rec) => {
+                        // Wrong-spec records are stale, not corrupt: a
+                        // reseeded sweep legitimately misses everything.
+                        if rec.answers(spec) {
+                            records.insert(rec.config_index, rec);
+                        }
+                    }
+                    Err(_) => {
+                        corrupt += 1;
+                        omptel::report_corrupt(&format!(
+                            "{}/{} i{} t{}: unparseable record at line {}",
+                            key.arch.id(),
+                            key.app,
+                            key.input_code,
+                            key.num_threads,
+                            lineno + 1
+                        ));
                     }
                 }
             }
+        }
+        if corrupt > 0 {
+            omptel::add(omptel::Counter::SampleCacheCorrupt, corrupt);
         }
         BatchEntries { records }
     }
@@ -242,6 +263,7 @@ impl SampleCache {
     /// old or the new content — a torn tail at worst, which the tolerant
     /// loader degrades to misses.
     pub fn store_batch(&self, data: &SettingData, spec: &SweepSpec) -> std::io::Result<()> {
+        let _span = omptel::span(omptel::SpanKind::CacheWrite, data.samples.len() as u64);
         let path = self.batch_path(&data.key);
         let parent = path.parent().expect("batch path has a parent");
         std::fs::create_dir_all(parent)?;

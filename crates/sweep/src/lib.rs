@@ -29,7 +29,7 @@ pub use runner::{
     RawSample, RunKey, SampleTelemetry, SettingData,
 };
 pub use schedule::{
-    planned_samples, sweep_all_scheduled, sweep_arch_scheduled, SweepOptions, SweepOutcome,
-    SweepStats,
+    planned_samples, sweep_all_scheduled, sweep_arch_scheduled, sweep_setting_scheduled,
+    SweepOptions, SweepOutcome, SweepStats,
 };
 pub use spec::{pruned_space, Scope, SweepSpec};

@@ -8,6 +8,7 @@
 //! is one pretty-printed JSON document per run.
 
 use crate::runner::{noise_stream, RawSample, SampleTelemetry, SettingData};
+use crate::schedule::SweepStats;
 use crate::spec::SweepSpec;
 use omptune_core::TuningConfig;
 use serde::{Deserialize, Serialize};
@@ -109,6 +110,11 @@ pub struct ArchManifest {
     pub elapsed_s: f64,
     /// Virtual-time telemetry aggregated over every sample.
     pub summary: omptel::Summary,
+    /// Scheduler statistics (cache hits/misses, steals, units).
+    pub stats: SweepStats,
+    /// Per-sample wall-latency distribution (log-bucketed; empty when
+    /// the sweep ran without a progress meter).
+    pub sample_latency: omptel::Histogram,
 }
 
 /// Structured manifest of one collection run: what was swept, with what
@@ -147,6 +153,8 @@ impl RunManifest {
         batches: &[SettingData],
         dropped: usize,
         elapsed_s: f64,
+        stats: SweepStats,
+        sample_latency: omptel::Histogram,
     ) {
         let mut summary = omptel::Summary::default();
         let mut samples = 0usize;
@@ -163,6 +171,8 @@ impl RunManifest {
             dropped,
             elapsed_s,
             summary,
+            stats,
+            sample_latency,
         });
         self.total_samples += samples;
         self.total_dropped += dropped;
@@ -245,10 +255,21 @@ mod tests {
     fn manifest_aggregates_and_roundtrips() {
         let (batches, spec) = tiny_batch();
         let mut manifest = RunManifest::new(&spec);
-        manifest.push_arch(Arch::Skylake, &batches, 1, 0.25);
+        let stats = SweepStats {
+            sample_misses: 7,
+            steals: 2,
+            units: 5,
+            ..SweepStats::default()
+        };
+        let mut lat = omptel::Histogram::new();
+        lat.record(1_000);
+        lat.record(2_000_000);
+        manifest.push_arch(Arch::Skylake, &batches, 1, 0.25, stats, lat);
         assert_eq!(manifest.arches.len(), 1);
         let am = &manifest.arches[0];
         assert_eq!(am.arch, "skylake");
+        assert_eq!(am.stats, stats);
+        assert_eq!(am.sample_latency.count, 2);
         assert_eq!(am.samples, batches[0].samples.len());
         assert_eq!(am.summary.regions as usize, {
             batches[0]

@@ -22,18 +22,23 @@ use crate::runner::{
 };
 use crate::spec::{configs_for, samples_for_setting, SweepSpec};
 use archsim::NoiseModel;
+use omptel::SpanKind;
 use omptune_core::{Arch, TuningConfig};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+use workloads::{AppSpec, Setting};
 
 /// Maximum configurations per scheduling unit. Small enough that a
 /// warm-cache batch splinters into stealable pieces, large enough that
 /// deque traffic stays negligible against thousands of simulations.
 pub const UNIT_CONFIGS: usize = 256;
 
-/// Aggregated scheduler statistics for one sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Aggregated scheduler statistics for one sweep. Serializable so the
+/// run manifest can persist them per architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SweepStats {
     /// Simulation-plan cache hits/misses across all batches.
     pub plan_hits: u64,
@@ -58,12 +63,13 @@ impl SweepStats {
     }
 }
 
-/// Scheduler knobs: worker count plus optional sample cache and
-/// progress meter.
+/// Scheduler knobs: worker count plus optional sample cache, progress
+/// meter, and anomaly watchdog.
 pub struct SweepOptions<'a> {
     pub workers: usize,
     pub cache: Option<&'a SampleCache>,
     pub progress: Option<&'a omptel::Progress>,
+    pub watchdog: Option<&'a omptel::Watchdog>,
 }
 
 impl<'a> SweepOptions<'a> {
@@ -73,6 +79,7 @@ impl<'a> SweepOptions<'a> {
             workers,
             cache: None,
             progress: None,
+            watchdog: None,
         }
     }
 
@@ -86,6 +93,17 @@ impl<'a> SweepOptions<'a> {
     pub fn with_progress(mut self, progress: &'a omptel::Progress) -> SweepOptions<'a> {
         self.progress = Some(progress);
         self
+    }
+
+    /// Attach an anomaly watchdog (fed every sample's wall latency).
+    pub fn with_watchdog(mut self, watchdog: &'a omptel::Watchdog) -> SweepOptions<'a> {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Should per-sample wall latency be measured at all?
+    fn observing(&self) -> bool {
+        self.progress.is_some() || self.watchdog.is_some()
     }
 }
 
@@ -135,12 +153,19 @@ enum UnitKind {
 struct Unit {
     batch: usize,
     kind: UnitKind,
+    /// Cross-thread flow handle stitching the seeding span to the
+    /// executing worker's span in the trace (0 when not tracing).
+    flow: u64,
 }
 
-fn build_jobs(arch: Arch, spec: &SweepSpec, cache: Option<&SampleCache>) -> Vec<BatchJob> {
-    work_list(arch)
-        .into_iter()
-        .map(|(app, setting, setting_idx)| {
+fn build_jobs(
+    arch: Arch,
+    list: &[(&'static AppSpec, Setting, usize)],
+    spec: &SweepSpec,
+    cache: Option<&SampleCache>,
+) -> Vec<BatchJob> {
+    list.iter()
+        .map(|&(app, setting, setting_idx)| {
             let key = RunKey {
                 arch,
                 app: app.name.to_string(),
@@ -181,28 +206,58 @@ fn units_of(jobs: &[BatchJob]) -> Vec<Unit> {
             units.push(Unit {
                 batch: b,
                 kind: UnitKind::Configs { start, end },
+                flow: omptel::flow_handle(),
             });
             start = end;
         }
         units.push(Unit {
             batch: b,
             kind: UnitKind::Default,
+            flow: omptel::flow_handle(),
         });
     }
     units
 }
 
+/// Feed one sample's wall latency to the progress meter and watchdog.
+fn observe_sample(opts: &SweepOptions, job: &BatchJob, config_index: usize, t0: Option<Instant>) {
+    let Some(t0) = t0 else { return };
+    let ns = t0.elapsed().as_nanos() as u64;
+    if let Some(p) = opts.progress {
+        p.observe_ns(ns);
+    }
+    if let Some(w) = opts.watchdog {
+        w.observe(ns, || {
+            format!(
+                "{}/{} i{} t{} c{}",
+                job.key.arch.id(),
+                job.key.app,
+                job.key.input_code,
+                job.key.num_threads,
+                config_index
+            )
+        });
+    }
+}
+
 /// Execute one unit; returns the number of samples it produced.
-fn run_unit(unit: &Unit, job: &BatchJob, spec: &SweepSpec, cache: Option<&SampleCache>) -> u64 {
+fn run_unit(unit: &Unit, job: &BatchJob, spec: &SweepSpec, opts: &SweepOptions) -> u64 {
+    let cache = opts.cache;
+    let observing = opts.observing();
     match unit.kind {
         UnitKind::Configs { start, end } => {
+            let _uspan = omptel::span(SpanKind::Unit, unit.batch as u64);
+            omptel::flow_in(SpanKind::Unit, unit.flow);
             let mut produced = Vec::with_capacity(end - start);
             let mut hits = 0u64;
             let mut misses = 0u64;
             for (config_index, config) in &job.configs[start..end] {
+                let sspan = omptel::span(SpanKind::Sample, *config_index as u64);
+                let t0 = observing.then(Instant::now);
                 let (runtimes, telemetry) = match job.entries.lookup(*config_index, config) {
                     Some(cached) => {
                         hits += 1;
+                        omptel::instant(SpanKind::CacheHit, *config_index as u64);
                         cached
                     }
                     None => {
@@ -218,6 +273,8 @@ fn run_unit(unit: &Unit, job: &BatchJob, spec: &SweepSpec, cache: Option<&Sample
                         )
                     }
                 };
+                drop(sspan);
+                observe_sample(opts, job, *config_index, t0);
                 produced.push(RawSample {
                     config_index: *config_index,
                     config: *config,
@@ -239,12 +296,17 @@ fn run_unit(unit: &Unit, job: &BatchJob, spec: &SweepSpec, cache: Option<&Sample
             (end - start) as u64
         }
         UnitKind::Default => {
+            let _uspan = omptel::span(SpanKind::DefaultRow, unit.batch as u64);
+            omptel::flow_in(SpanKind::Unit, unit.flow);
             let default_config = TuningConfig::default_for(job.key.arch, job.key.num_threads);
+            let sspan = omptel::span(SpanKind::Sample, DEFAULT_ROW_INDEX as u64);
+            let t0 = observing.then(Instant::now);
             let result = match job.entries.lookup(DEFAULT_ROW_INDEX, &default_config) {
                 Some(cached) => {
                     if let Some(c) = cache {
                         c.count_hits(1);
                     }
+                    omptel::instant(SpanKind::CacheHit, DEFAULT_ROW_INDEX as u64);
                     cached
                 }
                 None => {
@@ -263,6 +325,8 @@ fn run_unit(unit: &Unit, job: &BatchJob, spec: &SweepSpec, cache: Option<&Sample
                     )
                 }
             };
+            drop(sspan);
+            observe_sample(opts, job, DEFAULT_ROW_INDEX, t0);
             *job.default_slot.lock().expect("default slot poisoned") = Some(result);
             1
         }
@@ -311,21 +375,27 @@ fn finalize_batch(
     out.lock().expect("output poisoned")[batch_index] = Some(data);
 }
 
-/// Sweep one architecture through the work-stealing scheduler.
-pub fn sweep_arch_scheduled(arch: Arch, spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
-    let jobs = build_jobs(arch, spec, opts.cache);
+/// Run a set of batch jobs through the work-stealing worker pool.
+fn run_scheduler(jobs: Vec<BatchJob>, spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
     let units = units_of(&jobs);
     let n_units = units.len();
     let workers = opts.workers.clamp(1, n_units.max(1));
 
     // Seed each worker's deque with a contiguous stripe — the old static
     // split — so steals happen exactly when that split is unbalanced.
+    // Each unit's flow handle is "emitted" here so the trace can stitch
+    // the seeding thread to whichever worker ultimately runs the unit.
     let mut deques: Vec<Mutex<VecDeque<Unit>>> = Vec::with_capacity(workers);
     {
+        let _seed_span = omptel::span(SpanKind::Seed, n_units as u64);
         let mut units = VecDeque::from(units);
         for w in 0..workers {
             let take = (n_units * (w + 1)) / workers - (n_units * w) / workers;
-            deques.push(Mutex::new(units.drain(..take).collect()));
+            let stripe: VecDeque<Unit> = units.drain(..take).collect();
+            for u in &stripe {
+                omptel::flow_out(SpanKind::Unit, u.flow);
+            }
+            deques.push(Mutex::new(stripe));
         }
         debug_assert!(units.is_empty());
     }
@@ -338,8 +408,6 @@ pub fn sweep_arch_scheduled(arch: Arch, spec: &SweepSpec, opts: &SweepOptions) -
         for w in 0..workers {
             let (jobs, deques, out, steals, units_run) =
                 (&jobs, &deques, &out, &steals, &units_run);
-            let cache = opts.cache;
-            let progress = opts.progress;
             scope.spawn(move || loop {
                 // Own work first, then steal from the back of the
                 // longest-suffering victim in ring order.
@@ -350,6 +418,7 @@ pub fn sweep_arch_scheduled(arch: Arch, spec: &SweepSpec, opts: &SweepOptions) -
                         if let Some(u) = deques[victim].lock().expect("deque poisoned").pop_back() {
                             steals.fetch_add(1, Ordering::Relaxed);
                             omptel::add(omptel::Counter::SweepSteals, 1);
+                            omptel::instant(SpanKind::Steal, victim as u64);
                             unit = Some(u);
                             break;
                         }
@@ -358,13 +427,13 @@ pub fn sweep_arch_scheduled(arch: Arch, spec: &SweepSpec, opts: &SweepOptions) -
                 // Units are only ever removed, so all-empty means done.
                 let Some(unit) = unit else { break };
                 let job = &jobs[unit.batch];
-                let produced = run_unit(&unit, job, spec, cache);
+                let produced = run_unit(&unit, job, spec, opts);
                 units_run.fetch_add(1, Ordering::Relaxed);
-                if let Some(p) = progress {
+                if let Some(p) = opts.progress {
                     p.inc(produced);
                 }
                 if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    finalize_batch(job, spec, cache, out, unit.batch);
+                    finalize_batch(job, spec, opts.cache, out, unit.batch);
                 }
             });
         }
@@ -393,6 +462,30 @@ pub fn sweep_arch_scheduled(arch: Arch, spec: &SweepSpec, opts: &SweepOptions) -
         stats.sample_misses = m;
     }
     SweepOutcome { batches, stats }
+}
+
+/// Sweep one architecture through the work-stealing scheduler.
+pub fn sweep_arch_scheduled(arch: Arch, spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
+    let _arch_span = omptel::span(SpanKind::ArchSweep, arch as u64);
+    let jobs = build_jobs(arch, &work_list(arch), spec, opts.cache);
+    run_scheduler(jobs, spec, opts)
+}
+
+/// Sweep one `(app, setting)` batch through the scheduler — the same
+/// units, spans, and flows as a full arch sweep, scoped to one batch.
+pub fn sweep_setting_scheduled(
+    arch: Arch,
+    app: &'static AppSpec,
+    setting: Setting,
+    setting_idx: usize,
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+) -> (SettingData, SweepStats) {
+    let jobs = build_jobs(arch, &[(app, setting, setting_idx)], spec, opts.cache);
+    let outcome = run_scheduler(jobs, spec, opts);
+    let [data] = <[SettingData; 1]>::try_from(outcome.batches)
+        .unwrap_or_else(|_| unreachable!("one job in, one batch out"));
+    (data, outcome.stats)
 }
 
 /// Sweep all architectures through the scheduler, aggregating stats.

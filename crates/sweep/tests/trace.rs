@@ -1,0 +1,166 @@
+//! End-to-end omptrace properties of the sweep scheduler, in their own
+//! process (the flight recorder is process-exclusive, so these tests
+//! must not share a process with the omptel unit tests).
+//!
+//! - results are bit-identical with the recorder on or off,
+//! - a live multi-worker sweep produces a well-nested trace whose
+//!   cross-worker flows all resolve,
+//! - a corrupted cache batch is recomputed byte-identically and the
+//!   corruption lands in the flight recorder as a `CacheCorrupt` event
+//!   and in the anomaly watchdog's dump.
+
+use omptune_core::Arch;
+use std::sync::{Arc, Mutex, OnceLock};
+use sweep::{SampleCache, Scope, SweepOptions, SweepSpec};
+
+/// The recorder is process-global; serialize every test that arms it.
+fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        scope: Scope::Strided(1000),
+        reps: 2,
+        seed: 17,
+        failure_rate: 0.05,
+    }
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("omptune-trace-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Provenance JSONL bytes of a batch list: the artifact whose
+/// byte-identity the tracing contract promises.
+fn provenance_bytes(batches: &[sweep::SettingData], spec: &SweepSpec) -> Vec<u8> {
+    let records = sweep::provenance_of(batches, spec);
+    let mut buf = Vec::new();
+    sweep::write_provenance_jsonl(&records, &mut buf).expect("in-memory write");
+    buf
+}
+
+#[test]
+fn traced_sweep_is_byte_identical_to_untraced() {
+    let _guard = recorder_lock();
+    let spec = spec();
+    let plain = sweep::sweep_arch_scheduled(Arch::Skylake, &spec, &SweepOptions::new(4));
+
+    let rec = omptel::Recorder::start(omptel::RecorderOptions::default())
+        .expect("no other recorder live");
+    let traced = sweep::sweep_arch_scheduled(Arch::Skylake, &spec, &SweepOptions::new(4));
+    let recording = rec.finish();
+
+    assert_eq!(
+        provenance_bytes(&plain.batches, &spec),
+        provenance_bytes(&traced.batches, &spec),
+        "tracing changed the provenance bytes"
+    );
+    assert!(recording.total_events() > 0, "recorder captured nothing");
+}
+
+#[test]
+fn live_sweep_trace_is_well_nested_with_resolved_flows() {
+    let _guard = recorder_lock();
+    let spec = spec();
+    let rec = omptel::Recorder::start(omptel::RecorderOptions::default())
+        .expect("no other recorder live");
+    let outcome = sweep::sweep_arch_scheduled(Arch::A64fx, &spec, &SweepOptions::new(4));
+    let recording = rec.finish();
+    assert!(!outcome.batches.is_empty());
+
+    // Raw recording: spans well-nested per thread by construction.
+    let report = omptel::validate_trace(&recording).expect("well-nested recording");
+    assert!(report.spans > 0, "no spans recorded");
+    assert!(report.flows > 0, "no unit flows recorded");
+    assert_eq!(report.unresolved_flows, 0, "flow lost across workers");
+    assert_eq!(report.orphan_spans, 0, "orphaned span without drops");
+    assert_eq!(report.dropped, 0, "ring wrapped on a tiny sweep");
+
+    // One unit flow per scheduling unit, resolved across steals.
+    assert_eq!(report.flows as u64, outcome.stats.units);
+
+    // The exported Chrome JSON passes the laminar/flow validator too.
+    let doc = omptel::chrome_trace_with_recording(&[], &recording);
+    let json = serde_json::to_string(&doc).expect("trace serializes");
+    let exported = omptel::validate_trace_json(&json).expect("valid exported trace");
+    assert_eq!(exported.unresolved_flows, 0);
+    assert_eq!(exported.orphan_spans, 0);
+}
+
+#[test]
+fn corrupt_cache_batch_recomputes_identically_and_is_flagged() {
+    let _guard = recorder_lock();
+    let spec = spec();
+    let cache = SampleCache::new(tmp_dir("corrupt-flag"));
+
+    // Cold run fills the cache; its provenance is the reference.
+    let cold =
+        sweep::sweep_arch_scheduled(Arch::Milan, &spec, &SweepOptions::new(2).with_cache(&cache));
+    let reference = provenance_bytes(&cold.batches, &spec);
+
+    // Vandalize the first record of one cached batch file.
+    let arch_dir = cache.dir().join("milan");
+    let victim = std::fs::read_dir(&arch_dir)
+        .expect("cache populated")
+        .next()
+        .expect("at least one batch file")
+        .expect("readable entry")
+        .path();
+    let text = std::fs::read_to_string(&victim).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    lines[0] = "{\"engine\": 1, \"seed\": truncated-garbage".into();
+    std::fs::write(&victim, lines.join("\n")).unwrap();
+
+    // Re-run under the recorder with a watchdog collecting dumps.
+    let rec = omptel::Recorder::start(omptel::RecorderOptions::default())
+        .expect("no other recorder live");
+    let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let watchdog = Arc::new(omptel::Watchdog::new(
+        0.999,
+        Box::new(SharedSink(sink.clone())),
+    ));
+    omptel::install_watchdog(Some(watchdog.clone()));
+    let warm =
+        sweep::sweep_arch_scheduled(Arch::Milan, &spec, &SweepOptions::new(2).with_cache(&cache));
+    omptel::install_watchdog(None);
+    let recording = rec.finish();
+
+    // Byte-identical provenance despite the damage.
+    assert_eq!(
+        provenance_bytes(&warm.batches, &spec),
+        reference,
+        "corrupt cache changed recomputed provenance"
+    );
+
+    // The corruption was observed: a CacheCorrupt instant in the ring,
+    // the corrupt counter on the watchdog, and a dump in the sink.
+    assert!(
+        recording.count(omptel::EventKind::Instant, omptel::SpanKind::CacheCorrupt) >= 1,
+        "no CacheCorrupt event recorded"
+    );
+    let (_, corrupt) = watchdog.counts();
+    assert_eq!(corrupt, 1, "exactly one corrupt record expected");
+    let dump = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+    assert!(
+        dump.contains("cache_corrupt") && dump.contains("unparseable record"),
+        "watchdog dump missing corruption context: {dump:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(cache.dir());
+}

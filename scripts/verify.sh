@@ -38,5 +38,31 @@ cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/warm/provenance.jsonl
 }
 echo "cold and warm provenance byte-identical"
 
+# Trace validation: a live traced collect run must (a) leave the
+# provenance byte-identical to the untraced runs above, and (b) export a
+# structurally valid trace — spans well-nested per thread, every
+# cross-worker flow resolved, drop count reported by trace-check.
+echo
+echo "==> flight-recorder trace validation (live traced collect)"
+cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/traced" \
+    --workers 4 --cache-dir "$coherence_dir/trace-cache" \
+    --trace "$coherence_dir/traced/trace.json" 2>/dev/null
+cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/traced/provenance.jsonl" || {
+    echo "verify: traced sweep provenance diverged from untraced sweep" >&2
+    exit 1
+}
+echo "traced and untraced provenance byte-identical"
+step cargo run --release -p sweep --bin trace-check -- \
+    "$coherence_dir/traced/trace.json"
+
+# Bench regression gate: fresh sweep_warmcold numbers must stay within
+# the noise band of the committed baseline.
+echo
+echo "==> bench regression gate (sweep_warmcold vs committed baseline)"
+BENCH_OUT="$coherence_dir/bench_sweep.json" \
+    cargo bench -p bench-harness --bench sweep_warmcold
+step cargo run --release -p bench-harness --bin bench-diff -- \
+    --baseline BENCH_sweep.json "$coherence_dir/bench_sweep.json" --band 2.0
+
 echo
 echo "verify: all gates passed"
