@@ -9,7 +9,19 @@
 //! shrink) by at most the noise band factor before the comparison
 //! fails. Missing-in-either keys are reported but never fatal, so the
 //! baseline format can evolve.
+//!
+//! When both files carry per-repetition arrays (`<key>_reps`, as
+//! `sweep_warmcold` writes), a band violation is additionally put to
+//! the Wilcoxon signed-rank test: a regression whose paired reps are
+//! not significantly worse (p ≥ 0.05) is reported as **within noise**
+//! and does not fail the gate — one cold outlier repetition should not
+//! block a merge. Without reps the band alone decides, conservatively.
+//!
+//! Exit codes: `0` pass, `1` regression, `2` usage error, `3` the
+//! baseline (or current) file is missing or unparsable — so CI can
+//! distinguish "the code got slower" from "the gate could not run".
 
+use mlstats::wilcoxon::{wilcoxon_signed_rank, WilcoxonError};
 use std::process::ExitCode;
 
 const HELP: &str = "\
@@ -24,20 +36,62 @@ OPTIONS:
                      may be at most FACTOR x the baseline, a speedup at
                      least baseline / FACTOR
     -h, --help       print this help
+
+EXIT CODES:
+    0  pass            1  regression beyond the band
+    2  usage error     3  baseline/current missing or unparsable
 ";
 
-/// Flat numeric view of a bench JSON object.
-fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+const EXIT_REGRESSION: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_BAD_INPUT: u8 = 3;
+
+/// Significance level for the per-repetition Wilcoxon verdict.
+const ALPHA: f64 = 0.05;
+
+/// Flat numeric view of a bench JSON object: scalar metrics, plus any
+/// `*_reps` arrays of per-repetition measurements.
+struct BenchDoc {
+    scalars: Vec<(String, f64)>,
+    reps: Vec<(String, Vec<f64>)>,
+}
+
+fn load(path: &str) -> Result<BenchDoc, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc: serde::Value =
         serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e:?}"))?;
     let map = doc
         .as_map()
         .ok_or_else(|| format!("{path}: root is not an object"))?;
-    Ok(map
-        .iter()
-        .filter_map(|(k, v)| Some((k.as_str()?.to_string(), v.as_f64()?)))
-        .collect())
+    let mut out = BenchDoc {
+        scalars: Vec::new(),
+        reps: Vec::new(),
+    };
+    for (k, v) in map {
+        let Some(key) = k.as_str() else { continue };
+        if let Some(x) = v.as_f64() {
+            out.scalars.push((key.to_string(), x));
+        } else if let Some(seq) = v.as_seq() {
+            let values: Vec<f64> = seq.iter().filter_map(|e| e.as_f64()).collect();
+            if values.len() == seq.len() {
+                out.reps.push((key.to_string(), values));
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl BenchDoc {
+    fn scalar(&self, key: &str) -> Option<f64> {
+        self.scalars.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    fn reps_of(&self, key: &str) -> Option<&[f64]> {
+        self.reps
+            .iter()
+            .find(|(k, _)| k == &format!("{key}_reps"))
+            .map(|(_, v)| v.as_slice())
+    }
 }
 
 enum Direction {
@@ -53,6 +107,22 @@ fn classify(key: &str) -> Direction {
         Direction::HigherBetter
     } else {
         Direction::Info
+    }
+}
+
+/// Wilcoxon verdict for one band violation: `Some(p)` when both sides
+/// carry comparable reps, `None` when the test cannot run.
+fn significance(base: &BenchDoc, cur: &BenchDoc, key: &str) -> Option<f64> {
+    let (b, c) = (base.reps_of(key)?, cur.reps_of(key)?);
+    let n = b.len().min(c.len());
+    if n == 0 {
+        return None;
+    }
+    // Tail-truncate to the shorter run so rep counts can evolve.
+    match wilcoxon_signed_rank(&c[c.len() - n..], &b[b.len() - n..]) {
+        Ok(r) => Some(r.p_value),
+        Err(WilcoxonError::AllZeroDifferences) => Some(1.0),
+        Err(_) => None,
     }
 }
 
@@ -72,65 +142,80 @@ fn main() -> ExitCode {
                 Some(f) if f >= 1.0 => band = f,
                 _ => {
                     eprintln!("bench-diff: --band needs a factor >= 1.0");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
             },
             other if other.starts_with('-') => {
                 eprintln!("bench-diff: unknown option {other}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             }
             p => {
                 if current.replace(p.to_string()).is_some() {
                     eprintln!("bench-diff: more than one current file given");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 }
             }
         }
     }
     let (Some(base_path), Some(cur_path)) = (baseline, current) else {
         eprint!("{HELP}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
-    let (base, cur) = match (load(&base_path), load(&cur_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench-diff: {e}");
-            return ExitCode::FAILURE;
+    let base = match load(&base_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-diff: baseline unusable: {e}");
+            eprintln!("bench-diff: regenerate it with `cargo bench -p bench-harness --bench sweep_warmcold` and commit the result");
+            return ExitCode::from(EXIT_BAD_INPUT);
+        }
+    };
+    let cur = match load(&cur_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench-diff: current results unusable: {e}");
+            return ExitCode::from(EXIT_BAD_INPUT);
         }
     };
 
     let mut failures = 0usize;
     println!("bench-diff: {cur_path} vs baseline {base_path} (band {band:.2}x)");
-    for (key, b) in &base {
-        let Some((_, c)) = cur.iter().find(|(k, _)| k == key) else {
+    for (key, b) in &base.scalars {
+        let Some(c) = cur.scalar(key) else {
             println!("  {key:<22} missing in current (baseline {b})");
             continue;
         };
         let ratio = if *b != 0.0 { c / b } else { f64::INFINITY };
-        let (verdict, bad) = match classify(key) {
-            Direction::LowerBetter => {
-                let bad = ratio > band;
-                (if bad { "REGRESSED" } else { "ok" }, bad)
+        let over_band = match classify(key) {
+            Direction::LowerBetter => ratio > band,
+            Direction::HigherBetter => ratio < 1.0 / band,
+            Direction::Info => false,
+        };
+        let (verdict, bad) = if !over_band {
+            let label = match classify(key) {
+                Direction::Info => "info",
+                _ => "ok",
+            };
+            (label.to_string(), false)
+        } else {
+            match significance(&base, &cur, key) {
+                Some(p) if p < ALPHA => (format!("REGRESSED (p={p:.4})"), true),
+                Some(p) => (format!("within noise (p={p:.4})"), false),
+                None => ("REGRESSED".to_string(), true),
             }
-            Direction::HigherBetter => {
-                let bad = ratio < 1.0 / band;
-                (if bad { "REGRESSED" } else { "ok" }, bad)
-            }
-            Direction::Info => ("info", false),
         };
         println!("  {key:<22} {b:>12.6} -> {c:>12.6} ({ratio:.3}x) {verdict}");
         if bad {
             failures += 1;
         }
     }
-    for (key, c) in &cur {
-        if !base.iter().any(|(k, _)| k == key) {
+    for (key, c) in &cur.scalars {
+        if base.scalar(key).is_none() {
             println!("  {key:<22} new in current ({c})");
         }
     }
     if failures > 0 {
         eprintln!("bench-diff: FAIL: {failures} metric(s) regressed beyond {band:.2}x");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_REGRESSION);
     }
     println!("bench-diff: PASS");
     ExitCode::SUCCESS

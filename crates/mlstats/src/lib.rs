@@ -8,6 +8,8 @@
 //! - [`describe`] — means, standard deviations, quantiles (Table IV),
 //! - [`wilcoxon`] — the Wilcoxon signed-rank test used to quantify
 //!   measurement noise per architecture (Table III),
+//! - [`holm`] — Holm step-down correction so the drift sentinel's
+//!   per-stratum test family controls its family-wise error rate,
 //! - [`violin`] — kernel-density violin summaries (Figs. 1, 5–7),
 //! - [`linreg`] — OLS linear regression, whose poor fit on this data
 //!   motivates the classification reformulation (Sec. IV-D),
@@ -24,6 +26,7 @@
 pub mod corr;
 pub mod describe;
 pub mod encode;
+pub mod holm;
 pub mod linreg;
 pub mod logreg;
 pub mod matrix;
@@ -33,6 +36,7 @@ pub mod wilcoxon;
 
 pub use describe::{mean, median, quantile, std_population, std_sample, Summary};
 pub use encode::{CategoryEncoder, StandardScaler};
+pub use holm::{holm_adjust, holm_reject};
 pub use linreg::{fit_linear, LinearModel};
 pub use logreg::{fit_logistic, LogisticModel, LogisticOptions};
 pub use metrics::{cross_validate, Confusion, CrossValidation};

@@ -1,0 +1,474 @@
+//! # ompmon — drift sentinel over sweep time-series
+//!
+//! Answers one question about two collection runs: **did the measured
+//! behaviour move, beyond what noise explains?** The paper's Table III
+//! quantifies per-architecture measurement noise with the Wilcoxon
+//! signed-rank test; `ompmon` turns the same test into a regression
+//! gate. Each run directory (as written by `collect`) carries a
+//! `tsdb/` of ring-file series; runs are compared series-by-series:
+//!
+//! - **Gating** series — `"<arch>/virt/s<k>"`, the per-stratum
+//!   virtual-time sample means (stratum `k` = `config_index % 8`).
+//!   Virtual time is deterministic given the seed, so two same-seed
+//!   runs must be *identical* here and any difference is a real
+//!   behavioural change, not scheduling luck. These rows feed the
+//!   verdict.
+//! - **Informational** series — wall-clock latency and scheduler-rate
+//!   series. Wall time legitimately varies run to run (machine load,
+//!   cache state), so these rows are reported with their p-values but
+//!   never decide the verdict: a CI gate that fails on a busy runner
+//!   is a gate that gets deleted.
+//!
+//! One Wilcoxon test per series would be fine; dozens are not — at
+//! α = 0.05 a 24-test family flags spurious drift in most comparisons.
+//! Gating p-values are therefore Holm-adjusted
+//! ([`mlstats::holm_adjust`]) and the verdict is **DRIFT** only when
+//! an adjusted p clears `alpha` (or a gating series structurally
+//! disagrees between runs).
+
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+use mlstats::holm_adjust;
+use mlstats::wilcoxon::{wilcoxon_signed_rank, WilcoxonError};
+use omptel::tsdb::Tsdb;
+
+/// How many config strata `collect` folds samples into (by
+/// `config_index % STRATA`); must match the writer.
+pub const STRATA: usize = 8;
+
+/// Metadata of one run directory, loosely read from `manifest.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunInfo {
+    /// The run directory as given.
+    pub dir: String,
+    /// Sweep scope from the manifest (`"?"` when absent).
+    pub scope: String,
+    /// Master seed from the manifest.
+    pub seed: Option<u64>,
+    /// Post-cleaning sample count from the manifest.
+    pub total_samples: Option<u64>,
+}
+
+impl RunInfo {
+    fn read(dir: &Path) -> RunInfo {
+        let mut info = RunInfo {
+            dir: dir.display().to_string(),
+            scope: "?".to_string(),
+            seed: None,
+            total_samples: None,
+        };
+        // The manifest is context, not evidence: a run directory whose
+        // manifest is missing or unreadable still compares by series.
+        let Ok(bytes) = std::fs::read(dir.join("manifest.json")) else {
+            return info;
+        };
+        let Ok(doc) = serde_json::from_slice::<serde::Value>(&bytes) else {
+            return info;
+        };
+        if let Some(map) = doc.as_map() {
+            for (k, v) in map {
+                match k.as_str() {
+                    Some("scope") => {
+                        if let Some(s) = v.as_str() {
+                            info.scope = s.to_string();
+                        }
+                    }
+                    Some("seed") => info.seed = v.as_u64(),
+                    Some("total_samples") => info.total_samples = v.as_u64(),
+                    _ => {}
+                }
+            }
+        }
+        info
+    }
+}
+
+/// One compared series.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftRow {
+    pub series: String,
+    /// Paired points actually tested (after tail alignment + NaN drop).
+    pub n: usize,
+    /// Mean over run A's paired points (exact sum/count aggregate).
+    pub mean_a: f64,
+    pub mean_b: f64,
+    /// Every paired difference was exactly zero.
+    pub identical: bool,
+    /// Raw two-sided Wilcoxon p (absent when the test is undefined).
+    pub p_raw: Option<f64>,
+    /// Holm-adjusted p; only gating, testable, non-identical rows are
+    /// in the family.
+    pub p_holm: Option<f64>,
+    /// Whether this row can decide the verdict.
+    pub gating: bool,
+    /// This row's drift call (always `false` for informational rows).
+    pub drift: bool,
+    /// Human-readable qualifier (`identical`, `missing in B`, …).
+    pub note: String,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct DriftReport {
+    pub run_a: RunInfo,
+    pub run_b: RunInfo,
+    /// Family-wise significance level the gate ran at.
+    pub alpha: f64,
+    /// Size of the Holm family (gating, testable, non-identical rows).
+    pub family: usize,
+    pub rows: Vec<DriftRow>,
+    /// The verdict: any gating row drifted.
+    pub drift: bool,
+}
+
+/// Is this series name a verdict-deciding one?
+fn is_gating(series: &str) -> bool {
+    series.contains("/virt/")
+}
+
+/// Tail-aligned paired values of two point slices: the last
+/// `min(len)` points of each, positionally paired, NaN pairs dropped.
+/// Ring files keep the most recent window, so when one run retained
+/// more history than the other the comparable region is the tail.
+fn paired_values(a: &[omptel::Point], b: &[omptel::Point]) -> (Vec<f64>, Vec<f64>) {
+    let n = a.len().min(b.len());
+    let (mut xs, mut ys) = (Vec::with_capacity(n), Vec::with_capacity(n));
+    for (pa, pb) in a[a.len() - n..].iter().zip(&b[b.len() - n..]) {
+        let (x, y) = (pa.value(), pb.value());
+        if x.is_finite() && y.is_finite() {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    (xs, ys)
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        f64::NAN
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Compare two run directories' time-series. `alpha` is the
+/// family-wise level for the gating family (0.05 is the paper's).
+pub fn drift_report(dir_a: &Path, dir_b: &Path, alpha: f64) -> io::Result<DriftReport> {
+    let tsdb_a = dir_a.join("tsdb");
+    let tsdb_b = dir_b.join("tsdb");
+    let series_a = Tsdb::series(&tsdb_a)?;
+    let series_b = Tsdb::series(&tsdb_b)?;
+
+    let mut names: Vec<String> = series_a.clone();
+    for s in &series_b {
+        if !names.contains(s) {
+            names.push(s.clone());
+        }
+    }
+    names.sort();
+
+    let mut rows = Vec::with_capacity(names.len());
+    for series in &names {
+        let gating = is_gating(series);
+        let in_a = series_a.contains(series);
+        let in_b = series_b.contains(series);
+        if !(in_a && in_b) {
+            // A gating series present in one run only means the swept
+            // space itself changed — that is drift, not noise.
+            rows.push(DriftRow {
+                series: series.clone(),
+                n: 0,
+                mean_a: f64::NAN,
+                mean_b: f64::NAN,
+                identical: false,
+                p_raw: None,
+                p_holm: None,
+                gating,
+                drift: gating,
+                note: format!("missing in run {}", if in_a { "B" } else { "A" }),
+            });
+            continue;
+        }
+        let (points_a, _) = Tsdb::read(&tsdb_a, series)?;
+        let (points_b, _) = Tsdb::read(&tsdb_b, series)?;
+        let (xs, ys) = paired_values(&points_a, &points_b);
+        let mut row = DriftRow {
+            series: series.clone(),
+            n: xs.len(),
+            mean_a: mean(&xs),
+            mean_b: mean(&ys),
+            identical: false,
+            p_raw: None,
+            p_holm: None,
+            gating,
+            drift: false,
+            note: String::new(),
+        };
+        match wilcoxon_signed_rank(&xs, &ys) {
+            Ok(r) => {
+                row.p_raw = Some(r.p_value);
+                row.note = format!("W={:.1}", r.statistic);
+            }
+            Err(WilcoxonError::AllZeroDifferences) => {
+                row.identical = true;
+                row.note = "identical".to_string();
+            }
+            Err(WilcoxonError::Empty) => row.note = "no paired points".to_string(),
+            Err(WilcoxonError::LengthMismatch) => unreachable!("paired_values aligns lengths"),
+        }
+        rows.push(row);
+    }
+
+    // Holm family: gating rows with a defined raw p. Identical rows
+    // cannot drift and untestable rows carry no evidence; keeping them
+    // out preserves power for the tests that can actually speak.
+    let family: Vec<usize> = rows
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.gating && r.p_raw.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    let raw: Vec<f64> = family.iter().map(|&i| rows[i].p_raw.unwrap()).collect();
+    for (&i, &adj) in family.iter().zip(holm_adjust(&raw).iter()) {
+        rows[i].p_holm = Some(adj);
+        if adj <= alpha {
+            rows[i].drift = true;
+        }
+    }
+    let drift = rows.iter().any(|r| r.drift);
+
+    Ok(DriftReport {
+        run_a: RunInfo::read(dir_a),
+        run_b: RunInfo::read(dir_b),
+        alpha,
+        family: family.len(),
+        rows,
+        drift,
+    })
+}
+
+impl DriftReport {
+    /// Fixed-width verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "drift: {} (scope {}, seed {}) vs {} (scope {}, seed {})\n",
+            self.run_a.dir,
+            self.run_a.scope,
+            fmt_opt(self.run_a.seed),
+            self.run_b.dir,
+            self.run_b.scope,
+            fmt_opt(self.run_b.seed),
+        ));
+        out.push_str(&format!(
+            "alpha {} (Holm over {} gating tests)\n\n",
+            self.alpha, self.family
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>5} {:>12} {:>12} {:>9} {:>9}  {}\n",
+            "SERIES", "N", "MEAN_A", "MEAN_B", "P", "P_HOLM", "VERDICT"
+        ));
+        for r in &self.rows {
+            let verdict = if r.drift {
+                "DRIFT".to_string()
+            } else if r.gating {
+                format!("OK ({})", if r.note.is_empty() { "-" } else { &r.note })
+            } else {
+                format!("info ({})", if r.note.is_empty() { "-" } else { &r.note })
+            };
+            out.push_str(&format!(
+                "{:<28} {:>5} {:>12} {:>12} {:>9} {:>9}  {}\n",
+                r.series,
+                r.n,
+                fmt_num(r.mean_a),
+                fmt_num(r.mean_b),
+                r.p_raw.map(fmt_p).unwrap_or_else(|| "-".to_string()),
+                r.p_holm.map(fmt_p).unwrap_or_else(|| "-".to_string()),
+                verdict,
+            ));
+        }
+        out.push_str(&format!(
+            "\nVERDICT: {}\n",
+            if self.drift { "DRIFT" } else { "OK" }
+        ));
+        out
+    }
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "?".to_string())
+}
+
+fn fmt_num(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x != 0.0 && (x.abs() >= 1e6 || x.abs() < 1e-3) {
+        format!("{x:.4e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+fn fmt_p(p: f64) -> String {
+    if p < 1e-4 {
+        format!("{p:.1e}")
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omptel::Point;
+    use std::path::PathBuf;
+
+    fn run_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ompmon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_series(dir: &Path, series: &str, values: &[f64]) {
+        let mut db = Tsdb::open(dir.join("tsdb"), 1024).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            db.append(series, Point::single(i as u64, v)).unwrap();
+        }
+    }
+
+    #[test]
+    fn identical_runs_report_ok() {
+        let a = run_dir("id-a");
+        let b = run_dir("id-b");
+        let values: Vec<f64> = (0..40).map(|i| 1000.0 + i as f64).collect();
+        for dir in [&a, &b] {
+            write_series(dir, "skylake/virt/s0", &values);
+            write_series(dir, "skylake/wall/sample_ns", &values);
+        }
+        let report = drift_report(&a, &b, 0.05).unwrap();
+        assert!(!report.drift);
+        assert_eq!(report.family, 0, "identical rows leave the family empty");
+        let gate = report
+            .rows
+            .iter()
+            .find(|r| r.series == "skylake/virt/s0")
+            .unwrap();
+        assert!(gate.identical && gate.gating && !gate.drift);
+        assert!(report.render().contains("VERDICT: OK"));
+        for d in [a, b] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn systematic_slowdown_is_drift_wall_noise_is_not() {
+        let a = run_dir("slow-a");
+        let b = run_dir("slow-b");
+        let base: Vec<f64> = (0..40).map(|i| 1000.0 + (i as f64) * 3.0).collect();
+        let slowed: Vec<f64> = base.iter().map(|v| v * 1.05).collect();
+        // Wall series differs randomly in sign — real runs always do.
+        let wall_a: Vec<f64> = (0..40).map(|i| 500.0 + ((i * 7) % 13) as f64).collect();
+        let wall_b: Vec<f64> = (0..40).map(|i| 500.0 + ((i * 11) % 13) as f64).collect();
+        write_series(&a, "skylake/virt/s0", &base);
+        write_series(&b, "skylake/virt/s0", &slowed);
+        write_series(&a, "skylake/wall/sample_ns", &wall_a);
+        write_series(&b, "skylake/wall/sample_ns", &wall_b);
+        let report = drift_report(&a, &b, 0.05).unwrap();
+        assert!(report.drift, "{}", report.render());
+        let gate = report
+            .rows
+            .iter()
+            .find(|r| r.series == "skylake/virt/s0")
+            .unwrap();
+        assert!(gate.drift);
+        assert!(gate.p_holm.unwrap() < 0.05);
+        let wall = report
+            .rows
+            .iter()
+            .find(|r| r.series == "skylake/wall/sample_ns")
+            .unwrap();
+        assert!(!wall.gating && !wall.drift, "wall series must not gate");
+        for d in [a, b] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn missing_gating_series_is_structural_drift() {
+        let a = run_dir("miss-a");
+        let b = run_dir("miss-b");
+        let values = [1.0, 2.0, 3.0];
+        write_series(&a, "skylake/virt/s0", &values);
+        write_series(&a, "skylake/virt/s1", &values);
+        write_series(&b, "skylake/virt/s0", &values);
+        // An informational series missing from A must not gate.
+        write_series(&b, "skylake/rate/steal", &values);
+        let report = drift_report(&a, &b, 0.05).unwrap();
+        assert!(report.drift);
+        let missing = report
+            .rows
+            .iter()
+            .find(|r| r.series == "skylake/virt/s1")
+            .unwrap();
+        assert!(missing.drift);
+        assert!(
+            missing.note.contains("missing in run B"),
+            "{}",
+            missing.note
+        );
+        let info = report
+            .rows
+            .iter()
+            .find(|r| r.series == "skylake/rate/steal")
+            .unwrap();
+        assert!(!info.drift);
+        for d in [a, b] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn tail_alignment_compares_retained_windows() {
+        let a = run_dir("tail-a");
+        let b = run_dir("tail-b");
+        // Run A retained 10 extra leading points; the common tail is
+        // identical, so no drift.
+        let long: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let short: Vec<f64> = (10..50).map(|i| i as f64).collect();
+        write_series(&a, "skylake/virt/s0", &long);
+        write_series(&b, "skylake/virt/s0", &short);
+        let report = drift_report(&a, &b, 0.05).unwrap();
+        assert!(!report.drift, "{}", report.render());
+        assert!(report.rows[0].identical);
+        assert_eq!(report.rows[0].n, 40);
+        for d in [a, b] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let a = run_dir("json-a");
+        let b = run_dir("json-b");
+        write_series(&a, "skylake/virt/s0", &[1.0, 2.0]);
+        write_series(&b, "skylake/virt/s0", &[1.0, 2.0]);
+        std::fs::write(
+            a.join("manifest.json"),
+            br#"{"scope":"Strided(300)","seed":42,"total_samples":120}"#,
+        )
+        .unwrap();
+        let report = drift_report(&a, &b, 0.05).unwrap();
+        assert_eq!(report.run_a.scope, "Strided(300)");
+        assert_eq!(report.run_a.seed, Some(42));
+        assert_eq!(report.run_b.scope, "?", "manifest-less run still works");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"drift\""), "{json}");
+        assert!(json.contains("skylake/virt/s0"), "{json}");
+        for d in [a, b] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}

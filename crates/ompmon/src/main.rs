@@ -1,0 +1,136 @@
+//! `ompmon` — compare two sweep run directories for drift, or list a
+//! run's stored time-series.
+//!
+//! ```text
+//! ompmon drift <RUN_A> <RUN_B> [--alpha A] [--json PATH]
+//! ompmon series <RUN>
+//! ```
+//!
+//! Exit codes: `0` no drift, `4` drift detected, `2` usage error,
+//! `1` I/O or data error. The distinct drift code lets CI scripts tell
+//! "the comparison ran and found movement" from "the comparison could
+//! not run".
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use omptel::tsdb::Tsdb;
+
+const USAGE: &str =
+    "usage: ompmon drift <RUN_A> <RUN_B> [--alpha A] [--json PATH]\n       ompmon series <RUN>";
+
+const EXIT_OK: u8 = 0;
+const EXIT_ERROR: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_DRIFT: u8 = 4;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("drift") => drift_cmd(&args[1..]),
+        Some("series") => series_cmd(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
+}
+
+fn drift_cmd(args: &[String]) -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut alpha = 0.05f64;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--alpha" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(a) if a > 0.0 && a < 1.0 => alpha = a,
+                _ => {
+                    eprintln!("ompmon: --alpha wants a value in (0, 1)\n{USAGE}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ompmon: --json wants a path\n{USAGE}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            _ => dirs.push(PathBuf::from(arg)),
+        }
+    }
+    let [run_a, run_b] = dirs.as_slice() else {
+        eprintln!("ompmon: drift wants exactly two run directories\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+
+    let report = match ompmon::drift_report(run_a, run_b, alpha) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ompmon: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    print!("{}", report.render());
+
+    // The machine-readable verdict lands next to the newer run.
+    let json_path = json_path.unwrap_or_else(|| run_b.join("drift.json"));
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("ompmon: serializing report: {e}");
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    if let Err(e) = std::fs::write(&json_path, json + "\n") {
+        eprintln!("ompmon: writing {}: {e}", json_path.display());
+        return ExitCode::from(EXIT_ERROR);
+    }
+    eprintln!("wrote {}", json_path.display());
+
+    ExitCode::from(if report.drift { EXIT_DRIFT } else { EXIT_OK })
+}
+
+fn series_cmd(args: &[String]) -> ExitCode {
+    let [run] = args else {
+        eprintln!("ompmon: series wants exactly one run directory\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let dir = Path::new(run).join("tsdb");
+    let names = match Tsdb::series(&dir) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("ompmon: {}: {e}", dir.display());
+            return ExitCode::from(EXIT_ERROR);
+        }
+    };
+    println!(
+        "{:<28} {:>8} {:>8} {:>12} {:>12}",
+        "SERIES", "POINTS", "DROPPED", "MEAN", "LAST"
+    );
+    for name in names {
+        match Tsdb::read(&dir, &name) {
+            Ok((points, dropped)) => {
+                let count: u64 = points.iter().map(|p| p.count).sum();
+                let sum: f64 = points.iter().map(|p| p.sum).sum();
+                let mean = if count > 0 {
+                    sum / count as f64
+                } else {
+                    f64::NAN
+                };
+                let last = points.last().map(|p| p.value()).unwrap_or(f64::NAN);
+                println!(
+                    "{:<28} {:>8} {:>8} {:>12.4} {:>12.4}",
+                    name,
+                    points.len(),
+                    dropped,
+                    mean,
+                    last
+                );
+            }
+            Err(e) => eprintln!("ompmon: {name}: {e}"),
+        }
+    }
+    ExitCode::from(EXIT_OK)
+}

@@ -26,12 +26,15 @@ pub mod anomaly;
 pub mod chrome;
 pub mod hist;
 pub mod jsonl;
+pub mod metrics;
+pub mod monitor;
 pub mod progress;
 pub mod report;
 pub mod ring;
 pub mod schema;
 pub mod span;
 pub mod summary;
+pub mod tsdb;
 
 pub use anomaly::{install_watchdog, installed_watchdog, report_corrupt, Watchdog};
 pub use chrome::{
@@ -40,11 +43,15 @@ pub use chrome::{
 };
 pub use hist::{AtomicHistogram, Histogram, QuantileBound};
 pub use jsonl::{read_records, records_to_string, write_records};
+pub use metrics::{
+    histogram_from_prometheus, parse_prometheus, HistogramMetric, MetricsSnapshot, PromSample,
+};
+pub use monitor::{monitoring, BodyFn, Monitor};
 pub use progress::Progress;
 pub use report::{explain, render, render_pair, Explanation};
 pub use ring::{
-    recent_events, sim_spans, tracing, EventKind, FlightRecording, Recorder, RecorderOptions,
-    ThreadTrace, TraceEvent,
+    live_ring_stats, recent_events, sim_spans, tracing, EventKind, FlightRecording, Recorder,
+    RecorderOptions, ThreadTrace, TraceEvent,
 };
 pub use schema::{
     Breakdown, Counter, CounterSnapshot, Record, RegionKind, RegionProfile, Sink, ThreadProfile,
@@ -53,6 +60,7 @@ pub use span::{
     current_span, flow_handle, flow_in, flow_out, instant, span, virtual_span, Span, SpanKind,
 };
 pub use summary::{LogHistogram, Summary};
+pub use tsdb::{downsample, read_ring, Point, RingFile, Tsdb, DEFAULT_CAPACITY};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -191,6 +199,14 @@ pub fn session() -> Result<Session, SessionActive> {
     }
     ENABLED.store(true, Ordering::SeqCst);
     Ok(Session { finished: false })
+}
+
+/// Point-in-time copy of the counter registry. Outside a session every
+/// counter reads zero (sessions reset on open, [`add`] is gated), so a
+/// scrape between runs reports a quiescent process rather than stale
+/// totals.
+pub fn counters_now() -> CounterSnapshot {
+    capture_counters()
 }
 
 fn capture_counters() -> CounterSnapshot {

@@ -1,0 +1,221 @@
+//! ompmon live exposition server: a dependency-free std-TCP HTTP
+//! endpoint so a long-running sweep can be scraped mid-run.
+//!
+//! Three routes, all read-only:
+//!
+//! - `GET /metrics` — the [`MetricsSnapshot`](crate::MetricsSnapshot)
+//!   in Prometheus text format v0.0.4,
+//! - `GET /healthz` — liveness (`ok`),
+//! - `GET /sweep`   — caller-defined JSON status of the running sweep.
+//!
+//! The server owns one background thread; each request is answered from
+//! a caller-supplied closure evaluated at scrape time, so the process
+//! under observation pays nothing between scrapes. The global
+//! [`monitoring`] gate is the same one-relaxed-load discipline as
+//! [`crate::enabled`] and [`crate::tracing`]: instrumentation that only
+//! matters to a live monitor guards on it and the unmonitored hot path
+//! costs a single relaxed load.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Producer of one response body, evaluated per request.
+pub type BodyFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Is a monitor endpoint live in this process? One relaxed load.
+static MONITOR_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Is a [`Monitor`] serving? One relaxed load — the only cost
+/// monitor-only instrumentation pays when unmonitored.
+#[inline]
+pub fn monitoring() -> bool {
+    MONITOR_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// A live exposition endpoint; dropping (or [`Monitor::shutdown`])
+/// stops the server thread.
+pub struct Monitor {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor").field("addr", &self.addr).finish()
+    }
+}
+
+impl Monitor {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve until shutdown. `metrics` feeds `/metrics`, `sweep` feeds
+    /// `/sweep`.
+    pub fn start(addr: &str, metrics: BodyFn, sweep: BodyFn) -> io::Result<Monitor> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        MONITOR_ACTIVE.store(true, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name("omptel-monitor".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Per-request errors (client hangup, bad
+                            // request) must never kill the server.
+                            let _ = serve_one(stream, &metrics, &sweep);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })?;
+        Ok(Monitor {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the server thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        MONITOR_ACTIVE.store(false, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Answer one connection: parse the request line, route, respond, close.
+fn serve_one(mut stream: TcpStream, metrics: &BodyFn, sweep: &BodyFn) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the end of the request head (we ignore bodies).
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "GET only\n".into())
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                metrics(),
+            ),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
+            "/sweep" => ("200 OK", "application/json", sweep()),
+            _ => ("404 Not Found", "text/plain", "not found\n".into()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to monitor");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").expect("full response");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_routes_and_404() {
+        let monitor = Monitor::start(
+            "127.0.0.1:0",
+            Arc::new(|| "omptel_up 1\n".to_string()),
+            Arc::new(|| "{\"state\":\"running\"}".to_string()),
+        )
+        .expect("bind localhost");
+        assert!(monitoring());
+        let addr = monitor.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.contains("version=0.0.4"), "{head}");
+        assert_eq!(body, "omptel_up 1\n");
+
+        let (_, body) = get(addr, "/sweep");
+        assert_eq!(body, "{\"state\":\"running\"}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+        monitor.shutdown();
+        assert!(!monitoring());
+        assert!(TcpStream::connect(addr).is_err(), "server still listening");
+    }
+
+    #[test]
+    fn closures_are_evaluated_per_request() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let monitor = Monitor::start(
+            "127.0.0.1:0",
+            Arc::new(move || format!("scrape {}\n", h.fetch_add(1, Ordering::SeqCst))),
+            Arc::new(String::new),
+        )
+        .expect("bind localhost");
+        let addr = monitor.local_addr();
+        assert_eq!(get(addr, "/metrics").1, "scrape 0\n");
+        assert_eq!(get(addr, "/metrics").1, "scrape 1\n");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+}

@@ -13,6 +13,13 @@
 //! rate makes the ETA bounce upward whenever a slow cold stretch follows
 //! a warm burst. The window tracks the current regime and the clamp
 //! keeps the display monotone.
+//!
+//! Until the window is **primed** (two observations separated by real
+//! time) no rate is defined, so the meter shows `--:--` instead of the
+//! first tick's extrapolation — one unit finishing in 3 ms must not
+//! project "40 minutes left" onto a sweep whose steady rate is unknown.
+//! The monotone clamp starts only once primed; a garbage first estimate
+//! must not become the ceiling for every later value.
 
 use crate::hist::{AtomicHistogram, Histogram};
 use std::collections::VecDeque;
@@ -55,6 +62,9 @@ pub struct Progress {
     /// fed by workers via [`Progress::observe_ns`], summarized with
     /// bounded quantiles in [`Progress::finish`].
     lat: AtomicHistogram,
+    /// Exact sum of observed latencies, for `_sum` in the Prometheus
+    /// exposition (the histogram alone only bounds it).
+    lat_sum: AtomicU64,
 }
 
 /// Minimum milliseconds between renders.
@@ -74,6 +84,7 @@ impl Progress {
             }),
             sink: Mutex::new(sink),
             lat: AtomicHistogram::new(),
+            lat_sum: AtomicU64::new(0),
         }
     }
 
@@ -126,8 +137,11 @@ impl Progress {
 
     /// Completion rate (items/s) over the sliding window, falling back
     /// to the cumulative rate while the window is still filling. Also
-    /// records the `(now_ms, done)` observation.
-    fn window_rate(&self, done: u64, now_ms: u64, elapsed_s: f64) -> f64 {
+    /// records the `(now_ms, done)` observation. The second value is
+    /// whether the window is **primed** — it holds two observations
+    /// separated by real time, so the rate is a measurement rather than
+    /// a first-tick extrapolation.
+    fn window_rate(&self, done: u64, now_ms: u64, elapsed_s: f64) -> (f64, bool) {
         let mut eta = self.eta.lock().expect("progress eta poisoned");
         // Drop observations that fell out of the window.
         while eta.samples.len() >= WINDOW_SAMPLES
@@ -147,21 +161,26 @@ impl Progress {
         match eta.samples.front() {
             // A window needs a time delta to define a rate; until then
             // (or when all observations land in one millisecond) the
-            // cumulative average is the best estimate available.
+            // cumulative average stands in, unprimed.
             Some(&(t0, d0)) if now_ms > t0 && done > d0 => {
-                (done - d0) as f64 / ((now_ms - t0) as f64 / 1000.0)
+                ((done - d0) as f64 / ((now_ms - t0) as f64 / 1000.0), true)
             }
-            _ => cumulative,
+            _ => (cumulative, false),
         }
     }
 
     /// ETA in seconds from the window rate, clamped non-increasing so
     /// out-of-order completion bursts never make the display jump up.
-    fn monotone_eta(&self, remaining: u64, rate: f64) -> f64 {
+    /// `None` until the window is primed: an unprimed estimate is noise,
+    /// and folding it into the clamp would cap every later honest value.
+    fn monotone_eta(&self, remaining: u64, rate: f64, primed: bool) -> Option<f64> {
         let mut eta = self.eta.lock().expect("progress eta poisoned");
         if remaining == 0 {
             eta.last_eta_s = 0.0;
-            return 0.0;
+            return Some(0.0);
+        }
+        if !primed {
+            return None;
         }
         let raw = if rate > 0.0 {
             remaining as f64 / rate
@@ -170,24 +189,25 @@ impl Progress {
         };
         let shown = raw.min(eta.last_eta_s);
         eta.last_eta_s = shown;
-        shown
+        Some(shown)
     }
 
     fn render(&self, done: u64) -> String {
         let elapsed = self.elapsed_s();
         let now_ms = self.started.elapsed().as_millis() as u64;
-        let rate = self.window_rate(done, now_ms, elapsed);
+        let (rate, primed) = self.window_rate(done, now_ms, elapsed);
         let remaining = self.total.saturating_sub(done);
-        let eta = self.monotone_eta(remaining, rate);
+        let eta = self.monotone_eta(remaining, rate, primed);
         let pct = if self.total > 0 {
             100.0 * done as f64 / self.total as f64
         } else {
+            // Zero planned units: done/total is undefined, render 100 %
+            // (nothing left) rather than dividing by zero.
             100.0
         };
-        let eta_text = if eta.is_finite() {
-            format!("{eta:.0}s")
-        } else {
-            "?".to_string()
+        let eta_text = match eta {
+            Some(e) if e.is_finite() => format!("{e:.0}s"),
+            _ => "--:--".to_string(),
         };
         format!(
             "{}: {}/{} ({:.0}%) {:.1}/s eta {}",
@@ -214,11 +234,17 @@ impl Progress {
     /// worker alongside [`Progress::inc`].
     pub fn observe_ns(&self, ns: u64) {
         self.lat.record(ns);
+        self.lat_sum.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Snapshot of the per-item latency distribution observed so far.
     pub fn latency_histogram(&self) -> Histogram {
         self.lat.snapshot()
+    }
+
+    /// Exact sum of all latencies fed to [`Progress::observe_ns`].
+    pub fn latency_sum_ns(&self) -> u64 {
+        self.lat_sum.load(Ordering::Relaxed)
     }
 
     /// Emit the final newline-terminated summary line and return it.
@@ -330,8 +356,10 @@ mod tests {
         for (n, dt) in pattern {
             done += n;
             now_ms += dt;
-            let rate = p.window_rate(done, now_ms, now_ms as f64 / 1000.0);
-            let eta = p.monotone_eta(p.total - done, rate);
+            let (rate, primed) = p.window_rate(done, now_ms, now_ms as f64 / 1000.0);
+            let Some(eta) = p.monotone_eta(p.total - done, rate, primed) else {
+                continue; // unprimed ticks show --:-- and set no ceiling
+            };
             assert!(
                 eta <= last_eta,
                 "eta rose from {last_eta} to {eta} at done={done}"
@@ -339,7 +367,47 @@ mod tests {
             last_eta = eta;
         }
         assert_eq!(done, 1000);
-        assert_eq!(p.monotone_eta(0, 0.0), 0.0);
+        assert!(last_eta.is_finite(), "window primed during the pattern");
+        assert_eq!(p.monotone_eta(0, 0.0, false), Some(0.0));
+    }
+
+    #[test]
+    fn eta_shows_placeholder_until_window_primed() {
+        // One observation (or two in the same millisecond) defines no
+        // rate: the ETA must be withheld, not extrapolated, and the
+        // unprimed estimate must not cap later honest values.
+        let p = Progress::buffered("prime", 1000);
+        let (_, primed) = p.window_rate(1, 0, 0.0);
+        assert!(!primed, "single observation cannot prime the window");
+        assert_eq!(p.monotone_eta(999, 333.3, primed), None);
+        // Second observation, same millisecond: still unprimed.
+        let (_, primed) = p.window_rate(2, 0, 0.0);
+        assert!(!primed);
+        // Real time passes: primed, and the ETA reflects the measured
+        // rate rather than any earlier extrapolation.
+        let (rate, primed) = p.window_rate(100, 1_000, 1.0);
+        assert!(primed);
+        let eta = p.monotone_eta(900, rate, primed).expect("primed");
+        assert!((eta - 900.0 / rate).abs() < 1e-9, "eta {eta} rate {rate}");
+    }
+
+    #[test]
+    fn first_render_and_zero_total_never_show_bogus_eta() {
+        let p = Progress::buffered("cold", 50);
+        // Past the render throttle but still the window's first
+        // observation: the line must carry the placeholder.
+        std::thread::sleep(std::time::Duration::from_millis(THROTTLE_MS + 20));
+        p.inc(1);
+        let lines = p.buffered_lines().unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("eta --:--"), "{lines:?}");
+        // total == 0: nothing to do, nothing to divide by.
+        let p = Progress::buffered("empty", 0);
+        p.inc(0);
+        let lines = p.buffered_lines().unwrap();
+        let line = lines.last().expect("rendered");
+        assert!(line.contains("(100%)"), "{line}");
+        assert!(line.contains("eta 0s"), "{line}");
     }
 
     #[test]
@@ -354,7 +422,8 @@ mod tests {
         }
         // Fast regime: 10k units over the next second.
         for i in 1..=10u64 {
-            let rate = p.window_rate(done + i * 1_000, 200_000 + i * 100, 200.0 + i as f64 * 0.1);
+            let (rate, _) =
+                p.window_rate(done + i * 1_000, 200_000 + i * 100, 200.0 + i as f64 * 0.1);
             if i == 10 {
                 let cumulative = (done + 10_000) as f64 / 201.0;
                 assert!(

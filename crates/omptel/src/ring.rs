@@ -242,6 +242,24 @@ pub fn recent_events(n: usize) -> Vec<TraceEvent> {
     my_ring().recent(n)
 }
 
+/// Live `(threads, retained events, dropped events)` across every ring
+/// of the current recording — all zeros when none is live. Drop counts
+/// are the same quantity [`Recorder::finish`] harvests per thread, read
+/// without stopping the recording, so a metrics scrape can observe
+/// silent event loss mid-run.
+pub fn live_ring_stats() -> (usize, u64, u64) {
+    let rings = RINGS.lock().expect("omptrace ring registry poisoned");
+    let mut events = 0u64;
+    let mut dropped = 0u64;
+    for r in rings.iter() {
+        let head = r.head.load(Ordering::Acquire);
+        let retained = head.min(r.capacity as u64);
+        events += retained;
+        dropped += head - retained;
+    }
+    (rings.len(), events, dropped)
+}
+
 /// Recorder configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RecorderOptions {
@@ -305,7 +323,7 @@ impl Recorder {
         SIM_SPANS.store(false, Ordering::SeqCst);
         let rings = std::mem::take(&mut *RINGS.lock().expect("omptrace ring registry poisoned"));
         self.finished = true;
-        let threads = rings
+        let threads: Vec<ThreadTrace> = rings
             .iter()
             .map(|r| {
                 let (events, dropped) = r.harvest();
@@ -316,7 +334,11 @@ impl Recorder {
                 }
             })
             .collect();
-        FlightRecording { threads }
+        let recording = FlightRecording { threads };
+        // Surface silent event loss in the counter registry (and hence
+        // the metrics snapshot) instead of only inside anomaly dumps.
+        crate::add(crate::Counter::TraceDropped, recording.total_dropped());
+        recording
     }
 }
 

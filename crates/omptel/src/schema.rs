@@ -64,11 +64,14 @@ pub enum Counter {
     SweepSteals,
     /// Unparseable records found in the persistent sample cache.
     SampleCacheCorrupt,
+    /// Flight-recorder events lost to ring wrap (harvested per thread
+    /// when a recording finishes).
+    TraceDropped,
 }
 
 impl Counter {
     /// Number of counters; sizes the registry array.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 23;
 
     /// Every counter, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -94,6 +97,7 @@ impl Counter {
         Counter::SampleCacheMisses,
         Counter::SweepSteals,
         Counter::SampleCacheCorrupt,
+        Counter::TraceDropped,
     ];
 
     /// Stable lower-snake name used in exports.
@@ -121,6 +125,7 @@ impl Counter {
             Counter::SampleCacheMisses => "sample_cache_misses",
             Counter::SweepSteals => "sweep_steals",
             Counter::SampleCacheCorrupt => "sample_cache_corrupt",
+            Counter::TraceDropped => "trace_dropped",
         }
     }
 }

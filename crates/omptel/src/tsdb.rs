@@ -1,0 +1,407 @@
+//! ompmon time-series store: append-only binary ring files, one per
+//! named series.
+//!
+//! A series file is a fixed-size circular buffer on disk with
+//! flight-recorder semantics (always keep the most recent window, never
+//! block or grow): a 32-byte header (`magic`, `capacity`, `head`)
+//! followed by `capacity` fixed 24-byte records. `head` counts records
+//! ever appended, so readers reconstruct the retained window and the
+//! number of overwritten (dropped) points exactly — the same scheme as
+//! [`crate::ring::ThreadRing`], persisted.
+//!
+//! Every point is a pre-aggregated bucket `(ts, count, sum)` rather
+//! than a bare value. That makes [`downsample`] **exact**: merging
+//! adjacent points adds their counts and sums — the same associative
+//! bin-wise addition as [`Histogram::merge`](crate::Histogram::merge) —
+//! so a downsampled read reports true means over wider windows, never
+//! means-of-means. Single observations are `count == 1` buckets.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic + format version.
+const MAGIC: &[u8; 8] = b"OMTSDB01";
+/// Header bytes: magic(8) + capacity(8) + head(8) + reserved(8).
+const HEADER_BYTES: u64 = 32;
+/// Record bytes: ts(8) + count(8) + sum-as-f64-bits(8).
+const RECORD_BYTES: u64 = 24;
+/// Default per-series ring capacity in points.
+pub const DEFAULT_CAPACITY: u64 = 16_384;
+/// Series file extension.
+const EXT: &str = "omts";
+
+/// One pre-aggregated observation bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Producer-defined timestamp: a sequence number for deterministic
+    /// series, elapsed milliseconds for wall series.
+    pub ts: u64,
+    /// Observations folded into this bucket.
+    pub count: u64,
+    /// Sum of the folded observations.
+    pub sum: f64,
+}
+
+impl Point {
+    /// One observation as a bucket.
+    pub fn single(ts: u64, value: f64) -> Point {
+        Point {
+            ts,
+            count: 1,
+            sum: value,
+        }
+    }
+
+    /// Mean of the bucket (0 when empty).
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn encode(&self) -> [u8; RECORD_BYTES as usize] {
+        let mut out = [0u8; RECORD_BYTES as usize];
+        out[0..8].copy_from_slice(&self.ts.to_le_bytes());
+        out[8..16].copy_from_slice(&self.count.to_le_bytes());
+        out[16..24].copy_from_slice(&self.sum.to_bits().to_le_bytes());
+        out
+    }
+
+    fn decode(b: &[u8]) -> Point {
+        let word = |i: usize| u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        Point {
+            ts: word(0),
+            count: word(1),
+            sum: f64::from_bits(word(2)),
+        }
+    }
+}
+
+/// Writer handle to one series ring file.
+pub struct RingFile {
+    file: File,
+    capacity: u64,
+    head: u64,
+}
+
+impl RingFile {
+    /// Open (or create) a ring file. An existing file keeps its own
+    /// capacity; a new one is laid out with `capacity` slots.
+    pub fn open(path: &Path, capacity: u64) -> io::Result<RingFile> {
+        let capacity = capacity.max(1);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let end = file.seek(SeekFrom::End(0))?;
+        if end == 0 {
+            let mut header = [0u8; HEADER_BYTES as usize];
+            header[0..8].copy_from_slice(MAGIC);
+            header[8..16].copy_from_slice(&capacity.to_le_bytes());
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header)?;
+            return Ok(RingFile {
+                file,
+                capacity,
+                head: 0,
+            });
+        }
+        let (capacity, head) = read_header(&mut file, path)?;
+        Ok(RingFile {
+            file,
+            capacity,
+            head,
+        })
+    }
+
+    /// Append one point, overwriting the oldest once the ring is full.
+    pub fn append(&mut self, p: Point) -> io::Result<()> {
+        let slot = self.head % self.capacity;
+        self.file
+            .seek(SeekFrom::Start(HEADER_BYTES + slot * RECORD_BYTES))?;
+        self.file.write_all(&p.encode())?;
+        self.head += 1;
+        self.file.seek(SeekFrom::Start(16))?;
+        self.file.write_all(&self.head.to_le_bytes())
+    }
+
+    /// Points ever appended.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+}
+
+fn read_header(file: &mut File, path: &Path) -> io::Result<(u64, u64)> {
+    let bad = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {what}", path.display()),
+        )
+    };
+    file.seek(SeekFrom::Start(0))?;
+    let mut header = [0u8; HEADER_BYTES as usize];
+    file.read_exact(&mut header)
+        .map_err(|_| bad("truncated tsdb header"))?;
+    if &header[0..8] != MAGIC {
+        return Err(bad("not an OMTSDB01 ring file"));
+    }
+    let capacity = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let head = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    if capacity == 0 {
+        return Err(bad("zero capacity"));
+    }
+    Ok((capacity, head))
+}
+
+/// Read one ring file: the retained window oldest-first, plus the
+/// number of points overwritten before the window.
+pub fn read_ring(path: &Path) -> io::Result<(Vec<Point>, u64)> {
+    let mut file = File::open(path)?;
+    let (capacity, head) = read_header(&mut file, path)?;
+    let retained = head.min(capacity);
+    let dropped = head - retained;
+    let mut out = Vec::with_capacity(retained as usize);
+    let mut buf = vec![0u8; RECORD_BYTES as usize];
+    for k in 0..retained {
+        let idx = (head - retained + k) % capacity;
+        file.seek(SeekFrom::Start(HEADER_BYTES + idx * RECORD_BYTES))?;
+        file.read_exact(&mut buf)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "truncated tsdb record"))?;
+        out.push(Point::decode(&buf));
+    }
+    Ok((out, dropped))
+}
+
+/// Exact downsample: at most `max_points` buckets, each the sum of a
+/// run of consecutive input points (counts and sums add, the merged
+/// bucket keeps the *last* timestamp of its run). Total count and sum
+/// are preserved bit-for-exact-sum semantics aside, the same guarantees
+/// as histogram bin merging: associative, order-preserving, lossless in
+/// the aggregate.
+pub fn downsample(points: &[Point], max_points: usize) -> Vec<Point> {
+    let max_points = max_points.max(1);
+    if points.len() <= max_points {
+        return points.to_vec();
+    }
+    let n = points.len();
+    let mut out = Vec::with_capacity(max_points);
+    for g in 0..max_points {
+        // Even split, identical to stripe seeding in the sweep scheduler.
+        let start = n * g / max_points;
+        let end = n * (g + 1) / max_points;
+        let mut merged = Point {
+            ts: points[end - 1].ts,
+            count: 0,
+            sum: 0.0,
+        };
+        for p in &points[start..end] {
+            merged.count += p.count;
+            merged.sum += p.sum;
+        }
+        out.push(merged);
+    }
+    out
+}
+
+/// A directory of named series ring files.
+pub struct Tsdb {
+    dir: PathBuf,
+    capacity: u64,
+    files: HashMap<String, RingFile>,
+}
+
+/// Encode a series name (`skylake/virt/s0`) as a file stem: `/` is the
+/// only separator series names use and maps to `@`, reversibly.
+fn series_file_stem(series: &str) -> String {
+    series.replace('/', "@")
+}
+
+fn series_name_of(stem: &str) -> String {
+    stem.replace('@', "/")
+}
+
+impl Tsdb {
+    /// Open (creating if needed) a series directory for writing.
+    pub fn open(dir: impl Into<PathBuf>, capacity: u64) -> io::Result<Tsdb> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Tsdb {
+            dir,
+            capacity,
+            files: HashMap::new(),
+        })
+    }
+
+    /// The series directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one point to `series`, opening its ring file on first use.
+    pub fn append(&mut self, series: &str, p: Point) -> io::Result<()> {
+        if !self.files.contains_key(series) {
+            let path = self.dir.join(format!("{}.{EXT}", series_file_stem(series)));
+            self.files
+                .insert(series.to_string(), RingFile::open(&path, self.capacity)?);
+        }
+        self.files.get_mut(series).expect("just inserted").append(p)
+    }
+
+    /// Every series stored under `dir`, sorted by name.
+    pub fn series(dir: &Path) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(EXT) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    out.push(series_name_of(stem));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Read one series from `dir`: retained points oldest-first plus
+    /// the overwritten-point count.
+    pub fn read(dir: &Path, series: &str) -> io::Result<(Vec<Point>, u64)> {
+        read_ring(&dir.join(format!("{}.{EXT}", series_file_stem(series))))
+    }
+
+    /// Read with downsampling: at most `max_points` exact-sum buckets.
+    pub fn read_downsampled(
+        dir: &Path,
+        series: &str,
+        max_points: usize,
+    ) -> io::Result<(Vec<Point>, u64)> {
+        let (points, dropped) = Tsdb::read(dir, series)?;
+        Ok((downsample(&points, max_points), dropped))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("omptel-tsdb-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn points_round_trip_bit_exact() {
+        for p in [
+            Point::single(0, 0.0),
+            Point::single(123, -1.5e300),
+            Point {
+                ts: u64::MAX,
+                count: 7,
+                sum: f64::NAN,
+            },
+        ] {
+            let back = Point::decode(&p.encode());
+            assert_eq!(back.ts, p.ts);
+            assert_eq!(back.count, p.count);
+            assert_eq!(back.sum.to_bits(), p.sum.to_bits());
+        }
+    }
+
+    #[test]
+    fn ring_file_wraps_and_counts_drops() {
+        let dir = tmp("wrap");
+        let path = dir.join("s.omts");
+        let mut ring = RingFile::open(&path, 8).unwrap();
+        for i in 0..20u64 {
+            ring.append(Point::single(i, i as f64)).unwrap();
+        }
+        assert_eq!(ring.head(), 20);
+        let (points, dropped) = read_ring(&path).unwrap();
+        assert_eq!(dropped, 12);
+        assert_eq!(points.len(), 8);
+        assert_eq!(points[0].ts, 12, "oldest retained");
+        assert_eq!(points[7].ts, 19, "newest retained");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_where_it_left_off() {
+        let dir = tmp("reopen");
+        let path = dir.join("s.omts");
+        {
+            let mut ring = RingFile::open(&path, 64).unwrap();
+            ring.append(Point::single(1, 10.0)).unwrap();
+        }
+        let mut ring = RingFile::open(&path, 4).unwrap();
+        assert_eq!(ring.capacity, 64, "existing capacity wins");
+        assert_eq!(ring.head(), 1);
+        ring.append(Point::single(2, 20.0)).unwrap();
+        let (points, dropped) = read_ring(&path).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].value(), 20.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let dir = tmp("corrupt");
+        let path = dir.join("s.omts");
+        std::fs::write(&path, b"NOTMAGIC0000000000000000000000000000").unwrap();
+        assert!(read_ring(&path).is_err());
+        assert!(RingFile::open(&path, 8).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn downsample_is_exact_in_the_aggregate() {
+        let points: Vec<Point> = (0..1000u64)
+            .map(|i| Point::single(i, (i as f64).sin() + 2.0))
+            .collect();
+        let total_count: u64 = points.iter().map(|p| p.count).sum();
+        let total_sum: f64 = points.iter().map(|p| p.sum).sum();
+        for max in [1usize, 7, 100, 999, 1000, 5000] {
+            let down = downsample(&points, max);
+            assert_eq!(down.len(), max.min(1000));
+            assert_eq!(down.iter().map(|p| p.count).sum::<u64>(), total_count);
+            let sum: f64 = down.iter().map(|p| p.sum).sum();
+            assert!(
+                (sum - total_sum).abs() < 1e-9 * total_sum.abs(),
+                "sum drifted at max={max}"
+            );
+            // Timestamps stay monotone (last-of-run).
+            for w in down.windows(2) {
+                assert!(w[0].ts < w[1].ts);
+            }
+        }
+    }
+
+    #[test]
+    fn tsdb_directory_lists_and_reads_series() {
+        let dir = tmp("dir");
+        let mut db = Tsdb::open(&dir, 32).unwrap();
+        for i in 0..5u64 {
+            db.append("skylake/virt/s0", Point::single(i, i as f64))
+                .unwrap();
+            db.append("skylake/rate/steal", Point::single(i, 0.5))
+                .unwrap();
+        }
+        let names = Tsdb::series(&dir).unwrap();
+        assert_eq!(names, vec!["skylake/rate/steal", "skylake/virt/s0"]);
+        let (points, dropped) = Tsdb::read(&dir, "skylake/virt/s0").unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[3].value(), 3.0);
+        let (down, _) = Tsdb::read_downsampled(&dir, "skylake/virt/s0", 2).unwrap();
+        assert_eq!(down.len(), 2);
+        assert_eq!(down.iter().map(|p| p.count).sum::<u64>(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

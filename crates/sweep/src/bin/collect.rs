@@ -13,14 +13,28 @@
 //! the p99.9 latency bracket) are dumped with their surrounding event
 //! window to `OUT_DIR/anomalies.jsonl`. Tracing never changes results —
 //! the provenance stays byte-identical with it on or off.
+//!
+//! `--monitor ADDR` starts the ompmon exposition server for the run:
+//! `/metrics` (Prometheus text format), `/healthz`, and `/sweep` (JSON
+//! status of the sweep in flight). The bound address is written to
+//! `OUT_DIR/monitor.addr` so scripts can discover an ephemeral port.
+//! Monitoring is read-only and never changes results either.
+//!
+//! Every run also writes `OUT_DIR/tsdb/` — ring-file time-series of
+//! per-stratum virtual rep means, wall sample latency, and scheduler
+//! rates — which `ompmon drift` compares across runs.
 
 use omptune_core::Arch;
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use sweep::{Dataset, SampleCache, Scope, SweepOptions, SweepSpec};
+
+/// Config strata the drift sentinel tests independently; must match
+/// `ompmon::STRATA`.
+const STRATA: usize = 8;
 
 const HELP: &str = "\
 collect — run the paper's data-collection sweep and export its artifacts
@@ -49,6 +63,11 @@ OPTIONS:
                       also arms the anomaly watchdog (outliers beyond
                       the p99.9 latency bracket are dumped to
                       OUT_DIR/anomalies.jsonl)
+    --monitor ADDR    serve live /metrics, /healthz and /sweep over
+                      HTTP on ADDR (e.g. 127.0.0.1:0 for an ephemeral
+                      port; the bound address lands in
+                      OUT_DIR/monitor.addr); opens a telemetry session
+                      so runtime counters flow to /metrics
     -h, --help        print this help
 ";
 
@@ -58,6 +77,7 @@ struct Cli {
     workers: usize,
     cache_dir: Option<PathBuf>,
     trace: Option<PathBuf>,
+    monitor: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -70,6 +90,7 @@ fn parse_cli() -> Result<Cli, String> {
     let mut no_cache = false;
     let mut cache_dir = PathBuf::from("target/sweep-cache");
     let mut trace = None;
+    let mut monitor = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -93,6 +114,9 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--trace" => {
                 trace = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
+            "--monitor" => {
+                monitor = Some(args.next().ok_or("--monitor needs an address")?);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option: {other} (see --help)"));
@@ -122,7 +146,81 @@ fn parse_cli() -> Result<Cli, String> {
         workers,
         cache_dir: (!no_cache).then_some(cache_dir),
         trace,
+        monitor,
     })
+}
+
+/// One completed arch for the scoreboard: (id, settings, samples,
+/// dropped, elapsed_s).
+type ArchDone = (String, usize, usize, usize, f64);
+
+/// Shared view of the sweep in flight, rendered by the `/sweep` route.
+struct SweepState {
+    scope: String,
+    current: Mutex<Option<(String, Arc<omptel::Progress>, u64)>>,
+    completed: Mutex<Vec<ArchDone>>,
+}
+
+impl SweepState {
+    fn new(scope: String) -> SweepState {
+        SweepState {
+            scope,
+            current: Mutex::new(None),
+            completed: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn begin_arch(&self, arch: &str, meter: Arc<omptel::Progress>, total: u64) {
+        *self.current.lock().expect("sweep state poisoned") =
+            Some((arch.to_string(), meter, total));
+    }
+
+    fn finish_arch(&self, arch: &str, settings: usize, samples: usize, dropped: usize, s: f64) {
+        *self.current.lock().expect("sweep state poisoned") = None;
+        self.completed.lock().expect("sweep state poisoned").push((
+            arch.to_string(),
+            settings,
+            samples,
+            dropped,
+            s,
+        ));
+    }
+
+    fn current_meter(&self) -> Option<(Arc<omptel::Progress>, u64)> {
+        self.current
+            .lock()
+            .expect("sweep state poisoned")
+            .as_ref()
+            .map(|(_, m, total)| (m.clone(), *total))
+    }
+
+    /// The `/sweep` JSON document.
+    fn json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"scope\":\"{}\",", self.scope));
+        match &*self.current.lock().expect("sweep state poisoned") {
+            Some((arch, meter, total)) => out.push_str(&format!(
+                "\"state\":\"running\",\"current\":{{\"arch\":\"{arch}\",\
+                 \"done\":{},\"total\":{total},\"elapsed_s\":{:.3}}},",
+                meter.done(),
+                meter.elapsed_s()
+            )),
+            None => out.push_str("\"state\":\"idle\",\"current\":null,"),
+        }
+        out.push_str("\"completed\":[");
+        let completed = self.completed.lock().expect("sweep state poisoned");
+        for (i, (arch, settings, samples, dropped, elapsed)) in completed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"arch\":\"{arch}\",\"settings\":{settings},\"samples\":{samples},\
+                 \"dropped\":{dropped},\"elapsed_s\":{elapsed:.3}}}"
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 fn main() -> std::io::Result<()> {
@@ -135,6 +233,56 @@ fn main() -> std::io::Result<()> {
     };
     fs::create_dir_all(&cli.out_dir)?;
     let cache = cli.cache_dir.map(SampleCache::new);
+
+    // Live exposition: the monitor only *reads* (every route renders
+    // from a closure at scrape time), so a monitored run's outputs stay
+    // byte-identical to an unmonitored one. The telemetry session makes
+    // runtime counters visible to /metrics; counters never feed results.
+    let state = Arc::new(SweepState::new(format!("{:?}", cli.scope)));
+    let _session = cli
+        .monitor
+        .as_ref()
+        .map(|_| omptel::session().expect("no other omptel session is live"));
+    let monitor = match &cli.monitor {
+        Some(addr) => {
+            let st = state.clone();
+            let metrics: omptel::BodyFn = Arc::new(move || {
+                let mut snap = omptel::MetricsSnapshot::capture();
+                // Progress gauges are always present (zero between
+                // arches) so scrapers never see a series disappear.
+                let (done, total, elapsed) = match st.current_meter() {
+                    Some((meter, total)) => {
+                        snap = snap.histogram(
+                            "sample_latency_ns",
+                            meter.latency_histogram(),
+                            Some(meter.latency_sum_ns()),
+                        );
+                        (meter.done() as f64, total as f64, meter.elapsed_s())
+                    }
+                    None => (0.0, 0.0, 0.0),
+                };
+                snap.gauge("sweep_done", done)
+                    .gauge("sweep_total", total)
+                    .gauge("sweep_elapsed_seconds", elapsed)
+                    .render_prometheus()
+            });
+            let st = state.clone();
+            let sweep_body: omptel::BodyFn = Arc::new(move || st.json());
+            let m = omptel::Monitor::start(addr, metrics, sweep_body)?;
+            // Scripts discover an ephemeral port from this file; it is
+            // written before any sweeping so pollers never race the run.
+            fs::write(
+                cli.out_dir.join("monitor.addr"),
+                format!("{}\n", m.local_addr()),
+            )?;
+            eprintln!(
+                "monitor: serving /metrics /healthz /sweep on http://{}",
+                m.local_addr()
+            );
+            Some(m)
+        }
+        None => None,
+    };
 
     // Arm the flight recorder and anomaly watchdog when tracing.
     let recorder = if cli.trace.is_some() {
@@ -155,11 +303,17 @@ fn main() -> std::io::Result<()> {
     let mut manifest = sweep::RunManifest::new(&spec);
     let mut batches = Vec::new();
     let mut timings = Vec::new();
+    // Every run records its time-series; `ompmon drift` compares them
+    // across runs, so unmonitored CI runs need them too.
+    let mut tsdb = omptel::Tsdb::open(cli.out_dir.join("tsdb"), omptel::DEFAULT_CAPACITY)?;
 
     for &arch in Arch::ALL.iter() {
         let total = sweep::planned_samples(arch, &spec);
-        let meter =
-            omptel::Progress::stderr(&format!("sweep {} ({:?})", arch.id(), cli.scope), total);
+        let meter = Arc::new(omptel::Progress::stderr(
+            &format!("sweep {} ({:?})", arch.id(), cli.scope),
+            total,
+        ));
+        state.begin_arch(arch.id(), meter.clone(), total);
         let mut opts = SweepOptions::new(cli.workers).with_progress(&meter);
         if let Some(c) = &cache {
             opts = opts.with_cache(c);
@@ -178,6 +332,63 @@ fn main() -> std::io::Result<()> {
         for data in &mut arch_batches {
             arch_dropped += sweep::clean(data, spec.reps as usize).dropped.len();
         }
+
+        // Time-series for the drift sentinel, from the cleaned samples.
+        // The virt series carry per-sample mean rep times, stratified by
+        // config index: deterministic given the seed, so same-seed runs
+        // must agree exactly — those are ompmon's gating series. Wall
+        // latency and scheduler rates legitimately vary and are
+        // informational.
+        let mut stratum_seq = [0u64; STRATA];
+        for data in &arch_batches {
+            for sample in &data.samples {
+                let finite: Vec<f64> = sample
+                    .runtimes
+                    .iter()
+                    .copied()
+                    .filter(|t| t.is_finite())
+                    .collect();
+                if finite.is_empty() {
+                    continue;
+                }
+                let k = sample.config_index % STRATA;
+                let point = omptel::Point {
+                    ts: stratum_seq[k],
+                    count: finite.len() as u64,
+                    sum: finite.iter().sum(),
+                };
+                stratum_seq[k] += 1;
+                tsdb.append(&format!("{}/virt/s{k}", arch.id()), point)?;
+            }
+        }
+        let lat = meter.latency_histogram();
+        if !lat.is_empty() {
+            let point = omptel::Point {
+                ts: 0,
+                count: lat.count,
+                sum: meter.latency_sum_ns() as f64,
+            };
+            tsdb.append(&format!("{}/wall/sample_ns", arch.id()), point)?;
+        }
+        let st = outcome.stats;
+        let lookups = st.sample_hits + st.sample_misses;
+        if lookups > 0 {
+            let point = omptel::Point {
+                ts: 0,
+                count: lookups,
+                sum: st.sample_hits as f64,
+            };
+            tsdb.append(&format!("{}/rate/cache_hit", arch.id()), point)?;
+        }
+        if st.units > 0 {
+            let point = omptel::Point {
+                ts: 0,
+                count: st.units,
+                sum: st.steals as f64,
+            };
+            tsdb.append(&format!("{}/rate/steal", arch.id()), point)?;
+        }
+
         manifest.push_arch(
             arch,
             &arch_batches,
@@ -201,6 +412,13 @@ fn main() -> std::io::Result<()> {
             arch_cache.0 + arch_cache.1,
             s.steals,
             s.units
+        );
+        state.finish_arch(
+            arch.id(),
+            arch_batches.len(),
+            samples,
+            arch_dropped,
+            elapsed,
         );
         timings.push((arch, arch_batches.len(), samples, arch_dropped, elapsed));
         batches.extend(arch_batches);
@@ -289,6 +507,12 @@ fn main() -> std::io::Result<()> {
             "watchdog: {flagged} slow-sample anomalies, {corrupt} corrupt cache records -> {}",
             cli.out_dir.join("anomalies.jsonl").display()
         );
+    }
+
+    // Stop serving only after every artifact is on disk, so a scraper
+    // that saw /healthz up can still fetch the final state.
+    if let Some(m) = monitor {
+        m.shutdown();
     }
     Ok(())
 }

@@ -27,7 +27,12 @@ step cargo run --release -p sweep --bin omptel-report -- --self-check
 echo
 echo "==> sweep cache coherence (cold vs warm provenance)"
 coherence_dir="$(mktemp -d)"
-trap 'rm -rf "$coherence_dir"' EXIT
+collect_pid=""
+cleanup() {
+    [ -n "$collect_pid" ] && kill "$collect_pid" 2>/dev/null || true
+    rm -rf "$coherence_dir"
+}
+trap cleanup EXIT
 cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/cold" \
     --workers 4 --cache-dir "$coherence_dir/cache" 2>/dev/null
 cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/warm" \
@@ -54,6 +59,63 @@ cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/traced/provenance.jso
 echo "traced and untraced provenance byte-identical"
 step cargo run --release -p sweep --bin trace-check -- \
     "$coherence_dir/traced/trace.json"
+
+# Live monitor: a monitored collect run must serve valid Prometheus
+# /metrics, /healthz, and the /sweep JSON while the sweep is running,
+# and still produce byte-identical provenance to the unmonitored runs.
+echo
+echo "==> live monitor gate (/metrics, /healthz, /sweep while sweeping)"
+http_get() { # http_get HOST:PORT PATH — plain HTTP/1.0 over /dev/tcp
+    local host="${1%:*}" port="${1##*:}"
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$2" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/monitored" \
+    --workers 2 --cache-dir "$coherence_dir/mon-cache" \
+    --monitor 127.0.0.1:0 2>/dev/null &
+collect_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    if [ -s "$coherence_dir/monitored/monitor.addr" ]; then
+        addr="$(tr -d '[:space:]' <"$coherence_dir/monitored/monitor.addr")"
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "verify: monitor.addr never appeared" >&2; exit 1; }
+metrics="$(http_get "$addr" /metrics)"
+grep -q '^# TYPE omptel_regions_total counter' <<<"$metrics" || {
+    echo "verify: /metrics is not valid Prometheus exposition" >&2
+    exit 1
+}
+grep -q '^omptel_sweep_total ' <<<"$metrics" || {
+    echo "verify: /metrics is missing the sweep progress gauges" >&2
+    exit 1
+}
+http_get "$addr" /healthz | grep -q '^ok$' || {
+    echo "verify: /healthz did not answer ok" >&2
+    exit 1
+}
+http_get "$addr" /sweep | grep -q '"scope"' || {
+    echo "verify: /sweep JSON is missing the scope field" >&2
+    exit 1
+}
+echo "live /metrics, /healthz, /sweep all answered mid-run"
+wait "$collect_pid"
+collect_pid=""
+cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/monitored/provenance.jsonl" || {
+    echo "verify: monitored sweep provenance diverged from unmonitored sweep" >&2
+    exit 1
+}
+echo "monitored and unmonitored provenance byte-identical"
+
+# Drift sentinel self-comparison: the cold and warm runs above share a
+# seed, so their per-stratum virtual-time series must be statistically
+# indistinguishable — ompmon has to say OK (exit 0; 4 would mean drift).
+step cargo run --release -p ompmon --bin ompmon -- \
+    drift "$coherence_dir/cold" "$coherence_dir/warm"
 
 # Bench regression gate: fresh sweep_warmcold numbers must stay within
 # the noise band of the committed baseline.
