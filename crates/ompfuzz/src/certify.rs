@@ -1,0 +1,246 @@
+//! The certification campaign driver.
+//!
+//! For each generated program, derive a family of perturbation plans
+//! ([`Plan::derive`]), execute the program under every plan, prune
+//! re-observed interleavings by trace signature, and push every novel
+//! trace through both verdict machines: the `omplint` happens-before
+//! checker and the differential harness against the `simrt` model.
+//! Failing (program, schedule) pairs are shrunk to minimal reproducers
+//! before they land in the report, so `certification.json` contains
+//! something a human can replay, not a six-node haystack.
+
+use crate::diff::diff;
+use crate::exec::execute;
+use crate::gen::generate;
+use crate::program::Program;
+use crate::shrink::shrink;
+use crate::signature::trace_signature;
+use omplint::{check_trace, Campaign};
+use omprt::{perturb, Plan, ThreadPool};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CertifyConfig {
+    /// Number of programs to generate.
+    pub seeds: u64,
+    /// Perturbation plans (schedules) to explore per program.
+    pub schedules: u64,
+    /// Offset added to each program index to form its generator seed,
+    /// so campaigns can cover disjoint program populations.
+    pub base_seed: u64,
+    /// Wall-clock budget; the campaign stops cleanly (and says so in
+    /// the report) rather than overshooting a CI time slot.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for CertifyConfig {
+    fn default() -> CertifyConfig {
+        CertifyConfig {
+            seeds: 25,
+            schedules: 64,
+            base_seed: 0,
+            time_budget: None,
+        }
+    }
+}
+
+/// One failing (program, schedule) pair, shrunk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureCase {
+    /// Generator seed of the original failing program.
+    pub program_seed: u64,
+    /// Index of the failing schedule within the program's plan family.
+    pub schedule_index: u64,
+    /// The failing plan's decision-stream seed (replayable).
+    pub plan_seed: u64,
+    /// Checker rules that fired (deduplicated).
+    pub rules: Vec<String>,
+    /// Differential-harness violations.
+    pub diff_violations: Vec<String>,
+    /// Minimal program that still fails under the same plan.
+    pub reproducer: Program,
+    /// Rendered source of the reproducer.
+    pub reproducer_source: String,
+}
+
+/// Everything `certify` learned; serializes to `certification.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertificationReport {
+    /// Seed offset the campaign ran with.
+    pub base_seed: u64,
+    /// Programs requested.
+    pub seeds: u64,
+    /// Schedules requested per program.
+    pub schedules_per_program: u64,
+    /// (program, schedule) pairs actually executed.
+    pub pairs: u64,
+    /// Checker-side aggregation (runs, prunes, rules, stats).
+    pub campaign: Campaign,
+    /// Shrunk failing cases (checker findings and differential
+    /// mismatches alike).
+    pub failures: Vec<FailureCase>,
+    /// True when the time budget cut the campaign short.
+    pub truncated_by_budget: bool,
+}
+
+impl CertificationReport {
+    /// No checker finding and no differential mismatch anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.campaign.is_clean() && self.failures.is_empty()
+    }
+
+    /// One-line verdict for CLI output.
+    pub fn summary(&self) -> String {
+        let budget = if self.truncated_by_budget {
+            " [truncated by time budget]"
+        } else {
+            ""
+        };
+        format!(
+            "{} | {} pairs executed, {} failure cases{}",
+            self.campaign.summary(),
+            self.pairs,
+            self.failures.len(),
+            budget
+        )
+    }
+}
+
+/// Run a certification campaign.
+pub fn certify(cfg: &CertifyConfig) -> CertificationReport {
+    let start = Instant::now();
+    let over_budget = |start: Instant| cfg.time_budget.is_some_and(|b| start.elapsed() >= b);
+
+    let mut campaign = Campaign::new();
+    let mut failures = Vec::new();
+    let mut pairs = 0u64;
+    let mut truncated = false;
+
+    'programs: for index in 0..cfg.seeds {
+        if over_budget(start) {
+            truncated = true;
+            break;
+        }
+        let program = generate(cfg.base_seed.wrapping_add(index));
+        campaign.add_program();
+        let pool = ThreadPool::with_defaults(program.threads);
+        let mut seen = HashSet::new();
+
+        for schedule_index in 0..cfg.schedules {
+            if over_budget(start) {
+                truncated = true;
+                break 'programs;
+            }
+            let plan = Plan::derive(program.seed, schedule_index);
+            let (records, outcome) = {
+                let _g = perturb::install(plan);
+                execute(&program, &pool)
+            };
+            pairs += 1;
+
+            if !seen.insert(trace_signature(&records)) {
+                campaign.record_pruned();
+                continue;
+            }
+            let report = check_trace(&records);
+            let diff_violations = diff(&program, &records, &outcome);
+            campaign.record(&report);
+
+            if !report.is_clean() || !diff_violations.is_empty() {
+                let mut rules: Vec<String> =
+                    report.diagnostics.iter().map(|d| d.rule.clone()).collect();
+                rules.sort_unstable();
+                rules.dedup();
+                let reproducer = shrink_failure(&program, &pool, plan, &rules);
+                failures.push(FailureCase {
+                    program_seed: program.seed,
+                    schedule_index,
+                    plan_seed: plan.seed,
+                    rules,
+                    diff_violations,
+                    reproducer_source: reproducer.render(),
+                    reproducer,
+                });
+            }
+        }
+    }
+
+    CertificationReport {
+        base_seed: cfg.base_seed,
+        seeds: cfg.seeds,
+        schedules_per_program: cfg.schedules,
+        pairs,
+        campaign,
+        failures,
+        truncated_by_budget: truncated,
+    }
+}
+
+/// Shrink a failing program against "still fails under the same plan":
+/// the same checker rules (when the checker fired) or any differential
+/// violation (when only the harness tripped).
+fn shrink_failure(program: &Program, pool: &ThreadPool, plan: Plan, rules: &[String]) -> Program {
+    shrink(program, |candidate| {
+        let (records, outcome) = {
+            let _g = perturb::install(plan);
+            execute(candidate, pool)
+        };
+        if rules.is_empty() {
+            !diff(candidate, &records, &outcome).is_empty()
+        } else {
+            let report = check_trace(&records);
+            report.diagnostics.iter().any(|d| rules.contains(&d.rule))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_certifies_clean() {
+        let report = certify(&CertifyConfig {
+            seeds: 4,
+            schedules: 6,
+            base_seed: 100,
+            time_budget: None,
+        });
+        assert!(report.is_clean(), "{:?}", report.failures);
+        assert_eq!(report.pairs, 24);
+        assert_eq!(report.campaign.programs, 4);
+        assert_eq!(report.campaign.schedules_total(), 24);
+        assert!(report.campaign.totals.events > 0);
+        assert!(!report.truncated_by_budget);
+        assert!(report.summary().starts_with("CLEAN"));
+    }
+
+    #[test]
+    fn zero_budget_truncates() {
+        let report = certify(&CertifyConfig {
+            seeds: 10,
+            schedules: 10,
+            base_seed: 0,
+            time_budget: Some(Duration::ZERO),
+        });
+        assert!(report.truncated_by_budget);
+        assert_eq!(report.pairs, 0);
+        assert!(report.summary().contains("truncated"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = certify(&CertifyConfig {
+            seeds: 2,
+            schedules: 3,
+            base_seed: 7,
+            time_budget: None,
+        });
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: CertificationReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
+    }
+}

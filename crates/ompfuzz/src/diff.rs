@@ -1,0 +1,191 @@
+//! Differential testing: real execution vs. the `simrt` workload model.
+//!
+//! A generated program has two independent descriptions — the trace the
+//! real runtime recorded and the analytical model `to_model()` builds —
+//! plus closed-form expectations computed from the AST. This module
+//! cross-checks the structural invariants that must agree no matter
+//! which schedule the perturber steered the runtime into:
+//!
+//! - **region counts**: `RegionFork` events == `Model::region_count()`;
+//! - **task spawns**: `TaskSpawn` events == the closed-form shape count;
+//! - **reduction results**: bodies return integer-valued floats far
+//!   below 2^53, so every combine order must produce the *exact* sum;
+//! - **chunk coverage**: per worksharing loop, the claimed chunks must
+//!   tile `[0, iters)` with no gap and no overlap, and the multiset of
+//!   loop sizes must match the AST;
+//! - **runtime invariants** carried in the [`Outcome`] (each iteration
+//!   ran exactly once, sections/single ran, lock counters add up).
+
+use crate::exec::Outcome;
+use crate::program::Program;
+use omprt::trace::{Event, Record};
+use std::collections::BTreeMap;
+
+/// Cross-check one (program, schedule) execution. Returns the list of
+/// violated invariants, empty when the run is structurally correct.
+pub fn diff(program: &Program, records: &[Record], outcome: &Outcome) -> Vec<String> {
+    let mut violations = outcome.violations.clone();
+
+    let forks = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::RegionFork { .. }))
+        .count();
+    let model_regions = program.to_model().region_count() as usize;
+    if forks != model_regions {
+        violations.push(format!(
+            "trace has {forks} parallel regions but the model predicts {model_regions}"
+        ));
+    }
+
+    let spawns = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::TaskSpawn { .. }))
+        .count() as u64;
+    let expected_spawns = program.expected_task_spawns();
+    if spawns != expected_spawns {
+        violations.push(format!(
+            "trace has {spawns} task spawns but the shapes predict {expected_spawns}"
+        ));
+    }
+
+    let expected_sums = program.expected_reduce_sums();
+    if outcome.reduce_sums.len() != expected_sums.len() {
+        violations.push(format!(
+            "{} reduction results for {} reduce nodes",
+            outcome.reduce_sums.len(),
+            expected_sums.len()
+        ));
+    } else {
+        for (i, (got, want)) in outcome.reduce_sums.iter().zip(&expected_sums).enumerate() {
+            if got != want {
+                violations.push(format!(
+                    "reduce node {i}: sum {got} != exact expected {want}"
+                ));
+            }
+        }
+    }
+
+    check_chunk_coverage(program, records, &mut violations);
+    violations
+}
+
+/// Group `ChunkClaim` events by loop and verify each loop's claims tile
+/// `[0, size)` exactly; then match the multiset of sizes against the
+/// program's worksharing nodes.
+fn check_chunk_coverage(program: &Program, records: &[Record], violations: &mut Vec<String>) {
+    let mut loops: BTreeMap<u64, Vec<(usize, usize)>> = BTreeMap::new();
+    for r in records {
+        if let Event::ChunkClaim { loop_id, lo, hi } = r.event {
+            loops.entry(loop_id).or_default().push((lo, hi));
+        }
+    }
+
+    let mut sizes = Vec::new();
+    for (loop_id, mut chunks) in loops {
+        chunks.sort_unstable();
+        let mut next = 0usize;
+        let mut ok = true;
+        for &(lo, hi) in &chunks {
+            if lo != next || hi < lo {
+                ok = false;
+                break;
+            }
+            next = hi;
+        }
+        if !ok {
+            violations.push(format!(
+                "loop {loop_id}: chunks {chunks:?} do not tile the iteration space"
+            ));
+        } else {
+            sizes.push(next);
+        }
+    }
+    sizes.sort_unstable();
+
+    let expected = program.expected_loop_sizes();
+    if sizes != expected {
+        violations.push(format!(
+            "loop size multiset {sizes:?} != program worksharing sizes {expected:?}"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::gen::generate;
+    use omprt::ThreadPool;
+
+    #[test]
+    fn correct_executions_diff_clean() {
+        for seed in 0..8 {
+            let program = generate(seed);
+            let pool = ThreadPool::with_defaults(program.threads);
+            let (records, outcome) = execute(&program, &pool);
+            let v = diff(&program, &records, &outcome);
+            assert!(v.is_empty(), "seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn missing_region_is_detected() {
+        let program = generate(3);
+        let pool = ThreadPool::with_defaults(program.threads);
+        let (mut records, outcome) = execute(&program, &pool);
+        // Drop the first region fork: the model now predicts one more
+        // region than the trace shows.
+        let pos = records
+            .iter()
+            .position(|r| matches!(r.event, Event::RegionFork { .. }))
+            .expect("trace has regions");
+        records.remove(pos);
+        let v = diff(&program, &records, &outcome);
+        assert!(
+            v.iter().any(|m| m.contains("parallel regions")),
+            "expected a region-count violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_reduction_sum_is_detected() {
+        let mut program = generate(0);
+        // Force a reduce node to exist, then tamper with the outcome.
+        program.nodes.push(crate::program::Node::Reduce {
+            schedule: omptune_core::OmpSchedule::Static,
+            method: omptune_core::ReductionMethod::Tree,
+            iters: 21,
+        });
+        let pool = ThreadPool::with_defaults(program.threads);
+        let (records, mut outcome) = execute(&program, &pool);
+        let last = outcome.reduce_sums.len() - 1;
+        outcome.reduce_sums[last] += 1.0;
+        let v = diff(&program, &records, &outcome);
+        assert!(
+            v.iter().any(|m| m.contains("exact expected")),
+            "expected a reduction violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn chunk_gap_is_detected() {
+        let program = Program {
+            seed: 9,
+            threads: 2,
+            nodes: vec![crate::program::Node::Loop {
+                schedule: omptune_core::OmpSchedule::Dynamic,
+                iters: 64,
+                imbalance: crate::program::ImbalanceKind::Uniform,
+            }],
+        };
+        let pool = ThreadPool::with_defaults(program.threads);
+        let (mut records, outcome) = execute(&program, &pool);
+        let pos = records
+            .iter()
+            .position(|r| matches!(r.event, Event::ChunkClaim { .. }))
+            .expect("trace has chunk claims");
+        records.remove(pos);
+        let v = diff(&program, &records, &outcome);
+        assert!(!v.is_empty(), "a removed chunk claim must break coverage");
+    }
+}

@@ -1,0 +1,162 @@
+//! Seeded program generator.
+//!
+//! `generate(seed)` is a pure function: the same seed yields a
+//! byte-identical [`Program`] (hence byte-identical rendered source and
+//! model JSON) in every build profile and on every platform. All
+//! randomness flows through the crate's [`Rng`]; nothing reads the
+//! clock or the environment.
+//!
+//! Sizes are kept small on purpose. A fuzz case needs to *reach* every
+//! runtime code path (dispatch, all dispatchers, reductions, task
+//! graphs, locks, repeated barriers), not to run long — schedule
+//! diversity comes from the perturbation plans, not trip counts. Small
+//! programs also keep the ≤ 8-node reproducer bound trivial: generated
+//! programs already have at most [`MAX_NODES`] nodes.
+
+use crate::program::{ImbalanceKind, Node, Program, TaskShape};
+use crate::rng::Rng;
+use omptune_core::{OmpSchedule, ReductionMethod};
+
+/// Most nodes a generated program can have (before shrinking).
+pub const MAX_NODES: usize = 6;
+
+/// Fewest nodes a generated program can have.
+pub const MIN_NODES: usize = 2;
+
+const SCHEDULES: [OmpSchedule; 4] = [
+    OmpSchedule::Static,
+    OmpSchedule::Dynamic,
+    OmpSchedule::Guided,
+    OmpSchedule::Auto,
+];
+
+const METHODS: [ReductionMethod; 3] = [
+    ReductionMethod::Tree,
+    ReductionMethod::Critical,
+    ReductionMethod::Atomic,
+];
+
+/// Generate fuzz case number `seed`.
+pub fn generate(seed: u64) -> Program {
+    let mut rng = Rng::new(seed);
+    let threads = rng.range(2, 4) as usize;
+    let n_nodes = rng.range(MIN_NODES as u64, MAX_NODES as u64) as usize;
+    let nodes = (0..n_nodes).map(|_| gen_node(&mut rng)).collect();
+    Program {
+        seed,
+        threads,
+        nodes,
+    }
+}
+
+fn gen_node(rng: &mut Rng) -> Node {
+    match rng.below(8) {
+        0 => Node::Loop {
+            schedule: *rng.pick(&SCHEDULES),
+            iters: rng.range(8, 384) as u32,
+            imbalance: gen_imbalance(rng),
+        },
+        1 => Node::ChunkedLoop {
+            chunk: rng.range(1, 16) as u32,
+            iters: rng.range(8, 256) as u32,
+        },
+        2 => Node::Reduce {
+            schedule: *rng.pick(&SCHEDULES),
+            method: *rng.pick(&METHODS),
+            iters: rng.range(8, 256) as u32,
+        },
+        3 => Node::Tasks {
+            shape: gen_shape(rng),
+            grain: rng.range(1, 8) as u32,
+        },
+        4 => Node::Sections {
+            count: rng.range(2, 6) as u32,
+        },
+        5 => Node::Single,
+        6 => Node::Locked {
+            locks: rng.range(1, 3) as u32,
+            rounds: rng.range(2, 8) as u32,
+        },
+        _ => Node::BarrierRound {
+            rounds: rng.range(1, 4) as u32,
+        },
+    }
+}
+
+fn gen_imbalance(rng: &mut Rng) -> ImbalanceKind {
+    match rng.below(3) {
+        0 => ImbalanceKind::Uniform,
+        1 => ImbalanceKind::Linear {
+            skew_pct: rng.range(0, 360) as i32 - 180,
+        },
+        _ => ImbalanceKind::Random {
+            cv_pct: rng.range(10, 120) as u32,
+        },
+    }
+}
+
+fn gen_shape(rng: &mut Rng) -> TaskShape {
+    match rng.below(4) {
+        0 => TaskShape::Chain {
+            len: rng.range(2, 6) as u32,
+        },
+        1 => TaskShape::FanOut {
+            width: rng.range(2, 8) as u32,
+        },
+        2 => TaskShape::Diamond {
+            stages: rng.range(1, 2) as u32,
+        },
+        _ => TaskShape::Tree {
+            depth: rng.range(2, 4) as u32,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        for seed in 0..50 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a, b);
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn sizes_stay_in_bounds() {
+        for seed in 0..200 {
+            let p = generate(seed);
+            assert!((MIN_NODES..=MAX_NODES).contains(&p.nodes.len()), "{p:?}");
+            assert!((2..=4).contains(&p.threads));
+        }
+    }
+
+    #[test]
+    fn all_node_kinds_appear_across_seeds() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..300 {
+            for n in &generate(seed).nodes {
+                kinds.insert(match n {
+                    Node::Loop { .. } => "loop",
+                    Node::ChunkedLoop { .. } => "chunked",
+                    Node::Reduce { .. } => "reduce",
+                    Node::Tasks { .. } => "tasks",
+                    Node::Sections { .. } => "sections",
+                    Node::Single => "single",
+                    Node::Locked { .. } => "locked",
+                    Node::BarrierRound { .. } => "barrier",
+                });
+            }
+        }
+        assert_eq!(kinds.len(), 8, "generator must reach every node kind");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert!((1..50).any(|s| generate(s) != generate(0)));
+    }
+}

@@ -1,0 +1,455 @@
+//! The generated-program AST: what a fuzz case *is*.
+//!
+//! A [`Program`] is a straight-line sequence of parallel constructs
+//! ([`Node`]s), each mapping onto exactly one `omprt` parallel region
+//! when executed and exactly one non-serial [`Phase`] in the `simrt`
+//! workload model. That one-to-one correspondence is what makes the
+//! differential harness sharp: `Model::region_count()` must equal the
+//! number of `RegionFork` events in the recorded trace, with no slack
+//! for interpretation.
+//!
+//! Every parameter is an integer so [`Program::render`] is trivially
+//! byte-stable across platforms and build profiles — the determinism
+//! property test compares rendered sources byte-for-byte.
+
+use omptune_core::{OmpSchedule, ReductionMethod};
+use serde::{Deserialize, Serialize};
+use simrt::model::{AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};
+
+/// Iteration-cost profile of a generated loop, in integer form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImbalanceKind {
+    /// All iterations cost the same.
+    Uniform,
+    /// Linearly ramped cost; `skew_pct` is the slope × 100, in
+    /// [-200, 200] to keep modeled costs positive.
+    Linear {
+        /// Slope of the cost ramp × 100.
+        skew_pct: i32,
+    },
+    /// Pseudo-random per-iteration cost; `cv_pct` is the coefficient of
+    /// variation × 100.
+    Random {
+        /// Relative standard deviation × 100.
+        cv_pct: u32,
+    },
+}
+
+impl ImbalanceKind {
+    fn to_model(self) -> Imbalance {
+        match self {
+            ImbalanceKind::Uniform => Imbalance::Uniform,
+            ImbalanceKind::Linear { skew_pct } => Imbalance::Linear {
+                skew: f64::from(skew_pct) / 100.0,
+            },
+            ImbalanceKind::Random { cv_pct } => Imbalance::Random {
+                cv: f64::from(cv_pct) / 100.0,
+            },
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            ImbalanceKind::Uniform => "uniform".to_string(),
+            ImbalanceKind::Linear { skew_pct } => format!("linear({skew_pct}%)"),
+            ImbalanceKind::Random { cv_pct } => format!("random(cv={cv_pct}%)"),
+        }
+    }
+}
+
+/// Shape of a generated task graph. Each shape has a closed-form spawn
+/// count (tasks pushed to a deque, i.e. `TaskSpawn` events) that the
+/// differential harness checks against the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskShape {
+    /// Sequential dependency chain: each link joins the rest of the
+    /// chain against one unit of local work.
+    Chain {
+        /// Number of links.
+        len: u32,
+    },
+    /// One root splitting into `width` independent leaves via binary
+    /// splitting (`for_each_split`), so `width - 1` joins.
+    FanOut {
+        /// Number of leaves.
+        width: u32,
+    },
+    /// `stages` fork-join diamonds in sequence; each stage forks two
+    /// branches that each fork two leaves (three joins per stage).
+    Diamond {
+        /// Number of sequential diamonds.
+        stages: u32,
+    },
+    /// Full binary recursion to `depth`, one join per internal node.
+    Tree {
+        /// Recursion depth (leaves = 2^depth).
+        depth: u32,
+    },
+}
+
+impl TaskShape {
+    /// Exact number of tasks this shape spawns (= `TaskSpawn` events)
+    /// when executed on a multi-thread pool. Every `omprt::join` spawns
+    /// exactly one stealable task (the second closure).
+    pub fn spawn_count(self) -> u64 {
+        match self {
+            TaskShape::Chain { len } => u64::from(len),
+            TaskShape::FanOut { width } => u64::from(width.saturating_sub(1)),
+            TaskShape::Diamond { stages } => 3 * u64::from(stages),
+            TaskShape::Tree { depth } => (1u64 << depth) - 1,
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            TaskShape::Chain { len } => format!("chain(len={len})"),
+            TaskShape::FanOut { width } => format!("fanout(width={width})"),
+            TaskShape::Diamond { stages } => format!("diamond(stages={stages})"),
+            TaskShape::Tree { depth } => format!("tree(depth={depth})"),
+        }
+    }
+}
+
+/// One parallel construct. Executing a node dispatches exactly one
+/// parallel region on the pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A worksharing loop writing disjoint slots of a shared array.
+    Loop {
+        /// `OMP_SCHEDULE` used for the loop.
+        schedule: OmpSchedule,
+        /// Trip count.
+        iters: u32,
+        /// Iteration-cost profile (model side only; execution work is
+        /// uniform so outcomes stay schedule-independent).
+        imbalance: ImbalanceKind,
+    },
+    /// A worksharing loop with an explicit chunk size (static,N).
+    ChunkedLoop {
+        /// Explicit chunk size.
+        chunk: u32,
+        /// Trip count.
+        iters: u32,
+    },
+    /// A `reduction(+)` loop with an exactly-representable sum.
+    Reduce {
+        /// `OMP_SCHEDULE` used for the loop.
+        schedule: OmpSchedule,
+        /// Reduction combine method.
+        method: ReductionMethod,
+        /// Trip count.
+        iters: u32,
+    },
+    /// A task-parallel region executing one task-graph shape.
+    Tasks {
+        /// Graph shape (determines the exact spawn count).
+        shape: TaskShape,
+        /// Work units per leaf task.
+        grain: u32,
+    },
+    /// `parallel sections` with `count` independent sections.
+    Sections {
+        /// Number of sections.
+        count: u32,
+    },
+    /// A region where one thread runs the body (`parallel single`).
+    Single,
+    /// All threads update shared counters under a nested lock set,
+    /// acquired in canonical order (deadlock-free by construction).
+    Locked {
+        /// Locks in the set (nested, ascending order).
+        locks: u32,
+        /// Update rounds per thread.
+        rounds: u32,
+    },
+    /// An empty region where every thread crosses the team barrier
+    /// `rounds` times.
+    BarrierRound {
+        /// Barrier crossings per thread.
+        rounds: u32,
+    },
+}
+
+impl Node {
+    fn render(&self) -> String {
+        match self {
+            Node::Loop {
+                schedule,
+                iters,
+                imbalance,
+            } => format!(
+                "loop sched={} iters={iters} imbalance={}",
+                sched_str(*schedule),
+                imbalance.render()
+            ),
+            Node::ChunkedLoop { chunk, iters } => {
+                format!("loop sched=static,{chunk} iters={iters}")
+            }
+            Node::Reduce {
+                schedule,
+                method,
+                iters,
+            } => format!(
+                "reduce(+) sched={} method={} iters={iters}",
+                sched_str(*schedule),
+                method_str(*method)
+            ),
+            Node::Tasks { shape, grain } => {
+                format!("tasks shape={} grain={grain}", shape.render())
+            }
+            Node::Sections { count } => format!("sections count={count}"),
+            Node::Single => "single".to_string(),
+            Node::Locked { locks, rounds } => {
+                format!("locked locks={locks} rounds={rounds}")
+            }
+            Node::BarrierRound { rounds } => format!("barrier rounds={rounds}"),
+        }
+    }
+
+    /// Trip count of the worksharing loop this node dispatches, if any.
+    /// `Sections` runs through the dynamic dispatcher, so it has one.
+    pub fn loop_iters(&self) -> Option<usize> {
+        match self {
+            Node::Loop { iters, .. } | Node::ChunkedLoop { iters, .. } => Some(*iters as usize),
+            Node::Reduce { iters, .. } => Some(*iters as usize),
+            Node::Sections { count } => Some(*count as usize),
+            _ => None,
+        }
+    }
+
+    fn to_phase(&self) -> Phase {
+        match self {
+            Node::Loop {
+                iters, imbalance, ..
+            } => Phase::Loop(LoopPhase {
+                iters: u64::from(*iters),
+                cycles_per_iter: 120.0,
+                bytes_per_iter: 8.0,
+                access: AccessPattern::Streaming,
+                imbalance: imbalance.to_model(),
+                reductions: 0,
+            }),
+            Node::ChunkedLoop { iters, .. } => Phase::Loop(LoopPhase {
+                iters: u64::from(*iters),
+                cycles_per_iter: 120.0,
+                bytes_per_iter: 8.0,
+                access: AccessPattern::Streaming,
+                imbalance: Imbalance::Uniform,
+                reductions: 0,
+            }),
+            Node::Reduce { iters, .. } => Phase::Loop(LoopPhase {
+                iters: u64::from(*iters),
+                cycles_per_iter: 150.0,
+                bytes_per_iter: 8.0,
+                access: AccessPattern::Streaming,
+                imbalance: Imbalance::Uniform,
+                reductions: 1,
+            }),
+            Node::Tasks { shape, grain } => Phase::Tasks(TaskPhase {
+                n_tasks: shape.spawn_count().max(1),
+                cycles_per_task: 200.0 * f64::from(*grain),
+                cv: 0.2,
+                starvation: 0.3,
+                bytes_per_task: 64.0,
+            }),
+            Node::Sections { count } => Phase::Loop(LoopPhase {
+                iters: u64::from(*count),
+                cycles_per_iter: 400.0,
+                bytes_per_iter: 0.0,
+                access: AccessPattern::CacheResident,
+                imbalance: Imbalance::Uniform,
+                reductions: 0,
+            }),
+            Node::Single => Phase::Loop(LoopPhase {
+                iters: 1,
+                cycles_per_iter: 300.0,
+                bytes_per_iter: 0.0,
+                access: AccessPattern::CacheResident,
+                imbalance: Imbalance::Uniform,
+                reductions: 0,
+            }),
+            Node::Locked { locks, rounds } => Phase::Loop(LoopPhase {
+                iters: u64::from(*locks) * u64::from(*rounds),
+                cycles_per_iter: 250.0,
+                bytes_per_iter: 8.0,
+                access: AccessPattern::CacheResident,
+                imbalance: Imbalance::Uniform,
+                reductions: 0,
+            }),
+            Node::BarrierRound { rounds } => Phase::Loop(LoopPhase {
+                iters: u64::from(*rounds),
+                cycles_per_iter: 100.0,
+                bytes_per_iter: 0.0,
+                access: AccessPattern::CacheResident,
+                imbalance: Imbalance::Uniform,
+                reductions: 0,
+            }),
+        }
+    }
+}
+
+fn sched_str(s: OmpSchedule) -> &'static str {
+    match s {
+        OmpSchedule::Static => "static",
+        OmpSchedule::Dynamic => "dynamic",
+        OmpSchedule::Guided => "guided",
+        OmpSchedule::Auto => "auto",
+    }
+}
+
+fn method_str(m: ReductionMethod) -> &'static str {
+    match m {
+        ReductionMethod::None => "none",
+        ReductionMethod::Critical => "critical",
+        ReductionMethod::Atomic => "atomic",
+        ReductionMethod::Tree => "tree",
+    }
+}
+
+/// One generated fuzz case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Generator seed this program came from.
+    pub seed: u64,
+    /// Team size to execute with (≥ 2 so task joins actually spawn).
+    pub threads: usize,
+    /// The constructs, executed in order.
+    pub nodes: Vec<Node>,
+}
+
+impl Program {
+    /// Stable textual source form. Byte-identical for equal programs on
+    /// every platform — the determinism contract the property test pins.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "program seed={:#018x} threads={}\n",
+            self.seed, self.threads
+        );
+        for node in &self.nodes {
+            out.push_str("  ");
+            out.push_str(&node.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The equivalent `simrt` workload model: one non-serial phase per
+    /// node and a single timestep, so `region_count()` equals the
+    /// number of parallel regions execution dispatches.
+    pub fn to_model(&self) -> Model {
+        Model {
+            name: format!("gen-{:016x}", self.seed),
+            phases: self.nodes.iter().map(Node::to_phase).collect(),
+            timesteps: 1,
+            migration_sensitivity: 0.0,
+        }
+    }
+
+    /// Exact expected sum of each `Reduce` node, in program order.
+    /// Bodies contribute `(i % 7) as f64`, integer-valued and far below
+    /// 2^53, so every combine order yields the identical float.
+    pub fn expected_reduce_sums(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Reduce { iters, .. } => {
+                    Some((0..u64::from(*iters)).map(|i| (i % 7) as f64).sum())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Exact expected number of `TaskSpawn` events over the whole run.
+    pub fn expected_task_spawns(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Tasks { shape, .. } => shape.spawn_count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Multiset (sorted) of worksharing-loop trip counts the trace must
+    /// cover chunk-exactly.
+    pub fn expected_loop_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.nodes.iter().filter_map(Node::loop_iters).collect();
+        sizes.sort_unstable();
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        Program {
+            seed: 0xABCD,
+            threads: 3,
+            nodes: vec![
+                Node::Loop {
+                    schedule: OmpSchedule::Dynamic,
+                    iters: 100,
+                    imbalance: ImbalanceKind::Linear { skew_pct: 40 },
+                },
+                Node::Reduce {
+                    schedule: OmpSchedule::Static,
+                    method: ReductionMethod::Tree,
+                    iters: 50,
+                },
+                Node::Tasks {
+                    shape: TaskShape::Tree { depth: 3 },
+                    grain: 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn model_region_count_matches_node_count() {
+        let p = sample();
+        assert_eq!(p.to_model().region_count() as usize, p.nodes.len());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let p = sample();
+        assert_eq!(p.render(), p.render());
+        assert!(p.render().contains("sched=dynamic"));
+        assert!(p.render().contains("method=tree"));
+        assert!(p.render().contains("tree(depth=3)"));
+    }
+
+    #[test]
+    fn spawn_counts_are_closed_form() {
+        assert_eq!(TaskShape::Chain { len: 5 }.spawn_count(), 5);
+        assert_eq!(TaskShape::FanOut { width: 8 }.spawn_count(), 7);
+        assert_eq!(TaskShape::Diamond { stages: 2 }.spawn_count(), 6);
+        assert_eq!(TaskShape::Tree { depth: 4 }.spawn_count(), 15);
+    }
+
+    #[test]
+    fn expected_reduce_sum_is_exact() {
+        let p = sample();
+        let sums = p.expected_reduce_sums();
+        assert_eq!(sums.len(), 1);
+        // 50 iters of i % 7: 7 full cycles (0..7 sums to 21) + 0 extra.
+        assert_eq!(sums[0], 7.0 * 21.0 + 0.0);
+    }
+
+    #[test]
+    fn loop_sizes_cover_worksharing_nodes_only() {
+        let p = sample();
+        assert_eq!(p.expected_loop_sizes(), vec![50, 100]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = sample();
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: Program = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,231 @@
+//! Reproducer shrinking: reduce a failing program to a minimal one.
+//!
+//! Greedy delta debugging over the AST: repeatedly try to (a) drop a
+//! node entirely, then (b) simplify a node's parameters (halve trip
+//! counts, flatten imbalance, shrink task shapes, drop lock levels),
+//! keeping any candidate for which the caller's `still_fails` predicate
+//! holds. The result is 1-minimal under these operations: removing or
+//! simplifying any single remaining element makes the failure vanish.
+//!
+//! The predicate is arbitrary (re-run under the failing schedule plan,
+//! re-check a diff invariant, …), so the shrinker is equally usable for
+//! checker findings and differential mismatches — and testable with
+//! synthetic predicates.
+
+use crate::program::{ImbalanceKind, Node, Program, TaskShape};
+
+/// Shrink `program` while `still_fails` keeps returning true. Never
+/// shrinks below one node.
+pub fn shrink<F>(program: &Program, mut still_fails: F) -> Program
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut cur = program.clone();
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop whole nodes, front to back.
+        let mut i = 0;
+        while cur.nodes.len() > 1 && i < cur.nodes.len() {
+            let mut candidate = cur.clone();
+            candidate.nodes.remove(i);
+            if still_fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // Same index now names the next node.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: simplify surviving nodes one parameter step at a time.
+        for i in 0..cur.nodes.len() {
+            for simpler in simplify(&cur.nodes[i]) {
+                let mut candidate = cur.clone();
+                candidate.nodes[i] = simpler;
+                if still_fails(&candidate) {
+                    cur = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// One-step-simpler variants of a node, most aggressive first.
+fn simplify(node: &Node) -> Vec<Node> {
+    let mut out = Vec::new();
+    match node {
+        Node::Loop {
+            schedule,
+            iters,
+            imbalance,
+        } => {
+            if *iters > 2 {
+                out.push(Node::Loop {
+                    schedule: *schedule,
+                    iters: iters / 2,
+                    imbalance: *imbalance,
+                });
+            }
+            if *imbalance != ImbalanceKind::Uniform {
+                out.push(Node::Loop {
+                    schedule: *schedule,
+                    iters: *iters,
+                    imbalance: ImbalanceKind::Uniform,
+                });
+            }
+        }
+        Node::ChunkedLoop { chunk, iters } => {
+            if *iters > 2 {
+                out.push(Node::ChunkedLoop {
+                    chunk: *chunk,
+                    iters: iters / 2,
+                });
+            }
+            if *chunk > 1 {
+                out.push(Node::ChunkedLoop {
+                    chunk: chunk / 2,
+                    iters: *iters,
+                });
+            }
+        }
+        Node::Reduce {
+            schedule,
+            method,
+            iters,
+        } => {
+            if *iters > 2 {
+                out.push(Node::Reduce {
+                    schedule: *schedule,
+                    method: *method,
+                    iters: iters / 2,
+                });
+            }
+        }
+        Node::Tasks { shape, grain } => {
+            if let Some(smaller) = shrink_shape(*shape) {
+                out.push(Node::Tasks {
+                    shape: smaller,
+                    grain: *grain,
+                });
+            }
+            if *grain > 1 {
+                out.push(Node::Tasks {
+                    shape: *shape,
+                    grain: grain / 2,
+                });
+            }
+        }
+        Node::Sections { count } => {
+            if *count > 2 {
+                out.push(Node::Sections { count: count - 1 });
+            }
+        }
+        Node::Single => {}
+        Node::Locked { locks, rounds } => {
+            if *locks > 1 {
+                out.push(Node::Locked {
+                    locks: locks - 1,
+                    rounds: *rounds,
+                });
+            }
+            if *rounds > 1 {
+                out.push(Node::Locked {
+                    locks: *locks,
+                    rounds: rounds / 2,
+                });
+            }
+        }
+        Node::BarrierRound { rounds } => {
+            if *rounds > 1 {
+                out.push(Node::BarrierRound { rounds: rounds / 2 });
+            }
+        }
+    }
+    out
+}
+
+fn shrink_shape(shape: TaskShape) -> Option<TaskShape> {
+    match shape {
+        TaskShape::Chain { len } if len > 1 => Some(TaskShape::Chain { len: len - 1 }),
+        TaskShape::FanOut { width } if width > 2 => Some(TaskShape::FanOut { width: width - 1 }),
+        TaskShape::Diamond { stages } if stages > 1 => {
+            Some(TaskShape::Diamond { stages: stages - 1 })
+        }
+        TaskShape::Tree { depth } if depth > 1 => Some(TaskShape::Tree { depth: depth - 1 }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn shrinks_to_the_single_culprit_node() {
+        let program = generate(11);
+        assert!(program.nodes.len() >= 2);
+        // Synthetic failure: "fails" whenever a Locked node is present.
+        let mut with_locked = program.clone();
+        with_locked.nodes.push(Node::Locked {
+            locks: 3,
+            rounds: 8,
+        });
+        let shrunk = shrink(&with_locked, |p| {
+            p.nodes.iter().any(|n| matches!(n, Node::Locked { .. }))
+        });
+        assert_eq!(shrunk.nodes.len(), 1);
+        assert_eq!(
+            shrunk.nodes[0],
+            Node::Locked {
+                locks: 1,
+                rounds: 1
+            }
+        );
+    }
+
+    #[test]
+    fn shrinks_parameters_not_just_nodes() {
+        let program = Program {
+            seed: 0,
+            threads: 2,
+            nodes: vec![Node::Tasks {
+                shape: TaskShape::Tree { depth: 4 },
+                grain: 8,
+            }],
+        };
+        // Fails as long as the tree spawns at least 3 tasks.
+        let shrunk = shrink(&program, |p| p.expected_task_spawns() >= 3);
+        assert_eq!(
+            shrunk.nodes[0],
+            Node::Tasks {
+                shape: TaskShape::Tree { depth: 2 },
+                grain: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn never_returns_a_passing_program() {
+        let program = generate(17);
+        let shrunk = shrink(&program, |p| p.nodes.len() >= 2);
+        assert!(shrunk.nodes.len() >= 2);
+        assert_eq!(shrunk.nodes.len(), 2);
+    }
+
+    #[test]
+    fn result_is_at_most_eight_nodes() {
+        for seed in 0..20 {
+            let p = generate(seed);
+            let shrunk = shrink(&p, |_| true);
+            assert!(shrunk.nodes.len() <= 8);
+        }
+    }
+}

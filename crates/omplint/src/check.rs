@@ -38,7 +38,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule catalog for the concurrency checker (ids disjoint from the lint
 /// catalog; everything here is an error).
-pub const CHECK_RULES: [Rule; 11] = [
+pub const CHECK_RULES: [Rule; 12] = [
     Rule {
         id: "B-TEAM-MISMATCH",
         severity: Severity::Error,
@@ -73,6 +73,11 @@ pub const CHECK_RULES: [Rule; 11] = [
         id: "D-TASK-INCOMPLETE",
         severity: Severity::Error,
         summary: "task was spawned but never completed",
+    },
+    Rule {
+        id: "D-LOST-WAKEUP",
+        severity: Severity::Error,
+        summary: "thread parked on a stale epoch after the wakeup was already announced",
     },
     Rule {
         id: "T-ORPHAN",
@@ -137,6 +142,12 @@ pub struct CheckStats {
     pub locations: usize,
     pub loops: usize,
     pub chunks: usize,
+    /// Condition objects seen in the condvar protocol.
+    pub conds: usize,
+    /// Epoch announcements (`Notify`) recorded.
+    pub notifies: usize,
+    /// Park decisions (`ParkBegin`) recorded.
+    pub parks: usize,
 }
 
 /// The checker's verdict on one trace.
@@ -221,6 +232,21 @@ struct RegionState {
     end_vc: VClock,
 }
 
+/// One condition object's protocol state. All three cond events are
+/// emitted under the epoch-guarding mutex, so log order on one cond is
+/// the mutex order — the invariants below hold exactly, not modulo
+/// reordering.
+#[derive(Default)]
+struct CondState {
+    /// Highest epoch announced by a `Notify` so far; `None` until the
+    /// first recorded announcement (a thread legitimately parked across
+    /// the session start has no notify to compare against).
+    last_epoch: Option<u64>,
+    /// Join of every notifier's clock: a waker's `ParkEnd` inherits it,
+    /// giving the checker the notify→wake happens-before edge.
+    notify_vc: VClock,
+}
+
 fn tid_str(tid: usize) -> String {
     if tid == usize::MAX {
         "?".to_string()
@@ -295,6 +321,7 @@ pub fn check_trace(records: &[Record]) -> CheckReport {
     let mut locks: BTreeMap<u64, LockState> = BTreeMap::new();
     let mut locs: BTreeMap<u64, LocState> = BTreeMap::new();
     let mut regions: BTreeMap<u64, RegionState> = BTreeMap::new();
+    let mut conds: BTreeMap<u64, CondState> = BTreeMap::new();
     let mut loops: BTreeMap<u64, Vec<(usize, usize)>> = BTreeMap::new();
     // Per-thread stack of currently-executing tasks (for join-wait edges).
     let mut exec_stack: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
@@ -309,6 +336,8 @@ pub fn check_trace(records: &[Record]) -> CheckReport {
     let mut stats = CheckStats::default();
     let mut episodes_completed = 0usize;
     let mut steals = 0usize;
+    let mut notifies = 0usize;
+    let mut parks = 0usize;
 
     for rec in records {
         let os = rec.os;
@@ -560,6 +589,41 @@ pub fn check_trace(records: &[Record]) -> CheckReport {
             Event::ChunkClaim { loop_id, lo, hi } => {
                 loops.entry(loop_id).or_default().push((lo, hi));
             }
+            Event::Notify { cond, epoch } => {
+                notifies += 1;
+                let st = conds.entry(cond).or_default();
+                st.last_epoch = Some(st.last_epoch.map_or(epoch, |e| e.max(epoch)));
+                st.notify_vc.join(vc);
+            }
+            Event::ParkBegin { cond, epoch } => {
+                parks += 1;
+                let st = conds.entry(cond).or_default();
+                // A park is lost-wakeup-prone exactly when the observed
+                // epoch is older than an announcement already on record:
+                // the thread read the epoch, missed the notify, and went
+                // to sleep anyway. The runtime's correct discipline
+                // (re-check and emit under the guarding mutex) can never
+                // produce this shape.
+                if let Some(last) = st.last_epoch {
+                    if epoch < last {
+                        fire(
+                            &mut diags,
+                            &mut seen,
+                            "D-LOST-WAKEUP",
+                            (cond, os),
+                            format!(
+                                "cond {cond}: thread {} parked having observed epoch \
+                                 {epoch} after epoch {last} was already announced — \
+                                 the wakeup was missed",
+                                tid_str(rec.tid)
+                            ),
+                        );
+                    }
+                }
+            }
+            Event::ParkEnd { cond, epoch: _ } => {
+                vc.join(&conds.entry(cond).or_default().notify_vc);
+            }
         }
     }
 
@@ -656,6 +720,9 @@ pub fn check_trace(records: &[Record]) -> CheckReport {
     stats.locations = locs.len();
     stats.loops = loops.len();
     stats.chunks = chunk_count;
+    stats.conds = conds.len();
+    stats.notifies = notifies;
+    stats.parks = parks;
 
     CheckReport {
         diagnostics: diags,
@@ -793,6 +860,61 @@ pub mod fixtures {
         ]
     }
 
+    /// A classic lost wakeup: the notifier announces epoch 1, but the
+    /// waiter — having read the epoch *outside* the guarding lock —
+    /// parks still believing it is 0. The wakeup it needed has already
+    /// happened; nobody will notify again.
+    pub fn lost_wakeup_trace() -> Vec<Record> {
+        vec![
+            rec(0, 1, Event::Notify { cond: 4, epoch: 1 }),
+            rec(1, 2, Event::ParkBegin { cond: 4, epoch: 0 }),
+        ]
+    }
+
+    /// The correct condvar discipline for the same exchange: the waiter
+    /// re-checks the epoch under the lock, parks on the current epoch,
+    /// and wakes when the next announcement lands. Must check clean.
+    pub fn correct_parking_trace() -> Vec<Record> {
+        vec![
+            rec(0, 1, Event::Notify { cond: 4, epoch: 1 }),
+            rec(1, 2, Event::ParkBegin { cond: 4, epoch: 1 }),
+            rec(0, 1, Event::Notify { cond: 4, epoch: 2 }),
+            rec(1, 2, Event::ParkEnd { cond: 4, epoch: 2 }),
+        ]
+    }
+
+    /// A tainted barrier that would mask a race if the checker trusted
+    /// it: thread 0 publishes and releases itself *early* (1 of 2
+    /// arrivals); thread 1 arrives afterwards, so at its own release the
+    /// episode looks complete — but the episode was already tainted, so
+    /// it must provide no ordering and thread 1's read of thread 0's
+    /// publication must still be reported as a race.
+    pub fn tainted_barrier_mask_trace() -> Vec<Record> {
+        vec![
+            rec(0, 1, Event::Write { loc: 21 }),
+            rec(
+                0,
+                1,
+                Event::BarrierArrive {
+                    barrier: 8,
+                    team: 2,
+                },
+            ),
+            rec(0, 1, Event::BarrierRelease { barrier: 8 }),
+            rec(1, 2, Event::Write { loc: 22 }),
+            rec(
+                1,
+                2,
+                Event::BarrierArrive {
+                    barrier: 8,
+                    team: 2,
+                },
+            ),
+            rec(1, 2, Event::BarrierRelease { barrier: 8 }),
+            rec(1, 2, Event::Read { loc: 21 }),
+        ]
+    }
+
     /// A thread arrives twice at a barrier without being released.
     pub fn reentrant_barrier_trace() -> Vec<Record> {
         vec![
@@ -877,6 +999,58 @@ mod tests {
     fn barrier_reentry_is_flagged() {
         let report = check_trace(&fixtures::reentrant_barrier_trace());
         assert!(report.has_rule("B-REENTRY"), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn lost_wakeup_is_flagged_with_exact_rule() {
+        let report = check_trace(&fixtures::lost_wakeup_trace());
+        assert!(!report.is_clean());
+        assert!(report.has_rule("D-LOST-WAKEUP"), "{:?}", report.diagnostics);
+        // Exactly this rule, nothing else.
+        assert!(report.diagnostics.iter().all(|d| d.rule == "D-LOST-WAKEUP"));
+        assert_eq!(report.stats.conds, 1);
+        assert_eq!(report.stats.notifies, 1);
+        assert_eq!(report.stats.parks, 1);
+    }
+
+    #[test]
+    fn correct_parking_is_clean() {
+        let report = check_trace(&fixtures::correct_parking_trace());
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert_eq!(report.stats.notifies, 2);
+    }
+
+    #[test]
+    fn tainted_barrier_does_not_mask_the_race() {
+        let report = check_trace(&fixtures::tainted_barrier_mask_trace());
+        assert!(
+            report.has_rule("B-EARLY-RELEASE"),
+            "{:?}",
+            report.diagnostics
+        );
+        assert!(
+            report.has_rule("C-RACE"),
+            "the tainted episode must not order the accesses: {:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn pool_parking_protocol_certifies_clean() {
+        // Passive workers park between regions; the protocol events they
+        // emit must satisfy D-LOST-WAKEUP and add notify→wake ordering.
+        use omptune_core::config::WaitPolicy;
+        let pool = ThreadPool::new(4, WaitPolicy::Passive);
+        let s = trace::session();
+        for _ in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            omprt::worksharing::parallel_for(&pool, OmpSchedule::Static, 64, |_| {});
+        }
+        drop(pool); // shutdown notify is part of the protocol
+        let records = s.finish();
+        let report = check_trace(&records);
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.stats.notifies >= 5, "{:?}", report.stats);
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //!   recorded by `omprt`'s `check` feature — vector-clock race
 //!   detection plus barrier-misuse and deadlock analysis.
 
+pub mod campaign;
 pub mod check;
 pub mod lint;
 
+pub use campaign::Campaign;
 pub use check::{certify, check_trace, CheckReport, CheckStats, CHECK_RULES};
 pub use lint::{canonicalize, lint_point, lint_space, LintReport, PointClass, RULES};
 pub use omptune_core::diag::{Diagnostic, Severity};

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! omplint lint  [--arch a64fx|skylake|milan|all] [--threads N] [--json]
-//! omplint check [--demo broken-barrier|lock-cycle|join-cycle|race|chunk-overlap] [--json]
+//! omplint check [--demo broken-barrier|lock-cycle|join-cycle|race|chunk-overlap|
+//!                lost-wakeup|tainted-barrier] [--json]
 //! omplint rules
 //! ```
 //!
@@ -11,8 +12,11 @@
 //! representative workload (regions, all schedules, all reduction
 //! methods, task joins), certifies the recorded schedule, or — with
 //! `--demo` — replays a deliberately broken fixture to show detection.
-//! Exit code is 0 when clean, 1 when any error-severity finding fired,
-//! 2 on usage errors.
+//! `--json` emits the full machine-readable report on stdout.
+//!
+//! Exit codes follow the `ompmon` convention: 0 = clean, 4 = findings
+//! (error-severity diagnostics fired), 2 = usage error, 1 = internal
+//! error (e.g. serialization failure).
 
 use omplint::check::{self, fixtures, CheckReport, CHECK_RULES};
 use omplint::lint::{self, PointClass, RULES};
@@ -21,8 +25,10 @@ use serde::Serialize;
 
 const USAGE: &str = "usage: omplint <lint|check|rules> [options]
   lint  [--arch a64fx|skylake|milan|all] [--threads N] [--json]
-  check [--demo broken-barrier|lock-cycle|join-cycle|race|chunk-overlap] [--json]
-  rules";
+  check [--demo broken-barrier|lock-cycle|join-cycle|race|chunk-overlap|
+         lost-wakeup|tainted-barrier] [--json]
+  rules
+exit codes: 0 clean, 4 findings, 2 usage, 1 internal";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -176,6 +182,14 @@ fn cmd_check(args: &[String]) -> i32 {
             "demo: overlapping chunks",
             check::check_trace(&fixtures::overlapping_chunks_trace()),
         ),
+        Some("lost-wakeup") => (
+            "demo: lost wakeup (stale-epoch park)",
+            check::check_trace(&fixtures::lost_wakeup_trace()),
+        ),
+        Some("tainted-barrier") => (
+            "demo: tainted barrier masking a race",
+            check::check_trace(&fixtures::tainted_barrier_mask_trace()),
+        ),
         Some(other) => {
             eprintln!("unknown demo '{other}'");
             return 2;
@@ -197,7 +211,7 @@ fn cmd_check(args: &[String]) -> i32 {
     if report.is_clean() {
         0
     } else {
-        1
+        4
     }
 }
 
@@ -256,6 +270,12 @@ fn print_check_report(label: &str, report: &CheckReport) {
         s.loops,
         s.chunks
     );
+    if s.conds > 0 {
+        println!(
+            "condvar protocol: {} conds, {} notifies, {} parks",
+            s.conds, s.notifies, s.parks
+        );
+    }
     if report.diagnostics.is_empty() {
         println!("schedule certified: no races, no barrier misuse, no deadlock shapes");
     } else {

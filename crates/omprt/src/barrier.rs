@@ -8,6 +8,7 @@
 //! thread count like libomp's hierarchical choice.
 
 use crate::check_event;
+use crate::perturb::{self, Site};
 use crate::trace::{self, Event};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -85,11 +86,13 @@ impl Barrier for CentralBarrier {
             });
             return;
         }
+        perturb::point(Site::BarrierArrive);
         let my_sense = !self.sense.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.team {
             self.count.store(0, Ordering::Release);
             self.sense.store(my_sense, Ordering::Release);
         } else {
+            perturb::point(Site::BarrierSpin);
             while self.sense.load(Ordering::Acquire) != my_sense {
                 std::hint::spin_loop();
             }
@@ -172,6 +175,7 @@ impl Barrier for TreeBarrier {
             });
             return;
         }
+        perturb::point(Site::BarrierArrive);
         let my_sense = !self.sense.load(Ordering::Acquire);
 
         // Climb: at each level, the arriving thread that completes its
@@ -196,6 +200,7 @@ impl Barrier for TreeBarrier {
             // Reached (past) the root: release everyone.
             self.sense.store(my_sense, Ordering::Release);
         } else {
+            perturb::point(Site::BarrierSpin);
             while self.sense.load(Ordering::Acquire) != my_sense {
                 std::hint::spin_loop();
             }

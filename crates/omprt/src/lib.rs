@@ -28,6 +28,7 @@
 pub mod barrier;
 pub mod deque;
 pub mod env;
+pub mod perturb;
 pub mod pool;
 pub mod reduce;
 pub mod sched;
@@ -52,6 +53,7 @@ pub(crate) use check_event;
 
 pub use barrier::{default_barrier, Barrier, CentralBarrier, TreeBarrier};
 pub use env::{EnvError, RuntimeConfig};
+pub use perturb::{Decision, PerturbGuard, Plan, Site};
 pub use pool::{ThreadCtx, ThreadPool};
 pub use reduce::Reducer;
 pub use sched::{DynamicDispatcher, GuidedDispatcher};

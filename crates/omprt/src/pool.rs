@@ -16,6 +16,7 @@
 //! new work with a single atomic load; sleepers are woken under the mutex
 //! that guards the epoch, which excludes lost wakeups.
 
+use crate::perturb::{self, Site};
 use crate::trace::{self, Event};
 use omptune_core::config::WaitPolicy;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -101,6 +102,11 @@ struct Shared {
     work_cv: Condvar,
     done_cv: Condvar,
     wait: WaitSpec,
+    /// Trace id of the dispatch condvar protocol: `Notify` on epoch
+    /// bumps, `ParkBegin`/`ParkEnd` around worker sleeps. All three are
+    /// emitted while `lock` is held, which is exactly the discipline the
+    /// `D-LOST-WAKEUP` rule certifies.
+    cond: u64,
 }
 
 impl Shared {
@@ -163,6 +169,7 @@ impl ThreadPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             wait: WaitSpec::from_policy(policy),
+            cond: trace::next_id(),
         });
         let handles = (1..num_threads)
             .map(|tid| {
@@ -259,11 +266,16 @@ impl ThreadPool {
             }
         }));
 
+        perturb::point(Site::Dispatch);
         {
             let mut slot = self.shared.slot();
             *slot = Some(Arc::clone(&job));
             self.shared.done.store(0, Ordering::Release);
-            self.shared.epoch.fetch_add(1, Ordering::Release);
+            let epoch = self.shared.epoch.fetch_add(1, Ordering::Release) + 1;
+            trace::emit(Event::Notify {
+                cond: self.shared.cond,
+                epoch: epoch as u64,
+            });
             self.shared.work_cv.notify_all();
         }
 
@@ -321,6 +333,14 @@ impl Drop for ThreadPool {
         {
             let _slot = self.shared.slot();
             self.shared.shutdown.store(true, Ordering::Release);
+            // Shutdown reuses the current epoch: parked workers hold a
+            // ParkBegin stamped with this same epoch, so the wakeup is
+            // ordered (ParkEnd joins this Notify's clock) without ever
+            // looking like a missed epoch announcement.
+            trace::emit(Event::Notify {
+                cond: self.shared.cond,
+                epoch: self.shared.epoch.load(Ordering::Acquire) as u64,
+            });
             self.shared.work_cv.notify_all();
         }
         for h in self.handles.drain(..) {
@@ -353,12 +373,27 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, num_threads: usize) {
                             park_start = Some(Instant::now());
                         }
                     }
-                    // Blocktime expired: sleep until notified.
+                    // Blocktime expired: sleep until notified. The park
+                    // decision and both protocol events happen under the
+                    // epoch-guarding mutex — the lost-wakeup-free
+                    // discipline `D-LOST-WAKEUP` certifies.
                     let mut slot = shared.slot();
-                    while shared.epoch.load(Ordering::Acquire) == seen_epoch
+                    if shared.epoch.load(Ordering::Acquire) == seen_epoch
                         && !shared.shutdown.load(Ordering::Acquire)
                     {
-                        slot = shared.work_cv.wait(slot).expect("pool mutex poisoned");
+                        trace::emit(Event::ParkBegin {
+                            cond: shared.cond,
+                            epoch: seen_epoch as u64,
+                        });
+                        while shared.epoch.load(Ordering::Acquire) == seen_epoch
+                            && !shared.shutdown.load(Ordering::Acquire)
+                        {
+                            slot = shared.work_cv.wait(slot).expect("pool mutex poisoned");
+                        }
+                        trace::emit(Event::ParkEnd {
+                            cond: shared.cond,
+                            epoch: shared.epoch.load(Ordering::Acquire) as u64,
+                        });
                     }
                 }
                 _ => {
@@ -383,6 +418,7 @@ fn worker_loop(shared: Arc<Shared>, tid: usize, num_threads: usize) {
             return;
         }
         seen_epoch = shared.epoch.load(Ordering::Acquire);
+        perturb::point(Site::WorkerRun);
         let job = shared.slot().clone();
         if let Some(job) = job {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

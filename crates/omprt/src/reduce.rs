@@ -16,6 +16,7 @@
 
 use crate::barrier::Barrier;
 use crate::check_event;
+use crate::perturb::{self, Site};
 use crate::trace::{self, Event};
 use omptune_core::ReductionMethod;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -108,6 +109,7 @@ impl Reducer {
     /// only need the caller's trailing barrier for result visibility.
     pub fn combine(&self, tid: usize, partial: f64, barrier: &dyn Barrier) {
         debug_assert!(tid < self.team);
+        perturb::point(Site::Combine);
         if tid == 0 {
             // One count per reduction, recording which path was taken
             // (the KMP_FORCE_REDUCTION outcome).

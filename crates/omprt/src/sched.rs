@@ -13,6 +13,7 @@
 //! `auto` maps to `static`, as in libomp.
 
 use crate::check_event;
+use crate::perturb::{self, Site};
 use crate::trace::{self, Event};
 use omptune_core::OmpSchedule;
 use std::ops::Range;
@@ -86,6 +87,7 @@ impl DynamicDispatcher {
 
     /// Grab the next chunk; `None` when the loop is exhausted.
     pub fn next_chunk(&self) -> Option<Range<usize>> {
+        perturb::point(Site::ChunkClaim);
         let lo = self.next.fetch_add(self.chunk, Ordering::Relaxed);
         if lo >= self.total {
             return None;
@@ -123,6 +125,7 @@ impl GuidedDispatcher {
 
     /// Grab the next (exponentially shrinking) chunk.
     pub fn next_chunk(&self) -> Option<Range<usize>> {
+        perturb::point(Site::ChunkClaim);
         loop {
             let lo = self.next.load(Ordering::Relaxed);
             if lo >= self.total {

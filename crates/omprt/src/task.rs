@@ -21,6 +21,7 @@
 //! [`ThreadPool`] while the rest of the team steals.
 
 use crate::deque::{Steal, Stealer, Worker};
+use crate::perturb::{self, Site};
 use crate::pool::ThreadPool;
 use crate::trace::{self, Event};
 use std::cell::{Cell, UnsafeCell};
@@ -149,6 +150,7 @@ impl ExecCtx {
 
     /// Try to acquire one job: local pop first, then steal.
     fn find_job(&self) -> Option<JobRef> {
+        perturb::point(Site::TaskPop);
         if let Some(job) = self.worker.pop() {
             return Some(job);
         }
@@ -158,6 +160,7 @@ impl ExecCtx {
         for k in 1..n {
             let victim = (self.index + k) % n;
             loop {
+                perturb::point(Site::Steal);
                 match arena.stealers[victim].steal() {
                     Steal::Success(job) => {
                         omptel::add(omptel::Counter::Steals, 1);
@@ -198,6 +201,7 @@ where
             if task != 0 {
                 trace::emit(Event::TaskSpawn { task });
             }
+            perturb::point(Site::TaskPush);
             ctx.worker.push(job_ref);
 
             let ra = match std::panic::catch_unwind(AssertUnwindSafe(a)) {

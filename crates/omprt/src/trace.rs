@@ -59,6 +59,15 @@ pub enum Event {
     Read { loc: u64 },
     /// A worksharing chunk `[lo, hi)` was claimed from loop `loop_id`.
     ChunkClaim { loop_id: u64, lo: usize, hi: usize },
+    /// A new epoch `epoch` was announced on condition object `cond`
+    /// (emitted by the notifier while holding the lock that guards the
+    /// epoch).
+    Notify { cond: u64, epoch: u64 },
+    /// The thread decided to park on `cond` having observed `epoch`
+    /// under the guarding lock; it sleeps until the epoch changes.
+    ParkBegin { cond: u64, epoch: u64 },
+    /// The thread woke from `cond` and re-observed `epoch`.
+    ParkEnd { cond: u64, epoch: u64 },
 }
 
 /// One trace entry. Order within the session buffer is the global

@@ -30,7 +30,7 @@ use std::io::BufWriter;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use sweep::{Dataset, SampleCache, Scope, SweepOptions, SweepSpec};
+use sweep::{Dataset, Roster, SampleCache, Scope, SweepOptions, SweepSpec};
 
 /// Config strata the drift sentinel tests independently; must match
 /// `ompmon::STRATA`.
@@ -54,6 +54,10 @@ ARGS:
 OPTIONS:
     --workers N       worker threads for the sweep scheduler
                       (default: available parallelism)
+    --roster WHICH    paper | generated | all   (default: paper)
+                      which application roster to sweep: the paper's
+                      Table II apps, the promoted ompfuzz-generated
+                      apps, or both
     --no-cache        recompute everything; do not read or write the
                       sample cache
     --cache-dir PATH  sample-cache directory
@@ -73,6 +77,7 @@ OPTIONS:
 
 struct Cli {
     scope: Scope,
+    roster: Roster,
     out_dir: PathBuf,
     workers: usize,
     cache_dir: Option<PathBuf>,
@@ -82,6 +87,7 @@ struct Cli {
 
 fn parse_cli() -> Result<Cli, String> {
     let mut scope = Scope::PaperSized;
+    let mut roster = Roster::Paper;
     let mut positional = 0usize;
     let mut out_dir = PathBuf::from("dataset");
     let mut workers = std::thread::available_parallelism()
@@ -118,6 +124,15 @@ fn parse_cli() -> Result<Cli, String> {
             "--monitor" => {
                 monitor = Some(args.next().ok_or("--monitor needs an address")?);
             }
+            "--roster" => {
+                let v = args.next().ok_or("--roster needs a value")?;
+                roster = match v.as_str() {
+                    "paper" => Roster::Paper,
+                    "generated" => Roster::Generated,
+                    "all" => Roster::All,
+                    other => return Err(format!("unknown roster: {other} (see --help)")),
+                };
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option: {other} (see --help)"));
             }
@@ -142,6 +157,7 @@ fn parse_cli() -> Result<Cli, String> {
     }
     Ok(Cli {
         scope,
+        roster,
         out_dir,
         workers,
         cache_dir: (!no_cache).then_some(cache_dir),
@@ -298,6 +314,7 @@ fn main() -> std::io::Result<()> {
 
     let spec = SweepSpec {
         scope: cli.scope,
+        roster: cli.roster,
         ..SweepSpec::default()
     };
     let mut manifest = sweep::RunManifest::new(&spec);

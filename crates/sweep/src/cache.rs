@@ -338,6 +338,7 @@ mod tests {
             reps: 3,
             seed: 21,
             failure_rate: 0.1,
+            ..SweepSpec::default()
         }
     }
 

@@ -32,4 +32,4 @@ pub use schedule::{
     planned_samples, sweep_all_scheduled, sweep_arch_scheduled, sweep_setting_scheduled,
     SweepOptions, SweepOutcome, SweepStats,
 };
-pub use spec::{pruned_space, Scope, SweepSpec};
+pub use spec::{pruned_space, Roster, Scope, SweepSpec};

@@ -1,0 +1,134 @@
+//! Promoted fuzz shapes: generated programs as first-class sweep apps.
+//!
+//! The `ompfuzz` generator grows random task/region programs for
+//! schedule-space certification. A few seeds produce shapes that are
+//! interesting *as workloads* — mixes of imbalanced loops, reductions,
+//! task graphs, and lock contention that none of the 15 paper
+//! benchmarks exhibit together. This module promotes a fixed set of
+//! those seeds into the sweep catalog: each becomes an [`AppSpec`] in
+//! [`Suite::Generated`], its `simrt` model built by the *same*
+//! `Program::to_model` mapping the certification harness
+//! differential-tests against real execution. Whatever the sweep
+//! learns about these apps is therefore backed by a model that is
+//! continuously cross-checked in CI.
+//!
+//! The promoted seeds are frozen constants: the generator is
+//! deterministic, so each app's model is reproducible from its seed
+//! alone, and the fuzz determinism property test pins the generator's
+//! output for existing seeds.
+
+use crate::catalog::{size_mult, AppSpec, Setting, Suite};
+use omptune_core::Arch;
+use simrt::Model;
+
+/// The frozen generator seeds promoted into the catalog, in app order.
+/// Chosen for structural diversity: a loop/reduce/task mix, a
+/// lock-and-sections mix, a wide six-node program, and a task-tree
+/// shape.
+pub const PROMOTED_SEEDS: [u64; 4] = [0, 5, 6, 10];
+
+/// The promoted generated applications, in seed order.
+pub fn generated_apps() -> &'static [AppSpec] {
+    &[
+        AppSpec {
+            name: "gen-mix",
+            suite: Suite::Generated,
+            model: model_mix,
+        },
+        AppSpec {
+            name: "gen-lock",
+            suite: Suite::Generated,
+            model: model_lock,
+        },
+        AppSpec {
+            name: "gen-wide",
+            suite: Suite::Generated,
+            model: model_wide,
+        },
+        AppSpec {
+            name: "gen-task",
+            suite: Suite::Generated,
+            model: model_task,
+        },
+    ]
+}
+
+/// Build the model for one promoted seed under one sweep setting: the
+/// certification mapping's single-timestep model, with the input-size
+/// class scaling repetitions the way NPB classes scale work.
+fn promoted_model(name: &str, seed: u64, setting: Setting) -> Model {
+    let mut model = ompfuzz::generate(seed).to_model();
+    model.name = name.to_string();
+    model.timesteps = size_mult(setting.input_code) as u32;
+    model
+}
+
+fn model_mix(_arch: Arch, setting: Setting) -> Model {
+    promoted_model("gen-mix", PROMOTED_SEEDS[0], setting)
+}
+
+fn model_lock(_arch: Arch, setting: Setting) -> Model {
+    promoted_model("gen-lock", PROMOTED_SEEDS[1], setting)
+}
+
+fn model_wide(_arch: Arch, setting: Setting) -> Model {
+    promoted_model("gen-wide", PROMOTED_SEEDS[2], setting)
+}
+
+fn model_task(_arch: Arch, setting: Setting) -> Model {
+    promoted_model("gen-task", PROMOTED_SEEDS[3], setting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_promoted_apps_with_unique_names() {
+        let apps = generated_apps();
+        assert_eq!(apps.len(), PROMOTED_SEEDS.len());
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), apps.len());
+        assert!(apps.iter().all(|a| a.suite == Suite::Generated));
+    }
+
+    #[test]
+    fn models_are_deterministic_and_sized_by_input() {
+        let setting0 = Setting {
+            input_code: 0,
+            num_threads: 8,
+        };
+        let setting2 = Setting {
+            input_code: 2,
+            num_threads: 8,
+        };
+        for app in generated_apps() {
+            let a = (app.model)(Arch::Milan, setting0);
+            let b = (app.model)(Arch::Milan, setting0);
+            assert_eq!(a.name, app.name);
+            assert_eq!(a.region_count(), b.region_count());
+            assert_eq!(a.total_cycles(), b.total_cycles());
+            let big = (app.model)(Arch::Milan, setting2);
+            assert_eq!(big.timesteps, 9);
+            assert!(big.total_cycles() > a.total_cycles());
+        }
+    }
+
+    #[test]
+    fn promoted_models_match_the_generator() {
+        // The catalog model must be the certification mapping, not a
+        // hand-tuned copy that could drift from what CI certifies.
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 4,
+        };
+        for (app, &seed) in generated_apps().iter().zip(&PROMOTED_SEEDS) {
+            let promoted = (app.model)(Arch::A64fx, setting);
+            let direct = ompfuzz::generate(seed).to_model();
+            assert_eq!(promoted.phases.len(), direct.phases.len());
+            assert_eq!(promoted.region_count(), direct.region_count());
+        }
+    }
+}

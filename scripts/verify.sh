@@ -126,5 +126,45 @@ BENCH_OUT="$coherence_dir/bench_sweep.json" \
 step cargo run --release -p bench-harness --bin bench-diff -- \
     --baseline BENCH_sweep.json "$coherence_dir/bench_sweep.json" --band 2.0
 
+# Schedule-space certification smoke: 25 generated programs x 64
+# perturbed schedules (1600 pairs), every trace through the
+# happens-before checker and the differential harness. Exit 4 means the
+# campaign found a real schedule violation; any other failure is an
+# internal error — both block, with distinct diagnostics.
+echo
+echo "==> schedule-space certification smoke (ompfuzz certify, 25x64)"
+if cargo run --release -q -p ompfuzz -- certify --seeds 25 --schedules 64 \
+    --budget-s 300 --out "$coherence_dir/certification.json"; then
+    :
+else
+    rc=$?
+    if [ "$rc" -eq 4 ]; then
+        echo "verify: certification campaign found schedule violations (exit 4)" >&2
+    else
+        echo "verify: ompfuzz certify failed internally (exit $rc)" >&2
+    fi
+    exit 1
+fi
+pairs="$(grep -o '"pairs": *[0-9]*' "$coherence_dir/certification.json" | grep -o '[0-9]*')"
+[ "${pairs:-0}" -ge 1000 ] || {
+    echo "verify: certification covered only ${pairs:-0} (program, schedule) pairs (< 1000)" >&2
+    exit 1
+}
+echo "certification clean over $pairs (program, schedule) pairs"
+
+# Generator determinism must also hold under release codegen (the CI
+# smoke above runs release): same seed, byte-identical artifacts.
+step cargo test -p ompfuzz --release --test determinism -q
+
+# Checker throughput gate: trace replay rate through check_trace must
+# stay within the noise band of the committed baseline — the campaign
+# above is checker-bound, so a replay regression shrinks CI coverage.
+echo
+echo "==> checker throughput gate (checker_throughput vs committed baseline)"
+BENCH_OUT="$coherence_dir/bench_checker.json" \
+    cargo bench -p bench-harness --bench checker_throughput
+step cargo run --release -p bench-harness --bin bench-diff -- \
+    --baseline BENCH_checker.json "$coherence_dir/bench_checker.json" --band 2.0
+
 echo
 echo "verify: all gates passed"
