@@ -1,0 +1,245 @@
+//! Attribution folding throughput and the live-influence overhead bar.
+//!
+//! Two claims ompprof makes that need numbers behind them:
+//!
+//! - folding a sweep slice into a per-(variable, value) attribution
+//!   profile is cheap enough to run on every collection
+//!   (`attribute_s`, plus a samples/s figure), and shard-then-merge is
+//!   byte-identical to the whole-slice fold (asserted every run, smoke
+//!   and full);
+//! - streaming the logistic influence tracker from the sweep's batch
+//!   observer — what `collect --monitor` does to serve `/influence` —
+//!   slows the sweep by at most 5% (`influence_overhead <= 1.05`).
+//!
+//! Results go to `BENCH_profile.json` at the repo root (override with
+//! `BENCH_OUT`); every timing key publishes its repetitions
+//! (`*_s_reps`) so `bench-diff` can put a band violation to the
+//! Wilcoxon signed-rank test.
+//!
+//! `harness = false`: under `cargo test` (argv contains `--test`) this
+//! runs a fast smoke slice and writes nothing; under `cargo bench` it
+//! runs the full measurement and writes the JSON.
+
+use ompprof::Attribution;
+use omptune_core::{Arch, LiveInfluence};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+use sweep::{Scope, SettingData, SweepOptions, SweepSpec};
+
+const WORKERS: usize = 4;
+
+fn sweep_once(
+    spec: &SweepSpec,
+    observer: Option<&(dyn Fn(&SettingData) + Sync)>,
+) -> (f64, Vec<SettingData>) {
+    let t0 = Instant::now();
+    let mut batches = Vec::new();
+    for &arch in Arch::ALL.iter() {
+        let mut opts = SweepOptions::new(WORKERS);
+        if let Some(o) = observer {
+            opts = opts.with_batch_observer(o);
+        }
+        batches.extend(sweep::sweep_arch_scheduled(arch, spec, &opts).batches);
+    }
+    (t0.elapsed().as_secs_f64(), batches)
+}
+
+/// FNV-1a over every runtime bit pattern: cheap bit-identity fingerprint.
+fn fingerprint(batches: &[SettingData]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for b in batches {
+        for s in &b.samples {
+            mix(s.telemetry.virtual_ns.to_bits());
+            for r in &s.runtimes {
+                mix(r.to_bits());
+            }
+        }
+        for r in &b.default_runtimes {
+            mix(r.to_bits());
+        }
+    }
+    h
+}
+
+fn fold_all(batches: &[SettingData]) -> Attribution {
+    let mut a = Attribution::new();
+    a.fold_slice(batches);
+    a
+}
+
+/// Shard-then-merge must equal the whole fold byte for byte — the
+/// property that makes partial profiles from different workers (or
+/// different clusters) safe to combine. Checked on every run so a
+/// regression can never hide behind a green timing gate.
+fn assert_merge_identity(batches: &[SettingData], whole: &Attribution) {
+    let samples: Vec<_> = batches.iter().flat_map(|b| b.samples.iter()).collect();
+    for shards in [2usize, 5] {
+        let mut merged = Attribution::new();
+        for chunk in samples.chunks(samples.len().div_ceil(shards).max(1)) {
+            let mut shard = Attribution::new();
+            for s in chunk {
+                shard.fold_sample(s);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(
+            &merged, whole,
+            "merging {shards} shards diverged from the whole-slice fold"
+        );
+    }
+}
+
+fn run(scope: Scope, write_json: bool) {
+    let spec = SweepSpec {
+        scope,
+        ..SweepSpec::default()
+    };
+
+    // The interleaved plain/influence pairs below are the overhead
+    // measurement: pairing keeps a machine-wide stall from landing on
+    // only one side of the ratio. 7 paired reps is the smallest count
+    // where an all-worse outcome reaches p < 0.05 two-sided under the
+    // Wilcoxon signed-rank test that bench-diff applies.
+    let passes = if write_json { 7 } else { 3 };
+    let mut plain_reps = Vec::with_capacity(passes);
+    let mut influence_reps = Vec::with_capacity(passes);
+    let mut plain_s = f64::INFINITY;
+    let mut influence_s = f64::INFINITY;
+    let mut batches = Vec::new();
+    let mut final_influence_samples = 0u64;
+    for _ in 0..passes {
+        let (t, b) = sweep_once(&spec, None);
+        plain_reps.push(t);
+        plain_s = plain_s.min(t);
+        batches = b;
+
+        let live = Mutex::new(LiveInfluence::new());
+        let observer = |data: &SettingData| {
+            let default = data.default_mean();
+            if !default.is_finite() || default <= 0.0 {
+                return;
+            }
+            let mut live = live.lock().expect("influence tracker poisoned");
+            for sample in &data.samples {
+                let mean = sample.mean_runtime();
+                if mean.is_finite() && mean > 0.0 {
+                    live.observe(&sample.config, default / mean);
+                }
+            }
+        };
+        let (t, b) = sweep_once(&spec, Some(&observer));
+        influence_reps.push(t);
+        influence_s = influence_s.min(t);
+        assert_eq!(
+            fingerprint(&batches),
+            fingerprint(&b),
+            "influence-observed sweep diverged from the plain sweep"
+        );
+        final_influence_samples = live.lock().expect("influence tracker poisoned").samples();
+    }
+    let samples: u64 = batches.iter().map(|b| b.samples.len() as u64).sum();
+
+    // Attribution folding throughput over the slice just swept.
+    let mut attribute_s = f64::INFINITY;
+    let mut attribute_reps = Vec::with_capacity(passes);
+    let mut whole = Attribution::new();
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        whole = fold_all(&batches);
+        let t = t0.elapsed().as_secs_f64();
+        attribute_reps.push(t);
+        attribute_s = attribute_s.min(t);
+    }
+    assert_eq!(whole.samples(), samples, "attribution lost samples");
+    assert_merge_identity(&batches, &whole);
+
+    let mut overhead = influence_s / plain_s;
+    // Re-measure up to three interleaved pairs before failing the bar:
+    // best-of only improves, so this gives transient noise more chances
+    // to wash out without masking a real regression.
+    for _ in 0..3 {
+        if !(write_json && overhead > 1.05) {
+            break;
+        }
+        let (t_plain, _) = sweep_once(&spec, None);
+        plain_reps.push(t_plain);
+        plain_s = plain_s.min(t_plain);
+        let live = Mutex::new(LiveInfluence::new());
+        let observer = |data: &SettingData| {
+            let default = data.default_mean();
+            if !default.is_finite() || default <= 0.0 {
+                return;
+            }
+            let mut live = live.lock().expect("influence tracker poisoned");
+            for sample in &data.samples {
+                let mean = sample.mean_runtime();
+                if mean.is_finite() && mean > 0.0 {
+                    live.observe(&sample.config, default / mean);
+                }
+            }
+        };
+        let (t_obs, retry_batches) = sweep_once(&spec, Some(&observer));
+        assert_eq!(fingerprint(&batches), fingerprint(&retry_batches));
+        influence_reps.push(t_obs);
+        influence_s = influence_s.min(t_obs);
+        overhead = influence_s / plain_s;
+    }
+
+    let fold_rate = samples as f64 / attribute_s.max(1e-12);
+    println!("attribution_throughput ({scope:?}): {samples} samples, {WORKERS} workers");
+    println!("  sweep plain:              {plain_s:.4}s");
+    println!("  sweep + live influence:   {influence_s:.4}s ({overhead:.3}x, {final_influence_samples} observed)");
+    println!("  attribute (fold slice):   {attribute_s:.6}s ({fold_rate:.0} samples/s)");
+    println!("  shard-merge identity:     ok (2 and 5 shards, byte-equal)");
+    if write_json {
+        // Timing-gate only in full bench mode; the smoke slice under
+        // `cargo test` is too short for a stable ratio.
+        assert!(
+            overhead <= 1.05,
+            "live influence overhead must stay within 5%, got {overhead:.3}x"
+        );
+    }
+
+    if write_json {
+        let path = std::env::var_os("BENCH_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_profile.json")
+            });
+        let reps_json = |v: &[f64]| {
+            let inner: Vec<String> = v.iter().map(|t| format!("{t:.6}")).collect();
+            format!("[{}]", inner.join(", "))
+        };
+        let json = format!(
+            "{{\n  \"bench\": \"attribution_throughput\",\n  \"scope\": \"{scope:?}\",\n  \
+             \"workers\": {WORKERS},\n  \"samples\": {samples},\n  \
+             \"sweep_plain_s\": {plain_s:.6},\n  \"sweep_influence_s\": {influence_s:.6},\n  \
+             \"influence_overhead\": {overhead:.3},\n  \
+             \"attribute_s\": {attribute_s:.6},\n  \"attribute_samples_per_s\": {fold_rate:.0},\n  \
+             \"sweep_plain_s_reps\": {},\n  \"sweep_influence_s_reps\": {},\n  \
+             \"attribute_s_reps\": {}\n}}\n",
+            reps_json(&plain_reps),
+            reps_json(&influence_reps),
+            reps_json(&attribute_reps)
+        );
+        std::fs::write(&path, json).expect("write BENCH_profile.json");
+        println!("  wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    if test_mode {
+        // cargo test: smoke slice, no artifact. Merge identity still holds.
+        run(Scope::Strided(300), false);
+    } else {
+        run(Scope::Strided(100), true);
+    }
+}

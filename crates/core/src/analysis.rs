@@ -116,6 +116,60 @@ impl Feature {
     }
 }
 
+/// Naive numeric encoding of one environment-variable feature of a
+/// configuration — the per-column scheme shared by the batch analysis
+/// and the streaming [`LiveInfluence`] tracker. Panics on a non-env
+/// feature (those need record context).
+///
+/// Categorical levels are coded in increasing binding
+/// strength/granularity so the linear model can express the monotone
+/// part of their effect (the "naive numeric scheme").
+pub fn encode_env_feature(config: &TuningConfig, feature: Feature) -> f64 {
+    match feature {
+        Feature::Places => match config.places {
+            OmpPlaces::Unset => 0.0,
+            OmpPlaces::Sockets => 1.0,
+            OmpPlaces::LlCaches => 2.0,
+            OmpPlaces::Cores => 3.0,
+        },
+        Feature::ProcBind => match config.proc_bind {
+            OmpProcBind::Master => 0.0,
+            OmpProcBind::False => 1.0,
+            OmpProcBind::Unset => 2.0,
+            OmpProcBind::True => 3.0,
+            OmpProcBind::Close => 4.0,
+            OmpProcBind::Spread => 5.0,
+        },
+        Feature::Schedule => OmpSchedule::ALL
+            .iter()
+            .position(|v| *v == config.schedule)
+            .expect("schedule in domain") as f64,
+        Feature::Library => match config.library {
+            KmpLibrary::Throughput => 0.0,
+            KmpLibrary::Turnaround => 1.0,
+        },
+        Feature::Blocktime => KmpBlocktime::ALL
+            .iter()
+            .position(|v| *v == config.blocktime)
+            .expect("blocktime in domain") as f64,
+        Feature::ForceReduction => KmpForceReduction::ALL
+            .iter()
+            .position(|v| *v == config.force_reduction)
+            .expect("reduction in domain") as f64,
+        Feature::AlignAlloc => (config.align_alloc.bytes() as f64).log2(),
+        other => panic!("{other:?} is not an environment-variable feature"),
+    }
+}
+
+/// The seven env-var feature encodings of one configuration, in
+/// [`Feature::ENV_FEATURES`] order.
+pub fn encode_env_features(config: &TuningConfig) -> Vec<f64> {
+    Feature::ENV_FEATURES
+        .iter()
+        .map(|f| encode_env_feature(config, *f))
+        .collect()
+}
+
 /// Naive numeric encoding of one record into the feature columns
 /// (Sec. IV-D: "This encoding is a naive numeric scheme").
 fn encode_record(
@@ -133,42 +187,132 @@ fn encode_record(
             Feature::Application => app_codes[&rec.app] as f64,
             Feature::InputSize => rec.input_size,
             Feature::NumThreads => rec.config.num_threads as f64,
-            // Categorical levels are coded in increasing binding
-            // strength/granularity so the linear model can express the
-            // monotone part of their effect (the "naive numeric scheme").
-            Feature::Places => match rec.config.places {
-                OmpPlaces::Unset => 0.0,
-                OmpPlaces::Sockets => 1.0,
-                OmpPlaces::LlCaches => 2.0,
-                OmpPlaces::Cores => 3.0,
-            },
-            Feature::ProcBind => match rec.config.proc_bind {
-                OmpProcBind::Master => 0.0,
-                OmpProcBind::False => 1.0,
-                OmpProcBind::Unset => 2.0,
-                OmpProcBind::True => 3.0,
-                OmpProcBind::Close => 4.0,
-                OmpProcBind::Spread => 5.0,
-            },
-            Feature::Schedule => OmpSchedule::ALL
-                .iter()
-                .position(|v| *v == rec.config.schedule)
-                .expect("schedule in domain") as f64,
-            Feature::Library => match rec.config.library {
-                KmpLibrary::Throughput => 0.0,
-                KmpLibrary::Turnaround => 1.0,
-            },
-            Feature::Blocktime => KmpBlocktime::ALL
-                .iter()
-                .position(|v| *v == rec.config.blocktime)
-                .expect("blocktime in domain") as f64,
-            Feature::ForceReduction => KmpForceReduction::ALL
-                .iter()
-                .position(|v| *v == rec.config.force_reduction)
-                .expect("reduction in domain") as f64,
-            Feature::AlignAlloc => (rec.config.align_alloc.bytes() as f64).log2(),
+            env => encode_env_feature(&rec.config, *env),
         })
         .collect()
+}
+
+/// Streaming influence over the seven environment variables: every
+/// observed `(config, speedup)` pair is encoded with the batch
+/// analysis's numeric scheme, z-scored against *running* moments, and
+/// fed to an [`mlstats::OnlineLogistic`] — so a live sweep can expose a
+/// continuously updated influence ranking long before the dataset is
+/// complete. Exposition-only: results never feed back into the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveInfluence {
+    model: mlstats::OnlineLogistic,
+    /// Running mean per feature (Welford).
+    mean: Vec<f64>,
+    /// Running sum of squared deviations per feature (Welford M2).
+    m2: Vec<f64>,
+    observed: u64,
+    optimal: u64,
+}
+
+impl Default for LiveInfluence {
+    fn default() -> Self {
+        LiveInfluence::new()
+    }
+}
+
+impl LiveInfluence {
+    pub fn new() -> LiveInfluence {
+        let d = Feature::ENV_FEATURES.len();
+        LiveInfluence {
+            model: mlstats::OnlineLogistic::new(d),
+            mean: vec![0.0; d],
+            m2: vec![0.0; d],
+            observed: 0,
+            optimal: 0,
+        }
+    }
+
+    /// Observe one sample's configuration and speedup over the default.
+    /// Non-finite speedups (failure-injected samples) are skipped.
+    pub fn observe(&mut self, config: &TuningConfig, speedup: f64) {
+        if !speedup.is_finite() {
+            return;
+        }
+        let x = encode_env_features(config);
+        self.observed += 1;
+        let y = speedup > OPTIMAL_SPEEDUP_THRESHOLD;
+        if y {
+            self.optimal += 1;
+        }
+        let n = self.observed as f64;
+        let mut z = vec![0.0; x.len()];
+        for i in 0..x.len() {
+            let delta = x[i] - self.mean[i];
+            self.mean[i] += delta / n;
+            self.m2[i] += delta * (x[i] - self.mean[i]);
+            let std = (self.m2[i] / n).sqrt();
+            z[i] = if std > 1e-12 {
+                (x[i] - self.mean[i]) / std
+            } else {
+                0.0
+            };
+        }
+        self.model.observe(&z, y);
+    }
+
+    /// Samples observed (finite speedups only).
+    pub fn samples(&self) -> u64 {
+        self.observed
+    }
+
+    /// Fraction of observed samples labelled optimal.
+    pub fn optimal_fraction(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            self.optimal as f64 / self.observed as f64
+        }
+    }
+
+    /// Current influence per env feature, in [`Feature::ENV_FEATURES`]
+    /// order. Sums to 1 once any signal exists (all-zero before).
+    pub fn influence(&self) -> Vec<(Feature, f64)> {
+        Feature::ENV_FEATURES
+            .iter()
+            .copied()
+            .zip(self.model.normalized_influence())
+            .collect()
+    }
+
+    /// The feature with the largest current influence (`None` before
+    /// any signal), ties broken by presentation order.
+    pub fn top(&self) -> Option<Feature> {
+        let infl = self.influence();
+        let (f, v) = infl
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(std::cmp::Ordering::Greater))?;
+        (v > 0.0).then_some(f)
+    }
+
+    /// The `/influence` JSON document: sample counts plus the current
+    /// per-variable influence map and top variable.
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"samples\":{},\"optimal_fraction\":{:.6},\"influence\":{{",
+            self.observed,
+            self.optimal_fraction()
+        ));
+        for (i, (f, v)) in self.influence().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.6}", f.name(), v));
+        }
+        out.push_str("},\"top\":");
+        match self.top() {
+            Some(f) => out.push_str(&format!("\"{}\"", f.name())),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// One row of an influence heat map: a group and its per-feature influence.
@@ -450,6 +594,76 @@ mod tests {
         let cols = Feature::columns(GroupBy::ArchApplication);
         assert!(!cols.contains(&Feature::Application));
         assert!(!cols.contains(&Feature::Architecture));
+    }
+
+    #[test]
+    fn env_encoding_matches_batch_scheme() {
+        let space = ConfigSpace::new(Arch::Milan, 48);
+        let app_codes: BTreeMap<String, usize> = [("cg".to_string(), 0)].into_iter().collect();
+        for config in space.iter().step_by(997) {
+            let rec = AnalysisRecord {
+                arch: Arch::Milan,
+                app: "cg".into(),
+                input_size: 0.0,
+                speedup: 1.0,
+                config,
+            };
+            let batch = encode_record(&rec, &Feature::ENV_FEATURES, &app_codes);
+            let live = encode_env_features(&rec.config);
+            assert_eq!(batch, live);
+        }
+    }
+
+    #[test]
+    fn live_influence_finds_the_dominant_variable() {
+        let mut live = LiveInfluence::new();
+        // Three passes so the online learner converges like the batch
+        // IRLS fitter does; library fully determines the label.
+        for _ in 0..3 {
+            for rec in library_dominated_records() {
+                live.observe(&rec.config, rec.speedup);
+            }
+        }
+        assert_eq!(live.top(), Some(Feature::Library));
+        let infl = live.influence();
+        let library = infl
+            .iter()
+            .find(|(f, _)| *f == Feature::Library)
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(library > 0.5, "library influence = {library}");
+        let total: f64 = infl.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_influence_skips_non_finite_speedups() {
+        let mut live = LiveInfluence::new();
+        let config = TuningConfig::default_for(Arch::Milan, 48);
+        live.observe(&config, f64::NAN);
+        live.observe(&config, f64::INFINITY);
+        assert_eq!(live.samples(), 0);
+        assert_eq!(live.top(), None);
+        live.observe(&config, 2.0);
+        assert_eq!(live.samples(), 1);
+        assert_eq!(live.optimal_fraction(), 1.0);
+    }
+
+    #[test]
+    fn live_influence_is_deterministic_and_serializes() {
+        let feed = library_dominated_records();
+        let mut a = LiveInfluence::new();
+        let mut b = LiveInfluence::new();
+        for rec in &feed {
+            a.observe(&rec.config, rec.speedup);
+            b.observe(&rec.config, rec.speedup);
+        }
+        assert_eq!(a, b);
+        let doc = a.json();
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"samples\":"));
+        assert!(doc.contains("\"KMP_LIBRARY\":"));
+        assert!(doc.contains("\"top\":"));
     }
 
     #[test]

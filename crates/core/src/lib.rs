@@ -35,8 +35,9 @@ pub mod space;
 pub mod tuner;
 
 pub use analysis::{
-    influence_analysis, linear_fit_quality, AnalysisRecord, Feature, GroupBy, InfluenceHeatMap,
-    InfluenceRow, OPTIMAL_SPEEDUP_THRESHOLD,
+    encode_env_feature, encode_env_features, influence_analysis, linear_fit_quality,
+    AnalysisRecord, Feature, GroupBy, InfluenceHeatMap, InfluenceRow, LiveInfluence,
+    OPTIMAL_SPEEDUP_THRESHOLD,
 };
 pub use arch::Arch;
 pub use config::{EffectiveBind, PlanProjection, ReductionMethod, TuningConfig, WaitPolicy};

@@ -38,7 +38,7 @@ pub use describe::{mean, median, quantile, std_population, std_sample, Summary};
 pub use encode::{CategoryEncoder, StandardScaler};
 pub use holm::{holm_adjust, holm_reject};
 pub use linreg::{fit_linear, LinearModel};
-pub use logreg::{fit_logistic, LogisticModel, LogisticOptions};
+pub use logreg::{fit_logistic, LogisticModel, LogisticOptions, OnlineLogistic};
 pub use metrics::{cross_validate, Confusion, CrossValidation};
 pub use violin::ViolinSummary;
 pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};

@@ -1,0 +1,533 @@
+//! Sweep-wide cost attribution: fold every sample's sink breakdown into
+//! per-(variable, value) marginal-cost cells.
+//!
+//! The accumulator is *exact*: every nanosecond figure is rounded once
+//! into 2^16 fixed point and summed in `i128`, so accumulation is
+//! associative and commutative — folding per-worker shards and merging
+//! them is byte-identical to folding the whole sweep in one pass, at any
+//! shard boundary. That is the property the `merge_props` suite pins
+//! down and the property that lets profiles from separate collection
+//! runs be combined without re-reading raw samples.
+//!
+//! The sum-to-total invariant of [`omptel::Breakdown`] survives folding:
+//! each cell's seven sink sums add up to its total (all are sums of
+//! per-sample figures that already closed against their totals, rounded
+//! with the same rule).
+
+use omptune_core::{Feature, KmpAlignAlloc, TuningConfig};
+use sweep::{RawSample, SettingData};
+
+/// Fixed-point scale: 2^16 fractional bits. A sample's f64 nanosecond
+/// figure is rounded once on entry; sums are exact from then on.
+pub const FP_SCALE: f64 = 65536.0;
+
+/// Round one nanosecond figure into fixed point. Non-finite figures
+/// (failed reps never produce them in telemetry, but be total) fold as
+/// zero so a corrupt sample cannot poison a whole profile.
+fn to_fp(ns: f64) -> i128 {
+    if ns.is_finite() {
+        (ns * FP_SCALE).round() as i128
+    } else {
+        0
+    }
+}
+
+/// Fixed point back to (approximate) nanoseconds for presentation.
+fn from_fp(fp: i128) -> f64 {
+    fp as f64 / FP_SCALE
+}
+
+/// The union value domain of one tuning variable: stable labels, stable
+/// order, identical on every architecture (architectures that do not
+/// sweep a value simply leave its cell empty).
+pub fn value_labels(feature: Feature) -> Vec<String> {
+    use omptune_core::{
+        KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,
+    };
+    let unset = |v: Option<&str>| v.unwrap_or("unset").to_string();
+    match feature {
+        Feature::Places => OmpPlaces::ALL
+            .iter()
+            .map(|v| unset(v.env_value()))
+            .collect(),
+        Feature::ProcBind => OmpProcBind::ALL
+            .iter()
+            .map(|v| unset(v.env_value()))
+            .collect(),
+        Feature::Schedule => OmpSchedule::ALL
+            .iter()
+            .map(|v| v.env_value().to_string())
+            .collect(),
+        Feature::Library => KmpLibrary::ALL
+            .iter()
+            .map(|v| v.env_value().to_string())
+            .collect(),
+        Feature::Blocktime => KmpBlocktime::ALL
+            .iter()
+            .map(|v| v.env_value().to_string())
+            .collect(),
+        Feature::ForceReduction => KmpForceReduction::ALL
+            .iter()
+            .map(|v| unset(v.env_value()))
+            .collect(),
+        Feature::AlignAlloc => ALIGN_UNION.iter().map(|b| b.to_string()).collect(),
+        other => panic!("{other:?} is not an attributable tuning variable"),
+    }
+}
+
+/// Union alignment domain across architectures (A64FX sweeps only the
+/// upper two; its lower cells stay empty).
+const ALIGN_UNION: [u32; 4] = [64, 128, 256, 512];
+
+/// Index of a configuration's value within [`value_labels`] order.
+pub fn value_index(config: &TuningConfig, feature: Feature) -> usize {
+    use omptune_core::{
+        KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,
+    };
+    match feature {
+        Feature::Places => OmpPlaces::ALL
+            .iter()
+            .position(|v| *v == config.places)
+            .expect("places in domain"),
+        Feature::ProcBind => OmpProcBind::ALL
+            .iter()
+            .position(|v| *v == config.proc_bind)
+            .expect("bind in domain"),
+        Feature::Schedule => OmpSchedule::ALL
+            .iter()
+            .position(|v| *v == config.schedule)
+            .expect("schedule in domain"),
+        Feature::Library => KmpLibrary::ALL
+            .iter()
+            .position(|v| *v == config.library)
+            .expect("library in domain"),
+        Feature::Blocktime => KmpBlocktime::ALL
+            .iter()
+            .position(|v| *v == config.blocktime)
+            .expect("blocktime in domain"),
+        Feature::ForceReduction => KmpForceReduction::ALL
+            .iter()
+            .position(|v| *v == config.force_reduction)
+            .expect("reduction in domain"),
+        Feature::AlignAlloc => ALIGN_UNION
+            .iter()
+            .position(|b| KmpAlignAlloc(*b) == config.align_alloc)
+            .expect("alignment in union domain"),
+        other => panic!("{other:?} is not an attributable tuning variable"),
+    }
+}
+
+/// One (variable, value) accumulator: exact integer state only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cell {
+    /// Samples folded into this cell.
+    pub samples: u64,
+    /// Failure-injected (NaN) repetitions among those samples.
+    pub failed_reps: u64,
+    /// Sum of sample virtual totals, 2^16 fixed point.
+    pub total_fp: i128,
+    /// Per-sink sums in [`omptel::Sink::ALL`] order, 2^16 fixed point.
+    pub sinks_fp: [i128; 7],
+}
+
+impl Cell {
+    fn fold(&mut self, sample: &RawSample) {
+        self.samples += 1;
+        self.failed_reps += sample.runtimes.iter().filter(|t| !t.is_finite()).count() as u64;
+        self.total_fp += to_fp(sample.telemetry.virtual_ns);
+        for (slot, sink) in self.sinks_fp.iter_mut().zip(omptel::Sink::ALL) {
+            *slot += to_fp(sample.telemetry.breakdown.get(sink));
+        }
+    }
+
+    fn merge(&mut self, other: &Cell) {
+        self.samples += other.samples;
+        self.failed_reps += other.failed_reps;
+        self.total_fp += other.total_fp;
+        for (slot, v) in self.sinks_fp.iter_mut().zip(other.sinks_fp) {
+            *slot += v;
+        }
+    }
+
+    /// Mean virtual total per sample in nanoseconds (0 when empty).
+    pub fn mean_total_ns(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            from_fp(self.total_fp) / self.samples as f64
+        }
+    }
+}
+
+/// A marginal-cost profile over a sweep slice: one cell per
+/// (variable, value) plus a grand-total cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribution {
+    /// `cells[var][value]`, `var` indexing [`Feature::ENV_FEATURES`],
+    /// `value` indexing [`value_labels`] of that variable.
+    pub cells: Vec<Vec<Cell>>,
+    /// Every folded sample once.
+    pub grand: Cell,
+}
+
+impl Default for Attribution {
+    fn default() -> Self {
+        Attribution::new()
+    }
+}
+
+impl Attribution {
+    pub fn new() -> Attribution {
+        Attribution {
+            cells: Feature::ENV_FEATURES
+                .iter()
+                .map(|f| vec![Cell::default(); value_labels(*f).len()])
+                .collect(),
+            grand: Cell::default(),
+        }
+    }
+
+    /// Fold one sample: its total and sinks are charged to the cell of
+    /// each variable's value in the sample's configuration.
+    pub fn fold_sample(&mut self, sample: &RawSample) {
+        self.grand.fold(sample);
+        for (vi, feature) in Feature::ENV_FEATURES.iter().enumerate() {
+            self.cells[vi][value_index(&sample.config, *feature)].fold(sample);
+        }
+    }
+
+    /// Fold every sampled configuration of a batch (the default rows
+    /// carry no configuration axis and are not part of the profile).
+    pub fn fold_batch(&mut self, batch: &SettingData) {
+        for sample in &batch.samples {
+            self.fold_sample(sample);
+        }
+    }
+
+    /// Fold a whole slice.
+    pub fn fold_slice(&mut self, batches: &[SettingData]) {
+        for b in batches {
+            self.fold_batch(b);
+        }
+    }
+
+    /// Exact merge: integer addition cell by cell. `merge(a, b)` equals
+    /// folding the concatenated slices in either order.
+    pub fn merge(&mut self, other: &Attribution) {
+        self.grand.merge(&other.grand);
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.merge(t);
+            }
+        }
+    }
+
+    /// Samples folded so far.
+    pub fn samples(&self) -> u64 {
+        self.grand.samples
+    }
+
+    /// Marginal spread per variable: the gap in mean virtual total
+    /// between its cheapest and most expensive value (populated cells
+    /// only). The variable whose setting moves mean cost the most ranks
+    /// first — the attribution counterpart of logistic-influence.
+    pub fn spread_ns(&self, var_index: usize) -> f64 {
+        let populated: Vec<f64> = self.cells[var_index]
+            .iter()
+            .filter(|c| c.samples > 0)
+            .map(Cell::mean_total_ns)
+            .collect();
+        if populated.len() < 2 {
+            return 0.0;
+        }
+        let max = populated.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = populated.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// Variables ranked by [`spread_ns`](Attribution::spread_ns),
+    /// descending; ties keep `ENV_FEATURES` order.
+    pub fn ranked_variables(&self) -> Vec<(Feature, f64)> {
+        let mut ranked: Vec<(Feature, f64)> = Feature::ENV_FEATURES
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (*f, self.spread_ns(i)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked
+    }
+
+    /// The top-ranked variable (`None` on an empty profile).
+    pub fn top_variable(&self) -> Option<Feature> {
+        if self.samples() == 0 {
+            return None;
+        }
+        self.ranked_variables().first().map(|(f, _)| *f)
+    }
+
+    /// Render the profile as deterministic JSON. Integer sums are
+    /// decimal strings (exact — `i128` exceeds JSON number range);
+    /// derived means/spreads are fixed-precision decimals computed from
+    /// the integer state, so equal states render byte-identically.
+    pub fn to_json(&self, meta: &SliceMeta) -> String {
+        let mut out = String::with_capacity(8192);
+        out.push_str("{\n  \"schema\": \"ompprof-attribution-v1\",\n");
+        out.push_str(&format!(
+            "  \"slice\": {{\"arch\": \"{}\", \"app\": \"{}\", \"scope\": \"{}\", \"seed\": {}, \"fingerprint\": \"{:016x}\"}},\n",
+            json_escape(&meta.arch),
+            json_escape(&meta.app),
+            json_escape(&meta.scope),
+            meta.seed,
+            meta.fingerprint
+        ));
+        out.push_str(&format!("  \"fixed_point_scale\": {},\n", FP_SCALE as u64));
+        out.push_str(&format!(
+            "  \"samples\": {},\n  \"failed_reps\": {},\n",
+            self.grand.samples, self.grand.failed_reps
+        ));
+        out.push_str(&format!("  \"grand\": {},\n", cell_json(&self.grand)));
+        out.push_str("  \"variables\": [\n");
+        for (vi, feature) in Feature::ENV_FEATURES.iter().enumerate() {
+            let labels = value_labels(*feature);
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"spread_ns\": {}, \"values\": [\n",
+                feature.name(),
+                fmt_ns(self.spread_ns(vi))
+            ));
+            for (ci, cell) in self.cells[vi].iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"label\": \"{}\", \"cell\": {}}}{}\n",
+                    json_escape(&labels[ci]),
+                    cell_json(cell),
+                    if ci + 1 < self.cells[vi].len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if vi + 1 < Feature::ENV_FEATURES.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"ranking\": [\n");
+        let ranked = self.ranked_variables();
+        for (i, (f, spread)) in ranked.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"spread_ns\": {}}}{}\n",
+                f.name(),
+                fmt_ns(*spread),
+                if i + 1 < ranked.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Identity of the slice a profile was folded from, stamped into the
+/// JSON so a profile can be matched to its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceMeta {
+    pub arch: String,
+    pub app: String,
+    pub scope: String,
+    pub seed: u64,
+    /// [`sweep::slice_fingerprint`] of the folded batches.
+    pub fingerprint: u64,
+}
+
+/// Deterministic fixed-precision nanosecond figure (3 decimals).
+fn fmt_ns(ns: f64) -> String {
+    format!("{ns:.3}")
+}
+
+fn cell_json(cell: &Cell) -> String {
+    let mut sinks = String::new();
+    for (i, sink) in omptel::Sink::ALL.iter().enumerate() {
+        if i > 0 {
+            sinks.push_str(", ");
+        }
+        sinks.push_str(&format!(
+            "\"{}\": \"{}\"",
+            sink_key(*sink),
+            cell.sinks_fp[i]
+        ));
+    }
+    format!(
+        "{{\"samples\": {}, \"failed_reps\": {}, \"total_fp\": \"{}\", \"mean_ns\": {}, \"sinks_fp\": {{{}}}}}",
+        cell.samples,
+        cell.failed_reps,
+        cell.total_fp,
+        fmt_ns(cell.mean_total_ns()),
+        sinks
+    )
+}
+
+/// Short stable JSON key per sink.
+pub fn sink_key(sink: omptel::Sink) -> &'static str {
+    match sink {
+        omptel::Sink::Compute => "compute",
+        omptel::Sink::Memory => "memory",
+        omptel::Sink::Sync => "sync",
+        omptel::Sink::Wake => "wake",
+        omptel::Sink::Dispatch => "dispatch",
+        omptel::Sink::Serial => "serial",
+        omptel::Sink::Imbalance => "imbalance",
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omptune_core::Arch;
+    use sweep::{Scope, SweepSpec};
+    use workloads::Setting;
+
+    fn slice() -> Vec<SettingData> {
+        let spec = SweepSpec {
+            scope: Scope::Strided(700),
+            reps: 2,
+            seed: 29,
+            failure_rate: 0.08,
+            ..SweepSpec::default()
+        };
+        let app = workloads::app("cg").unwrap();
+        let setting = Setting {
+            input_code: 0,
+            num_threads: 96,
+        };
+        vec![sweep::sweep_setting(Arch::Milan, app, setting, 0, &spec)]
+    }
+
+    #[test]
+    fn sinks_sum_to_total_in_every_cell() {
+        let batches = slice();
+        let mut a = Attribution::new();
+        a.fold_slice(&batches);
+        assert!(a.samples() > 0);
+        let check = |c: &Cell| {
+            let sum: i128 = c.sinks_fp.iter().sum();
+            // Each addend was rounded independently, so allow one
+            // half-ULP of fixed point per sink per sample.
+            let slack = (7 * c.samples) as i128;
+            assert!(
+                (sum - c.total_fp).abs() <= slack,
+                "sinks {sum} vs total {} over {} samples",
+                c.total_fp,
+                c.samples
+            );
+        };
+        check(&a.grand);
+        for var in &a.cells {
+            for cell in var {
+                check(cell);
+            }
+        }
+    }
+
+    #[test]
+    fn every_variable_partitions_the_samples() {
+        let batches = slice();
+        let mut a = Attribution::new();
+        a.fold_slice(&batches);
+        for (vi, cells) in a.cells.iter().enumerate() {
+            let n: u64 = cells.iter().map(|c| c.samples).sum();
+            assert_eq!(n, a.grand.samples, "variable {vi} lost samples");
+            let total: i128 = cells.iter().map(|c| c.total_fp).sum();
+            assert_eq!(total, a.grand.total_fp, "variable {vi} lost time");
+        }
+    }
+
+    #[test]
+    fn merge_equals_whole_fold_bytewise() {
+        let batches = slice();
+        let mut whole = Attribution::new();
+        whole.fold_slice(&batches);
+        // Shard at every sample boundary of the first batch.
+        let samples = &batches[0].samples;
+        for split in [1, samples.len() / 3, samples.len() / 2, samples.len() - 1] {
+            let mut left = Attribution::new();
+            let mut right = Attribution::new();
+            for s in &samples[..split] {
+                left.fold_sample(s);
+            }
+            for s in &samples[split..] {
+                right.fold_sample(s);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "split at {split} diverged");
+            let meta = SliceMeta {
+                arch: "milan".into(),
+                app: "cg".into(),
+                scope: "test".into(),
+                seed: 29,
+                fingerprint: sweep::slice_fingerprint(&batches),
+            };
+            assert_eq!(left.to_json(&meta), whole.to_json(&meta));
+        }
+    }
+
+    #[test]
+    fn failed_reps_are_counted_not_folded() {
+        let batches = slice();
+        let mut a = Attribution::new();
+        a.fold_slice(&batches);
+        let nan_reps: u64 = batches[0]
+            .samples
+            .iter()
+            .flat_map(|s| &s.runtimes)
+            .filter(|t| !t.is_finite())
+            .count() as u64;
+        assert!(nan_reps > 0, "fixture must inject failures");
+        assert_eq!(a.grand.failed_reps, nan_reps);
+        // Totals stay finite (integers) regardless.
+        assert!(a.grand.total_fp > 0);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_complete() {
+        let batches = slice();
+        let mut a = Attribution::new();
+        a.fold_slice(&batches);
+        let r1 = a.ranked_variables();
+        let r2 = a.ranked_variables();
+        assert_eq!(r1, r2);
+        assert_eq!(r1.len(), Feature::ENV_FEATURES.len());
+        assert!(r1[0].1 >= r1[r1.len() - 1].1);
+        assert!(a.top_variable().is_some());
+    }
+
+    #[test]
+    fn empty_profile_is_well_formed() {
+        let a = Attribution::new();
+        assert_eq!(a.samples(), 0);
+        assert_eq!(a.top_variable(), None);
+        let meta = SliceMeta {
+            arch: "milan".into(),
+            app: "none".into(),
+            scope: "empty".into(),
+            seed: 0,
+            fingerprint: 0,
+        };
+        let doc = a.to_json(&meta);
+        assert!(doc.contains("\"samples\": 0"));
+    }
+}

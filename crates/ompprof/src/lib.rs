@@ -1,0 +1,29 @@
+//! # ompprof — the explanation layer over the omptune telemetry stack
+//!
+//! The sweep harness can say *which* configuration won; `ompprof` says
+//! *why*. Three pieces:
+//!
+//! - [`attrib`] — fold every sample's sink [`omptel::Breakdown`] into
+//!   exact, mergeable per-(variable, value) marginal-cost profiles.
+//!   Accumulation is integer (2^16 fixed point), so shard-and-merge is
+//!   byte-identical to whole-sweep folding — the property the paper's
+//!   months-long, multi-cluster collection workflow needs to combine
+//!   partial profiles safely.
+//! - [`flame`] — differential profiler: render two configurations'
+//!   [`simrt::explain`] phase trees as folded stacks and dependency-free
+//!   SVG flame graphs, including a signed red/blue diff view that turns
+//!   a best-vs-worst runtime gap into a picture of where the time goes.
+//! - the `ompprof` binary — `attribute` and `diff` subcommands wiring
+//!   both onto live sweeps or exported `raw_batches.json`, with a
+//!   `--check` mode that cross-validates the attribution ranking against
+//!   the logistic-regression influence ranking (paper Figs. 2–4).
+//!
+//! Exit codes follow the repo convention (omplint/ompfuzz/ompmon):
+//! 0 = clean, 4 = findings (ranking disagreement), 2 = usage error,
+//! 1 = internal error.
+
+pub mod attrib;
+pub mod flame;
+
+pub use attrib::{sink_key, value_index, value_labels, Attribution, Cell, SliceMeta, FP_SCALE};
+pub use flame::{diff_svg, explanation_tree, folded, svg, Frame};

@@ -46,7 +46,7 @@ pub use jsonl::{read_records, records_to_string, write_records};
 pub use metrics::{
     histogram_from_prometheus, parse_prometheus, HistogramMetric, MetricsSnapshot, PromSample,
 };
-pub use monitor::{monitoring, BodyFn, Monitor};
+pub use monitor::{monitoring, BodyFn, Monitor, Route};
 pub use progress::Progress;
 pub use report::{explain, render, render_pair, Explanation};
 pub use ring::{

@@ -26,6 +26,10 @@ use std::time::Duration;
 /// Producer of one response body, evaluated per request.
 pub type BodyFn = Arc<dyn Fn() -> String + Send + Sync>;
 
+/// An extra read-only GET route: absolute path, content type, body
+/// producer. Registered via [`Monitor::start_with`].
+pub type Route = (String, &'static str, BodyFn);
+
 /// Is a monitor endpoint live in this process? One relaxed load.
 static MONITOR_ACTIVE: AtomicBool = AtomicBool::new(false);
 
@@ -55,7 +59,50 @@ impl Monitor {
     /// serve until shutdown. `metrics` feeds `/metrics`, `sweep` feeds
     /// `/sweep`.
     pub fn start(addr: &str, metrics: BodyFn, sweep: BodyFn) -> io::Result<Monitor> {
+        Monitor::start_with(addr, metrics, sweep, Vec::new())
+    }
+
+    /// Like [`Monitor::start`] but with extra caller-defined GET routes
+    /// (e.g. `/influence`) served alongside the built-in three.
+    pub fn start_with(
+        addr: &str,
+        metrics: BodyFn,
+        sweep: BodyFn,
+        extra: Vec<Route>,
+    ) -> io::Result<Monitor> {
         let listener = TcpListener::bind(addr)?;
+        Monitor::serve(listener, metrics, sweep, extra)
+    }
+
+    /// Like [`Monitor::start_with`], but if `addr` is already in use,
+    /// fall back to an ephemeral port on the same host instead of
+    /// failing — a monitor is auxiliary and must never abort the sweep
+    /// it observes. Callers read the real address via [`local_addr`].
+    ///
+    /// [`local_addr`]: Monitor::local_addr
+    pub fn start_with_fallback(
+        addr: &str,
+        metrics: BodyFn,
+        sweep: BodyFn,
+        extra: Vec<Route>,
+    ) -> io::Result<Monitor> {
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                let host = addr.rsplit_once(':').map(|(h, _)| h).unwrap_or("127.0.0.1");
+                TcpListener::bind(format!("{host}:0"))?
+            }
+            Err(e) => return Err(e),
+        };
+        Monitor::serve(listener, metrics, sweep, extra)
+    }
+
+    fn serve(
+        listener: TcpListener,
+        metrics: BodyFn,
+        sweep: BodyFn,
+        extra: Vec<Route>,
+    ) -> io::Result<Monitor> {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -69,7 +116,7 @@ impl Monitor {
                         Ok((stream, _)) => {
                             // Per-request errors (client hangup, bad
                             // request) must never kill the server.
-                            let _ = serve_one(stream, &metrics, &sweep);
+                            let _ = serve_one(stream, &metrics, &sweep, &extra);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(10));
@@ -111,7 +158,12 @@ impl Drop for Monitor {
 }
 
 /// Answer one connection: parse the request line, route, respond, close.
-fn serve_one(mut stream: TcpStream, metrics: &BodyFn, sweep: &BodyFn) -> io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    metrics: &BodyFn,
+    sweep: &BodyFn,
+    extra: &[Route],
+) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
     let mut buf = [0u8; 2048];
@@ -145,7 +197,10 @@ fn serve_one(mut stream: TcpStream, metrics: &BodyFn, sweep: &BodyFn) -> io::Res
             ),
             "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
             "/sweep" => ("200 OK", "application/json", sweep()),
-            _ => ("404 Not Found", "text/plain", "not found\n".into()),
+            _ => match extra.iter().find(|(p, _, _)| p == path) {
+                Some((_, content_type, body)) => ("200 OK", *content_type, body()),
+                None => ("404 Not Found", "text/plain", "not found\n".into()),
+            },
         }
     };
     let response = format!(
@@ -200,6 +255,48 @@ mod tests {
         monitor.shutdown();
         assert!(!monitoring());
         assert!(TcpStream::connect(addr).is_err(), "server still listening");
+    }
+
+    #[test]
+    fn extra_routes_are_served() {
+        let monitor = Monitor::start_with(
+            "127.0.0.1:0",
+            Arc::new(String::new),
+            Arc::new(String::new),
+            vec![(
+                "/influence".to_string(),
+                "application/json",
+                Arc::new(|| "{\"samples\":0}".to_string()) as BodyFn,
+            )],
+        )
+        .expect("bind localhost");
+        let addr = monitor.local_addr();
+        let (head, body) = get(addr, "/influence");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"samples\":0}");
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+    }
+
+    #[test]
+    fn busy_address_falls_back_to_ephemeral_port() {
+        // Occupy a port, then ask the monitor for exactly that address.
+        let squatter = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let busy = squatter.local_addr().unwrap();
+        let monitor = Monitor::start_with_fallback(
+            &busy.to_string(),
+            Arc::new(String::new),
+            Arc::new(String::new),
+            Vec::new(),
+        )
+        .expect("fallback bind");
+        let addr = monitor.local_addr();
+        assert_ne!(addr.port(), busy.port(), "fallback reused the busy port");
+        assert_eq!(addr.ip(), busy.ip());
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ok\n");
     }
 
     #[test]

@@ -234,6 +234,19 @@ impl Breakdown {
         }
     }
 
+    /// Set a sink's component value.
+    pub fn set(&mut self, sink: Sink, value: f64) {
+        match sink {
+            Sink::Compute => self.compute_ns = value,
+            Sink::Memory => self.memory_ns = value,
+            Sink::Sync => self.sync_ns = value,
+            Sink::Wake => self.wake_ns = value,
+            Sink::Dispatch => self.dispatch_ns = value,
+            Sink::Serial => self.serial_ns = value,
+            Sink::Imbalance => self.imbalance_ns = value,
+        }
+    }
+
     /// Sum of every component.
     pub fn sum(&self) -> f64 {
         Sink::ALL.iter().map(|&s| self.get(s)).sum()

@@ -22,6 +22,10 @@ pub struct PhaseCost {
     pub ns: f64,
     /// Share of the warm timestep.
     pub fraction: f64,
+    /// Where this phase's span goes, by sink, closed so the components
+    /// sum exactly to `ns` (the sum-to-total invariant flame-graph
+    /// leaves rely on).
+    pub sinks: omptel::Breakdown,
 }
 
 /// A full explanation: total runtime, phase attribution, and category
@@ -79,9 +83,11 @@ pub fn explain(arch: Arch, config: &TuningConfig, model: &Model, seed: u64) -> E
 
     // Warm timestep cost of a prefix of phases: simulate 2 timesteps of
     // the prefix model and take the second step (total - cold step).
-    let warm_cost = |phases: &[Phase]| -> f64 {
+    // The sink breakdown is differenced the same way, so each phase's
+    // sinks are the marginal warm-step cost it adds per category.
+    let warm_cost = |phases: &[Phase]| -> (f64, omptel::Breakdown) {
         if phases.is_empty() {
-            return 0.0;
+            return (0.0, omptel::Breakdown::default());
         }
         let prefix = Model {
             name: model.name.clone(),
@@ -89,27 +95,40 @@ pub fn explain(arch: Arch, config: &TuningConfig, model: &Model, seed: u64) -> E
             timesteps: 2,
             migration_sensitivity: model.migration_sensitivity,
         };
-        let two = simulate(arch, config, &prefix, seed).total_ns;
+        let two = simulate(arch, config, &prefix, seed);
         let one = {
             let single = Model {
                 timesteps: 1,
                 ..prefix
             };
-            simulate(arch, config, &single, seed).total_ns
+            simulate(arch, config, &single, seed)
         };
-        two - one
+        let mut warm = two.breakdown.to_tel();
+        let cold = one.breakdown.to_tel();
+        for sink in omptel::Sink::ALL {
+            let v = (warm.get(sink) - cold.get(sink)).max(0.0);
+            warm.set(sink, v);
+        }
+        (two.total_ns - one.total_ns, warm)
     };
 
     let mut phases = Vec::with_capacity(model.phases.len());
     let mut prev = 0.0;
+    let mut prev_sinks = omptel::Breakdown::default();
     let mut spans = Vec::new();
     for i in 0..model.phases.len() {
-        let here = warm_cost(&model.phases[..=i]);
-        spans.push((here - prev).max(0.0));
+        let (here, here_sinks) = warm_cost(&model.phases[..=i]);
+        let ns = (here - prev).max(0.0);
+        let mut sinks = omptel::Breakdown::default();
+        for sink in omptel::Sink::ALL {
+            sinks.set(sink, (here_sinks.get(sink) - prev_sinks.get(sink)).max(0.0));
+        }
+        spans.push((ns, sinks.close_to_total(ns)));
         prev = here;
+        prev_sinks = here_sinks;
     }
-    let warm_total: f64 = spans.iter().sum::<f64>().max(1.0);
-    for (i, (phase, ns)) in model.phases.iter().zip(spans).enumerate() {
+    let warm_total: f64 = spans.iter().map(|(ns, _)| ns).sum::<f64>().max(1.0);
+    for (i, (phase, (ns, sinks))) in model.phases.iter().zip(spans).enumerate() {
         phases.push(PhaseCost {
             index: i,
             kind: match phase {
@@ -119,6 +138,7 @@ pub fn explain(arch: Arch, config: &TuningConfig, model: &Model, seed: u64) -> E
             },
             ns,
             fraction: ns / warm_total,
+            sinks,
         });
     }
     Explanation { result, phases }
@@ -188,6 +208,37 @@ mod tests {
         for needle in ["compute", "memory", "wake-ups", "per-phase", "tasks"] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }
+    }
+
+    #[test]
+    fn phase_sinks_close_to_phase_span() {
+        let model = mixed_model();
+        let cfg = TuningConfig::default_for(Arch::Milan, 96);
+        let e = explain(Arch::Milan, &cfg, &model, 0);
+        for p in &e.phases {
+            assert!(
+                (p.sinks.sum() - p.ns).abs() <= 1e-6 * p.ns.max(1.0),
+                "phase {} sinks sum {} != span {}",
+                p.index,
+                p.sinks.sum(),
+                p.ns
+            );
+            for sink in omptel::Sink::ALL {
+                assert!(
+                    p.sinks.get(sink) >= 0.0,
+                    "negative {sink:?} in phase {}",
+                    p.index
+                );
+            }
+        }
+        // The serial stub should be charged mostly to the serial sink.
+        let serial = &e.phases[1];
+        assert!(
+            serial.sinks.serial_ns > 0.5 * serial.ns,
+            "serial sink {} of span {}",
+            serial.sinks.serial_ns,
+            serial.ns
+        );
     }
 
     #[test]

@@ -15,16 +15,20 @@
 //! the provenance stays byte-identical with it on or off.
 //!
 //! `--monitor ADDR` starts the ompmon exposition server for the run:
-//! `/metrics` (Prometheus text format), `/healthz`, and `/sweep` (JSON
-//! status of the sweep in flight). The bound address is written to
-//! `OUT_DIR/monitor.addr` so scripts can discover an ephemeral port.
-//! Monitoring is read-only and never changes results either.
+//! `/metrics` (Prometheus text format), `/healthz`, `/sweep` (JSON
+//! status of the sweep in flight, including live ring-buffer and
+//! watchdog counters), and `/influence` (the streaming logistic
+//! influence ranking recomputed as samples arrive). If ADDR is busy the
+//! server falls back to an ephemeral port on the same host; the bound
+//! address is written to `OUT_DIR/monitor.addr` so scripts always
+//! discover the real port. Monitoring is read-only and never changes
+//! results either.
 //!
 //! Every run also writes `OUT_DIR/tsdb/` — ring-file time-series of
 //! per-stratum virtual rep means, wall sample latency, and scheduler
 //! rates — which `ompmon drift` compares across runs.
 
-use omptune_core::Arch;
+use omptune_core::{Arch, LiveInfluence};
 use std::fs;
 use std::io::BufWriter;
 use std::path::PathBuf;
@@ -67,11 +71,16 @@ OPTIONS:
                       also arms the anomaly watchdog (outliers beyond
                       the p99.9 latency bracket are dumped to
                       OUT_DIR/anomalies.jsonl)
-    --monitor ADDR    serve live /metrics, /healthz and /sweep over
-                      HTTP on ADDR (e.g. 127.0.0.1:0 for an ephemeral
-                      port; the bound address lands in
-                      OUT_DIR/monitor.addr); opens a telemetry session
-                      so runtime counters flow to /metrics
+    --monitor ADDR    serve live /metrics, /healthz, /sweep and
+                      /influence over HTTP on ADDR (e.g. 127.0.0.1:0
+                      for an ephemeral port; if ADDR is busy the server
+                      falls back to an ephemeral port, and the bound
+                      address always lands in OUT_DIR/monitor.addr);
+                      opens a telemetry session so runtime counters
+                      flow to /metrics
+    --no-influence    skip the streaming influence tracker: /influence
+                      reports it disabled and no influence time-series
+                      are recorded
     -h, --help        print this help
 ";
 
@@ -83,6 +92,7 @@ struct Cli {
     cache_dir: Option<PathBuf>,
     trace: Option<PathBuf>,
     monitor: Option<String>,
+    influence: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -97,6 +107,7 @@ fn parse_cli() -> Result<Cli, String> {
     let mut cache_dir = PathBuf::from("target/sweep-cache");
     let mut trace = None;
     let mut monitor = None;
+    let mut influence = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -106,6 +117,7 @@ fn parse_cli() -> Result<Cli, String> {
                 std::process::exit(0);
             }
             "--no-cache" => no_cache = true,
+            "--no-influence" => influence = false,
             "--workers" => {
                 let v = args.next().ok_or("--workers needs a value")?;
                 workers = v
@@ -163,6 +175,7 @@ fn parse_cli() -> Result<Cli, String> {
         cache_dir: (!no_cache).then_some(cache_dir),
         trace,
         monitor,
+        influence,
     })
 }
 
@@ -223,6 +236,24 @@ impl SweepState {
             )),
             None => out.push_str("\"state\":\"idle\",\"current\":null,"),
         }
+        // Telemetry health: whether the event ring is keeping up (a
+        // non-zero dropped count means the flight recorder is lossy)
+        // and what the anomaly watchdog has dumped so far.
+        let (threads, events, dropped) = omptel::live_ring_stats();
+        out.push_str(&format!(
+            "\"telemetry\":{{\"ring_threads\":{threads},\
+             \"omptel_ring_events_total\":{events},\
+             \"omptel_ring_dropped_total\":{dropped},"
+        ));
+        match omptel::installed_watchdog() {
+            Some(w) => {
+                let (flagged, corrupt) = w.counts();
+                out.push_str(&format!(
+                    "\"watchdog\":{{\"flagged\":{flagged},\"corrupt\":{corrupt}}}}},"
+                ));
+            }
+            None => out.push_str("\"watchdog\":null},"),
+        }
         out.push_str("\"completed\":[");
         let completed = self.completed.lock().expect("sweep state poisoned");
         for (i, (arch, settings, samples, dropped, elapsed)) in completed.iter().enumerate() {
@@ -255,6 +286,31 @@ fn main() -> std::io::Result<()> {
     // byte-identical to an unmonitored one. The telemetry session makes
     // runtime counters visible to /metrics; counters never feed results.
     let state = Arc::new(SweepState::new(format!("{:?}", cli.scope)));
+
+    // Streaming influence: an online logistic model updated from every
+    // completed batch (label: did the config beat the arch default?),
+    // so /influence can rank the tuning variables while the sweep is
+    // still running instead of after the dataset lands. Exposition
+    // only — it never feeds back into sampling or the artifacts.
+    let influence = cli
+        .influence
+        .then(|| Arc::new(Mutex::new(LiveInfluence::new())));
+    let influence_obs = influence.clone().map(|live| {
+        move |data: &sweep::SettingData| {
+            let default = data.default_mean();
+            if !default.is_finite() || default <= 0.0 {
+                return;
+            }
+            let mut live = live.lock().expect("influence tracker poisoned");
+            for sample in &data.samples {
+                let mean = sample.mean_runtime();
+                if mean.is_finite() && mean > 0.0 {
+                    live.observe(&sample.config, default / mean);
+                }
+            }
+        }
+    });
+
     let _session = cli
         .monitor
         .as_ref()
@@ -284,15 +340,26 @@ fn main() -> std::io::Result<()> {
             });
             let st = state.clone();
             let sweep_body: omptel::BodyFn = Arc::new(move || st.json());
-            let m = omptel::Monitor::start(addr, metrics, sweep_body)?;
-            // Scripts discover an ephemeral port from this file; it is
-            // written before any sweeping so pollers never race the run.
+            let live = influence.clone();
+            let influence_body: omptel::BodyFn = Arc::new(move || match &live {
+                Some(live) => live.lock().expect("influence tracker poisoned").json(),
+                None => "{\"disabled\":true}".to_string(),
+            });
+            let routes: Vec<omptel::Route> =
+                vec![("/influence".to_string(), "application/json", influence_body)];
+            // If the requested address is squatted, the monitor falls
+            // back to an ephemeral port on the same host rather than
+            // failing the whole collection run.
+            let m = omptel::Monitor::start_with_fallback(addr, metrics, sweep_body, routes)?;
+            // Scripts discover the actually-bound address (ephemeral
+            // or fallback port included) from this file; it is written
+            // before any sweeping so pollers never race the run.
             fs::write(
                 cli.out_dir.join("monitor.addr"),
                 format!("{}\n", m.local_addr()),
             )?;
             eprintln!(
-                "monitor: serving /metrics /healthz /sweep on http://{}",
+                "monitor: serving /metrics /healthz /sweep /influence on http://{}",
                 m.local_addr()
             );
             Some(m)
@@ -334,6 +401,9 @@ fn main() -> std::io::Result<()> {
         let mut opts = SweepOptions::new(cli.workers).with_progress(&meter);
         if let Some(c) = &cache {
             opts = opts.with_cache(c);
+        }
+        if let Some(obs) = &influence_obs {
+            opts = opts.with_batch_observer(obs);
         }
         if let Some((_, w)) = &recorder {
             opts = opts.with_watchdog(w);
@@ -404,6 +474,24 @@ fn main() -> std::io::Result<()> {
                 sum: st.steals as f64,
             };
             tsdb.append(&format!("{}/rate/steal", arch.id()), point)?;
+        }
+        // Snapshot the streaming influence ranking after each arch so
+        // `ompmon` can chart how the ranking firmed up over the run.
+        // Batch completion order is scheduling-dependent, so these
+        // series are informational, not drift-gating.
+        if let Some(live) = &influence {
+            let snap = live.lock().expect("influence tracker poisoned");
+            if snap.samples() > 0 {
+                for (feature, value) in snap.influence() {
+                    let point = omptel::Point {
+                        ts: 0,
+                        count: snap.samples(),
+                        sum: value,
+                    };
+                    let slug = feature.name().to_lowercase();
+                    tsdb.append(&format!("{}/influence/{slug}", arch.id()), point)?;
+                }
+            }
         }
 
         manifest.push_arch(

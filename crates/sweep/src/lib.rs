@@ -21,8 +21,8 @@ pub mod spec;
 pub use cache::{BatchEntries, CacheRecord, SampleCache, DEFAULT_ROW_INDEX, ENGINE_VERSION};
 pub use dataset::{clean, CleanReport, Dataset, DropReason};
 pub use provenance::{
-    config_hash, provenance_of, read_manifest, read_provenance_jsonl, write_manifest,
-    write_provenance_jsonl, ArchManifest, RunManifest, SampleProvenance,
+    config_hash, provenance_of, read_manifest, read_provenance_jsonl, slice_fingerprint,
+    write_manifest, write_provenance_jsonl, ArchManifest, RunManifest, SampleProvenance,
 };
 pub use runner::{
     noise_stream, sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting,

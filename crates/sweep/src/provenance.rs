@@ -65,6 +65,37 @@ impl SampleProvenance {
     }
 }
 
+/// FNV-1a fingerprint of a sweep slice: every sample's identity (key,
+/// config index) and raw runtime bit patterns, folded in sweep order.
+/// Two slices fingerprint equal iff they contain the same samples with
+/// bit-identical measurements — the provenance stamp `ompprof` writes
+/// into attribution profiles so a profile can be matched to the exact
+/// slice that produced it. Order-dependent by design (it names a slice,
+/// not a set).
+pub fn slice_fingerprint(batches: &[SettingData]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for data in batches {
+        fold(noise_stream(&data.key, 0));
+        for t in &data.default_runtimes {
+            fold(t.to_bits());
+        }
+        for sample in &data.samples {
+            fold(sample.config_index as u64);
+            fold(config_hash(&sample.config));
+            for t in &sample.runtimes {
+                fold(t.to_bits());
+            }
+        }
+    }
+    h
+}
+
 /// Provenance records for every sample of a batch list, in sweep order.
 pub fn provenance_of(batches: &[SettingData], spec: &SweepSpec) -> Vec<SampleProvenance> {
     batches
@@ -250,6 +281,24 @@ mod tests {
         // Stable across calls.
         let c = &batches[0].samples[0].config;
         assert_eq!(config_hash(c), config_hash(c));
+    }
+
+    #[test]
+    fn slice_fingerprint_names_the_exact_slice() {
+        let (batches, _) = tiny_batch();
+        // Stable across calls on identical data.
+        assert_eq!(slice_fingerprint(&batches), slice_fingerprint(&batches));
+        // Any measurement perturbation changes the name — even one ULP.
+        let mut bumped = batches.clone();
+        let t = bumped[0].samples[0].runtimes[0];
+        bumped[0].samples[0].runtimes[0] = f64::from_bits(t.to_bits() ^ 1);
+        assert_ne!(slice_fingerprint(&batches), slice_fingerprint(&bumped));
+        // Dropping a sample changes it too.
+        let mut shorter = batches.clone();
+        shorter[0].samples.pop();
+        assert_ne!(slice_fingerprint(&batches), slice_fingerprint(&shorter));
+        // The empty slice has a well-defined fingerprint (FNV offset).
+        assert_eq!(slice_fingerprint(&[]), 0xcbf29ce484222325);
     }
 
     #[test]

@@ -70,6 +70,11 @@ pub struct SweepOptions<'a> {
     pub cache: Option<&'a SampleCache>,
     pub progress: Option<&'a omptel::Progress>,
     pub watchdog: Option<&'a omptel::Watchdog>,
+    /// Called with each completed batch (on the worker thread that
+    /// finished it) before it is stored — live observers such as the
+    /// streaming influence tracker hook here. Completion order is
+    /// scheduling-dependent; observers must not rely on it.
+    pub on_batch: Option<&'a (dyn Fn(&SettingData) + Sync)>,
 }
 
 impl<'a> SweepOptions<'a> {
@@ -80,6 +85,7 @@ impl<'a> SweepOptions<'a> {
             cache: None,
             progress: None,
             watchdog: None,
+            on_batch: None,
         }
     }
 
@@ -98,6 +104,15 @@ impl<'a> SweepOptions<'a> {
     /// Attach an anomaly watchdog (fed every sample's wall latency).
     pub fn with_watchdog(mut self, watchdog: &'a omptel::Watchdog) -> SweepOptions<'a> {
         self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Attach a completed-batch observer (see [`SweepOptions::on_batch`]).
+    pub fn with_batch_observer(
+        mut self,
+        observer: &'a (dyn Fn(&SettingData) + Sync),
+    ) -> SweepOptions<'a> {
+        self.on_batch = Some(observer);
         self
     }
 
@@ -338,10 +353,11 @@ fn run_unit(unit: &Unit, job: &BatchJob, spec: &SweepSpec, opts: &SweepOptions) 
 fn finalize_batch(
     job: &BatchJob,
     spec: &SweepSpec,
-    cache: Option<&SampleCache>,
+    opts: &SweepOptions,
     out: &Mutex<Vec<Option<SettingData>>>,
     batch_index: usize,
 ) {
+    let cache = opts.cache;
     let samples: Vec<RawSample> = job
         .slots
         .lock()
@@ -371,6 +387,9 @@ fn finalize_batch(
                 );
             }
         }
+    }
+    if let Some(observe) = opts.on_batch {
+        observe(&data);
     }
     out.lock().expect("output poisoned")[batch_index] = Some(data);
 }
@@ -433,7 +452,7 @@ fn run_scheduler(jobs: Vec<BatchJob>, spec: &SweepSpec, opts: &SweepOptions) -> 
                     p.inc(produced);
                 }
                 if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    finalize_batch(job, spec, opts.cache, out, unit.batch);
+                    finalize_batch(job, spec, opts, out, unit.batch);
                 }
             });
         }
@@ -579,6 +598,35 @@ mod tests {
             assert!(outcome.stats.units > 0);
             assert!(outcome.stats.plan_misses > 0);
         }
+    }
+
+    #[test]
+    fn batch_observer_sees_every_batch_exactly_once() {
+        use std::sync::Mutex;
+        let spec = spec(Scope::Strided(1100), 0.05);
+        let plain = sweep_arch_scheduled(Arch::A64fx, &spec, &SweepOptions::new(2));
+        let seen: Mutex<Vec<(RunKey, usize)>> = Mutex::new(Vec::new());
+        let observer = |data: &SettingData| {
+            seen.lock()
+                .unwrap()
+                .push((data.key.clone(), data.samples.len()));
+        };
+        let observed = sweep_arch_scheduled(
+            Arch::A64fx,
+            &spec,
+            &SweepOptions::new(4).with_batch_observer(&observer),
+        );
+        // Observation must not perturb the sweep itself.
+        assert_identical(&observed.batches, &plain.batches, "observed run");
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_by_key(|(k, _)| format!("{k:?}"));
+        let mut expect: Vec<(RunKey, usize)> = plain
+            .batches
+            .iter()
+            .map(|d| (d.key.clone(), d.samples.len()))
+            .collect();
+        expect.sort_by_key(|(k, _)| format!("{k:?}"));
+        assert_eq!(seen, expect, "each batch observed exactly once");
     }
 
     #[test]

@@ -61,10 +61,12 @@ step cargo run --release -p sweep --bin trace-check -- \
     "$coherence_dir/traced/trace.json"
 
 # Live monitor: a monitored collect run must serve valid Prometheus
-# /metrics, /healthz, and the /sweep JSON while the sweep is running,
-# and still produce byte-identical provenance to the unmonitored runs.
+# /metrics, /healthz, the /sweep JSON (including the ring-buffer and
+# watchdog telemetry counters), and the streaming /influence ranking
+# while the sweep is running, and still produce byte-identical
+# provenance to the unmonitored runs.
 echo
-echo "==> live monitor gate (/metrics, /healthz, /sweep while sweeping)"
+echo "==> live monitor gate (/metrics, /healthz, /sweep, /influence while sweeping)"
 http_get() { # http_get HOST:PORT PATH — plain HTTP/1.0 over /dev/tcp
     local host="${1%:*}" port="${1##*:}"
     exec 3<>"/dev/tcp/$host/$port"
@@ -98,11 +100,29 @@ http_get "$addr" /healthz | grep -q '^ok$' || {
     echo "verify: /healthz did not answer ok" >&2
     exit 1
 }
-http_get "$addr" /sweep | grep -q '"scope"' || {
+sweep_json="$(http_get "$addr" /sweep)"
+grep -q '"scope"' <<<"$sweep_json" || {
     echo "verify: /sweep JSON is missing the scope field" >&2
     exit 1
 }
-echo "live /metrics, /healthz, /sweep all answered mid-run"
+grep -q '"omptel_ring_dropped_total"' <<<"$sweep_json" || {
+    echo "verify: /sweep JSON is missing the ring drop counter" >&2
+    exit 1
+}
+grep -q '"watchdog"' <<<"$sweep_json" || {
+    echo "verify: /sweep JSON is missing the watchdog counters" >&2
+    exit 1
+}
+influence_json="$(http_get "$addr" /influence)"
+grep -q '"influence"' <<<"$influence_json" || {
+    echo "verify: /influence is not serving the streaming ranking" >&2
+    exit 1
+}
+grep -q '"OMP_PROC_BIND"' <<<"$influence_json" || {
+    echo "verify: /influence ranking is missing the env features" >&2
+    exit 1
+}
+echo "live /metrics, /healthz, /sweep, /influence all answered mid-run"
 wait "$collect_pid"
 collect_pid=""
 cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/monitored/provenance.jsonl" || {
@@ -125,6 +145,46 @@ BENCH_OUT="$coherence_dir/bench_sweep.json" \
     cargo bench -p bench-harness --bench sweep_warmcold
 step cargo run --release -p bench-harness --bin bench-diff -- \
     --baseline BENCH_sweep.json "$coherence_dir/bench_sweep.json" --band 2.0
+
+# ompprof smoke: attribute a strided CG/Milan sweep and cross-check the
+# top attributed variable against the logistic-regression influence
+# ranking (exit 4 would mean they disagree); then render the
+# best-vs-worst differential flame graphs and confirm the paper's
+# 143.57x CG/Milan gap survives, the folded stacks parse (every line
+# ends in an integer sample count), and the SVGs are well-formed.
+echo
+echo "==> ompprof smoke (attribution vs logreg, 143.57x gap, flame graphs)"
+step cargo run --release -p ompprof -- attribute milan cg --check \
+    --out "$coherence_dir/profile.json"
+grep -q '"schema": "ompprof-attribution-v1"' "$coherence_dir/profile.json" || {
+    echo "verify: profile.json is missing the attribution schema marker" >&2
+    exit 1
+}
+diff_out="$(cargo run --release -q -p ompprof -- diff milan cg \
+    --out-dir "$coherence_dir/flame")"
+echo "$diff_out"
+grep -q '143\.57x' <<<"$diff_out" || {
+    echo "verify: ompprof diff lost the paper's 143.57x CG/Milan gap" >&2
+    exit 1
+}
+for f in best worst; do
+    awk 'NF < 2 || $NF !~ /^[0-9]+$/ { bad = 1 } END { exit bad }' \
+        "$coherence_dir/flame/$f.folded" || {
+        echo "verify: flame/$f.folded is not valid folded-stack format" >&2
+        exit 1
+    }
+done
+for svg in flame_best flame_worst flame_diff; do
+    head -1 "$coherence_dir/flame/$svg.svg" | grep -q '^<?xml' || {
+        echo "verify: flame/$svg.svg is missing the XML prologue" >&2
+        exit 1
+    }
+    tail -1 "$coherence_dir/flame/$svg.svg" | grep -q '</svg>' || {
+        echo "verify: flame/$svg.svg is truncated" >&2
+        exit 1
+    }
+done
+echo "attribution agrees with logreg; folded stacks and flame SVGs well-formed"
 
 # Schedule-space certification smoke: 25 generated programs x 64
 # perturbed schedules (1600 pairs), every trace through the
@@ -165,6 +225,16 @@ BENCH_OUT="$coherence_dir/bench_checker.json" \
     cargo bench -p bench-harness --bench checker_throughput
 step cargo run --release -p bench-harness --bin bench-diff -- \
     --baseline BENCH_checker.json "$coherence_dir/bench_checker.json" --band 2.0
+
+# Attribution throughput gate: folding speed and the live-influence
+# sweep overhead (<= 1.05x, asserted inside the bench) must stay within
+# the noise band of the committed baseline.
+echo
+echo "==> attribution throughput gate (attribution_throughput vs committed baseline)"
+BENCH_OUT="$coherence_dir/bench_profile.json" \
+    cargo bench -p bench-harness --bench attribution_throughput
+step cargo run --release -p bench-harness --bin bench-diff -- \
+    --baseline BENCH_profile.json "$coherence_dir/bench_profile.json" --band 2.0
 
 echo
 echo "verify: all gates passed"
