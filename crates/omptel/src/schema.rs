@@ -67,11 +67,22 @@ pub enum Counter {
     /// Flight-recorder events lost to ring wrap (harvested per thread
     /// when a recording finishes).
     TraceDropped,
+    /// Scheduling-unit config groups priced through the batch pricing
+    /// path (one per shared-plan miss group, both fast and slow path).
+    PricedBatches,
+    /// Sample-cache lookups served from the binary batch index.
+    SampleCacheIndexHits,
+    /// Stale temporary cache files reaped when a `SampleCache` opened.
+    SampleCacheTmpReaped,
+    /// Buffers served from an allocation pool's freelist.
+    PoolHits,
+    /// Pool requests that had to allocate fresh (freelist empty).
+    PoolMisses,
 }
 
 impl Counter {
     /// Number of counters; sizes the registry array.
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 28;
 
     /// Every counter, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -98,6 +109,11 @@ impl Counter {
         Counter::SweepSteals,
         Counter::SampleCacheCorrupt,
         Counter::TraceDropped,
+        Counter::PricedBatches,
+        Counter::SampleCacheIndexHits,
+        Counter::SampleCacheTmpReaped,
+        Counter::PoolHits,
+        Counter::PoolMisses,
     ];
 
     /// Stable lower-snake name used in exports.
@@ -126,6 +142,11 @@ impl Counter {
             Counter::SweepSteals => "sweep_steals",
             Counter::SampleCacheCorrupt => "sample_cache_corrupt",
             Counter::TraceDropped => "trace_dropped",
+            Counter::PricedBatches => "priced_batches",
+            Counter::SampleCacheIndexHits => "sample_cache_index_hits",
+            Counter::SampleCacheTmpReaped => "sample_cache_tmp_reaped",
+            Counter::PoolHits => "pool_hits",
+            Counter::PoolMisses => "pool_misses",
         }
     }
 }

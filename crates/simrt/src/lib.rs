@@ -34,4 +34,4 @@ pub use exec::{machine_for, simulate, simulate_monolithic, SimResult, TimeBreakd
 pub use explain::{explain, Explanation, PhaseCost};
 pub use microsim::{run_loop_event_driven, MicroResult};
 pub use model::{AccessPattern, Imbalance, LoopPhase, Model, Phase, TaskPhase};
-pub use plan::{simulate_with_cache, PlanCache, RegionPlan};
+pub use plan::{simulate_with_cache, PlanCache, PriceScratch, RegionPlan};

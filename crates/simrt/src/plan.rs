@@ -275,6 +275,248 @@ impl RegionPlan {
             regions: step.regions,
         }
     }
+
+    /// Price the plan for every configuration in `tunings` at once,
+    /// bit-identical to calling [`RegionPlan::price`] per config (the
+    /// property tests pin this). Results are appended to `out` in input
+    /// order.
+    ///
+    /// When no telemetry session or flight recording is live, this runs
+    /// a struct-of-arrays fast path: the per-region plan addends are
+    /// walked once per phase with a config-inner accumulation loop, so
+    /// one plan fetch prices the whole group and the inner loops
+    /// auto-vectorize. Per-config FP accumulation order is unchanged —
+    /// only the loop nest is transposed — so every result is bit-equal
+    /// to the sequential path. With telemetry or tracing active it
+    /// falls back to per-config [`RegionPlan::price`] so event order
+    /// (region records, virtual spans, counters) is identical to the
+    /// one-at-a-time path.
+    pub fn price_batch(
+        &self,
+        tunings: &[TuningConfig],
+        scratch: &mut PriceScratch,
+        out: &mut Vec<SimResult>,
+    ) {
+        if tunings.is_empty() {
+            return;
+        }
+        if omptel::enabled() || omptel::tracing() {
+            for t in tunings {
+                let _s = omptel::span(omptel::SpanKind::Price, 0);
+                out.push(self.price(t));
+            }
+            return;
+        }
+        let n = tunings.len();
+        let machine = machine_for(self.arch);
+        let t = self.projection.num_threads;
+        scratch.reset(n);
+
+        // Per-config pricing constants. Within one projection only
+        // blocktime / force_reduction / align_alloc vary, so there are
+        // at most 3 distinct wait policies to wake-cost per region.
+        for (c, tuning) in tunings.iter().enumerate() {
+            debug_assert_eq!(
+                tuning.plan_projection(),
+                self.projection,
+                "batched config must match the plan projection"
+            );
+            let policy = tuning.wait_policy();
+            let p = match scratch.policies.iter().position(|&q| q == policy) {
+                Some(p) => p,
+                None => {
+                    scratch.policies.push(policy);
+                    scratch.policies.len() - 1
+                }
+            };
+            scratch.policy_of[c] = p as u8;
+            scratch.barrier[c] = costs::barrier_ns(t, &machine, tuning.align_alloc);
+            let heuristic_pick = tuning.force_reduction == omptune_core::KmpForceReduction::Unset;
+            scratch.red_unit[c] = costs::reduction_ns(
+                tuning.reduction_method(),
+                t,
+                &machine,
+                tuning.align_alloc,
+                heuristic_pick,
+            );
+        }
+        let fork = costs::fork_ns(t);
+
+        for (idx, step) in self.steps.iter().enumerate() {
+            let acc = &mut scratch.acc[idx];
+            for phase in &step.phases {
+                match phase {
+                    PhasePlan::Serial { ns } => {
+                        for c in 0..n {
+                            acc.total[c] += ns;
+                            acc.serial[c] += ns;
+                        }
+                    }
+                    PhasePlan::Region {
+                        kind,
+                        planned,
+                        reductions,
+                        idle_before,
+                        ..
+                    } => {
+                        scratch.wake_of.clear();
+                        for &policy in &scratch.policies {
+                            scratch.wake_of.push(costs::region_wake_ns(
+                                &machine,
+                                policy,
+                                *idle_before,
+                                t,
+                            ));
+                        }
+                        let wake_of = &scratch.wake_of;
+                        let pol = &scratch.policy_of;
+                        if planned.empty {
+                            // price_loop/price_tasks return 0.0 without
+                            // touching the breakdown; only wake + fork
+                            // are charged (span contributes +0.0, which
+                            // is exact on the non-negative sum).
+                            for c in 0..n {
+                                let wk = wake_of[pol[c] as usize];
+                                acc.wake[c] += wk;
+                                acc.sync[c] += fork;
+                                acc.total[c] += wk + fork;
+                            }
+                        } else if *kind == omptel::RegionKind::Tasks {
+                            let span = planned.span;
+                            for c in 0..n {
+                                let wk = wake_of[pol[c] as usize];
+                                let bar = scratch.barrier[c];
+                                acc.compute[c] += planned.compute_add;
+                                acc.memory[c] += planned.memory_add;
+                                acc.dispatch[c] += planned.dispatch_add;
+                                acc.sync[c] += bar;
+                                acc.wake[c] += wk;
+                                acc.sync[c] += fork;
+                                acc.total[c] += wk + fork + (span + bar);
+                            }
+                        } else {
+                            let span = planned.span;
+                            let red_count = *reductions as f64;
+                            for c in 0..n {
+                                let wk = wake_of[pol[c] as usize];
+                                let bar = scratch.barrier[c];
+                                let red = red_count * scratch.red_unit[c];
+                                acc.compute[c] += planned.compute_add;
+                                acc.memory[c] += planned.memory_add;
+                                acc.dispatch[c] += planned.dispatch_add;
+                                acc.sync[c] += bar + red;
+                                acc.wake[c] += wk;
+                                acc.sync[c] += fork;
+                                acc.total[c] += wk + fork + ((span + bar) + red);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Combine steps exactly as `price` does: step 0 once, step 1
+        // scaled by the remaining timesteps.
+        let s0_regions = self.steps[0].regions;
+        let (two_steps, reps, s1_regions) = if self.timesteps > 1 {
+            (
+                true,
+                (self.timesteps - 1) as f64,
+                self.steps[1].regions * (self.timesteps as u64 - 1),
+            )
+        } else {
+            (false, 0.0, 0)
+        };
+        for c in 0..n {
+            let s0 = &scratch.acc[0];
+            let mut total = s0.total[c];
+            let mut bd = TimeBreakdown {
+                compute_ns: s0.compute[c],
+                memory_ns: s0.memory[c],
+                sync_ns: s0.sync[c],
+                wake_ns: s0.wake[c],
+                dispatch_ns: s0.dispatch[c],
+                serial_ns: s0.serial[c],
+            };
+            if two_steps {
+                let s1 = &scratch.acc[1];
+                total += s1.total[c] * reps;
+                bd.compute_ns += s1.compute[c] * reps;
+                bd.memory_ns += s1.memory[c] * reps;
+                bd.sync_ns += s1.sync[c] * reps;
+                bd.wake_ns += s1.wake[c] * reps;
+                bd.dispatch_ns += s1.dispatch[c] * reps;
+                bd.serial_ns += s1.serial[c] * reps;
+            }
+            out.push(SimResult {
+                total_ns: total,
+                breakdown: bd,
+                regions: s0_regions + s1_regions,
+            });
+        }
+    }
+}
+
+/// One step's struct-of-arrays accumulators: one lane per batched
+/// config, one array per breakdown sink (plus the running total).
+#[derive(Default)]
+struct StepAcc {
+    total: Vec<f64>,
+    compute: Vec<f64>,
+    memory: Vec<f64>,
+    sync: Vec<f64>,
+    wake: Vec<f64>,
+    dispatch: Vec<f64>,
+    serial: Vec<f64>,
+}
+
+impl StepAcc {
+    fn reset(&mut self, n: usize) {
+        for v in [
+            &mut self.total,
+            &mut self.compute,
+            &mut self.memory,
+            &mut self.sync,
+            &mut self.wake,
+            &mut self.dispatch,
+            &mut self.serial,
+        ] {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+    }
+}
+
+/// Reusable scratch buffers for [`RegionPlan::price_batch`]: workers
+/// keep one per thread so steady-state batch pricing allocates nothing.
+#[derive(Default)]
+pub struct PriceScratch {
+    policies: Vec<omptune_core::WaitPolicy>,
+    policy_of: Vec<u8>,
+    barrier: Vec<f64>,
+    red_unit: Vec<f64>,
+    wake_of: Vec<f64>,
+    acc: [StepAcc; 2],
+}
+
+impl PriceScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> PriceScratch {
+        PriceScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.policies.clear();
+        self.policy_of.clear();
+        self.policy_of.resize(n, 0);
+        self.barrier.clear();
+        self.barrier.resize(n, 0.0);
+        self.red_unit.clear();
+        self.red_unit.resize(n, 0.0);
+        for acc in &mut self.acc {
+            acc.reset(n);
+        }
+    }
 }
 
 /// In-memory plan cache for one `(arch, model, seed)` batch: maps each
@@ -327,6 +569,44 @@ impl PlanCache {
         };
         self.misses.fetch_add(1, Ordering::Relaxed);
         omptel::add(omptel::Counter::PlanCacheMisses, 1);
+        Arc::clone(
+            self.plans
+                .lock()
+                .expect("plan cache poisoned")
+                .entry(key)
+                .or_insert(built),
+        )
+    }
+
+    /// The plan for a whole group of `group` configurations sharing
+    /// `tuning`'s projection — one cache probe for the group, counted
+    /// exactly as `group` per-config [`PlanCache::plan`] calls would be
+    /// (a cached plan scores `group` hits; a build scores one miss plus
+    /// `group - 1` hits), so hit-rate telemetry is unchanged by
+    /// batching.
+    pub fn plan_batch(&self, tuning: &TuningConfig, model: &Model, group: u64) -> Arc<RegionPlan> {
+        debug_assert!(group >= 1, "a plan group holds at least one config");
+        debug_assert_eq!(
+            model.name, self.model_name,
+            "plan cache is per (arch, model, seed)"
+        );
+        let key = tuning.plan_projection();
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(group, Ordering::Relaxed);
+            omptel::add(omptel::Counter::PlanCacheHits, group);
+            omptel::instant(omptel::SpanKind::PlanHit, group);
+            return Arc::clone(plan);
+        }
+        let built = {
+            let _s = omptel::span(omptel::SpanKind::PlanBuild, 0);
+            Arc::new(RegionPlan::build(self.arch, key, model, self.seed))
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        omptel::add(omptel::Counter::PlanCacheMisses, 1);
+        if group > 1 {
+            self.hits.fetch_add(group - 1, Ordering::Relaxed);
+            omptel::add(omptel::Counter::PlanCacheHits, group - 1);
+        }
         Arc::clone(
             self.plans
                 .lock()
@@ -525,7 +805,108 @@ mod tests {
         });
     }
 
+    fn pricing_variants(arch: Arch, t: usize) -> Vec<TuningConfig> {
+        let mut out = Vec::new();
+        for blocktime in [
+            KmpBlocktime::Zero,
+            KmpBlocktime::Default200,
+            KmpBlocktime::Infinite,
+        ] {
+            for force in [
+                KmpForceReduction::Unset,
+                KmpForceReduction::Tree,
+                KmpForceReduction::Critical,
+                KmpForceReduction::Atomic,
+            ] {
+                for align in [KmpAlignAlloc(64), KmpAlignAlloc(4096)] {
+                    let mut c = TuningConfig::default_for(arch, t);
+                    c.schedule = OmpSchedule::Dynamic;
+                    c.blocktime = blocktime;
+                    c.force_reduction = force;
+                    c.align_alloc = align;
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_bit_equal(a: &SimResult, b: &SimResult, what: &str) {
+        assert_eq!(a.total_ns.to_bits(), b.total_ns.to_bits(), "{what}: total");
+        assert_eq!(a.regions, b.regions, "{what}: regions");
+        let (x, y) = (&a.breakdown, &b.breakdown);
+        for (l, r, f) in [
+            (x.compute_ns, y.compute_ns, "compute"),
+            (x.memory_ns, y.memory_ns, "memory"),
+            (x.sync_ns, y.sync_ns, "sync"),
+            (x.wake_ns, y.wake_ns, "wake"),
+            (x.dispatch_ns, y.dispatch_ns, "dispatch"),
+            (x.serial_ns, y.serial_ns, "serial"),
+        ] {
+            assert_eq!(l.to_bits(), r.to_bits(), "{what}: {f}");
+        }
+    }
+
+    #[test]
+    fn batch_pricing_is_bit_identical_to_sequential() {
+        let m = mixed_model();
+        let mut scratch = PriceScratch::new();
+        for arch in [Arch::A64fx, Arch::Skylake, Arch::Milan] {
+            let variants = pricing_variants(arch, 20);
+            let cache = PlanCache::new(arch, &m, 5);
+            let plan = cache.plan_batch(&variants[0], &m, variants.len() as u64);
+            let mut out = Vec::new();
+            plan.price_batch(&variants, &mut scratch, &mut out);
+            assert_eq!(out.len(), variants.len());
+            for (c, got) in variants.iter().zip(&out) {
+                assert_bit_equal(got, &plan.price(c), &format!("{arch:?} {c:?}"));
+            }
+            // Scratch reuse across a differently-sized batch stays exact.
+            let mut out2 = Vec::new();
+            plan.price_batch(&variants[..5], &mut scratch, &mut out2);
+            for (got, want) in out2.iter().zip(&out[..5]) {
+                assert_bit_equal(got, want, "scratch reuse");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_batch_counts_like_per_config_plan_calls() {
+        let m = mixed_model();
+        let cache = PlanCache::new(Arch::Skylake, &m, 3);
+        let c = TuningConfig::default_for(Arch::Skylake, 8);
+        // Cold group: one build, the rest of the group are hits.
+        cache.plan_batch(&c, &m, 24);
+        assert_eq!(cache.stats(), (23, 1));
+        // Warm group: all hits.
+        cache.plan_batch(&c, &m, 24);
+        assert_eq!(cache.stats(), (47, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
     use crate::TEL_TEST_LOCK as TEL_LOCK;
+
+    #[test]
+    fn batch_pricing_matches_across_telemetry_paths() {
+        // The telemetry-active fallback (per-config price) and the SoA
+        // fast path must agree bit-for-bit.
+        let _guard = TEL_LOCK.lock().unwrap();
+        let m = mixed_model();
+        let variants = pricing_variants(Arch::Milan, 16);
+        let cache = PlanCache::new(Arch::Milan, &m, 2);
+        let plan = cache.plan_batch(&variants[0], &m, variants.len() as u64);
+        let mut scratch = PriceScratch::new();
+        let mut fast = Vec::new();
+        plan.price_batch(&variants, &mut scratch, &mut fast);
+        let session = omptel::session().expect("no other session active");
+        let mut slow = Vec::new();
+        plan.price_batch(&variants, &mut scratch, &mut slow);
+        session.finish();
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_bit_equal(a, b, "telemetry fallback");
+        }
+    }
 
     #[test]
     fn plan_cache_counters_reach_telemetry() {

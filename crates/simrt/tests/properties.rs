@@ -174,6 +174,81 @@ proptest! {
         prop_assert!(misses >= 1);
     }
 
+    /// Batch pricing (SoA loop-nest transpose) is bit-identical to
+    /// per-config pricing for arbitrary architectures, projections, and
+    /// workload shapes — the contract that lets the scheduler price a
+    /// whole miss group against one plan fetch.
+    #[test]
+    fn price_batch_is_bit_identical_to_per_config_price(
+        arch in arch_strategy(),
+        config_idx in 0usize..4608,
+        seed in any::<u64>(),
+        iters in 0u64..200_000,
+        n_tasks in 0u64..50_000,
+        timesteps in 1u32..6,
+        reductions in 0u32..3,
+        serial_ns in 0.0f64..50_000.0,
+    ) {
+        use omptune_core::{KmpAlignAlloc, KmpBlocktime, KmpForceReduction};
+        let t = arch.cores();
+        let space = ConfigSpace::new(arch, t);
+        let base = space.get(config_idx % space.len()).expect("in space");
+        // Every pricing variant of the base projection: the 24-config
+        // group a scheduling unit batches together.
+        let mut group = Vec::new();
+        for bt in [KmpBlocktime::Zero, KmpBlocktime::Default200, KmpBlocktime::Infinite] {
+            for fr in [
+                KmpForceReduction::Unset,
+                KmpForceReduction::Tree,
+                KmpForceReduction::Critical,
+                KmpForceReduction::Atomic,
+            ] {
+                for al in [KmpAlignAlloc(64), KmpAlignAlloc(4096)] {
+                    let mut c = base;
+                    c.blocktime = bt;
+                    c.force_reduction = fr;
+                    c.align_alloc = al;
+                    group.push(c);
+                }
+            }
+        }
+        let mut model = loop_model(iters, 250.0, timesteps);
+        if let Phase::Loop(l) = &mut model.phases[0] {
+            l.reductions = reductions;
+            l.imbalance = Imbalance::Random { cv: 0.3 };
+        }
+        model.phases.push(Phase::Serial { ns: serial_ns });
+        model.phases.push(Phase::Tasks(TaskPhase {
+            n_tasks,
+            cycles_per_task: 600.0,
+            cv: 0.2,
+            starvation: 0.3,
+            bytes_per_task: 8.0,
+        }));
+        let cache = PlanCache::new(arch, &model, seed);
+        let plan = cache.plan_batch(&group[0], &model, group.len() as u64);
+        let mut out = Vec::new();
+        let mut scratch = simrt::PriceScratch::new();
+        plan.price_batch(&group, &mut scratch, &mut out);
+        prop_assert_eq!(out.len(), group.len());
+        for (c, got) in group.iter().zip(&out) {
+            let want = plan.price(c);
+            prop_assert_eq!(
+                got.total_ns.to_bits(),
+                want.total_ns.to_bits(),
+                "total differs for {:?}: {} vs {}", c, got.total_ns, want.total_ns
+            );
+            prop_assert_eq!(got.regions, want.regions);
+            prop_assert_eq!(
+                got.breakdown.sync_ns.to_bits(), want.breakdown.sync_ns.to_bits()
+            );
+            prop_assert_eq!(
+                got.breakdown.wake_ns.to_bits(), want.breakdown.wake_ns.to_bits()
+            );
+            prop_assert_eq!(got, &want);
+        }
+    }
+
     /// The default configuration is never the absolute worst: the
     /// master-bind configs must always be at least as slow.
     #[test]

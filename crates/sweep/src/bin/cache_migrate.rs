@@ -1,0 +1,68 @@
+//! `cache-migrate` — upgrade a legacy JSON-lines sample cache to the
+//! indexed binary form.
+//!
+//! Walks a cache directory (the root and its per-architecture
+//! subdirectories), converting every `*.jsonl` batch into the
+//! fixed-record `*.bin` form the sweep's warm path reads. The JSONL
+//! files are left in place as the archival form; conversion is atomic
+//! per file (tmp + rename) and idempotent. Exit status is nonzero when
+//! the directory cannot be walked or a converted file cannot be
+//! written; unparsable records are skipped and reported, matching the
+//! tolerant loader's semantics.
+
+use std::process::ExitCode;
+
+const HELP: &str = "\
+cache-migrate — upgrade a JSONL sample cache to the indexed binary form
+
+USAGE:
+    cache-migrate CACHE_DIR
+
+The archival .jsonl batches are kept; a .bin sibling is written next to
+each (atomically, idempotently). Records that cannot be parsed, or that
+disagree with their file's leading spec, are skipped — they were
+already cache misses.
+
+OPTIONS:
+    -h, --help      print this help
+";
+
+fn main() -> ExitCode {
+    let mut dir = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("cache-migrate: unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+            p => {
+                if dir.replace(p.to_string()).is_some() {
+                    eprintln!("cache-migrate: more than one directory given");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    match sweep::cache::migrate_cache_dir(std::path::Path::new(&dir)) {
+        Ok(report) => {
+            println!(
+                "cache-migrate: {} file(s) converted, {} record(s) written, \
+                 {} record(s) skipped, {} file(s) skipped",
+                report.files, report.records, report.skipped_records, report.skipped_files
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cache-migrate: FAIL: {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -245,6 +245,21 @@ impl SweepState {
              \"omptel_ring_events_total\":{events},\
              \"omptel_ring_dropped_total\":{dropped},"
         ));
+        // Warm-sweep engine counters: batch pricing, the indexed binary
+        // cache, and the worker allocation pools. Zero outside a
+        // telemetry session (counters are session-gated).
+        let counters = omptel::counters_now();
+        out.push_str(&format!(
+            "\"engine\":{{\"priced_batches\":{},\
+             \"sample_cache_index_hits\":{},\
+             \"sample_cache_tmp_reaped\":{},\
+             \"pool_hits\":{},\"pool_misses\":{}}},",
+            counters.get(omptel::Counter::PricedBatches),
+            counters.get(omptel::Counter::SampleCacheIndexHits),
+            counters.get(omptel::Counter::SampleCacheTmpReaped),
+            counters.get(omptel::Counter::PoolHits),
+            counters.get(omptel::Counter::PoolMisses),
+        ));
         match omptel::installed_watchdog() {
             Some(w) => {
                 let (flagged, corrupt) = w.counts();

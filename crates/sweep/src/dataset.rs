@@ -110,12 +110,7 @@ mod tests {
     fn batch(arch: Arch, app: &str, runtimes: Vec<Vec<f64>>) -> SettingData {
         let t = arch.cores();
         SettingData {
-            key: RunKey {
-                arch,
-                app: app.into(),
-                input_code: 0,
-                num_threads: t,
-            },
+            key: RunKey::new(arch, app, 0, t),
             samples: runtimes
                 .into_iter()
                 .enumerate()

@@ -79,12 +79,7 @@ mod tests {
     #[test]
     fn raw_json_roundtrip() {
         let batches = vec![SettingData {
-            key: RunKey {
-                arch: Arch::A64fx,
-                app: "ep".into(),
-                input_code: 2,
-                num_threads: 48,
-            },
+            key: RunKey::new(Arch::A64fx, "ep", 2, 48),
             samples: vec![RawSample {
                 config_index: 17,
                 config: TuningConfig::default_for(Arch::A64fx, 48),

@@ -18,11 +18,15 @@ pub mod runner;
 pub mod schedule;
 pub mod spec;
 
-pub use cache::{BatchEntries, CacheRecord, SampleCache, DEFAULT_ROW_INDEX, ENGINE_VERSION};
+pub use cache::{
+    migrate_cache_dir, BatchEntries, CacheRecord, MigrationReport, SampleCache, DEFAULT_ROW_INDEX,
+    ENGINE_VERSION,
+};
 pub use dataset::{clean, CleanReport, Dataset, DropReason};
 pub use provenance::{
-    config_hash, provenance_of, read_manifest, read_provenance_jsonl, slice_fingerprint,
-    write_manifest, write_provenance_jsonl, ArchManifest, RunManifest, SampleProvenance,
+    config_fingerprint, config_hash, provenance_of, read_manifest, read_provenance_jsonl,
+    slice_fingerprint, write_manifest, write_provenance_jsonl, ArchManifest, RunManifest,
+    SampleProvenance,
 };
 pub use runner::{
     noise_stream, sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting,

@@ -26,6 +26,31 @@ pub fn config_hash(config: &TuningConfig) -> u64 {
     h
 }
 
+/// FNV-1a over a configuration's fields directly — no serialization, so
+/// a fingerprint costs a handful of integer folds instead of a JSON
+/// encode. This is the hot-path content address the binary sample cache
+/// verifies on every warm lookup; [`config_hash`] remains the archival
+/// join key (the two are different hash domains and never compared to
+/// each other).
+pub fn config_fingerprint(config: &TuningConfig) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    fold(config.places as u64);
+    fold(config.proc_bind as u64);
+    fold(config.schedule as u64);
+    fold(config.library as u64);
+    fold(config.blocktime as u64);
+    fold(config.force_reduction as u64);
+    fold(config.align_alloc.0 as u64);
+    fold(config.num_threads as u64);
+    h
+}
+
 /// Everything needed to reproduce (and audit) one sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SampleProvenance {
@@ -113,9 +138,10 @@ pub fn write_provenance_jsonl<W: Write>(
     records: &[SampleProvenance],
     out: &mut W,
 ) -> io::Result<()> {
+    // Serialize straight into the writer: no per-record String
+    // allocation, byte-identical output to the to_string form.
     for r in records {
-        let line = serde_json::to_string(r).map_err(io::Error::other)?;
-        out.write_all(line.as_bytes())?;
+        serde_json::to_writer(&mut *out, r).map_err(io::Error::other)?;
         out.write_all(b"\n")?;
     }
     Ok(())
@@ -281,6 +307,32 @@ mod tests {
         // Stable across calls.
         let c = &batches[0].samples[0].config;
         assert_eq!(config_hash(c), config_hash(c));
+    }
+
+    #[test]
+    fn config_fingerprint_distinguishes_configs() {
+        let (batches, _) = tiny_batch();
+        let prints: std::collections::HashSet<u64> = batches[0]
+            .samples
+            .iter()
+            .map(|s| config_fingerprint(&s.config))
+            .collect();
+        assert_eq!(
+            prints.len(),
+            batches[0].samples.len(),
+            "fingerprint collision"
+        );
+        let c = &batches[0].samples[0].config;
+        assert_eq!(config_fingerprint(c), config_fingerprint(c));
+        // Every field participates.
+        let base = omptune_core::TuningConfig::default_for(Arch::Milan, 48);
+        let fp = config_fingerprint(&base);
+        let mut v = base;
+        v.align_alloc = omptune_core::KmpAlignAlloc(base.align_alloc.0 ^ 4096);
+        assert_ne!(config_fingerprint(&v), fp);
+        let mut v = base;
+        v.num_threads += 1;
+        assert_ne!(config_fingerprint(&v), fp);
     }
 
     #[test]

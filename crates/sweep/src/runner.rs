@@ -13,12 +13,108 @@ use serde::{Deserialize, Serialize};
 use workloads::{AppSpec, Setting};
 
 /// Identity of one sweep batch.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct RunKey {
     pub arch: Arch,
     pub app: String,
     pub input_code: u32,
     pub num_threads: usize,
+    /// Lazily-built cache-file stem (`<app>-i<input>-t<threads>`), so
+    /// warm cache traffic never re-formats batch paths. Derived from
+    /// the identity fields; excluded from equality, hashing, and serde.
+    stem: std::sync::OnceLock<String>,
+}
+
+impl RunKey {
+    /// A batch identity. Use this (not a struct literal) so the derived
+    /// path stem starts unset.
+    pub fn new(arch: Arch, app: impl Into<String>, input_code: u32, num_threads: usize) -> RunKey {
+        RunKey {
+            arch,
+            app: app.into(),
+            input_code,
+            num_threads,
+            stem: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The batch-file stem `<app>-i<input>-t<threads>`, formatted once
+    /// per key and cached.
+    pub fn stem(&self) -> &str {
+        self.stem
+            .get_or_init(|| format!("{}-i{}-t{}", self.app, self.input_code, self.num_threads))
+    }
+}
+
+impl PartialEq for RunKey {
+    fn eq(&self, other: &RunKey) -> bool {
+        self.arch == other.arch
+            && self.app == other.app
+            && self.input_code == other.input_code
+            && self.num_threads == other.num_threads
+    }
+}
+
+impl Eq for RunKey {}
+
+impl std::hash::Hash for RunKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.arch.hash(state);
+        self.app.hash(state);
+        self.input_code.hash(state);
+        self.num_threads.hash(state);
+    }
+}
+
+impl std::fmt::Debug for RunKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunKey")
+            .field("arch", &self.arch)
+            .field("app", &self.app)
+            .field("input_code", &self.input_code)
+            .field("num_threads", &self.num_threads)
+            .finish()
+    }
+}
+
+// Hand-written (not derived) so the lazy `stem` stays out of the
+// serialized form; the encoding matches what the derive produced before
+// the stem existed, so persisted keys parse unchanged.
+impl Serialize for RunKey {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                serde::Value::Str("arch".to_string()),
+                self.arch.serialize_value(),
+            ),
+            (
+                serde::Value::Str("app".to_string()),
+                self.app.serialize_value(),
+            ),
+            (
+                serde::Value::Str("input_code".to_string()),
+                self.input_code.serialize_value(),
+            ),
+            (
+                serde::Value::Str("num_threads".to_string()),
+                self.num_threads.serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RunKey {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "RunKey"))?;
+        Ok(RunKey::new(
+            serde::__field::<Arch>(map, "arch")?,
+            serde::__field::<String>(map, "app")?,
+            serde::__field::<u32>(map, "input_code")?,
+            serde::__field::<usize>(map, "num_threads")?,
+        ))
+    }
 }
 
 /// Telemetry attached to every sample: the simulator's virtual-time
@@ -140,7 +236,22 @@ pub(crate) fn run_config_sim(
         Some(cache) => simrt::simulate_with_cache(key.arch, config, model, spec.seed, cache),
         None => simrt::simulate(key.arch, config, model, spec.seed),
     };
-    let telemetry = SampleTelemetry::from_sim(&sim);
+    sample_from_sim(key, &sim, config_index, spec, noise)
+}
+
+/// Turn one simulation result into a sample: telemetry plus noised
+/// (and failure-injected) repetition times. Split out of
+/// [`run_config_sim`] so the scheduler's batched pricing path applies
+/// the identical post-processing to [`simrt::RegionPlan::price_batch`]
+/// output.
+pub(crate) fn sample_from_sim(
+    key: &RunKey,
+    sim: &simrt::SimResult,
+    config_index: usize,
+    spec: &SweepSpec,
+    noise: &NoiseModel,
+) -> (Vec<f64>, SampleTelemetry) {
+    let telemetry = SampleTelemetry::from_sim(sim);
     let base = sim.seconds();
     let stream = noise_stream(key, config_index);
     let runtimes = (0..spec.reps)
@@ -188,12 +299,7 @@ pub fn sweep_setting(
     setting_idx: usize,
     spec: &SweepSpec,
 ) -> SettingData {
-    let key = RunKey {
-        arch,
-        app: app.name.to_string(),
-        input_code: setting.input_code,
-        num_threads: setting.num_threads,
-    };
+    let key = RunKey::new(arch, app.name, setting.input_code, setting.num_threads);
     let noise = NoiseModel::for_machine(arch.id());
     let configs = configs_for(arch, setting.num_threads, setting_idx, spec.scope);
 

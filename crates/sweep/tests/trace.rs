@@ -94,6 +94,60 @@ fn live_sweep_trace_is_well_nested_with_resolved_flows() {
     assert_eq!(exported.orphan_spans, 0);
 }
 
+/// A telemetry session over a scheduled sweep surfaces the warm-engine
+/// counters (batch pricing, pool reuse, indexed lookups) without
+/// changing the results: the batched fast path stays active under a
+/// counter session and the provenance bytes match an unmonitored run.
+#[test]
+fn engine_counters_surface_under_telemetry_session() {
+    let _guard = recorder_lock();
+    let spec = spec();
+    let cache = SampleCache::new(tmp_dir("engine-counters"));
+
+    let plain = sweep::sweep_arch_scheduled(Arch::Skylake, &spec, &SweepOptions::new(4));
+    let reference = provenance_bytes(&plain.batches, &spec);
+
+    let session = omptel::session().expect("no other omptel session is live");
+    let cold = sweep::sweep_arch_scheduled(
+        Arch::Skylake,
+        &spec,
+        &SweepOptions::new(4).with_cache(&cache),
+    );
+    let warm = sweep::sweep_arch_scheduled(
+        Arch::Skylake,
+        &spec,
+        &SweepOptions::new(4).with_cache(&cache),
+    );
+    let batch = session.finish();
+
+    assert_eq!(
+        provenance_bytes(&cold.batches, &spec),
+        reference,
+        "session-monitored cold sweep changed the provenance bytes"
+    );
+    assert_eq!(
+        provenance_bytes(&warm.batches, &spec),
+        reference,
+        "session-monitored warm sweep changed the provenance bytes"
+    );
+
+    let c = &batch.counters;
+    assert!(
+        c.get(omptel::Counter::PricedBatches) > 0,
+        "cold sweep priced no batches under the session"
+    );
+    assert!(
+        c.get(omptel::Counter::SampleCacheIndexHits) > 0,
+        "warm sweep answered no lookups from the binary index"
+    );
+    assert!(
+        c.get(omptel::Counter::PoolHits) > 0,
+        "steady-state units never reused pooled buffers"
+    );
+
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
 #[test]
 fn corrupt_cache_batch_recomputes_identically_and_is_flagged() {
     let _guard = recorder_lock();
@@ -105,18 +159,19 @@ fn corrupt_cache_batch_recomputes_identically_and_is_flagged() {
         sweep::sweep_arch_scheduled(Arch::Milan, &spec, &SweepOptions::new(2).with_cache(&cache));
     let reference = provenance_bytes(&cold.batches, &spec);
 
-    // Vandalize the first record of one cached batch file.
+    // Vandalize the first record of one hot binary batch file (its
+    // checksum fails, so exactly one record degrades to a miss).
     let arch_dir = cache.dir().join("milan");
     let victim = std::fs::read_dir(&arch_dir)
         .expect("cache populated")
-        .next()
-        .expect("at least one batch file")
-        .expect("readable entry")
-        .path();
-    let text = std::fs::read_to_string(&victim).unwrap();
-    let mut lines: Vec<String> = text.lines().map(String::from).collect();
-    lines[0] = "{\"engine\": 1, \"seed\": truncated-garbage".into();
-    std::fs::write(&victim, lines.join("\n")).unwrap();
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "bin"))
+        .expect("at least one binary batch file");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let header = 8 * 8;
+    bytes[header + 16] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
 
     // Re-run under the recorder with a watchdog collecting dumps.
     let rec = omptel::Recorder::start(omptel::RecorderOptions::default())

@@ -43,6 +43,28 @@ cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/warm/provenance.jsonl
 }
 echo "cold and warm provenance byte-identical"
 
+# Migration gate: a legacy JSONL-only cache upgraded in place by
+# cache-migrate must warm-answer byte-identically to the sweep-written
+# binary cache. Strip the hot .bin files (leaving the archival JSONL —
+# exactly what a pre-binary cache directory looks like), convert, then
+# warm-sweep at a third worker count.
+echo
+echo "==> cache migration gate (JSONL-only -> cache-migrate -> warm sweep)"
+find "$coherence_dir/cache" -name '*.bin' -delete
+migrate_out="$(cargo run --release -p sweep --bin cache-migrate -- "$coherence_dir/cache")"
+echo "$migrate_out"
+grep -qE '^cache-migrate: [1-9][0-9]* file\(s\) converted' <<<"$migrate_out" || {
+    echo "verify: cache-migrate converted no files" >&2
+    exit 1
+}
+cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/migrated" \
+    --workers 1 --cache-dir "$coherence_dir/cache" 2>/dev/null
+cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/migrated/provenance.jsonl" || {
+    echo "verify: warm sweep over a migrated cache diverged from the cold sweep" >&2
+    exit 1
+}
+echo "migrated cache answers byte-identically (workers 4, 2, 1 all agree)"
+
 # Trace validation: a live traced collect run must (a) leave the
 # provenance byte-identical to the untraced runs above, and (b) export a
 # structurally valid trace — spans well-nested per thread, every
@@ -111,6 +133,10 @@ grep -q '"omptel_ring_dropped_total"' <<<"$sweep_json" || {
 }
 grep -q '"watchdog"' <<<"$sweep_json" || {
     echo "verify: /sweep JSON is missing the watchdog counters" >&2
+    exit 1
+}
+grep -q '"priced_batches"' <<<"$sweep_json" || {
+    echo "verify: /sweep JSON is missing the warm-engine counters" >&2
     exit 1
 }
 influence_json="$(http_get "$addr" /influence)"
