@@ -229,8 +229,20 @@ fn run(scope: Scope, write_json: bool) {
             reps_json(&influence_reps),
             reps_json(&attribute_reps)
         );
-        std::fs::write(&path, json).expect("write BENCH_profile.json");
+        std::fs::write(&path, &json).expect("write BENCH_profile.json");
         println!("  wrote {}", path.display());
+        register_bench("attribution_throughput", &json);
+    }
+}
+
+/// Append this bench's results to the longitudinal run registry
+/// (best-effort: a missing or locked registry never fails the bench).
+fn register_bench(name: &str, json: &str) {
+    let dir = sweep::registry::env_registry_dir()
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.ompobs"));
+    match sweep::record_bench(&dir, name, json) {
+        Ok(rec) => println!("  registered run #{} in {}", rec.seq, dir.display()),
+        Err(e) => eprintln!("  registry {} unavailable: {e}", dir.display()),
     }
 }
 

@@ -108,8 +108,20 @@ fn run(seeds: u64, write_json: bool) {
             corpus.len(),
             reps.join(", ")
         );
-        std::fs::write(&path, json).expect("write BENCH_checker.json");
+        std::fs::write(&path, &json).expect("write BENCH_checker.json");
         println!("  wrote {}", path.display());
+        register_bench("checker_throughput", &json);
+    }
+}
+
+/// Append this bench's results to the longitudinal run registry
+/// (best-effort: a missing or locked registry never fails the bench).
+fn register_bench(name: &str, json: &str) {
+    let dir = sweep::registry::env_registry_dir()
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.ompobs"));
+    match sweep::record_bench(&dir, name, json) {
+        Ok(rec) => println!("  registered run #{} in {}", rec.seq, dir.display()),
+        Err(e) => eprintln!("  registry {} unavailable: {e}", dir.display()),
     }
 }
 

@@ -17,9 +17,16 @@
 //! and does not fail the gate — one cold outlier repetition should not
 //! block a merge. Without reps the band alone decides, conservatively.
 //!
-//! Exit codes: `0` pass, `1` regression, `2` usage error, `3` the
-//! baseline (or current) file is missing or unparsable — so CI can
-//! distinguish "the code got slower" from "the gate could not run".
+//! A *missing* baseline is not a failure: the current results are
+//! seeded as the new baseline (and recorded into the run registry so
+//! the trail starts at the same point), `BASELINE-SEEDED` is printed,
+//! and the gate passes — the first run of a new bench self-initialises
+//! instead of forcing a manual bootstrap step.
+//!
+//! Exit codes: `0` pass (including a seeded baseline), `1` regression,
+//! `2` usage error, `3` the baseline (or current) file is unparsable —
+//! so CI can distinguish "the code got slower" from "the gate could
+//! not run".
 
 use mlstats::wilcoxon::{wilcoxon_signed_rank, WilcoxonError};
 use std::process::ExitCode;
@@ -38,8 +45,10 @@ OPTIONS:
     -h, --help       print this help
 
 EXIT CODES:
-    0  pass            1  regression beyond the band
-    2  usage error     3  baseline/current missing or unparsable
+    0  pass (a missing baseline is seeded from the current results)
+    1  regression beyond the band
+    2  usage error
+    3  baseline/current unparsable
 ";
 
 const EXIT_REGRESSION: u8 = 1;
@@ -126,6 +135,47 @@ fn significance(base: &BenchDoc, cur: &BenchDoc, key: &str) -> Option<f64> {
     }
 }
 
+/// Bench name from a baseline path: `BENCH_sweep.json` -> `sweep`.
+fn bench_name(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .map(|s| s.strip_prefix("BENCH_").unwrap_or(s).to_string())
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// First run against a bench with no committed baseline: adopt the
+/// current (already-validated) results as the baseline and register
+/// them so the longitudinal trail starts here.
+fn seed_baseline(base_path: &str, cur_path: &str) -> ExitCode {
+    if let Err(e) = std::fs::copy(cur_path, base_path) {
+        eprintln!("bench-diff: seeding {base_path} from {cur_path}: {e}");
+        return ExitCode::from(EXIT_BAD_INPUT);
+    }
+    let registry_dir = sweep::registry::env_registry_dir().unwrap_or_else(|| {
+        std::path::Path::new(base_path)
+            .parent()
+            .unwrap_or_else(|| std::path::Path::new("."))
+            .join(".ompobs")
+    });
+    match std::fs::read_to_string(cur_path) {
+        Ok(text) => match sweep::record_bench(&registry_dir, &bench_name(base_path), &text) {
+            Ok(rec) => eprintln!(
+                "bench-diff: registered seed as run #{} in {}",
+                rec.seq,
+                registry_dir.display()
+            ),
+            Err(e) => eprintln!(
+                "bench-diff: registry {} unavailable ({e}) — baseline seeded anyway",
+                registry_dir.display()
+            ),
+        },
+        Err(e) => eprintln!("bench-diff: re-reading {cur_path}: {e}"),
+    }
+    println!("BASELINE-SEEDED: {base_path} adopted from {cur_path}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut baseline = None;
     let mut current = None;
@@ -161,18 +211,21 @@ fn main() -> ExitCode {
         eprint!("{HELP}");
         return ExitCode::from(EXIT_USAGE);
     };
+    let cur = match load(&cur_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench-diff: current results unusable: {e}");
+            return ExitCode::from(EXIT_BAD_INPUT);
+        }
+    };
+    if !std::path::Path::new(&base_path).exists() {
+        return seed_baseline(&base_path, &cur_path);
+    }
     let base = match load(&base_path) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("bench-diff: baseline unusable: {e}");
             eprintln!("bench-diff: regenerate it with `cargo bench -p bench-harness --bench sweep_warmcold` and commit the result");
-            return ExitCode::from(EXIT_BAD_INPUT);
-        }
-    };
-    let cur = match load(&cur_path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("bench-diff: current results unusable: {e}");
             return ExitCode::from(EXIT_BAD_INPUT);
         }
     };

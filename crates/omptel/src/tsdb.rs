@@ -384,6 +384,67 @@ mod tests {
     }
 
     #[test]
+    fn downsample_on_read_at_ring_wrap_covers_only_the_retained_window() {
+        let dir = tmp("wrapread");
+        let mut db = Tsdb::open(&dir, 8).unwrap();
+        for i in 0..20u64 {
+            db.append("s", Point::single(i, i as f64)).unwrap();
+        }
+        // The ring wrapped: 12 points overwritten, 8 retained (ts 12..=19).
+        let (down, dropped) = Tsdb::read_downsampled(&dir, "s", 3).unwrap();
+        assert_eq!(dropped, 12, "drop count survives the downsample");
+        assert_eq!(down.len(), 3);
+        assert_eq!(
+            down.iter().map(|p| p.count).sum::<u64>(),
+            8,
+            "buckets cover exactly the retained window"
+        );
+        let expected_sum: f64 = (12..20).map(|i| i as f64).sum();
+        let sum: f64 = down.iter().map(|p| p.sum).sum();
+        assert!((sum - expected_sum).abs() < 1e-12);
+        assert_eq!(
+            down.last().unwrap().ts,
+            19,
+            "newest point anchors the last bucket"
+        );
+        for w in down.windows(2) {
+            assert!(w[0].ts < w[1].ts, "wrap must not reorder timestamps");
+        }
+        // Asking for at least as many buckets as retained points is the
+        // identity read, wrapped or not.
+        let (full, _) = Tsdb::read_downsampled(&dir, "s", 8).unwrap();
+        let (raw, _) = Tsdb::read(&dir, "s").unwrap();
+        assert_eq!(full, raw);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn downsample_at_single_record_boundaries() {
+        let dir = tmp("single");
+        let mut db = Tsdb::open(&dir, 8).unwrap();
+        db.append("one", Point::single(42, 7.5)).unwrap();
+        // One stored point: every max_points returns it unchanged —
+        // including 0, which clamps to one bucket rather than erasing
+        // the series.
+        for max in [0usize, 1, 2, 100] {
+            let (down, dropped) = Tsdb::read_downsampled(&dir, "one", max).unwrap();
+            assert_eq!(dropped, 0);
+            assert_eq!(down, vec![Point::single(42, 7.5)], "max_points={max}");
+        }
+        // Two points into one bucket: the aggregate merges, the bucket
+        // keeps the newest timestamp, and the mean is exact.
+        db.append("one", Point::single(43, 2.5)).unwrap();
+        let (down, _) = Tsdb::read_downsampled(&dir, "one", 1).unwrap();
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].ts, 43);
+        assert_eq!(down[0].count, 2);
+        assert_eq!(down[0].value(), 5.0);
+        // The empty slice is its own fixed point.
+        assert!(downsample(&[], 4).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn tsdb_directory_lists_and_reads_series() {
         let dir = tmp("dir");
         let mut db = Tsdb::open(&dir, 32).unwrap();

@@ -81,6 +81,15 @@ OPTIONS:
     --no-influence    skip the streaming influence tracker: /influence
                       reports it disabled and no influence time-series
                       are recorded
+    --registry DIR    longitudinal run registry directory; every run
+                      appends a content-addressed RunRecord there for
+                      `ompobs` (default: a `.ompobs/` sibling of
+                      OUT_DIR, or $OMPOBS_DIR when set)
+    --no-registry     do not record this run in the registry
+    --perturb A:F     fault injection for sentinel testing: scale every
+                      runtime and virtual-time figure of architecture A
+                      by factor F (e.g. skylake:1.10) before any
+                      artifact is written
     -h, --help        print this help
 ";
 
@@ -93,6 +102,8 @@ struct Cli {
     trace: Option<PathBuf>,
     monitor: Option<String>,
     influence: bool,
+    registry: Option<PathBuf>,
+    perturb: Option<(Arch, f64)>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -108,6 +119,9 @@ fn parse_cli() -> Result<Cli, String> {
     let mut trace = None;
     let mut monitor = None;
     let mut influence = true;
+    let mut registry_dir: Option<PathBuf> = None;
+    let mut no_registry = false;
+    let mut perturb = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,6 +149,29 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--monitor" => {
                 monitor = Some(args.next().ok_or("--monitor needs an address")?);
+            }
+            "--registry" => {
+                registry_dir = Some(PathBuf::from(
+                    args.next().ok_or("--registry needs a directory")?,
+                ));
+            }
+            "--no-registry" => no_registry = true,
+            "--perturb" => {
+                let v = args.next().ok_or("--perturb needs ARCH:FACTOR")?;
+                let (arch_s, factor_s) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--perturb wants ARCH:FACTOR, got {v}"))?;
+                let arch = *Arch::ALL
+                    .iter()
+                    .find(|a| a.id() == arch_s)
+                    .ok_or_else(|| format!("unknown architecture: {arch_s}"))?;
+                let factor = factor_s
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid perturbation factor: {factor_s}"))?;
+                if !factor.is_finite() || factor <= 0.0 {
+                    return Err("--perturb factor must be finite and positive".into());
+                }
+                perturb = Some((arch, factor));
             }
             "--roster" => {
                 let v = args.next().ok_or("--roster needs a value")?;
@@ -167,6 +204,15 @@ fn parse_cli() -> Result<Cli, String> {
             }
         }
     }
+    let registry = if no_registry {
+        None
+    } else {
+        Some(
+            registry_dir
+                .or_else(sweep::registry::env_registry_dir)
+                .unwrap_or_else(|| sweep::registry::default_registry_dir(&out_dir)),
+        )
+    };
     Ok(Cli {
         scope,
         roster,
@@ -176,7 +222,32 @@ fn parse_cli() -> Result<Cli, String> {
         trace,
         monitor,
         influence,
+        registry,
+        perturb,
     })
+}
+
+/// Fault injection for the change-point sentinel's acceptance test:
+/// scale every runtime and virtual-time figure of one architecture's
+/// batches, exactly as a real regression on that arch would move them.
+/// Applied before any artifact (tsdb, provenance, registry) is built.
+fn perturb_batches(batches: &mut [sweep::SettingData], factor: f64) {
+    for data in batches.iter_mut() {
+        for t in &mut data.default_runtimes {
+            if t.is_finite() {
+                *t *= factor;
+            }
+        }
+        data.default_telemetry.virtual_ns *= factor;
+        for sample in &mut data.samples {
+            for t in &mut sample.runtimes {
+                if t.is_finite() {
+                    *t *= factor;
+                }
+            }
+            sample.telemetry.virtual_ns *= factor;
+        }
+    }
 }
 
 /// One completed arch for the scoreboard: (id, settings, samples,
@@ -186,14 +257,18 @@ type ArchDone = (String, usize, usize, usize, f64);
 /// Shared view of the sweep in flight, rendered by the `/sweep` route.
 struct SweepState {
     scope: String,
+    /// Longitudinal registry context at run start:
+    /// (dir, records, corrupt_skipped). `None` with `--no-registry`.
+    registry: Option<(String, u64, u64)>,
     current: Mutex<Option<(String, Arc<omptel::Progress>, u64)>>,
     completed: Mutex<Vec<ArchDone>>,
 }
 
 impl SweepState {
-    fn new(scope: String) -> SweepState {
+    fn new(scope: String, registry: Option<(String, u64, u64)>) -> SweepState {
         SweepState {
             scope,
+            registry,
             current: Mutex::new(None),
             completed: Mutex::new(Vec::new()),
         }
@@ -269,6 +344,16 @@ impl SweepState {
             }
             None => out.push_str("\"watchdog\":null},"),
         }
+        // Longitudinal registry context: where this run will be
+        // recorded and how much history was already there.
+        match &self.registry {
+            Some((dir, records, corrupt)) => out.push_str(&format!(
+                "\"registry\":{{\"dir\":{},\"records\":{records},\
+                 \"corrupt_skipped\":{corrupt}}},",
+                serde_json::to_string(dir).unwrap_or_else(|_| "\"?\"".to_string())
+            )),
+            None => out.push_str("\"registry\":null,"),
+        }
         out.push_str("\"completed\":[");
         let completed = self.completed.lock().expect("sweep state poisoned");
         for (i, (arch, settings, samples, dropped, elapsed)) in completed.iter().enumerate() {
@@ -296,11 +381,30 @@ fn main() -> std::io::Result<()> {
     fs::create_dir_all(&cli.out_dir)?;
     let cache = cli.cache_dir.map(SampleCache::new);
 
+    // Longitudinal run registry: this run appends a content-addressed
+    // RunRecord when it finishes. Opened up front so the monitor can
+    // serve /runs and report the registry location from the start.
+    let registry = match &cli.registry {
+        Some(dir) => Some(sweep::Registry::open(dir)?),
+        None => None,
+    };
+    let registry_stats = registry.as_ref().map(|r| {
+        let loaded = r.load().unwrap_or_default();
+        (
+            r.dir().display().to_string(),
+            loaded.records.len() as u64,
+            loaded.corrupt_skipped,
+        )
+    });
+
     // Live exposition: the monitor only *reads* (every route renders
     // from a closure at scrape time), so a monitored run's outputs stay
     // byte-identical to an unmonitored one. The telemetry session makes
     // runtime counters visible to /metrics; counters never feed results.
-    let state = Arc::new(SweepState::new(format!("{:?}", cli.scope)));
+    let state = Arc::new(SweepState::new(
+        format!("{:?}", cli.scope),
+        registry_stats.clone(),
+    ));
 
     // Streaming influence: an online logistic model updated from every
     // completed batch (label: did the config beat the arch default?),
@@ -333,8 +437,17 @@ fn main() -> std::io::Result<()> {
     let monitor = match &cli.monitor {
         Some(addr) => {
             let st = state.clone();
+            let reg_stats = registry_stats.clone();
             let metrics: omptel::BodyFn = Arc::new(move || {
                 let mut snap = omptel::MetricsSnapshot::capture();
+                // Registry counters: history depth at run start and how
+                // many records corruption has cost, so scrapers can
+                // alarm on a decaying registry.
+                if let Some((_, records, corrupt)) = &reg_stats {
+                    snap = snap
+                        .gauge("registry_records", *records as f64)
+                        .gauge("registry_corrupt_skipped", *corrupt as f64);
+                }
                 // Progress gauges are always present (zero between
                 // arches) so scrapers never see a series disappear.
                 let (done, total, elapsed) = match st.current_meter() {
@@ -360,8 +473,15 @@ fn main() -> std::io::Result<()> {
                 Some(live) => live.lock().expect("influence tracker poisoned").json(),
                 None => "{\"disabled\":true}".to_string(),
             });
-            let routes: Vec<omptel::Route> =
+            let mut routes: Vec<omptel::Route> =
                 vec![("/influence".to_string(), "application/json", influence_body)];
+            // /runs: the registry listing, loaded fresh per scrape so a
+            // poller sees records land the moment runs finish.
+            if let Some(reg) = &registry {
+                let reg = reg.clone();
+                let runs_body: omptel::BodyFn = Arc::new(move || reg.listing_json());
+                routes.push(("/runs".to_string(), "application/json", runs_body));
+            }
             // If the requested address is squatted, the monitor falls
             // back to an ephemeral port on the same host rather than
             // failing the whole collection run.
@@ -369,12 +489,17 @@ fn main() -> std::io::Result<()> {
             // Scripts discover the actually-bound address (ephemeral
             // or fallback port included) from this file; it is written
             // before any sweeping so pollers never race the run.
-            fs::write(
-                cli.out_dir.join("monitor.addr"),
-                format!("{}\n", m.local_addr()),
-            )?;
+            // First line: the bound address (scripts parse exactly the
+            // first line). Following lines: sidecar metadata, currently
+            // the registry directory this run will record into.
+            let mut addr_doc = format!("{}\n", m.local_addr());
+            if let Some(reg) = &registry {
+                addr_doc.push_str(&format!("registry {}\n", reg.dir().display()));
+            }
+            fs::write(cli.out_dir.join("monitor.addr"), addr_doc)?;
             eprintln!(
-                "monitor: serving /metrics /healthz /sweep /influence on http://{}",
+                "monitor: serving /metrics /healthz /sweep /influence{} on http://{}",
+                if registry.is_some() { " /runs" } else { "" },
                 m.local_addr()
             );
             Some(m)
@@ -402,6 +527,10 @@ fn main() -> std::io::Result<()> {
     let mut manifest = sweep::RunManifest::new(&spec);
     let mut batches = Vec::new();
     let mut timings = Vec::new();
+    // The content-addressed core this run will register: per-arch
+    // stratum series and cost digests, folded from the cleaned batches.
+    let mut run_core = registry.as_ref().map(|_| sweep::CollectCore::new(&spec));
+    let mut agg_stats = sweep::SweepStats::default();
     // Every run records its time-series; `ompmon drift` compares them
     // across runs, so unmonitored CI runs need them too.
     let mut tsdb = omptel::Tsdb::open(cli.out_dir.join("tsdb"), omptel::DEFAULT_CAPACITY)?;
@@ -417,8 +546,28 @@ fn main() -> std::io::Result<()> {
         if let Some(c) = &cache {
             opts = opts.with_cache(c);
         }
-        if let Some(obs) = &influence_obs {
-            opts = opts.with_batch_observer(obs);
+        // Registry digest partials fold per batch on the worker that
+        // finalized it — while the samples are cache-hot — so recording
+        // the run never re-walks the whole sweep. A perturbed arch opts
+        // out: perturbation mutates samples after the sweep, so its
+        // digest must fold the mutated batches instead.
+        let fold_partials =
+            run_core.is_some() && cli.perturb.is_none_or(|(perturbed, _)| perturbed != arch);
+        let fold_sink: Mutex<Vec<(sweep::RunKey, sweep::BatchPartial)>> = Mutex::new(Vec::new());
+        let observer = |data: &sweep::SettingData| {
+            if let Some(obs) = &influence_obs {
+                obs(data);
+            }
+            if fold_partials {
+                let partial = sweep::BatchPartial::fold(data);
+                fold_sink
+                    .lock()
+                    .expect("fold sink poisoned")
+                    .push((data.key.clone(), partial));
+            }
+        };
+        if influence_obs.is_some() || fold_partials {
+            opts = opts.with_batch_observer(&observer);
         }
         if let Some((_, w)) = &recorder {
             opts = opts.with_watchdog(w);
@@ -430,9 +579,28 @@ fn main() -> std::io::Result<()> {
         let elapsed = t0.elapsed().as_secs_f64();
 
         let mut arch_batches = outcome.batches;
+        // Sentinel fault injection: shift this arch's figures before
+        // any artifact sees them, so the perturbation looks exactly
+        // like a real regression to every downstream consumer.
+        if let Some((parch, factor)) = cli.perturb {
+            if parch == arch {
+                perturb_batches(&mut arch_batches, factor);
+                eprintln!("perturb: scaled {} virtual time by {factor}", arch.id());
+            }
+        }
         let mut arch_dropped = 0usize;
         for data in &mut arch_batches {
             arch_dropped += sweep::clean(data, spec.reps as usize).dropped.len();
+        }
+        if let Some(core) = &mut run_core {
+            let partials = std::mem::take(&mut *fold_sink.lock().expect("fold sink poisoned"));
+            if fold_partials && arch_dropped == 0 {
+                // The cleaner kept every sample, so the cache-hot
+                // partials describe exactly the batches being recorded.
+                core.push_arch_partials(arch.id(), &arch_batches, partials, 0);
+            } else {
+                core.push_arch(arch.id(), &arch_batches, arch_dropped as u64);
+            }
         }
 
         // Time-series for the drift sentinel, from the cleaned samples.
@@ -533,6 +701,10 @@ fn main() -> std::io::Result<()> {
             s.steals,
             s.units
         );
+        agg_stats.plan_hits += s.plan_hits;
+        agg_stats.plan_misses += s.plan_misses;
+        agg_stats.steals += s.steals;
+        agg_stats.units += s.units;
         state.finish_arch(
             arch.id(),
             arch_batches.len(),
@@ -627,6 +799,62 @@ fn main() -> std::io::Result<()> {
             "watchdog: {flagged} slow-sample anomalies, {corrupt} corrupt cache records -> {}",
             cli.out_dir.join("anomalies.jsonl").display()
         );
+    }
+
+    // Register the finished run: the deterministic core (hashed) plus
+    // the run-varying context (informational). A registry failure warns
+    // but never fails a collection run that already produced its data.
+    if let (Some(registry), Some(core)) = (&registry, run_core) {
+        if let Some(c) = &cache {
+            let (h, m) = c.stats();
+            agg_stats.sample_hits = h;
+            agg_stats.sample_misses = m;
+        }
+        let engine = omptel::counters_now();
+        let mut counters = vec![
+            ("plan_hits".to_string(), agg_stats.plan_hits),
+            ("plan_misses".to_string(), agg_stats.plan_misses),
+            ("sample_hits".to_string(), agg_stats.sample_hits),
+            ("sample_misses".to_string(), agg_stats.sample_misses),
+            ("steals".to_string(), agg_stats.steals),
+            ("units".to_string(), agg_stats.units),
+            (
+                "priced_batches".to_string(),
+                engine.get(omptel::Counter::PricedBatches),
+            ),
+            (
+                "pool_hits".to_string(),
+                engine.get(omptel::Counter::PoolHits),
+            ),
+            (
+                "pool_misses".to_string(),
+                engine.get(omptel::Counter::PoolMisses),
+            ),
+        ];
+        counters.sort();
+        let info = sweep::RunInfo {
+            workers: cli.workers as u64,
+            elapsed_s: timings.iter().map(|t| t.4).sum(),
+            manifest_digest: fs::read(&manifest_path)
+                .map(|b| sweep::registry::fnv_bytes(&b))
+                .unwrap_or(0),
+            out_dir: cli.out_dir.display().to_string(),
+            counters,
+        };
+        match registry.append(
+            sweep::RunCore::Collect(core),
+            info,
+            &sweep::detect_git_rev(std::path::Path::new(".")),
+            sweep::registry::unix_now(),
+        ) {
+            Ok(rec) => eprintln!(
+                "registry: recorded run #{} ({:016x}) -> {}",
+                rec.seq,
+                rec.record_hash,
+                registry.dir().display()
+            ),
+            Err(e) => eprintln!("registry: failed to record run: {e}"),
+        }
     }
 
     // Stop serving only after every artifact is on disk, so a scraper

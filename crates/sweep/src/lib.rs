@@ -14,6 +14,7 @@ pub mod cache;
 pub mod dataset;
 pub mod export;
 pub mod provenance;
+pub mod registry;
 pub mod runner;
 pub mod schedule;
 pub mod spec;
@@ -27,6 +28,10 @@ pub use provenance::{
     config_fingerprint, config_hash, provenance_of, read_manifest, read_provenance_jsonl,
     slice_fingerprint, write_manifest, write_provenance_jsonl, ArchManifest, RunManifest,
     SampleProvenance,
+};
+pub use registry::{
+    default_registry_dir, detect_git_rev, record_bench, spec_fingerprint, ArchDigest, BatchPartial,
+    BenchCore, CollectCore, Registry, RegistryLoad, RunCore, RunInfo, RunRecord, StratumSeries,
 };
 pub use runner::{
     noise_stream, sweep_all, sweep_all_parallel, sweep_arch, sweep_arch_parallel, sweep_setting,

@@ -1,0 +1,1926 @@
+//! The longitudinal run registry backing `ompobs`: an append-only,
+//! content-addressed log of every collection run and bench invocation.
+//!
+//! Layout of a registry directory (`.ompobs/`):
+//!
+//! - `registry.jsonl` — the archival truth: one JSON record per run,
+//!   append-only, never rewritten. A damaged line degrades to
+//!   skip-with-counter on load (the [`SampleCache`](crate::SampleCache)
+//!   discipline) — corruption costs one record, never the registry.
+//! - `registry.idx` — a binary index in the `OMTSDB01` style
+//!   (`OMPOBS01` magic, fixed-width u64 records, per-record checksums).
+//!   The index is a rebuildable cache over the JSONL: any mismatch —
+//!   truncation, stale length, bad checksum — silently falls back to a
+//!   full JSONL scan and the index is rewritten.
+//!
+//! Every record splits into two parts:
+//!
+//! - **`core`** — the content-addressed digest of what the run
+//!   *computed*: sweep spec, per-arch per-stratum virtual-time series,
+//!   per-app and per-(variable, value) cost digests (or, for bench
+//!   records, the scalar and repetition arrays of a `BENCH_*.json`).
+//!   Virtual time is deterministic given the seed, so the core — and
+//!   therefore [`RunRecord::record_hash`] — is byte-identical at any
+//!   worker count. `f64` figures are stored as `u64` bit patterns for
+//!   exact round-trips.
+//! - **`info`** — everything legitimately run-varying: wall time,
+//!   worker count, scheduler steals, engine counters, the manifest
+//!   digest, the timestamp. Informational only; never hashed.
+//!
+//! The split is what makes the registry a regression instrument: two
+//! records with equal `record_hash` computed the same results, whatever
+//! machine, worker count, or wall clock produced them.
+
+use crate::runner::{RunKey, SettingData};
+use crate::spec::{Roster, Scope, SweepSpec};
+use omptune_core::{
+    Feature, KmpBlocktime, KmpForceReduction, KmpLibrary, OmpPlaces, OmpProcBind, OmpSchedule,
+    TuningConfig,
+};
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Record schema marker written into every JSONL line.
+pub const SCHEMA: &str = "ompobs-run-v1";
+
+/// Config strata the virtual-time series fold into
+/// (`config_index % STRATA`); must match `collect`'s tsdb writer and
+/// `ompmon::STRATA`.
+pub const STRATA: usize = 8;
+
+/// Per-stratum series tail retained in a record. The sentinel pairs
+/// points positionally (tail-aligned, like ring files), so the tail is
+/// the comparable region; capping it keeps record building — and the
+/// record's serialized footprint, which the append path hashes and
+/// writes on every run — inside the warm sweep's ≤1.05x overhead
+/// budget at paper scale.
+pub const SERIES_RETAIN: usize = 16;
+
+const MAGIC: &[u8; 8] = b"OMPOBS01";
+const HEADER_BYTES: usize = 40;
+const RECORD_BYTES: usize = 56;
+
+const KIND_COLLECT: u64 = 0;
+const KIND_BENCH: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Hashing: FNV-1a over bytes for strings/files, and an FNV-style
+// word-at-a-time mix for the record core (the core is mostly u64 words;
+// hashing words instead of rendered text keeps content addressing off
+// the serialization hot path).
+
+/// FNV-1a over raw bytes (same constants as
+/// [`config_hash`](crate::config_hash)).
+pub fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn mix(h: &mut u64, w: u64) {
+    *h ^= w;
+    *h = h.wrapping_mul(0x100000001b3);
+}
+
+fn mix_str(h: &mut u64, s: &str) {
+    mix(h, fnv_bytes(s.as_bytes()));
+    mix(h, s.len() as u64);
+}
+
+/// Content fingerprint of a sweep specification: two runs with equal
+/// fingerprints swept the same space the same way, so the sentinel may
+/// compare them point-for-point.
+pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    match spec.scope {
+        Scope::Full => mix(&mut h, 1),
+        Scope::PaperSized => mix(&mut h, 2),
+        Scope::Strided(n) => {
+            mix(&mut h, 3);
+            mix(&mut h, n as u64);
+        }
+        Scope::Pruned => mix(&mut h, 4),
+    }
+    match spec.roster {
+        Roster::Paper => mix(&mut h, 11),
+        Roster::Generated => mix(&mut h, 12),
+        Roster::All => mix(&mut h, 13),
+    }
+    mix(&mut h, spec.reps as u64);
+    mix(&mut h, spec.seed);
+    mix(&mut h, spec.failure_rate.to_bits());
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Value domains: the same union label space `ompprof` attributes over
+// (stable across architectures), reimplemented here because `ompprof`
+// sits above `sweep` in the crate graph.
+
+const ALIGN_UNION: [u32; 4] = [64, 128, 256, 512];
+
+/// Union value labels of one tuning variable, in domain order.
+pub fn value_labels(feature: Feature) -> Vec<String> {
+    let unset = |v: Option<&str>| v.unwrap_or("unset").to_string();
+    match feature {
+        Feature::Places => OmpPlaces::ALL
+            .iter()
+            .map(|v| unset(v.env_value()))
+            .collect(),
+        Feature::ProcBind => OmpProcBind::ALL
+            .iter()
+            .map(|v| unset(v.env_value()))
+            .collect(),
+        Feature::Schedule => OmpSchedule::ALL
+            .iter()
+            .map(|v| v.env_value().to_string())
+            .collect(),
+        Feature::Library => KmpLibrary::ALL
+            .iter()
+            .map(|v| v.env_value().to_string())
+            .collect(),
+        Feature::Blocktime => KmpBlocktime::ALL
+            .iter()
+            .map(|v| v.env_value().to_string())
+            .collect(),
+        Feature::ForceReduction => KmpForceReduction::ALL
+            .iter()
+            .map(|v| unset(v.env_value()))
+            .collect(),
+        Feature::AlignAlloc => ALIGN_UNION.iter().map(|b| b.to_string()).collect(),
+        other => panic!("{other:?} is not an environment-variable feature"),
+    }
+}
+
+fn value_index(config: &TuningConfig, feature: Feature) -> usize {
+    // Every enum domain's `ALL` array lists variants in declaration
+    // order, so the discriminant cast IS the position — O(1) on the
+    // per-sample fold path (pinned by `value_index_matches_domain_order`).
+    match feature {
+        Feature::Places => config.places as usize,
+        Feature::ProcBind => config.proc_bind as usize,
+        Feature::Schedule => config.schedule as usize,
+        Feature::Library => config.library as usize,
+        Feature::Blocktime => config.blocktime as usize,
+        Feature::ForceReduction => config.force_reduction as usize,
+        Feature::AlignAlloc => ALIGN_UNION
+            .iter()
+            .position(|b| *b == config.align_alloc.0)
+            .expect("alignment in union domain"),
+        other => panic!("{other:?} is not an environment-variable feature"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The content-addressed core of a collection run.
+
+/// One stratum's virtual-time series: one point per sample carrying the
+/// simulation's deterministic `virtual_ns` (count 1, sum the ns figure),
+/// ring-capped to the most recent [`SERIES_RETAIN`] points. Virtual
+/// time is what the perturbation gate scales and what the dashboard
+/// renders, and it lives inline in every sample — the fold never has to
+/// chase the per-repetition runtime arrays.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StratumSeries {
+    /// Points folded over the whole run (retained + evicted).
+    pub total: u64,
+    /// Point count per retained entry (1 per sample), oldest first.
+    pub counts: Vec<u64>,
+    /// Virtual-ns figure per retained point, as `f64` bit patterns.
+    pub sum_bits: Vec<u64>,
+}
+
+impl StratumSeries {
+    /// Reference ring-append; [`ArchDigest::fold`] inlines the same
+    /// discipline over flat arrays for speed, and
+    /// `fold_matches_push_reference` pins the two together.
+    #[cfg(test)]
+    fn push(&mut self, count: u64, sum: f64) {
+        if self.counts.len() < SERIES_RETAIN {
+            self.counts.push(count);
+            self.sum_bits.push(sum.to_bits());
+        } else {
+            let at = (self.total as usize) % SERIES_RETAIN;
+            self.counts[at] = count;
+            self.sum_bits[at] = sum.to_bits();
+        }
+        self.total += 1;
+    }
+
+    /// Restore oldest-first order after ring wrap.
+    fn seal(&mut self) {
+        if self.counts.len() == SERIES_RETAIN {
+            let at = (self.total as usize) % SERIES_RETAIN;
+            self.counts.rotate_left(at);
+            self.sum_bits.rotate_left(at);
+        }
+    }
+
+    /// Per-point mean repetition times, oldest first.
+    pub fn means(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .zip(&self.sum_bits)
+            .map(|(&c, &s)| f64::from_bits(s) / c.max(1) as f64)
+            .collect()
+    }
+}
+
+/// Aggregate cost of one application on one architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppDigest {
+    pub app: String,
+    pub samples: u64,
+    /// Summed virtual nanoseconds (whole-ns truncation per sample).
+    pub virt_ns: u64,
+}
+
+/// Aggregate cost of one (variable, value) cell on one architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellDigest {
+    pub variable: String,
+    pub value: String,
+    pub samples: u64,
+    pub virt_ns: u64,
+}
+
+/// Everything one architecture contributed to a run's core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchDigest {
+    pub arch: String,
+    pub settings: u64,
+    pub samples: u64,
+    pub dropped: u64,
+    /// `virt[k]` = stratum `config_index % STRATA == k`.
+    pub virt: Vec<StratumSeries>,
+    pub apps: Vec<AppDigest>,
+    /// [`Feature::ENV_FEATURES`] × [`value_labels`] order, flattened.
+    pub cells: Vec<CellDigest>,
+}
+
+/// Flat cell-table capacity; the union label space is 25 slots today.
+const CELL_CAP: usize = 32;
+
+/// Per-feature slot offsets into the flat cell table plus its length —
+/// no label strings built, so this is cheap enough for every
+/// [`BatchPartial::fold`] call.
+fn cell_offsets() -> ([usize; Feature::ENV_FEATURES.len()], usize) {
+    let mut offsets = [0usize; Feature::ENV_FEATURES.len()];
+    let mut len = 0usize;
+    for (fi, f) in Feature::ENV_FEATURES.iter().enumerate() {
+        offsets[fi] = len;
+        len += match f {
+            Feature::Places => OmpPlaces::ALL.len(),
+            Feature::ProcBind => OmpProcBind::ALL.len(),
+            Feature::Schedule => OmpSchedule::ALL.len(),
+            Feature::Library => KmpLibrary::ALL.len(),
+            Feature::Blocktime => KmpBlocktime::ALL.len(),
+            Feature::ForceReduction => KmpForceReduction::ALL.len(),
+            Feature::AlignAlloc => ALIGN_UNION.len(),
+            other => panic!("{other:?} is not an environment-variable feature"),
+        };
+    }
+    (offsets, len)
+}
+
+/// One batch's registry-digest contribution: flat fixed-size
+/// accumulators a worker folds the moment it finalizes the batch —
+/// while the samples are still cache-hot — so recording a run never
+/// needs a second cold walk over every sample. Merged into an
+/// [`ArchDigest`] in canonical batch order by
+/// [`ArchDigest::from_partials`]; [`ArchDigest::fold`] is the
+/// sequential composition of the two steps, so the split cannot drift
+/// from the whole-batch definition.
+#[derive(Debug, Clone)]
+pub struct BatchPartial {
+    samples: u64,
+    virt: u64,
+    /// Stratum point counts (`config_index % STRATA`, positive finite
+    /// virtual time only).
+    strata_count: [u64; STRATA],
+    /// Per-stratum ring of `virtual_ns` bit patterns: slot `s` holds
+    /// the batch's last point with in-batch index ≡ s (mod RETAIN).
+    strata_ring: [[u64; SERIES_RETAIN]; STRATA],
+    /// (samples, virt_ns) pairs interleaved so each slot update is one
+    /// index computation touching adjacent words.
+    cells: [[u64; 2]; CELL_CAP],
+}
+
+impl BatchPartial {
+    /// Fold one batch. Per-sample work is a handful of integer adds
+    /// over L1-resident arrays, so attaching this as a batch observer
+    /// keeps record building inside the warm sweep's overhead budget.
+    pub fn fold(data: &SettingData) -> BatchPartial {
+        let (offsets, cells_len) = cell_offsets();
+        debug_assert!(cells_len <= CELL_CAP, "cell table outgrew CELL_CAP");
+        let mut p = BatchPartial {
+            samples: 0,
+            virt: 0,
+            strata_count: [0; STRATA],
+            strata_ring: [[0; SERIES_RETAIN]; STRATA],
+            cells: [[0; 2]; CELL_CAP],
+        };
+        for sample in &data.samples {
+            let vns = sample.telemetry.virtual_ns;
+            let v = if vns.is_finite() && vns > 0.0 {
+                vns as u64
+            } else {
+                0
+            };
+            if v > 0 {
+                let k = sample.config_index % STRATA;
+                let at = (p.strata_count[k] as usize) % SERIES_RETAIN;
+                p.strata_ring[k][at] = vns.to_bits();
+                p.strata_count[k] += 1;
+            }
+            p.samples += 1;
+            p.virt += v;
+            // Unrolled `ENV_FEATURES` walk via `value_index`'s O(1)
+            // discriminant casts — no per-feature dispatch. The align
+            // slot maps 64/128/256/512 bytes to 0..=3 with a bit trick
+            // instead of scanning `ALIGN_UNION`; the
+            // `value_index_matches_domain_order` test pins both to the
+            // same ordering.
+            let c = &sample.config;
+            let align_at = ((c.align_alloc.0.trailing_zeros() as usize).saturating_sub(6)).min(3);
+            debug_assert_eq!(align_at, value_index(c, Feature::AlignAlloc));
+            let slots = [
+                offsets[0] + c.places as usize,
+                offsets[1] + c.proc_bind as usize,
+                offsets[2] + c.schedule as usize,
+                offsets[3] + c.library as usize,
+                offsets[4] + c.blocktime as usize,
+                offsets[5] + c.force_reduction as usize,
+                offsets[6] + align_at,
+            ];
+            for &at in &slots {
+                p.cells[at][0] += 1;
+                p.cells[at][1] += v;
+            }
+        }
+        p
+    }
+}
+
+impl ArchDigest {
+    /// Fold one architecture's batches: per-batch partials merged in
+    /// batch order. Equivalent to one per-sample pass, but callers that
+    /// folded each batch at production time (cache-hot, via a sweep
+    /// batch observer) can hand the partials to
+    /// [`ArchDigest::from_partials`] and skip re-walking every sample.
+    pub fn fold(arch: &str, batches: &[SettingData], dropped: u64) -> ArchDigest {
+        Self::from_partials(
+            arch,
+            batches
+                .iter()
+                .map(|d| (d.key.app.as_str(), BatchPartial::fold(d))),
+            dropped,
+        )
+    }
+
+    /// Merge per-batch partials — in canonical batch order — into
+    /// exactly the digest a whole-arch per-sample fold produces. The
+    /// per-stratum ring merge is exact: after `T` earlier points, a
+    /// batch's ring slot `s` (its last point with in-batch index ≡ s
+    /// mod RETAIN) lands at arch slot `(T + s) % RETAIN`; any point the
+    /// batch ring evicted had ≥ RETAIN later points in the same batch,
+    /// so it could never survive the arch-wide ring either.
+    pub fn from_partials<'p, I>(arch: &str, parts: I, dropped: u64) -> ArchDigest
+    where
+        I: IntoIterator<Item = (&'p str, BatchPartial)>,
+    {
+        let mut ring_sums = [[0u64; SERIES_RETAIN]; STRATA];
+        let mut ring_total = [0u64; STRATA];
+        let mut cells_acc = [[0u64; 2]; CELL_CAP];
+        let mut apps: Vec<AppDigest> = Vec::new();
+        let mut samples_total = 0u64;
+        let mut settings = 0u64;
+        for (app, p) in parts {
+            settings += 1;
+            let app_at = match apps.iter().position(|a| a.app == app) {
+                Some(i) => i,
+                None => {
+                    apps.push(AppDigest {
+                        app: app.to_string(),
+                        samples: 0,
+                        virt_ns: 0,
+                    });
+                    apps.len() - 1
+                }
+            };
+            apps[app_at].samples += p.samples;
+            apps[app_at].virt_ns += p.virt;
+            samples_total += p.samples;
+            for k in 0..STRATA {
+                let c = p.strata_count[k];
+                let written = (c as usize).min(SERIES_RETAIN);
+                let t = ring_total[k] as usize;
+                for s in 0..written {
+                    ring_sums[k][(t + s) % SERIES_RETAIN] = p.strata_ring[k][s];
+                }
+                ring_total[k] += c;
+            }
+            for (acc, part) in cells_acc.iter_mut().zip(&p.cells) {
+                acc[0] += part[0];
+                acc[1] += part[1];
+            }
+        }
+        let mut virt = Vec::with_capacity(STRATA);
+        for k in 0..STRATA {
+            let total = ring_total[k];
+            let retained = (total as usize).min(SERIES_RETAIN);
+            let mut s = StratumSeries {
+                total,
+                // Every retained point is a single sample.
+                counts: vec![1; retained],
+                sum_bits: ring_sums[k][..retained].to_vec(),
+            };
+            s.seal();
+            virt.push(s);
+        }
+        let mut labels: Vec<(&'static str, String)> = Vec::new();
+        for f in Feature::ENV_FEATURES.iter() {
+            for value in value_labels(*f) {
+                labels.push((f.name(), value));
+            }
+        }
+        assert!(labels.len() <= CELL_CAP, "cell table outgrew CELL_CAP");
+        let cells = labels
+            .into_iter()
+            .enumerate()
+            .map(|(i, (variable, value))| CellDigest {
+                variable: variable.to_string(),
+                value,
+                samples: cells_acc[i][0],
+                virt_ns: cells_acc[i][1],
+            })
+            .collect();
+        ArchDigest {
+            arch: arch.to_string(),
+            settings,
+            samples: samples_total,
+            dropped,
+            virt,
+            apps,
+            cells,
+        }
+    }
+
+    /// Total attributed virtual nanoseconds (sum over apps).
+    pub fn virt_ns(&self) -> u64 {
+        self.apps.iter().map(|a| a.virt_ns).sum()
+    }
+}
+
+/// The deterministic, content-addressed core of a collection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectCore {
+    pub scope: String,
+    pub roster: String,
+    pub reps: u32,
+    pub seed: u64,
+    pub failure_rate_bits: u64,
+    pub spec_fingerprint: u64,
+    pub arches: Vec<ArchDigest>,
+}
+
+impl CollectCore {
+    pub fn new(spec: &SweepSpec) -> CollectCore {
+        CollectCore {
+            scope: format!("{:?}", spec.scope),
+            roster: format!("{:?}", spec.roster),
+            reps: spec.reps,
+            seed: spec.seed,
+            failure_rate_bits: spec.failure_rate.to_bits(),
+            spec_fingerprint: spec_fingerprint(spec),
+            arches: Vec::new(),
+        }
+    }
+
+    /// Fold and append one architecture's cleaned batches.
+    pub fn push_arch(&mut self, arch: &str, batches: &[SettingData], dropped: u64) {
+        self.arches.push(ArchDigest::fold(arch, batches, dropped));
+    }
+
+    /// Append one architecture from per-batch partials folded at
+    /// production time (a sweep batch observer). `partials` may arrive
+    /// in any completion order; they are matched to `batches` by batch
+    /// key and merged canonically, so the digest — and the record hash
+    /// — is byte-identical to [`CollectCore::push_arch`] on the same
+    /// batches at any worker count.
+    ///
+    /// Panics if a batch has no matching partial: the observer runs for
+    /// every finalized batch, so a hole means the caller wired the
+    /// observer to a different sweep.
+    pub fn push_arch_partials(
+        &mut self,
+        arch: &str,
+        batches: &[SettingData],
+        mut partials: Vec<(RunKey, BatchPartial)>,
+        dropped: u64,
+    ) {
+        let ordered = batches.iter().map(|data| {
+            let at = partials
+                .iter()
+                .position(|(key, _)| *key == data.key)
+                .expect("every batch has an observed partial");
+            let (key, partial) = partials.swap_remove(at);
+            debug_assert_eq!(key.app, data.key.app);
+            (data.key.app.as_str(), partial)
+        });
+        self.arches
+            .push(ArchDigest::from_partials(arch, ordered, dropped));
+    }
+
+    fn hash_into(&self, h: &mut u64) {
+        mix_str(h, &self.scope);
+        mix_str(h, &self.roster);
+        mix(h, self.reps as u64);
+        mix(h, self.seed);
+        mix(h, self.failure_rate_bits);
+        mix(h, self.spec_fingerprint);
+        for a in &self.arches {
+            mix_str(h, &a.arch);
+            mix(h, a.settings);
+            mix(h, a.samples);
+            mix(h, a.dropped);
+            for s in &a.virt {
+                mix(h, s.total);
+                for (&c, &b) in s.counts.iter().zip(&s.sum_bits) {
+                    mix(h, c);
+                    mix(h, b);
+                }
+            }
+            for app in &a.apps {
+                mix_str(h, &app.app);
+                mix(h, app.samples);
+                mix(h, app.virt_ns);
+            }
+            for cell in &a.cells {
+                mix_str(h, &cell.variable);
+                mix_str(h, &cell.value);
+                mix(h, cell.samples);
+                mix(h, cell.virt_ns);
+            }
+        }
+    }
+}
+
+/// The content-addressed core of one bench invocation: every scalar and
+/// every repetition array of a `BENCH_*.json`, bits-exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchCore {
+    pub bench: String,
+    /// Scalar keys with `f64` bit patterns, key-sorted.
+    pub scalars: Vec<(String, u64)>,
+    /// `*_reps` arrays with `f64` bit patterns, key-sorted.
+    pub reps: Vec<(String, Vec<u64>)>,
+}
+
+impl BenchCore {
+    /// Digest one bench result document (the `BENCH_*.json` format).
+    pub fn from_bench_json(bench: &str, text: &str) -> Result<BenchCore, String> {
+        let doc: serde::Value =
+            serde_json::from_str(text).map_err(|e| format!("unparsable bench JSON: {e}"))?;
+        let map = doc.as_map().ok_or("bench JSON is not an object")?;
+        let mut scalars = Vec::new();
+        let mut reps = Vec::new();
+        for (k, v) in map {
+            let Some(key) = k.as_str() else { continue };
+            if let Some(seq) = v.as_seq() {
+                let bits: Vec<u64> = seq
+                    .iter()
+                    .filter_map(|x| x.as_f64())
+                    .map(f64::to_bits)
+                    .collect();
+                reps.push((key.to_string(), bits));
+            } else if let Some(x) = v.as_f64() {
+                scalars.push((key.to_string(), x.to_bits()));
+            }
+        }
+        scalars.sort();
+        reps.sort();
+        Ok(BenchCore {
+            bench: bench.to_string(),
+            scalars,
+            reps,
+        })
+    }
+
+    fn hash_into(&self, h: &mut u64) {
+        mix_str(h, &self.bench);
+        for (k, bits) in &self.scalars {
+            mix_str(h, k);
+            mix(h, *bits);
+        }
+        for (k, arr) in &self.reps {
+            mix_str(h, k);
+            mix(h, arr.len() as u64);
+            for &b in arr {
+                mix(h, b);
+            }
+        }
+    }
+}
+
+/// What a registered run computed — the hashed half of a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunCore {
+    Collect(CollectCore),
+    Bench(BenchCore),
+}
+
+impl RunCore {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunCore::Collect(_) => "collect",
+            RunCore::Bench(_) => "bench",
+        }
+    }
+
+    fn kind_code(&self) -> u64 {
+        match self {
+            RunCore::Collect(_) => KIND_COLLECT,
+            RunCore::Bench(_) => KIND_BENCH,
+        }
+    }
+
+    /// Grouping key: sweeps group by spec fingerprint, benches by name.
+    pub fn spec_fp(&self) -> u64 {
+        match self {
+            RunCore::Collect(c) => c.spec_fingerprint,
+            RunCore::Bench(b) => fnv_bytes(b.bench.as_bytes()),
+        }
+    }
+
+    /// The content address. Covers every word of the core and nothing
+    /// of the info, so equal hashes mean equal computed results.
+    pub fn hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        match self {
+            RunCore::Collect(c) => {
+                mix(&mut h, KIND_COLLECT);
+                c.hash_into(&mut h);
+            }
+            RunCore::Bench(b) => {
+                mix(&mut h, KIND_BENCH);
+                b.hash_into(&mut h);
+            }
+        }
+        h
+    }
+}
+
+/// The run-varying half of a record: context, never identity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunInfo {
+    pub workers: u64,
+    pub elapsed_s: f64,
+    /// FNV-1a of `manifest.json` bytes (0 when absent).
+    pub manifest_digest: u64,
+    pub out_dir: String,
+    /// Engine/scheduler counters, name-sorted by the writer.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One immutable registry entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    pub seq: u64,
+    pub ts_unix: u64,
+    pub git_rev: String,
+    pub record_hash: u64,
+    pub core: RunCore,
+    pub info: RunInfo,
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: hand-rolled writer (the warm path must not pay
+// `format!` per number) and a permissive `serde::Value` reader.
+
+fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    let mut v = v;
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[at..]).expect("decimal digits"));
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    // Names are overwhelmingly clean identifiers: bulk-copy when no
+    // byte needs escaping, walk char-by-char only otherwise.
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_u64_array(out: &mut String, vs: &[u64]) {
+    out.push('[');
+    for (i, &v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_u64(out, v);
+    }
+    out.push(']');
+}
+
+impl RunRecord {
+    /// Render the full JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut o = String::with_capacity(64 * 1024);
+        o.push_str("{\"schema\":\"");
+        o.push_str(SCHEMA);
+        o.push_str("\",\"seq\":");
+        push_u64(&mut o, self.seq);
+        o.push_str(",\"ts_unix\":");
+        push_u64(&mut o, self.ts_unix);
+        o.push_str(",\"git_rev\":");
+        push_json_str(&mut o, &self.git_rev);
+        o.push_str(",\"kind\":\"");
+        o.push_str(self.core.kind());
+        o.push_str("\",\"record_hash\":");
+        push_u64(&mut o, self.record_hash);
+        o.push_str(",\"spec_fp\":");
+        push_u64(&mut o, self.core.spec_fp());
+        o.push_str(",\"core\":");
+        match &self.core {
+            RunCore::Collect(c) => write_collect_core(&mut o, c),
+            RunCore::Bench(b) => write_bench_core(&mut o, b),
+        }
+        o.push_str(",\"info\":{\"workers\":");
+        push_u64(&mut o, self.info.workers);
+        o.push_str(&format!(",\"elapsed_s\":{:.6}", self.info.elapsed_s));
+        o.push_str(",\"manifest_digest\":");
+        push_u64(&mut o, self.info.manifest_digest);
+        o.push_str(",\"out_dir\":");
+        push_json_str(&mut o, &self.info.out_dir);
+        o.push_str(",\"counters\":[");
+        for (i, (k, v)) in self.info.counters.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push('[');
+            push_json_str(&mut o, k);
+            o.push(',');
+            push_u64(&mut o, *v);
+            o.push(']');
+        }
+        o.push_str("]}}");
+        o
+    }
+
+    /// Parse one JSONL line. `Err` carries a short reason; callers
+    /// count it and move on — a damaged line never takes the registry
+    /// down.
+    pub fn from_jsonl(line: &str) -> Result<RunRecord, String> {
+        let doc: serde::Value =
+            serde_json::from_str(line).map_err(|e| format!("unparsable record: {e}"))?;
+        let map = doc.as_map().ok_or("record is not an object")?;
+        let get = |name: &str| {
+            map.iter()
+                .find(|(k, _)| k.as_str() == Some(name))
+                .map(|(_, v)| v)
+        };
+        let schema = get("schema").and_then(|v| v.as_str()).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("unknown schema {schema:?}"));
+        }
+        let seq = get("seq").and_then(|v| v.as_u64()).ok_or("missing seq")?;
+        let ts_unix = get("ts_unix").and_then(|v| v.as_u64()).unwrap_or(0);
+        let git_rev = get("git_rev")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown")
+            .to_string();
+        let record_hash = get("record_hash")
+            .and_then(|v| v.as_u64())
+            .ok_or("missing record_hash")?;
+        let kind = get("kind").and_then(|v| v.as_str()).ok_or("missing kind")?;
+        let core_v = get("core").ok_or("missing core")?;
+        let core = match kind {
+            "collect" => RunCore::Collect(read_collect_core(core_v)?),
+            "bench" => RunCore::Bench(read_bench_core(core_v)?),
+            other => return Err(format!("unknown kind {other:?}")),
+        };
+        let mut info = RunInfo::default();
+        if let Some(info_map) = get("info").and_then(|v| v.as_map()) {
+            for (k, v) in info_map {
+                match k.as_str() {
+                    Some("workers") => info.workers = v.as_u64().unwrap_or(0),
+                    Some("elapsed_s") => info.elapsed_s = v.as_f64().unwrap_or(0.0),
+                    Some("manifest_digest") => info.manifest_digest = v.as_u64().unwrap_or(0),
+                    Some("out_dir") => {
+                        info.out_dir = v.as_str().unwrap_or("").to_string();
+                    }
+                    Some("counters") => {
+                        for pair in v.as_seq().unwrap_or(&[]) {
+                            if let Some(p) = pair.as_seq() {
+                                if p.len() == 2 {
+                                    if let (Some(name), Some(val)) = (p[0].as_str(), p[1].as_u64())
+                                    {
+                                        info.counters.push((name.to_string(), val));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Integrity: the stored address must match the parsed content.
+        // A mismatch means the line was altered — treat as corrupt.
+        if core.hash() != record_hash {
+            return Err("record_hash does not match core content".to_string());
+        }
+        Ok(RunRecord {
+            seq,
+            ts_unix,
+            git_rev,
+            record_hash,
+            core,
+            info,
+        })
+    }
+}
+
+fn write_collect_core(o: &mut String, c: &CollectCore) {
+    o.push_str("{\"scope\":");
+    push_json_str(o, &c.scope);
+    o.push_str(",\"roster\":");
+    push_json_str(o, &c.roster);
+    o.push_str(",\"reps\":");
+    push_u64(o, c.reps as u64);
+    o.push_str(",\"seed\":");
+    push_u64(o, c.seed);
+    o.push_str(",\"failure_rate_bits\":");
+    push_u64(o, c.failure_rate_bits);
+    o.push_str(",\"spec_fingerprint\":");
+    push_u64(o, c.spec_fingerprint);
+    o.push_str(",\"arches\":[");
+    for (i, a) in c.arches.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"arch\":");
+        push_json_str(o, &a.arch);
+        o.push_str(",\"settings\":");
+        push_u64(o, a.settings);
+        o.push_str(",\"samples\":");
+        push_u64(o, a.samples);
+        o.push_str(",\"dropped\":");
+        push_u64(o, a.dropped);
+        o.push_str(",\"virt\":[");
+        for (j, s) in a.virt.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"total\":");
+            push_u64(o, s.total);
+            o.push_str(",\"counts\":");
+            push_u64_array(o, &s.counts);
+            o.push_str(",\"sum_bits\":");
+            push_u64_array(o, &s.sum_bits);
+            o.push('}');
+        }
+        o.push_str("],\"apps\":[");
+        for (j, app) in a.apps.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"app\":");
+            push_json_str(o, &app.app);
+            o.push_str(",\"samples\":");
+            push_u64(o, app.samples);
+            o.push_str(",\"virt_ns\":");
+            push_u64(o, app.virt_ns);
+            o.push('}');
+        }
+        o.push_str("],\"cells\":[");
+        for (j, cell) in a.cells.iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"var\":");
+            push_json_str(o, &cell.variable);
+            o.push_str(",\"value\":");
+            push_json_str(o, &cell.value);
+            o.push_str(",\"samples\":");
+            push_u64(o, cell.samples);
+            o.push_str(",\"virt_ns\":");
+            push_u64(o, cell.virt_ns);
+            o.push('}');
+        }
+        o.push_str("]}");
+    }
+    o.push_str("]}");
+}
+
+fn write_bench_core(o: &mut String, b: &BenchCore) {
+    o.push_str("{\"bench\":");
+    push_json_str(o, &b.bench);
+    o.push_str(",\"scalars\":[");
+    for (i, (k, bits)) in b.scalars.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('[');
+        push_json_str(o, k);
+        o.push(',');
+        push_u64(o, *bits);
+        o.push(']');
+    }
+    o.push_str("],\"reps\":[");
+    for (i, (k, arr)) in b.reps.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('[');
+        push_json_str(o, k);
+        o.push(',');
+        push_u64_array(o, arr);
+        o.push(']');
+    }
+    o.push_str("]}");
+}
+
+fn field<'v>(map: &'v [(serde::Value, serde::Value)], name: &str) -> Option<&'v serde::Value> {
+    map.iter()
+        .find(|(k, _)| k.as_str() == Some(name))
+        .map(|(_, v)| v)
+}
+
+fn u64_field(map: &[(serde::Value, serde::Value)], name: &str) -> Result<u64, String> {
+    field(map, name)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("missing field {name}"))
+}
+
+fn str_field(map: &[(serde::Value, serde::Value)], name: &str) -> Result<String, String> {
+    field(map, name)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing field {name}"))
+}
+
+fn u64_seq(v: &serde::Value) -> Vec<u64> {
+    v.as_seq()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|x| x.as_u64())
+        .collect()
+}
+
+fn read_collect_core(v: &serde::Value) -> Result<CollectCore, String> {
+    let map = v.as_map().ok_or("core is not an object")?;
+    let mut core = CollectCore {
+        scope: str_field(map, "scope")?,
+        roster: str_field(map, "roster")?,
+        reps: u64_field(map, "reps")? as u32,
+        seed: u64_field(map, "seed")?,
+        failure_rate_bits: u64_field(map, "failure_rate_bits")?,
+        spec_fingerprint: u64_field(map, "spec_fingerprint")?,
+        arches: Vec::new(),
+    };
+    for a in field(map, "arches").and_then(|v| v.as_seq()).unwrap_or(&[]) {
+        let am = a.as_map().ok_or("arch digest is not an object")?;
+        let mut digest = ArchDigest {
+            arch: str_field(am, "arch")?,
+            settings: u64_field(am, "settings")?,
+            samples: u64_field(am, "samples")?,
+            dropped: u64_field(am, "dropped")?,
+            virt: Vec::new(),
+            apps: Vec::new(),
+            cells: Vec::new(),
+        };
+        for s in field(am, "virt").and_then(|v| v.as_seq()).unwrap_or(&[]) {
+            let sm = s.as_map().ok_or("stratum is not an object")?;
+            digest.virt.push(StratumSeries {
+                total: u64_field(sm, "total")?,
+                counts: field(sm, "counts").map(u64_seq).unwrap_or_default(),
+                sum_bits: field(sm, "sum_bits").map(u64_seq).unwrap_or_default(),
+            });
+        }
+        for app in field(am, "apps").and_then(|v| v.as_seq()).unwrap_or(&[]) {
+            let pm = app.as_map().ok_or("app digest is not an object")?;
+            digest.apps.push(AppDigest {
+                app: str_field(pm, "app")?,
+                samples: u64_field(pm, "samples")?,
+                virt_ns: u64_field(pm, "virt_ns")?,
+            });
+        }
+        for cell in field(am, "cells").and_then(|v| v.as_seq()).unwrap_or(&[]) {
+            let cm = cell.as_map().ok_or("cell digest is not an object")?;
+            digest.cells.push(CellDigest {
+                variable: str_field(cm, "var")?,
+                value: str_field(cm, "value")?,
+                samples: u64_field(cm, "samples")?,
+                virt_ns: u64_field(cm, "virt_ns")?,
+            });
+        }
+        core.arches.push(digest);
+    }
+    Ok(core)
+}
+
+fn read_bench_core(v: &serde::Value) -> Result<BenchCore, String> {
+    let map = v.as_map().ok_or("core is not an object")?;
+    let mut core = BenchCore {
+        bench: str_field(map, "bench")?,
+        scalars: Vec::new(),
+        reps: Vec::new(),
+    };
+    for pair in field(map, "scalars")
+        .and_then(|v| v.as_seq())
+        .unwrap_or(&[])
+    {
+        if let Some(p) = pair.as_seq() {
+            if p.len() == 2 {
+                if let (Some(k), Some(bits)) = (p[0].as_str(), p[1].as_u64()) {
+                    core.scalars.push((k.to_string(), bits));
+                }
+            }
+        }
+    }
+    for pair in field(map, "reps").and_then(|v| v.as_seq()).unwrap_or(&[]) {
+        if let Some(p) = pair.as_seq() {
+            if p.len() == 2 {
+                if let Some(k) = p[0].as_str() {
+                    core.reps.push((k.to_string(), u64_seq(&p[1])));
+                }
+            }
+        }
+    }
+    Ok(core)
+}
+
+// ---------------------------------------------------------------------------
+// The on-disk registry.
+
+/// Append-only run registry over one directory.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    dir: PathBuf,
+}
+
+/// Everything a registry load reports: the surviving records plus the
+/// degradation counters (never a panic, never a hard error for data
+/// damage — only I/O errors propagate).
+#[derive(Debug, Default)]
+pub struct RegistryLoad {
+    /// Surviving records, seq order.
+    pub records: Vec<RunRecord>,
+    /// Damaged JSONL lines (or hash-mismatched records) skipped.
+    pub corrupt_skipped: u64,
+    /// The binary index was missing/stale/damaged and the JSONL was
+    /// rescanned (and the index rewritten).
+    pub index_rebuilt: bool,
+}
+
+struct LockGuard {
+    file: fs::File,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = self.file.unlock();
+    }
+}
+
+fn word(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("word in bounds"))
+}
+
+fn put_word(buf: &mut Vec<u8>, w: u64) {
+    buf.extend_from_slice(&w.to_le_bytes());
+}
+
+fn header_checksum(count: u64, jsonl_len: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    mix(&mut h, count);
+    mix(&mut h, jsonl_len);
+    h
+}
+
+fn record_checksum(words: &[u64; 6]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &w in words {
+        mix(&mut h, w);
+    }
+    h
+}
+
+impl Registry {
+    /// Open (creating if needed) a registry directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Registry> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Registry { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn jsonl_path(&self) -> PathBuf {
+        self.dir.join("registry.jsonl")
+    }
+
+    fn idx_path(&self) -> PathBuf {
+        self.dir.join("registry.idx")
+    }
+
+    /// Advisory whole-registry lock: a blocking OS file lock on
+    /// `registry.lock`. The kernel releases it when the holder exits —
+    /// crashed writers never leave a stale lock behind, so there is no
+    /// timeout/takeover heuristic to get wrong, and acquiring it in the
+    /// common uncontended case is a single open.
+    fn lock(&self) -> io::Result<LockGuard> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.dir.join("registry.lock"))?;
+        file.lock()?;
+        Ok(LockGuard { file })
+    }
+
+    /// Append one run. Assigns the next sequence number, writes the
+    /// JSONL line, and extends the binary index, all under the registry
+    /// lock. Returns the completed record. The hot path costs a fixed
+    /// handful of filesystem operations: one lock-file open (the OS
+    /// lock itself is free when uncontended), one append-mode open of
+    /// the JSONL, and one read+write open of the index that serves both
+    /// the sequence lookup and the in-place extension.
+    pub fn append(
+        &self,
+        core: RunCore,
+        info: RunInfo,
+        git_rev: &str,
+        ts_unix: u64,
+    ) -> io::Result<RunRecord> {
+        // Content hashing needs no sequence number — do it before
+        // taking the lock to keep the critical section I/O-only.
+        let record_hash = core.hash();
+        let _guard = self.lock()?;
+        let mut jsonl = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.jsonl_path())?;
+        let jsonl_len = jsonl.metadata()?.len();
+        let idx = self.open_trusted_idx(jsonl_len);
+        let seq = match &idx {
+            Some((_, count)) => *count,
+            None if jsonl_len == 0 => 0,
+            None => fs::read_to_string(self.jsonl_path())?
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count() as u64,
+        };
+        let record = RunRecord {
+            seq,
+            ts_unix,
+            git_rev: git_rev.to_string(),
+            record_hash,
+            core,
+            info,
+        };
+        let mut line = record.to_jsonl();
+        line.push('\n');
+        jsonl.write_all(line.as_bytes())?;
+        jsonl.flush()?;
+        self.extend_index(idx, seq, jsonl_len, line.len() as u64, &record)?;
+        Ok(record)
+    }
+
+    /// Open the index read+write and validate its header against the
+    /// current JSONL length. Returns the open handle plus the record
+    /// count when everything checks out — the caller reuses the handle
+    /// both as the next sequence number and for the in-place extension
+    /// — and `None` on any doubt (missing, stale, or damaged index).
+    fn open_trusted_idx(&self, jsonl_len: u64) -> Option<(fs::File, u64)> {
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.idx_path())
+            .ok()?;
+        let mut head = [0u8; HEADER_BYTES];
+        if file.read_exact(&mut head).is_err() || &head[..8] != MAGIC {
+            return None;
+        }
+        let count = word(&head, 8);
+        let idx_len = word(&head, 16);
+        let checksum = word(&head, 24);
+        let file_len = file.metadata().ok()?.len();
+        if checksum != header_checksum(count, idx_len)
+            || idx_len != jsonl_len
+            || file_len != (HEADER_BYTES + count as usize * RECORD_BYTES) as u64
+        {
+            return None;
+        }
+        Some((file, count))
+    }
+
+    fn extend_index(
+        &self,
+        idx: Option<(fs::File, u64)>,
+        seq: u64,
+        offset: u64,
+        len: u64,
+        record: &RunRecord,
+    ) -> io::Result<()> {
+        let words = [
+            seq,
+            offset,
+            len,
+            record.record_hash,
+            record.core.spec_fp(),
+            record.core.kind_code(),
+        ];
+        let entry = [
+            words[0],
+            words[1],
+            words[2],
+            words[3],
+            words[4],
+            words[5],
+            record_checksum(&words),
+        ];
+        let jsonl_len = offset + len;
+        // Extend-in-place when the pre-validated handle is available:
+        // append the entry, then patch the header. The record lands
+        // before the header does, so a crash between the two leaves a
+        // stale header — which the next load treats as "rebuild from
+        // JSONL", never as truth.
+        if let Some((mut file, count)) = idx {
+            debug_assert_eq!(count, seq);
+            let mut rec = Vec::with_capacity(RECORD_BYTES);
+            for &w in &entry {
+                put_word(&mut rec, w);
+            }
+            file.seek(SeekFrom::End(0))?;
+            file.write_all(&rec)?;
+            let mut patch = Vec::with_capacity(24);
+            put_word(&mut patch, count + 1);
+            put_word(&mut patch, jsonl_len);
+            put_word(&mut patch, header_checksum(count + 1, jsonl_len));
+            file.seek(SeekFrom::Start(8))?;
+            file.write_all(&patch)?;
+            file.flush()?;
+            return Ok(());
+        }
+        // Anything else — missing, stale, or damaged index — is
+        // rewritten wholesale from whatever prefix still validates.
+        let mut records: Vec<[u64; 7]> = Vec::new();
+        if let Ok(buf) = fs::read(self.idx_path()) {
+            if buf.len() >= HEADER_BYTES && &buf[..8] == MAGIC {
+                let count = word(&buf, 8) as usize;
+                if buf.len() == HEADER_BYTES + count * RECORD_BYTES {
+                    for i in 0..count {
+                        let at = HEADER_BYTES + i * RECORD_BYTES;
+                        let mut w = [0u64; 7];
+                        for (j, slot) in w.iter_mut().enumerate() {
+                            *slot = word(&buf, at + j * 8);
+                        }
+                        records.push(w);
+                    }
+                }
+            }
+        }
+        records.truncate(seq as usize);
+        records.push(entry);
+        let mut buf = Vec::with_capacity(HEADER_BYTES + records.len() * RECORD_BYTES);
+        buf.extend_from_slice(MAGIC);
+        put_word(&mut buf, records.len() as u64);
+        put_word(&mut buf, jsonl_len);
+        put_word(&mut buf, header_checksum(records.len() as u64, jsonl_len));
+        put_word(&mut buf, 0); // reserved
+        for w in &records {
+            for &x in w {
+                put_word(&mut buf, x);
+            }
+        }
+        let tmp = self.dir.join("registry.idx.tmp");
+        fs::write(&tmp, &buf)?;
+        fs::rename(&tmp, self.idx_path())
+    }
+
+    /// Load every surviving record. Damage degrades, it never fails:
+    /// a stale or corrupt index triggers a JSONL rescan (and an index
+    /// rewrite), a damaged JSONL line is skipped and counted.
+    pub fn load(&self) -> io::Result<RegistryLoad> {
+        let mut out = RegistryLoad::default();
+        let mut jsonl = Vec::new();
+        match fs::File::open(self.jsonl_path()) {
+            Ok(mut f) => {
+                f.read_to_end(&mut jsonl)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        }
+        if let Some(records) = self.load_via_index(&jsonl, &mut out) {
+            out.records = records;
+            return Ok(out);
+        }
+        // Index unusable: rescan the archival JSONL line by line.
+        out.index_rebuilt = true;
+        out.corrupt_skipped = 0;
+        let mut offsets = Vec::new();
+        let mut at = 0usize;
+        let text = String::from_utf8_lossy(&jsonl);
+        for line in text.split_inclusive('\n') {
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                match RunRecord::from_jsonl(trimmed) {
+                    Ok(rec) => {
+                        offsets.push((at as u64, line.len() as u64, rec));
+                    }
+                    Err(_) => out.corrupt_skipped += 1,
+                }
+            }
+            at += line.len();
+        }
+        // Best-effort index rewrite so the next load is O(records).
+        if let Ok(_guard) = self.lock() {
+            let _ = self.rewrite_index(&offsets, jsonl.len() as u64);
+        }
+        out.records = offsets.into_iter().map(|(_, _, r)| r).collect();
+        Ok(out)
+    }
+
+    fn load_via_index(&self, jsonl: &[u8], out: &mut RegistryLoad) -> Option<Vec<RunRecord>> {
+        let buf = fs::read(self.idx_path()).ok()?;
+        if buf.len() < HEADER_BYTES || &buf[..8] != MAGIC {
+            return None;
+        }
+        let count = word(&buf, 8) as usize;
+        let jsonl_len = word(&buf, 16);
+        if word(&buf, 24) != header_checksum(count as u64, jsonl_len)
+            || jsonl_len != jsonl.len() as u64
+            || buf.len() != HEADER_BYTES + count * RECORD_BYTES
+        {
+            return None;
+        }
+        let mut records = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = HEADER_BYTES + i * RECORD_BYTES;
+            let words = [
+                word(&buf, at),
+                word(&buf, at + 8),
+                word(&buf, at + 16),
+                word(&buf, at + 24),
+                word(&buf, at + 32),
+                word(&buf, at + 40),
+            ];
+            if word(&buf, at + 48) != record_checksum(&words) {
+                return None;
+            }
+            let (offset, len) = (words[1] as usize, words[2] as usize);
+            if offset + len > jsonl.len() {
+                return None;
+            }
+            let Ok(line) = std::str::from_utf8(&jsonl[offset..offset + len]) else {
+                out.corrupt_skipped += 1;
+                continue;
+            };
+            match RunRecord::from_jsonl(line.trim()) {
+                Ok(rec) if rec.record_hash == words[3] => records.push(rec),
+                _ => out.corrupt_skipped += 1,
+            }
+        }
+        Some(records)
+    }
+
+    fn rewrite_index(&self, entries: &[(u64, u64, RunRecord)], jsonl_len: u64) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(HEADER_BYTES + entries.len() * RECORD_BYTES);
+        buf.extend_from_slice(MAGIC);
+        put_word(&mut buf, entries.len() as u64);
+        put_word(&mut buf, jsonl_len);
+        put_word(&mut buf, header_checksum(entries.len() as u64, jsonl_len));
+        put_word(&mut buf, 0);
+        for (offset, len, rec) in entries {
+            let words = [
+                rec.seq,
+                *offset,
+                *len,
+                rec.record_hash,
+                rec.core.spec_fp(),
+                rec.core.kind_code(),
+            ];
+            for &w in &words {
+                put_word(&mut buf, w);
+            }
+            put_word(&mut buf, record_checksum(&words));
+        }
+        let tmp = self.dir.join("registry.idx.tmp");
+        fs::write(&tmp, &buf)?;
+        fs::rename(&tmp, self.idx_path())
+    }
+
+    /// Registry listing as JSON — the `/runs` route body and the
+    /// `ompobs list --json` output. Hashes render as hex strings so
+    /// consumers without exact u64 parsing stay safe.
+    pub fn listing_json(&self) -> String {
+        let loaded = match self.load() {
+            Ok(l) => l,
+            Err(e) => {
+                let mut o = String::from("{\"error\":");
+                push_json_str(&mut o, &e.to_string());
+                o.push('}');
+                return o;
+            }
+        };
+        let mut o = String::from("{\"dir\":");
+        push_json_str(&mut o, &self.dir.display().to_string());
+        o.push_str(",\"corrupt_skipped\":");
+        push_u64(&mut o, loaded.corrupt_skipped);
+        o.push_str(&format!(",\"index_rebuilt\":{},", loaded.index_rebuilt));
+        o.push_str("\"records\":[");
+        for (i, r) in loaded.records.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"seq\":");
+            push_u64(&mut o, r.seq);
+            o.push_str(",\"ts_unix\":");
+            push_u64(&mut o, r.ts_unix);
+            o.push_str(",\"kind\":\"");
+            o.push_str(r.core.kind());
+            o.push_str("\",\"git_rev\":");
+            push_json_str(&mut o, &r.git_rev);
+            o.push_str(&format!(
+                ",\"record_hash\":\"{:016x}\",\"spec_fp\":\"{:016x}\"",
+                r.record_hash,
+                r.core.spec_fp()
+            ));
+            if let RunCore::Collect(c) = &r.core {
+                let samples: u64 = c.arches.iter().map(|a| a.samples).sum();
+                o.push_str(",\"samples\":");
+                push_u64(&mut o, samples);
+            }
+            if let RunCore::Bench(b) = &r.core {
+                o.push_str(",\"bench\":");
+                push_json_str(&mut o, &b.bench);
+            }
+            o.push('}');
+        }
+        o.push_str("]}");
+        o
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Context helpers for writers.
+
+/// Default registry location for a collection run: a `.ompobs/` sibling
+/// of the output directory, so every run written next to its peers
+/// lands in the same longitudinal history.
+pub fn default_registry_dir(out_dir: &Path) -> PathBuf {
+    match out_dir.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.join(".ompobs"),
+        _ => PathBuf::from(".ompobs"),
+    }
+}
+
+/// Registry directory override from the environment (`OMPOBS_DIR`).
+pub fn env_registry_dir() -> Option<PathBuf> {
+    std::env::var_os("OMPOBS_DIR").map(PathBuf::from)
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Resolve the current git revision without shelling out: walk up from
+/// `start` to a `.git`, follow `HEAD` through loose refs or
+/// `packed-refs`. `"unknown"` when nothing resolves — the registry
+/// works outside a checkout too.
+pub fn detect_git_rev(start: &Path) -> String {
+    let start = start.canonicalize().unwrap_or_else(|_| start.to_path_buf());
+    for dir in start.ancestors() {
+        let dot_git = dir.join(".git");
+        let git_dir = if dot_git.is_dir() {
+            dot_git
+        } else if dot_git.is_file() {
+            // Worktree: `.git` is a file "gitdir: <path>".
+            match fs::read_to_string(&dot_git) {
+                Ok(text) => match text.trim().strip_prefix("gitdir:") {
+                    Some(p) => {
+                        let p = p.trim();
+                        let pb = PathBuf::from(p);
+                        if pb.is_absolute() {
+                            pb
+                        } else {
+                            dir.join(pb)
+                        }
+                    }
+                    None => continue,
+                },
+                Err(_) => continue,
+            }
+        } else {
+            continue;
+        };
+        let Ok(head) = fs::read_to_string(git_dir.join("HEAD")) else {
+            continue;
+        };
+        let head = head.trim();
+        if let Some(refname) = head.strip_prefix("ref:") {
+            let refname = refname.trim();
+            if let Ok(hash) = fs::read_to_string(git_dir.join(refname)) {
+                let hash = hash.trim();
+                if !hash.is_empty() {
+                    return hash.to_string();
+                }
+            }
+            if let Ok(packed) = fs::read_to_string(git_dir.join("packed-refs")) {
+                for line in packed.lines() {
+                    let line = line.trim();
+                    if line.starts_with('#') || line.starts_with('^') {
+                        continue;
+                    }
+                    if let Some((hash, name)) = line.split_once(' ') {
+                        if name.trim() == refname {
+                            return hash.trim().to_string();
+                        }
+                    }
+                }
+            }
+            return "unknown".to_string();
+        }
+        if head.len() >= 7 && head.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return head.to_string();
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Register one bench result document into `dir`. The convenience the
+/// bench harness and `bench-diff` call: parses the `BENCH_*.json` text,
+/// stamps timestamp and git revision, appends.
+pub fn record_bench(dir: &Path, bench: &str, json_text: &str) -> io::Result<RunRecord> {
+    let core = BenchCore::from_bench_json(bench, json_text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let registry = Registry::open(dir)?;
+    registry.append(
+        RunCore::Bench(core),
+        RunInfo::default(),
+        &detect_git_rev(Path::new(".")),
+        unix_now(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{sweep_arch_scheduled, SweepOptions};
+    use omptune_core::Arch;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ompobs-reg-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_core(seed: u64) -> CollectCore {
+        let spec = SweepSpec {
+            scope: Scope::Strided(2000),
+            seed,
+            ..SweepSpec::default()
+        };
+        let mut core = CollectCore::new(&spec);
+        let outcome = sweep_arch_scheduled(Arch::Skylake, &spec, &SweepOptions::new(2));
+        let mut batches = outcome.batches;
+        let mut dropped = 0usize;
+        for data in &mut batches {
+            dropped += crate::clean(data, spec.reps as usize).dropped.len();
+        }
+        core.push_arch(Arch::Skylake.id(), &batches, dropped as u64);
+        core
+    }
+
+    #[test]
+    fn stratum_series_ring_keeps_tail() {
+        let mut s = StratumSeries::default();
+        for i in 0..(SERIES_RETAIN as u64 + 10) {
+            s.push(3, i as f64);
+        }
+        s.seal();
+        assert_eq!(s.total, SERIES_RETAIN as u64 + 10);
+        assert_eq!(s.counts.len(), SERIES_RETAIN);
+        let means = s.means();
+        // Oldest retained point is #10, newest is the last pushed.
+        assert_eq!(means[0], 10.0 / 3.0);
+        assert_eq!(means[SERIES_RETAIN - 1], (SERIES_RETAIN as f64 + 9.0) / 3.0);
+    }
+
+    #[test]
+    fn value_index_matches_domain_order() {
+        // The O(1) discriminant cast in `value_index` is only correct
+        // while every `ALL` array lists variants in declaration order;
+        // pin that for each swept enum domain.
+        for (i, v) in OmpPlaces::ALL.iter().enumerate() {
+            assert_eq!(*v as usize, i, "OmpPlaces::ALL out of order at {i}");
+        }
+        for (i, v) in OmpProcBind::ALL.iter().enumerate() {
+            assert_eq!(*v as usize, i, "OmpProcBind::ALL out of order at {i}");
+        }
+        for (i, v) in OmpSchedule::ALL.iter().enumerate() {
+            assert_eq!(*v as usize, i, "OmpSchedule::ALL out of order at {i}");
+        }
+        for (i, v) in KmpLibrary::ALL.iter().enumerate() {
+            assert_eq!(*v as usize, i, "KmpLibrary::ALL out of order at {i}");
+        }
+        for (i, v) in KmpBlocktime::ALL.iter().enumerate() {
+            assert_eq!(*v as usize, i, "KmpBlocktime::ALL out of order at {i}");
+        }
+        for (i, v) in KmpForceReduction::ALL.iter().enumerate() {
+            assert_eq!(*v as usize, i, "KmpForceReduction::ALL out of order at {i}");
+        }
+        // And the alignment union still scans: every union member maps
+        // to its own slot, and the fold's trailing-zeros shortcut
+        // agrees with the scan.
+        for (i, b) in ALIGN_UNION.iter().enumerate() {
+            let config = TuningConfig {
+                align_alloc: omptune_core::KmpAlignAlloc(*b),
+                ..TuningConfig::default_for(Arch::Milan, 96)
+            };
+            assert_eq!(value_index(&config, Feature::AlignAlloc), i);
+            let shortcut = ((b.trailing_zeros() as usize).saturating_sub(6)).min(3);
+            assert_eq!(shortcut, i, "bit trick diverged for {b}-byte alignment");
+        }
+    }
+
+    #[test]
+    fn observed_partials_match_whole_fold() {
+        // The cache-hot observer path — per-batch partials folded in
+        // scheduling-dependent completion order, matched back to
+        // canonical order by batch key — must produce bit-identical
+        // digests to the one-pass whole-arch fold, at any worker
+        // count. Strided(1500) covers both ring regimes: busy strata
+        // wrap SERIES_RETAIN, sparse ones stay under it.
+        use std::sync::Mutex;
+        let spec = SweepSpec {
+            scope: Scope::Strided(1500),
+            ..SweepSpec::default()
+        };
+        for workers in [1usize, 2, 4] {
+            let sink: Mutex<Vec<(RunKey, BatchPartial)>> = Mutex::new(Vec::new());
+            let observe = |data: &SettingData| {
+                let partial = BatchPartial::fold(data);
+                sink.lock().unwrap().push((data.key.clone(), partial));
+            };
+            let opts = SweepOptions::new(workers).with_batch_observer(&observe);
+            let batches = sweep_arch_scheduled(Arch::Milan, &spec, &opts).batches;
+            let partials = sink.into_inner().unwrap();
+            assert_eq!(partials.len(), batches.len());
+            let whole = ArchDigest::fold(Arch::Milan.id(), &batches, 7);
+            let mut core = CollectCore::new(&spec);
+            core.push_arch_partials(Arch::Milan.id(), &batches, partials, 7);
+            assert_eq!(core.arches[0], whole, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn spec_fingerprint_distinguishes_specs() {
+        let base = SweepSpec::default();
+        let strided = SweepSpec {
+            scope: Scope::Strided(400),
+            ..base
+        };
+        let reseeded = SweepSpec { seed: 7, ..base };
+        assert_ne!(spec_fingerprint(&base), spec_fingerprint(&strided));
+        assert_ne!(spec_fingerprint(&base), spec_fingerprint(&reseeded));
+        assert_eq!(spec_fingerprint(&base), spec_fingerprint(&base.clone()));
+    }
+
+    #[test]
+    fn fold_is_worker_count_invariant() {
+        let spec = SweepSpec {
+            scope: Scope::Strided(2000),
+            ..SweepSpec::default()
+        };
+        let mut digests = Vec::new();
+        for workers in [1usize, 4] {
+            let outcome = sweep_arch_scheduled(Arch::Milan, &spec, &SweepOptions::new(workers));
+            let mut batches = outcome.batches;
+            for data in &mut batches {
+                crate::clean(data, spec.reps as usize);
+            }
+            digests.push(ArchDigest::fold(Arch::Milan.id(), &batches, 0));
+        }
+        assert_eq!(digests[0], digests[1]);
+        let mut core = CollectCore::new(&spec);
+        core.arches.push(digests[0].clone());
+        let h1 = RunCore::Collect(core.clone()).hash();
+        core.arches[0] = digests[1].clone();
+        assert_eq!(h1, RunCore::Collect(core).hash());
+    }
+
+    #[test]
+    fn collect_record_roundtrips_through_jsonl() {
+        let core = tiny_core(0x0527_1CEB);
+        let rc = RunCore::Collect(core);
+        let record = RunRecord {
+            seq: 3,
+            ts_unix: 1_700_000_000,
+            git_rev: "abcdef012345".to_string(),
+            record_hash: rc.hash(),
+            core: rc,
+            info: RunInfo {
+                workers: 4,
+                elapsed_s: 1.25,
+                manifest_digest: 42,
+                out_dir: "dataset".to_string(),
+                counters: vec![("steals".to_string(), 17)],
+            },
+        };
+        let line = record.to_jsonl();
+        let back = RunRecord::from_jsonl(&line).unwrap();
+        assert_eq!(back, record);
+        // The round-trip preserves the content address bits-exactly.
+        assert_eq!(back.core.hash(), record.record_hash);
+    }
+
+    #[test]
+    fn bench_core_digests_scalars_and_rep_arrays() {
+        let json = r#"{"warm_s": 0.005, "samples": 9090, "warm_s_reps": [0.005, 0.0051, null], "label": "x"}"#;
+        let core = BenchCore::from_bench_json("sweep", json).unwrap();
+        assert_eq!(core.scalars.len(), 2, "{:?}", core.scalars);
+        assert_eq!(core.reps.len(), 1);
+        // null reps parse as NaN bits; the array length survives.
+        assert_eq!(core.reps[0].1.len(), 3);
+        let rc = RunCore::Bench(core);
+        let record = RunRecord {
+            seq: 0,
+            ts_unix: 0,
+            git_rev: "unknown".to_string(),
+            record_hash: rc.hash(),
+            core: rc,
+            info: RunInfo::default(),
+        };
+        let back = RunRecord::from_jsonl(&record.to_jsonl()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn registry_append_load_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let registry = Registry::open(&dir).unwrap();
+        let core = tiny_core(1);
+        for i in 0..3u64 {
+            let rec = registry
+                .append(
+                    RunCore::Collect(core.clone()),
+                    RunInfo {
+                        workers: i + 1,
+                        ..RunInfo::default()
+                    },
+                    "deadbeef",
+                    100 + i,
+                )
+                .unwrap();
+            assert_eq!(rec.seq, i);
+        }
+        let loaded = registry.load().unwrap();
+        assert_eq!(loaded.records.len(), 3);
+        assert_eq!(loaded.corrupt_skipped, 0);
+        assert!(!loaded.index_rebuilt, "fresh index must be trusted");
+        // Same core content => same address on every record.
+        let h0 = loaded.records[0].record_hash;
+        assert!(loaded.records.iter().all(|r| r.record_hash == h0));
+        assert!(loaded.records.iter().map(|r| r.seq).eq(0..3));
+        let listing = registry.listing_json();
+        assert!(listing.contains("\"records\""), "{listing}");
+        assert!(listing.contains(&format!("{h0:016x}")), "{listing}");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn damaged_jsonl_line_skips_with_counter() {
+        let dir = tmp_dir("damaged");
+        let registry = Registry::open(&dir).unwrap();
+        let core = tiny_core(2);
+        registry
+            .append(RunCore::Collect(core.clone()), RunInfo::default(), "a", 1)
+            .unwrap();
+        registry
+            .append(RunCore::Collect(core), RunInfo::default(), "b", 2)
+            .unwrap();
+        // Damage the middle of the first line (content no longer
+        // matches its stored hash) without touching the second.
+        let jsonl = fs::read_to_string(dir.join("registry.jsonl")).unwrap();
+        let damaged = jsonl.replacen("\"samples\":", "\"samplez\":", 1);
+        fs::write(dir.join("registry.jsonl"), &damaged).unwrap();
+        let loaded = registry.load().unwrap();
+        assert_eq!(loaded.corrupt_skipped, 1, "damaged line counted");
+        assert_eq!(loaded.records.len(), 1, "intact record survives");
+        assert_eq!(loaded.records[0].git_rev, "b");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncated_index_rebuilds_from_jsonl() {
+        let dir = tmp_dir("truncidx");
+        let registry = Registry::open(&dir).unwrap();
+        let core = tiny_core(3);
+        registry
+            .append(RunCore::Collect(core.clone()), RunInfo::default(), "a", 1)
+            .unwrap();
+        registry
+            .append(RunCore::Collect(core.clone()), RunInfo::default(), "b", 2)
+            .unwrap();
+        let idx = fs::read(dir.join("registry.idx")).unwrap();
+        fs::write(dir.join("registry.idx"), &idx[..idx.len() / 2]).unwrap();
+        let loaded = registry.load().unwrap();
+        assert!(loaded.index_rebuilt, "truncated index must trigger rescan");
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.corrupt_skipped, 0);
+        // The rescue rewrote the index; the next load trusts it again.
+        let again = registry.load().unwrap();
+        assert!(!again.index_rebuilt);
+        assert_eq!(again.records.len(), 2);
+        // Appending after a rescue keeps numbering monotone.
+        let rec = registry
+            .append(RunCore::Collect(core), RunInfo::default(), "c", 3)
+            .unwrap();
+        assert_eq!(rec.seq, 2);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_silently() {
+        let dir = tmp_dir("noidx");
+        let registry = Registry::open(&dir).unwrap();
+        registry
+            .append(RunCore::Collect(tiny_core(4)), RunInfo::default(), "a", 1)
+            .unwrap();
+        fs::remove_file(dir.join("registry.idx")).unwrap();
+        let loaded = registry.load().unwrap();
+        assert!(loaded.index_rebuilt);
+        assert_eq!(loaded.records.len(), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn git_rev_resolves_a_plain_checkout() {
+        let dir = tmp_dir("git");
+        let git = dir.join(".git");
+        fs::create_dir_all(git.join("refs/heads")).unwrap();
+        fs::write(git.join("HEAD"), "ref: refs/heads/main\n").unwrap();
+        fs::write(git.join("refs/heads/main"), "0123abcd0123abcd\n").unwrap();
+        assert_eq!(detect_git_rev(&dir), "0123abcd0123abcd");
+        // Packed-refs fallback when the loose ref is gone.
+        fs::remove_file(git.join("refs/heads/main")).unwrap();
+        fs::write(
+            git.join("packed-refs"),
+            "# pack-refs with: peeled\nfeedface0000 refs/heads/main\n",
+        )
+        .unwrap();
+        assert_eq!(detect_git_rev(&dir), "feedface0000");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn default_registry_dir_is_out_dir_sibling() {
+        assert_eq!(
+            default_registry_dir(Path::new("/runs/cold")),
+            PathBuf::from("/runs/.ompobs")
+        );
+        assert_eq!(
+            default_registry_dir(Path::new("dataset")),
+            PathBuf::from(".ompobs")
+        );
+    }
+}

@@ -103,7 +103,9 @@ collect_pid=$!
 addr=""
 for _ in $(seq 1 100); do
     if [ -s "$coherence_dir/monitored/monitor.addr" ]; then
-        addr="$(tr -d '[:space:]' <"$coherence_dir/monitored/monitor.addr")"
+        # First line is the address; later lines are sidecar context
+        # (the registry directory), so no whole-file parse here.
+        addr="$(head -n1 "$coherence_dir/monitored/monitor.addr" | tr -d '[:space:]')"
         break
     fi
     sleep 0.1
@@ -139,6 +141,11 @@ grep -q '"priced_batches"' <<<"$sweep_json" || {
     echo "verify: /sweep JSON is missing the warm-engine counters" >&2
     exit 1
 }
+runs_json="$(http_get "$addr" /runs)"
+grep -q '"records"' <<<"$runs_json" || {
+    echo "verify: /runs is not serving the run-registry listing" >&2
+    exit 1
+}
 influence_json="$(http_get "$addr" /influence)"
 grep -q '"influence"' <<<"$influence_json" || {
     echo "verify: /influence is not serving the streaming ranking" >&2
@@ -148,9 +155,13 @@ grep -q '"OMP_PROC_BIND"' <<<"$influence_json" || {
     echo "verify: /influence ranking is missing the env features" >&2
     exit 1
 }
-echo "live /metrics, /healthz, /sweep, /influence all answered mid-run"
+echo "live /metrics, /healthz, /sweep, /influence, /runs all answered mid-run"
 wait "$collect_pid"
 collect_pid=""
+grep -q '^registry ' "$coherence_dir/monitored/monitor.addr" || {
+    echo "verify: monitor.addr sidecar is missing the registry line" >&2
+    exit 1
+}
 cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/monitored/provenance.jsonl" || {
     echo "verify: monitored sweep provenance diverged from unmonitored sweep" >&2
     exit 1
@@ -163,11 +174,78 @@ echo "monitored and unmonitored provenance byte-identical"
 step cargo run --release -p ompmon --bin ompmon -- \
     drift "$coherence_dir/cold" "$coherence_dir/warm"
 
+# Longitudinal observatory gate: the five collect runs above all share
+# one registry ($coherence_dir/.ompobs, the out-dir sibling default).
+# Same tree + same seed means every record must carry the same content
+# address regardless of worker count, the change-point sentinel must
+# say OK over that history, and a deliberately perturbed sixth run
+# (+10% virtual time on one architecture) must flip the sentinel to
+# exit 4 with blame naming the perturbed slice.
+echo
+echo "==> longitudinal observatory gate (registry, sentinel, blame, report)"
+obs_dir="$coherence_dir/.ompobs"
+list_out="$(cargo run --release -q -p ompobs -- list --dir "$obs_dir")"
+echo "$list_out"
+collect_rows="$(awk '$3 == "collect"' <<<"$list_out" | wc -l)"
+[ "$collect_rows" -ge 5 ] || {
+    echo "verify: registry holds only $collect_rows collect record(s), expected the 5 runs above" >&2
+    exit 1
+}
+unique_hashes="$(awk '$3 == "collect" { print $5 }' <<<"$list_out" | sort -u | wc -l)"
+[ "$unique_hashes" -eq 1 ] || {
+    echo "verify: identical sweeps produced $unique_hashes distinct content addresses (workers 4/2/1 must agree byte-for-byte)" >&2
+    exit 1
+}
+echo "content addresses identical across workers 4, 2, 1 (and traced/monitored)"
+if cargo run --release -q -p ompobs -- sentinel --dir "$obs_dir"; then
+    :
+else
+    echo "verify: sentinel flagged the identical-run history (or failed)" >&2
+    exit 1
+fi
+[ -s "$obs_dir/history.json" ] || {
+    echo "verify: sentinel did not write history.json" >&2
+    exit 1
+}
+cargo run --release -p sweep --bin collect -- tiny "$coherence_dir/perturbed" \
+    --workers 2 --cache-dir "$coherence_dir/cache" \
+    --perturb skylake:1.10 2>/dev/null
+if cargo run --release -q -p ompobs -- sentinel --dir "$obs_dir"; then
+    echo "verify: sentinel missed the +10% skylake perturbation" >&2
+    exit 1
+else
+    rc=$?
+    [ "$rc" -eq 4 ] || {
+        echo "verify: sentinel failed (exit $rc) instead of detecting the change-point (exit 4)" >&2
+        exit 1
+    }
+fi
+blame_out="$(cargo run --release -q -p ompobs -- blame --dir "$obs_dir")"
+echo "$blame_out"
+grep -q 'top regressed slice: skylake/' <<<"$blame_out" || {
+    echo "verify: blame did not name the perturbed skylake slice" >&2
+    exit 1
+}
+cargo run --release -q -p ompobs -- report --dir "$obs_dir"
+head -1 "$obs_dir/report.html" | grep -q '<!DOCTYPE html>' || {
+    echo "verify: report.html is missing the HTML prologue" >&2
+    exit 1
+}
+tail -1 "$obs_dir/report.html" | grep -q '</html>' || {
+    echo "verify: report.html is truncated" >&2
+    exit 1
+}
+grep -q 'CHANGE-POINT' "$obs_dir/report.html" || {
+    echo "verify: report.html lost the change-point verdict" >&2
+    exit 1
+}
+echo "sentinel clean on identical history, change-point + blame on the perturbed run, dashboard well-formed"
+
 # Bench regression gate: fresh sweep_warmcold numbers must stay within
 # the noise band of the committed baseline.
 echo
 echo "==> bench regression gate (sweep_warmcold vs committed baseline)"
-BENCH_OUT="$coherence_dir/bench_sweep.json" \
+BENCH_OUT="$coherence_dir/bench_sweep.json" OMPOBS_DIR="$obs_dir" \
     cargo bench -p bench-harness --bench sweep_warmcold
 step cargo run --release -p bench-harness --bin bench-diff -- \
     --baseline BENCH_sweep.json "$coherence_dir/bench_sweep.json" --band 2.0
@@ -247,7 +325,7 @@ step cargo test -p ompfuzz --release --test determinism -q
 # above is checker-bound, so a replay regression shrinks CI coverage.
 echo
 echo "==> checker throughput gate (checker_throughput vs committed baseline)"
-BENCH_OUT="$coherence_dir/bench_checker.json" \
+BENCH_OUT="$coherence_dir/bench_checker.json" OMPOBS_DIR="$obs_dir" \
     cargo bench -p bench-harness --bench checker_throughput
 step cargo run --release -p bench-harness --bin bench-diff -- \
     --baseline BENCH_checker.json "$coherence_dir/bench_checker.json" --band 2.0
@@ -257,7 +335,7 @@ step cargo run --release -p bench-harness --bin bench-diff -- \
 # the noise band of the committed baseline.
 echo
 echo "==> attribution throughput gate (attribution_throughput vs committed baseline)"
-BENCH_OUT="$coherence_dir/bench_profile.json" \
+BENCH_OUT="$coherence_dir/bench_profile.json" OMPOBS_DIR="$obs_dir" \
     cargo bench -p bench-harness --bench attribution_throughput
 step cargo run --release -p bench-harness --bin bench-diff -- \
     --baseline BENCH_profile.json "$coherence_dir/bench_profile.json" --band 2.0
