@@ -14,14 +14,18 @@
 //!   availability tracker used for chunk-level execution,
 //! - [`noise`] — the architecture-dependent measurement-noise model that
 //!   reproduces the paper's Wilcoxon consistency findings (quiet A64FX,
-//!   noisy x86 cluster nodes).
+//!   noisy x86 cluster nodes),
+//! - [`power`] — the per-architecture power model ([`power::PowerDesc`])
+//!   behind the `ompwatt` energy objective.
 
 pub mod engine;
 pub mod machine;
 pub mod noise;
+pub mod power;
 pub mod topology;
 
 pub use engine::{ns, CorePool, EventQueue, VTime};
 pub use machine::{MachineDesc, MemoryDesc};
 pub use noise::NoiseModel;
+pub use power::PowerDesc;
 pub use topology::{Distance, Topology};

@@ -1,0 +1,175 @@
+//! Per-architecture power models for the studied CPUs.
+//!
+//! A [`PowerDesc`] captures the electrical side of Table I: what one
+//! core draws while computing, stalling on memory, spinning, yielding,
+//! or sitting idle, the DVFS boost a lone serial thread enjoys, the
+//! package base (uncore) draw, and the per-byte energy of the memory
+//! technology. The presets encode public TDP and access-energy figures
+//! for the three machines (HBM2 vs. DDR4), calibrated — like the time
+//! model — for *shape*: which wait policy burns more power, which
+//! machine pays most for memory traffic, not vendor-exact wattage.
+//!
+//! The model is deliberately a pure function of the machine description
+//! and a virtual-time breakdown: no clocks, no randomness, so priced
+//! energy is bit-identically reproducible at any worker count.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of one machine. All `*_w` fields are watts per
+/// core (except `boost_w` and `uncore_w`, see their docs);
+/// `dram_pj_per_byte` is picojoules per byte moved to/from DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerDesc {
+    /// Draw of a core running compute at nominal clock.
+    pub core_active_w: f64,
+    /// Draw of a core stalled on memory (execution units gated).
+    pub core_memstall_w: f64,
+    /// Draw of a core hard-spinning on a flag (`turnaround` waits).
+    pub core_spin_w: f64,
+    /// Draw of a core in a yielding spin loop (`throughput` waits).
+    pub core_yield_w: f64,
+    /// Draw of a core parked in a sleep state (blocktime expired).
+    pub core_idle_w: f64,
+    /// Extra draw of the *one* active core in a serial section: with
+    /// the rest of the package quiet, DVFS boosts its clock and voltage.
+    pub boost_w: f64,
+    /// Package base draw (uncore, interconnect, caches), whole machine.
+    pub uncore_w: f64,
+    /// Energy per byte of DRAM traffic, picojoules.
+    pub dram_pj_per_byte: f64,
+}
+
+impl PowerDesc {
+    /// Fujitsu A64FX: ~160 W TDP over 48 cores, HBM2 (cheap bytes),
+    /// conservative clocking — little serial boost headroom.
+    pub fn a64fx() -> PowerDesc {
+        PowerDesc {
+            core_active_w: 2.2,
+            core_memstall_w: 1.5,
+            core_spin_w: 1.9,
+            core_yield_w: 1.1,
+            core_idle_w: 0.25,
+            boost_w: 0.5,
+            uncore_w: 40.0,
+            dram_pj_per_byte: 35.0,
+        }
+    }
+
+    /// Intel Xeon Gold 6148 (Skylake): 2 × 150 W TDP over 40 cores,
+    /// DDR4-2666 (expensive bytes), aggressive single-core turbo.
+    pub fn skylake() -> PowerDesc {
+        PowerDesc {
+            core_active_w: 3.6,
+            core_memstall_w: 2.4,
+            core_spin_w: 3.2,
+            core_yield_w: 1.8,
+            core_idle_w: 0.5,
+            boost_w: 1.6,
+            uncore_w: 55.0,
+            dram_pj_per_byte: 100.0,
+        }
+    }
+
+    /// AMD EPYC 7643 (Milan): 2 × 225 W TDP over 96 cores, DDR4-3200,
+    /// moderate boost, big IO-die uncore.
+    pub fn milan() -> PowerDesc {
+        PowerDesc {
+            core_active_w: 2.9,
+            core_memstall_w: 2.0,
+            core_spin_w: 2.6,
+            core_yield_w: 1.5,
+            core_idle_w: 0.35,
+            boost_w: 2.0,
+            uncore_w: 90.0,
+            dram_pj_per_byte: 100.0,
+        }
+    }
+
+    /// Look up a preset by its dataset identifier (same names as
+    /// [`crate::MachineDesc::by_name`]).
+    pub fn by_name(name: &str) -> Option<PowerDesc> {
+        match name {
+            "a64fx" => Some(PowerDesc::a64fx()),
+            "skylake" => Some(PowerDesc::skylake()),
+            "milan" => Some(PowerDesc::milan()),
+            _ => None,
+        }
+    }
+
+    /// Validate internal consistency: positive draws, and the wait-state
+    /// ordering every energy conclusion rests on — a parked core draws
+    /// less than a yielding one, which draws less than a hard spinner,
+    /// which draws no more than full compute.
+    pub fn validate(&self) -> Result<(), String> {
+        for (what, w) in [
+            ("core_active_w", self.core_active_w),
+            ("core_memstall_w", self.core_memstall_w),
+            ("core_spin_w", self.core_spin_w),
+            ("core_yield_w", self.core_yield_w),
+            ("core_idle_w", self.core_idle_w),
+            ("uncore_w", self.uncore_w),
+            ("dram_pj_per_byte", self.dram_pj_per_byte),
+        ] {
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(format!("non-positive {what}"));
+            }
+        }
+        if !(self.boost_w >= 0.0 && self.boost_w.is_finite()) {
+            return Err("negative boost_w".into());
+        }
+        if self.core_idle_w >= self.core_yield_w {
+            return Err("idle must draw less than a yielding spin".into());
+        }
+        if self.core_yield_w >= self.core_spin_w {
+            return Err("yielding spin must draw less than a hard spin".into());
+        }
+        if self.core_spin_w > self.core_active_w {
+            return Err("a spinning core cannot out-draw full compute".into());
+        }
+        if self.core_memstall_w > self.core_active_w {
+            return Err("a stalled core cannot out-draw full compute".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for name in ["a64fx", "skylake", "milan"] {
+            PowerDesc::by_name(name).unwrap().validate().unwrap();
+        }
+        assert!(PowerDesc::by_name("power9").is_none());
+    }
+
+    #[test]
+    fn wait_state_ordering_holds_on_every_preset() {
+        for p in [PowerDesc::a64fx(), PowerDesc::skylake(), PowerDesc::milan()] {
+            assert!(p.core_idle_w < p.core_yield_w);
+            assert!(p.core_yield_w < p.core_spin_w);
+            assert!(p.core_spin_w <= p.core_active_w);
+        }
+    }
+
+    #[test]
+    fn hbm_bytes_are_cheaper_than_ddr4() {
+        assert!(PowerDesc::a64fx().dram_pj_per_byte < PowerDesc::skylake().dram_pj_per_byte);
+        assert!(PowerDesc::a64fx().dram_pj_per_byte < PowerDesc::milan().dram_pj_per_byte);
+    }
+
+    #[test]
+    fn validate_rejects_bad_descriptions() {
+        let mut p = PowerDesc::milan();
+        p.core_idle_w = p.core_yield_w + 1.0;
+        assert!(p.validate().is_err());
+        let mut p = PowerDesc::milan();
+        p.core_spin_w = p.core_active_w * 2.0;
+        assert!(p.validate().is_err());
+        let mut p = PowerDesc::milan();
+        p.uncore_w = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

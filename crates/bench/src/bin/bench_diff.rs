@@ -19,9 +19,10 @@
 //!
 //! A *missing* baseline is not a failure: the current results are
 //! seeded as the new baseline (and recorded into the run registry so
-//! the trail starts at the same point), `BASELINE-SEEDED` is printed,
-//! and the gate passes — the first run of a new bench self-initialises
-//! instead of forcing a manual bootstrap step.
+//! the trail starts at the same point), `BASELINE-SEEDED` is printed
+//! along with every series the new baseline froze (and how each will
+//! be gated), and the gate passes — the first run of a new bench
+//! self-initialises instead of forcing a manual bootstrap step.
 //!
 //! Exit codes: `0` pass (including a seeded baseline), `1` regression,
 //! `2` usage error, `3` the baseline (or current) file is unparsable —
@@ -173,6 +174,31 @@ fn seed_baseline(base_path: &str, cur_path: &str) -> ExitCode {
         Err(e) => eprintln!("bench-diff: re-reading {cur_path}: {e}"),
     }
     println!("BASELINE-SEEDED: {base_path} adopted from {cur_path}");
+    // Enumerate what the future gate will actually compare, so the
+    // first-run log records which series the baseline froze — a later
+    // "where did this gated key come from" has its answer in CI history.
+    match load(cur_path) {
+        Ok(doc) => {
+            for (key, value) in &doc.scalars {
+                let dir = match classify(key) {
+                    Direction::LowerBetter => "lower-better",
+                    Direction::HigherBetter => "higher-better",
+                    Direction::Info => "informational",
+                };
+                let reps = doc
+                    .reps_of(key)
+                    .map(|r| format!(", {} reps", r.len()))
+                    .unwrap_or_default();
+                println!("  seeded {key} = {value} ({dir}{reps})");
+            }
+            println!(
+                "  {} series seeded ({} with per-repetition arrays)",
+                doc.scalars.len(),
+                doc.reps.len()
+            );
+        }
+        Err(e) => eprintln!("bench-diff: cannot enumerate seeded series: {e}"),
+    }
     ExitCode::SUCCESS
 }
 

@@ -235,25 +235,45 @@ fn compare_step(ca: &CollectCore, cb: &CollectCore, step: &mut Step) {
             continue;
         };
         for (k, (sa, sb)) in a.virt.iter().zip(&b.virt).enumerate() {
-            let (xs, ys) = paired_means(&sa.means(), &sb.means());
-            let mut row = StepRow {
-                series: format!("{}/virt/s{k}", a.arch),
-                n: xs.len(),
-                mean_a: mean(&xs),
-                mean_b: mean(&ys),
-                identical: false,
-                p_raw: None,
-                p_holm: None,
-                change: false,
-            };
-            match wilcoxon_signed_rank(&xs, &ys) {
-                Ok(r) => row.p_raw = Some(r.p_value),
-                Err(WilcoxonError::AllZeroDifferences) => row.identical = true,
-                Err(_) => {}
+            push_series_row(step, format!("{}/virt/s{k}", a.arch), sa, sb);
+        }
+        // Energy series ride the same test: a config change that moves
+        // joules without moving virtual time (a wait-policy swap, say)
+        // is a change-point too. Pre-energy records carry no energy
+        // series; comparing against one is skipped, not flagged — an
+        // upgrade must not read as a regression.
+        if !a.energy.is_empty() && !b.energy.is_empty() {
+            for (k, (sa, sb)) in a.energy.iter().zip(&b.energy).enumerate() {
+                push_series_row(step, format!("{}/energy/s{k}", a.arch), sa, sb);
             }
-            step.rows.push(row);
         }
     }
+}
+
+/// Test one tail-aligned series pair and append its row to the step.
+fn push_series_row(
+    step: &mut Step,
+    series: String,
+    sa: &sweep::StratumSeries,
+    sb: &sweep::StratumSeries,
+) {
+    let (xs, ys) = paired_means(&sa.means(), &sb.means());
+    let mut row = StepRow {
+        series,
+        n: xs.len(),
+        mean_a: mean(&xs),
+        mean_b: mean(&ys),
+        identical: false,
+        p_raw: None,
+        p_holm: None,
+        change: false,
+    };
+    match wilcoxon_signed_rank(&xs, &ys) {
+        Ok(r) => row.p_raw = Some(r.p_value),
+        Err(WilcoxonError::AllZeroDifferences) => row.identical = true,
+        Err(_) => {}
+    }
+    step.rows.push(row);
 }
 
 /// Tail-aligned positional pairing (ring semantics), NaN pairs dropped.
@@ -402,6 +422,9 @@ pub struct Blame {
     pub to_rev: String,
     /// Per-arch virtual-time deltas, most-regressed first.
     pub arches: Vec<SliceDelta>,
+    /// Per-arch modeled-energy deltas (µJ digests), most-regressed
+    /// first; empty when either bracketing record predates energy.
+    pub energy: Vec<SliceDelta>,
     /// Per-app deltas within the top arch, most-regressed first.
     pub apps: Vec<SliceDelta>,
     /// Per-(variable, value) deltas within the top arch,
@@ -447,6 +470,21 @@ pub fn blame(records: &[RunRecord], from_seq: u64, to_seq: u64) -> Result<Blame,
         return Err("the two runs share no architecture".to_string());
     }
     sort_regressed(&mut arches);
+    // Energy deltas: the second objective's view of the same bracket.
+    // Gated on both sides carrying energy so a pre-energy baseline
+    // never reads as a 100% energy regression.
+    let mut energy: Vec<SliceDelta> = ca
+        .arches
+        .iter()
+        .filter(|a| a.energy_uj() > 0)
+        .filter_map(|a| {
+            cb.arches
+                .iter()
+                .find(|b| b.arch == a.arch && b.energy_uj() > 0)
+                .map(|b| slice_delta(a.arch.clone(), a.energy_uj(), b.energy_uj()))
+        })
+        .collect();
+    sort_regressed(&mut energy);
     let top_arch = arches[0].name.clone();
     let da = ca
         .arches
@@ -514,6 +552,7 @@ pub fn blame(records: &[RunRecord], from_seq: u64, to_seq: u64) -> Result<Blame,
         from_rev: rev_of(from_seq),
         to_rev: rev_of(to_seq),
         arches,
+        energy,
         apps,
         cells,
         top,
@@ -542,6 +581,13 @@ impl Blame {
         for a in &self.arches {
             out.push_str(&format!(
                 "  arch {:<10} {:+.2}% virtual time\n",
+                a.name,
+                a.delta_rel * 100.0
+            ));
+        }
+        for a in &self.energy {
+            out.push_str(&format!(
+                "  arch {:<10} {:+.2}% modeled energy\n",
                 a.name,
                 a.delta_rel * 100.0
             ));
@@ -694,10 +740,14 @@ mod tests {
     use sweep::{ArchDigest, RunInfo, StratumSeries};
 
     /// A hand-built digest: deterministic series, two apps, two cells.
-    fn synth_arch(arch: &str, scale: f64) -> ArchDigest {
+    /// `scale` moves virtual time; `energy_scale` moves the modeled
+    /// joules — independently, so tests can perturb one objective only.
+    fn synth_arch(arch: &str, scale: f64, energy_scale: f64) -> ArchDigest {
         let mut virt = Vec::new();
+        let mut energy = Vec::new();
         for k in 0..sweep::registry::STRATA {
             let mut s = StratumSeries::default();
+            let mut e = StratumSeries::default();
             for i in 0..40u64 {
                 let base = 1000.0 + (k as f64) * 37.0 + (i as f64) * 3.0;
                 // Private constructor is in sweep; emulate by pushing
@@ -705,8 +755,12 @@ mod tests {
                 s.total += 1;
                 s.counts.push(3);
                 s.sum_bits.push((base * scale).to_bits());
+                e.total += 1;
+                e.counts.push(1);
+                e.sum_bits.push((base * 0.002 * energy_scale).to_bits());
             }
             virt.push(s);
+            energy.push(e);
         }
         ArchDigest {
             arch: arch.to_string(),
@@ -714,16 +768,19 @@ mod tests {
             samples: 320,
             dropped: 0,
             virt,
+            energy,
             apps: vec![
                 sweep::registry::AppDigest {
                     app: "cg".to_string(),
                     samples: 200,
                     virt_ns: (2_000_000.0 * scale) as u64,
+                    energy_uj: (4_000_000.0 * energy_scale) as u64,
                 },
                 sweep::registry::AppDigest {
                     app: "ft".to_string(),
                     samples: 120,
                     virt_ns: (1_000_000.0 * scale) as u64,
+                    energy_uj: (2_000_000.0 * energy_scale) as u64,
                 },
             ],
             cells: vec![
@@ -732,26 +789,28 @@ mod tests {
                     value: "static".to_string(),
                     samples: 160,
                     virt_ns: (1_800_000.0 * scale) as u64,
+                    energy_uj: (3_600_000.0 * energy_scale) as u64,
                 },
                 sweep::registry::CellDigest {
                     variable: "OMP_SCHEDULE".to_string(),
                     value: "dynamic,16".to_string(),
                     samples: 160,
                     virt_ns: (1_200_000.0 * scale) as u64,
+                    energy_uj: (2_400_000.0 * energy_scale) as u64,
                 },
             ],
         }
     }
 
-    fn synth_record(seq: u64, perturb: Option<(&str, f64)>) -> RunRecord {
+    fn synth_record_scaled(seq: u64, perturb: Option<(&str, f64, f64)>) -> RunRecord {
         let spec = sweep::SweepSpec::default();
         let mut core = CollectCore::new(&spec);
         for arch in ["a64fx", "skylake"] {
-            let scale = match perturb {
-                Some((p, f)) if p == arch => f,
-                _ => 1.0,
+            let (scale, energy_scale) = match perturb {
+                Some((p, f, e)) if p == arch => (f, e),
+                _ => (1.0, 1.0),
             };
-            core.arches.push(synth_arch(arch, scale));
+            core.arches.push(synth_arch(arch, scale, energy_scale));
         }
         let rc = RunCore::Collect(core);
         RunRecord {
@@ -762,6 +821,10 @@ mod tests {
             core: rc,
             info: RunInfo::default(),
         }
+    }
+
+    fn synth_record(seq: u64, perturb: Option<(&str, f64)>) -> RunRecord {
+        synth_record_scaled(seq, perturb.map(|(p, f)| (p, f, f)))
     }
 
     #[test]
@@ -809,6 +872,64 @@ mod tests {
         // The untouched arch reports ~0 delta.
         let a64fx = b.arches.iter().find(|a| a.name == "a64fx").unwrap();
         assert!(a64fx.delta_rel.abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_only_shift_is_a_change_point() {
+        // Same virtual time, different joules: the wait-policy-swap
+        // shape. Only the energy series may flag; the virt rows must
+        // stay identical, and blame names the arch on the energy axis.
+        let mut records: Vec<RunRecord> = (0..3).map(|i| synth_record(i, None)).collect();
+        records.push(synth_record_scaled(3, Some(("a64fx", 1.0, 1.25))));
+        let h = sentinel(&records, 0.05);
+        assert!(h.change, "{}", h.render());
+        let step = &h.steps[2];
+        assert!(step
+            .rows
+            .iter()
+            .any(|r| r.change && r.series.starts_with("a64fx/energy/")));
+        assert!(
+            step.rows
+                .iter()
+                .filter(|r| r.series.contains("/virt/"))
+                .all(|r| r.identical),
+            "virtual time did not move"
+        );
+        let b = blame(&records, 2, 3).unwrap();
+        let top_e = b.energy.first().expect("energy deltas present");
+        assert_eq!(top_e.name, "a64fx");
+        assert!((top_e.delta_rel - 0.25).abs() < 1e-9, "{}", b.render());
+        assert!(b.render().contains("modeled energy"));
+    }
+
+    #[test]
+    fn pre_energy_baseline_never_flags_energy() {
+        // Step from a v1-era record (no energy words) to an energy
+        // record: the sentinel must not test — let alone flag — the
+        // energy series, and blame reports no energy deltas.
+        let mut old = synth_record(0, None);
+        if let RunCore::Collect(c) = &mut old.core {
+            for a in &mut c.arches {
+                a.energy.clear();
+                for app in &mut a.apps {
+                    app.energy_uj = 0;
+                }
+                for cell in &mut a.cells {
+                    cell.energy_uj = 0;
+                }
+            }
+        }
+        old.record_hash = old.core.hash();
+        let records = vec![old, synth_record(1, None)];
+        let h = sentinel(&records, 0.05);
+        assert!(!h.change, "{}", h.render());
+        let step = &h.steps[0];
+        assert!(
+            step.rows.iter().all(|r| !r.series.contains("/energy/")),
+            "energy rows must be skipped against a pre-energy baseline"
+        );
+        let b = blame(&records, 0, 1).unwrap();
+        assert!(b.energy.is_empty(), "{}", b.render());
     }
 
     #[test]

@@ -143,23 +143,34 @@ fn list_cmd(flags: &Flags) -> ExitCode {
         }
     };
     println!(
-        "{:<5} {:<17} {:<8} {:<13} {:<17} {:>9} {:>8}",
-        "SEQ", "WHEN", "KIND", "REV", "HASH", "SAMPLES", "WORKERS"
+        "{:<5} {:<17} {:<8} {:<13} {:<17} {:>9} {:>8} {:>10}",
+        "SEQ", "WHEN", "KIND", "REV", "HASH", "SAMPLES", "WORKERS", "JOULES"
     );
     for rec in &load.records {
         let samples = match &rec.core {
             RunCore::Collect(c) => c.arches.iter().map(|a| a.samples).sum::<u64>(),
             RunCore::Bench(_) => 0,
         };
+        // Whole-µJ digests; zero means a pre-energy record.
+        let energy_uj = match &rec.core {
+            RunCore::Collect(c) => c.arches.iter().map(|a| a.energy_uj()).sum::<u64>(),
+            RunCore::Bench(_) => 0,
+        };
+        let joules = if energy_uj > 0 {
+            format!("{:.3}", energy_uj as f64 / 1e6)
+        } else {
+            "-".to_string()
+        };
         println!(
-            "{:<5} {:<17} {:<8} {:<13} {:016x} {:>9} {:>8}",
+            "{:<5} {:<17} {:<8} {:<13} {:016x} {:>9} {:>8} {:>10}",
             rec.seq,
             rec.ts_unix,
             rec.core.kind(),
             &rec.git_rev[..rec.git_rev.len().min(12)],
             rec.record_hash,
             samples,
-            rec.info.workers
+            rec.info.workers,
+            joules
         );
     }
     println!(

@@ -3,8 +3,9 @@
 //! Everything is rendered by hand — markup, styles, and the SVG
 //! sparklines — so the artifact opens from a `file://` URL in any
 //! browser with no scripts, fonts, or network fetches. The page shows
-//! the run trail, per-series virtual-time sparklines with change-point
-//! badges, the bench scalar trends, and (when a change-point fired)
+//! the run trail, per-series virtual-time and modeled-energy
+//! sparklines with change-point badges, the bench scalar trends, and
+//! (when a change-point fired)
 //! the blame verdict, plus links to the flame-graph artifacts
 //! `ompprof` writes next to a run directory.
 
@@ -141,6 +142,39 @@ fn series_point(rec: &RunRecord, arch: &str, k: usize) -> f64 {
     }
 }
 
+/// Per-run mean of one arch's stratum `k` energy ring series (joules).
+/// Pre-energy records have no energy strata and yield NaN, which the
+/// sparkline renders as a break in the line.
+fn energy_series_point(rec: &RunRecord, arch: &str, k: usize) -> f64 {
+    let RunCore::Collect(c) = &rec.core else {
+        return f64::NAN;
+    };
+    let Some(a) = c.arches.iter().find(|a| a.arch == arch) else {
+        return f64::NAN;
+    };
+    let Some(s) = a.energy.get(k) else {
+        return f64::NAN;
+    };
+    let means = s.means();
+    if means.is_empty() {
+        f64::NAN
+    } else {
+        means.iter().sum::<f64>() / means.len() as f64
+    }
+}
+
+fn fmt_joules(j: f64) -> String {
+    if !j.is_finite() {
+        "-".to_string()
+    } else if j >= 1.0 {
+        format!("{j:.3}J")
+    } else if j >= 1e-3 {
+        format!("{:.3}mJ", j * 1e3)
+    } else {
+        format!("{:.3}uJ", j * 1e6)
+    }
+}
+
 /// Render the full dashboard. `dir` is the registry path shown in the
 /// header; `trail` must be the comparable-trail subset of
 /// `load.records` the `history` was computed over.
@@ -185,6 +219,7 @@ th{color:#57606a;font-weight:600}\n\
 vertical-align:middle}\n\
 .spark polyline{fill:none;stroke:#0969da;stroke-width:1.5}\n\
 .spark polyline.bench{stroke:#8250df}\n\
+.spark polyline.energy{stroke:#bf8700}\n\
 .spark .tip{fill:#0969da}.spark .cp{fill:#cf222e}\n\
 .cards{display:flex;gap:1em;flex-wrap:wrap;margin:1em 0}\n\
 .card{background:#fff;border:1px solid #e1e4e8;border-radius:6px;padding:.7em 1.1em;min-width:9em}\n\
@@ -253,7 +288,7 @@ a{color:#0969da;text-decoration:none}a:hover{text-decoration:underline}\n\
     html.push_str("</table>\n");
 
     // --- per-series sparklines --------------------------------------
-    html.push_str("<h2>Virtual-time series over the trail</h2>\n");
+    html.push_str("<h2>Virtual-time and modeled-energy series over the trail</h2>\n");
     if trail.len() < 2 {
         html.push_str("<p class=\"mut\">Fewer than two comparable runs — record more sweeps to grow the trail.</p>\n");
     } else {
@@ -303,6 +338,46 @@ a{color:#0969da;text-decoration:none}a:hover{text-decoration:underline}\n\
                     "",
                     |v| format!("{v:.4}"),
                 );
+            }
+            // Modeled-energy headline + strata. Skipped entirely when
+            // no run in the trail carries energy digests (pre-ompwatt
+            // registries), so legacy dashboards are unchanged.
+            let joules: Vec<f64> = trail
+                .iter()
+                .map(|rec| match &rec.core {
+                    RunCore::Collect(c) => c
+                        .arches
+                        .iter()
+                        .find(|a| &a.arch == arch)
+                        .map(|a| a.energy_uj() as f64 / 1e6)
+                        .filter(|&j| j > 0.0)
+                        .unwrap_or(f64::NAN),
+                    RunCore::Bench(_) => f64::NAN,
+                })
+                .collect();
+            if joules.iter().any(|v| v.is_finite()) {
+                push_series_row(
+                    &mut html,
+                    &format!("{arch}/energy (total)"),
+                    &joules,
+                    &marks,
+                    "energy",
+                    fmt_joules,
+                );
+                for k in 0..sweep::registry::STRATA {
+                    let vals: Vec<f64> = trail
+                        .iter()
+                        .map(|r| energy_series_point(r, arch, k))
+                        .collect();
+                    push_series_row(
+                        &mut html,
+                        &format!("{arch}/energy/s{k}"),
+                        &vals,
+                        &marks,
+                        "energy",
+                        fmt_joules,
+                    );
+                }
             }
         }
         html.push_str("</table>\n");

@@ -1,5 +1,7 @@
-//! Sweep-wide cost attribution: fold every sample's sink breakdown into
-//! per-(variable, value) marginal-cost cells.
+//! Sweep-wide cost attribution: fold every sample's sink breakdown —
+//! and its modeled energy — into per-(variable, value) marginal-cost
+//! cells, so each tuning value carries both a mean-time and a
+//! mean-joules column.
 //!
 //! The accumulator is *exact*: every nanosecond figure is rounded once
 //! into 2^16 fixed point and summed in `i128`, so accumulation is
@@ -128,6 +130,12 @@ pub struct Cell {
     pub total_fp: i128,
     /// Per-sink sums in [`omptel::Sink::ALL`] order, 2^16 fixed point.
     pub sinks_fp: [i128; 7],
+    /// Sum of sample modeled energy, microjoules in 2^16 fixed point
+    /// (µJ rather than J so the fixed point keeps sub-µJ resolution).
+    pub energy_ufp: i128,
+    /// Sum of sample energy-delay products, microjoule-seconds in
+    /// 2^16 fixed point.
+    pub edp_ufp: i128,
 }
 
 impl Cell {
@@ -138,6 +146,9 @@ impl Cell {
         for (slot, sink) in self.sinks_fp.iter_mut().zip(omptel::Sink::ALL) {
             *slot += to_fp(sample.telemetry.breakdown.get(sink));
         }
+        let e = &sample.telemetry.energy;
+        self.energy_ufp += to_fp(e.total_j * 1e6);
+        self.edp_ufp += to_fp(e.edp_js(sample.telemetry.virtual_ns) * 1e6);
     }
 
     fn merge(&mut self, other: &Cell) {
@@ -147,6 +158,8 @@ impl Cell {
         for (slot, v) in self.sinks_fp.iter_mut().zip(other.sinks_fp) {
             *slot += v;
         }
+        self.energy_ufp += other.energy_ufp;
+        self.edp_ufp += other.edp_ufp;
     }
 
     /// Mean virtual total per sample in nanoseconds (0 when empty).
@@ -155,6 +168,24 @@ impl Cell {
             0.0
         } else {
             from_fp(self.total_fp) / self.samples as f64
+        }
+    }
+
+    /// Mean modeled energy per sample in joules (0 when empty).
+    pub fn mean_energy_j(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            from_fp(self.energy_ufp) / 1e6 / self.samples as f64
+        }
+    }
+
+    /// Mean energy-delay product per sample in joule-seconds.
+    pub fn mean_edp_js(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            from_fp(self.edp_ufp) / 1e6 / self.samples as f64
         }
     }
 }
@@ -245,6 +276,25 @@ impl Attribution {
         max - min
     }
 
+    /// Marginal energy spread per variable: the gap in mean modeled
+    /// joules between its cheapest and most expensive value. The energy
+    /// counterpart of [`spread_ns`](Attribution::spread_ns) — the two
+    /// rankings disagree exactly where time- and energy-tuning pull in
+    /// different directions.
+    pub fn spread_energy_j(&self, var_index: usize) -> f64 {
+        let populated: Vec<f64> = self.cells[var_index]
+            .iter()
+            .filter(|c| c.samples > 0)
+            .map(Cell::mean_energy_j)
+            .collect();
+        if populated.len() < 2 {
+            return 0.0;
+        }
+        let max = populated.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = populated.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
     /// Variables ranked by [`spread_ns`](Attribution::spread_ns),
     /// descending; ties keep `ENV_FEATURES` order.
     pub fn ranked_variables(&self) -> Vec<(Feature, f64)> {
@@ -252,6 +302,19 @@ impl Attribution {
             .iter()
             .enumerate()
             .map(|(i, f)| (*f, self.spread_ns(i)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked
+    }
+
+    /// Variables ranked by
+    /// [`spread_energy_j`](Attribution::spread_energy_j), descending;
+    /// ties keep `ENV_FEATURES` order.
+    pub fn ranked_variables_energy(&self) -> Vec<(Feature, f64)> {
+        let mut ranked: Vec<(Feature, f64)> = Feature::ENV_FEATURES
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (*f, self.spread_energy_j(i)))
             .collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked
@@ -271,7 +334,7 @@ impl Attribution {
     /// the integer state, so equal states render byte-identically.
     pub fn to_json(&self, meta: &SliceMeta) -> String {
         let mut out = String::with_capacity(8192);
-        out.push_str("{\n  \"schema\": \"ompprof-attribution-v1\",\n");
+        out.push_str("{\n  \"schema\": \"ompprof-attribution-v2\",\n");
         out.push_str(&format!(
             "  \"slice\": {{\"arch\": \"{}\", \"app\": \"{}\", \"scope\": \"{}\", \"seed\": {}, \"fingerprint\": \"{:016x}\"}},\n",
             json_escape(&meta.arch),
@@ -290,9 +353,10 @@ impl Attribution {
         for (vi, feature) in Feature::ENV_FEATURES.iter().enumerate() {
             let labels = value_labels(*feature);
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"spread_ns\": {}, \"values\": [\n",
+                "    {{\"name\": \"{}\", \"spread_ns\": {}, \"spread_j\": {}, \"values\": [\n",
                 feature.name(),
-                fmt_ns(self.spread_ns(vi))
+                fmt_ns(self.spread_ns(vi)),
+                fmt_j(self.spread_energy_j(vi))
             ));
             for (ci, cell) in self.cells[vi].iter().enumerate() {
                 out.push_str(&format!(
@@ -325,6 +389,16 @@ impl Attribution {
                 if i + 1 < ranked.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n  \"energy_ranking\": [\n");
+        let ranked_e = self.ranked_variables_energy();
+        for (i, (f, spread)) in ranked_e.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"spread_j\": {}}}{}\n",
+                f.name(),
+                fmt_j(*spread),
+                if i + 1 < ranked_e.len() { "," } else { "" }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -347,6 +421,11 @@ fn fmt_ns(ns: f64) -> String {
     format!("{ns:.3}")
 }
 
+/// Deterministic fixed-precision joule figure (9 decimals = nJ).
+fn fmt_j(j: f64) -> String {
+    format!("{j:.9}")
+}
+
 fn cell_json(cell: &Cell) -> String {
     let mut sinks = String::new();
     for (i, sink) in omptel::Sink::ALL.iter().enumerate() {
@@ -360,11 +439,15 @@ fn cell_json(cell: &Cell) -> String {
         ));
     }
     format!(
-        "{{\"samples\": {}, \"failed_reps\": {}, \"total_fp\": \"{}\", \"mean_ns\": {}, \"sinks_fp\": {{{}}}}}",
+        "{{\"samples\": {}, \"failed_reps\": {}, \"total_fp\": \"{}\", \"mean_ns\": {}, \
+         \"energy_ufp\": \"{}\", \"edp_ufp\": \"{}\", \"mean_j\": {}, \"sinks_fp\": {{{}}}}}",
         cell.samples,
         cell.failed_reps,
         cell.total_fp,
         fmt_ns(cell.mean_total_ns()),
+        cell.energy_ufp,
+        cell.edp_ufp,
+        fmt_j(cell.mean_energy_j()),
         sinks
     )
 }
@@ -454,6 +537,27 @@ mod tests {
             let total: i128 = cells.iter().map(|c| c.total_fp).sum();
             assert_eq!(total, a.grand.total_fp, "variable {vi} lost time");
         }
+    }
+
+    #[test]
+    fn energy_partitions_exactly_like_time() {
+        let batches = slice();
+        let mut a = Attribution::new();
+        a.fold_slice(&batches);
+        assert!(a.grand.energy_ufp > 0, "slice must carry modeled energy");
+        assert!(a.grand.edp_ufp > 0);
+        for (vi, cells) in a.cells.iter().enumerate() {
+            let e: i128 = cells.iter().map(|c| c.energy_ufp).sum();
+            assert_eq!(e, a.grand.energy_ufp, "variable {vi} lost energy");
+            let d: i128 = cells.iter().map(|c| c.edp_ufp).sum();
+            assert_eq!(d, a.grand.edp_ufp, "variable {vi} lost EDP");
+        }
+        // The energy ranking is complete and deterministic, like the
+        // time ranking.
+        let r = a.ranked_variables_energy();
+        assert_eq!(r.len(), Feature::ENV_FEATURES.len());
+        assert!(r[0].1 >= r[r.len() - 1].1);
+        assert!(r[0].1 > 0.0, "some variable must move modeled energy");
     }
 
     #[test]

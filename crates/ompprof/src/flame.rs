@@ -2,8 +2,10 @@
 //! [`simrt::Explanation`] into a frame tree, emit Brendan-Gregg folded
 //! stacks, and render self-contained SVG — including a signed diff view
 //! that paints where a worst configuration's time goes relative to the
-//! best one.
+//! best one, and an energy-colored variant that keeps the time layout
+//! but paints each frame by its modeled-joules delta instead.
 
+use omptune_core::{Arch, TuningConfig};
 use simrt::Explanation;
 
 /// One frame of a flame graph: a named span whose children partition
@@ -13,14 +15,18 @@ pub struct Frame {
     pub name: String,
     /// Inclusive virtual nanoseconds.
     pub value_ns: f64,
+    /// Inclusive modeled energy in joules (0 when the tree was built
+    /// without pricing — the plain-SVG paths ignore it).
+    pub energy_j: f64,
     pub children: Vec<Frame>,
 }
 
 impl Frame {
-    fn leaf(name: String, value_ns: f64) -> Frame {
+    fn leaf(name: String, value_ns: f64, energy_j: f64) -> Frame {
         Frame {
             name,
             value_ns,
+            energy_j,
             children: Vec::new(),
         }
     }
@@ -29,20 +35,28 @@ impl Frame {
 /// Fold an explanation into `app -> phase -> sink` frames. Phase spans
 /// come from the differential warm-timestep attribution; sink leaves
 /// are each phase's closed breakdown, so every level sums to its
-/// parent.
-pub fn explanation_tree(app: &str, e: &Explanation) -> Frame {
+/// parent. Each phase is priced through the deterministic power model
+/// and its joules are spread over the sink leaves proportionally to
+/// their time share, so energy also sums to its parent.
+pub fn explanation_tree(app: &str, arch: Arch, config: &TuningConfig, e: &Explanation) -> Frame {
     let phases: Vec<Frame> = e
         .phases
         .iter()
         .map(|p| {
+            let phase_j = simrt::price_energy(arch, config, &p.sinks, p.ns, 1).total_j;
             let sinks: Vec<Frame> = omptel::Sink::ALL
                 .iter()
-                .map(|s| Frame::leaf(crate::attrib::sink_key(*s).to_string(), p.sinks.get(*s)))
+                .map(|s| {
+                    let ns = p.sinks.get(*s);
+                    let j = if p.ns > 0.0 { phase_j * ns / p.ns } else { 0.0 };
+                    Frame::leaf(crate::attrib::sink_key(*s).to_string(), ns, j)
+                })
                 .filter(|f| f.value_ns > 0.0)
                 .collect();
             Frame {
                 name: format!("p{} [{}]", p.index, p.kind),
                 value_ns: p.ns,
+                energy_j: phase_j,
                 children: sinks,
             }
         })
@@ -50,6 +64,7 @@ pub fn explanation_tree(app: &str, e: &Explanation) -> Frame {
     Frame {
         name: app.to_string(),
         value_ns: phases.iter().map(|p| p.value_ns).sum(),
+        energy_j: phases.iter().map(|p| p.energy_j).sum(),
         children: phases,
     }
 }
@@ -245,6 +260,53 @@ fn draw_diff(
     }
 }
 
+/// Energy-colored diff: layout and widths still follow `worst`'s *time*
+/// (so the picture is comparable to the time diff side by side), but
+/// each frame is painted by its signed modeled-*joules* delta against
+/// the same-path frame in `best`. Where the two views disagree — a
+/// frame red here and blue in the time diff — is exactly where tuning
+/// for time and tuning for energy pull apart.
+pub fn energy_diff_svg(best: &Frame, worst: &Frame, title: &str, subtitle: &str) -> String {
+    let mut b = SvgBuilder {
+        body: String::new(),
+    };
+    let total = worst.value_ns.max(1.0);
+    draw_energy_diff(&mut b, worst, Some(best), 0.0, 0, total);
+    let height = PAD_TOP + depth_of(worst) as f64 * ROW + 8.0;
+    b.finish(height, title, subtitle)
+}
+
+fn draw_energy_diff(
+    b: &mut SvgBuilder,
+    frame: &Frame,
+    counterpart: Option<&Frame>,
+    x_ns: f64,
+    depth: usize,
+    total: f64,
+) {
+    let x = x_ns / total * WIDTH;
+    let w = frame.value_ns / total * WIDTH;
+    let y = PAD_TOP + depth as f64 * ROW;
+    let best_j = counterpart.map(|c| c.energy_j).unwrap_or(0.0);
+    let delta_j = frame.energy_j - best_j;
+    let rel = delta_j / frame.energy_j.max(best_j).max(1e-12);
+    let tooltip = format!(
+        "{} — worst {:.3} mJ, best {:.3} mJ, delta {:+.3} mJ (span {:.3} ms)",
+        frame.name,
+        frame.energy_j * 1e3,
+        best_j * 1e3,
+        delta_j * 1e3,
+        frame.value_ns * 1e-6
+    );
+    b.rect(x, y, w, &frame.name, &diff_color(rel), &tooltip);
+    let mut child_x = x_ns;
+    for c in &frame.children {
+        let twin = counterpart.and_then(|p| p.children.iter().find(|t| t.name == c.name));
+        draw_energy_diff(b, c, twin, child_x, depth + 1, total);
+        child_x += c.value_ns;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,7 +322,7 @@ mod tests {
         let model = (app.model)(Arch::Milan, setting);
         let cfg = TuningConfig::default_for(Arch::Milan, 96);
         let e = simrt::explain(Arch::Milan, &cfg, &model, 7);
-        explanation_tree("cg", &e)
+        explanation_tree("cg", Arch::Milan, &cfg, &e)
     }
 
     #[test]
@@ -330,10 +392,43 @@ mod tests {
     }
 
     #[test]
+    fn energy_tree_sums_and_diff_colors() {
+        let root = tree();
+        assert!(root.energy_j > 0.0, "priced tree must carry joules");
+        let phase_sum: f64 = root.children.iter().map(|c| c.energy_j).sum();
+        assert!((phase_sum - root.energy_j).abs() < 1e-9 * root.energy_j);
+        for phase in &root.children {
+            let sink_sum: f64 = phase.children.iter().map(|c| c.energy_j).sum();
+            assert!(
+                (sink_sum - phase.energy_j).abs() <= 1e-9 * phase.energy_j.max(1e-12),
+                "{}: {} vs {}",
+                phase.name,
+                sink_sum,
+                phase.energy_j
+            );
+        }
+        // A best that uses half the energy on the first phase paints
+        // that phase red in the energy diff.
+        let worst = root;
+        let mut best = worst.clone();
+        best.children[0].energy_j /= 2.0;
+        for c in &mut best.children[0].children {
+            c.energy_j /= 2.0;
+        }
+        best.energy_j = best.children.iter().map(|c| c.energy_j).sum();
+        let doc = energy_diff_svg(&best, &worst, "energy diff", "sub");
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("rgb(250,"), "no red energy-regression cells");
+        assert!(doc.contains("delta +"), "no positive joule delta tooltip");
+        assert!(doc.contains("mJ"), "tooltips must carry joule figures");
+    }
+
+    #[test]
     fn escaping_keeps_svg_valid() {
         let root = Frame {
             name: "a<b>&\"c\"".into(),
             value_ns: 100.0,
+            energy_j: 0.0,
             children: vec![],
         };
         let doc = svg(&root, "t<&>", "s\"q\"");

@@ -26,4 +26,4 @@ pub mod attrib;
 pub mod flame;
 
 pub use attrib::{sink_key, value_index, value_labels, Attribution, Cell, SliceMeta, FP_SCALE};
-pub use flame::{diff_svg, explanation_tree, folded, svg, Frame};
+pub use flame::{diff_svg, energy_diff_svg, explanation_tree, folded, svg, Frame};

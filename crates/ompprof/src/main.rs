@@ -212,6 +212,14 @@ fn cmd_attribute(args: CommonArgs) -> Result<u8, String> {
             spread * 1e-6
         );
     }
+    for (i, (f, spread)) in profile.ranked_variables_energy().iter().take(3).enumerate() {
+        println!(
+            "  E#{} {:<19} spread {:.3} mJ",
+            i + 1,
+            f.name(),
+            spread * 1e3
+        );
+    }
     println!("wrote {}", args.out);
 
     if args.check {
@@ -279,8 +287,9 @@ fn cmd_diff(args: CommonArgs) -> Result<u8, String> {
 
     let best_ex = simrt::explain(args.arch, &best.config, &model, spec.seed);
     let worst_ex = simrt::explain(args.arch, &worst.config, &model, spec.seed);
-    let best_tree = ompprof::explanation_tree(&args.app, &best_ex);
-    let worst_tree = ompprof::explanation_tree(&args.app, &worst_ex);
+    let best_tree = ompprof::explanation_tree(&args.app, args.arch, &best.config, &best_ex);
+    let worst_tree = ompprof::explanation_tree(&args.app, args.arch, &worst.config, &worst_ex);
+    let energy_gap = worst_tree.energy_j / best_tree.energy_j.max(1e-12);
 
     // Attribution over the same slice names the variable the flame
     // graph subtitle blames.
@@ -325,10 +334,24 @@ fn cmd_diff(args: CommonArgs) -> Result<u8, String> {
             &format!("best-vs-worst {gap:.2}x region-time gap | top variable {top}"),
         ),
     )?;
+    write(
+        "flame_energy_diff.svg",
+        ompprof::energy_diff_svg(
+            &best_tree,
+            &worst_tree,
+            &format!("worst vs best {slug} (energy)"),
+            &format!(
+                "best-vs-worst {energy_gap:.2}x modeled-energy gap | time layout, joule colors"
+            ),
+        ),
+    )?;
 
-    println!("ompprof diff {slug}: best-vs-worst: {gap:.2}x region-time gap (top variable {top})");
     println!(
-        "wrote {}/{{best,worst}}.folded and flame_{{best,worst,diff}}.svg",
+        "ompprof diff {slug}: best-vs-worst: {gap:.2}x region-time gap, \
+         {energy_gap:.2}x modeled-energy gap (top variable {top})"
+    );
+    println!(
+        "wrote {}/{{best,worst}}.folded, flame_{{best,worst,diff}}.svg, and flame_energy_diff.svg",
         args.out_dir
     );
     Ok(0)

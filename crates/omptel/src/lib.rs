@@ -54,7 +54,8 @@ pub use ring::{
     RecorderOptions, ThreadTrace, TraceEvent,
 };
 pub use schema::{
-    Breakdown, Counter, CounterSnapshot, Record, RegionKind, RegionProfile, Sink, ThreadProfile,
+    Breakdown, Counter, CounterSnapshot, EnergyBreakdown, EnergySink, Record, RegionKind,
+    RegionProfile, Sink, ThreadProfile,
 };
 pub use span::{
     current_span, flow_handle, flow_in, flow_out, instant, span, virtual_span, Span, SpanKind,

@@ -199,7 +199,7 @@ fn serve_one(
             "/sweep" => ("200 OK", "application/json", sweep()),
             _ => match extra.iter().find(|(p, _, _)| p == path) {
                 Some((_, content_type, body)) => ("200 OK", *content_type, body()),
-                None => ("404 Not Found", "text/plain", "not found\n".into()),
+                None => ("404 Not Found", "application/json", error_body(path, extra)),
             },
         }
     };
@@ -210,6 +210,24 @@ fn serve_one(
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// JSON error body for an unknown path: names every route this server
+/// *does* serve, so a scraper pointed at a dead route — a typo, or
+/// `/influence` on a sweep started with `--no-influence` — reads where
+/// to go instead of a bare 404.
+fn error_body(path: &str, extra: &[Route]) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut routes: Vec<String> = ["/metrics", "/healthz", "/sweep"]
+        .iter()
+        .map(|r| format!("\"{r}\""))
+        .collect();
+    routes.extend(extra.iter().map(|(p, _, _)| format!("\"{}\"", escape(p))));
+    format!(
+        "{{\"error\": \"no route {}\", \"routes\": [{}]}}\n",
+        escape(path),
+        routes.join(", ")
+    )
 }
 
 #[cfg(test)]
@@ -277,6 +295,35 @@ mod tests {
         assert_eq!(body, "{\"samples\":0}");
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+    }
+
+    #[test]
+    fn unknown_routes_get_a_json_body_listing_live_routes() {
+        let monitor = Monitor::start_with(
+            "127.0.0.1:0",
+            Arc::new(String::new),
+            Arc::new(String::new),
+            vec![(
+                "/energy".to_string(),
+                "application/json",
+                Arc::new(|| "{}".to_string()) as BodyFn,
+            )],
+        )
+        .expect("bind localhost");
+        let addr = monitor.local_addr();
+        // `/influence` was not registered (the `--no-influence` shape):
+        // the 404 body must say what IS served, as JSON.
+        let (head, body) = get(addr, "/influence");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"error\""), "{body}");
+        assert!(body.contains("no route /influence"), "{body}");
+        for route in ["/metrics", "/healthz", "/sweep", "/energy"] {
+            assert!(body.contains(&format!("\"{route}\"")), "{body}");
+        }
+        // A path with a quote cannot break the JSON framing.
+        let (_, body) = get(addr, "/x%22y\"z");
+        assert!(body.contains("\\\""), "{body}");
     }
 
     #[test]

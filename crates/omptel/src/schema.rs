@@ -78,11 +78,18 @@ pub enum Counter {
     PoolHits,
     /// Pool requests that had to allocate fresh (freelist empty).
     PoolMisses,
+    /// Samples priced through the energy model.
+    EnergySamples,
+    /// Total modelled energy accumulated, microjoules.
+    EnergyUj,
+    /// Energy burned in wait states (spin/yield/park) — the sink the
+    /// `KMP_BLOCKTIME`/`KMP_LIBRARY` conflict lives in, microjoules.
+    EnergyWaitUj,
 }
 
 impl Counter {
     /// Number of counters; sizes the registry array.
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 31;
 
     /// Every counter, in slot order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -114,6 +121,9 @@ impl Counter {
         Counter::SampleCacheTmpReaped,
         Counter::PoolHits,
         Counter::PoolMisses,
+        Counter::EnergySamples,
+        Counter::EnergyUj,
+        Counter::EnergyWaitUj,
     ];
 
     /// Stable lower-snake name used in exports.
@@ -147,6 +157,9 @@ impl Counter {
             Counter::SampleCacheTmpReaped => "sample_cache_tmp_reaped",
             Counter::PoolHits => "pool_hits",
             Counter::PoolMisses => "pool_misses",
+            Counter::EnergySamples => "energy_samples",
+            Counter::EnergyUj => "energy_uj",
+            Counter::EnergyWaitUj => "energy_wait_uj",
         }
     }
 }
@@ -308,6 +321,112 @@ impl Breakdown {
     }
 }
 
+/// Where a run's modelled energy went. Every component in joules.
+/// Mirrors [`Sink`] at a coarser grain: the five sinks are chosen so
+/// each maps to one term of the power model (DESIGN §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergySink {
+    /// Cores executing compute or dispatch work.
+    Active,
+    /// Memory stalls plus DRAM traffic.
+    Memory,
+    /// Cores spinning, yielding, or parked while others work.
+    Wait,
+    /// Serial sections: one boosted core plus a waiting team.
+    Serial,
+    /// Package base draw and idle unused cores, for the whole run.
+    Base,
+}
+
+impl EnergySink {
+    /// Every sink, in display (and storage) order.
+    pub const ALL: [EnergySink; 5] = [
+        EnergySink::Active,
+        EnergySink::Memory,
+        EnergySink::Wait,
+        EnergySink::Serial,
+        EnergySink::Base,
+    ];
+
+    /// Human-readable label used by reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergySink::Active => "active compute",
+            EnergySink::Memory => "memory stall + DRAM",
+            EnergySink::Wait => "wait (spin/yield/park)",
+            EnergySink::Serial => "serial (boost + waiters)",
+            EnergySink::Base => "package base + idle cores",
+        }
+    }
+}
+
+/// Per-sample energy breakdown, one slot per [`EnergySink`] plus the
+/// closed total. Invariant: `total_j` equals the sum of the five sinks
+/// exactly (producers compute it as that sum, in [`EnergySink::ALL`]
+/// order, so the equality is bit-exact and reproducible).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Total modelled energy of the run, joules.
+    pub total_j: f64,
+    pub active_j: f64,
+    pub memory_j: f64,
+    pub wait_j: f64,
+    pub serial_j: f64,
+    pub base_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Component value for a sink.
+    pub fn get(&self, sink: EnergySink) -> f64 {
+        match sink {
+            EnergySink::Active => self.active_j,
+            EnergySink::Memory => self.memory_j,
+            EnergySink::Wait => self.wait_j,
+            EnergySink::Serial => self.serial_j,
+            EnergySink::Base => self.base_j,
+        }
+    }
+
+    /// Sum of the five sink components, in [`EnergySink::ALL`] order —
+    /// the exact expression producers assign to `total_j`.
+    pub fn sink_sum(&self) -> f64 {
+        self.active_j + self.memory_j + self.wait_j + self.serial_j + self.base_j
+    }
+
+    /// Seal the closed-total invariant: set `total_j = sink_sum()`.
+    pub fn close(mut self) -> EnergyBreakdown {
+        self.total_j = self.sink_sum();
+        self
+    }
+
+    /// Element-wise accumulate (the total rides along).
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.total_j += other.total_j;
+        self.active_j += other.active_j;
+        self.memory_j += other.memory_j;
+        self.wait_j += other.wait_j;
+        self.serial_j += other.serial_j;
+        self.base_j += other.base_j;
+    }
+
+    /// Energy-delay product in joule-seconds, given the run's elapsed
+    /// (virtual) nanoseconds.
+    pub fn edp_js(&self, elapsed_ns: f64) -> f64 {
+        self.total_j * elapsed_ns * 1e-9
+    }
+
+    /// Scale every component by `factor` (sentinel fault injection:
+    /// a perturbed run's energy moves with its virtual time).
+    pub fn scale(&mut self, factor: f64) {
+        self.total_j *= factor;
+        self.active_j *= factor;
+        self.memory_j *= factor;
+        self.wait_j *= factor;
+        self.serial_j *= factor;
+        self.base_j *= factor;
+    }
+}
+
 /// What kind of region a profile describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RegionKind {
@@ -399,6 +518,31 @@ mod tests {
         .close_to_total(100.0);
         assert_eq!(bd.imbalance_ns, 50.0);
         assert_eq!(bd.sum(), 100.0);
+    }
+
+    #[test]
+    fn energy_breakdown_closes_to_sink_sum() {
+        let e = EnergyBreakdown {
+            active_j: 1.5,
+            memory_j: 0.25,
+            wait_j: 3.0,
+            serial_j: 0.5,
+            base_j: 2.0,
+            ..EnergyBreakdown::default()
+        }
+        .close();
+        assert_eq!(e.total_j.to_bits(), e.sink_sum().to_bits());
+        let by_sinks: f64 = EnergySink::ALL.iter().map(|&s| e.get(s)).sum();
+        assert_eq!(by_sinks, e.total_j);
+        // EDP: joules × seconds.
+        assert!((e.edp_js(2e9) - e.total_j * 2.0).abs() < 1e-12);
+        let mut acc = EnergyBreakdown::default();
+        acc.add(&e);
+        acc.add(&e);
+        assert_eq!(acc.total_j, 2.0 * e.total_j);
+        for s in EnergySink::ALL {
+            assert!(!s.label().is_empty());
+        }
     }
 
     #[test]

@@ -218,3 +218,103 @@ fn live_scrape_parses_and_matches_summary() {
     assert_eq!(sample_of("omptel_sample_latency_ns_sum"), lat_sum);
     assert_eq!(sample_of("omptel_sample_latency_ns_count"), lat.count);
 }
+
+proptest! {
+    /// Any registered counter set — including the energy counters the
+    /// power model feeds — survives a full Prometheus
+    /// render -> parse -> rebuild -> render cycle byte-identically.
+    /// Scraping the monitor is therefore a lossless transport for the
+    /// whole counter registry, not just the handful a dashboard reads.
+    #[test]
+    fn counter_registry_round_trips_byte_identically(
+        values in prop::collection::vec(any::<u64>(), 0..=omptel::Counter::COUNT),
+        ring_threads in 0usize..64,
+        ring_events in any::<u64>(),
+        ring_dropped in any::<u64>(),
+        joules in 0.0f64..1e9,
+        edp in 0.0f64..1e12,
+    ) {
+        let snap = MetricsSnapshot {
+            counters: omptel::CounterSnapshot { values },
+            ring_threads,
+            ring_events,
+            ring_dropped,
+            ..MetricsSnapshot::default()
+        }
+        .gauge("sweep_energy_joules", joules)
+        .gauge("sweep_energy_edp_js", edp);
+        let text = snap.render_prometheus();
+
+        // The energy counters are part of the registry rendering.
+        for name in ["energy_samples", "energy_uj", "energy_wait_uj"] {
+            prop_assert!(
+                text.contains(&format!("omptel_{name}_total ")),
+                "{name} missing from exposition"
+            );
+        }
+
+        // Rebuild a snapshot purely from the parsed scrape.
+        let samples = parse_prometheus(&text).unwrap();
+        let exact = |n: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == n)
+                .and_then(|s| s.as_u64())
+                .expect("integral sample present")
+        };
+        let rebuilt_counters: Vec<u64> = omptel::Counter::ALL
+            .iter()
+            .map(|c| exact(&format!("omptel_{}_total", c.name())))
+            .collect();
+        let rebuilt = MetricsSnapshot {
+            counters: omptel::CounterSnapshot { values: rebuilt_counters },
+            ring_threads: exact("omptel_ring_threads") as usize,
+            ring_events: exact("omptel_ring_events"),
+            ring_dropped: exact("omptel_ring_dropped_total"),
+            ..MetricsSnapshot::default()
+        }
+        .gauge(
+            "sweep_energy_joules",
+            samples.iter().find(|s| s.name == "omptel_sweep_energy_joules").unwrap().value,
+        )
+        .gauge(
+            "sweep_energy_edp_js",
+            samples.iter().find(|s| s.name == "omptel_sweep_energy_edp_js").unwrap().value,
+        );
+        prop_assert_eq!(rebuilt.render_prometheus(), text);
+    }
+}
+
+/// A joules series that outgrows its ring file wraps like any other:
+/// exactly the newest `capacity` points survive, the wrapped count is
+/// truthful, and every surviving sum is the bit pattern that was
+/// appended — energy histories degrade by forgetting the oldest
+/// samples, never by corrupting the retained ones.
+#[test]
+fn joules_series_ring_wrap_keeps_newest_points_bit_exact() {
+    let dir = std::env::temp_dir().join(format!("omptel-tsdb-wrap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let capacity = 32u64;
+    let total = 100u64;
+    let mut db = omptel::Tsdb::open(&dir, capacity).expect("open tsdb");
+    let joules_at = |i: u64| 0.001 * i as f64 + 1e-7; // deliberately inexact in binary
+    for i in 0..total {
+        db.append("milan/energy/s0", omptel::Point::single(i, joules_at(i)))
+            .expect("append");
+    }
+    let (points, wrapped) =
+        omptel::Tsdb::read(&dir, "milan/energy/s0").expect("read joules series");
+    assert_eq!(points.len(), capacity as usize);
+    assert_eq!(wrapped, total - capacity);
+    for (k, p) in points.iter().enumerate() {
+        let i = total - capacity + k as u64;
+        assert_eq!(p.ts, i, "ring order broken at {k}");
+        assert_eq!(p.count, 1);
+        assert_eq!(
+            p.sum.to_bits(),
+            joules_at(i).to_bits(),
+            "joule bit pattern corrupted at ts {i}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,159 @@
+//! `ompwatt` — the energy-vs-time disagreement report.
+//!
+//! ```text
+//! ompwatt report [APP] [--scope N] [--workers N] [--out-dir DIR] [--check]
+//! ```
+//!
+//! Sweeps a strided slice of the tuning space on every architecture
+//! that has `APP` (default `cg`), finds the time-, energy-, and
+//! EDP-optimal configurations, and writes three artifacts to
+//! `--out-dir` (default `ompwatt-out`):
+//!
+//! - `disagreement.md` — the markdown table EXPERIMENTS.md embeds;
+//! - `energy_heatmap.svg` — per-(arch, variable) marginal energy
+//!   spread;
+//! - `ompwatt.json` — the machine-readable report.
+//!
+//! `--check` is the self-check CI runs: it asserts that at least one
+//! architecture's energy optimum is *not* its time optimum — the
+//! headline claim of the energy study. Exit codes follow the suite
+//! convention: 0 clean, 4 the check failed (no disagreement anywhere),
+//! 2 usage error, 1 internal error.
+
+use std::process::ExitCode;
+
+const EXIT_FINDINGS: u8 = 4;
+const EXIT_USAGE: u8 = 2;
+const EXIT_INTERNAL: u8 = 1;
+
+const USAGE: &str =
+    "usage: ompwatt report [APP] [--scope N] [--workers N] [--out-dir DIR] [--check]";
+
+struct Args {
+    app: String,
+    scope: usize,
+    workers: usize,
+    out_dir: String,
+    check: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        app: "cg".to_string(),
+        scope: 200,
+        workers: 4,
+        out_dir: "ompwatt-out".to_string(),
+        check: false,
+    };
+    let mut positional = 0usize;
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--check" => parsed.check = true,
+            "--scope" | "--workers" | "--out-dir" => {
+                let v = rest
+                    .next()
+                    .ok_or_else(|| format!("{a} needs a value"))?
+                    .clone();
+                match a.as_str() {
+                    "--scope" => {
+                        parsed.scope = v.parse().map_err(|_| format!("bad --scope {v:?}"))?;
+                        if parsed.scope == 0 {
+                            return Err("--scope must be positive".into());
+                        }
+                    }
+                    "--workers" => {
+                        parsed.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+                        if parsed.workers == 0 {
+                            return Err("--workers must be positive".into());
+                        }
+                    }
+                    "--out-dir" => parsed.out_dir = v,
+                    _ => unreachable!(),
+                }
+            }
+            s if s.starts_with("--") => return Err(format!("unknown flag {s}")),
+            s => {
+                if positional > 0 {
+                    return Err(format!("unexpected argument {s:?}"));
+                }
+                parsed.app = s.to_string();
+                positional += 1;
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: Args) -> Result<u8, String> {
+    let report = ompwatt::analyze(&args.app, args.scope, args.workers)?;
+
+    let dir = std::path::Path::new(&args.out_dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", args.out_dir))?;
+    let write = |name: &str, text: String| -> Result<(), String> {
+        std::fs::write(dir.join(name), text)
+            .map_err(|e| format!("cannot write {}/{name}: {e}", args.out_dir))
+    };
+    let md = ompwatt::disagreement_markdown(&report);
+    write("disagreement.md", md.clone())?;
+    write("energy_heatmap.svg", ompwatt::heatmap_svg(&report))?;
+    write("ompwatt.json", ompwatt::report_json(&report))?;
+
+    println!(
+        "ompwatt report: {} over strided({}) on {} arch(es)\n",
+        report.app,
+        report.scope,
+        report.verdicts.len()
+    );
+    print!("{md}");
+    for v in &report.verdicts {
+        println!(
+            "\n{}: time-opt  {}\n{:>width$}energy-opt {}",
+            v.arch.id(),
+            v.time_best.config.describe(),
+            "",
+            v.energy_best.config.describe(),
+            width = v.arch.id().len() + 2
+        );
+    }
+    println!(
+        "\nwrote {}/{{disagreement.md, energy_heatmap.svg, ompwatt.json}}",
+        args.out_dir
+    );
+
+    if args.check {
+        let n = report.disagreements();
+        if n == 0 {
+            println!("check: FAILED — time- and energy-optima agree on every architecture");
+            return Ok(EXIT_FINDINGS);
+        }
+        println!("check: {n} architecture(s) where energy-optimal != time-optimal");
+    }
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    if cmd != "report" {
+        eprintln!("ompwatt: unknown subcommand {cmd:?}\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let parsed = match parse_args(&args[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ompwatt: {e}\n{USAGE}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    match run(parsed) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("ompwatt: {e}");
+            ExitCode::from(EXIT_INTERNAL)
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! See `costs` for every formula and `EXPERIMENTS.md` for calibration.
 
 pub mod costs;
+pub mod energy;
 pub mod exec;
 pub mod explain;
 pub mod microsim;
@@ -30,6 +31,7 @@ pub mod plan;
 #[cfg(test)]
 pub(crate) static TEL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+pub use energy::{power_for, price_energy};
 pub use exec::{machine_for, simulate, simulate_monolithic, SimResult, TimeBreakdown, MAX_UNITS};
 pub use explain::{explain, Explanation, PhaseCost};
 pub use microsim::{run_loop_event_driven, MicroResult};

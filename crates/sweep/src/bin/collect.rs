@@ -17,16 +17,19 @@
 //! `--monitor ADDR` starts the ompmon exposition server for the run:
 //! `/metrics` (Prometheus text format), `/healthz`, `/sweep` (JSON
 //! status of the sweep in flight, including live ring-buffer and
-//! watchdog counters), and `/influence` (the streaming logistic
-//! influence ranking recomputed as samples arrive). If ADDR is busy the
+//! watchdog counters), `/influence` (the streaming logistic influence
+//! ranking recomputed as samples arrive), and `/energy` (per-arch
+//! modeled joules, EDP, sink split, and the energy-influence ranking —
+//! the live half of the ompwatt disagreement map). If ADDR is busy the
 //! server falls back to an ephemeral port on the same host; the bound
 //! address is written to `OUT_DIR/monitor.addr` so scripts always
 //! discover the real port. Monitoring is read-only and never changes
 //! results either.
 //!
 //! Every run also writes `OUT_DIR/tsdb/` — ring-file time-series of
-//! per-stratum virtual rep means, wall sample latency, and scheduler
-//! rates — which `ompmon drift` compares across runs.
+//! per-stratum virtual rep means and joules, per-arch energy and EDP
+//! aggregates, wall sample latency, and scheduler rates — which
+//! `ompmon drift` compares across runs.
 
 use omptune_core::{Arch, LiveInfluence};
 use std::fs;
@@ -71,8 +74,8 @@ OPTIONS:
                       also arms the anomaly watchdog (outliers beyond
                       the p99.9 latency bracket are dumped to
                       OUT_DIR/anomalies.jsonl)
-    --monitor ADDR    serve live /metrics, /healthz, /sweep and
-                      /influence over HTTP on ADDR (e.g. 127.0.0.1:0
+    --monitor ADDR    serve live /metrics, /healthz, /sweep, /influence
+                      and /energy over HTTP on ADDR (e.g. 127.0.0.1:0
                       for an ephemeral port; if ADDR is busy the server
                       falls back to an ephemeral port, and the bound
                       address always lands in OUT_DIR/monitor.addr);
@@ -228,9 +231,10 @@ fn parse_cli() -> Result<Cli, String> {
 }
 
 /// Fault injection for the change-point sentinel's acceptance test:
-/// scale every runtime and virtual-time figure of one architecture's
-/// batches, exactly as a real regression on that arch would move them.
-/// Applied before any artifact (tsdb, provenance, registry) is built.
+/// scale every runtime, virtual-time, and energy figure of one
+/// architecture's batches, exactly as a real regression on that arch
+/// would move them. Applied before any artifact (tsdb, provenance,
+/// registry) is built.
 fn perturb_batches(batches: &mut [sweep::SettingData], factor: f64) {
     for data in batches.iter_mut() {
         for t in &mut data.default_runtimes {
@@ -239,6 +243,7 @@ fn perturb_batches(batches: &mut [sweep::SettingData], factor: f64) {
             }
         }
         data.default_telemetry.virtual_ns *= factor;
+        data.default_telemetry.energy.scale(factor);
         for sample in &mut data.samples {
             for t in &mut sample.runtimes {
                 if t.is_finite() {
@@ -246,13 +251,46 @@ fn perturb_batches(batches: &mut [sweep::SettingData], factor: f64) {
                 }
             }
             sample.telemetry.virtual_ns *= factor;
+            sample.telemetry.energy.scale(factor);
         }
     }
 }
 
-/// One completed arch for the scoreboard: (id, settings, samples,
-/// dropped, elapsed_s).
-type ArchDone = (String, usize, usize, usize, f64);
+/// One completed arch for the scoreboard.
+struct ArchDone {
+    arch: String,
+    settings: usize,
+    samples: usize,
+    dropped: usize,
+    elapsed_s: f64,
+    energy: ArchEnergy,
+}
+
+/// Modeled energy an architecture's cleaned samples cost, accumulated
+/// while the tsdb series are written (one pass, no extra walk).
+#[derive(Default, Clone, Copy)]
+struct ArchEnergy {
+    /// Σ total_j over the finite samples.
+    joules: f64,
+    /// Σ total_j · virtual_s — the energy-delay product in J·s.
+    edp_js: f64,
+    /// Per-sink joules, `omptel::EnergySink::ALL` order.
+    sinks: [f64; omptel::EnergySink::ALL.len()],
+}
+
+impl ArchEnergy {
+    fn fold(&mut self, telemetry: &sweep::SampleTelemetry) {
+        let e = &telemetry.energy;
+        if !e.total_j.is_finite() {
+            return;
+        }
+        self.joules += e.total_j;
+        self.edp_js += e.edp_js(telemetry.virtual_ns);
+        for (slot, sink) in self.sinks.iter_mut().zip(omptel::EnergySink::ALL) {
+            *slot += e.get(sink);
+        }
+    }
+}
 
 /// Shared view of the sweep in flight, rendered by the `/sweep` route.
 struct SweepState {
@@ -279,15 +317,72 @@ impl SweepState {
             Some((arch.to_string(), meter, total));
     }
 
-    fn finish_arch(&self, arch: &str, settings: usize, samples: usize, dropped: usize, s: f64) {
+    #[allow(clippy::too_many_arguments)]
+    fn finish_arch(
+        &self,
+        arch: &str,
+        settings: usize,
+        samples: usize,
+        dropped: usize,
+        elapsed_s: f64,
+        energy: ArchEnergy,
+    ) {
         *self.current.lock().expect("sweep state poisoned") = None;
-        self.completed.lock().expect("sweep state poisoned").push((
-            arch.to_string(),
-            settings,
-            samples,
-            dropped,
-            s,
-        ));
+        self.completed
+            .lock()
+            .expect("sweep state poisoned")
+            .push(ArchDone {
+                arch: arch.to_string(),
+                settings,
+                samples,
+                dropped,
+                elapsed_s,
+                energy,
+            });
+    }
+
+    /// (joules, EDP J·s) summed over the completed architectures.
+    fn energy_totals(&self) -> (f64, f64) {
+        let completed = self.completed.lock().expect("sweep state poisoned");
+        completed.iter().fold((0.0, 0.0), |(j, e), a| {
+            (j + a.energy.joules, e + a.energy.edp_js)
+        })
+    }
+
+    /// The `/energy` JSON document: per-arch joules, EDP, and sink
+    /// split over the cleaned samples, plus the streaming
+    /// energy-influence ranking when the tracker is live.
+    fn energy_json(&self, influence: Option<&str>) -> String {
+        let mut out = String::from("{\"schema\":\"ompwatt-energy-v1\",\"arches\":[");
+        let completed = self.completed.lock().expect("sweep state poisoned");
+        for (i, a) in completed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"arch\":\"{}\",\"samples\":{},\"joules\":{:.6},\"edp_js\":{:.6},\"sinks\":{{",
+                a.arch, a.samples, a.energy.joules, a.energy.edp_js
+            ));
+            for (j, sink) in omptel::EnergySink::ALL.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{}\":{:.6}",
+                    format!("{sink:?}").to_lowercase(),
+                    a.energy.sinks[j]
+                ));
+            }
+            out.push_str("}}");
+        }
+        drop(completed);
+        out.push_str("],\"influence\":");
+        match influence {
+            Some(doc) => out.push_str(doc),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
     }
 
     fn current_meter(&self) -> Option<(Arc<omptel::Progress>, u64)> {
@@ -356,13 +451,21 @@ impl SweepState {
         }
         out.push_str("\"completed\":[");
         let completed = self.completed.lock().expect("sweep state poisoned");
-        for (i, (arch, settings, samples, dropped, elapsed)) in completed.iter().enumerate() {
+        for (i, a) in completed.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"arch\":\"{arch}\",\"settings\":{settings},\"samples\":{samples},\
-                 \"dropped\":{dropped},\"elapsed_s\":{elapsed:.3}}}"
+                "{{\"arch\":\"{}\",\"settings\":{},\"samples\":{},\
+                 \"dropped\":{},\"elapsed_s\":{:.3},\
+                 \"joules\":{:.6},\"edp_js\":{:.6}}}",
+                a.arch,
+                a.settings,
+                a.samples,
+                a.dropped,
+                a.elapsed_s,
+                a.energy.joules,
+                a.energy.edp_js
             ));
         }
         out.push_str("]}");
@@ -429,6 +532,28 @@ fn main() -> std::io::Result<()> {
             }
         }
     });
+    // A second, independent logistic stream over the *energy* objective
+    // (label: did the config cost fewer joules than the arch default?).
+    // Where the two rankings disagree is exactly the ompwatt
+    // disagreement map, live while the sweep runs.
+    let energy_influence = cli
+        .influence
+        .then(|| Arc::new(Mutex::new(LiveInfluence::new())));
+    let energy_obs = energy_influence.clone().map(|live| {
+        move |data: &sweep::SettingData| {
+            let default = data.default_telemetry.energy.total_j;
+            if !default.is_finite() || default <= 0.0 {
+                return;
+            }
+            let mut live = live.lock().expect("energy influence tracker poisoned");
+            for sample in &data.samples {
+                let joules = sample.telemetry.energy.total_j;
+                if joules.is_finite() && joules > 0.0 {
+                    live.observe(&sample.config, default / joules);
+                }
+            }
+        }
+    });
 
     let _session = cli
         .monitor
@@ -461,9 +586,15 @@ fn main() -> std::io::Result<()> {
                     }
                     None => (0.0, 0.0, 0.0),
                 };
+                // Energy totals over the completed arches: joules and
+                // the energy-delay product, so a scraper can watch the
+                // second objective accumulate alongside virtual time.
+                let (joules, edp) = st.energy_totals();
                 snap.gauge("sweep_done", done)
                     .gauge("sweep_total", total)
                     .gauge("sweep_elapsed_seconds", elapsed)
+                    .gauge("sweep_energy_joules", joules)
+                    .gauge("sweep_energy_edp_js", edp)
                     .render_prometheus()
             });
             let st = state.clone();
@@ -475,6 +606,19 @@ fn main() -> std::io::Result<()> {
             });
             let mut routes: Vec<omptel::Route> =
                 vec![("/influence".to_string(), "application/json", influence_body)];
+            // /energy: the ompwatt exposition — per-arch joules, EDP,
+            // sink split, and the energy-influence ranking.
+            let st = state.clone();
+            let elive = energy_influence.clone();
+            let energy_body: omptel::BodyFn = Arc::new(move || {
+                let doc = elive.as_ref().map(|live| {
+                    live.lock()
+                        .expect("energy influence tracker poisoned")
+                        .json()
+                });
+                st.energy_json(doc.as_deref())
+            });
+            routes.push(("/energy".to_string(), "application/json", energy_body));
             // /runs: the registry listing, loaded fresh per scrape so a
             // poller sees records land the moment runs finish.
             if let Some(reg) = &registry {
@@ -498,7 +642,7 @@ fn main() -> std::io::Result<()> {
             }
             fs::write(cli.out_dir.join("monitor.addr"), addr_doc)?;
             eprintln!(
-                "monitor: serving /metrics /healthz /sweep /influence{} on http://{}",
+                "monitor: serving /metrics /healthz /sweep /influence /energy{} on http://{}",
                 if registry.is_some() { " /runs" } else { "" },
                 m.local_addr()
             );
@@ -558,6 +702,9 @@ fn main() -> std::io::Result<()> {
             if let Some(obs) = &influence_obs {
                 obs(data);
             }
+            if let Some(obs) = &energy_obs {
+                obs(data);
+            }
             if fold_partials {
                 let partial = sweep::BatchPartial::fold(data);
                 fold_sink
@@ -610,8 +757,10 @@ fn main() -> std::io::Result<()> {
         // latency and scheduler rates legitimately vary and are
         // informational.
         let mut stratum_seq = [0u64; STRATA];
+        let mut arch_energy = ArchEnergy::default();
         for data in &arch_batches {
             for sample in &data.samples {
+                arch_energy.fold(&sample.telemetry);
                 let finite: Vec<f64> = sample
                     .runtimes
                     .iter()
@@ -622,14 +771,45 @@ fn main() -> std::io::Result<()> {
                     continue;
                 }
                 let k = sample.config_index % STRATA;
+                let ts = stratum_seq[k];
+                stratum_seq[k] += 1;
                 let point = omptel::Point {
-                    ts: stratum_seq[k],
+                    ts,
                     count: finite.len() as u64,
                     sum: finite.iter().sum(),
                 };
-                stratum_seq[k] += 1;
                 tsdb.append(&format!("{}/virt/s{k}", arch.id()), point)?;
+                // Joules ride the same stratified, deterministic series
+                // layout as virtual time: one point per sample, same
+                // stratum sequence, so the drift sentinel gates energy
+                // exactly the way it gates time.
+                let joules = sample.telemetry.energy.total_j;
+                if joules.is_finite() && joules > 0.0 {
+                    let point = omptel::Point {
+                        ts,
+                        count: 1,
+                        sum: joules,
+                    };
+                    tsdb.append(&format!("{}/energy/s{k}", arch.id()), point)?;
+                }
             }
+        }
+        // Arch-level energy aggregates: total joules and the EDP over
+        // the cleaned samples, deterministic given the seed.
+        if arch_energy.joules > 0.0 {
+            let samples_n: usize = arch_batches.iter().map(|b| b.samples.len()).sum();
+            let point = omptel::Point {
+                ts: 0,
+                count: samples_n as u64,
+                sum: arch_energy.joules,
+            };
+            tsdb.append(&format!("{}/energy/joules", arch.id()), point)?;
+            let point = omptel::Point {
+                ts: 0,
+                count: samples_n as u64,
+                sum: arch_energy.edp_js,
+            };
+            tsdb.append(&format!("{}/energy/edp_js", arch.id()), point)?;
         }
         let lat = meter.latency_histogram();
         if !lat.is_empty() {
@@ -676,6 +856,20 @@ fn main() -> std::io::Result<()> {
                 }
             }
         }
+        if let Some(live) = &energy_influence {
+            let snap = live.lock().expect("energy influence tracker poisoned");
+            if snap.samples() > 0 {
+                for (feature, value) in snap.influence() {
+                    let point = omptel::Point {
+                        ts: 0,
+                        count: snap.samples(),
+                        sum: value,
+                    };
+                    let slug = feature.name().to_lowercase();
+                    tsdb.append(&format!("{}/influence-energy/{slug}", arch.id()), point)?;
+                }
+            }
+        }
 
         manifest.push_arch(
             arch,
@@ -705,12 +899,19 @@ fn main() -> std::io::Result<()> {
         agg_stats.plan_misses += s.plan_misses;
         agg_stats.steals += s.steals;
         agg_stats.units += s.units;
+        eprintln!(
+            "{}: modeled energy {:.1} J over {samples} samples (EDP {:.3} J·s)",
+            arch.id(),
+            arch_energy.joules,
+            arch_energy.edp_js
+        );
         state.finish_arch(
             arch.id(),
             arch_batches.len(),
             samples,
             arch_dropped,
             elapsed,
+            arch_energy,
         );
         timings.push((arch, arch_batches.len(), samples, arch_dropped, elapsed));
         batches.extend(arch_batches);
@@ -829,6 +1030,14 @@ fn main() -> std::io::Result<()> {
             (
                 "pool_misses".to_string(),
                 engine.get(omptel::Counter::PoolMisses),
+            ),
+            (
+                "energy_samples".to_string(),
+                engine.get(omptel::Counter::EnergySamples),
+            ),
+            (
+                "energy_uj".to_string(),
+                engine.get(omptel::Counter::EnergyUj),
             ),
         ];
         counters.sort();

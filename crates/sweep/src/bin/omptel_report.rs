@@ -6,6 +6,10 @@
 //!   setting, pick the best and worst configurations by mean runtime,
 //!   and render their telemetry side by side (paper Table VI shape):
 //!   top time sink, imbalance ratio, steal efficiency, full sink table.
+//! - `omptel-report --json [arch] [app]` — the same best-vs-worst
+//!   analysis as schema-stamped machine-readable JSON (sink and energy
+//!   breakdowns, scheduler statistics), for scripts that post-process
+//!   the report instead of reading it.
 //! - `omptel-report --spans [arch] [app] [--trace-out PATH]` — run one
 //!   setting's sweep under the flight recorder (simulator virtual spans
 //!   included) and print a per-span-kind latency quantile table plus
@@ -99,7 +103,23 @@ fn summarize(
     session.finish().summary()
 }
 
-fn best_vs_worst(arch: Arch, app_name: &str) -> Result<String, String> {
+/// Sweep the standard report slice: strided 50, largest setting of
+/// `app_name`, catalog position 0 — shared by the text and JSON modes
+/// so both describe the same samples.
+#[allow(clippy::type_complexity)]
+fn report_slice(
+    arch: Arch,
+    app_name: &str,
+) -> Result<
+    (
+        &'static workloads::AppSpec,
+        Setting,
+        SweepSpec,
+        sweep::SettingData,
+        sweep::SweepStats,
+    ),
+    String,
+> {
     let app = workloads::app(app_name).ok_or_else(|| format!("unknown app {app_name:?}"))?;
     if !workloads::available_on(app_name, arch) {
         return Err(format!("{app_name} is not available on {}", arch.id()));
@@ -114,6 +134,11 @@ fn best_vs_worst(arch: Arch, app_name: &str) -> Result<String, String> {
         .ok_or_else(|| format!("{app_name} has no settings on {}", arch.id()))?;
     let (data, stats) =
         sweep::sweep_setting_scheduled(arch, app, setting, 0, &spec, &sweep::SweepOptions::new(4));
+    Ok((app, setting, spec, data, stats))
+}
+
+fn best_vs_worst(arch: Arch, app_name: &str) -> Result<String, String> {
+    let (app, setting, spec, data, stats) = report_slice(arch, app_name)?;
     let best = data
         .samples
         .iter()
@@ -153,6 +178,85 @@ fn best_vs_worst(arch: Arch, app_name: &str) -> Result<String, String> {
         omptel::render_pair((&best_ex, &best_sum), (&worst_ex, &worst_sum)),
         stats_table(&stats)
     ))
+}
+
+/// `--json`: the best-vs-worst analysis as deterministic hand-rolled
+/// JSON (the same convention as the ompprof attribution export: schema
+/// stamp first, fixed-precision decimals, stable key order).
+fn json_report(arch: Arch, app_name: &str) -> Result<String, String> {
+    let (_app, setting, spec, data, stats) = report_slice(arch, app_name)?;
+    let best = data
+        .samples
+        .iter()
+        .min_by(|a, b| a.mean_runtime().total_cmp(&b.mean_runtime()))
+        .ok_or("empty sweep")?;
+    let worst = data
+        .samples
+        .iter()
+        .max_by(|a, b| a.mean_runtime().total_cmp(&b.mean_runtime()))
+        .ok_or("empty sweep")?;
+    let side = |s: &sweep::RawSample| {
+        let t = &s.telemetry;
+        let mut sinks = String::new();
+        for (i, sink) in omptel::Sink::ALL.iter().enumerate() {
+            if i > 0 {
+                sinks.push_str(", ");
+            }
+            sinks.push_str(&format!(
+                "\"{}\": {:.3}",
+                format!("{sink:?}").to_lowercase(),
+                t.breakdown.get(*sink)
+            ));
+        }
+        let mut energy = format!("\"total_j\": {:.9}", t.energy.total_j);
+        for sink in omptel::EnergySink::ALL {
+            energy.push_str(&format!(
+                ", \"{}_j\": {:.9}",
+                format!("{sink:?}").to_lowercase(),
+                t.energy.get(sink)
+            ));
+        }
+        energy.push_str(&format!(
+            ", \"edp_js\": {:.9}",
+            t.energy.edp_js(t.virtual_ns)
+        ));
+        format!(
+            "{{\"config\": \"{}\", \"speedup\": {:.6}, \"mean_runtime_s\": {:.9}, \
+             \"virtual_ns\": {:.3},\n     \"sinks_ns\": {{{sinks}}},\n     \
+             \"energy\": {{{energy}}}}}",
+            describe(&s.config),
+            data.speedup(s),
+            s.mean_runtime(),
+            t.virtual_ns
+        )
+    };
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n  \"schema\": \"omptel-report-v1\",\n");
+    out.push_str(&format!(
+        "  \"slice\": {{\"arch\": \"{}\", \"app\": \"{app_name}\", \"threads\": {}, \
+         \"scope\": \"strided(50)\", \"seed\": {}, \"samples\": {}}},\n",
+        arch.id(),
+        setting.num_threads,
+        spec.seed,
+        data.samples.len()
+    ));
+    out.push_str(&format!("  \"best\": {},\n", side(best)));
+    out.push_str(&format!("  \"worst\": {},\n", side(worst)));
+    out.push_str(&format!(
+        "  \"gap\": {:.6},\n",
+        worst.mean_runtime() / best.mean_runtime()
+    ));
+    out.push_str(&format!(
+        "  \"stats\": {{\"plan_hits\": {}, \"plan_misses\": {}, \"sample_hits\": {}, \
+         \"sample_misses\": {}, \"steals\": {}, \"units\": {}}}\n}}\n",
+        stats.plan_hits,
+        stats.plan_misses,
+        stats.sample_hits,
+        stats.sample_misses,
+        stats.steals,
+        stats.units
+    ));
+    Ok(out)
 }
 
 /// `--spans`: sweep one setting under the flight recorder and report
@@ -338,6 +442,29 @@ fn main() -> ExitCode {
         return match spans_report(arch, &app, trace_out.as_deref()) {
             Ok(report) => {
                 print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("omptel-report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("--json") {
+        let arch = match args.get(1) {
+            Some(s) => match parse_arch(s) {
+                Some(a) => a,
+                None => {
+                    eprintln!("unknown arch {s:?} (expected a64fx, skylake, or milan)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Arch::Milan,
+        };
+        let app = args.get(2).map(String::as_str).unwrap_or("cg");
+        return match json_report(arch, app) {
+            Ok(doc) => {
+                print!("{doc}");
                 ExitCode::SUCCESS
             }
             Err(e) => {

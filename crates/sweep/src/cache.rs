@@ -35,7 +35,7 @@
 use crate::provenance::{config_fingerprint, config_hash};
 use crate::runner::{RunKey, SampleTelemetry, SettingData};
 use crate::spec::SweepSpec;
-use omptune_core::TuningConfig;
+use omptune_core::{Arch, TuningConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::Write;
@@ -54,7 +54,12 @@ pub const DEFAULT_ROW_INDEX: usize = usize::MAX;
 
 /// One cached sample in the archival JSONL form, floats as IEEE-754 bit
 /// patterns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived) for one reason: records
+/// written before the energy format carry no `energy_bits` field, and
+/// they must keep parsing — a warm cache stays warm across the format
+/// bump, with energy recomputed at lookup time from the power model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct CacheRecord {
     /// [`ENGINE_VERSION`] at write time.
     pub engine: u32,
@@ -77,10 +82,68 @@ pub struct CacheRecord {
     pub regions: u64,
     /// Telemetry breakdown as bits, in [`BREAKDOWN_FIELDS`] order.
     pub breakdown_bits: Vec<u64>,
+    /// Priced energy as bits, in [`ENERGY_FIELDS`] order. Empty on
+    /// records written before the energy format; such records still
+    /// answer, with energy re-priced at lookup (it is a pure function
+    /// of arch, config, and the stored breakdown).
+    pub energy_bits: Vec<u64>,
+}
+
+impl Deserialize for CacheRecord {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "CacheRecord"))?;
+        // Absent on pre-energy records: default to empty, never error.
+        let energy_bits = map
+            .iter()
+            .find(|(k, _)| k.as_str() == Some("energy_bits"))
+            .map(|(_, v)| Vec::<u64>::deserialize_value(v))
+            .transpose()?
+            .unwrap_or_default();
+        Ok(CacheRecord {
+            engine: serde::__field(map, "engine")?,
+            seed: serde::__field(map, "seed")?,
+            reps: serde::__field(map, "reps")?,
+            failure_rate_bits: serde::__field(map, "failure_rate_bits")?,
+            config_index: serde::__field(map, "config_index")?,
+            config_hash: serde::__field(map, "config_hash")?,
+            runtimes_bits: serde::__field(map, "runtimes_bits")?,
+            virtual_ns_bits: serde::__field(map, "virtual_ns_bits")?,
+            regions: serde::__field(map, "regions")?,
+            breakdown_bits: serde::__field(map, "breakdown_bits")?,
+            energy_bits,
+        })
+    }
 }
 
 /// Field order of [`CacheRecord::breakdown_bits`].
 pub const BREAKDOWN_FIELDS: usize = 7;
+/// Field order of [`CacheRecord::energy_bits`]: total, active, memory,
+/// wait, serial, base.
+pub const ENERGY_FIELDS: usize = 6;
+
+fn energy_to_bits(e: &omptel::EnergyBreakdown) -> Vec<u64> {
+    vec![
+        e.total_j.to_bits(),
+        e.active_j.to_bits(),
+        e.memory_j.to_bits(),
+        e.wait_j.to_bits(),
+        e.serial_j.to_bits(),
+        e.base_j.to_bits(),
+    ]
+}
+
+fn energy_from_bits(bits: &[u64]) -> omptel::EnergyBreakdown {
+    omptel::EnergyBreakdown {
+        total_j: f64::from_bits(bits[0]),
+        active_j: f64::from_bits(bits[1]),
+        memory_j: f64::from_bits(bits[2]),
+        wait_j: f64::from_bits(bits[3]),
+        serial_j: f64::from_bits(bits[4]),
+        base_j: f64::from_bits(bits[5]),
+    }
+}
 
 fn breakdown_to_bits(b: &omptel::Breakdown) -> Vec<u64> {
     vec![
@@ -126,11 +189,14 @@ impl CacheRecord {
             virtual_ns_bits: telemetry.virtual_ns.to_bits(),
             regions: telemetry.regions,
             breakdown_bits: breakdown_to_bits(&telemetry.breakdown),
+            energy_bits: energy_to_bits(&telemetry.energy),
         }
     }
 
     /// Whether this record can answer for `spec` (same engine, seed,
     /// repetition count, failure rate) and is structurally sound.
+    /// Pre-energy records (empty `energy_bits`) answer; their energy is
+    /// re-priced at lookup.
     pub fn answers(&self, spec: &SweepSpec) -> bool {
         self.engine == ENGINE_VERSION
             && self.seed == spec.seed
@@ -138,6 +204,7 @@ impl CacheRecord {
             && self.failure_rate_bits == spec.failure_rate.to_bits()
             && self.runtimes_bits.len() == spec.reps as usize
             && self.breakdown_bits.len() == BREAKDOWN_FIELDS
+            && (self.energy_bits.is_empty() || self.energy_bits.len() == ENERGY_FIELDS)
     }
 
     /// Decode the repetition runtimes.
@@ -148,12 +215,22 @@ impl CacheRecord {
             .collect()
     }
 
-    /// Decode the telemetry.
-    pub fn telemetry(&self) -> SampleTelemetry {
+    /// Decode the telemetry. Pre-energy records re-price their energy
+    /// under `arch`'s power model for `config` — bit-identical to what
+    /// the sweep would have recorded, since pricing is pure.
+    pub fn telemetry(&self, arch: Arch, config: &TuningConfig) -> SampleTelemetry {
+        let virtual_ns = f64::from_bits(self.virtual_ns_bits);
+        let breakdown = breakdown_from_bits(&self.breakdown_bits);
+        let energy = if self.energy_bits.len() == ENERGY_FIELDS {
+            energy_from_bits(&self.energy_bits)
+        } else {
+            simrt::price_energy(arch, config, &breakdown, virtual_ns, self.regions)
+        };
         SampleTelemetry {
-            virtual_ns: f64::from_bits(self.virtual_ns_bits),
+            virtual_ns,
             regions: self.regions,
-            breakdown: breakdown_from_bits(&self.breakdown_bits),
+            breakdown,
+            energy,
         }
     }
 }
@@ -161,12 +238,19 @@ impl CacheRecord {
 // ---------------------------------------------------------------------
 // Binary batch format.
 //
-// All values are little-endian u64 words. Layout:
+// All values are little-endian u64 words. Layout ("OMPSCB02"):
 //
 //   header   [magic, engine, reps, seed, failure_rate_bits,
 //             count, hash_kind, checksum]                       8 words
 //   record×N [config_index, verify_hash, virtual_ns_bits, regions,
-//             breakdown_bits×7, runtimes_bits×reps, checksum]   12+reps
+//             breakdown_bits×7, energy_bits×6,
+//             runtimes_bits×reps, checksum]                     18+reps
+//
+// The previous generation ("OMPSCB01") lacks the six energy words; the
+// loader accepts both magics with per-magic record stride, re-pricing
+// energy at lookup for v1 records (pricing is a pure function of arch,
+// config, and the stored breakdown, so the answers are bit-identical to
+// a fresh run). New files are always written in the v2 layout.
 //
 // `hash_kind` selects the verification hash carried in `verify_hash`:
 // files the sweep writes carry the fieldwise fingerprint
@@ -183,11 +267,16 @@ impl CacheRecord {
 // equally stale).
 // ---------------------------------------------------------------------
 
-const BIN_MAGIC: u64 = u64::from_le_bytes(*b"OMPSCB01");
+/// Pre-energy container magic (no energy words in its records).
+const BIN_MAGIC_V1: u64 = u64::from_le_bytes(*b"OMPSCB01");
+/// Current container magic (records carry [`ENERGY_FIELDS`] words).
+const BIN_MAGIC: u64 = u64::from_le_bytes(*b"OMPSCB02");
 const HEADER_WORDS: usize = 8;
-/// Words before the runtimes in each record (index, verify, virtual,
+/// Words before the runtimes in each v1 record (index, verify, virtual,
 /// regions, breakdown×7).
-const RECORD_HEAD_WORDS: usize = 11;
+const RECORD_HEAD_WORDS_V1: usize = 11;
+/// Words before the runtimes in each v2 record (v1 plus energy×6).
+const RECORD_HEAD_WORDS: usize = RECORD_HEAD_WORDS_V1 + ENERGY_FIELDS;
 /// Hash kind: `verify_hash` is the fieldwise [`config_fingerprint`].
 pub const HASH_KIND_FAST: u64 = 0;
 /// Hash kind: `verify_hash` is the serde-based [`config_hash`]
@@ -196,6 +285,10 @@ pub const HASH_KIND_SERDE: u64 = 1;
 
 fn record_words(reps: usize) -> usize {
     RECORD_HEAD_WORDS + reps + 1
+}
+
+fn record_words_v1(reps: usize) -> usize {
+    RECORD_HEAD_WORDS_V1 + reps + 1
 }
 
 fn fnv_bytes(bytes: &[u8]) -> u64 {
@@ -216,8 +309,14 @@ fn read_word(bytes: &[u8], word_idx: usize) -> u64 {
     u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
 }
 
-fn encode_bin_header(buf: &mut Vec<u8>, spec_words: &BinSpec, count: u64, hash_kind: u64) {
-    push_word(buf, BIN_MAGIC);
+fn encode_bin_header(
+    buf: &mut Vec<u8>,
+    magic: u64,
+    spec_words: &BinSpec,
+    count: u64,
+    hash_kind: u64,
+) {
+    push_word(buf, magic);
     push_word(buf, spec_words.engine);
     push_word(buf, spec_words.reps);
     push_word(buf, spec_words.seed);
@@ -236,6 +335,7 @@ fn encode_bin_record(
     virtual_ns_bits: u64,
     regions: u64,
     breakdown_bits: &[u64],
+    energy_bits: &[u64],
     runtimes_bits: &[u64],
 ) {
     let start = buf.len();
@@ -244,6 +344,10 @@ fn encode_bin_record(
     push_word(buf, virtual_ns_bits);
     push_word(buf, regions);
     for &w in breakdown_bits {
+        push_word(buf, w);
+    }
+    // Empty in v1 containers (pre-energy records), 6 words in v2.
+    for &w in energy_bits {
         push_word(buf, w);
     }
     for &w in runtimes_bits {
@@ -288,11 +392,12 @@ enum VerifyKind {
 /// hash, so an index collision from a different space layout can never
 /// serve a wrong sample.
 pub struct BatchEntries {
-    /// Repetitions per record (slot stride = `RECORD_HEAD_WORDS - 1 +
-    /// reps`: everything but `config_index` and the checksum).
+    /// Repetitions per record.
     reps: usize,
     /// Slot-major words: `[verify, virtual, regions, breakdown×7,
-    /// runtimes×reps]` per slot.
+    /// energy_present, energy×6, runtimes×reps]` per slot. Records
+    /// loaded from pre-energy forms carry `energy_present == 0` and
+    /// zeroed energy words; their energy is re-priced at lookup.
     slots: Vec<u64>,
     /// `config_index → slot` offset index.
     index: HashMap<usize, u32>,
@@ -300,13 +405,19 @@ pub struct BatchEntries {
     /// Whether this batch came from the indexed binary format (hits are
     /// then counted under `SampleCacheIndexHits`).
     indexed: bool,
+    /// The architecture whose power model prices pre-energy records.
+    arch: Arch,
 }
 
-/// Words per slot in [`BatchEntries::slots`] before the runtimes.
-const SLOT_HEAD_WORDS: usize = 10;
+/// Words per slot in [`BatchEntries::slots`] before the runtimes:
+/// verify, virtual, regions, breakdown×7, energy_present, energy×6.
+const SLOT_HEAD_WORDS: usize = 10 + 1 + ENERGY_FIELDS;
+/// Offset of the `energy_present` flag word within a slot.
+const SLOT_ENERGY_AT: usize = 10;
 
 impl BatchEntries {
-    /// No cached entries (cold batch).
+    /// No cached entries (cold batch). The arch is irrelevant: every
+    /// lookup misses.
     pub fn empty() -> BatchEntries {
         BatchEntries {
             reps: 0,
@@ -314,10 +425,12 @@ impl BatchEntries {
             index: HashMap::new(),
             verify: VerifyKind::Fast,
             indexed: false,
+            arch: Arch::A64fx,
         }
     }
 
     fn with_capacity(
+        arch: Arch,
         reps: usize,
         records: usize,
         verify: VerifyKind,
@@ -329,6 +442,7 @@ impl BatchEntries {
             index: HashMap::with_capacity(records),
             verify,
             indexed,
+            arch,
         }
     }
 
@@ -374,10 +488,21 @@ impl BatchEntries {
             .iter()
             .map(|&b| f64::from_bits(b))
             .collect();
+        let virtual_ns = f64::from_bits(words[1]);
+        let regions = words[2];
+        let breakdown = breakdown_from_bits(&words[3..SLOT_ENERGY_AT]);
+        let energy = if words[SLOT_ENERGY_AT] != 0 {
+            energy_from_bits(&words[SLOT_ENERGY_AT + 1..SLOT_HEAD_WORDS])
+        } else {
+            // Pre-energy record: price it now. Pure function of what is
+            // already verified above, so bit-identical to a fresh run.
+            simrt::price_energy(self.arch, config, &breakdown, virtual_ns, regions)
+        };
         let telemetry = SampleTelemetry {
-            virtual_ns: f64::from_bits(words[1]),
-            regions: words[2],
-            breakdown: breakdown_from_bits(&words[3..SLOT_HEAD_WORDS]),
+            virtual_ns,
+            regions,
+            breakdown,
+            energy,
         };
         if self.indexed {
             omptel::add(omptel::Counter::SampleCacheIndexHits, 1);
@@ -496,7 +621,7 @@ impl SampleCache {
     /// damaged).
     fn load_jsonl_batch(&self, key: &RunKey, spec: &SweepSpec, corrupt: &mut u64) -> BatchEntries {
         let mut entries =
-            BatchEntries::with_capacity(spec.reps as usize, 0, VerifyKind::Serde, false);
+            BatchEntries::with_capacity(key.arch, spec.reps as usize, 0, VerifyKind::Serde, false);
         let mut payload = Vec::with_capacity(entries.stride());
         if let Ok(text) = std::fs::read_to_string(self.batch_path(key)) {
             for (lineno, line) in text.lines().enumerate() {
@@ -514,6 +639,12 @@ impl SampleCache {
                             payload.push(rec.virtual_ns_bits);
                             payload.push(rec.regions);
                             payload.extend_from_slice(&rec.breakdown_bits);
+                            if rec.energy_bits.len() == ENERGY_FIELDS {
+                                payload.push(1);
+                                payload.extend_from_slice(&rec.energy_bits);
+                            } else {
+                                payload.resize(payload.len() + 1 + ENERGY_FIELDS, 0);
+                            }
                             payload.extend_from_slice(&rec.runtimes_bits);
                             entries.push_record(rec.config_index, &payload);
                         }
@@ -574,7 +705,13 @@ impl SampleCache {
         let reps = spec.reps as usize;
         let count = data.samples.len() + 1;
         let mut buf = Vec::with_capacity((HEADER_WORDS + count * record_words(reps)) * 8);
-        encode_bin_header(&mut buf, &BinSpec::of(spec), count as u64, HASH_KIND_FAST);
+        encode_bin_header(
+            &mut buf,
+            BIN_MAGIC,
+            &BinSpec::of(spec),
+            count as u64,
+            HASH_KIND_FAST,
+        );
         let mut runtimes_bits = Vec::with_capacity(reps);
         let mut encode_one = |buf: &mut Vec<u8>,
                               idx: usize,
@@ -590,6 +727,7 @@ impl SampleCache {
                 tel.virtual_ns.to_bits(),
                 tel.regions,
                 &breakdown_to_bits(&tel.breakdown),
+                &energy_to_bits(&tel.energy),
                 &runtimes_bits,
             );
         };
@@ -680,9 +818,12 @@ fn decode_bin_batch(bytes: &[u8], key: &RunKey, spec: &SweepSpec, corrupt: &mut 
         return bad_header("short file");
     }
     let header = &bytes[..HEADER_WORDS * 8];
-    if read_word(header, 0) != BIN_MAGIC {
+    let magic = read_word(header, 0);
+    if magic != BIN_MAGIC && magic != BIN_MAGIC_V1 {
         return bad_header("bad magic");
     }
+    // v1 records carry no energy words; lookups re-price them.
+    let has_energy = magic == BIN_MAGIC;
     if read_word(header, HEADER_WORDS - 1) != fnv_bytes(&header[..(HEADER_WORDS - 1) * 8]) {
         return bad_header("bad checksum");
     }
@@ -700,13 +841,18 @@ fn decode_bin_batch(bytes: &[u8], key: &RunKey, spec: &SweepSpec, corrupt: &mut 
     }
     let count = read_word(header, 5) as usize;
     let reps = spec.reps as usize;
-    let stride = record_words(reps) * 8;
+    let rec_words = if has_energy {
+        record_words(reps)
+    } else {
+        record_words_v1(reps)
+    };
+    let stride = rec_words * 8;
     let verify = if hash_kind == HASH_KIND_FAST {
         VerifyKind::Fast
     } else {
         VerifyKind::Serde
     };
-    let mut entries = BatchEntries::with_capacity(reps, count, verify, true);
+    let mut entries = BatchEntries::with_capacity(key.arch, reps, count, verify, true);
     let mut payload = Vec::with_capacity(entries.stride());
     for slot in 0..count {
         let at = HEADER_WORDS * 8 + slot * stride;
@@ -722,8 +868,8 @@ fn decode_bin_batch(bytes: &[u8], key: &RunKey, spec: &SweepSpec, corrupt: &mut 
             ));
             break;
         };
-        let sum_at = (record_words(reps) - 1) * 8;
-        if read_word(rec, record_words(reps) - 1) != fnv_bytes(&rec[..sum_at]) {
+        let sum_at = (rec_words - 1) * 8;
+        if read_word(rec, rec_words - 1) != fnv_bytes(&rec[..sum_at]) {
             *corrupt += 1;
             omptel::report_corrupt(&format!(
                 "{}/{} i{} t{}: unparseable record at slot {slot} (checksum) in binary batch",
@@ -739,7 +885,25 @@ fn decode_bin_batch(bytes: &[u8], key: &RunKey, spec: &SweepSpec, corrupt: &mut 
             idx => idx as usize,
         };
         payload.clear();
-        for w in 1..record_words(reps) - 1 {
+        // Head words up to the breakdown are layout-identical in both
+        // generations; v1 slots then get a zeroed energy block.
+        for w in 1..RECORD_HEAD_WORDS_V1 {
+            payload.push(read_word(rec, w));
+        }
+        if has_energy {
+            payload.push(1);
+            for w in RECORD_HEAD_WORDS_V1..RECORD_HEAD_WORDS {
+                payload.push(read_word(rec, w));
+            }
+        } else {
+            payload.resize(payload.len() + 1 + ENERGY_FIELDS, 0);
+        }
+        let runs_from = if has_energy {
+            RECORD_HEAD_WORDS
+        } else {
+            RECORD_HEAD_WORDS_V1
+        };
+        for w in runs_from..rec_words - 1 {
             payload.push(read_word(rec, w));
         }
         entries.push_record(config_index, &payload);
@@ -798,6 +962,7 @@ pub fn migrate_batch_file(jsonl: &Path) -> std::io::Result<MigrationReport> {
         };
         if rec.breakdown_bits.len() != BREAKDOWN_FIELDS
             || rec.runtimes_bits.len() != rec.reps as usize
+            || !(rec.energy_bits.is_empty() || rec.energy_bits.len() == ENERGY_FIELDS)
         {
             report.skipped_records += 1;
             continue;
@@ -816,15 +981,40 @@ pub fn migrate_batch_file(jsonl: &Path) -> std::io::Result<MigrationReport> {
             report.skipped_records += 1;
             continue;
         }
+        // Records must also agree on energy presence: one fixed record
+        // stride per file.
+        if let Some(first) = records.first() {
+            if rec.energy_bits.len() != first.energy_bits.len() {
+                report.skipped_records += 1;
+                continue;
+            }
+        }
         records.push(rec);
     }
     let Some(spec_words) = spec_words else {
         report.skipped_files += 1;
         return Ok(report);
     };
+    // Pre-energy files migrate into the pre-energy container (v1 magic):
+    // the records have no energy words to write, and lookups re-price.
+    let has_energy = records
+        .first()
+        .is_some_and(|r| r.energy_bits.len() == ENERGY_FIELDS);
+    let magic = if has_energy { BIN_MAGIC } else { BIN_MAGIC_V1 };
     let reps = spec_words.reps as usize;
-    let mut buf = Vec::with_capacity((HEADER_WORDS + records.len() * record_words(reps)) * 8);
-    encode_bin_header(&mut buf, &spec_words, records.len() as u64, HASH_KIND_SERDE);
+    let rec_words = if has_energy {
+        record_words(reps)
+    } else {
+        record_words_v1(reps)
+    };
+    let mut buf = Vec::with_capacity((HEADER_WORDS + records.len() * rec_words) * 8);
+    encode_bin_header(
+        &mut buf,
+        magic,
+        &spec_words,
+        records.len() as u64,
+        HASH_KIND_SERDE,
+    );
     for rec in &records {
         encode_bin_record(
             &mut buf,
@@ -833,6 +1023,7 @@ pub fn migrate_batch_file(jsonl: &Path) -> std::io::Result<MigrationReport> {
             rec.virtual_ns_bits,
             rec.regions,
             &rec.breakdown_bits,
+            &rec.energy_bits,
             &rec.runtimes_bits,
         );
     }
@@ -933,6 +1124,14 @@ mod tests {
                 s.telemetry.virtual_ns.to_bits()
             );
             assert_eq!(telemetry.regions, s.telemetry.regions);
+            assert_eq!(
+                telemetry.energy.total_j.to_bits(),
+                s.telemetry.energy.total_j.to_bits()
+            );
+            assert_eq!(
+                telemetry.energy.wait_j.to_bits(),
+                s.telemetry.energy.wait_j.to_bits()
+            );
         }
         let default_config = TuningConfig::default_for(Arch::Skylake, 40);
         let (dflt, _) = entries
@@ -1091,6 +1290,63 @@ mod tests {
             _ => omptune_core::OmpSchedule::Static,
         };
         assert!(entries.lookup(s.config_index, &other).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    /// Strip the `energy_bits` field from every JSONL line, simulating
+    /// a cache written before the energy format existed.
+    fn strip_energy(path: &Path) {
+        let text = std::fs::read_to_string(path).unwrap();
+        let stripped: String = text
+            .lines()
+            .map(|line| {
+                let at = line.find(",\"energy_bits\"").expect("field present");
+                format!("{}}}\n", &line[..at])
+            })
+            .collect();
+        assert!(!stripped.contains("energy_bits"));
+        std::fs::write(path, stripped).unwrap();
+    }
+
+    #[test]
+    fn pre_energy_caches_stay_warm_and_reprice_identically() {
+        let spec = spec();
+        let data = batch(&spec);
+        let cache = SampleCache::new(tmp_dir("pre-energy"));
+        cache.store_batch(&data, &spec).unwrap();
+        // Rewind the on-disk state to the pre-energy generation: JSONL
+        // without the field, no binary file.
+        std::fs::remove_file(cache.bin_path(&data.key)).unwrap();
+        strip_energy(&cache.batch_path(&data.key));
+
+        let check = |entries: &BatchEntries| {
+            assert_eq!(entries.len(), data.samples.len() + 1);
+            for s in &data.samples {
+                let (runtimes, telemetry) = entries
+                    .lookup(s.config_index, &s.config)
+                    .expect("legacy record answers");
+                assert_eq!(
+                    runtimes.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+                    s.runtimes.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+                );
+                // Energy was never stored; the lookup re-priced it
+                // bit-identically to what the sweep computed.
+                assert_eq!(
+                    energy_to_bits(&telemetry.energy),
+                    energy_to_bits(&s.telemetry.energy),
+                    "config {}",
+                    s.config_index
+                );
+            }
+        };
+        // Archival JSONL path.
+        check(&cache.load_batch(&data.key, &spec));
+        // Migrating the legacy JSONL writes a v1 container (no energy
+        // words exist to migrate); it must answer identically too.
+        migrate_cache_dir(cache.dir()).unwrap();
+        let bytes = std::fs::read(cache.bin_path(&data.key)).unwrap();
+        assert_eq!(read_word(&bytes, 0), BIN_MAGIC_V1);
+        check(&cache.load_batch(&data.key, &spec));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -125,6 +125,7 @@ mod tests {
                             compute_ns: 1.0e9,
                             ..omptel::Breakdown::default()
                         },
+                        energy: omptel::EnergyBreakdown::default(),
                     },
                 })
                 .collect(),
@@ -136,6 +137,7 @@ mod tests {
                     compute_ns: 1.0e9,
                     ..omptel::Breakdown::default()
                 },
+                energy: omptel::EnergyBreakdown::default(),
             },
         }
     }

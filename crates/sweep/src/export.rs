@@ -92,6 +92,7 @@ mod tests {
                         imbalance_ns: 1.0e8,
                         ..omptel::Breakdown::default()
                     },
+                    energy: omptel::EnergyBreakdown::default(),
                 },
             }],
             default_runtimes: vec![0.5, 0.5, 0.5],
@@ -103,6 +104,7 @@ mod tests {
                     imbalance_ns: 1.0e8,
                     ..omptel::Breakdown::default()
                 },
+                energy: omptel::EnergyBreakdown::default(),
             },
         }];
         let mut buf = Vec::new();

@@ -41,8 +41,15 @@ use std::fs;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Record schema marker written into every JSONL line.
+/// Schema marker of pre-energy JSONL lines (still accepted on read).
 pub const SCHEMA: &str = "ompobs-run-v1";
+
+/// Schema marker written into every new JSONL line. v2 adds the
+/// per-arch energy stratum series and per-app / per-cell microjoule
+/// digests; v1 lines parse with those fields empty, and the content
+/// hash mixes energy words only when present, so old registries keep
+/// validating against their stored addresses.
+pub const SCHEMA_V2: &str = "ompobs-run-v2";
 
 /// Config strata the virtual-time series fold into
 /// (`config_index % STRATA`); must match `collect`'s tsdb writer and
@@ -237,6 +244,9 @@ pub struct AppDigest {
     pub samples: u64,
     /// Summed virtual nanoseconds (whole-ns truncation per sample).
     pub virt_ns: u64,
+    /// Summed modeled energy in microjoules (whole-µJ truncation per
+    /// sample; 0 in pre-energy records).
+    pub energy_uj: u64,
 }
 
 /// Aggregate cost of one (variable, value) cell on one architecture.
@@ -246,6 +256,8 @@ pub struct CellDigest {
     pub value: String,
     pub samples: u64,
     pub virt_ns: u64,
+    /// Summed modeled energy in microjoules (0 in pre-energy records).
+    pub energy_uj: u64,
 }
 
 /// Everything one architecture contributed to a run's core.
@@ -257,6 +269,12 @@ pub struct ArchDigest {
     pub dropped: u64,
     /// `virt[k]` = stratum `config_index % STRATA == k`.
     pub virt: Vec<StratumSeries>,
+    /// Per-stratum energy series mirroring `virt`: `sum_bits` hold the
+    /// per-sample `total_j` bit patterns (joules), same slots, same
+    /// totals. Empty in pre-energy (v1) records — and excluded from the
+    /// content hash when empty, so those records keep re-hashing to
+    /// their stored address.
+    pub energy: Vec<StratumSeries>,
     pub apps: Vec<AppDigest>,
     /// [`Feature::ENV_FEATURES`] × [`value_labels`] order, flattened.
     pub cells: Vec<CellDigest>,
@@ -299,15 +317,20 @@ fn cell_offsets() -> ([usize; Feature::ENV_FEATURES.len()], usize) {
 pub struct BatchPartial {
     samples: u64,
     virt: u64,
+    energy_uj: u64,
     /// Stratum point counts (`config_index % STRATA`, positive finite
     /// virtual time only).
     strata_count: [u64; STRATA],
     /// Per-stratum ring of `virtual_ns` bit patterns: slot `s` holds
     /// the batch's last point with in-batch index ≡ s (mod RETAIN).
     strata_ring: [[u64; SERIES_RETAIN]; STRATA],
-    /// (samples, virt_ns) pairs interleaved so each slot update is one
-    /// index computation touching adjacent words.
-    cells: [[u64; 2]; CELL_CAP],
+    /// Per-stratum ring of `total_j` bit patterns, written at exactly
+    /// the `strata_ring` slots — energy exists for precisely the
+    /// samples virtual time does, so the two rings share their count.
+    strata_ring_energy: [[u64; SERIES_RETAIN]; STRATA],
+    /// (samples, virt_ns, energy_uj) triples interleaved so each slot
+    /// update is one index computation touching adjacent words.
+    cells: [[u64; 3]; CELL_CAP],
 }
 
 impl BatchPartial {
@@ -320,14 +343,22 @@ impl BatchPartial {
         let mut p = BatchPartial {
             samples: 0,
             virt: 0,
+            energy_uj: 0,
             strata_count: [0; STRATA],
             strata_ring: [[0; SERIES_RETAIN]; STRATA],
-            cells: [[0; 2]; CELL_CAP],
+            strata_ring_energy: [[0; SERIES_RETAIN]; STRATA],
+            cells: [[0; 3]; CELL_CAP],
         };
         for sample in &data.samples {
             let vns = sample.telemetry.virtual_ns;
+            let ej = sample.telemetry.energy.total_j;
             let v = if vns.is_finite() && vns > 0.0 {
                 vns as u64
+            } else {
+                0
+            };
+            let e = if ej.is_finite() && ej > 0.0 {
+                (ej * 1e6) as u64
             } else {
                 0
             };
@@ -335,10 +366,12 @@ impl BatchPartial {
                 let k = sample.config_index % STRATA;
                 let at = (p.strata_count[k] as usize) % SERIES_RETAIN;
                 p.strata_ring[k][at] = vns.to_bits();
+                p.strata_ring_energy[k][at] = ej.to_bits();
                 p.strata_count[k] += 1;
             }
             p.samples += 1;
             p.virt += v;
+            p.energy_uj += e;
             // Unrolled `ENV_FEATURES` walk via `value_index`'s O(1)
             // discriminant casts — no per-feature dispatch. The align
             // slot maps 64/128/256/512 bytes to 0..=3 with a bit trick
@@ -360,6 +393,7 @@ impl BatchPartial {
             for &at in &slots {
                 p.cells[at][0] += 1;
                 p.cells[at][1] += v;
+                p.cells[at][2] += e;
             }
         }
         p
@@ -394,8 +428,9 @@ impl ArchDigest {
         I: IntoIterator<Item = (&'p str, BatchPartial)>,
     {
         let mut ring_sums = [[0u64; SERIES_RETAIN]; STRATA];
+        let mut ring_energy = [[0u64; SERIES_RETAIN]; STRATA];
         let mut ring_total = [0u64; STRATA];
-        let mut cells_acc = [[0u64; 2]; CELL_CAP];
+        let mut cells_acc = [[0u64; 3]; CELL_CAP];
         let mut apps: Vec<AppDigest> = Vec::new();
         let mut samples_total = 0u64;
         let mut settings = 0u64;
@@ -408,12 +443,14 @@ impl ArchDigest {
                         app: app.to_string(),
                         samples: 0,
                         virt_ns: 0,
+                        energy_uj: 0,
                     });
                     apps.len() - 1
                 }
             };
             apps[app_at].samples += p.samples;
             apps[app_at].virt_ns += p.virt;
+            apps[app_at].energy_uj += p.energy_uj;
             samples_total += p.samples;
             for k in 0..STRATA {
                 let c = p.strata_count[k];
@@ -421,15 +458,18 @@ impl ArchDigest {
                 let t = ring_total[k] as usize;
                 for s in 0..written {
                     ring_sums[k][(t + s) % SERIES_RETAIN] = p.strata_ring[k][s];
+                    ring_energy[k][(t + s) % SERIES_RETAIN] = p.strata_ring_energy[k][s];
                 }
                 ring_total[k] += c;
             }
             for (acc, part) in cells_acc.iter_mut().zip(&p.cells) {
                 acc[0] += part[0];
                 acc[1] += part[1];
+                acc[2] += part[2];
             }
         }
         let mut virt = Vec::with_capacity(STRATA);
+        let mut energy = Vec::with_capacity(STRATA);
         for k in 0..STRATA {
             let total = ring_total[k];
             let retained = (total as usize).min(SERIES_RETAIN);
@@ -441,6 +481,13 @@ impl ArchDigest {
             };
             s.seal();
             virt.push(s);
+            let mut e = StratumSeries {
+                total,
+                counts: vec![1; retained],
+                sum_bits: ring_energy[k][..retained].to_vec(),
+            };
+            e.seal();
+            energy.push(e);
         }
         let mut labels: Vec<(&'static str, String)> = Vec::new();
         for f in Feature::ENV_FEATURES.iter() {
@@ -457,6 +504,7 @@ impl ArchDigest {
                 value,
                 samples: cells_acc[i][0],
                 virt_ns: cells_acc[i][1],
+                energy_uj: cells_acc[i][2],
             })
             .collect();
         ArchDigest {
@@ -465,6 +513,7 @@ impl ArchDigest {
             samples: samples_total,
             dropped,
             virt,
+            energy,
             apps,
             cells,
         }
@@ -473,6 +522,12 @@ impl ArchDigest {
     /// Total attributed virtual nanoseconds (sum over apps).
     pub fn virt_ns(&self) -> u64 {
         self.apps.iter().map(|a| a.virt_ns).sum()
+    }
+
+    /// Total attributed modeled energy in microjoules (sum over apps;
+    /// 0 for pre-energy records).
+    pub fn energy_uj(&self) -> u64 {
+        self.apps.iter().map(|a| a.energy_uj).sum()
     }
 }
 
@@ -565,6 +620,24 @@ impl CollectCore {
                 mix_str(h, &cell.value);
                 mix(h, cell.samples);
                 mix(h, cell.virt_ns);
+            }
+            // Energy words are content-gated: a pre-energy record
+            // parses with an empty series and zero µJ digests, and must
+            // keep hashing to its stored content address.
+            if !a.energy.is_empty() {
+                for s in &a.energy {
+                    mix(h, s.total);
+                    for (&c, &b) in s.counts.iter().zip(&s.sum_bits) {
+                        mix(h, c);
+                        mix(h, b);
+                    }
+                }
+                for app in &a.apps {
+                    mix(h, app.energy_uj);
+                }
+                for cell in &a.cells {
+                    mix(h, cell.energy_uj);
+                }
             }
         }
     }
@@ -756,7 +829,7 @@ impl RunRecord {
     pub fn to_jsonl(&self) -> String {
         let mut o = String::with_capacity(64 * 1024);
         o.push_str("{\"schema\":\"");
-        o.push_str(SCHEMA);
+        o.push_str(SCHEMA_V2);
         o.push_str("\",\"seq\":");
         push_u64(&mut o, self.seq);
         o.push_str(",\"ts_unix\":");
@@ -809,7 +882,7 @@ impl RunRecord {
                 .map(|(_, v)| v)
         };
         let schema = get("schema").and_then(|v| v.as_str()).unwrap_or("");
-        if schema != SCHEMA {
+        if schema != SCHEMA && schema != SCHEMA_V2 {
             return Err(format!("unknown schema {schema:?}"));
         }
         let seq = get("seq").and_then(|v| v.as_u64()).ok_or("missing seq")?;
@@ -909,7 +982,24 @@ fn write_collect_core(o: &mut String, c: &CollectCore) {
             push_u64_array(o, &s.sum_bits);
             o.push('}');
         }
-        o.push_str("],\"apps\":[");
+        o.push(']');
+        if !a.energy.is_empty() {
+            o.push_str(",\"energy\":[");
+            for (j, s) in a.energy.iter().enumerate() {
+                if j > 0 {
+                    o.push(',');
+                }
+                o.push_str("{\"total\":");
+                push_u64(o, s.total);
+                o.push_str(",\"counts\":");
+                push_u64_array(o, &s.counts);
+                o.push_str(",\"sum_bits\":");
+                push_u64_array(o, &s.sum_bits);
+                o.push('}');
+            }
+            o.push(']');
+        }
+        o.push_str(",\"apps\":[");
         for (j, app) in a.apps.iter().enumerate() {
             if j > 0 {
                 o.push(',');
@@ -920,6 +1010,8 @@ fn write_collect_core(o: &mut String, c: &CollectCore) {
             push_u64(o, app.samples);
             o.push_str(",\"virt_ns\":");
             push_u64(o, app.virt_ns);
+            o.push_str(",\"energy_uj\":");
+            push_u64(o, app.energy_uj);
             o.push('}');
         }
         o.push_str("],\"cells\":[");
@@ -935,6 +1027,8 @@ fn write_collect_core(o: &mut String, c: &CollectCore) {
             push_u64(o, cell.samples);
             o.push_str(",\"virt_ns\":");
             push_u64(o, cell.virt_ns);
+            o.push_str(",\"energy_uj\":");
+            push_u64(o, cell.energy_uj);
             o.push('}');
         }
         o.push_str("]}");
@@ -1016,6 +1110,7 @@ fn read_collect_core(v: &serde::Value) -> Result<CollectCore, String> {
             samples: u64_field(am, "samples")?,
             dropped: u64_field(am, "dropped")?,
             virt: Vec::new(),
+            energy: Vec::new(),
             apps: Vec::new(),
             cells: Vec::new(),
         };
@@ -1027,12 +1122,26 @@ fn read_collect_core(v: &serde::Value) -> Result<CollectCore, String> {
                 sum_bits: field(sm, "sum_bits").map(u64_seq).unwrap_or_default(),
             });
         }
+        // Absent in v1 records: parse to empty, which the content hash
+        // gates out.
+        for s in field(am, "energy").and_then(|v| v.as_seq()).unwrap_or(&[]) {
+            let sm = s.as_map().ok_or("energy stratum is not an object")?;
+            digest.energy.push(StratumSeries {
+                total: u64_field(sm, "total")?,
+                counts: field(sm, "counts").map(u64_seq).unwrap_or_default(),
+                sum_bits: field(sm, "sum_bits").map(u64_seq).unwrap_or_default(),
+            });
+        }
+        let opt_u64 = |m: &[(serde::Value, serde::Value)], name: &str| {
+            field(m, name).and_then(|v| v.as_u64()).unwrap_or(0)
+        };
         for app in field(am, "apps").and_then(|v| v.as_seq()).unwrap_or(&[]) {
             let pm = app.as_map().ok_or("app digest is not an object")?;
             digest.apps.push(AppDigest {
                 app: str_field(pm, "app")?,
                 samples: u64_field(pm, "samples")?,
                 virt_ns: u64_field(pm, "virt_ns")?,
+                energy_uj: opt_u64(pm, "energy_uj"),
             });
         }
         for cell in field(am, "cells").and_then(|v| v.as_seq()).unwrap_or(&[]) {
@@ -1042,6 +1151,7 @@ fn read_collect_core(v: &serde::Value) -> Result<CollectCore, String> {
                 value: str_field(cm, "value")?,
                 samples: u64_field(cm, "samples")?,
                 virt_ns: u64_field(cm, "virt_ns")?,
+                energy_uj: opt_u64(cm, "energy_uj"),
             });
         }
         core.arches.push(digest);
@@ -1710,6 +1820,67 @@ mod tests {
             core.push_arch_partials(Arch::Milan.id(), &batches, partials, 7);
             assert_eq!(core.arches[0], whole, "{workers} workers diverged");
         }
+    }
+
+    #[test]
+    fn pre_energy_records_parse_and_keep_their_address() {
+        // Simulate a v1-era record: no energy words anywhere.
+        let mut core = tiny_core(9);
+        for a in &mut core.arches {
+            a.energy.clear();
+            for app in &mut a.apps {
+                app.energy_uj = 0;
+            }
+            for cell in &mut a.cells {
+                cell.energy_uj = 0;
+            }
+        }
+        let rc = RunCore::Collect(core);
+        let record = RunRecord {
+            seq: 0,
+            ts_unix: 0,
+            git_rev: "unknown".to_string(),
+            record_hash: rc.hash(),
+            core: rc,
+            info: RunInfo::default(),
+        };
+        // A v1 writer stamped the v1 schema and knew nothing of the
+        // energy fields; the reader must accept that line and re-derive
+        // the same content address (the gate in `hash_into`).
+        let v1 = record
+            .to_jsonl()
+            .replace(SCHEMA_V2, SCHEMA)
+            .replace(",\"energy_uj\":0", "");
+        assert!(!v1.contains("energy"), "{v1}");
+        let back = RunRecord::from_jsonl(&v1).unwrap();
+        assert_eq!(back.record_hash, record.record_hash);
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn energy_words_are_content_addressed() {
+        let core = tiny_core(10);
+        let a = &core.arches[0];
+        assert!(a.energy.iter().any(|s| s.total > 0), "energy series empty");
+        assert!(a.energy_uj() > 0, "no attributed energy");
+        // Cell energy must close against app energy the way virt does.
+        let app_uj: u64 = a.apps.iter().map(|x| x.energy_uj).sum();
+        let cell_uj: u64 = a.cells.iter().map(|c| c.energy_uj).sum();
+        assert_eq!(
+            cell_uj,
+            app_uj * Feature::ENV_FEATURES.len() as u64,
+            "each sample lands in one cell per variable"
+        );
+        let h = RunCore::Collect(core.clone()).hash();
+        let mut tampered = core;
+        let bit = tampered.arches[0]
+            .energy
+            .iter_mut()
+            .flat_map(|s| s.sum_bits.iter_mut())
+            .next()
+            .expect("at least one energy point");
+        *bit ^= 1;
+        assert_ne!(h, RunCore::Collect(tampered).hash(), "energy bit flip");
     }
 
     #[test]

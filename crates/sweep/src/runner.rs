@@ -130,14 +130,23 @@ pub struct SampleTelemetry {
     pub regions: u64,
     /// Where the virtual time went, summing to `virtual_ns`.
     pub breakdown: omptel::Breakdown,
+    /// Where the energy went: the run priced under the architecture's
+    /// power model ([`simrt::price_energy`]), joules. A pure function of
+    /// (arch, config, breakdown), so it reproduces bit-identically on
+    /// every path — and can be recomputed for cache records that predate
+    /// the energy format.
+    pub energy: omptel::EnergyBreakdown,
 }
 
 impl SampleTelemetry {
-    fn from_sim(sim: &simrt::SimResult) -> SampleTelemetry {
+    fn from_sim(arch: Arch, config: &TuningConfig, sim: &simrt::SimResult) -> SampleTelemetry {
+        let breakdown = sim.breakdown.to_tel().close_to_total(sim.total_ns);
+        let energy = simrt::price_energy(arch, config, &breakdown, sim.total_ns, sim.regions);
         SampleTelemetry {
             virtual_ns: sim.total_ns,
             regions: sim.regions,
-            breakdown: sim.breakdown.to_tel().close_to_total(sim.total_ns),
+            breakdown,
+            energy,
         }
     }
 
@@ -236,7 +245,7 @@ pub(crate) fn run_config_sim(
         Some(cache) => simrt::simulate_with_cache(key.arch, config, model, spec.seed, cache),
         None => simrt::simulate(key.arch, config, model, spec.seed),
     };
-    sample_from_sim(key, &sim, config_index, spec, noise)
+    sample_from_sim(key, &sim, config, config_index, spec, noise)
 }
 
 /// Turn one simulation result into a sample: telemetry plus noised
@@ -247,11 +256,21 @@ pub(crate) fn run_config_sim(
 pub(crate) fn sample_from_sim(
     key: &RunKey,
     sim: &simrt::SimResult,
+    config: &TuningConfig,
     config_index: usize,
     spec: &SweepSpec,
     noise: &NoiseModel,
 ) -> (Vec<f64>, SampleTelemetry) {
-    let telemetry = SampleTelemetry::from_sim(sim);
+    let telemetry = SampleTelemetry::from_sim(key.arch, config, sim);
+    omptel::add(omptel::Counter::EnergySamples, 1);
+    omptel::add(
+        omptel::Counter::EnergyUj,
+        (telemetry.energy.total_j * 1e6) as u64,
+    );
+    omptel::add(
+        omptel::Counter::EnergyWaitUj,
+        (telemetry.energy.wait_j * 1e6) as u64,
+    );
     let base = sim.seconds();
     let stream = noise_stream(key, config_index);
     let runtimes = (0..spec.reps)

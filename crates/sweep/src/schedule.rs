@@ -450,7 +450,7 @@ fn run_unit_configs_batched(
             let (at, _) = scratch.miss_at[g0 + k];
             let (config_index, config) = slice[at];
             let (runtimes, telemetry) =
-                sample_from_sim(&job.key, sim, config_index, spec, &job.noise);
+                sample_from_sim(&job.key, sim, &config, config_index, spec, &job.noise);
             scratch.produced[at] = Some(RawSample {
                 config_index,
                 config,
@@ -720,6 +720,12 @@ mod tests {
                     "{label}"
                 );
                 assert_eq!(s.telemetry.regions, t.telemetry.regions, "{label}");
+                for sink in [s.telemetry.energy.total_j, s.telemetry.energy.wait_j]
+                    .into_iter()
+                    .zip([t.telemetry.energy.total_j, t.telemetry.energy.wait_j])
+                {
+                    assert_eq!(sink.0.to_bits(), sink.1.to_bits(), "{label}: energy bits");
+                }
             }
             assert_eq!(
                 bits(&x.default_runtimes),

@@ -41,7 +41,14 @@ cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/warm/provenance.jsonl
     echo "verify: warm sweep provenance diverged from cold sweep" >&2
     exit 1
 }
-echo "cold and warm provenance byte-identical"
+# The byte-identity above must include the modeled joules: every
+# provenance record carries its closed energy breakdown, so the cmp
+# gates energy reproducibility too — but only if the fields are there.
+grep -q '"total_j"' "$coherence_dir/cold/provenance.jsonl" || {
+    echo "verify: provenance records carry no energy breakdown (total_j missing)" >&2
+    exit 1
+}
+echo "cold and warm provenance byte-identical (modeled joules included)"
 
 # Migration gate: a legacy JSONL-only cache upgraded in place by
 # cache-migrate must warm-answer byte-identically to the sweep-written
@@ -88,7 +95,7 @@ step cargo run --release -p sweep --bin trace-check -- \
 # while the sweep is running, and still produce byte-identical
 # provenance to the unmonitored runs.
 echo
-echo "==> live monitor gate (/metrics, /healthz, /sweep, /influence while sweeping)"
+echo "==> live monitor gate (/metrics, /healthz, /sweep, /influence, /energy while sweeping)"
 http_get() { # http_get HOST:PORT PATH — plain HTTP/1.0 over /dev/tcp
     local host="${1%:*}" port="${1##*:}"
     exec 3<>"/dev/tcp/$host/$port"
@@ -118,6 +125,10 @@ grep -q '^# TYPE omptel_regions_total counter' <<<"$metrics" || {
 }
 grep -q '^omptel_sweep_total ' <<<"$metrics" || {
     echo "verify: /metrics is missing the sweep progress gauges" >&2
+    exit 1
+}
+grep -q '^omptel_sweep_energy_joules ' <<<"$metrics" || {
+    echo "verify: /metrics is missing the modeled-energy gauges" >&2
     exit 1
 }
 http_get "$addr" /healthz | grep -q '^ok$' || {
@@ -155,7 +166,19 @@ grep -q '"OMP_PROC_BIND"' <<<"$influence_json" || {
     echo "verify: /influence ranking is missing the env features" >&2
     exit 1
 }
-echo "live /metrics, /healthz, /sweep, /influence, /runs all answered mid-run"
+energy_json="$(http_get "$addr" /energy)"
+# Per-arch joules only appear as architectures complete, so mid-run we
+# only require the document shape; the ring-series check below gates
+# the recorded values after the run finishes.
+grep -q '"schema":"ompwatt-energy-v1"' <<<"$energy_json" || {
+    echo "verify: /energy is not serving the energy exposition" >&2
+    exit 1
+}
+grep -q '"arches":\[' <<<"$energy_json" || {
+    echo "verify: /energy document is missing the arches array" >&2
+    exit 1
+}
+echo "live /metrics, /healthz, /sweep, /influence, /energy, /runs all answered mid-run"
 wait "$collect_pid"
 collect_pid=""
 grep -q '^registry ' "$coherence_dir/monitored/monitor.addr" || {
@@ -167,6 +190,14 @@ cmp "$coherence_dir/cold/provenance.jsonl" "$coherence_dir/monitored/provenance.
     exit 1
 }
 echo "monitored and unmonitored provenance byte-identical"
+# The completed run must have recorded joules ring series alongside the
+# virtual-time ones (one stratified series per arch, plus the per-arch
+# totals the observatory trends).
+ls "$coherence_dir/monitored/tsdb/"*@energy@*.omts >/dev/null 2>&1 || {
+    echo "verify: collect wrote no energy ring series to tsdb/" >&2
+    exit 1
+}
+echo "energy ring series recorded in tsdb/ alongside virtual time"
 
 # Drift sentinel self-comparison: the cold and warm runs above share a
 # seed, so their per-stratum virtual-time series must be statistically
@@ -260,8 +291,12 @@ echo
 echo "==> ompprof smoke (attribution vs logreg, 143.57x gap, flame graphs)"
 step cargo run --release -p ompprof -- attribute milan cg --check \
     --out "$coherence_dir/profile.json"
-grep -q '"schema": "ompprof-attribution-v1"' "$coherence_dir/profile.json" || {
+grep -q '"schema": "ompprof-attribution-v2"' "$coherence_dir/profile.json" || {
     echo "verify: profile.json is missing the attribution schema marker" >&2
+    exit 1
+}
+grep -q '"energy_ranking"' "$coherence_dir/profile.json" || {
+    echo "verify: profile.json is missing the energy-spread ranking" >&2
     exit 1
 }
 diff_out="$(cargo run --release -q -p ompprof -- diff milan cg \
@@ -278,7 +313,7 @@ for f in best worst; do
         exit 1
     }
 done
-for svg in flame_best flame_worst flame_diff; do
+for svg in flame_best flame_worst flame_diff flame_energy_diff; do
     head -1 "$coherence_dir/flame/$svg.svg" | grep -q '^<?xml' || {
         echo "verify: flame/$svg.svg is missing the XML prologue" >&2
         exit 1
@@ -289,6 +324,32 @@ for svg in flame_best flame_worst flame_diff; do
     }
 done
 echo "attribution agrees with logreg; folded stacks and flame SVGs well-formed"
+
+# Energy disagreement gate: the headline ompwatt claim — at least one
+# architecture's energy-optimal configuration differs from its
+# time-optimal one — must hold (exit 4 from --check means it vanished),
+# and the artifacts EXPERIMENTS.md and CI reference must be well-formed.
+echo
+echo "==> energy disagreement gate (ompwatt report --check)"
+step cargo run --release -p ompwatt -- report cg --scope 200 --workers 4 \
+    --out-dir "$coherence_dir/ompwatt" --check
+grep -q 'DISAGREE' "$coherence_dir/ompwatt/disagreement.md" || {
+    echo "verify: disagreement.md lists no disagreeing architecture" >&2
+    exit 1
+}
+head -1 "$coherence_dir/ompwatt/energy_heatmap.svg" | grep -q '^<?xml' || {
+    echo "verify: energy_heatmap.svg is missing the XML prologue" >&2
+    exit 1
+}
+tail -1 "$coherence_dir/ompwatt/energy_heatmap.svg" | grep -q '</svg>' || {
+    echo "verify: energy_heatmap.svg is truncated" >&2
+    exit 1
+}
+grep -q '"schema": "ompwatt-report-v1"' "$coherence_dir/ompwatt/ompwatt.json" || {
+    echo "verify: ompwatt.json is missing the report schema marker" >&2
+    exit 1
+}
+echo "energy-vs-time disagreement holds; ompwatt artifacts well-formed"
 
 # Schedule-space certification smoke: 25 generated programs x 64
 # perturbed schedules (1600 pairs), every trace through the
